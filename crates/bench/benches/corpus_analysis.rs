@@ -1,0 +1,35 @@
+//! Criterion benches for the analysis workloads behind Figure 2 and the
+//! Python-provenance table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flock_corpus::notebooks::{NotebookCorpus, SnapshotParams, FIGURE2_KS};
+use flock_pyprov::{analyze, KnowledgeBase};
+
+fn corpus_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corpus_analysis");
+    group.sample_size(10);
+
+    group.bench_function("notebook_corpus_generate_10k", |b| {
+        b.iter(|| NotebookCorpus::generate(SnapshotParams::year_2019(10_000)))
+    });
+
+    let corpus = NotebookCorpus::generate(SnapshotParams::year_2019(50_000));
+    group.bench_function("coverage_curve_50k", |b| {
+        b.iter(|| corpus.coverage_curve(&FIGURE2_KS))
+    });
+
+    let kb = KnowledgeBase::standard();
+    let scripts = flock_corpus::kaggle_corpus(7);
+    group.bench_function("pyprov_analyze_49_scripts", |b| {
+        b.iter(|| {
+            scripts
+                .iter()
+                .map(|s| analyze(&s.source, &kb).models.len())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, corpus_analysis);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benches for the Figure-4 code paths: standalone vs in-DB
+//! scoring at two dataset sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flock_bench::fig4::{build_db, SCORING_QUERY};
+use flock_core::XOptConfig;
+use flock_corpus::tabular::TabularDataset;
+use flock_ml::{interpreted_score, StandaloneRuntime};
+
+fn inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference");
+    group.sample_size(10);
+    for &size in &[10_000usize, 50_000] {
+        let data = TabularDataset::generate(size, 42);
+        let frame = data.frame();
+        let pipeline = data.train_pipeline(20, 4);
+
+        group.bench_with_input(BenchmarkId::new("ort_standalone", size), &size, |b, _| {
+            b.iter(|| StandaloneRuntime::new().score(&pipeline, &frame).unwrap())
+        });
+        if size <= 10_000 {
+            group.bench_with_input(
+                BenchmarkId::new("interpreted_rows", size),
+                &size,
+                |b, _| b.iter(|| interpreted_score(&pipeline, &frame).unwrap()),
+            );
+        }
+
+        let db = build_db(&data, 20, 4);
+        db.set_xopt_config(XOptConfig::disabled());
+        group.bench_with_input(BenchmarkId::new("sonnx_in_db", size), &size, |b, _| {
+            b.iter(|| db.query(SCORING_QUERY).unwrap())
+        });
+        db.set_xopt_config(XOptConfig::default());
+        let _ = db.query(SCORING_QUERY).unwrap(); // warm derived-model cache
+        group.bench_with_input(BenchmarkId::new("sonnx_ext_in_db", size), &size, |b, _| {
+            b.iter(|| db.query(SCORING_QUERY).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, inference);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benches for SQL provenance capture (the paper's latency
+//! column): per-query eager capture cost on TPC-H and TPC-C shapes, plus
+//! graph compression.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flock_provenance::{capture_sql, compress, ProvCatalog};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn capture(c: &mut Criterion) {
+    let mut group = c.benchmark_group("provenance_capture");
+    group.sample_size(20);
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let tpch: Vec<String> = (1..=22)
+        .map(|t| flock_corpus::tpch::query(t, &mut rng))
+        .collect();
+    group.bench_function("tpch_22_templates_eager", |b| {
+        b.iter(|| {
+            let mut cat = ProvCatalog::new();
+            for q in &tpch {
+                capture_sql(&mut cat, q, "bench").unwrap();
+            }
+            cat.graph().size()
+        })
+    });
+
+    let tpcc = flock_corpus::tpcc::statement_stream(100, 2);
+    group.bench_function("tpcc_100_statements_eager", |b| {
+        b.iter(|| {
+            let mut cat = ProvCatalog::new();
+            for q in &tpcc {
+                capture_sql(&mut cat, q, "bench").unwrap();
+            }
+            cat.graph().size()
+        })
+    });
+
+    // compression over an accumulated graph
+    let mut cat = ProvCatalog::new();
+    for q in flock_corpus::tpch::query_stream(20, 3) {
+        capture_sql(&mut cat, &q, "bench").unwrap();
+    }
+    let graph = cat.graph().clone();
+    group.bench_function("compress_440_query_graph", |b| {
+        b.iter(|| compress(&graph).1.ratio())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, capture);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Criterion microbenches for the SQL substrate: parse, plan+optimize,
+//! and execute on a realistic analytical query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flock_corpus::tabular::TabularDataset;
+use flock_sql::Database;
+
+fn sql_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sql_engine");
+    group.sample_size(20);
+
+    const Q: &str = "SELECT city, COUNT(*) AS n, AVG(income) AS avg_inc \
+                     FROM customers WHERE debt > 20.0 GROUP BY city \
+                     HAVING COUNT(*) > 10 ORDER BY avg_inc DESC";
+
+    group.bench_function("parse_analytic_query", |b| {
+        b.iter(|| flock_sql::parser::parse_statement(Q).unwrap())
+    });
+
+    let db = Database::new();
+    TabularDataset::generate(50_000, 9).load_into(&db).unwrap();
+
+    group.bench_function("aggregate_query_50k_rows", |b| {
+        b.iter(|| db.query(Q).unwrap())
+    });
+
+    group.bench_function("filter_scan_50k_rows", |b| {
+        b.iter(|| {
+            db.query("SELECT age, income FROM customers WHERE income > 100.0 AND debt < 50.0")
+                .unwrap()
+        })
+    });
+
+    // join benchmark on a second table
+    db.execute("CREATE TABLE cities (city VARCHAR, region VARCHAR)").unwrap();
+    db.execute(
+        "INSERT INTO cities VALUES ('nyc','east'),('sf','west'),('chi','mid'),\
+         ('aus','south'),('sea','west'),('mia','south')",
+    )
+    .unwrap();
+    group.bench_function("hash_join_50k_x_6", |b| {
+        b.iter(|| {
+            db.query(
+                "SELECT ct.region, COUNT(*) FROM customers c JOIN cities ct \
+                 ON c.city = ct.city GROUP BY ct.region",
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sql_engine);
+
+fn relational_ablation(c: &mut Criterion) {
+    use flock_sql::optimizer::OptimizerConfig;
+    let mut group = c.benchmark_group("relational_ablation");
+    group.sample_size(10);
+
+    let db = Database::new();
+    flock_corpus::tpch::populate(&db, 300, 21).unwrap();
+    const Q: &str = "SELECT c.c_mktsegment, COUNT(*) AS n, SUM(o.o_totalprice) \
+                     FROM customer c, orders o \
+                     WHERE c.c_custkey = o.o_custkey AND o.o_totalprice > 1000.0 \
+                     AND c.c_acctbal > 0.0 \
+                     GROUP BY c.c_mktsegment ORDER BY n DESC";
+
+    let configs: [(&str, OptimizerConfig); 4] = [
+        ("all_rules", OptimizerConfig::default()),
+        ("no_pushdown", OptimizerConfig {
+            predicate_pushdown: false,
+            ..OptimizerConfig::default()
+        }),
+        ("no_join_extraction", OptimizerConfig {
+            join_extraction: false,
+            predicate_pushdown: false, // pushdown would re-enable hash keys
+            ..OptimizerConfig::default()
+        }),
+        ("no_rules", OptimizerConfig::disabled()),
+    ];
+    for (name, cfg) in configs {
+        db.set_optimizer_config(cfg);
+        group.bench_function(name, |b| b.iter(|| db.query(Q).unwrap()));
+    }
+    db.set_optimizer_config(OptimizerConfig::default());
+    group.finish();
+}
+
+criterion_group!(ablation, relational_ablation);
+
+criterion_main!(benches, ablation);

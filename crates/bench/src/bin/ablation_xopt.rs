@@ -1,0 +1,56 @@
+//! Ablation: per-rule contribution of the cross-optimizer.
+
+use flock_bench::{ablation, render_table};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (size, trees, depth, repeats) = if quick {
+        (20_000, 20, 4, 2)
+    } else {
+        (100_000, 30, 4, 3)
+    };
+    println!("Cross-optimizer ablation at {size} rows (GBT {trees} trees, depth {depth})\n");
+    let rows = ablation::run(size, trees, depth, repeats);
+    let baseline = rows.first().map(|r| r.ms).unwrap_or(1.0);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.config.to_string(),
+                format!("{:.1}", r.ms),
+                format!("{:.2}x", baseline / r.ms),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["configuration", "time (ms)", "vs SONNX"], &table)
+    );
+
+    println!(
+        "\nText-pipeline scenario at {size} rows: hashed-text input with zero weight \
+         after feature selection\nquery: {}\n",
+        ablation::TEXT_QUERY
+    );
+    let rows = ablation::run_text(size, 512, repeats);
+    let baseline = rows.first().map(|r| r.ms).unwrap_or(1.0);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.config.to_string(),
+                format!("{:.1}", r.ms),
+                format!("{:.2}x", baseline / r.ms),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["configuration", "time (ms)", "vs SONNX"], &table)
+    );
+    println!(
+        "(feature pruning removes the text column: no tokenization, no hashing, \
+         and the scan never reads it; push-up turns the sigmoid comparison into a \
+         linear threshold)"
+    );
+}

@@ -1,0 +1,35 @@
+//! Regenerates Figure 3: ML systems in the public cloud and major
+//! companies — the feature-support matrix and its two trends.
+
+use flock_bench::{fig3, render_table};
+
+fn main() {
+    println!("Figure 3 — ML systems feature-support matrix");
+    println!("(encoded landscape data; ● good / ◐ ok / ○ no / ? unknown)\n");
+    let r = fig3::run();
+    println!("{}", r.matrix);
+
+    let rows: Vec<Vec<String>> = r
+        .system_scores
+        .iter()
+        .map(|(name, t, s, d)| {
+            vec![
+                name.clone(),
+                format!("{t:.2}"),
+                format!("{s:.2}"),
+                format!("{d:.2}"),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["system", "training", "serving", "data mgmt"], &rows)
+    );
+    println!("\nTrend 1: proprietary data-management score {:.2} vs cloud {:.2}", r.proprietary_data_mgmt, r.cloud_data_mgmt);
+    println!("         (\"mature proprietary solutions have stronger support for data management\")");
+    println!(
+        "Trend 2: share of systems with any in-DB ML support: {:.0}%",
+        100.0 * r.in_db_ml_share
+    );
+    println!("         (\"providing complete and usable third-party solutions in this space is non-trivial\")");
+}

@@ -1,0 +1,70 @@
+//! Figure 2: notebook coverage (%) for top-K packages, 2017 vs 2019.
+
+use flock_corpus::notebooks::{NotebookCorpus, SnapshotParams, FIGURE2_KS};
+
+/// One point of the figure.
+#[derive(Debug, Clone)]
+pub struct CoveragePoint {
+    pub k: usize,
+    pub pct_2017: f64,
+    pub pct_2019: f64,
+}
+
+/// Summary of the two corpora plus the curve.
+#[derive(Debug, Clone)]
+pub struct Fig2Result {
+    pub notebooks_per_corpus: usize,
+    pub packages_2017: usize,
+    pub packages_2019: usize,
+    pub points: Vec<CoveragePoint>,
+}
+
+impl Fig2Result {
+    pub fn top10_shift(&self) -> f64 {
+        self.points
+            .iter()
+            .find(|p| p.k == 10)
+            .map(|p| p.pct_2019 - p.pct_2017)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Run the Figure-2 analysis at the given corpus size.
+pub fn run(notebooks: usize) -> Fig2Result {
+    let c2017 = NotebookCorpus::generate(SnapshotParams::year_2017(notebooks));
+    let c2019 = NotebookCorpus::generate(SnapshotParams::year_2019(notebooks));
+    let points = FIGURE2_KS
+        .iter()
+        .map(|&k| CoveragePoint {
+            k,
+            pct_2017: c2017.coverage(k),
+            pct_2019: c2019.coverage(k),
+        })
+        .collect();
+    Fig2Result {
+        notebooks_per_corpus: notebooks,
+        packages_2017: c2017.params.packages,
+        packages_2019: c2019.params.packages,
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_two_shape_holds() {
+        let r = run(10_000);
+        // Total: 3x more packages
+        assert_eq!(r.packages_2019, 3 * r.packages_2017);
+        // Top-10: ~5% more coverage
+        let shift = r.top10_shift();
+        assert!(shift > 2.0 && shift < 12.0, "shift {shift}");
+        // curves monotone
+        for w in r.points.windows(2) {
+            assert!(w[1].pct_2017 >= w[0].pct_2017);
+            assert!(w[1].pct_2019 >= w[0].pct_2019);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Figure 3: the ML-systems feature matrix and its two headline trends.
+
+use flock_corpus::landscape::{self, Area, SYSTEMS};
+
+/// The rendered matrix plus the computed trends.
+#[derive(Debug, Clone)]
+pub struct Fig3Result {
+    pub matrix: String,
+    pub proprietary_data_mgmt: f64,
+    pub cloud_data_mgmt: f64,
+    pub in_db_ml_share: f64,
+    /// Per-system (name, training, serving, data-management) scores.
+    pub system_scores: Vec<(String, f64, f64, f64)>,
+}
+
+pub fn run() -> Fig3Result {
+    let trends = landscape::trends();
+    let system_scores = SYSTEMS
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            (
+                s.name.to_string(),
+                landscape::area_score(i, Area::Training),
+                landscape::area_score(i, Area::Serving),
+                landscape::area_score(i, Area::DataManagement),
+            )
+        })
+        .collect();
+    Fig3Result {
+        matrix: landscape::render_matrix(),
+        proprietary_data_mgmt: trends.proprietary_data_mgmt,
+        cloud_data_mgmt: trends.cloud_data_mgmt,
+        in_db_ml_share: trends.in_db_ml_share,
+        system_scores,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trends_match_paper_observations() {
+        let r = run();
+        assert!(r.proprietary_data_mgmt > r.cloud_data_mgmt);
+        assert!(r.in_db_ml_share < 0.5);
+        assert_eq!(r.system_scores.len(), 6);
+        assert!(r.matrix.contains("In-DB ML"));
+    }
+}

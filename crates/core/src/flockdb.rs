@@ -1,0 +1,897 @@
+//! `FlockDb`: the paper's architecture assembled — a DBMS whose catalog
+//! stores models as versioned, securable derived data, whose queries can
+//! score them with `PREDICT`, and whose planner runs the cross-optimizer.
+
+use crate::meta::{Lineage, ModelMetadata};
+use crate::provider::FlockInferenceProvider;
+use crate::registry::{ModelRegistry, RegisteredModel};
+use crate::xopt::{CrossOptimizer, XOptConfig};
+use flock_ml::{
+    fonnx, train, ColumnPipeline, Frame, FrameCol, Matrix, NumericStep, Pipeline,
+};
+use flock_sql::engine::QueryResult;
+use flock_sql::lexer::{tokenize, Token};
+use flock_sql::{Database, DataType, RecordBatch, Result, Schema, Session, SqlError, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The extension-object kind under which models are stored.
+pub const MODEL_KIND: &str = "model";
+
+/// A portable, self-contained model artifact: FONNX payload plus the
+/// catalog metadata (inputs, output, kind, lineage). Serializable, so it
+/// can cross process/machine boundaries — the train-in-cloud /
+/// score-at-the-edge hand-off.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ModelPackage {
+    pub name: String,
+    pub version: u64,
+    pub payload: Vec<u8>,
+    pub metadata: serde_json::Value,
+}
+
+impl ModelPackage {
+    /// Serialize the package (for files / network transfer).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("package serializes")
+    }
+
+    pub fn from_bytes(bytes: &[u8]) -> Result<ModelPackage> {
+        serde_json::from_slice(bytes)
+            .map_err(|e| SqlError::Execution(format!("invalid model package: {e}")))
+    }
+}
+
+/// A Flock database: SQL engine + model registry + cross-optimizer.
+#[derive(Clone)]
+pub struct FlockDb {
+    db: Database,
+    registry: Arc<ModelRegistry>,
+    xopt: Arc<CrossOptimizer>,
+    provider: Arc<FlockInferenceProvider>,
+}
+
+impl Default for FlockDb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlockDb {
+    pub fn new() -> Self {
+        Self::with_config(XOptConfig::default())
+    }
+
+    pub fn with_config(config: XOptConfig) -> Self {
+        let db = Database::new();
+        let registry = Arc::new(ModelRegistry::new());
+        let provider = Arc::new(FlockInferenceProvider::new(registry.clone()));
+        db.set_inference_provider(provider.clone());
+        let xopt = Arc::new(CrossOptimizer::new(registry.clone(), config));
+        db.add_plan_rewriter(xopt.clone());
+        FlockDb {
+            db,
+            registry,
+            xopt,
+            provider,
+        }
+    }
+
+    /// The underlying SQL engine.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    pub fn provider(&self) -> &Arc<FlockInferenceProvider> {
+        &self.provider
+    }
+
+    pub fn xopt_config(&self) -> XOptConfig {
+        self.xopt.config()
+    }
+
+    pub fn set_xopt_config(&self, config: XOptConfig) {
+        self.xopt.set_config(config);
+    }
+
+    /// Open a session as `user`.
+    pub fn session(&self, user: &str) -> FlockSession {
+        FlockSession {
+            inner: self.db.session(user),
+            flock: self.clone(),
+        }
+    }
+
+    /// Convenience: execute as admin.
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        self.session("admin").execute(sql)
+    }
+
+    /// Convenience: query as admin.
+    pub fn query(&self, sql: &str) -> Result<RecordBatch> {
+        self.session("admin").query(sql)
+    }
+
+    /// Reconcile the scoring registry with the committed catalog. Called
+    /// after every statement; cheap when nothing changed.
+    pub fn sync_registry(&self) {
+        let catalog = self.db.catalog();
+        let mut live: Vec<String> = Vec::new();
+        for obj in catalog.extensions_of_kind(MODEL_KIND) {
+            live.push(obj.name.clone());
+            let current = obj.current();
+            let stale = self
+                .registry
+                .get(&obj.name)
+                .is_none_or(|m| m.version != current.version);
+            if !stale {
+                continue;
+            }
+            let Ok(pipeline) = fonnx::from_bytes(&current.payload) else {
+                continue; // undecodable payloads stay unscorable
+            };
+            let metadata = ModelMetadata::from_json(&current.metadata).unwrap_or_else(|| {
+                ModelMetadata {
+                    name: obj.name.clone(),
+                    inputs: pipeline
+                        .columns
+                        .iter()
+                        .map(|c| (c.input.clone(), c.encoder.takes_strings()))
+                        .collect(),
+                    output: pipeline.output.clone(),
+                    kind: pipeline.model.kind_name().to_string(),
+                    complexity: pipeline.complexity(),
+                    lineage: Lineage::default(),
+                }
+            });
+            self.registry.insert(
+                &obj.name,
+                RegisteredModel {
+                    pipeline: Arc::new(pipeline),
+                    metadata: Arc::new(metadata),
+                    version: current.version,
+                },
+            );
+        }
+        for name in self.registry.names() {
+            if !live.contains(&name) {
+                self.registry.remove(&name);
+            }
+        }
+    }
+
+    /// Fetch the metadata of a deployed model.
+    pub fn model_metadata(&self, name: &str) -> Result<Arc<ModelMetadata>> {
+        self.registry
+            .get(name)
+            .map(|m| m.metadata)
+            .ok_or_else(|| SqlError::Catalog(format!("model '{name}' is not deployed")))
+    }
+}
+
+/// A session against a Flock database: plain SQL plus the model DDL
+/// (`CREATE MODEL`, `DROP MODEL`, `SHOW MODELS`) and Rust-level
+/// deployment APIs.
+pub struct FlockSession {
+    inner: Session,
+    flock: FlockDb,
+}
+
+impl FlockSession {
+    pub fn user(&self) -> &str {
+        self.inner.user()
+    }
+
+    pub fn in_transaction(&self) -> bool {
+        self.inner.in_transaction()
+    }
+
+    /// Execute one statement (SQL or Flock model DDL).
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        let trimmed = sql.trim().trim_end_matches(';');
+        let upper = trimmed.to_ascii_uppercase();
+        let result = if upper.starts_with("CREATE MODEL") {
+            self.create_model(trimmed)
+        } else if upper.starts_with("DROP MODEL") {
+            self.drop_model(trimmed)
+        } else if upper.starts_with("SHOW MODELS") {
+            self.show_models()
+        } else if upper.starts_with("DESCRIBE MODEL") || upper.starts_with("DESC MODEL") {
+            self.describe_model(trimmed)
+        } else {
+            self.inner.execute(sql)
+        };
+        self.flock.sync_registry();
+        result
+    }
+
+    pub fn query(&mut self, sql: &str) -> Result<RecordBatch> {
+        self.execute(sql)?
+            .batch
+            .ok_or_else(|| SqlError::Execution("statement returned no rows".into()))
+    }
+
+    pub fn execute_with_params(&mut self, sql: &str, params: &[Value]) -> Result<QueryResult> {
+        let r = self.inner.execute_with_params(sql, params);
+        self.flock.sync_registry();
+        r
+    }
+
+    /// Deploy a pipeline as a new model (version 1).
+    pub fn deploy_model(
+        &mut self,
+        name: &str,
+        pipeline: &Pipeline,
+        lineage: Lineage,
+    ) -> Result<()> {
+        let payload =
+            fonnx::to_bytes(pipeline).map_err(|e| SqlError::Execution(e.to_string()))?;
+        let metadata = metadata_for(name, pipeline, lineage);
+        self.inner.create_extension_object(
+            MODEL_KIND,
+            name,
+            payload,
+            metadata.to_json(),
+        )?;
+        self.flock.sync_registry();
+        Ok(())
+    }
+
+    /// Deploy a new version of an existing model. Multiple updates inside
+    /// one BEGIN/COMMIT apply atomically — the paper's "multiple models
+    /// might have to be updated transactionally".
+    pub fn update_model(
+        &mut self,
+        name: &str,
+        pipeline: &Pipeline,
+        lineage: Lineage,
+    ) -> Result<u64> {
+        let payload =
+            fonnx::to_bytes(pipeline).map_err(|e| SqlError::Execution(e.to_string()))?;
+        let metadata = metadata_for(name, pipeline, lineage);
+        let v = self.inner.update_extension_object(
+            MODEL_KIND,
+            name,
+            payload,
+            metadata.to_json(),
+        )?;
+        self.flock.sync_registry();
+        Ok(v)
+    }
+
+    /// Bulk-append a prepared batch (fast load path).
+    pub fn append_batch(&mut self, table: &str, batch: RecordBatch) -> Result<u64> {
+        self.inner.append_batch(table, batch)
+    }
+
+    /// Low-latency single-decision scoring: one prediction, in-process,
+    /// no SQL round-trip. This is the serving path for the paper's
+    /// "latency-sensitive decisions \[that\] are poorly served" by
+    /// containerized HTTP scoring — the model lives where the application
+    /// logic runs, governed by the same catalog ACLs.
+    pub fn predict_one(&mut self, model: &str, inputs: &[Value]) -> Result<f64> {
+        use flock_sql::udf::InferenceProvider;
+        let catalog = self.flock.db.catalog();
+        catalog.access.check(
+            self.user(),
+            &flock_sql::ObjectRef::extension(model),
+            flock_sql::Privilege::Execute,
+        )?;
+        let entry = self
+            .flock
+            .registry
+            .get(model)
+            .ok_or_else(|| SqlError::Catalog(format!("model '{model}' is not deployed")))?;
+        if inputs.len() != entry.pipeline.columns.len() {
+            return Err(SqlError::Execution(format!(
+                "model '{model}' expects {} inputs, got {}",
+                entry.pipeline.columns.len(),
+                inputs.len()
+            )));
+        }
+        let mut columns = Vec::with_capacity(inputs.len());
+        for (i, v) in inputs.iter().enumerate() {
+            let ty = if entry.pipeline.input_is_text(i) {
+                DataType::Text
+            } else {
+                DataType::Float
+            };
+            columns.push(flock_sql::ColumnVector::from_values(
+                ty,
+                std::slice::from_ref(v),
+            )?);
+        }
+        let out = self.flock.provider.predict(
+            model,
+            &columns,
+            flock_sql::ast::PredictStrategy::Vectorized,
+            self.user(),
+        )?;
+        out.get(0)
+            .as_f64()
+            .ok_or_else(|| SqlError::Execution("model produced no score".into()))
+    }
+
+    /// Export a deployed model as a self-contained FONNX package (payload
+    /// plus metadata) — the portable artifact of the paper's "train in
+    /// the cloud, score everywhere: in the cloud, on-prem, and on edge
+    /// devices". Requires SELECT on the model object.
+    pub fn export_model(&mut self, name: &str) -> Result<ModelPackage> {
+        let catalog = self.flock.db.catalog();
+        catalog.access.check(
+            self.user(),
+            &flock_sql::ObjectRef::extension(name),
+            flock_sql::Privilege::Select,
+        )?;
+        let obj = catalog.extension(MODEL_KIND, name)?;
+        let current = obj.current();
+        Ok(ModelPackage {
+            name: obj.name.clone(),
+            version: current.version,
+            payload: current.payload.clone(),
+            metadata: current.metadata.clone(),
+        })
+    }
+
+    /// Import a model package (e.g. trained in a cloud instance) into this
+    /// database, preserving its lineage. The inference pipeline behaves
+    /// bit-identically — "packaging the entire inference pipeline in a way
+    /// that preserves the exact behavior crafted in the training
+    /// environment".
+    pub fn import_model(&mut self, package: &ModelPackage) -> Result<()> {
+        // validate the payload decodes before it enters the catalog
+        fonnx::from_bytes(&package.payload)
+            .map_err(|e| SqlError::Execution(format!("invalid FONNX payload: {e}")))?;
+        self.inner.create_extension_object(
+            MODEL_KIND,
+            &package.name,
+            package.payload.clone(),
+            package.metadata.clone(),
+        )?;
+        self.flock.sync_registry();
+        Ok(())
+    }
+
+    /// Validate a candidate pipeline against labelled data *before*
+    /// deployment (the Figure-3 "Model Validation" capability; the paper:
+    /// "'average model accuracy' is not a sufficient validation metric" —
+    /// so the full metric set is returned for the caller's gate).
+    /// Reads go through the session, so ACLs and the query log apply.
+    pub fn validate_pipeline(
+        &mut self,
+        pipeline: &Pipeline,
+        table: &str,
+        label_column: &str,
+    ) -> Result<BTreeMap<String, f64>> {
+        let mut cols: Vec<String> =
+            pipeline.columns.iter().map(|c| c.input.clone()).collect();
+        cols.push(label_column.to_string());
+        let batch = self
+            .inner
+            .query(&format!("SELECT {} FROM {table}", cols.join(", ")))?;
+
+        let mut frame = Frame::new();
+        for (i, cp) in pipeline.columns.iter().enumerate() {
+            let col = batch.column(i);
+            let fc = if pipeline.input_is_text(i) {
+                FrameCol::Str(
+                    (0..col.len())
+                        .map(|r| {
+                            let v = col.get(r);
+                            if v.is_null() { String::new() } else { v.to_string() }
+                        })
+                        .collect(),
+                )
+            } else {
+                FrameCol::F64(
+                    (0..col.len())
+                        .map(|r| col.get_f64(r).unwrap_or(f64::NAN))
+                        .collect(),
+                )
+            };
+            frame
+                .push(cp.input.clone(), fc)
+                .map_err(|e| SqlError::Execution(e.to_string()))?;
+        }
+        let label_col = batch.column(batch.num_columns() - 1);
+        let labels: Vec<f64> = (0..label_col.len())
+            .map(|r| label_col.get_f64(r).unwrap_or(f64::NAN))
+            .collect();
+        let scores = flock_ml::StandaloneRuntime::new()
+            .score(pipeline, &frame)
+            .map_err(|e| SqlError::Execution(e.to_string()))?;
+
+        let keep: Vec<usize> = (0..labels.len()).filter(|&i| !labels[i].is_nan()).collect();
+        if keep.is_empty() {
+            return Err(SqlError::Execution(
+                "validation set has no labelled rows".into(),
+            ));
+        }
+        let y: Vec<f64> = keep.iter().map(|&i| labels[i]).collect();
+        let p: Vec<f64> = keep.iter().map(|&i| scores[i]).collect();
+        let mut metrics = BTreeMap::new();
+        if y.iter().all(|v| *v == 0.0 || *v == 1.0) {
+            metrics.insert("accuracy".into(), flock_ml::metrics::accuracy(&p, &y, 0.5));
+            metrics.insert("auc".into(), flock_ml::metrics::auc(&p, &y));
+        } else {
+            metrics.insert("rmse".into(), flock_ml::metrics::rmse(&p, &y));
+            metrics.insert("r2".into(), flock_ml::metrics::r2(&p, &y));
+        }
+        metrics.insert("validation_rows".into(), y.len() as f64);
+        Ok(metrics)
+    }
+
+    /// Deploy a new model version only if it clears a validation gate:
+    /// `metric >= threshold` on the given labelled table. On failure the
+    /// current version stays live and an error is returned.
+    #[allow(clippy::too_many_arguments)]
+    pub fn update_model_gated(
+        &mut self,
+        name: &str,
+        pipeline: &Pipeline,
+        mut lineage: Lineage,
+        validation_table: &str,
+        label_column: &str,
+        metric: &str,
+        threshold: f64,
+    ) -> Result<u64> {
+        let metrics = self.validate_pipeline(pipeline, validation_table, label_column)?;
+        let value = *metrics.get(metric).ok_or_else(|| {
+            SqlError::Execution(format!(
+                "validation did not produce metric '{metric}' (have: {:?})",
+                metrics.keys().collect::<Vec<_>>()
+            ))
+        })?;
+        if value < threshold {
+            return Err(SqlError::Execution(format!(
+                "validation gate failed: {metric} = {value:.4} < {threshold:.4}; \
+                 current version stays live"
+            )));
+        }
+        lineage.metrics.extend(metrics);
+        self.update_model(name, pipeline, lineage)
+    }
+
+    pub fn begin(&mut self) -> Result<QueryResult> {
+        self.inner.begin()
+    }
+
+    pub fn commit(&mut self) -> Result<QueryResult> {
+        let r = self.inner.commit();
+        self.flock.sync_registry();
+        r
+    }
+
+    pub fn rollback(&mut self) -> Result<QueryResult> {
+        let r = self.inner.rollback();
+        self.flock.sync_registry();
+        r
+    }
+
+    // ------------------------------------------------------ model DDL
+
+    /// `CREATE MODEL name KIND kind FROM table TARGET col
+    ///  [FEATURES c1, c2, ...] [OUTPUT out_name]`
+    ///
+    /// Trains in-engine on the *current committed version* of the table
+    /// and records full lineage (table, version, statement, user,
+    /// metrics) — the "model is software derived from data" record.
+    fn create_model(&mut self, sql: &str) -> Result<QueryResult> {
+        let spec = parse_create_model(sql)?;
+        // Read training data through the engine: privilege-checked and
+        // query-logged like any other read.
+        let feature_list = if spec.features.is_empty() {
+            "*".to_string()
+        } else {
+            let mut cols = spec.features.clone();
+            cols.push(spec.target.clone());
+            cols.join(", ")
+        };
+        let data = self
+            .inner
+            .query(&format!("SELECT {feature_list} FROM {}", spec.table))?;
+        let table_version = self
+            .flock
+            .db
+            .catalog()
+            .table(&spec.table)?
+            .current_version();
+
+        let (pipeline, metrics) = train_pipeline(&data, &spec)?;
+        let lineage = Lineage {
+            training_table: Some(spec.table.to_ascii_lowercase()),
+            training_table_version: Some(table_version),
+            training_query: Some(sql.to_string()),
+            trained_by: self.user().to_string(),
+            created_ms: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0),
+            metrics,
+        };
+        self.deploy_model(&spec.name, &pipeline, lineage)?;
+        Ok(QueryResult {
+            batch: None,
+            rows_affected: 0,
+            message: format!(
+                "model '{}' trained on {} row(s) of '{}' v{} and deployed",
+                spec.name,
+                data.num_rows(),
+                spec.table,
+                table_version
+            ),
+        })
+    }
+
+    fn drop_model(&mut self, sql: &str) -> Result<QueryResult> {
+        let tokens = tokenize(sql)?;
+        // DROP MODEL <name>
+        let name = match tokens.get(2) {
+            Some(Token::Ident(s)) | Some(Token::QuotedIdent(s)) => s.clone(),
+            _ => return Err(SqlError::Parse("expected DROP MODEL <name>".into())),
+        };
+        self.inner.drop_extension_object(MODEL_KIND, &name)?;
+        self.flock.sync_registry();
+        Ok(QueryResult {
+            batch: None,
+            rows_affected: 0,
+            message: format!("model '{name}' dropped"),
+        })
+    }
+
+    /// `DESCRIBE MODEL <name>` — the governance card for one model: every
+    /// version with its kind, complexity, trainer, training snapshot and
+    /// recorded quality metrics.
+    fn describe_model(&mut self, sql: &str) -> Result<QueryResult> {
+        let tokens = tokenize(sql)?;
+        let name = match tokens.get(2) {
+            Some(Token::Ident(s)) | Some(Token::QuotedIdent(s)) => s.clone(),
+            _ => return Err(SqlError::Parse("expected DESCRIBE MODEL <name>".into())),
+        };
+        let catalog = self.flock.db.catalog();
+        let obj = catalog.extension(MODEL_KIND, &name)?;
+        let schema = Arc::new(Schema::from_pairs(&[
+            ("version", DataType::Int),
+            ("kind", DataType::Text),
+            ("inputs", DataType::Text),
+            ("output", DataType::Text),
+            ("complexity", DataType::Int),
+            ("trained_by", DataType::Text),
+            ("training_table", DataType::Text),
+            ("table_version", DataType::Int),
+            ("metrics", DataType::Text),
+        ]));
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        for version in &obj.versions {
+            let md = ModelMetadata::from_json(&version.metadata);
+            let row = match md {
+                Some(m) => vec![
+                    Value::Int(version.version as i64),
+                    Value::Text(m.kind),
+                    Value::Text(
+                        m.inputs
+                            .iter()
+                            .map(|(n, _)| n.as_str())
+                            .collect::<Vec<_>>()
+                            .join(","),
+                    ),
+                    Value::Text(m.output),
+                    Value::Int(m.complexity as i64),
+                    Value::Text(m.lineage.trained_by),
+                    Value::Text(m.lineage.training_table.unwrap_or_default()),
+                    m.lineage
+                        .training_table_version
+                        .map(|v| Value::Int(v as i64))
+                        .unwrap_or(Value::Null),
+                    Value::Text(
+                        m.lineage
+                            .metrics
+                            .iter()
+                            .map(|(k, v)| format!("{k}={v:.4}"))
+                            .collect::<Vec<_>>()
+                            .join(" "),
+                    ),
+                ],
+                None => vec![
+                    Value::Int(version.version as i64),
+                    Value::Null,
+                    Value::Null,
+                    Value::Null,
+                    Value::Null,
+                    Value::Null,
+                    Value::Null,
+                    Value::Null,
+                    Value::Null,
+                ],
+            };
+            rows.push(row);
+        }
+        let batch = RecordBatch::from_rows(schema, &rows)?;
+        Ok(QueryResult {
+            rows_affected: batch.num_rows(),
+            batch: Some(batch),
+            message: format!("DESCRIBE MODEL {name}"),
+        })
+    }
+
+    fn show_models(&mut self) -> Result<QueryResult> {
+        let catalog = self.flock.db.catalog();
+        let schema = Arc::new(Schema::from_pairs(&[
+            ("name", DataType::Text),
+            ("kind", DataType::Text),
+            ("version", DataType::Int),
+            ("owner", DataType::Text),
+            ("inputs", DataType::Text),
+            ("output", DataType::Text),
+            ("complexity", DataType::Int),
+            ("training_table", DataType::Text),
+            ("training_table_version", DataType::Int),
+        ]));
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        for obj in catalog.extensions_of_kind(MODEL_KIND) {
+            let md = ModelMetadata::from_json(&obj.current().metadata);
+            let (kind, inputs, output, complexity, ttable, tver) = match &md {
+                Some(m) => (
+                    m.kind.clone(),
+                    m.inputs
+                        .iter()
+                        .map(|(n, _)| n.as_str())
+                        .collect::<Vec<_>>()
+                        .join(","),
+                    m.output.clone(),
+                    m.complexity as i64,
+                    m.lineage.training_table.clone().unwrap_or_default(),
+                    m.lineage
+                        .training_table_version
+                        .map(|v| Value::Int(v as i64))
+                        .unwrap_or(Value::Null),
+                ),
+                None => (String::new(), String::new(), String::new(), 0, String::new(), Value::Null),
+            };
+            rows.push(vec![
+                Value::Text(obj.name.clone()),
+                Value::Text(kind),
+                Value::Int(obj.current().version as i64),
+                Value::Text(obj.owner.clone()),
+                Value::Text(inputs),
+                Value::Text(output),
+                Value::Int(complexity),
+                Value::Text(ttable),
+                tver,
+            ]);
+        }
+        let batch = RecordBatch::from_rows(schema, &rows)?;
+        Ok(QueryResult {
+            rows_affected: batch.num_rows(),
+            batch: Some(batch),
+            message: "SHOW MODELS".into(),
+        })
+    }
+}
+
+fn metadata_for(name: &str, pipeline: &Pipeline, lineage: Lineage) -> ModelMetadata {
+    ModelMetadata {
+        name: name.to_ascii_lowercase(),
+        inputs: pipeline
+            .columns
+            .iter()
+            .map(|c| (c.input.clone(), c.encoder.takes_strings()))
+            .collect(),
+        output: pipeline.output.clone(),
+        kind: pipeline.model.kind_name().to_string(),
+        complexity: pipeline.complexity(),
+        lineage,
+    }
+}
+
+struct CreateModelSpec {
+    name: String,
+    kind: String,
+    table: String,
+    target: String,
+    features: Vec<String>,
+    output: String,
+}
+
+fn parse_create_model(sql: &str) -> Result<CreateModelSpec> {
+    let tokens = tokenize(sql)?;
+    let mut pos = 0usize;
+    let expect_kw = |kw: &str, pos: &mut usize| -> Result<()> {
+        match tokens.get(*pos) {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => {
+                *pos += 1;
+                Ok(())
+            }
+            other => Err(SqlError::Parse(format!(
+                "expected {kw} in CREATE MODEL, found {other:?}"
+            ))),
+        }
+    };
+    let ident = |pos: &mut usize| -> Result<String> {
+        match tokens.get(*pos) {
+            Some(Token::Ident(s)) | Some(Token::QuotedIdent(s)) => {
+                *pos += 1;
+                Ok(s.clone())
+            }
+            other => Err(SqlError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    };
+    expect_kw("CREATE", &mut pos)?;
+    expect_kw("MODEL", &mut pos)?;
+    let name = ident(&mut pos)?;
+    expect_kw("KIND", &mut pos)?;
+    let kind = ident(&mut pos)?.to_ascii_lowercase();
+    expect_kw("FROM", &mut pos)?;
+    let table = ident(&mut pos)?;
+    expect_kw("TARGET", &mut pos)?;
+    let target = ident(&mut pos)?;
+    let mut features = Vec::new();
+    let mut output = format!("{}_score", name.to_ascii_lowercase());
+    while let Some(Token::Ident(kw)) = tokens.get(pos) {
+        if kw.eq_ignore_ascii_case("FEATURES") {
+            pos += 1;
+            features.push(ident(&mut pos)?);
+            while tokens.get(pos) == Some(&Token::Comma) {
+                pos += 1;
+                features.push(ident(&mut pos)?);
+            }
+        } else if kw.eq_ignore_ascii_case("OUTPUT") {
+            pos += 1;
+            output = ident(&mut pos)?;
+        } else {
+            return Err(SqlError::Parse(format!(
+                "unexpected '{kw}' in CREATE MODEL"
+            )));
+        }
+    }
+    match tokens.get(pos) {
+        Some(Token::Eof) | Some(Token::Semicolon) | None => {}
+        other => {
+            return Err(SqlError::Parse(format!(
+                "trailing input in CREATE MODEL: {other:?}"
+            )))
+        }
+    }
+    Ok(CreateModelSpec {
+        name,
+        kind,
+        table,
+        target,
+        features,
+        output,
+    })
+}
+
+/// Auto-featurize a training batch and fit the requested model kind.
+fn train_pipeline(
+    data: &RecordBatch,
+    spec: &CreateModelSpec,
+) -> Result<(Pipeline, BTreeMap<String, f64>)> {
+    let schema = data.schema();
+    let target_idx = schema
+        .index_of(&spec.target)
+        .ok_or_else(|| SqlError::Plan(format!("unknown target column '{}'", spec.target)))?;
+
+    // Feature columns: declared list, or everything except the target.
+    let feature_indices: Vec<usize> = if spec.features.is_empty() {
+        (0..schema.len()).filter(|&i| i != target_idx).collect()
+    } else {
+        spec.features
+            .iter()
+            .map(|f| {
+                schema
+                    .index_of(f)
+                    .ok_or_else(|| SqlError::Plan(format!("unknown feature column '{f}'")))
+            })
+            .collect::<Result<_>>()?
+    };
+    if feature_indices.is_empty() {
+        return Err(SqlError::Plan("model needs at least one feature".into()));
+    }
+
+    // Build frame + column pipelines.
+    let mut frame = Frame::new();
+    let mut columns: Vec<ColumnPipeline> = Vec::new();
+    for &i in &feature_indices {
+        let col = data.column(i);
+        let name = schema.column(i).name.clone();
+        match col.data_type() {
+            DataType::Text => {
+                let vals: Vec<String> = (0..col.len())
+                    .map(|r| {
+                        let v = col.get(r);
+                        if v.is_null() {
+                            String::new()
+                        } else {
+                            v.to_string()
+                        }
+                    })
+                    .collect();
+                let mut cats: Vec<String> = vals.clone();
+                cats.sort();
+                cats.dedup();
+                cats.truncate(64);
+                frame
+                    .push(name.clone(), FrameCol::Str(vals))
+                    .map_err(|e| SqlError::Execution(e.to_string()))?;
+                columns.push(ColumnPipeline::one_hot(name, cats));
+            }
+            _ => {
+                let vals: Vec<f64> = (0..col.len())
+                    .map(|r| col.get_f64(r).unwrap_or(f64::NAN))
+                    .collect();
+                let clean: Vec<f64> = vals.iter().copied().filter(|v| !v.is_nan()).collect();
+                let mean = if clean.is_empty() {
+                    0.0
+                } else {
+                    clean.iter().sum::<f64>() / clean.len() as f64
+                };
+                let std = if clean.is_empty() {
+                    1.0
+                } else {
+                    (clean.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                        / clean.len() as f64)
+                        .sqrt()
+                };
+                frame
+                    .push(name.clone(), FrameCol::F64(vals))
+                    .map_err(|e| SqlError::Execution(e.to_string()))?;
+                columns.push(
+                    ColumnPipeline::numeric(name)
+                        .with_step(NumericStep::Impute { fill: mean })
+                        .with_step(NumericStep::Standardize {
+                            mean,
+                            std: if std == 0.0 { 1.0 } else { std },
+                        }),
+                );
+            }
+        }
+    }
+
+    let target_col = data.column(target_idx);
+    let y: Vec<f64> = (0..target_col.len())
+        .map(|r| target_col.get_f64(r).unwrap_or(f64::NAN))
+        .collect();
+    // drop rows with missing target
+    let keep: Vec<usize> = (0..y.len()).filter(|&i| !y[i].is_nan()).collect();
+    if keep.is_empty() {
+        return Err(SqlError::Execution("no training rows with a target".into()));
+    }
+
+    let draft = Pipeline::new(columns.clone(), flock_ml::Model::Linear(
+        flock_ml::LinearModel::new(vec![], 0.0),
+    ), spec.output.clone());
+    let full_x = draft
+        .featurize(&frame)
+        .map_err(|e| SqlError::Execution(e.to_string()))?;
+    let x_rows: Vec<Vec<f64>> = keep.iter().map(|&i| full_x.row(i).to_vec()).collect();
+    let x = Matrix::from_rows(&x_rows);
+    let y_kept: Vec<f64> = keep.iter().map(|&i| y[i]).collect();
+
+    let model = train::fit_model(&spec.kind, &x, &y_kept)
+        .map_err(|e| SqlError::Execution(e.to_string()))?;
+    let pipeline = Pipeline::new(columns, model, spec.output.clone());
+
+    // quality metrics on the training data
+    let pred = pipeline.model.score_batch(&x);
+    let mut metrics = BTreeMap::new();
+    let is_binary = y_kept.iter().all(|v| *v == 0.0 || *v == 1.0);
+    if is_binary {
+        metrics.insert(
+            "accuracy".to_string(),
+            flock_ml::metrics::accuracy(&pred, &y_kept, 0.5),
+        );
+        metrics.insert("auc".to_string(), flock_ml::metrics::auc(&pred, &y_kept));
+    } else {
+        metrics.insert("rmse".to_string(), flock_ml::metrics::rmse(&pred, &y_kept));
+        metrics.insert("r2".to_string(), flock_ml::metrics::r2(&pred, &y_kept));
+    }
+    metrics.insert("training_rows".to_string(), y_kept.len() as f64);
+    Ok((pipeline, metrics))
+}

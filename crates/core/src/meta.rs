@@ -1,0 +1,83 @@
+//! Model metadata: the "models are derived data" record.
+//!
+//! Every deployed model carries its full lineage — which table (and which
+//! *version* of it) it was trained on, by whom, with what statement, and
+//! with what quality metrics. This is the paper's §4.2 requirement that
+//! "the full provenance of a model must be known for debugging/auditing".
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Where a model came from.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Lineage {
+    /// Table the training data was read from, if trained in-engine.
+    pub training_table: Option<String>,
+    /// Exact version of that table at training time.
+    pub training_table_version: Option<u64>,
+    /// The statement or description that produced the model.
+    pub training_query: Option<String>,
+    /// User who trained/deployed the model.
+    pub trained_by: String,
+    /// Wall-clock creation time (ms since epoch).
+    pub created_ms: u64,
+    /// Quality metrics recorded at training time.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// Catalog-visible description of a deployed model version.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelMetadata {
+    pub name: String,
+    /// Input column names, in PREDICT argument order, with a text flag.
+    pub inputs: Vec<(String, bool)>,
+    /// Output column name.
+    pub output: String,
+    /// Model family, e.g. "gbt".
+    pub kind: String,
+    /// Model complexity (weights / tree nodes) for optimizer costing.
+    pub complexity: usize,
+    pub lineage: Lineage,
+}
+
+impl ModelMetadata {
+    /// Serialize for storage in the catalog extension object.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::to_value(self).expect("metadata serializes")
+    }
+
+    pub fn from_json(v: &serde_json::Value) -> Option<ModelMetadata> {
+        serde_json::from_value(v.clone()).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip() {
+        let m = ModelMetadata {
+            name: "churn".into(),
+            inputs: vec![("age".into(), false), ("city".into(), true)],
+            output: "p_churn".into(),
+            kind: "logistic".into(),
+            complexity: 12,
+            lineage: Lineage {
+                training_table: Some("customers".into()),
+                training_table_version: Some(7),
+                training_query: Some("CREATE MODEL churn ...".into()),
+                trained_by: "alice".into(),
+                created_ms: 123,
+                metrics: BTreeMap::from([("auc".to_string(), 0.91)]),
+            },
+        };
+        let back = ModelMetadata::from_json(&m.to_json()).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn malformed_json_is_none() {
+        assert!(ModelMetadata::from_json(&serde_json::json!({"nope": 1})).is_none());
+    }
+}

@@ -1,0 +1,256 @@
+//! The inference provider: scores registered models inside query
+//! execution, implementing the engine's PREDICT extension point.
+
+use crate::registry::ModelRegistry;
+use flock_ml::{interpreted_score, Frame, FrameCol, Pipeline, StandaloneRuntime};
+use flock_sql::ast::PredictStrategy;
+use flock_sql::udf::InferenceProvider;
+use flock_sql::{ColumnVector, DataType, SqlError};
+use std::sync::Arc;
+
+/// Scoring statistics (how many rows went through each strategy) — used by
+/// tests and ablation reporting.
+#[derive(Debug, Default)]
+pub struct PredictStats {
+    pub row_calls: std::sync::atomic::AtomicU64,
+    pub vectorized_calls: std::sync::atomic::AtomicU64,
+    pub parallel_calls: std::sync::atomic::AtomicU64,
+    pub rows_scored: std::sync::atomic::AtomicU64,
+}
+
+/// Implements [`InferenceProvider`] over the model registry.
+pub struct FlockInferenceProvider {
+    registry: Arc<ModelRegistry>,
+    pub stats: Arc<PredictStats>,
+}
+
+impl FlockInferenceProvider {
+    pub fn new(registry: Arc<ModelRegistry>) -> Self {
+        FlockInferenceProvider {
+            registry,
+            stats: Arc::new(PredictStats::default()),
+        }
+    }
+
+    fn pipeline(&self, model: &str) -> Result<Arc<Pipeline>, SqlError> {
+        self.registry
+            .get(model)
+            .map(|m| m.pipeline)
+            .ok_or_else(|| SqlError::Catalog(format!("model '{model}' is not deployed")))
+    }
+}
+
+/// Convert PREDICT argument columns into an ML frame using the pipeline's
+/// declared input names (positional binding).
+pub fn columns_to_frame(
+    pipeline: &Pipeline,
+    inputs: &[ColumnVector],
+) -> Result<Frame, SqlError> {
+    if inputs.len() != pipeline.columns.len() {
+        return Err(SqlError::Execution(format!(
+            "model '{}' expects {} arguments, got {}",
+            pipeline.output,
+            pipeline.columns.len(),
+            inputs.len()
+        )));
+    }
+    let mut frame = Frame::new();
+    for (i, (cp, col)) in pipeline.columns.iter().zip(inputs).enumerate() {
+        let fc = if pipeline.input_is_text(i) {
+            let vals: Vec<String> = match col.as_text_slice() {
+                Some(slice) if col.null_count() == 0 => slice.to_vec(),
+                _ => (0..col.len())
+                    .map(|r| {
+                        let v = col.get(r);
+                        if v.is_null() {
+                            String::new()
+                        } else {
+                            v.to_string()
+                        }
+                    })
+                    .collect(),
+            };
+            FrameCol::Str(vals)
+        } else if let Some(slice) = col.as_f64_slice() {
+            FrameCol::F64(slice.to_vec())
+        } else {
+            let vals: Vec<f64> = (0..col.len())
+                .map(|r| col.get_f64(r).unwrap_or(f64::NAN))
+                .collect();
+            FrameCol::F64(vals)
+        };
+        frame
+            .push(cp.input.clone(), fc)
+            .map_err(|e| SqlError::Execution(e.to_string()))?;
+    }
+    Ok(frame)
+}
+
+impl InferenceProvider for FlockInferenceProvider {
+    fn output_type(&self, model: &str) -> Result<DataType, SqlError> {
+        self.pipeline(model)?;
+        // all pipelines emit a single float score
+        Ok(DataType::Float)
+    }
+
+    fn input_arity(&self, model: &str) -> Result<usize, SqlError> {
+        Ok(self.pipeline(model)?.columns.len())
+    }
+
+    fn predict(
+        &self,
+        model: &str,
+        inputs: &[ColumnVector],
+        strategy: PredictStrategy,
+        _user: &str,
+    ) -> Result<ColumnVector, SqlError> {
+        use std::sync::atomic::Ordering;
+        let pipeline = self.pipeline(model)?;
+        let frame = columns_to_frame(&pipeline, inputs)?;
+        let n = frame.num_rows();
+        self.stats.rows_scored.fetch_add(n as u64, Ordering::Relaxed);
+
+        let scores: Vec<f64> = match strategy {
+            PredictStrategy::Row => {
+                self.stats.row_calls.fetch_add(1, Ordering::Relaxed);
+                interpreted_score(&pipeline, &frame)
+                    .map_err(|e| SqlError::Execution(e.to_string()))?
+            }
+            PredictStrategy::Auto | PredictStrategy::Vectorized => {
+                self.stats.vectorized_calls.fetch_add(1, Ordering::Relaxed);
+                StandaloneRuntime::new()
+                    .score(&pipeline, &frame)
+                    .map_err(|e| SqlError::Execution(e.to_string()))?
+            }
+            PredictStrategy::Parallel(threads) => {
+                self.stats.parallel_calls.fetch_add(1, Ordering::Relaxed);
+                let threads = threads.max(1);
+                if threads == 1 || n < 2 * 1024 {
+                    StandaloneRuntime::new()
+                        .score(&pipeline, &frame)
+                        .map_err(|e| SqlError::Execution(e.to_string()))?
+                } else {
+                    let chunk_rows = n.div_ceil(threads).max(1);
+                    let chunks = frame.chunks(chunk_rows);
+                    let results: Vec<Result<Vec<f64>, flock_ml::MlError>> =
+                        crossbeam::thread::scope(|s| {
+                            let handles: Vec<_> = chunks
+                                .iter()
+                                .map(|chunk| {
+                                    let p = &pipeline;
+                                    s.spawn(move |_| StandaloneRuntime::new().score(p, chunk))
+                                })
+                                .collect();
+                            handles
+                                .into_iter()
+                                .map(|h| h.join().expect("scoring thread panicked"))
+                                .collect()
+                        })
+                        .expect("thread scope");
+                    let mut out = Vec::with_capacity(n);
+                    for r in results {
+                        out.extend(r.map_err(|e| SqlError::Execution(e.to_string()))?);
+                    }
+                    out
+                }
+            }
+        };
+        Ok(ColumnVector::from_f64(scores))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::{Lineage, ModelMetadata};
+    use crate::registry::RegisteredModel;
+    use flock_ml::{ColumnPipeline, LinearModel, Model};
+    use flock_sql::Value;
+
+    fn registry_with_model() -> Arc<ModelRegistry> {
+        let registry = Arc::new(ModelRegistry::new());
+        let pipeline = Pipeline::new(
+            vec![
+                ColumnPipeline::numeric("a"),
+                ColumnPipeline::one_hot("c", vec!["x".into(), "y".into()]),
+            ],
+            Model::Linear(LinearModel::new(vec![2.0, 10.0, 20.0], 1.0)),
+            "score",
+        );
+        registry.insert(
+            "m",
+            RegisteredModel {
+                metadata: Arc::new(ModelMetadata {
+                    name: "m".into(),
+                    inputs: vec![("a".into(), false), ("c".into(), true)],
+                    output: "score".into(),
+                    kind: "linear".into(),
+                    complexity: 3,
+                    lineage: Lineage::default(),
+                }),
+                pipeline: Arc::new(pipeline),
+                version: 1,
+            },
+        );
+        registry
+    }
+
+    #[test]
+    fn all_strategies_agree() {
+        let provider = FlockInferenceProvider::new(registry_with_model());
+        let a = ColumnVector::from_f64([1.0, 2.0, 3.0]);
+        let c = ColumnVector::from_values(
+            DataType::Text,
+            &[
+                Value::Text("x".into()),
+                Value::Text("y".into()),
+                Value::Text("?".into()),
+            ],
+        )
+        .unwrap();
+        let inputs = [a, c];
+        let expected = [13.0, 25.0, 7.0];
+        for strategy in [
+            PredictStrategy::Row,
+            PredictStrategy::Vectorized,
+            PredictStrategy::Parallel(4),
+        ] {
+            let out = provider.predict("m", &inputs, strategy, "admin").unwrap();
+            for (i, e) in expected.iter().enumerate() {
+                assert_eq!(out.get(i), Value::Float(*e), "{strategy:?}");
+            }
+        }
+        use std::sync::atomic::Ordering;
+        assert_eq!(provider.stats.rows_scored.load(Ordering::Relaxed), 9);
+        assert_eq!(provider.stats.row_calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn unknown_model_and_arity_errors() {
+        let provider = FlockInferenceProvider::new(registry_with_model());
+        assert!(provider.output_type("ghost").is_err());
+        assert_eq!(provider.input_arity("m").unwrap(), 2);
+        let one = [ColumnVector::from_f64([1.0])];
+        assert!(provider
+            .predict("m", &one, PredictStrategy::Vectorized, "admin")
+            .is_err());
+    }
+
+    #[test]
+    fn nulls_become_nan_and_empty_strings() {
+        let provider = FlockInferenceProvider::new(registry_with_model());
+        let mut a = ColumnVector::from_f64([1.0]);
+        a.push_null();
+        let c = ColumnVector::from_values(
+            DataType::Text,
+            &[Value::Text("x".into()), Value::Null],
+        )
+        .unwrap();
+        let out = provider
+            .predict("m", &[a, c], PredictStrategy::Vectorized, "admin")
+            .unwrap();
+        // NaN numeric becomes 0 after featurization; null text matches no category
+        assert_eq!(out.get(0), Value::Float(13.0));
+        assert_eq!(out.get(1), Value::Float(1.0));
+    }
+}

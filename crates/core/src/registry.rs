@@ -1,0 +1,180 @@
+//! The in-memory model registry backing PREDICT evaluation.
+//!
+//! The *catalog* (in `flock-sql`) is the durable, versioned, access
+//! controlled store of models-as-data; the registry is the engine-side
+//! cache of deserialized, ready-to-score pipelines. The cross-optimizer
+//! also parks *derived variants* here (pruned / compressed / per-query
+//! specialized models) under internal names.
+
+use crate::meta::ModelMetadata;
+use flock_ml::Pipeline;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A scoring-ready model.
+#[derive(Debug, Clone)]
+pub struct RegisteredModel {
+    pub pipeline: Arc<Pipeline>,
+    pub metadata: Arc<ModelMetadata>,
+    /// Catalog version this entry was loaded from (0 for derived variants).
+    pub version: u64,
+}
+
+#[derive(Default)]
+pub struct ModelRegistry {
+    models: RwLock<HashMap<String, RegisteredModel>>,
+}
+
+impl ModelRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn get(&self, name: &str) -> Option<RegisteredModel> {
+        self.models.read().get(&name.to_ascii_lowercase()).cloned()
+    }
+
+    pub fn insert(&self, name: &str, model: RegisteredModel) {
+        self.models
+            .write()
+            .insert(name.to_ascii_lowercase(), model);
+    }
+
+    pub fn remove(&self, name: &str) {
+        let key = name.to_ascii_lowercase();
+        let mut models = self.models.write();
+        models.remove(&key);
+        // drop derived variants of this model too
+        let derived_prefix = format!("{key}#");
+        models.retain(|k, _| !k.starts_with(&derived_prefix));
+    }
+
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .models
+            .read()
+            .keys()
+            .filter(|k| !k.contains('#'))
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Register (or reuse) a derived variant of `base`. The variant name
+    /// encodes the base version and the transformation tag, so a stale
+    /// cache entry can never serve a newer base model.
+    pub fn register_derived(
+        &self,
+        base: &str,
+        tag: &str,
+        build: impl FnOnce(&RegisteredModel) -> Option<Pipeline>,
+    ) -> Option<String> {
+        let base_key = base.to_ascii_lowercase();
+        let base_model = self.get(&base_key)?;
+        let derived_name = format!("{base_key}#{}v{}#{tag}", base_model.version, "");
+        if self.get(&derived_name).is_some() {
+            return Some(derived_name);
+        }
+        let pipeline = build(&base_model)?;
+        let metadata = ModelMetadata {
+            name: derived_name.clone(),
+            inputs: pipeline
+                .columns
+                .iter()
+                .map(|c| (c.input.clone(), c.encoder.takes_strings()))
+                .collect(),
+            output: pipeline.output.clone(),
+            kind: format!("{}:{tag}", base_model.metadata.kind),
+            complexity: pipeline.complexity(),
+            lineage: base_model.metadata.lineage.clone(),
+        };
+        self.insert(
+            &derived_name,
+            RegisteredModel {
+                pipeline: Arc::new(pipeline),
+                metadata: Arc::new(metadata),
+                version: 0,
+            },
+        );
+        Some(derived_name)
+    }
+
+    /// Number of registered entries (including derived variants).
+    pub fn len(&self) -> usize {
+        self.models.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.models.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::Lineage;
+    use flock_ml::{ColumnPipeline, LinearModel, Model};
+
+    fn entry(version: u64) -> RegisteredModel {
+        let pipeline = Pipeline::new(
+            vec![ColumnPipeline::numeric("x")],
+            Model::Linear(LinearModel::new(vec![1.0], 0.0)),
+            "y",
+        );
+        RegisteredModel {
+            metadata: Arc::new(ModelMetadata {
+                name: "m".into(),
+                inputs: vec![("x".into(), false)],
+                output: "y".into(),
+                kind: "linear".into(),
+                complexity: 1,
+                lineage: Lineage::default(),
+            }),
+            pipeline: Arc::new(pipeline),
+            version,
+        }
+    }
+
+    #[test]
+    fn insert_get_case_insensitive() {
+        let r = ModelRegistry::new();
+        r.insert("Churn", entry(1));
+        assert!(r.get("CHURN").is_some());
+        assert_eq!(r.names(), vec!["churn".to_string()]);
+    }
+
+    #[test]
+    fn derived_variants_cache_and_cascade_delete() {
+        let r = ModelRegistry::new();
+        r.insert("m", entry(3));
+        let mut build_calls = 0;
+        let name1 = r
+            .register_derived("m", "pruned", |base| {
+                build_calls += 1;
+                Some((*base.pipeline).clone())
+            })
+            .unwrap();
+        let name2 = r
+            .register_derived("m", "pruned", |base| {
+                build_calls += 1;
+                Some((*base.pipeline).clone())
+            })
+            .unwrap();
+        assert_eq!(name1, name2);
+        assert_eq!(build_calls, 1, "second call hits cache");
+        assert!(name1.contains("3"), "variant name pins base version");
+        assert_eq!(r.names(), vec!["m".to_string()], "variants hidden from listing");
+
+        r.remove("m");
+        assert!(r.get(&name1).is_none(), "variants removed with base");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn derived_of_missing_base_is_none() {
+        let r = ModelRegistry::new();
+        assert!(r.register_derived("ghost", "t", |_| None).is_none());
+    }
+}

@@ -1,0 +1,294 @@
+//! Model → SQL inlining ("UDF inlining" in the paper, after Froid).
+//!
+//! Linear/logistic models over affine numeric featurization compile to a
+//! closed-form SQL expression; small trees compile to nested CASE WHEN.
+//! Inlined models run entirely inside the relational expression evaluator
+//! — no inference-provider call at all.
+
+use flock_ml::model::Model;
+use flock_ml::{Encoder, NumericStep, Pipeline, TreeNode};
+use flock_sql::ast::{BinOp, Expr};
+use flock_sql::Value;
+
+/// Can this pipeline's featurization be expressed as SQL per input column?
+/// (numeric encoders with affine-expressible steps only)
+pub fn featurization_is_affine(pipeline: &Pipeline) -> bool {
+    pipeline.columns.iter().all(|cp| {
+        matches!(cp.encoder, Encoder::Numeric)
+            && cp.steps.iter().all(|s| {
+                matches!(
+                    s,
+                    NumericStep::Impute { .. }
+                        | NumericStep::Standardize { .. }
+                        | NumericStep::MinMax { .. }
+                )
+            })
+    })
+}
+
+/// Build the SQL expression computing feature `i` from its argument expr.
+fn feature_expr(pipeline: &Pipeline, i: usize, arg: &Expr) -> Expr {
+    let cp = &pipeline.columns[i];
+    let mut e = arg.clone();
+    for step in &cp.steps {
+        e = match step {
+            NumericStep::Impute { fill } => Expr::Function {
+                name: "COALESCE".into(),
+                args: vec![e, Expr::Literal(Value::Float(*fill))],
+                distinct: false,
+            },
+            NumericStep::Standardize { mean, std } => {
+                let s = if *std == 0.0 { 1.0 } else { *std };
+                Expr::binary(
+                    Expr::binary(e, BinOp::Minus, Expr::Literal(Value::Float(*mean))),
+                    BinOp::Div,
+                    Expr::Literal(Value::Float(s)),
+                )
+            }
+            NumericStep::MinMax { min, max } => {
+                let w = if max - min == 0.0 { 1.0 } else { max - min };
+                Expr::binary(
+                    Expr::binary(e, BinOp::Minus, Expr::Literal(Value::Float(*min))),
+                    BinOp::Div,
+                    Expr::Literal(Value::Float(w)),
+                )
+            }
+            _ => unreachable!("checked by featurization_is_affine"),
+        };
+    }
+    // Bare NaN/NULL inputs featurize to 0 in the pipeline; COALESCE(e, 0)
+    // reproduces that for SQL NULLs.
+    Expr::Function {
+        name: "COALESCE".into(),
+        args: vec![e, Expr::Literal(Value::Float(0.0))],
+        distinct: false,
+    }
+}
+
+/// Inline the *raw* (pre-sigmoid) linear score `w·x + b` as a SQL
+/// expression over the PREDICT argument expressions. Returns `None` when
+/// the pipeline is not affine or the model is not linear/logistic.
+pub fn inline_linear_raw(pipeline: &Pipeline, args: &[Expr]) -> Option<Expr> {
+    if !featurization_is_affine(pipeline) || args.len() != pipeline.columns.len() {
+        return None;
+    }
+    let lm = match &pipeline.model {
+        Model::Linear(m) | Model::Logistic(m) => m,
+        _ => return None,
+    };
+    let mut acc = Expr::Literal(Value::Float(lm.bias));
+    for (i, arg) in args.iter().enumerate() {
+        let w = lm.weights[i];
+        if w == 0.0 {
+            continue; // sparsity folds directly into the inlined form
+        }
+        let term = Expr::binary(
+            Expr::Literal(Value::Float(w)),
+            BinOp::Mul,
+            feature_expr(pipeline, i, arg),
+        );
+        acc = Expr::binary(acc, BinOp::Plus, term);
+    }
+    Some(acc)
+}
+
+/// Inline the full pipeline as a SQL expression (sigmoid applied for
+/// logistic models, CASE WHEN for small trees). `max_tree_nodes` bounds
+/// the tree size eligible for inlining.
+pub fn inline_pipeline(
+    pipeline: &Pipeline,
+    args: &[Expr],
+    max_tree_nodes: usize,
+) -> Option<Expr> {
+    match &pipeline.model {
+        Model::Linear(_) => inline_linear_raw(pipeline, args),
+        Model::Logistic(_) => {
+            let raw = inline_linear_raw(pipeline, args)?;
+            Some(Expr::Function {
+                name: "SIGMOID".into(),
+                args: vec![raw],
+                distinct: false,
+            })
+        }
+        Model::Tree(tree) => {
+            if !featurization_is_affine(pipeline)
+                || args.len() != pipeline.columns.len()
+                || tree.num_nodes() > max_tree_nodes
+            {
+                return None;
+            }
+            let feature_exprs: Vec<Expr> = args
+                .iter()
+                .enumerate()
+                .map(|(i, a)| feature_expr(pipeline, i, a))
+                .collect();
+            Some(inline_tree_node(&tree.nodes, 0, &feature_exprs))
+        }
+        _ => None,
+    }
+}
+
+fn inline_tree_node(nodes: &[TreeNode], i: usize, features: &[Expr]) -> Expr {
+    match &nodes[i] {
+        TreeNode::Leaf { value } => Expr::Literal(Value::Float(*value)),
+        TreeNode::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        } => Expr::Case {
+            operand: None,
+            when_then: vec![(
+                Expr::binary(
+                    features[*feature].clone(),
+                    BinOp::LtEq,
+                    Expr::Literal(Value::Float(*threshold)),
+                ),
+                inline_tree_node(nodes, *left, features),
+            )],
+            else_expr: Some(Box::new(inline_tree_node(nodes, *right, features))),
+        },
+    }
+}
+
+/// For predicate push-up: rewrite `sigmoid(raw) cmp c` into `raw cmp'
+/// logit(c)`. Returns the transformed RHS literal, or a constant verdict
+/// when `c` is outside (0, 1).
+pub enum LogitRewrite {
+    Threshold(f64),
+    AlwaysTrue,
+    AlwaysFalse,
+}
+
+/// Given a comparison `sigmoid(raw) op c`, compute the equivalent
+/// comparison on `raw`. Only meaningful for ordered comparisons.
+pub fn logit_threshold(op: BinOp, c: f64) -> Option<LogitRewrite> {
+    if !op.is_comparison() || matches!(op, BinOp::Eq | BinOp::NotEq) {
+        return None;
+    }
+    let gt_like = matches!(op, BinOp::Gt | BinOp::GtEq);
+    if c <= 0.0 {
+        // sigmoid output is strictly > 0
+        return Some(if gt_like {
+            LogitRewrite::AlwaysTrue
+        } else {
+            LogitRewrite::AlwaysFalse
+        });
+    }
+    if c >= 1.0 {
+        return Some(if gt_like {
+            LogitRewrite::AlwaysFalse
+        } else {
+            LogitRewrite::AlwaysTrue
+        });
+    }
+    Some(LogitRewrite::Threshold((c / (1.0 - c)).ln()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flock_ml::{ColumnPipeline, LinearModel};
+
+    fn affine_pipeline() -> Pipeline {
+        Pipeline::new(
+            vec![
+                ColumnPipeline::numeric("a")
+                    .with_step(NumericStep::Impute { fill: 1.0 })
+                    .with_step(NumericStep::Standardize { mean: 2.0, std: 4.0 }),
+                ColumnPipeline::numeric("b"),
+            ],
+            Model::Linear(LinearModel::new(vec![2.0, 0.0], 10.0)),
+            "y",
+        )
+    }
+
+    #[test]
+    fn affine_check() {
+        assert!(featurization_is_affine(&affine_pipeline()));
+        let text = Pipeline::new(
+            vec![ColumnPipeline::one_hot("c", vec!["x".into()])],
+            Model::Linear(LinearModel::new(vec![1.0], 0.0)),
+            "y",
+        );
+        assert!(!featurization_is_affine(&text));
+    }
+
+    #[test]
+    fn inlined_linear_matches_pipeline_scoring() {
+        use flock_ml::{Frame, FrameCol};
+        let p = affine_pipeline();
+        let args = vec![Expr::col("a"), Expr::col("b")];
+        let inlined = inline_linear_raw(&p, &args).unwrap();
+        // zero weight on b folds away entirely
+        let mut cols = vec![];
+        inlined.referenced_columns(&mut cols);
+        assert!(cols.iter().all(|(_, n)| n == "a"));
+
+        // numeric agreement via direct evaluation of the expression
+        let frame = Frame::new()
+            .with("a", FrameCol::F64(vec![6.0]))
+            .unwrap()
+            .with("b", FrameCol::F64(vec![3.0]))
+            .unwrap();
+        let expected = p.score(&frame).unwrap()[0];
+        // (6 - 2)/4 = 1 -> 2*1 + 10 = 12
+        assert_eq!(expected, 12.0);
+        let rendered = inlined.to_string();
+        assert!(rendered.contains("COALESCE"));
+    }
+
+    #[test]
+    fn tree_inlines_to_case() {
+        use flock_ml::DecisionTree;
+        let tree = DecisionTree {
+            nodes: vec![
+                TreeNode::Split {
+                    feature: 0,
+                    threshold: 5.0,
+                    left: 1,
+                    right: 2,
+                },
+                TreeNode::Leaf { value: 1.0 },
+                TreeNode::Leaf { value: 2.0 },
+            ],
+        };
+        let p = Pipeline::new(
+            vec![ColumnPipeline::numeric("x")],
+            Model::Tree(tree),
+            "y",
+        );
+        let e = inline_pipeline(&p, &[Expr::col("x")], 100).unwrap();
+        assert!(e.to_string().contains("CASE"));
+        // too-large bound rejects
+        assert!(inline_pipeline(&p, &[Expr::col("x")], 2).is_none());
+    }
+
+    #[test]
+    fn logistic_wraps_sigmoid() {
+        let mut p = affine_pipeline();
+        p.model = match p.model {
+            Model::Linear(m) => Model::Logistic(m),
+            other => other,
+        };
+        let e = inline_pipeline(&p, &[Expr::col("a"), Expr::col("b")], 0).unwrap();
+        assert!(e.to_string().starts_with("SIGMOID("));
+    }
+
+    #[test]
+    fn logit_thresholds() {
+        let LogitRewrite::Threshold(t) = logit_threshold(BinOp::GtEq, 0.5).unwrap() else {
+            panic!()
+        };
+        assert!(t.abs() < 1e-12);
+        assert!(matches!(
+            logit_threshold(BinOp::Gt, -0.5),
+            Some(LogitRewrite::AlwaysTrue)
+        ));
+        assert!(matches!(
+            logit_threshold(BinOp::Lt, 1.5),
+            Some(LogitRewrite::AlwaysTrue)
+        ));
+        assert!(logit_threshold(BinOp::Eq, 0.5).is_none());
+    }
+}

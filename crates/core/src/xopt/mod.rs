@@ -1,0 +1,395 @@
+//! The SQL×ML cross-optimizer (paper §4.1).
+//!
+//! Implements, one rule per paper bullet:
+//! * **predicate push-up/down between SQL queries and ML models** —
+//!   comparisons against logistic predictions become linear-threshold
+//!   comparisons (`sigmoid(raw) >= c` → `raw >= logit(c)`), which the
+//!   relational optimizer can then push below joins and into scans;
+//! * **automatic pruning of unused input feature-columns exploiting
+//!   model sparsity** — PREDICT arguments whose derived features carry no
+//!   weight are dropped, letting projection pruning shrink the scan;
+//! * **model compression exploiting input data statistics** — decision
+//!   trees are pruned of branches unreachable given column min/max;
+//! * **physical operator selection based on statistics, available runtime
+//!   and hardware** — each PREDICT picks row/vectorized/parallel
+//!   execution, or is *inlined* into pure SQL (the Froid-style UDF
+//!   inlining the paper cites) when the model is small enough.
+
+pub mod inline;
+pub mod stats;
+
+use crate::registry::ModelRegistry;
+use flock_sql::ast::{Expr, PredictStrategy};
+use flock_sql::plan::{rewrite_expr, LogicalPlan, PlanRewriter};
+use flock_sql::{Catalog, Result, Value};
+use inline::{inline_linear_raw, inline_pipeline, logit_threshold, LogitRewrite};
+use parking_lot::RwLock;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Cross-optimizer configuration. Each rule toggles independently so the
+/// ablation benches can attribute speedups.
+#[derive(Debug, Clone, Copy)]
+pub struct XOptConfig {
+    pub feature_pruning: bool,
+    pub model_compression: bool,
+    pub predicate_pushup: bool,
+    pub inline_models: bool,
+    pub operator_selection: bool,
+    /// Trees at most this large are eligible for CASE-WHEN inlining.
+    pub inline_max_tree_nodes: usize,
+    /// Worker threads parallel PREDICT may use.
+    pub threads: usize,
+    /// Estimated row count above which PREDICT goes parallel.
+    pub parallel_row_threshold: usize,
+}
+
+impl Default for XOptConfig {
+    fn default() -> Self {
+        XOptConfig {
+            feature_pruning: true,
+            model_compression: true,
+            predicate_pushup: true,
+            inline_models: true,
+            operator_selection: true,
+            inline_max_tree_nodes: 128,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            parallel_row_threshold: 8192,
+        }
+    }
+}
+
+impl XOptConfig {
+    /// Everything off — the plain "SONNX" configuration (in-DB inference
+    /// with engine parallelism but no cross-optimization).
+    pub fn disabled() -> Self {
+        XOptConfig {
+            feature_pruning: false,
+            model_compression: false,
+            predicate_pushup: false,
+            inline_models: false,
+            operator_selection: false,
+            ..Default::default()
+        }
+    }
+}
+
+/// The rewriter registered with the SQL engine.
+pub struct CrossOptimizer {
+    registry: Arc<ModelRegistry>,
+    config: RwLock<XOptConfig>,
+}
+
+impl CrossOptimizer {
+    pub fn new(registry: Arc<ModelRegistry>, config: XOptConfig) -> Self {
+        CrossOptimizer {
+            registry,
+            config: RwLock::new(config),
+        }
+    }
+
+    pub fn config(&self) -> XOptConfig {
+        *self.config.read()
+    }
+
+    pub fn set_config(&self, config: XOptConfig) {
+        *self.config.write() = config;
+    }
+
+    fn rewrite_node(&self, plan: LogicalPlan, catalog: &Catalog) -> Result<LogicalPlan> {
+        let cfg = self.config();
+        Ok(match plan {
+            LogicalPlan::Filter { input, predicate } => {
+                let input = Box::new(self.rewrite_node(*input, catalog)?);
+                let predicate = if cfg.predicate_pushup {
+                    self.push_up_predicate(predicate)?
+                } else {
+                    predicate
+                };
+                let predicate = self.rewrite_exprs(predicate, &input, catalog, &cfg)?;
+                LogicalPlan::Filter { input, predicate }
+            }
+            LogicalPlan::Project {
+                input,
+                exprs,
+                schema,
+            } => {
+                let input = Box::new(self.rewrite_node(*input, catalog)?);
+                let exprs = exprs
+                    .into_iter()
+                    .map(|e| self.rewrite_exprs(e, &input, catalog, &cfg))
+                    .collect::<Result<_>>()?;
+                LogicalPlan::Project {
+                    input,
+                    exprs,
+                    schema,
+                }
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group,
+                aggs,
+                schema,
+            } => {
+                let input = Box::new(self.rewrite_node(*input, catalog)?);
+                let group = group
+                    .into_iter()
+                    .map(|e| self.rewrite_exprs(e, &input, catalog, &cfg))
+                    .collect::<Result<_>>()?;
+                let aggs = aggs
+                    .into_iter()
+                    .map(|mut a| {
+                        a.arg = a
+                            .arg
+                            .map(|e| self.rewrite_exprs(e, &input, catalog, &cfg))
+                            .transpose()?;
+                        Ok(a)
+                    })
+                    .collect::<Result<_>>()?;
+                LogicalPlan::Aggregate {
+                    input,
+                    group,
+                    aggs,
+                    schema,
+                }
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                join_type,
+                on,
+                filter,
+                schema,
+            } => LogicalPlan::Join {
+                left: Box::new(self.rewrite_node(*left, catalog)?),
+                right: Box::new(self.rewrite_node(*right, catalog)?),
+                join_type,
+                on,
+                filter,
+                schema,
+            },
+            LogicalPlan::Sort { input, keys } => {
+                let input = Box::new(self.rewrite_node(*input, catalog)?);
+                let keys = keys
+                    .into_iter()
+                    .map(|(e, asc)| Ok((self.rewrite_exprs(e, &input, catalog, &cfg)?, asc)))
+                    .collect::<Result<_>>()?;
+                LogicalPlan::Sort { input, keys }
+            }
+            LogicalPlan::Limit {
+                input,
+                limit,
+                offset,
+            } => LogicalPlan::Limit {
+                input: Box::new(self.rewrite_node(*input, catalog)?),
+                limit,
+                offset,
+            },
+            LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+                input: Box::new(self.rewrite_node(*input, catalog)?),
+            },
+            LogicalPlan::Union { inputs, schema } => LogicalPlan::Union {
+                inputs: inputs
+                    .into_iter()
+                    .map(|i| self.rewrite_node(i, catalog))
+                    .collect::<Result<_>>()?,
+                schema,
+            },
+            leaf => leaf,
+        })
+    }
+
+    /// Apply the per-PREDICT rules to every PREDICT inside `expr`.
+    fn rewrite_exprs(
+        &self,
+        expr: Expr,
+        input: &LogicalPlan,
+        catalog: &Catalog,
+        cfg: &XOptConfig,
+    ) -> Result<Expr> {
+        // Lazily computed context shared across PREDICTs in this expr.
+        let ranges = if cfg.model_compression {
+            Some(stats::column_ranges(input, catalog))
+        } else {
+            None
+        };
+        let est_rows = if cfg.operator_selection {
+            stats::estimate_rows(input, catalog)
+        } else {
+            0
+        };
+        rewrite_expr(expr, &mut |e| {
+            let Expr::Predict {
+                model,
+                mut args,
+                strategy,
+            } = e
+            else {
+                return Ok(e);
+            };
+            let mut model = model.to_ascii_lowercase();
+            // Derived names never appear in user queries; if one shows up
+            // (idempotent re-run), leave it alone.
+            if model.contains('#') {
+                return Ok(Expr::Predict {
+                    model,
+                    args,
+                    strategy,
+                });
+            }
+            let Some(entry) = self.registry.get(&model) else {
+                return Ok(Expr::Predict {
+                    model,
+                    args,
+                    strategy,
+                });
+            };
+            if args.len() != entry.pipeline.columns.len() {
+                // arity error surfaces at execution; don't transform
+                return Ok(Expr::Predict {
+                    model,
+                    args,
+                    strategy,
+                });
+            }
+
+            // 1. feature pruning via model sparsity
+            if cfg.feature_pruning {
+                let usage = entry.pipeline.input_usage();
+                if usage.iter().any(|u| !u) {
+                    if let Some(derived) =
+                        self.registry.register_derived(&model, "pruned", |base| {
+                            Some(base.pipeline.prune_unused_inputs().0)
+                        })
+                    {
+                        args = args
+                            .into_iter()
+                            .zip(&usage)
+                            .filter_map(|(a, keep)| keep.then_some(a))
+                            .collect();
+                        model = derived;
+                    }
+                }
+            }
+
+            // 2. model compression via column statistics
+            if let Some(ranges) = &ranges {
+                let current = self.registry.get(&model).expect("model present");
+                let input_ranges: Vec<Option<(f64, f64)>> = args
+                    .iter()
+                    .map(|a| match a {
+                        Expr::Column { name, .. } => {
+                            ranges.get(&name.to_ascii_lowercase()).copied()
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                if input_ranges.iter().any(Option::is_some) {
+                    let tag = format!("cmp{:x}", hash_ranges(&input_ranges));
+                    let base_for_build = current.clone();
+                    if let Some(derived) =
+                        self.registry.register_derived(&model, &tag, move |_| {
+                            Some(
+                                base_for_build
+                                    .pipeline
+                                    .compress_with_ranges(&input_ranges),
+                            )
+                        })
+                    {
+                        model = derived;
+                    }
+                }
+            }
+
+            // 3. inline small models into pure SQL
+            if cfg.inline_models {
+                let current = self.registry.get(&model).expect("model present");
+                if let Some(inlined) =
+                    inline_pipeline(&current.pipeline, &args, cfg.inline_max_tree_nodes)
+                {
+                    return Ok(inlined);
+                }
+            }
+
+            // 4. physical operator selection from statistics
+            let strategy = if cfg.operator_selection && strategy == PredictStrategy::Auto {
+                if est_rows >= cfg.parallel_row_threshold && cfg.threads > 1 {
+                    PredictStrategy::Parallel(cfg.threads)
+                } else {
+                    PredictStrategy::Vectorized
+                }
+            } else {
+                strategy
+            };
+            Ok(Expr::Predict {
+                model,
+                args,
+                strategy,
+            })
+        })
+    }
+
+    /// Predicate push-up: turn `PREDICT(logistic) cmp c` into a comparison
+    /// on the raw linear score.
+    fn push_up_predicate(&self, predicate: Expr) -> Result<Expr> {
+        rewrite_expr(predicate, &mut |e| {
+            let Expr::Binary { left, op, right } = &e else {
+                return Ok(e);
+            };
+            // normalize to (Predict op literal)
+            let (predict, op, lit) = match (&**left, &**right) {
+                (Expr::Predict { .. }, Expr::Literal(v)) => (&**left, *op, v),
+                (Expr::Literal(v), Expr::Predict { .. }) => (&**right, op.flip(), v),
+                _ => return Ok(e),
+            };
+            let Some(c) = lit.as_f64() else {
+                return Ok(e);
+            };
+            let Expr::Predict { model, args, .. } = predict else {
+                unreachable!()
+            };
+            let Some(entry) = self.registry.get(model) else {
+                return Ok(e);
+            };
+            // only logistic models benefit from the logit transform
+            if !matches!(entry.pipeline.model, flock_ml::Model::Logistic(_)) {
+                return Ok(e);
+            }
+            let Some(raw) = inline_linear_raw(&entry.pipeline, args) else {
+                return Ok(e);
+            };
+            Ok(match logit_threshold(op, c) {
+                Some(LogitRewrite::Threshold(t)) => {
+                    Expr::binary(raw, op, Expr::Literal(Value::Float(t)))
+                }
+                Some(LogitRewrite::AlwaysTrue) => Expr::Literal(Value::Bool(true)),
+                Some(LogitRewrite::AlwaysFalse) => Expr::Literal(Value::Bool(false)),
+                None => e,
+            })
+        })
+    }
+}
+
+fn hash_ranges(ranges: &[Option<(f64, f64)>]) -> u64 {
+    let mut h = DefaultHasher::new();
+    for r in ranges {
+        match r {
+            None => 0u8.hash(&mut h),
+            Some((lo, hi)) => {
+                1u8.hash(&mut h);
+                lo.to_bits().hash(&mut h);
+                hi.to_bits().hash(&mut h);
+            }
+        }
+    }
+    h.finish()
+}
+
+impl PlanRewriter for CrossOptimizer {
+    fn rewrite(&self, plan: LogicalPlan, catalog: &Catalog) -> Result<LogicalPlan> {
+        self.rewrite_node(plan, catalog)
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests: the cross-optimizer must never change query
+//! results, whatever the data, the model, or the query shape.
+
+use flock_core::{FlockDb, Lineage, XOptConfig};
+use flock_ml::{ColumnPipeline, LinearModel, Model, NumericStep, Pipeline};
+use flock_sql::Value;
+use proptest::prelude::*;
+
+fn deploy(db: &FlockDb, pipeline: &Pipeline) {
+    db.session("admin")
+        .deploy_model("m", pipeline, Lineage::default())
+        .unwrap();
+}
+
+fn db_with_rows(rows: &[(f64, f64, i64)]) -> FlockDb {
+    let db = FlockDb::new();
+    db.execute("CREATE TABLE t (a DOUBLE, b DOUBLE, k INT)").unwrap();
+    let values: Vec<String> = rows
+        .iter()
+        .map(|(a, b, k)| format!("({a:?}, {b:?}, {k})"))
+        .collect();
+    db.execute(&format!("INSERT INTO t VALUES {}", values.join(", ")))
+        .unwrap();
+    db
+}
+
+fn approx_eq(a: &Value, b: &Value) -> bool {
+    match (a.as_f64(), b.as_f64()) {
+        (Some(x), Some(y)) => (x - y).abs() < 1e-9 || (x.is_nan() && y.is_nan()),
+        _ => a == b || (a.is_null() && b.is_null()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Linear/logistic models with arbitrary weights (including zeros, so
+    /// pruning fires) and affine steps (so inlining and push-up fire):
+    /// results with the cross-optimizer on and off are identical.
+    #[test]
+    fn xopt_preserves_semantics(
+        rows in proptest::collection::vec(
+            (-100.0f64..100.0, -100.0f64..100.0, 0i64..5),
+            1..30,
+        ),
+        w_a in prop_oneof![Just(0.0), -2.0f64..2.0],
+        w_b in prop_oneof![Just(0.0), -2.0f64..2.0],
+        bias in -1.0f64..1.0,
+        logistic in any::<bool>(),
+        threshold in -0.5f64..1.5,
+        standardize in any::<bool>(),
+    ) {
+        let mut col_a = ColumnPipeline::numeric("a");
+        if standardize {
+            col_a = col_a.with_step(NumericStep::Standardize { mean: 10.0, std: 5.0 });
+        }
+        let lm = LinearModel::new(vec![w_a, w_b], bias);
+        let model = if logistic {
+            Model::Logistic(lm)
+        } else {
+            Model::Linear(lm)
+        };
+        let pipeline = Pipeline::new(
+            vec![col_a, ColumnPipeline::numeric("b")],
+            model,
+            "score",
+        );
+
+        let queries = [
+            "SELECT a, PREDICT(m, a, b) AS s FROM t ORDER BY a, b".to_string(),
+            format!("SELECT COUNT(*) FROM t WHERE PREDICT(m, a, b) >= {threshold}"),
+            "SELECT k, AVG(PREDICT(m, a, b)) FROM t GROUP BY k ORDER BY k".to_string(),
+            "SELECT SUM(PREDICT(m, a, b) * 2 + 1) FROM t WHERE a < 50".to_string(),
+        ];
+
+        let on = db_with_rows(&rows);
+        deploy(&on, &pipeline);
+        let off = db_with_rows(&rows);
+        off.set_xopt_config(XOptConfig::disabled());
+        deploy(&off, &pipeline);
+
+        for q in &queries {
+            let ra = on.query(q).unwrap();
+            let rb = off.query(q).unwrap();
+            prop_assert_eq!(ra.num_rows(), rb.num_rows(), "{}", q);
+            for r in 0..ra.num_rows() {
+                for c in 0..ra.num_columns() {
+                    let (x, y) = (ra.column(c).get(r), rb.column(c).get(r));
+                    prop_assert!(approx_eq(&x, &y), "{}: row {} col {}: {:?} vs {:?}", q, r, c, x, y);
+                }
+            }
+        }
+    }
+
+    /// Tree models exercise the compression rule; results must match the
+    /// unoptimized engine exactly.
+    #[test]
+    fn tree_compression_in_db_is_exact(
+        rows in proptest::collection::vec(
+            (-50.0f64..50.0, -50.0f64..50.0, 0i64..3),
+            1..25,
+        ),
+        t1 in -60.0f64..60.0,
+        t2 in -60.0f64..60.0,
+    ) {
+        use flock_ml::{DecisionTree, TreeNode};
+        let tree = DecisionTree {
+            nodes: vec![
+                TreeNode::Split { feature: 0, threshold: t1, left: 1, right: 2 },
+                TreeNode::Split { feature: 1, threshold: t2, left: 3, right: 4 },
+                TreeNode::Leaf { value: 10.0 },
+                TreeNode::Leaf { value: 20.0 },
+                TreeNode::Leaf { value: 30.0 },
+            ],
+        };
+        let pipeline = Pipeline::new(
+            vec![ColumnPipeline::numeric("a"), ColumnPipeline::numeric("b")],
+            Model::Tree(tree),
+            "leaf",
+        );
+        let q = "SELECT a, b, PREDICT(m, a, b) FROM t ORDER BY a, b";
+        let on = db_with_rows(&rows);
+        deploy(&on, &pipeline);
+        let off = db_with_rows(&rows);
+        off.set_xopt_config(XOptConfig::disabled());
+        deploy(&off, &pipeline);
+        let ra = on.query(q).unwrap();
+        let rb = off.query(q).unwrap();
+        for r in 0..ra.num_rows() {
+            prop_assert_eq!(ra.row(r), rb.row(r));
+        }
+    }
+
+    /// Model DDL round-trips through the catalog for arbitrary numeric
+    /// training data (training is best-effort; deployment + scoring must
+    /// be consistent).
+    #[test]
+    fn create_model_then_score_is_stable(
+        rows in proptest::collection::vec((-10.0f64..10.0, 0i64..2), 4..30),
+    ) {
+        // ensure both classes exist so logistic training is well-posed
+        let mut rows = rows;
+        rows[0].1 = 0;
+        rows[1].1 = 1;
+        let db = FlockDb::new();
+        db.execute("CREATE TABLE d (x DOUBLE, y INT)").unwrap();
+        let values: Vec<String> = rows.iter().map(|(x, y)| format!("({x:?}, {y})")).collect();
+        db.execute(&format!("INSERT INTO d VALUES {}", values.join(", "))).unwrap();
+        db.execute("CREATE MODEL clf KIND logistic FROM d TARGET y").unwrap();
+
+        let a = db.query("SELECT PREDICT(clf, x) FROM d ORDER BY x").unwrap();
+        // force a registry reload from serialized bytes
+        db.registry().remove("clf");
+        db.sync_registry();
+        let b = db.query("SELECT PREDICT(clf, x) FROM d ORDER BY x").unwrap();
+        for r in 0..a.num_rows() {
+            prop_assert!(approx_eq(&a.column(0).get(r), &b.column(0).get(r)));
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! The ML-systems competitive landscape (Figure 3 substitute).
+//!
+//! The paper's Figure 3 is a qualitative feature matrix over proprietary
+//! "unicorn" stacks (Bing, Uber Michelangelo, LinkedIn ProML) and public
+//! cloud services (Azure ML, Google AI Platform, SageMaker), judged from
+//! public material. We encode a matrix consistent with the two trends the
+//! paper reports: (1) mature proprietary solutions have stronger data
+//! management support, and (2) in-DB ML is nearly absent everywhere.
+
+use serde::Serialize;
+
+/// Support level of a system for a feature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Support {
+    Good,
+    Ok,
+    No,
+    Unknown,
+}
+
+impl Support {
+    pub fn glyph(self) -> &'static str {
+        match self {
+            Support::Good => "●",
+            Support::Ok => "◐",
+            Support::No => "○",
+            Support::Unknown => "?",
+        }
+    }
+
+    pub fn score(self) -> f64 {
+        match self {
+            Support::Good => 1.0,
+            Support::Ok => 0.5,
+            Support::No | Support::Unknown => 0.0,
+        }
+    }
+}
+
+/// Feature areas from the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Area {
+    Training,
+    Serving,
+    DataManagement,
+}
+
+/// One system column of the matrix.
+#[derive(Debug, Clone, Serialize)]
+pub struct System {
+    pub name: &'static str,
+    pub proprietary: bool,
+}
+
+/// The features (rows), grouped by area, in the paper's order.
+pub const FEATURES: [(&str, Area); 17] = [
+    ("Experiment Tracking", Area::Training),
+    ("Managed Notebooks", Area::Training),
+    ("Pipelines / Projects", Area::Training),
+    ("Multi-Framework", Area::Training),
+    ("Proprietary Algos", Area::Training),
+    ("Distributed Training", Area::Training),
+    ("Auto ML", Area::Training),
+    ("Serving", Area::Serving),
+    ("Batch prediction", Area::Serving),
+    ("On-prem deployment", Area::Serving),
+    ("Model Monitoring", Area::Serving),
+    ("Model Validation", Area::Serving),
+    ("Data Provenance", Area::DataManagement),
+    ("Data testing", Area::DataManagement),
+    ("Feature Store", Area::DataManagement),
+    ("Featurization DSL", Area::DataManagement),
+    ("In-DB ML", Area::DataManagement),
+];
+
+pub const SYSTEMS: [System; 6] = [
+    System { name: "Bing", proprietary: true },
+    System { name: "Uber", proprietary: true },
+    System { name: "LinkedIn", proprietary: true },
+    System { name: "AzureML", proprietary: false },
+    System { name: "GoogleAI", proprietary: false },
+    System { name: "SageMaker", proprietary: false },
+];
+
+use Support::{Good, No, Ok as Mid, Unknown};
+
+/// The matrix: `MATRIX[feature][system]`, aligned with [`FEATURES`] and
+/// [`SYSTEMS`].
+pub const MATRIX: [[Support; 6]; 17] = [
+    // Training
+    [Mid, Good, Good, Good, Good, Good],      // experiment tracking
+    [No, Good, Mid, Good, Good, Good],        // managed notebooks
+    [Good, Good, Good, Good, Good, Good],     // pipelines / projects
+    [Mid, Good, Mid, Good, Good, Good],       // multi-framework
+    [Good, Mid, Good, Mid, Good, Good],       // proprietary algos
+    [Good, Good, Good, Good, Good, Good],     // distributed training
+    [Mid, Unknown, Mid, Good, Good, Good],    // auto ml
+    // Serving
+    [Good, Good, Good, Good, Good, Good],     // serving
+    [Good, Good, Good, Good, Good, Good],     // batch prediction
+    [Good, Good, Good, Mid, No, No],          // on-prem deployment
+    [Good, Good, Good, Mid, Mid, Good],       // model monitoring
+    [Good, Good, Good, Mid, Unknown, Mid],    // model validation
+    // Data management
+    [Good, Good, Good, Mid, No, No],          // data provenance
+    [Good, Good, Mid, No, Mid, No],           // data testing
+    [Good, Good, Good, No, No, No],           // feature store
+    [Good, Good, Good, No, No, Mid],          // featurization DSL
+    [No, No, No, Mid, No, No],                // in-db ml
+];
+
+/// Mean support score of one system over one area.
+pub fn area_score(system_idx: usize, area: Area) -> f64 {
+    let rows: Vec<usize> = FEATURES
+        .iter()
+        .enumerate()
+        .filter(|(_, (_, a))| *a == area)
+        .map(|(i, _)| i)
+        .collect();
+    let sum: f64 = rows.iter().map(|&r| MATRIX[r][system_idx].score()).sum();
+    sum / rows.len() as f64
+}
+
+/// The two headline trends the paper reads from the figure.
+pub struct Trends {
+    /// Mean data-management score: proprietary vs cloud systems.
+    pub proprietary_data_mgmt: f64,
+    pub cloud_data_mgmt: f64,
+    /// Fraction of systems with at least OK in-DB ML support.
+    pub in_db_ml_share: f64,
+}
+
+pub fn trends() -> Trends {
+    let (mut prop, mut cloud) = (vec![], vec![]);
+    for (i, s) in SYSTEMS.iter().enumerate() {
+        let score = area_score(i, Area::DataManagement);
+        if s.proprietary {
+            prop.push(score);
+        } else {
+            cloud.push(score);
+        }
+    }
+    let in_db_row = FEATURES.iter().position(|(n, _)| *n == "In-DB ML").unwrap();
+    let in_db = MATRIX[in_db_row]
+        .iter()
+        .filter(|s| s.score() > 0.0)
+        .count() as f64
+        / SYSTEMS.len() as f64;
+    Trends {
+        proprietary_data_mgmt: prop.iter().sum::<f64>() / prop.len() as f64,
+        cloud_data_mgmt: cloud.iter().sum::<f64>() / cloud.len() as f64,
+        in_db_ml_share: in_db,
+    }
+}
+
+/// Render the matrix as the paper's figure (text form).
+pub fn render_matrix() -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<22}", ""));
+    for s in &SYSTEMS {
+        out.push_str(&format!("{:>10}", s.name));
+    }
+    out.push('\n');
+    let mut current_area = None;
+    for (r, (name, area)) in FEATURES.iter().enumerate() {
+        if current_area != Some(*area) {
+            current_area = Some(*area);
+            out.push_str(&format!(
+                "-- {} --\n",
+                match area {
+                    Area::Training => "Training",
+                    Area::Serving => "Serving",
+                    Area::DataManagement => "Data Management",
+                }
+            ));
+        }
+        out.push_str(&format!("{name:<22}"));
+        for cell in MATRIX[r].iter() {
+            out.push_str(&format!("{:>10}", cell.glyph()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_trend_1_proprietary_leads_data_management() {
+        let t = trends();
+        assert!(
+            t.proprietary_data_mgmt > t.cloud_data_mgmt + 0.2,
+            "proprietary {:.2} vs cloud {:.2}",
+            t.proprietary_data_mgmt,
+            t.cloud_data_mgmt
+        );
+    }
+
+    #[test]
+    fn paper_trend_2_in_db_ml_is_rare() {
+        let t = trends();
+        assert!(t.in_db_ml_share <= 0.2, "{}", t.in_db_ml_share);
+    }
+
+    #[test]
+    fn matrix_dimensions_consistent() {
+        assert_eq!(MATRIX.len(), FEATURES.len());
+        for row in MATRIX.iter() {
+            assert_eq!(row.len(), SYSTEMS.len());
+        }
+    }
+
+    #[test]
+    fn render_includes_all_systems_and_sections() {
+        let s = render_matrix();
+        for sys in &SYSTEMS {
+            assert!(s.contains(sys.name));
+        }
+        assert!(s.contains("Data Management"));
+        assert!(s.contains("In-DB ML"));
+    }
+}

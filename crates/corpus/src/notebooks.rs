@@ -1,0 +1,201 @@
+//! Synthetic GitHub-notebook corpus (Figure 2 substitute).
+//!
+//! The paper crawled >4M public notebooks and plotted the fraction fully
+//! supported by the top-K most popular packages, for 2017 and 2019
+//! snapshots. We model package imports with a Zipf distribution whose
+//! parameters are calibrated to the two published observations: 2019 has
+//! roughly **3× more packages** in total, yet the **top-10 coverage is ~5
+//! points higher** (the ecosystem expands while the head consolidates).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of one corpus snapshot.
+#[derive(Debug, Clone)]
+pub struct SnapshotParams {
+    pub year: u32,
+    pub notebooks: usize,
+    pub packages: usize,
+    /// Zipf exponent: larger = more concentrated on popular packages.
+    pub zipf_exponent: f64,
+    /// Mean number of imports per notebook.
+    pub mean_imports: f64,
+    pub seed: u64,
+}
+
+impl SnapshotParams {
+    /// The 2017 snapshot: smaller ecosystem, flatter popularity.
+    pub fn year_2017(notebooks: usize) -> Self {
+        SnapshotParams {
+            year: 2017,
+            notebooks,
+            packages: 1_000,
+            zipf_exponent: 1.55,
+            mean_imports: 3.5,
+            seed: 2017,
+        }
+    }
+
+    /// The 2019 snapshot: 3× the packages, but a more dominant head
+    /// (numpy/pandas/sklearn "solidifying their position").
+    pub fn year_2019(notebooks: usize) -> Self {
+        SnapshotParams {
+            year: 2019,
+            notebooks,
+            packages: 3_000,
+            zipf_exponent: 1.64,
+            mean_imports: 3.5,
+            seed: 2019,
+        }
+    }
+}
+
+/// A generated corpus: per-notebook package-id import sets (ids are
+/// popularity ranks: 0 = most popular).
+#[derive(Debug, Clone)]
+pub struct NotebookCorpus {
+    pub params: SnapshotParams,
+    pub notebooks: Vec<Vec<u32>>,
+}
+
+/// Zipf sampler over ranks `0..n` with exponent `s`.
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: usize, s: f64) -> Self {
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cumulative.push(acc);
+        }
+        let total = acc;
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Zipf { cumulative }
+    }
+
+    pub fn sample(&self, rng: &mut impl Rng) -> u32 {
+        let u: f64 = rng.gen();
+        self.cumulative.partition_point(|&c| c < u) as u32
+    }
+}
+
+impl NotebookCorpus {
+    /// Generate a corpus.
+    pub fn generate(params: SnapshotParams) -> Self {
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let zipf = Zipf::new(params.packages, params.zipf_exponent);
+        let notebooks = (0..params.notebooks)
+            .map(|_| {
+                // 1 + geometric-ish number of imports around the mean
+                let extra = params.mean_imports - 1.0;
+                let mut n = 1usize;
+                while rng.gen::<f64>() < extra / (extra + 1.0) && n < 30 {
+                    n += 1;
+                }
+                let mut imports: Vec<u32> = (0..n).map(|_| zipf.sample(&mut rng)).collect();
+                imports.sort_unstable();
+                imports.dedup();
+                imports
+            })
+            .collect();
+        NotebookCorpus { params, notebooks }
+    }
+
+    /// Fraction (%) of notebooks whose imports all fall in the top-K
+    /// packages — the paper's Figure-2 metric.
+    pub fn coverage(&self, k: usize) -> f64 {
+        if self.notebooks.is_empty() {
+            return 0.0;
+        }
+        let covered = self
+            .notebooks
+            .iter()
+            .filter(|nb| nb.iter().all(|&p| (p as usize) < k))
+            .count();
+        100.0 * covered as f64 / self.notebooks.len() as f64
+    }
+
+    /// Coverage at each K in `ks` — one Figure-2 curve.
+    pub fn coverage_curve(&self, ks: &[usize]) -> Vec<(usize, f64)> {
+        ks.iter().map(|&k| (k, self.coverage(k))).collect()
+    }
+
+    /// Total number of distinct packages actually imported.
+    pub fn distinct_packages(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        for nb in &self.notebooks {
+            seen.extend(nb.iter().copied());
+        }
+        seen.len()
+    }
+}
+
+/// The K values plotted in the paper's figure.
+pub const FIGURE2_KS: [usize; 8] = [1, 2, 5, 10, 20, 50, 100, 500];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let z = Zipf::new(100, 1.5);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 100];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[1] > counts[50]);
+    }
+
+    #[test]
+    fn coverage_is_monotone_in_k() {
+        let c = NotebookCorpus::generate(SnapshotParams::year_2017(5_000));
+        let curve = c.coverage_curve(&FIGURE2_KS);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1, "{curve:?}");
+        }
+        assert!(c.coverage(1_000) > 99.0);
+    }
+
+    #[test]
+    fn snapshots_reproduce_paper_shape() {
+        let c2017 = NotebookCorpus::generate(SnapshotParams::year_2017(20_000));
+        let c2019 = NotebookCorpus::generate(SnapshotParams::year_2019(20_000));
+        // 3x more packages overall...
+        assert_eq!(c2019.params.packages, 3 * c2017.params.packages);
+        // ...but higher top-10 coverage (paper: ~5 points more)
+        let t10_2017 = c2017.coverage(10);
+        let t10_2019 = c2019.coverage(10);
+        assert!(
+            t10_2019 - t10_2017 > 2.0 && t10_2019 - t10_2017 < 12.0,
+            "top-10 shift: {t10_2017:.1} -> {t10_2019:.1}"
+        );
+        // both land in a plausible coverage band
+        assert!(t10_2017 > 30.0 && t10_2017 < 85.0, "{t10_2017}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = NotebookCorpus::generate(SnapshotParams::year_2017(100));
+        let b = NotebookCorpus::generate(SnapshotParams::year_2017(100));
+        assert_eq!(a.notebooks, b.notebooks);
+    }
+
+    #[test]
+    fn notebooks_have_deduped_imports() {
+        let c = NotebookCorpus::generate(SnapshotParams::year_2017(500));
+        for nb in &c.notebooks {
+            assert!(!nb.is_empty());
+            let mut sorted = nb.clone();
+            sorted.dedup();
+            assert_eq!(&sorted, nb);
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Python-script corpus generator (for the Python-provenance coverage
+//! table).
+//!
+//! The paper evaluated its Python provenance module on 49 Kaggle scripts
+//! (95% of models, 61% of training datasets identified) and 37 internal
+//! Microsoft scripts (100% / 100%). The controlling variable is corpus
+//! difficulty: public notebooks use exotic libraries and indirect data
+//! loading that fall outside the knowledge base, while enterprise scripts
+//! follow standard patterns. The generator reproduces those difficulty
+//! mixes, with exact ground truth for scoring.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Ground truth for one generated script.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    pub models: usize,
+    /// Origin descriptions (`file:train.csv`, `sql:orders,customers`).
+    pub training_datasets: Vec<String>,
+}
+
+/// A generated script plus its truth.
+#[derive(Debug, Clone)]
+pub struct GeneratedScript {
+    pub name: String,
+    pub source: String,
+    pub truth: GroundTruth,
+}
+
+const SKLEARN_MODELS: [(&str, &str, &str); 6] = [
+    ("sklearn.linear_model", "LogisticRegression", "C=1.0"),
+    ("sklearn.ensemble", "RandomForestClassifier", "n_estimators=100"),
+    ("sklearn.ensemble", "GradientBoostingClassifier", "max_depth=3"),
+    ("sklearn.svm", "SVC", "C=2.0"),
+    ("sklearn.tree", "DecisionTreeClassifier", "max_depth=5"),
+    ("sklearn.neighbors", "KNeighborsClassifier", "n_neighbors=5"),
+];
+
+const EXOTIC_MODELS: [(&str, &str); 3] = [
+    ("fancynets", "HyperNet"),
+    ("autodeep", "AutoDeepClassifier"),
+    ("proprietaryml", "BoostedMixture"),
+];
+
+const CSV_FILES: [&str; 6] = [
+    "train.csv", "customers.csv", "transactions.csv", "claims.csv", "sensors.csv",
+    "housing.csv",
+];
+
+const SQL_SOURCES: [(&str, &str); 3] = [
+    ("SELECT age, income, label FROM customers", "customers"),
+    (
+        "SELECT p.age, v.cost FROM patients p JOIN visits v ON p.id = v.pid",
+        "patients,visits",
+    ),
+    ("SELECT amount, risk FROM loans WHERE approved = 1", "loans"),
+];
+
+/// How one script loads and models its data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ScriptShape {
+    /// Standard sklearn + read_csv — fully analyzable.
+    StandardCsv,
+    /// Standard sklearn + read_sql — fully analyzable, SQL-linked.
+    StandardSql,
+    /// Known model, but data loaded through a helper function — the
+    /// model is found, the dataset origin is not.
+    IndirectData,
+    /// Exotic model library outside the knowledge base — model missed.
+    ExoticModel,
+}
+
+fn render(shape: ScriptShape, idx: usize, rng: &mut StdRng) -> GeneratedScript {
+    let name = format!("script_{idx:03}.py");
+    match shape {
+        ScriptShape::StandardCsv => {
+            let (module, class, params) = SKLEARN_MODELS[rng.gen_range(0..SKLEARN_MODELS.len())];
+            let file = CSV_FILES[rng.gen_range(0..CSV_FILES.len())];
+            let source = format!(
+                "import pandas as pd\nfrom {module} import {class}\n\
+                 from sklearn.model_selection import train_test_split\n\
+                 from sklearn.metrics import accuracy_score\n\n\
+                 df = pd.read_csv('{file}')\n\
+                 X = df[['f1', 'f2', 'f3']]\n\
+                 y = df['label']\n\
+                 X_train, X_test, y_train, y_test = train_test_split(X, y, test_size=0.25)\n\
+                 model = {class}({params})\n\
+                 model.fit(X_train, y_train)\n\
+                 pred = model.predict(X_test)\n\
+                 acc = accuracy_score(y_test, pred)\n"
+            );
+            GeneratedScript {
+                name,
+                source,
+                truth: GroundTruth {
+                    models: 1,
+                    training_datasets: vec![format!("file:{file}")],
+                },
+            }
+        }
+        ScriptShape::StandardSql => {
+            let (module, class, params) = SKLEARN_MODELS[rng.gen_range(0..SKLEARN_MODELS.len())];
+            let (sql, tables) = SQL_SOURCES[rng.gen_range(0..SQL_SOURCES.len())];
+            let source = format!(
+                "import pandas as pd\nfrom {module} import {class}\n\n\
+                 conn = get_connection()\n\
+                 df = pd.read_sql('{sql}', conn)\n\
+                 features = df.drop('label')\n\
+                 model = {class}({params})\n\
+                 model.fit(features, df['label'])\n"
+            );
+            GeneratedScript {
+                name,
+                source,
+                truth: GroundTruth {
+                    models: 1,
+                    training_datasets: vec![format!("sql:{tables}")],
+                },
+            }
+        }
+        ScriptShape::IndirectData => {
+            let (module, class, params) = SKLEARN_MODELS[rng.gen_range(0..SKLEARN_MODELS.len())];
+            let file = CSV_FILES[rng.gen_range(0..CSV_FILES.len())];
+            // the data goes through a custom loader the analyzer cannot see
+            let source = format!(
+                "import pandas as pd\nfrom {module} import {class}\n\
+                 from mytools.data import load_dataset\n\n\
+                 df = load_dataset('{file}', cache=True)\n\
+                 X = df[['f1', 'f2']]\n\
+                 model = {class}({params})\n\
+                 model.fit(X, df['y'])\n"
+            );
+            GeneratedScript {
+                name,
+                source,
+                truth: GroundTruth {
+                    models: 1,
+                    training_datasets: vec![format!("file:{file}")],
+                },
+            }
+        }
+        ScriptShape::ExoticModel => {
+            let (module, class) = EXOTIC_MODELS[rng.gen_range(0..EXOTIC_MODELS.len())];
+            let file = CSV_FILES[rng.gen_range(0..CSV_FILES.len())];
+            let source = format!(
+                "import pandas as pd\nimport {module}\n\n\
+                 df = pd.read_csv('{file}')\n\
+                 model = {module}.{class}(depth=4)\n\
+                 model.fit(df, df['target'])\n"
+            );
+            GeneratedScript {
+                name,
+                source,
+                truth: GroundTruth {
+                    models: 1,
+                    training_datasets: vec![format!("file:{file}")],
+                },
+            }
+        }
+    }
+}
+
+/// The "Kaggle" corpus: 49 scripts with the public-notebook difficulty
+/// mix — a couple of exotic model libraries (model coverage ~95%) and a
+/// large share of indirect data loading (dataset coverage ~61%).
+pub fn kaggle_corpus(seed: u64) -> Vec<GeneratedScript> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut shapes = Vec::with_capacity(49);
+    shapes.extend(std::iter::repeat_n(ScriptShape::ExoticModel, 2));
+    shapes.extend(std::iter::repeat_n(ScriptShape::IndirectData, 17));
+    shapes.extend(std::iter::repeat_n(ScriptShape::StandardSql, 8));
+    shapes.extend(std::iter::repeat_n(ScriptShape::StandardCsv, 22));
+    assert_eq!(shapes.len(), 49);
+    // deterministic shuffle
+    for i in (1..shapes.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        shapes.swap(i, j);
+    }
+    shapes
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| render(s, i, &mut rng))
+        .collect()
+}
+
+/// The "enterprise" corpus: 37 scripts following standard production
+/// patterns — everything analyzable (100% / 100%).
+pub fn enterprise_corpus(seed: u64) -> Vec<GeneratedScript> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..37)
+        .map(|i| {
+            let shape = if i % 3 == 0 {
+                ScriptShape::StandardSql
+            } else {
+                ScriptShape::StandardCsv
+            };
+            render(shape, i, &mut rng)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpora_have_paper_sizes() {
+        assert_eq!(kaggle_corpus(1).len(), 49);
+        assert_eq!(enterprise_corpus(1).len(), 37);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = kaggle_corpus(5);
+        let b = kaggle_corpus(5);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0].source, b[0].source);
+    }
+
+    #[test]
+    fn every_script_has_one_model_truth() {
+        for s in kaggle_corpus(2).iter().chain(enterprise_corpus(2).iter()) {
+            assert_eq!(s.truth.models, 1, "{}", s.name);
+            assert_eq!(s.truth.training_datasets.len(), 1);
+        }
+    }
+
+    #[test]
+    fn kaggle_mix_contains_all_difficulty_shapes() {
+        let corpus = kaggle_corpus(3);
+        let exotic = corpus
+            .iter()
+            .filter(|s| s.source.contains("fancynets") || s.source.contains("autodeep")
+                || s.source.contains("proprietaryml"))
+            .count();
+        let indirect = corpus
+            .iter()
+            .filter(|s| s.source.contains("load_dataset"))
+            .count();
+        assert_eq!(exotic, 2);
+        assert_eq!(indirect, 17);
+    }
+
+    #[test]
+    fn enterprise_scripts_are_all_standard() {
+        for s in enterprise_corpus(4) {
+            assert!(
+                s.source.contains("read_csv") || s.source.contains("read_sql"),
+                "{}",
+                s.name
+            );
+            assert!(!s.source.contains("load_dataset"));
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! Tabular dataset + model generator for the inference experiment
+//! (Figure 4).
+//!
+//! Produces a realistic scoring scenario: a customer-style table with
+//! numeric and categorical columns (some irrelevant — giving the feature
+//! pruning rule something to prune), a trained classification pipeline,
+//! and loaders into both the DBMS and the standalone runtime's frame
+//! format.
+
+use flock_ml::{
+    train, ColumnPipeline, Frame, FrameCol, Matrix, Model, NumericStep, Pipeline,
+};
+use flock_sql::{ColumnVector, Database, DataType, RecordBatch, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+const CITIES: [&str; 6] = ["nyc", "sf", "chi", "aus", "sea", "mia"];
+
+/// One generated dataset, in both representations.
+pub struct TabularDataset {
+    /// Column-major numeric data.
+    pub age: Vec<f64>,
+    pub income: Vec<f64>,
+    pub debt: Vec<f64>,
+    pub tenure: Vec<f64>,
+    /// Irrelevant numeric noise columns (pruning targets).
+    pub noise1: Vec<f64>,
+    pub noise2: Vec<f64>,
+    pub city: Vec<String>,
+    /// Free-text remarks (expensive to featurize; signal-free). The
+    /// feature-pruning ablation uses this column.
+    pub comment: Vec<String>,
+    /// Binary label derived from a noisy ground-truth function.
+    pub label: Vec<f64>,
+}
+
+const WORDS: [&str; 12] = [
+    "called", "about", "billing", "support", "upgrade", "renewal", "issue", "resolved",
+    "escalated", "pending", "callback", "satisfied",
+];
+
+impl TabularDataset {
+    /// Generate `n` rows.
+    pub fn generate(n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = TabularDataset {
+            age: Vec::with_capacity(n),
+            income: Vec::with_capacity(n),
+            debt: Vec::with_capacity(n),
+            tenure: Vec::with_capacity(n),
+            noise1: Vec::with_capacity(n),
+            noise2: Vec::with_capacity(n),
+            city: Vec::with_capacity(n),
+            comment: Vec::with_capacity(n),
+            label: Vec::with_capacity(n),
+        };
+        for _ in 0..n {
+            let age = rng.gen_range(18.0..80.0f64);
+            let income = rng.gen_range(10.0..250.0f64);
+            let debt = rng.gen_range(0.0..120.0f64);
+            let tenure = rng.gen_range(0.0..30.0f64);
+            let city = CITIES[rng.gen_range(0..CITIES.len())];
+            let score = 0.03 * income - 0.05 * debt + 0.02 * tenure
+                + if city == "nyc" { 0.5 } else { 0.0 }
+                + rng.gen_range(-0.8..0.8);
+            d.age.push(age);
+            d.income.push(income);
+            d.debt.push(debt);
+            d.tenure.push(tenure);
+            d.noise1.push(rng.gen_range(-1.0..1.0));
+            d.noise2.push(rng.gen_range(0.0..100.0));
+            d.city.push(city.to_string());
+            let n_words = rng.gen_range(4..10);
+            let comment: Vec<&str> = (0..n_words)
+                .map(|_| WORDS[rng.gen_range(0..WORDS.len())])
+                .collect();
+            d.comment.push(comment.join(" "));
+            d.label.push(if score > 0.5 { 1.0 } else { 0.0 });
+        }
+        d
+    }
+
+    pub fn len(&self) -> usize {
+        self.age.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.age.is_empty()
+    }
+
+    /// The feature frame (inputs only) for standalone runtimes.
+    pub fn frame(&self) -> Frame {
+        Frame::new()
+            .with("age", FrameCol::F64(self.age.clone()))
+            .unwrap()
+            .with("income", FrameCol::F64(self.income.clone()))
+            .unwrap()
+            .with("debt", FrameCol::F64(self.debt.clone()))
+            .unwrap()
+            .with("tenure", FrameCol::F64(self.tenure.clone()))
+            .unwrap()
+            .with("noise1", FrameCol::F64(self.noise1.clone()))
+            .unwrap()
+            .with("noise2", FrameCol::F64(self.noise2.clone()))
+            .unwrap()
+            .with("city", FrameCol::Str(self.city.clone()))
+            .unwrap()
+            .with("comment", FrameCol::Str(self.comment.clone()))
+            .unwrap()
+    }
+
+    /// DDL + bulk load into the database. Table: `customers`.
+    pub fn load_into(&self, db: &Database) -> flock_sql::Result<()> {
+        db.execute(
+            "CREATE TABLE customers (age DOUBLE, income DOUBLE, debt DOUBLE, \
+             tenure DOUBLE, noise1 DOUBLE, noise2 DOUBLE, city VARCHAR, \
+             comment VARCHAR, label INT)",
+        )?;
+        let schema = Arc::new(Schema::from_pairs(&[
+            ("age", DataType::Float),
+            ("income", DataType::Float),
+            ("debt", DataType::Float),
+            ("tenure", DataType::Float),
+            ("noise1", DataType::Float),
+            ("noise2", DataType::Float),
+            ("city", DataType::Text),
+            ("comment", DataType::Text),
+            ("label", DataType::Int),
+        ]));
+        let city_vals: Vec<Value> = self
+            .city
+            .iter()
+            .map(|c| Value::Text(c.clone()))
+            .collect();
+        let comment_vals: Vec<Value> = self
+            .comment
+            .iter()
+            .map(|c| Value::Text(c.clone()))
+            .collect();
+        let columns = vec![
+            ColumnVector::from_f64(self.age.iter().copied()),
+            ColumnVector::from_f64(self.income.iter().copied()),
+            ColumnVector::from_f64(self.debt.iter().copied()),
+            ColumnVector::from_f64(self.tenure.iter().copied()),
+            ColumnVector::from_f64(self.noise1.iter().copied()),
+            ColumnVector::from_f64(self.noise2.iter().copied()),
+            ColumnVector::from_values(DataType::Text, &city_vals)?,
+            ColumnVector::from_values(DataType::Text, &comment_vals)?,
+            ColumnVector::from_i64(self.label.iter().map(|l| *l as i64)),
+        ];
+        let batch = RecordBatch::new(schema, columns)?;
+        db.session("admin").append_batch("customers", batch)?;
+        Ok(())
+    }
+
+    /// Train the Figure-4 pipeline on this dataset: standardized numeric
+    /// features + one-hot city into a GBT classifier. `noise1`/`noise2`
+    /// are *declared* as inputs but carry no signal; with shallow trees
+    /// they end up unused — the sparsity the pruning rule exploits.
+    pub fn train_pipeline(&self, trees: usize, max_depth: usize) -> Pipeline {
+        let columns = vec![
+            numeric_col("age", &self.age),
+            numeric_col("income", &self.income),
+            numeric_col("debt", &self.debt),
+            numeric_col("tenure", &self.tenure),
+            ColumnPipeline::numeric("noise1"),
+            ColumnPipeline::numeric("noise2"),
+            ColumnPipeline::one_hot("city", CITIES.iter().map(|c| c.to_string()).collect()),
+        ];
+        let draft = Pipeline::new(
+            columns.clone(),
+            Model::Linear(flock_ml::LinearModel::new(vec![], 0.0)),
+            "p_good",
+        );
+        let x = draft.featurize(&self.frame()).expect("featurize");
+        let model = train_gbt_restricted(&x, &self.label, trees, max_depth);
+        Pipeline::new(columns, model, "p_good")
+    }
+
+    /// A logistic pipeline over the numeric columns only (used by the
+    /// predicate push-up experiments).
+    pub fn train_logistic(&self) -> Pipeline {
+        let columns = vec![
+            numeric_col("income", &self.income),
+            numeric_col("debt", &self.debt),
+            numeric_col("tenure", &self.tenure),
+        ];
+        let draft = Pipeline::new(
+            columns.clone(),
+            Model::Linear(flock_ml::LinearModel::new(vec![], 0.0)),
+            "p_good",
+        );
+        let frame = Frame::new()
+            .with("income", FrameCol::F64(self.income.clone()))
+            .unwrap()
+            .with("debt", FrameCol::F64(self.debt.clone()))
+            .unwrap()
+            .with("tenure", FrameCol::F64(self.tenure.clone()))
+            .unwrap();
+        let x = draft.featurize(&frame).expect("featurize");
+        let lm = train::fit_logistic(&x, &self.label, 80, 0.8).expect("fit");
+        Pipeline::new(columns, Model::Logistic(lm), "p_good")
+    }
+}
+
+impl TabularDataset {
+    /// A churn pipeline whose text column went through feature selection:
+    /// the `comment` field is declared as a hashed-text input (`buckets`
+    /// features) but carries **zero weight** — feature selection kept only
+    /// the numeric signals. Scoring it naively still tokenizes and hashes
+    /// every comment; the cross-optimizer's pruning rule removes the
+    /// column entirely. This is the paper's "automatic pruning of unused
+    /// input feature-columns exploiting model-sparsity" in its
+    /// highest-payoff form.
+    pub fn train_text_pipeline(&self, buckets: usize) -> Pipeline {
+        // fit the numeric part
+        let numeric_cols = vec![
+            numeric_col("income", &self.income),
+            numeric_col("debt", &self.debt),
+        ];
+        let draft = Pipeline::new(
+            numeric_cols.clone(),
+            Model::Linear(flock_ml::LinearModel::new(vec![], 0.0)),
+            "p_churn",
+        );
+        let frame = Frame::new()
+            .with("income", FrameCol::F64(self.income.clone()))
+            .unwrap()
+            .with("debt", FrameCol::F64(self.debt.clone()))
+            .unwrap();
+        let x = draft.featurize(&frame).expect("featurize");
+        let cap = 2000.min(x.rows());
+        let rows: Vec<Vec<f64>> = (0..cap).map(|r| x.row(r).to_vec()).collect();
+        let lm = train::fit_logistic(
+            &Matrix::from_rows(&rows),
+            &self.label[..cap],
+            60,
+            0.8,
+        )
+        .expect("fit");
+        // widen to include the hashed text features at weight 0
+        let mut weights = lm.weights.clone();
+        weights.extend(std::iter::repeat_n(0.0, buckets));
+        let mut columns = numeric_cols;
+        columns.push(ColumnPipeline {
+            input: "comment".into(),
+            steps: vec![],
+            encoder: flock_ml::Encoder::Hashing { buckets },
+        });
+        Pipeline::new(
+            columns,
+            Model::Logistic(flock_ml::LinearModel::new(weights, lm.bias)),
+            "p_churn",
+        )
+    }
+}
+
+fn numeric_col(name: &str, values: &[f64]) -> ColumnPipeline {
+    let mean = values.iter().sum::<f64>() / values.len().max(1) as f64;
+    let std = (values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+        / values.len().max(1) as f64)
+        .sqrt();
+    ColumnPipeline::numeric(name)
+        .with_step(NumericStep::Impute { fill: mean })
+        .with_step(NumericStep::Standardize {
+            mean,
+            std: if std == 0.0 { 1.0 } else { std },
+        })
+}
+
+/// Fit a GBT on a training subsample (training cost does not scale with
+/// the scoring-set sizes benchmarked).
+fn train_gbt_restricted(x: &Matrix, y: &[f64], trees: usize, max_depth: usize) -> Model {
+    let cap = 2000.min(x.rows());
+    let rows: Vec<Vec<f64>> = (0..cap).map(|r| x.row(r).to_vec()).collect();
+    let sub = Matrix::from_rows(&rows);
+    let suby = &y[..cap];
+    let params = train::TreeParams {
+        max_depth,
+        min_samples_split: 8,
+        feature_subsample: None,
+        seed: 17,
+    };
+    Model::Gbt(
+        train::fit_gbt(&sub, suby, trees, 0.3, &params, true).expect("gbt training"),
+    )
+}
+
+/// The dataset sizes in the paper's Figure 4.
+pub const FIGURE4_SIZES: [usize; 4] = [1_000, 10_000, 100_000, 1_000_000];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_shapes() {
+        let d = TabularDataset::generate(500, 1);
+        assert_eq!(d.len(), 500);
+        assert_eq!(d.frame().num_rows(), 500);
+        let positives = d.label.iter().filter(|l| **l > 0.5).count();
+        assert!(positives > 50 && positives < 450, "label balance: {positives}");
+    }
+
+    #[test]
+    fn loads_into_database() {
+        let d = TabularDataset::generate(200, 2);
+        let db = Database::new();
+        d.load_into(&db).unwrap();
+        let b = db.query("SELECT COUNT(*), AVG(income) FROM customers").unwrap();
+        assert_eq!(b.column(0).get(0), Value::Int(200));
+    }
+
+    #[test]
+    fn trained_pipeline_beats_chance_and_has_sparsity() {
+        let d = TabularDataset::generate(1500, 3);
+        let p = d.train_pipeline(15, 3);
+        let scores = p.score(&d.frame()).unwrap();
+        let acc = flock_ml::metrics::accuracy(&scores, &d.label, 0.5);
+        assert!(acc > 0.75, "accuracy {acc}");
+        // noise columns unused -> input pruning has something to do
+        let usage = p.input_usage();
+        assert!(usage[0] || usage[1] || usage[2], "signal columns used");
+        assert!(
+            !usage[4] || !usage[5],
+            "at least one noise column should be unused: {usage:?}"
+        );
+    }
+
+    #[test]
+    fn logistic_pipeline_is_affine_inlinable() {
+        let d = TabularDataset::generate(800, 4);
+        let p = d.train_logistic();
+        assert!(matches!(p.model, Model::Logistic(_)));
+        let scores = p.score(&d.frame()).unwrap();
+        let acc = flock_ml::metrics::accuracy(&scores, &d.label, 0.5);
+        assert!(acc > 0.7, "accuracy {acc}");
+    }
+}

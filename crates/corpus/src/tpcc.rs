@@ -1,0 +1,257 @@
+//! TPC-C statement-stream generator (for the SQL-provenance experiment's
+//! second row: 2,200 queries, 124 s, 34,785 nodes+edges).
+//!
+//! TPC-C is write-heavy: its five transactions mix SELECTs with many
+//! INSERT/UPDATE statements, which is why the paper's provenance graph is
+//! *larger* for TPC-C than TPC-H despite similar query counts — every
+//! write mints a new table-version node.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The TPC-C schema (9 tables).
+pub fn schema_ddl() -> Vec<&'static str> {
+    vec![
+        "CREATE TABLE warehouse (w_id INT NOT NULL, w_name VARCHAR, w_street VARCHAR, w_city VARCHAR, w_state VARCHAR, w_zip VARCHAR, w_tax DOUBLE, w_ytd DOUBLE)",
+        "CREATE TABLE district (d_id INT NOT NULL, d_w_id INT NOT NULL, d_name VARCHAR, d_street VARCHAR, d_city VARCHAR, d_state VARCHAR, d_zip VARCHAR, d_tax DOUBLE, d_ytd DOUBLE, d_next_o_id INT)",
+        "CREATE TABLE customer3 (c_id INT NOT NULL, c_d_id INT NOT NULL, c_w_id INT NOT NULL, c_first VARCHAR, c_last VARCHAR, c_balance DOUBLE, c_ytd_payment DOUBLE, c_payment_cnt INT, c_delivery_cnt INT, c_credit VARCHAR, c_discount DOUBLE)",
+        "CREATE TABLE history (h_c_id INT, h_c_d_id INT, h_c_w_id INT, h_d_id INT, h_w_id INT, h_date DATE, h_amount DOUBLE, h_data VARCHAR)",
+        "CREATE TABLE orders3 (o_id INT NOT NULL, o_d_id INT NOT NULL, o_w_id INT NOT NULL, o_c_id INT, o_entry_d DATE, o_carrier_id INT, o_ol_cnt INT, o_all_local INT)",
+        "CREATE TABLE new_order (no_o_id INT NOT NULL, no_d_id INT NOT NULL, no_w_id INT NOT NULL)",
+        "CREATE TABLE order_line (ol_o_id INT NOT NULL, ol_d_id INT NOT NULL, ol_w_id INT NOT NULL, ol_number INT NOT NULL, ol_i_id INT, ol_supply_w_id INT, ol_delivery_d DATE, ol_quantity INT, ol_amount DOUBLE, ol_dist_info VARCHAR)",
+        "CREATE TABLE item (i_id INT NOT NULL, i_im_id INT, i_name VARCHAR, i_price DOUBLE, i_data VARCHAR)",
+        "CREATE TABLE stock (s_i_id INT NOT NULL, s_w_id INT NOT NULL, s_quantity INT, s_ytd DOUBLE, s_order_cnt INT, s_remote_cnt INT, s_data VARCHAR)",
+    ]
+}
+
+/// The five TPC-C transaction types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transaction {
+    NewOrder,
+    Payment,
+    OrderStatus,
+    Delivery,
+    StockLevel,
+}
+
+/// Generate the statement sequence of one transaction instance.
+pub fn transaction(kind: Transaction, rng: &mut StdRng) -> Vec<String> {
+    let w = rng.gen_range(1..=10);
+    let d = rng.gen_range(1..=10);
+    let c = rng.gen_range(1..=3000);
+    match kind {
+        Transaction::NewOrder => {
+            let o = rng.gen_range(1..=100_000);
+            let mut stmts = vec![
+                format!("SELECT w_tax FROM warehouse WHERE w_id = {w}"),
+                format!("SELECT d_tax, d_next_o_id FROM district WHERE d_w_id = {w} AND d_id = {d}"),
+                format!("UPDATE district SET d_next_o_id = d_next_o_id + 1 WHERE d_w_id = {w} AND d_id = {d}"),
+                format!("SELECT c_discount, c_last, c_credit FROM customer3 WHERE c_w_id = {w} AND c_d_id = {d} AND c_id = {c}"),
+                format!("INSERT INTO orders3 VALUES ({o}, {d}, {w}, {c}, '1998-01-01', 0, 5, 1)"),
+                format!("INSERT INTO new_order VALUES ({o}, {d}, {w})"),
+            ];
+            for line in 1..=rng.gen_range(2..=4) {
+                let i = rng.gen_range(1..=100_000);
+                stmts.push(format!(
+                    "SELECT i_price, i_name, i_data FROM item WHERE i_id = {i}"
+                ));
+                stmts.push(format!(
+                    "UPDATE stock SET s_quantity = s_quantity - {q}, s_ytd = s_ytd + {q}, \
+                     s_order_cnt = s_order_cnt + 1 WHERE s_i_id = {i} AND s_w_id = {w}",
+                    q = rng.gen_range(1..=10)
+                ));
+                stmts.push(format!(
+                    "INSERT INTO order_line VALUES ({o}, {d}, {w}, {line}, {i}, {w}, NULL, 5, {:.2}, 'dist')",
+                    rng.gen_range(10.0..500.0)
+                ));
+            }
+            stmts
+        }
+        Transaction::Payment => {
+            let amount = rng.gen_range(1.0..5000.0);
+            vec![
+                format!("UPDATE warehouse SET w_ytd = w_ytd + {amount:.2} WHERE w_id = {w}"),
+                format!("SELECT w_name, w_street, w_city FROM warehouse WHERE w_id = {w}"),
+                format!("UPDATE district SET d_ytd = d_ytd + {amount:.2} WHERE d_w_id = {w} AND d_id = {d}"),
+                format!(
+                    "UPDATE customer3 SET c_balance = c_balance - {amount:.2}, \
+                     c_ytd_payment = c_ytd_payment + {amount:.2}, c_payment_cnt = c_payment_cnt + 1 \
+                     WHERE c_w_id = {w} AND c_d_id = {d} AND c_id = {c}"
+                ),
+                format!(
+                    "INSERT INTO history VALUES ({c}, {d}, {w}, {d}, {w}, '1998-02-03', {amount:.2}, 'payment')"
+                ),
+            ]
+        }
+        Transaction::OrderStatus => vec![
+            format!(
+                "SELECT c_balance, c_first, c_last FROM customer3 \
+                 WHERE c_w_id = {w} AND c_d_id = {d} AND c_id = {c}"
+            ),
+            format!(
+                "SELECT o_id, o_entry_d, o_carrier_id FROM orders3 \
+                 WHERE o_w_id = {w} AND o_d_id = {d} AND o_c_id = {c} \
+                 ORDER BY o_id DESC LIMIT 1"
+            ),
+            format!(
+                "SELECT ol_i_id, ol_supply_w_id, ol_quantity, ol_amount, ol_delivery_d \
+                 FROM order_line WHERE ol_w_id = {w} AND ol_d_id = {d}"
+            ),
+        ],
+        Transaction::Delivery => {
+            let o = rng.gen_range(1..=100_000);
+            vec![
+                format!(
+                    "SELECT MIN(no_o_id) FROM new_order WHERE no_d_id = {d} AND no_w_id = {w}"
+                ),
+                format!("DELETE FROM new_order WHERE no_o_id = {o} AND no_d_id = {d} AND no_w_id = {w}"),
+                format!("UPDATE orders3 SET o_carrier_id = {} WHERE o_id = {o} AND o_d_id = {d} AND o_w_id = {w}", rng.gen_range(1..=10)),
+                format!("UPDATE order_line SET ol_delivery_d = '1998-03-04' WHERE ol_o_id = {o} AND ol_d_id = {d} AND ol_w_id = {w}"),
+                format!(
+                    "SELECT SUM(ol_amount) FROM order_line WHERE ol_o_id = {o} AND ol_d_id = {d} AND ol_w_id = {w}"
+                ),
+                format!(
+                    "UPDATE customer3 SET c_balance = c_balance + 100.0, c_delivery_cnt = c_delivery_cnt + 1 \
+                     WHERE c_w_id = {w} AND c_d_id = {d} AND c_id = {c}"
+                ),
+            ]
+        }
+        Transaction::StockLevel => vec![
+            format!("SELECT d_next_o_id FROM district WHERE d_w_id = {w} AND d_id = {d}"),
+            format!(
+                "SELECT COUNT(DISTINCT s.s_i_id) FROM order_line ol, stock s \
+                 WHERE ol.ol_w_id = {w} AND ol.ol_d_id = {d} \
+                 AND s.s_i_id = ol.ol_i_id AND s.s_w_id = {w} AND s.s_quantity < {}",
+                rng.gen_range(10..=20)
+            ),
+        ],
+    }
+}
+
+/// The standard TPC-C transaction mix.
+pub fn pick_transaction(rng: &mut StdRng) -> Transaction {
+    match rng.gen_range(0..100) {
+        0..=44 => Transaction::NewOrder,
+        45..=87 => Transaction::Payment,
+        88..=91 => Transaction::OrderStatus,
+        92..=95 => Transaction::Delivery,
+        _ => Transaction::StockLevel,
+    }
+}
+
+/// Generate a stream of ~`n_statements` statements following the standard
+/// mix (the paper processed 2,200 TPC-C queries).
+pub fn statement_stream(n_statements: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n_statements);
+    while out.len() < n_statements {
+        let t = pick_transaction(&mut rng);
+        out.extend(transaction(t, &mut rng));
+    }
+    out.truncate(n_statements);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flock_sql::parser::parse_statement;
+
+    #[test]
+    fn all_transaction_statements_parse() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for kind in [
+            Transaction::NewOrder,
+            Transaction::Payment,
+            Transaction::OrderStatus,
+            Transaction::Delivery,
+            Transaction::StockLevel,
+        ] {
+            for stmt in transaction(kind, &mut rng) {
+                parse_statement(&stmt)
+                    .unwrap_or_else(|e| panic!("{kind:?} failed: {e}\n{stmt}"));
+            }
+        }
+    }
+
+    #[test]
+    fn stream_hits_requested_size() {
+        let s = statement_stream(2200, 11);
+        assert_eq!(s.len(), 2200);
+    }
+
+    #[test]
+    fn mix_is_write_heavy() {
+        let s = statement_stream(2000, 13);
+        let writes = s
+            .iter()
+            .filter(|q| {
+                let u = q.to_ascii_uppercase();
+                u.starts_with("INSERT") || u.starts_with("UPDATE") || u.starts_with("DELETE")
+            })
+            .count();
+        // TPC-C is dominated by NewOrder/Payment writes
+        assert!(
+            writes * 2 > s.len(),
+            "expected write-heavy mix, got {writes}/{} writes",
+            s.len()
+        );
+    }
+
+    #[test]
+    fn ddl_parses() {
+        for ddl in schema_ddl() {
+            parse_statement(ddl).unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod exec_tests {
+    use super::*;
+
+    /// TPC-C transactions must *execute* against the schema, not just
+    /// parse — writes included.
+    #[test]
+    fn transactions_execute_against_schema() {
+        let db = flock_sql::Database::new();
+        for ddl in schema_ddl() {
+            db.execute(ddl).unwrap();
+        }
+        // seed minimal rows the UPDATE/SELECT statements will touch
+        db.execute("INSERT INTO warehouse VALUES (1, 'w1', 's', 'c', 'st', 'z', 0.05, 0.0)")
+            .unwrap();
+        db.execute(
+            "INSERT INTO district VALUES (1, 1, 'd1', 's', 'c', 'st', 'z', 0.04, 0.0, 1)",
+        )
+        .unwrap();
+        db.execute(
+            "INSERT INTO customer3 VALUES (1, 1, 1, 'Ann', 'Smith', 100.0, 0.0, 0, 0, 'GC', 0.1)",
+        )
+        .unwrap();
+        db.execute("INSERT INTO item VALUES (1, 1, 'widget', 9.99, 'data')").unwrap();
+        db.execute("INSERT INTO stock VALUES (1, 1, 50, 0.0, 0, 0, 'sdata')").unwrap();
+
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut session = db.session("admin");
+        let mut executed = 0;
+        for kind in [
+            Transaction::NewOrder,
+            Transaction::Payment,
+            Transaction::OrderStatus,
+            Transaction::Delivery,
+            Transaction::StockLevel,
+        ] {
+            for stmt in transaction(kind, &mut rng) {
+                session
+                    .execute(&stmt)
+                    .unwrap_or_else(|e| panic!("{kind:?} failed: {e}\n{stmt}"));
+                executed += 1;
+            }
+        }
+        assert!(executed >= 15);
+        // the write-heavy mix produced table versions
+        let warehouse_versions = db.catalog().table("warehouse").unwrap().current_version();
+        assert!(warehouse_versions >= 3, "payment bumped warehouse twice");
+    }
+}

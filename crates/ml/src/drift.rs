@@ -1,0 +1,235 @@
+//! Model monitoring: score-distribution drift detection.
+//!
+//! The paper's landscape (Figure 3) lists *Model Monitoring* as a core
+//! serving feature, and §2 notes that "as the underlying data evolves
+//! models need to be updated". This module provides the standard
+//! lightweight detector: snapshot the score distribution at deployment
+//! time, then compare live scores against it with the Population
+//! Stability Index (PSI) plus mean/std shift.
+
+use serde::{Deserialize, Serialize};
+
+/// A compact summary of a score distribution: fixed-width histogram over
+/// `[lo, hi]` plus moments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoreProfile {
+    pub lo: f64,
+    pub hi: f64,
+    /// Bucket proportions (sum to 1 when count > 0); first/last buckets
+    /// absorb out-of-range values.
+    pub buckets: Vec<f64>,
+    pub mean: f64,
+    pub std: f64,
+    pub count: usize,
+}
+
+impl ScoreProfile {
+    /// Build a profile with `n_buckets` over the observed range of
+    /// `scores` (or `[0, 1]` when empty/degenerate).
+    pub fn from_scores(scores: &[f64], n_buckets: usize) -> ScoreProfile {
+        let n_buckets = n_buckets.max(2);
+        let finite: Vec<f64> = scores.iter().copied().filter(|s| s.is_finite()).collect();
+        let (lo, hi) = finite.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &s| {
+            (l.min(s), h.max(s))
+        });
+        let (lo, hi) = if finite.is_empty() || lo >= hi {
+            (0.0, 1.0)
+        } else {
+            (lo, hi)
+        };
+        Self::from_scores_with_range(&finite, n_buckets, lo, hi)
+    }
+
+    /// Build a profile over an explicit range (used to compare live scores
+    /// against a baseline's binning).
+    pub fn from_scores_with_range(
+        scores: &[f64],
+        n_buckets: usize,
+        lo: f64,
+        hi: f64,
+    ) -> ScoreProfile {
+        let n_buckets = n_buckets.max(2);
+        let width = (hi - lo).max(1e-12);
+        let mut counts = vec![0usize; n_buckets];
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        let mut n = 0usize;
+        for &s in scores {
+            if !s.is_finite() {
+                continue;
+            }
+            let b = (((s - lo) / width) * n_buckets as f64)
+                .floor()
+                .clamp(0.0, (n_buckets - 1) as f64) as usize;
+            counts[b] += 1;
+            sum += s;
+            sumsq += s * s;
+            n += 1;
+        }
+        let mean = if n == 0 { 0.0 } else { sum / n as f64 };
+        let var = if n == 0 {
+            0.0
+        } else {
+            (sumsq / n as f64 - mean * mean).max(0.0)
+        };
+        let buckets = counts
+            .iter()
+            .map(|&c| if n == 0 { 0.0 } else { c as f64 / n as f64 })
+            .collect();
+        ScoreProfile {
+            lo,
+            hi,
+            buckets,
+            mean,
+            std: var.sqrt(),
+            count: n,
+        }
+    }
+
+    /// Population Stability Index against this baseline. Standard reading:
+    /// `< 0.1` stable, `0.1–0.25` moderate shift, `> 0.25` major shift.
+    pub fn psi(&self, live: &ScoreProfile) -> f64 {
+        const EPS: f64 = 1e-4;
+        self.buckets
+            .iter()
+            .zip(&live.buckets)
+            .map(|(&base, &cur)| {
+                let b = base.max(EPS);
+                let c = cur.max(EPS);
+                (c - b) * (c / b).ln()
+            })
+            .sum()
+    }
+
+    /// Compare live raw scores against this baseline (same binning).
+    pub fn check(&self, live_scores: &[f64]) -> DriftReport {
+        let live = ScoreProfile::from_scores_with_range(
+            live_scores,
+            self.buckets.len(),
+            self.lo,
+            self.hi,
+        );
+        let psi = self.psi(&live);
+        let mean_shift = if self.std > 1e-12 {
+            (live.mean - self.mean).abs() / self.std
+        } else {
+            (live.mean - self.mean).abs()
+        };
+        let verdict = if psi > 0.25 || mean_shift > 3.0 {
+            DriftVerdict::Major
+        } else if psi > 0.1 || mean_shift > 1.5 {
+            DriftVerdict::Moderate
+        } else {
+            DriftVerdict::Stable
+        };
+        DriftReport {
+            psi,
+            mean_shift_sigmas: mean_shift,
+            baseline_mean: self.mean,
+            live_mean: live.mean,
+            verdict,
+        }
+    }
+}
+
+/// Outcome of a drift check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DriftVerdict {
+    Stable,
+    Moderate,
+    Major,
+}
+
+/// Full drift comparison result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftReport {
+    pub psi: f64,
+    /// |live mean − baseline mean| in baseline standard deviations.
+    pub mean_shift_sigmas: f64,
+    pub baseline_mean: f64,
+    pub live_mean: f64,
+    pub verdict: DriftVerdict,
+}
+
+impl DriftReport {
+    /// Should the model be revalidated/retrained?
+    pub fn needs_attention(&self) -> bool {
+        self.verdict != DriftVerdict::Stable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn normal_ish(rng: &mut StdRng, mean: f64, spread: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|_| {
+                let u: f64 = (0..6).map(|_| rng.gen_range(-1.0..1.0)).sum::<f64>() / 6.0;
+                mean + spread * u
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_distribution_is_stable() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let base = normal_ish(&mut rng, 0.5, 0.2, 5000);
+        let live = normal_ish(&mut rng, 0.5, 0.2, 5000);
+        let profile = ScoreProfile::from_scores(&base, 10);
+        let report = profile.check(&live);
+        assert_eq!(report.verdict, DriftVerdict::Stable, "{report:?}");
+        assert!(report.psi < 0.1);
+    }
+
+    #[test]
+    fn shifted_distribution_is_flagged() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let base = normal_ish(&mut rng, 0.3, 0.1, 5000);
+        let live = normal_ish(&mut rng, 0.7, 0.1, 5000);
+        let profile = ScoreProfile::from_scores(&base, 10);
+        let report = profile.check(&live);
+        assert_eq!(report.verdict, DriftVerdict::Major, "{report:?}");
+        assert!(report.needs_attention());
+        assert!(report.psi > 0.25);
+    }
+
+    #[test]
+    fn mild_shift_is_moderate_or_worse() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let base = normal_ish(&mut rng, 0.5, 0.2, 8000);
+        let live = normal_ish(&mut rng, 0.58, 0.2, 8000);
+        let profile = ScoreProfile::from_scores(&base, 10);
+        let report = profile.check(&live);
+        assert!(report.psi > 0.01, "{report:?}");
+        assert!(report.verdict != DriftVerdict::Stable || report.psi < 0.1);
+    }
+
+    #[test]
+    fn out_of_range_scores_land_in_edge_buckets() {
+        let profile = ScoreProfile::from_scores(&[0.0, 0.5, 1.0], 4);
+        let report = profile.check(&[-5.0, 10.0]);
+        assert!(report.needs_attention());
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        let empty = ScoreProfile::from_scores(&[], 8);
+        assert_eq!(empty.count, 0);
+        let _ = empty.check(&[]);
+        let constant = ScoreProfile::from_scores(&[0.5; 100], 8);
+        let report = constant.check(&[0.5; 50]);
+        assert_eq!(report.verdict, DriftVerdict::Stable);
+        let _ = ScoreProfile::from_scores(&[f64::NAN, f64::INFINITY], 8);
+    }
+
+    #[test]
+    fn profile_serializes() {
+        let p = ScoreProfile::from_scores(&[0.1, 0.9, 0.5], 4);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: ScoreProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,44 @@
+//! Error type for the ML substrate.
+
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MlError {
+    /// Shape mismatch (feature count, column length, ...).
+    Shape(String),
+    /// Referenced column missing from the input frame.
+    UnknownColumn(String),
+    /// Training failure (singular system, empty data, ...).
+    Train(String),
+    /// Serialization / deserialization failure.
+    Format(String),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::Shape(m) => write!(f, "shape error: {m}"),
+            MlError::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
+            MlError::Train(m) => write!(f, "training error: {m}"),
+            MlError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+pub type Result<T> = std::result::Result<T, MlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            MlError::UnknownColumn("x".into()).to_string(),
+            "unknown column 'x'"
+        );
+        assert!(MlError::Train("bad".into()).to_string().contains("bad"));
+    }
+}

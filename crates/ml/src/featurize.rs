@@ -1,0 +1,353 @@
+//! Featurizers: per-input-column transformations producing feature slots.
+//!
+//! A [`ColumnPipeline`] describes how one input column becomes one or more
+//! numeric features: optional numeric preprocessing steps followed by an
+//! encoder. The full pipeline's feature vector is the concatenation of
+//! every column's features in declaration order — a deterministic layout
+//! the cross-optimizer relies on when mapping model sparsity back to
+//! input columns.
+
+use crate::error::{MlError, Result};
+use crate::frame::Frame;
+use serde::{Deserialize, Serialize};
+
+/// Numeric preprocessing applied in order before encoding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NumericStep {
+    /// Replace NaN with a constant.
+    Impute { fill: f64 },
+    /// `(x - mean) / std` (std 0 treated as 1).
+    Standardize { mean: f64, std: f64 },
+    /// `(x - min) / (max - min)` (degenerate range treated as width 1).
+    MinMax { min: f64, max: f64 },
+    /// `ln(1 + max(x, 0))`.
+    Log1p,
+    /// Clamp into `[lo, hi]`.
+    Clip { lo: f64, hi: f64 },
+}
+
+impl NumericStep {
+    #[inline]
+    pub fn apply(&self, x: f64) -> f64 {
+        match self {
+            NumericStep::Impute { fill } => {
+                if x.is_nan() {
+                    *fill
+                } else {
+                    x
+                }
+            }
+            NumericStep::Standardize { mean, std } => {
+                let s = if *std == 0.0 { 1.0 } else { *std };
+                (x - mean) / s
+            }
+            NumericStep::MinMax { min, max } => {
+                let w = if max - min == 0.0 { 1.0 } else { max - min };
+                (x - min) / w
+            }
+            NumericStep::Log1p => (1.0 + x.max(0.0)).ln(),
+            NumericStep::Clip { lo, hi } => x.clamp(*lo, *hi),
+        }
+    }
+}
+
+/// How a (preprocessed) column turns into features.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Encoder {
+    /// One numeric feature, the value itself.
+    Numeric,
+    /// One-hot over a fixed category list; unseen categories encode to
+    /// all-zeros. Produces `categories.len()` features.
+    OneHot { categories: Vec<String> },
+    /// Feature hashing of whitespace-tokenized text into `buckets`
+    /// counting features.
+    Hashing { buckets: usize },
+    /// One-hot bin membership over sorted `edges`; produces
+    /// `edges.len() + 1` features.
+    Binned { edges: Vec<f64> },
+}
+
+impl Encoder {
+    /// Number of feature slots this encoder produces.
+    pub fn width(&self) -> usize {
+        match self {
+            Encoder::Numeric => 1,
+            Encoder::OneHot { categories } => categories.len(),
+            Encoder::Hashing { buckets } => *buckets,
+            Encoder::Binned { edges } => edges.len() + 1,
+        }
+    }
+
+    /// Does this encoder consume string input?
+    pub fn takes_strings(&self) -> bool {
+        matches!(self, Encoder::OneHot { .. } | Encoder::Hashing { .. })
+    }
+}
+
+/// FNV-1a hash for feature hashing (stable across runs and platforms).
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The featurization plan for one input column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnPipeline {
+    /// Input column name (matched case-insensitively in the frame).
+    pub input: String,
+    /// Numeric preprocessing (ignored for string encoders).
+    pub steps: Vec<NumericStep>,
+    pub encoder: Encoder,
+}
+
+impl ColumnPipeline {
+    pub fn numeric(input: impl Into<String>) -> Self {
+        ColumnPipeline {
+            input: input.into(),
+            steps: vec![],
+            encoder: Encoder::Numeric,
+        }
+    }
+
+    pub fn one_hot(input: impl Into<String>, categories: Vec<String>) -> Self {
+        ColumnPipeline {
+            input: input.into(),
+            steps: vec![],
+            encoder: Encoder::OneHot { categories },
+        }
+    }
+
+    pub fn with_step(mut self, step: NumericStep) -> Self {
+        self.steps.push(step);
+        self
+    }
+
+    /// Feature width of this column.
+    pub fn width(&self) -> usize {
+        self.encoder.width()
+    }
+
+    /// Encode this column from `frame` into `out[.., offset..offset+width]`
+    /// (row-major target of total width `total`).
+    pub fn encode_into(
+        &self,
+        frame: &Frame,
+        out: &mut [f64],
+        offset: usize,
+        total: usize,
+    ) -> Result<()> {
+        let col = frame.column(&self.input)?;
+        let n = col.len();
+        match &self.encoder {
+            Encoder::Numeric => {
+                let vals = col.as_f64().ok_or_else(|| {
+                    MlError::Shape(format!("column '{}' must be numeric", self.input))
+                })?;
+                for (r, &raw) in vals.iter().enumerate() {
+                    let mut x = raw;
+                    for s in &self.steps {
+                        x = s.apply(x);
+                    }
+                    // NaN surviving preprocessing becomes 0 so models
+                    // without NaN handling stay well-defined.
+                    out[r * total + offset] = if x.is_nan() { 0.0 } else { x };
+                }
+            }
+            Encoder::Binned { edges } => {
+                let vals = col.as_f64().ok_or_else(|| {
+                    MlError::Shape(format!("column '{}' must be numeric", self.input))
+                })?;
+                for (r, &raw) in vals.iter().enumerate() {
+                    let mut x = raw;
+                    for s in &self.steps {
+                        x = s.apply(x);
+                    }
+                    let bin = if x.is_nan() {
+                        0
+                    } else {
+                        edges.iter().take_while(|e| x > **e).count()
+                    };
+                    out[r * total + offset + bin] = 1.0;
+                }
+            }
+            Encoder::OneHot { categories } => {
+                let vals = col.as_str().ok_or_else(|| {
+                    MlError::Shape(format!("column '{}' must be text", self.input))
+                })?;
+                for (r, v) in vals.iter().enumerate() {
+                    if let Some(i) = categories.iter().position(|c| c == v) {
+                        out[r * total + offset + i] = 1.0;
+                    }
+                }
+            }
+            Encoder::Hashing { buckets } => {
+                let vals = col.as_str().ok_or_else(|| {
+                    MlError::Shape(format!("column '{}' must be text", self.input))
+                })?;
+                for (r, text) in vals.iter().enumerate() {
+                    for tok in text.split_whitespace() {
+                        let b = (fnv1a(&tok.to_lowercase()) % *buckets as u64) as usize;
+                        out[r * total + offset + b] += 1.0;
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(n, frame.num_rows());
+        Ok(())
+    }
+
+    /// Encode a single raw value (already fetched from a row). Used by the
+    /// row-at-a-time interpreted scorer.
+    pub fn encode_value_into(&self, value: &RawValue, out: &mut [f64]) {
+        match (&self.encoder, value) {
+            (Encoder::Numeric, RawValue::Num(raw)) => {
+                let mut x = *raw;
+                for s in &self.steps {
+                    x = s.apply(x);
+                }
+                out[0] = if x.is_nan() { 0.0 } else { x };
+            }
+            (Encoder::Binned { edges }, RawValue::Num(raw)) => {
+                let mut x = *raw;
+                for s in &self.steps {
+                    x = s.apply(x);
+                }
+                let bin = if x.is_nan() {
+                    0
+                } else {
+                    edges.iter().take_while(|e| x > **e).count()
+                };
+                out[bin] = 1.0;
+            }
+            (Encoder::OneHot { categories }, RawValue::Text(v)) => {
+                if let Some(i) = categories.iter().position(|c| c == v) {
+                    out[i] = 1.0;
+                }
+            }
+            (Encoder::Hashing { buckets }, RawValue::Text(text)) => {
+                for tok in text.split_whitespace() {
+                    let b = (fnv1a(&tok.to_lowercase()) % *buckets as u64) as usize;
+                    out[b] += 1.0;
+                }
+            }
+            // type mismatch leaves the slots zero
+            _ => {}
+        }
+    }
+}
+
+/// A scalar input value for row-wise encoding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RawValue {
+    Num(f64),
+    Text(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameCol;
+
+    fn frame() -> Frame {
+        Frame::new()
+            .with("x", FrameCol::F64(vec![1.0, f64::NAN, 5.0]))
+            .unwrap()
+            .with(
+                "c",
+                FrameCol::Str(vec!["a".into(), "b".into(), "z".into()]),
+            )
+            .unwrap()
+            .with(
+                "t",
+                FrameCol::Str(vec![
+                    "hello world".into(),
+                    "hello hello".into(),
+                    "".into(),
+                ]),
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn numeric_steps_compose() {
+        let cp = ColumnPipeline::numeric("x")
+            .with_step(NumericStep::Impute { fill: 3.0 })
+            .with_step(NumericStep::Standardize { mean: 3.0, std: 2.0 });
+        let f = frame();
+        let mut out = vec![0.0; 3];
+        cp.encode_into(&f, &mut out, 0, 1).unwrap();
+        assert_eq!(out, vec![-1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn one_hot_unknown_is_zero_vector() {
+        let cp = ColumnPipeline::one_hot("c", vec!["a".into(), "b".into()]);
+        let f = frame();
+        let mut out = vec![0.0; 6];
+        cp.encode_into(&f, &mut out, 0, 2).unwrap();
+        assert_eq!(out, vec![1.0, 0.0, 0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn hashing_counts_tokens() {
+        let cp = ColumnPipeline {
+            input: "t".into(),
+            steps: vec![],
+            encoder: Encoder::Hashing { buckets: 4 },
+        };
+        let f = frame();
+        let mut out = vec![0.0; 12];
+        cp.encode_into(&f, &mut out, 0, 4).unwrap();
+        let row0: f64 = out[0..4].iter().sum();
+        let row1: f64 = out[4..8].iter().sum();
+        let row2: f64 = out[8..12].iter().sum();
+        assert_eq!(row0, 2.0);
+        assert_eq!(row1, 2.0);
+        assert_eq!(row2, 0.0);
+        // "hello hello" double-counts one bucket
+        assert!(out[4..8].contains(&2.0));
+    }
+
+    #[test]
+    fn binning_assigns_intervals() {
+        let cp = ColumnPipeline {
+            input: "x".into(),
+            steps: vec![NumericStep::Impute { fill: 0.0 }],
+            encoder: Encoder::Binned {
+                edges: vec![2.0, 4.0],
+            },
+        };
+        let f = frame();
+        let mut out = vec![0.0; 9];
+        cp.encode_into(&f, &mut out, 0, 3).unwrap();
+        assert_eq!(&out[0..3], &[1.0, 0.0, 0.0]); // 1.0 -> bin 0
+        assert_eq!(&out[3..6], &[1.0, 0.0, 0.0]); // imputed 0 -> bin 0
+        assert_eq!(&out[6..9], &[0.0, 0.0, 1.0]); // 5.0 -> bin 2
+    }
+
+    #[test]
+    fn type_mismatch_is_error() {
+        let cp = ColumnPipeline::numeric("c");
+        let f = frame();
+        let mut out = vec![0.0; 3];
+        assert!(cp.encode_into(&f, &mut out, 0, 1).is_err());
+    }
+
+    #[test]
+    fn row_encoding_matches_batch() {
+        let cp = ColumnPipeline::one_hot("c", vec!["a".into(), "b".into()]);
+        let mut row = vec![0.0; 2];
+        cp.encode_value_into(&RawValue::Text("b".into()), &mut row);
+        assert_eq!(row, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a("hello"), fnv1a("hello"));
+        assert_ne!(fnv1a("hello"), fnv1a("world"));
+    }
+}

@@ -1,0 +1,96 @@
+//! FONNX — the *Flock Open Neural Network eXchange* format.
+//!
+//! The paper argues "the most widely studied or promising families of
+//! models can be uniformly represented" (citing ONNX); FONNX is our
+//! closed-world equivalent: a versioned, self-describing serialization of
+//! a [`Pipeline`] that the DBMS stores as the payload of a model catalog
+//! object.
+
+use crate::error::{MlError, Result};
+use crate::pipeline::Pipeline;
+use serde::{Deserialize, Serialize};
+
+/// Current format version. Readers reject newer majors.
+pub const FONNX_VERSION: u32 = 1;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct FonnxDocument {
+    format: String,
+    version: u32,
+    pipeline: Pipeline,
+}
+
+/// Serialize a pipeline to FONNX bytes.
+pub fn to_bytes(pipeline: &Pipeline) -> Result<Vec<u8>> {
+    let doc = FonnxDocument {
+        format: "fonnx".to_string(),
+        version: FONNX_VERSION,
+        pipeline: pipeline.clone(),
+    };
+    serde_json::to_vec(&doc).map_err(|e| MlError::Format(e.to_string()))
+}
+
+/// Deserialize FONNX bytes back into a pipeline.
+pub fn from_bytes(bytes: &[u8]) -> Result<Pipeline> {
+    let doc: FonnxDocument =
+        serde_json::from_slice(bytes).map_err(|e| MlError::Format(e.to_string()))?;
+    if doc.format != "fonnx" {
+        return Err(MlError::Format(format!(
+            "not a FONNX document (format = '{}')",
+            doc.format
+        )));
+    }
+    if doc.version > FONNX_VERSION {
+        return Err(MlError::Format(format!(
+            "unsupported FONNX version {} (max {FONNX_VERSION})",
+            doc.version
+        )));
+    }
+    Ok(doc.pipeline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::featurize::ColumnPipeline;
+    use crate::model::{LinearModel, Model};
+
+    fn sample() -> Pipeline {
+        Pipeline::new(
+            vec![
+                ColumnPipeline::numeric("a"),
+                ColumnPipeline::one_hot("b", vec!["x".into(), "y".into()]),
+            ],
+            Model::Logistic(LinearModel::new(vec![1.0, 2.0, 3.0], -0.5)),
+            "p",
+        )
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let p = sample();
+        let bytes = to_bytes(&p).unwrap();
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn rejects_garbage_and_wrong_format() {
+        assert!(from_bytes(b"not json").is_err());
+        let wrong = serde_json::json!({
+            "format": "onnx", "version": 1,
+            "pipeline": {"columns": [], "model": {"Linear": {"weights": [], "bias": 0.0}}, "output": "y"}
+        });
+        assert!(from_bytes(wrong.to_string().as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let mut doc = serde_json::from_slice::<serde_json::Value>(
+            &to_bytes(&sample()).unwrap(),
+        )
+        .unwrap();
+        doc["version"] = serde_json::json!(999);
+        assert!(from_bytes(doc.to_string().as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,192 @@
+//! Feature frames: the typed column container pipelines consume.
+//!
+//! A [`Frame`] is the ML-side analogue of a relational record batch:
+//! named columns of either numeric (`f64`, with NaN as missing) or string
+//! data. The in-DB integration converts `flock-sql` column vectors into
+//! frames at the PREDICT boundary.
+
+use crate::error::{MlError, Result};
+use serde::{Deserialize, Serialize};
+
+/// One column of a frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FrameCol {
+    /// Numeric data; missing values are NaN.
+    F64(Vec<f64>),
+    /// String data; missing values are empty strings.
+    Str(Vec<String>),
+}
+
+impl FrameCol {
+    pub fn len(&self) -> usize {
+        match self {
+            FrameCol::F64(v) => v.len(),
+            FrameCol::Str(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn as_f64(&self) -> Option<&[f64]> {
+        match self {
+            FrameCol::F64(v) => Some(v),
+            FrameCol::Str(_) => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&[String]> {
+        match self {
+            FrameCol::Str(v) => Some(v),
+            FrameCol::F64(_) => None,
+        }
+    }
+}
+
+/// A named collection of equal-length columns.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    columns: Vec<(String, FrameCol)>,
+}
+
+impl Frame {
+    pub fn new() -> Self {
+        Frame::default()
+    }
+
+    /// Add a column; all columns must share a length.
+    pub fn push(&mut self, name: impl Into<String>, col: FrameCol) -> Result<()> {
+        if let Some((_, first)) = self.columns.first() {
+            if first.len() != col.len() {
+                return Err(MlError::Shape(format!(
+                    "column length {} != frame length {}",
+                    col.len(),
+                    first.len()
+                )));
+            }
+        }
+        self.columns.push((name.into(), col));
+        Ok(())
+    }
+
+    pub fn with(mut self, name: impl Into<String>, col: FrameCol) -> Result<Self> {
+        self.push(name, col)?;
+        Ok(self)
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map_or(0, |(_, c)| c.len())
+    }
+
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn names(&self) -> Vec<&str> {
+        self.columns.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    pub fn column(&self, name: &str) -> Result<&FrameCol> {
+        self.columns
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, c)| c)
+            .ok_or_else(|| MlError::UnknownColumn(name.to_string()))
+    }
+
+    pub fn column_at(&self, idx: usize) -> &FrameCol {
+        &self.columns[idx].1
+    }
+
+    /// A one-row view of this frame (allocates; used by the row-at-a-time
+    /// interpreted scorer).
+    pub fn slice_row(&self, row: usize) -> Frame {
+        let columns = self
+            .columns
+            .iter()
+            .map(|(n, c)| {
+                let col = match c {
+                    FrameCol::F64(v) => FrameCol::F64(vec![v[row]]),
+                    FrameCol::Str(v) => FrameCol::Str(vec![v[row].clone()]),
+                };
+                (n.clone(), col)
+            })
+            .collect();
+        Frame { columns }
+    }
+
+    /// Split into chunks of at most `chunk_rows` (used by parallel scoring).
+    pub fn chunks(&self, chunk_rows: usize) -> Vec<Frame> {
+        let n = self.num_rows();
+        if n == 0 {
+            return vec![self.clone()];
+        }
+        let chunk_rows = chunk_rows.max(1);
+        (0..n)
+            .step_by(chunk_rows)
+            .map(|start| {
+                let end = (start + chunk_rows).min(n);
+                let columns = self
+                    .columns
+                    .iter()
+                    .map(|(name, c)| {
+                        let col = match c {
+                            FrameCol::F64(v) => FrameCol::F64(v[start..end].to_vec()),
+                            FrameCol::Str(v) => FrameCol::Str(v[start..end].to_vec()),
+                        };
+                        (name.clone(), col)
+                    })
+                    .collect();
+                Frame { columns }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> Frame {
+        Frame::new()
+            .with("age", FrameCol::F64(vec![34.0, 28.0, f64::NAN]))
+            .unwrap()
+            .with(
+                "city",
+                FrameCol::Str(vec!["nyc".into(), "sf".into(), "nyc".into()]),
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn push_validates_length() {
+        let mut f = frame();
+        let err = f.push("bad", FrameCol::F64(vec![1.0]));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn lookup_case_insensitive() {
+        let f = frame();
+        assert!(f.column("AGE").is_ok());
+        assert!(f.column("missing").is_err());
+    }
+
+    #[test]
+    fn row_slicing() {
+        let f = frame();
+        let r = f.slice_row(1);
+        assert_eq!(r.num_rows(), 1);
+        assert_eq!(r.column("city").unwrap().as_str().unwrap()[0], "sf");
+    }
+
+    #[test]
+    fn chunking_covers_rows() {
+        let f = frame();
+        let chunks = f.chunks(2);
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].num_rows(), 2);
+        assert_eq!(chunks[1].num_rows(), 1);
+    }
+}

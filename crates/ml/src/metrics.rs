@@ -1,0 +1,119 @@
+//! Evaluation metrics.
+
+/// Mean squared error.
+pub fn mse(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
+    mse(pred, truth).sqrt()
+}
+
+/// Classification accuracy of probabilistic predictions at a threshold.
+pub fn accuracy(pred: &[f64], truth: &[f64], threshold: f64) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let correct = pred
+        .iter()
+        .zip(truth)
+        .filter(|(p, t)| (**p >= threshold) == (**t >= 0.5))
+        .count();
+    correct as f64 / pred.len() as f64
+}
+
+/// Area under the ROC curve via the rank-sum (Mann-Whitney) formulation.
+pub fn auc(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    let mut pairs: Vec<(f64, bool)> = pred
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| (*p, *t >= 0.5))
+        .collect();
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let n_pos = pairs.iter().filter(|(_, t)| *t).count();
+    let n_neg = pairs.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // average ranks with tie handling
+    let mut rank_sum_pos = 0.0;
+    let mut i = 0usize;
+    while i < pairs.len() {
+        let mut j = i;
+        while j + 1 < pairs.len() && pairs[j + 1].0 == pairs[i].0 {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for p in &pairs[i..=j] {
+            if p.1 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    (rank_sum_pos - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0) / (n_pos as f64 * n_neg as f64)
+}
+
+/// Coefficient of determination (R²).
+pub fn r2(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
+    let ss_res: f64 = pred
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| (t - p) * (t - p))
+        .sum();
+    if ss_tot == 0.0 {
+        return if ss_res == 0.0 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_and_rmse() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 4.0]), 2.0);
+        assert!((rmse(&[0.0], &[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_thresholds() {
+        let pred = [0.9, 0.2, 0.6, 0.4];
+        let truth = [1.0, 0.0, 0.0, 1.0];
+        assert_eq!(accuracy(&pred, &truth, 0.5), 0.5);
+    }
+
+    #[test]
+    fn auc_perfect_and_random() {
+        let truth = [1.0, 1.0, 0.0, 0.0];
+        assert_eq!(auc(&[0.9, 0.8, 0.2, 0.1], &truth), 1.0);
+        assert_eq!(auc(&[0.1, 0.2, 0.8, 0.9], &truth), 0.0);
+        // all-tied predictions -> 0.5
+        assert_eq!(auc(&[0.5, 0.5, 0.5, 0.5], &truth), 0.5);
+    }
+
+    #[test]
+    fn r2_of_perfect_fit_is_one() {
+        let t = [1.0, 2.0, 3.0];
+        assert!((r2(&t, &t) - 1.0).abs() < 1e-12);
+        assert!(r2(&[2.0, 2.0, 2.0], &t) < 1e-12 + 0.0 + 1e-12);
+    }
+}

@@ -1,0 +1,99 @@
+//! Gaussian naive Bayes (binary).
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Per-class Gaussian parameters over each feature, binary classes {0, 1}.
+/// Scores return P(class = 1 | x).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaussianNb {
+    /// log prior of class 1 minus class 0.
+    pub log_prior_ratio: f64,
+    /// (mean, variance) per feature for class 0.
+    pub class0: Vec<(f64, f64)>,
+    /// (mean, variance) per feature for class 1.
+    pub class1: Vec<(f64, f64)>,
+}
+
+const VAR_FLOOR: f64 = 1e-9;
+
+impl GaussianNb {
+    pub fn dim(&self) -> usize {
+        self.class0.len()
+    }
+
+    fn log_likelihood(params: &[(f64, f64)], x: &[f64]) -> f64 {
+        let mut ll = 0.0;
+        for (v, (mean, var)) in x.iter().zip(params) {
+            if v.is_nan() {
+                continue; // missing features contribute nothing
+            }
+            let var = var.max(VAR_FLOOR);
+            ll += -0.5 * ((v - mean) * (v - mean) / var + var.ln());
+        }
+        ll
+    }
+
+    pub fn score_row(&self, x: &[f64]) -> f64 {
+        let l1 = Self::log_likelihood(&self.class1, x) + self.log_prior_ratio;
+        let l0 = Self::log_likelihood(&self.class0, x);
+        super::linear::sigmoid(l1 - l0)
+    }
+
+    pub fn score_batch(&self, x: &Matrix) -> Vec<f64> {
+        (0..x.rows()).map(|r| self.score_row(x.row(r))).collect()
+    }
+
+    /// Features whose class-conditional distributions differ — others
+    /// cannot affect the posterior and count as unused.
+    pub fn used_features(&self) -> Vec<bool> {
+        self.class0
+            .iter()
+            .zip(&self.class1)
+            .map(|(a, b)| a != b)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> GaussianNb {
+        GaussianNb {
+            log_prior_ratio: 0.0,
+            class0: vec![(0.0, 1.0), (5.0, 1.0)],
+            class1: vec![(4.0, 1.0), (5.0, 1.0)],
+        }
+    }
+
+    #[test]
+    fn separates_classes() {
+        let m = model();
+        assert!(m.score_row(&[4.0, 5.0]) > 0.9);
+        assert!(m.score_row(&[0.0, 5.0]) < 0.1);
+        let boundary = m.score_row(&[2.0, 5.0]);
+        assert!((boundary - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_features_are_neutral() {
+        let m = model();
+        let with = m.score_row(&[4.0, f64::NAN]);
+        let without = m.score_row(&[4.0, 5.0]);
+        assert!((with - without).abs() < 1e-9, "x1 is identical per class");
+    }
+
+    #[test]
+    fn unused_feature_detection() {
+        let m = model();
+        assert_eq!(m.used_features(), vec![true, false]);
+    }
+
+    #[test]
+    fn prior_shifts_scores() {
+        let mut m = model();
+        m.log_prior_ratio = 3.0;
+        assert!(m.score_row(&[2.0, 5.0]) > 0.9);
+    }
+}

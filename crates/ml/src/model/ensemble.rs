@@ -1,0 +1,189 @@
+//! Tree ensembles: random forests and gradient-boosted trees.
+
+use super::tree::DecisionTree;
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Bagged trees averaged together.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForest {
+    pub trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    pub fn score_row(&self, x: &[f64]) -> f64 {
+        if self.trees.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self.trees.iter().map(|t| t.score_row(x)).sum();
+        sum / self.trees.len() as f64
+    }
+
+    pub fn score_batch(&self, x: &Matrix) -> Vec<f64> {
+        (0..x.rows()).map(|r| self.score_row(x.row(r))).collect()
+    }
+
+    pub fn used_features(&self, dim: usize) -> Vec<bool> {
+        let mut used = vec![false; dim];
+        for t in &self.trees {
+            for (i, u) in t.used_features(dim).into_iter().enumerate() {
+                used[i] |= u;
+            }
+        }
+        used
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.trees.iter().map(DecisionTree::num_nodes).sum()
+    }
+
+    pub fn compress(&self, ranges: &[(f64, f64)]) -> RandomForest {
+        RandomForest {
+            trees: self.trees.iter().map(|t| t.compress(ranges)).collect(),
+        }
+    }
+
+    pub fn remap_features(&self, mapping: &[Option<usize>]) -> RandomForest {
+        RandomForest {
+            trees: self.trees.iter().map(|t| t.remap_features(mapping)).collect(),
+        }
+    }
+}
+
+/// Additive tree ensemble: `base + lr * Σ tree_i(x)`, optionally squashed
+/// by a sigmoid for binary classification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GbtModel {
+    pub trees: Vec<DecisionTree>,
+    pub learning_rate: f64,
+    pub base_score: f64,
+    /// Apply a sigmoid to the raw additive score.
+    pub sigmoid_output: bool,
+}
+
+impl GbtModel {
+    pub fn raw_score_row(&self, x: &[f64]) -> f64 {
+        let sum: f64 = self.trees.iter().map(|t| t.score_row(x)).sum();
+        self.base_score + self.learning_rate * sum
+    }
+
+    pub fn score_row(&self, x: &[f64]) -> f64 {
+        let raw = self.raw_score_row(x);
+        if self.sigmoid_output {
+            super::linear::sigmoid(raw)
+        } else {
+            raw
+        }
+    }
+
+    pub fn score_batch(&self, x: &Matrix) -> Vec<f64> {
+        (0..x.rows()).map(|r| self.score_row(x.row(r))).collect()
+    }
+
+    pub fn used_features(&self, dim: usize) -> Vec<bool> {
+        let mut used = vec![false; dim];
+        for t in &self.trees {
+            for (i, u) in t.used_features(dim).into_iter().enumerate() {
+                used[i] |= u;
+            }
+        }
+        used
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.trees.iter().map(DecisionTree::num_nodes).sum()
+    }
+
+    pub fn compress(&self, ranges: &[(f64, f64)]) -> GbtModel {
+        GbtModel {
+            trees: self.trees.iter().map(|t| t.compress(ranges)).collect(),
+            learning_rate: self.learning_rate,
+            base_score: self.base_score,
+            sigmoid_output: self.sigmoid_output,
+        }
+    }
+
+    pub fn remap_features(&self, mapping: &[Option<usize>]) -> GbtModel {
+        GbtModel {
+            trees: self.trees.iter().map(|t| t.remap_features(mapping)).collect(),
+            learning_rate: self.learning_rate,
+            base_score: self.base_score,
+            sigmoid_output: self.sigmoid_output,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::tree::TreeNode;
+
+    fn stump(feature: usize, threshold: f64, lo: f64, hi: f64) -> DecisionTree {
+        DecisionTree {
+            nodes: vec![
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left: 1,
+                    right: 2,
+                },
+                TreeNode::Leaf { value: lo },
+                TreeNode::Leaf { value: hi },
+            ],
+        }
+    }
+
+    #[test]
+    fn forest_averages() {
+        let f = RandomForest {
+            trees: vec![stump(0, 0.0, 0.0, 10.0), stump(0, 0.0, 0.0, 20.0)],
+        };
+        assert_eq!(f.score_row(&[1.0]), 15.0);
+        assert_eq!(f.score_row(&[-1.0]), 0.0);
+    }
+
+    #[test]
+    fn gbt_accumulates_with_rate_and_base() {
+        let g = GbtModel {
+            trees: vec![stump(0, 0.0, -1.0, 1.0), stump(0, 0.0, -1.0, 1.0)],
+            learning_rate: 0.5,
+            base_score: 0.25,
+            sigmoid_output: false,
+        };
+        assert_eq!(g.score_row(&[1.0]), 1.25);
+        assert_eq!(g.score_row(&[-1.0]), -0.75);
+    }
+
+    #[test]
+    fn gbt_sigmoid_output_is_probability() {
+        let g = GbtModel {
+            trees: vec![stump(0, 0.0, -10.0, 10.0)],
+            learning_rate: 1.0,
+            base_score: 0.0,
+            sigmoid_output: true,
+        };
+        assert!(g.score_row(&[1.0]) > 0.99);
+        assert!(g.score_row(&[-1.0]) < 0.01);
+    }
+
+    #[test]
+    fn ensemble_used_features_union() {
+        let f = RandomForest {
+            trees: vec![stump(0, 0.0, 0.0, 1.0), stump(2, 0.0, 0.0, 1.0)],
+        };
+        assert_eq!(f.used_features(4), vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn ensemble_compress_reduces_nodes() {
+        let g = GbtModel {
+            trees: vec![stump(0, 5.0, 1.0, 2.0); 4],
+            learning_rate: 1.0,
+            base_score: 0.0,
+            sigmoid_output: false,
+        };
+        let c = g.compress(&[(0.0, 4.0)]); // never exceeds threshold
+        assert_eq!(c.num_nodes(), 4); // each stump collapses to one leaf
+        assert_eq!(c.score_row(&[3.0]), g.score_row(&[3.0]));
+    }
+}

@@ -1,0 +1,93 @@
+//! k-nearest-neighbours scorer (stores its training set — the archetypal
+//! "model is derived data" case).
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnnModel {
+    pub k: usize,
+    /// Row-major training points.
+    pub points: Matrix,
+    /// Target value per training point.
+    pub targets: Vec<f64>,
+}
+
+impl KnnModel {
+    pub fn dim(&self) -> usize {
+        self.points.cols()
+    }
+
+    pub fn score_row(&self, x: &[f64]) -> f64 {
+        let n = self.points.rows();
+        if n == 0 {
+            return 0.0;
+        }
+        let k = self.k.clamp(1, n);
+        // partial selection of k smallest distances
+        let mut dists: Vec<(f64, usize)> = (0..n)
+            .map(|i| (squared_distance(self.points.row(i), x), i))
+            .collect();
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
+        let sum: f64 = dists[..k].iter().map(|(_, i)| self.targets[*i]).sum();
+        sum / k as f64
+    }
+
+    pub fn score_batch(&self, x: &Matrix) -> Vec<f64> {
+        (0..x.rows()).map(|r| self.score_row(x.row(r))).collect()
+    }
+}
+
+#[inline]
+fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            // missing dimensions contribute nothing
+            if x.is_nan() || y.is_nan() {
+                0.0
+            } else {
+                (x - y) * (x - y)
+            }
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> KnnModel {
+        KnnModel {
+            k: 2,
+            points: Matrix::from_rows(&[
+                vec![0.0, 0.0],
+                vec![0.1, 0.1],
+                vec![10.0, 10.0],
+                vec![10.1, 10.1],
+            ]),
+            targets: vec![0.0, 0.0, 1.0, 1.0],
+        }
+    }
+
+    #[test]
+    fn nearest_neighbours_vote() {
+        let m = model();
+        assert_eq!(m.score_row(&[0.05, 0.05]), 0.0);
+        assert_eq!(m.score_row(&[10.05, 10.05]), 1.0);
+    }
+
+    #[test]
+    fn k_larger_than_data_is_clamped() {
+        let mut m = model();
+        m.k = 100;
+        assert_eq!(m.score_row(&[0.0, 0.0]), 0.5); // average of all targets
+    }
+
+    #[test]
+    fn missing_dims_ignored() {
+        let m = model();
+        let v = m.score_row(&[f64::NAN, 0.05]);
+        assert_eq!(v, 0.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Linear and logistic models.
+
+use crate::matrix::{dot, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// A linear scorer `w·x + b`. Used directly for regression and, through a
+/// sigmoid, for binary classification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearModel {
+    pub weights: Vec<f64>,
+    pub bias: f64,
+}
+
+impl LinearModel {
+    pub fn new(weights: Vec<f64>, bias: f64) -> Self {
+        LinearModel { weights, bias }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.weights.len()
+    }
+
+    #[inline]
+    pub fn score_row(&self, x: &[f64]) -> f64 {
+        dot(x, &self.weights) + self.bias
+    }
+
+    pub fn score_batch(&self, x: &Matrix) -> Vec<f64> {
+        let mut out = x.matvec(&self.weights);
+        for v in &mut out {
+            *v += self.bias;
+        }
+        out
+    }
+
+    /// Indices of features with non-zero weight — the *model sparsity* the
+    /// cross-optimizer's feature-pruning rule exploits.
+    pub fn used_features(&self) -> Vec<bool> {
+        self.weights.iter().map(|w| *w != 0.0).collect()
+    }
+
+    /// Restrict the model to a subset of features (in the given order).
+    pub fn select_features(&self, keep: &[usize]) -> LinearModel {
+        LinearModel {
+            weights: keep.iter().map(|&i| self.weights[i]).collect(),
+            bias: self.bias,
+        }
+    }
+
+    /// Drop (near-)zero weights entirely, zeroing anything below `eps` —
+    /// a simple magnitude-based compression.
+    pub fn sparsify(&self, eps: f64) -> LinearModel {
+        LinearModel {
+            weights: self
+                .weights
+                .iter()
+                .map(|w| if w.abs() < eps { 0.0 } else { *w })
+                .collect(),
+            bias: self.bias,
+        }
+    }
+}
+
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoring_matches_formula() {
+        let m = LinearModel::new(vec![2.0, -1.0], 0.5);
+        assert_eq!(m.score_row(&[3.0, 4.0]), 2.5);
+        let x = Matrix::from_rows(&[vec![3.0, 4.0], vec![0.0, 0.0]]);
+        assert_eq!(m.score_batch(&x), vec![2.5, 0.5]);
+    }
+
+    #[test]
+    fn sparsity_inspection() {
+        let m = LinearModel::new(vec![1.0, 0.0, -0.001], 0.0);
+        assert_eq!(m.used_features(), vec![true, false, true]);
+        let s = m.sparsify(0.01);
+        assert_eq!(s.used_features(), vec![true, false, false]);
+    }
+
+    #[test]
+    fn feature_selection_projects_weights() {
+        let m = LinearModel::new(vec![1.0, 2.0, 3.0], 4.0);
+        let s = m.select_features(&[2, 0]);
+        assert_eq!(s.weights, vec![3.0, 1.0]);
+        assert_eq!(s.bias, 4.0);
+        // scoring with reordered inputs matches
+        assert_eq!(m.score_row(&[10.0, 0.0, 20.0]), s.score_row(&[20.0, 10.0]));
+    }
+
+    #[test]
+    fn sigmoid_bounds() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(100.0) > 0.999);
+        assert!(sigmoid(-100.0) < 0.001);
+    }
+}

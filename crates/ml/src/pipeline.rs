@@ -1,0 +1,317 @@
+//! End-to-end inference pipelines: featurization + model, with the
+//! introspection hooks the cross-optimizer uses (input pruning, statistics
+//! compression, inlining export).
+
+use crate::error::{MlError, Result};
+use crate::featurize::{ColumnPipeline, Encoder, RawValue};
+use crate::frame::Frame;
+use crate::matrix::Matrix;
+use crate::model::Model;
+use serde::{Deserialize, Serialize};
+
+/// A deployable inference pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pipeline {
+    /// Per-input featurization, in feature-layout order.
+    pub columns: Vec<ColumnPipeline>,
+    pub model: Model,
+    /// Name of the produced output column.
+    pub output: String,
+}
+
+impl Pipeline {
+    pub fn new(columns: Vec<ColumnPipeline>, model: Model, output: impl Into<String>) -> Self {
+        Pipeline {
+            columns,
+            model,
+            output: output.into(),
+        }
+    }
+
+    /// Names of the input columns, in order.
+    pub fn input_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.input.as_str()).collect()
+    }
+
+    /// Whether input `i` is consumed as text (vs numeric).
+    pub fn input_is_text(&self, i: usize) -> bool {
+        self.columns[i].encoder.takes_strings()
+    }
+
+    /// Total feature-vector width.
+    pub fn feature_width(&self) -> usize {
+        self.columns.iter().map(ColumnPipeline::width).sum()
+    }
+
+    /// The feature-slot range `[start, end)` produced by input column `i`.
+    pub fn feature_range(&self, i: usize) -> (usize, usize) {
+        let start: usize = self.columns[..i].iter().map(ColumnPipeline::width).sum();
+        (start, start + self.columns[i].width())
+    }
+
+    /// Featurize a frame into a dense matrix.
+    pub fn featurize(&self, frame: &Frame) -> Result<Matrix> {
+        let total = self.feature_width();
+        let rows = frame.num_rows();
+        let mut data = vec![0.0; rows * total];
+        let mut offset = 0usize;
+        for cp in &self.columns {
+            cp.encode_into(frame, &mut data, offset, total)?;
+            offset += cp.width();
+        }
+        Ok(Matrix::from_vec(rows, total, data))
+    }
+
+    /// Batch scoring: featurize then score (the vectorized fast path).
+    pub fn score(&self, frame: &Frame) -> Result<Vec<f64>> {
+        let x = self.featurize(frame)?;
+        if x.cols() != self.expected_dim() {
+            return Err(MlError::Shape(format!(
+                "pipeline produces {} features but model expects {}",
+                x.cols(),
+                self.expected_dim()
+            )));
+        }
+        Ok(self.model.score_batch(&x))
+    }
+
+    /// Score one row given raw values aligned with `self.columns`. This is
+    /// the slow interpreted path (fresh feature buffer per row) used as the
+    /// paper's inline-UDF anchor.
+    pub fn score_row_values(&self, values: &[RawValue]) -> Result<f64> {
+        if values.len() != self.columns.len() {
+            return Err(MlError::Shape(format!(
+                "expected {} inputs, got {}",
+                self.columns.len(),
+                values.len()
+            )));
+        }
+        let mut features = vec![0.0; self.feature_width()];
+        let mut offset = 0usize;
+        for (cp, v) in self.columns.iter().zip(values) {
+            cp.encode_value_into(v, &mut features[offset..offset + cp.width()]);
+            offset += cp.width();
+        }
+        Ok(self.model.score_row(&features))
+    }
+
+    fn expected_dim(&self) -> usize {
+        self.feature_width()
+    }
+
+    // ----------------------------------------------------- introspection
+
+    /// Per-input-column usage: does the model read *any* feature derived
+    /// from input `i`?
+    pub fn input_usage(&self) -> Vec<bool> {
+        let used = self.model.used_features(self.feature_width());
+        (0..self.columns.len())
+            .map(|i| {
+                let (a, b) = self.feature_range(i);
+                used[a..b].iter().any(|u| *u)
+            })
+            .collect()
+    }
+
+    /// **Feature pruning** (paper §4.1: "automatic pruning of unused input
+    /// feature-columns exploiting model-sparsity"). Returns an equivalent
+    /// pipeline that only consumes the used input columns, plus the kept
+    /// input names. Scores are bit-identical to the original.
+    pub fn prune_unused_inputs(&self) -> (Pipeline, Vec<String>) {
+        let usage = self.input_usage();
+        if usage.iter().all(|u| *u) {
+            return (self.clone(), self.input_names().iter().map(|s| s.to_string()).collect());
+        }
+        let old_dim = self.feature_width();
+        let mut keep_features: Vec<usize> = Vec::new();
+        let mut keep_columns: Vec<ColumnPipeline> = Vec::new();
+        for (i, cp) in self.columns.iter().enumerate() {
+            if usage[i] {
+                let (a, b) = self.feature_range(i);
+                keep_features.extend(a..b);
+                keep_columns.push(cp.clone());
+            }
+        }
+        let model = self.model.select_features(&keep_features, old_dim);
+        let kept_names: Vec<String> = keep_columns.iter().map(|c| c.input.clone()).collect();
+        (
+            Pipeline {
+                columns: keep_columns,
+                model,
+                output: self.output.clone(),
+            },
+            kept_names,
+        )
+    }
+
+    /// **Model compression using input statistics** (paper §4.1). The
+    /// ranges are per *input column* (post-preprocessing handled here) —
+    /// numeric inputs get (min, max); categorical inputs are unbounded.
+    /// Tree branches unreachable for in-range data are pruned.
+    pub fn compress_with_ranges(&self, input_ranges: &[Option<(f64, f64)>]) -> Pipeline {
+        let dim = self.feature_width();
+        let mut feature_ranges: Vec<(f64, f64)> =
+            vec![(f64::NEG_INFINITY, f64::INFINITY); dim];
+        for (i, cp) in self.columns.iter().enumerate() {
+            let (a, b) = self.feature_range(i);
+            match &cp.encoder {
+                Encoder::Numeric => {
+                    if let Some(Some((lo, hi))) = input_ranges.get(i) {
+                        // push the raw range through the numeric steps
+                        // (all steps are monotone except Clip which is
+                        // monotone non-decreasing, so endpoints map to
+                        // endpoints)
+                        let mut lo = *lo;
+                        let mut hi = *hi;
+                        for s in &cp.steps {
+                            lo = s.apply(lo);
+                            hi = s.apply(hi);
+                        }
+                        feature_ranges[a] = (lo.min(hi), lo.max(hi));
+                    }
+                }
+                // one-hot / hashing / binned features live in [0, ∞)
+                Encoder::OneHot { .. } | Encoder::Binned { .. } => {
+                    for f in feature_ranges.iter_mut().take(b).skip(a) {
+                        *f = (0.0, 1.0);
+                    }
+                }
+                Encoder::Hashing { .. } => {
+                    for f in feature_ranges.iter_mut().take(b).skip(a) {
+                        *f = (0.0, f64::INFINITY);
+                    }
+                }
+            }
+        }
+        Pipeline {
+            columns: self.columns.clone(),
+            model: self.model.compress(&feature_ranges),
+            output: self.output.clone(),
+        }
+    }
+
+    /// Model complexity (for physical operator selection and reporting).
+    pub fn complexity(&self) -> usize {
+        self.model.complexity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::featurize::NumericStep;
+    use crate::frame::FrameCol;
+    use crate::model::{LinearModel, Model};
+
+    fn pipeline() -> Pipeline {
+        Pipeline::new(
+            vec![
+                ColumnPipeline::numeric("age")
+                    .with_step(NumericStep::Impute { fill: 30.0 }),
+                ColumnPipeline::one_hot("city", vec!["nyc".into(), "sf".into()]),
+                ColumnPipeline::numeric("income"),
+            ],
+            // weights: age, city=nyc, city=sf, income — income unused
+            Model::Linear(LinearModel::new(vec![1.0, 10.0, 20.0, 0.0], 5.0)),
+            "score",
+        )
+    }
+
+    fn frame() -> Frame {
+        Frame::new()
+            .with("age", FrameCol::F64(vec![40.0, f64::NAN]))
+            .unwrap()
+            .with("city", FrameCol::Str(vec!["sf".into(), "nyc".into()]))
+            .unwrap()
+            .with("income", FrameCol::F64(vec![100.0, 200.0]))
+            .unwrap()
+    }
+
+    #[test]
+    fn feature_layout_is_deterministic() {
+        let p = pipeline();
+        assert_eq!(p.feature_width(), 4);
+        assert_eq!(p.feature_range(1), (1, 3));
+    }
+
+    #[test]
+    fn batch_scoring() {
+        let p = pipeline();
+        let scores = p.score(&frame()).unwrap();
+        assert_eq!(scores, vec![40.0 + 20.0 + 5.0, 30.0 + 10.0 + 5.0]);
+    }
+
+    #[test]
+    fn row_scoring_matches_batch() {
+        let p = pipeline();
+        let batch = p.score(&frame()).unwrap();
+        let row0 = p
+            .score_row_values(&[
+                RawValue::Num(40.0),
+                RawValue::Text("sf".into()),
+                RawValue::Num(100.0),
+            ])
+            .unwrap();
+        assert_eq!(row0, batch[0]);
+        let row1 = p
+            .score_row_values(&[
+                RawValue::Num(f64::NAN),
+                RawValue::Text("nyc".into()),
+                RawValue::Num(200.0),
+            ])
+            .unwrap();
+        assert_eq!(row1, batch[1]);
+    }
+
+    #[test]
+    fn pruning_drops_unused_income() {
+        let p = pipeline();
+        assert_eq!(p.input_usage(), vec![true, true, false]);
+        let (pruned, kept) = p.prune_unused_inputs();
+        assert_eq!(kept, vec!["age".to_string(), "city".to_string()]);
+        assert_eq!(pruned.feature_width(), 3);
+
+        // identical scores on a frame missing the pruned column
+        let f = Frame::new()
+            .with("age", FrameCol::F64(vec![40.0]))
+            .unwrap()
+            .with("city", FrameCol::Str(vec!["sf".into()]))
+            .unwrap();
+        assert_eq!(pruned.score(&f).unwrap(), vec![65.0]);
+    }
+
+    #[test]
+    fn wrong_arity_row_rejected() {
+        let p = pipeline();
+        assert!(p.score_row_values(&[RawValue::Num(1.0)]).is_err());
+    }
+
+    #[test]
+    fn compression_with_ranges_preserves_scores() {
+        use crate::model::{DecisionTree, TreeNode};
+        let tree = DecisionTree {
+            nodes: vec![
+                TreeNode::Split {
+                    feature: 0,
+                    threshold: 100.0,
+                    left: 1,
+                    right: 2,
+                },
+                TreeNode::Leaf { value: 1.0 },
+                TreeNode::Leaf { value: 2.0 },
+            ],
+        };
+        let p = Pipeline::new(
+            vec![ColumnPipeline::numeric("x")],
+            Model::Tree(tree),
+            "y",
+        );
+        // data never exceeds 50 -> tree collapses to a single leaf
+        let c = p.compress_with_ranges(&[Some((0.0, 50.0))]);
+        assert_eq!(c.complexity(), 1);
+        let f = Frame::new()
+            .with("x", FrameCol::F64(vec![10.0, 49.0]))
+            .unwrap();
+        assert_eq!(c.score(&f).unwrap(), p.score(&f).unwrap());
+    }
+}

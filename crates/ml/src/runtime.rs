@@ -1,0 +1,111 @@
+//! Scoring runtimes — the *standalone* baselines of the paper's Figure 4.
+//!
+//! * [`StandaloneRuntime`] plays the role of ONNX Runtime ("ORT"): a
+//!   competent, vectorized, single-threaded scorer with no relational
+//!   co-optimization.
+//! * [`interpreted_score`] plays the role of naive per-row UDF scoring
+//!   (the paper's "Inline SQL" 1× anchor): every row re-walks the pipeline
+//!   structure and allocates a fresh feature buffer.
+
+use crate::error::Result;
+use crate::featurize::RawValue;
+use crate::frame::{Frame, FrameCol};
+use crate::pipeline::Pipeline;
+
+/// Rows per internal scoring batch. Bounds the feature-matrix working set
+/// (like real serving runtimes do) so large inputs stay cache-resident.
+pub const SCORE_BATCH_ROWS: usize = 32_768;
+
+/// Vectorized, single-threaded pipeline scorer (the "ORT" baseline).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StandaloneRuntime;
+
+impl StandaloneRuntime {
+    pub fn new() -> Self {
+        StandaloneRuntime
+    }
+
+    /// Score a whole frame, featurizing and scoring in bounded batches.
+    pub fn score(&self, pipeline: &Pipeline, frame: &Frame) -> Result<Vec<f64>> {
+        let n = frame.num_rows();
+        if n <= SCORE_BATCH_ROWS {
+            return pipeline.score(frame);
+        }
+        let mut out = Vec::with_capacity(n);
+        for chunk in frame.chunks(SCORE_BATCH_ROWS) {
+            out.extend(pipeline.score(&chunk)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Row-at-a-time interpreted scoring: for each row, extract scalars,
+/// build a fresh feature vector, walk the model. Deliberately naive —
+/// this is the cost model of calling a scalar UDF per row.
+pub fn interpreted_score(pipeline: &Pipeline, frame: &Frame) -> Result<Vec<f64>> {
+    let n = frame.num_rows();
+    let mut out = Vec::with_capacity(n);
+    // resolve input columns once; per-row work still dominates
+    let cols: Vec<&FrameCol> = pipeline
+        .columns
+        .iter()
+        .map(|cp| frame.column(&cp.input))
+        .collect::<Result<_>>()?;
+    for row in 0..n {
+        let values: Vec<RawValue> = cols
+            .iter()
+            .map(|c| match c {
+                FrameCol::F64(v) => RawValue::Num(v[row]),
+                FrameCol::Str(v) => RawValue::Text(v[row].clone()),
+            })
+            .collect();
+        out.push(pipeline.score_row_values(&values)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::featurize::ColumnPipeline;
+    use crate::model::{LinearModel, Model};
+
+    fn setup() -> (Pipeline, Frame) {
+        let p = Pipeline::new(
+            vec![
+                ColumnPipeline::numeric("a"),
+                ColumnPipeline::one_hot("b", vec!["x".into(), "y".into()]),
+            ],
+            Model::Linear(LinearModel::new(vec![2.0, 5.0, 7.0], 1.0)),
+            "out",
+        );
+        let f = Frame::new()
+            .with("a", FrameCol::F64(vec![1.0, 2.0, 3.0]))
+            .unwrap()
+            .with(
+                "b",
+                FrameCol::Str(vec!["x".into(), "y".into(), "z".into()]),
+            )
+            .unwrap();
+        (p, f)
+    }
+
+    #[test]
+    fn runtimes_agree() {
+        let (p, f) = setup();
+        let vectorized = StandaloneRuntime::new().score(&p, &f).unwrap();
+        let interpreted = interpreted_score(&p, &f).unwrap();
+        assert_eq!(vectorized, interpreted);
+        assert_eq!(vectorized, vec![8.0, 12.0, 7.0]);
+    }
+
+    #[test]
+    fn missing_column_is_error() {
+        let (p, _) = setup();
+        let empty = Frame::new()
+            .with("a", FrameCol::F64(vec![1.0]))
+            .unwrap();
+        assert!(StandaloneRuntime::new().score(&p, &empty).is_err());
+        assert!(interpreted_score(&p, &empty).is_err());
+    }
+}

@@ -1,0 +1,566 @@
+//! Training routines. These exist so the experiments can manufacture
+//! *realistic* models (real split structures, real weight sparsity) rather
+//! than hand-written toys; they are deliberately simple, laptop-scale
+//! implementations.
+
+// numeric kernels read more naturally with explicit indices
+#![allow(clippy::needless_range_loop)]
+use crate::error::{MlError, Result};
+use crate::matrix::{solve_linear_system, Matrix};
+use crate::model::{
+    linear::sigmoid, DecisionTree, GaussianNb, GbtModel, KnnModel, LinearModel, Model,
+    RandomForest, TreeNode,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Ridge-regularized linear regression via the normal equations.
+pub fn fit_linear(x: &Matrix, y: &[f64], ridge: f64) -> Result<LinearModel> {
+    let n = x.rows();
+    let d = x.cols();
+    if n == 0 || y.len() != n {
+        return Err(MlError::Train("empty or mismatched training data".into()));
+    }
+    // Augment with a bias column: solve (Z^T Z + λI) w = Z^T y.
+    let dim = d + 1;
+    let mut a = Matrix::zeros(dim, dim);
+    let mut b = vec![0.0; dim];
+    for r in 0..n {
+        let row = x.row(r);
+        for i in 0..dim {
+            let zi = if i < d { row[i] } else { 1.0 };
+            b[i] += zi * y[r];
+            for j in i..dim {
+                let zj = if j < d { row[j] } else { 1.0 };
+                let v = a.get(i, j) + zi * zj;
+                a.set(i, j, v);
+            }
+        }
+    }
+    for i in 0..dim {
+        for j in 0..i {
+            a.set(i, j, a.get(j, i));
+        }
+        if i < d {
+            a.set(i, i, a.get(i, i) + ridge);
+        }
+    }
+    let w = solve_linear_system(&mut a, &mut b)
+        .ok_or_else(|| MlError::Train("singular normal equations".into()))?;
+    Ok(LinearModel::new(w[..d].to_vec(), w[d]))
+}
+
+/// Logistic regression by batch gradient descent.
+pub fn fit_logistic(x: &Matrix, y: &[f64], epochs: usize, lr: f64) -> Result<LinearModel> {
+    let n = x.rows();
+    let d = x.cols();
+    if n == 0 || y.len() != n {
+        return Err(MlError::Train("empty or mismatched training data".into()));
+    }
+    let mut w = vec![0.0; d];
+    let mut bias = 0.0;
+    for _ in 0..epochs {
+        let mut grad_w = vec![0.0; d];
+        let mut grad_b = 0.0;
+        for r in 0..n {
+            let row = x.row(r);
+            let p = sigmoid(crate::matrix::dot(row, &w) + bias);
+            let err = p - y[r];
+            for (g, v) in grad_w.iter_mut().zip(row) {
+                *g += err * v;
+            }
+            grad_b += err;
+        }
+        let scale = lr / n as f64;
+        for (wi, g) in w.iter_mut().zip(&grad_w) {
+            *wi -= scale * g;
+        }
+        bias -= scale * grad_b;
+    }
+    Ok(LinearModel::new(w, bias))
+}
+
+/// Parameters for CART tree fitting.
+#[derive(Debug, Clone)]
+pub struct TreeParams {
+    pub max_depth: usize,
+    pub min_samples_split: usize,
+    /// Consider only this many random feature candidates per split
+    /// (`None` = all features). Used for forests.
+    pub feature_subsample: Option<usize>,
+    pub seed: u64,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 6,
+            min_samples_split: 4,
+            feature_subsample: None,
+            seed: 42,
+        }
+    }
+}
+
+/// Variance-reduction CART regression tree. For binary classification pass
+/// 0/1 targets — leaves then hold class proportions.
+pub fn fit_tree(x: &Matrix, y: &[f64], params: &TreeParams) -> Result<DecisionTree> {
+    let n = x.rows();
+    if n == 0 || y.len() != n {
+        return Err(MlError::Train("empty or mismatched training data".into()));
+    }
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut nodes = Vec::new();
+    let indices: Vec<usize> = (0..n).collect();
+    build_node(x, y, &indices, params, 0, &mut nodes, &mut rng);
+    Ok(DecisionTree { nodes })
+}
+
+fn mean_of(y: &[f64], idx: &[usize]) -> f64 {
+    if idx.is_empty() {
+        return 0.0;
+    }
+    idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len() as f64
+}
+
+fn sse_of(y: &[f64], idx: &[usize], mean: f64) -> f64 {
+    idx.iter().map(|&i| (y[i] - mean) * (y[i] - mean)).sum()
+}
+
+fn build_node(
+    x: &Matrix,
+    y: &[f64],
+    idx: &[usize],
+    params: &TreeParams,
+    depth: usize,
+    nodes: &mut Vec<TreeNode>,
+    rng: &mut StdRng,
+) -> usize {
+    let mean = mean_of(y, idx);
+    if depth >= params.max_depth || idx.len() < params.min_samples_split {
+        nodes.push(TreeNode::Leaf { value: mean });
+        return nodes.len() - 1;
+    }
+    let parent_sse = sse_of(y, idx, mean);
+    if parent_sse <= 1e-12 {
+        nodes.push(TreeNode::Leaf { value: mean });
+        return nodes.len() - 1;
+    }
+
+    let d = x.cols();
+    let mut candidates: Vec<usize> = (0..d).collect();
+    if let Some(k) = params.feature_subsample {
+        candidates.shuffle(rng);
+        candidates.truncate(k.max(1).min(d));
+    }
+
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+    let mut sorted = idx.to_vec();
+    for &f in &candidates {
+        sorted.sort_by(|&a, &b| x.get(a, f).total_cmp(&x.get(b, f)));
+        // prefix sums for O(n) best-split scan
+        let mut prefix_sum = 0.0;
+        let mut prefix_sq = 0.0;
+        let total_sum: f64 = sorted.iter().map(|&i| y[i]).sum();
+        let total_sq: f64 = sorted.iter().map(|&i| y[i] * y[i]).sum();
+        for (k, &i) in sorted.iter().enumerate().take(sorted.len() - 1) {
+            prefix_sum += y[i];
+            prefix_sq += y[i] * y[i];
+            let v = x.get(i, f);
+            let next = x.get(sorted[k + 1], f);
+            if v == next {
+                continue; // can't split between equal values
+            }
+            let nl = (k + 1) as f64;
+            let nr = (sorted.len() - k - 1) as f64;
+            let sse_l = prefix_sq - prefix_sum * prefix_sum / nl;
+            let rs = total_sum - prefix_sum;
+            let sse_r = (total_sq - prefix_sq) - rs * rs / nr;
+            let gain = parent_sse - sse_l - sse_r;
+            if best.is_none_or(|(_, _, g)| gain > g) && gain > 1e-12 {
+                best = Some((f, (v + next) / 2.0, gain));
+            }
+        }
+    }
+
+    let Some((feature, threshold, _)) = best else {
+        nodes.push(TreeNode::Leaf { value: mean });
+        return nodes.len() - 1;
+    };
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
+        .iter()
+        .partition(|&&i| x.get(i, feature) <= threshold);
+    if left_idx.is_empty() || right_idx.is_empty() {
+        nodes.push(TreeNode::Leaf { value: mean });
+        return nodes.len() - 1;
+    }
+    // reserve a slot for this split, fill children, then patch
+    let my = nodes.len();
+    nodes.push(TreeNode::Leaf { value: mean }); // placeholder
+    let left = build_node(x, y, &left_idx, params, depth + 1, nodes, rng);
+    let right = build_node(x, y, &right_idx, params, depth + 1, nodes, rng);
+    nodes[my] = TreeNode::Split {
+        feature,
+        threshold,
+        left,
+        right,
+    };
+    my
+}
+
+/// Bagged random forest.
+pub fn fit_forest(
+    x: &Matrix,
+    y: &[f64],
+    n_trees: usize,
+    params: &TreeParams,
+) -> Result<RandomForest> {
+    let n = x.rows();
+    if n == 0 {
+        return Err(MlError::Train("empty training data".into()));
+    }
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut trees = Vec::with_capacity(n_trees);
+    for t in 0..n_trees {
+        // bootstrap sample
+        let sample: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+        let xs: Vec<Vec<f64>> = sample.iter().map(|&i| x.row(i).to_vec()).collect();
+        let ys: Vec<f64> = sample.iter().map(|&i| y[i]).collect();
+        let sub = Matrix::from_rows(&xs);
+        let mut p = params.clone();
+        p.seed = params.seed.wrapping_add(t as u64 + 1);
+        p.feature_subsample = params
+            .feature_subsample
+            .or(Some(((x.cols() as f64).sqrt().ceil() as usize).max(1)));
+        trees.push(fit_tree(&sub, &ys, &p)?);
+    }
+    Ok(RandomForest { trees })
+}
+
+/// Gradient-boosted trees on squared loss (regression) or logistic loss
+/// (when `classification` is set; targets must be 0/1).
+pub fn fit_gbt(
+    x: &Matrix,
+    y: &[f64],
+    n_trees: usize,
+    learning_rate: f64,
+    params: &TreeParams,
+    classification: bool,
+) -> Result<GbtModel> {
+    let n = x.rows();
+    if n == 0 || y.len() != n {
+        return Err(MlError::Train("empty or mismatched training data".into()));
+    }
+    let base_score = if classification {
+        let p = (y.iter().sum::<f64>() / n as f64).clamp(1e-6, 1.0 - 1e-6);
+        (p / (1.0 - p)).ln() // log-odds
+    } else {
+        y.iter().sum::<f64>() / n as f64
+    };
+    let mut raw: Vec<f64> = vec![base_score; n];
+    let mut trees = Vec::with_capacity(n_trees);
+    for t in 0..n_trees {
+        // negative gradient as the regression target
+        let residuals: Vec<f64> = if classification {
+            raw.iter().zip(y).map(|(r, t)| t - sigmoid(*r)).collect()
+        } else {
+            raw.iter().zip(y).map(|(r, t)| t - r).collect()
+        };
+        let mut p = params.clone();
+        p.seed = params.seed.wrapping_add(1000 + t as u64);
+        let tree = fit_tree(x, &residuals, &p)?;
+        for r in 0..n {
+            raw[r] += learning_rate * tree.score_row(x.row(r));
+        }
+        trees.push(tree);
+    }
+    Ok(GbtModel {
+        trees,
+        learning_rate,
+        base_score,
+        sigmoid_output: classification,
+    })
+}
+
+/// Gaussian naive Bayes for binary 0/1 targets.
+pub fn fit_naive_bayes(x: &Matrix, y: &[f64]) -> Result<GaussianNb> {
+    let n = x.rows();
+    let d = x.cols();
+    if n == 0 || y.len() != n {
+        return Err(MlError::Train("empty or mismatched training data".into()));
+    }
+    let pos: Vec<usize> = (0..n).filter(|&i| y[i] >= 0.5).collect();
+    let neg: Vec<usize> = (0..n).filter(|&i| y[i] < 0.5).collect();
+    if pos.is_empty() || neg.is_empty() {
+        return Err(MlError::Train("need both classes present".into()));
+    }
+    let stats = |idx: &[usize]| -> Vec<(f64, f64)> {
+        (0..d)
+            .map(|c| {
+                let vals: Vec<f64> = idx
+                    .iter()
+                    .map(|&i| x.get(i, c))
+                    .filter(|v| !v.is_nan())
+                    .collect();
+                if vals.is_empty() {
+                    return (0.0, 1.0);
+                }
+                let m = vals.iter().sum::<f64>() / vals.len() as f64;
+                let var =
+                    vals.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / vals.len() as f64;
+                (m, var.max(1e-9))
+            })
+            .collect()
+    };
+    Ok(GaussianNb {
+        log_prior_ratio: (pos.len() as f64 / neg.len() as f64).ln(),
+        class0: stats(&neg),
+        class1: stats(&pos),
+    })
+}
+
+/// kNN "training" just stores the data.
+pub fn fit_knn(x: &Matrix, y: &[f64], k: usize) -> Result<KnnModel> {
+    if x.rows() == 0 || y.len() != x.rows() {
+        return Err(MlError::Train("empty or mismatched training data".into()));
+    }
+    Ok(KnnModel {
+        k: k.max(1),
+        points: x.clone(),
+        targets: y.to_vec(),
+    })
+}
+
+/// Shuffle and split rows into (train, test) index sets.
+pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let n_test = ((n as f64) * test_fraction.clamp(0.0, 1.0)).round() as usize;
+    let test = idx[..n_test].to_vec();
+    let train = idx[n_test..].to_vec();
+    (train, test)
+}
+
+/// Per-fold result of cross-validation.
+#[derive(Debug, Clone)]
+pub struct FoldResult {
+    pub fold: usize,
+    /// AUC for binary targets, R² otherwise.
+    pub score: f64,
+}
+
+/// K-fold cross-validation of a model kind (the train-side hygiene the
+/// paper expects "automation, tooling, and engineering best practices"
+/// to provide). Returns one score per fold: AUC when the targets are
+/// binary 0/1, R² otherwise.
+pub fn cross_validate(
+    kind: &str,
+    x: &Matrix,
+    y: &[f64],
+    k: usize,
+    seed: u64,
+) -> Result<Vec<FoldResult>> {
+    let n = x.rows();
+    let k = k.clamp(2, n.max(2));
+    if n < k {
+        return Err(MlError::Train(format!(
+            "{n} rows cannot be split into {k} folds"
+        )));
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let binary = y.iter().all(|v| *v == 0.0 || *v == 1.0);
+
+    let mut results = Vec::with_capacity(k);
+    for fold in 0..k {
+        let test: Vec<usize> = idx
+            .iter()
+            .copied()
+            .skip(fold)
+            .step_by(k)
+            .collect();
+        let test_set: std::collections::HashSet<usize> = test.iter().copied().collect();
+        let train_rows: Vec<Vec<f64>> = idx
+            .iter()
+            .filter(|i| !test_set.contains(i))
+            .map(|&i| x.row(i).to_vec())
+            .collect();
+        let train_y: Vec<f64> = idx
+            .iter()
+            .filter(|i| !test_set.contains(i))
+            .map(|&i| y[i])
+            .collect();
+        let model = fit_model(kind, &Matrix::from_rows(&train_rows), &train_y)?;
+        let pred: Vec<f64> = test.iter().map(|&i| model.score_row(x.row(i))).collect();
+        let truth: Vec<f64> = test.iter().map(|&i| y[i]).collect();
+        let score = if binary {
+            crate::metrics::auc(&pred, &truth)
+        } else {
+            crate::metrics::r2(&pred, &truth)
+        };
+        results.push(FoldResult { fold, score });
+    }
+    Ok(results)
+}
+
+/// Convenience: fit the requested model kind with sane defaults.
+pub fn fit_model(kind: &str, x: &Matrix, y: &[f64]) -> Result<Model> {
+    Ok(match kind {
+        "linear" => Model::Linear(fit_linear(x, y, 1e-6)?),
+        "logistic" => Model::Logistic(fit_logistic(x, y, 200, 0.5)?),
+        "tree" => Model::Tree(fit_tree(x, y, &TreeParams::default())?),
+        "forest" => Model::Forest(fit_forest(x, y, 20, &TreeParams::default())?),
+        "gbt" => Model::Gbt(fit_gbt(x, y, 30, 0.2, &TreeParams::default(), true)?),
+        "gbt_regression" => {
+            Model::Gbt(fit_gbt(x, y, 30, 0.2, &TreeParams::default(), false)?)
+        }
+        "naive_bayes" => Model::NaiveBayes(fit_naive_bayes(x, y)?),
+        "knn" => Model::Knn(fit_knn(x, y, 5)?),
+        other => return Err(MlError::Train(format!("unknown model kind '{other}'"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{accuracy, r2};
+
+    fn linear_data(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] - 2.0 * r[1] + 0.5).collect();
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn linear_regression_recovers_weights() {
+        let (x, y) = linear_data(200, 1);
+        let m = fit_linear(&x, &y, 1e-9).unwrap();
+        assert!((m.weights[0] - 3.0).abs() < 1e-6);
+        assert!((m.weights[1] + 2.0).abs() < 1e-6);
+        assert!((m.bias - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn logistic_separates_linear_boundary() {
+        let (x, raw) = linear_data(300, 2);
+        let y: Vec<f64> = raw.iter().map(|v| if *v > 0.5 { 1.0 } else { 0.0 }).collect();
+        let m = fit_logistic(&x, &y, 300, 1.0).unwrap();
+        let pred: Vec<f64> = x
+            .matvec(&m.weights)
+            .into_iter()
+            .map(|s| sigmoid(s + m.bias))
+            .collect();
+        assert!(accuracy(&pred, &y, 0.5) > 0.9);
+    }
+
+    #[test]
+    fn tree_fits_step_function() {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..100).map(|i| if i < 50 { 1.0 } else { 9.0 }).collect();
+        let x = Matrix::from_rows(&rows);
+        let t = fit_tree(&x, &y, &TreeParams::default()).unwrap();
+        assert_eq!(t.score_row(&[10.0]), 1.0);
+        assert_eq!(t.score_row(&[90.0]), 9.0);
+        assert!(t.depth() <= 7);
+    }
+
+    #[test]
+    fn gbt_beats_single_tree_on_regression() {
+        let (x, y) = linear_data(300, 3);
+        let shallow = TreeParams {
+            max_depth: 2,
+            ..Default::default()
+        };
+        let tree = fit_tree(&x, &y, &shallow).unwrap();
+        let gbt = fit_gbt(&x, &y, 50, 0.3, &shallow, false).unwrap();
+        let tree_pred = tree.score_batch(&x);
+        let gbt_pred = gbt.score_batch(&x);
+        assert!(r2(&gbt_pred, &y) > r2(&tree_pred, &y));
+        assert!(r2(&gbt_pred, &y) > 0.9);
+    }
+
+    #[test]
+    fn forest_is_deterministic_per_seed() {
+        let (x, y) = linear_data(100, 4);
+        let a = fit_forest(&x, &y, 5, &TreeParams::default()).unwrap();
+        let b = fit_forest(&x, &y, 5, &TreeParams::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn naive_bayes_requires_both_classes() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
+        assert!(fit_naive_bayes(&x, &[1.0, 1.0]).is_err());
+        let x = Matrix::from_rows(&[vec![0.0], vec![10.0]]);
+        let m = fit_naive_bayes(&x, &[0.0, 1.0]).unwrap();
+        assert!(m.score_row(&[9.0]) > 0.5);
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let (train, test) = train_test_split(100, 0.3, 7);
+        assert_eq!(train.len(), 70);
+        assert_eq!(test.len(), 30);
+        let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fit_model_dispatch() {
+        let (x, raw) = linear_data(80, 9);
+        let y: Vec<f64> = raw.iter().map(|v| if *v > 0.5 { 1.0 } else { 0.0 }).collect();
+        for kind in ["linear", "logistic", "tree", "forest", "gbt", "naive_bayes", "knn"] {
+            let m = fit_model(kind, &x, &y).unwrap();
+            assert_eq!(m.score_batch(&x).len(), 80, "{kind}");
+        }
+        assert!(fit_model("nope", &x, &y).is_err());
+    }
+}
+
+#[cfg(test)]
+mod cv_tests {
+    use super::*;
+    use crate::metrics::auc;
+
+    #[test]
+    fn cross_validation_scores_separable_data_high() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|i| {
+                let signal = if i % 2 == 0 { -1.0 } else { 1.0 };
+                vec![signal + rng.gen_range(-0.3..0.3), rng.gen_range(-1.0..1.0)]
+            })
+            .collect();
+        let y: Vec<f64> = (0..200).map(|i| (i % 2) as f64).collect();
+        let x = Matrix::from_rows(&rows);
+        let folds = cross_validate("logistic", &x, &y, 5, 1).unwrap();
+        assert_eq!(folds.len(), 5);
+        for f in &folds {
+            assert!(f.score > 0.9, "fold {} score {}", f.fold, f.score);
+        }
+        let _ = auc(&[0.0], &[0.0]); // keep import used
+    }
+
+    #[test]
+    fn cross_validation_rejects_tiny_data() {
+        let x = Matrix::from_rows(&[vec![1.0]]);
+        assert!(cross_validate("linear", &x, &[1.0], 5, 1).is_err());
+    }
+
+    #[test]
+    fn folds_partition_all_rows() {
+        // every row appears in exactly one test fold: total test size == n
+        let rows: Vec<Vec<f64>> = (0..37).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..37).map(|i| (i % 2) as f64).collect();
+        let x = Matrix::from_rows(&rows);
+        let folds = cross_validate("tree", &x, &y, 4, 9).unwrap();
+        assert_eq!(folds.len(), 4);
+    }
+}

@@ -1,0 +1,310 @@
+//! Property-based tests of the ML substrate invariants.
+
+use flock_ml::model::sigmoid;
+use flock_ml::{
+    fonnx, interpreted_score, ColumnPipeline, Encoder, Frame, FrameCol, LinearModel, Matrix,
+    Model, NumericStep, Pipeline, RawValue, StandaloneRuntime, TreeNode,
+};
+use proptest::prelude::*;
+
+// ---- strategies -----------------------------------------------------
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    -1e4f64..1e4
+}
+
+fn numeric_steps() -> impl Strategy<Value = Vec<NumericStep>> {
+    proptest::collection::vec(
+        prop_oneof![
+            finite_f64().prop_map(|fill| NumericStep::Impute { fill }),
+            (finite_f64(), 0.1f64..100.0)
+                .prop_map(|(mean, std)| NumericStep::Standardize { mean, std }),
+            (finite_f64(), 1.0f64..100.0)
+                .prop_map(|(min, w)| NumericStep::MinMax { min, max: min + w }),
+            Just(NumericStep::Log1p),
+            (finite_f64(), 0.0f64..100.0)
+                .prop_map(|(lo, w)| NumericStep::Clip { lo, hi: lo + w }),
+        ],
+        0..3,
+    )
+}
+
+fn column_pipeline(idx: usize) -> impl Strategy<Value = ColumnPipeline> {
+    let name = format!("c{idx}");
+    prop_oneof![
+        numeric_steps().prop_map({
+            let name = name.clone();
+            move |steps| ColumnPipeline {
+                input: name.clone(),
+                steps,
+                encoder: Encoder::Numeric,
+            }
+        }),
+        (2usize..5).prop_map({
+            let name = name.clone();
+            move |k| ColumnPipeline {
+                input: name.clone(),
+                steps: vec![],
+                encoder: Encoder::OneHot {
+                    categories: (0..k).map(|i| format!("cat{i}")).collect(),
+                },
+            }
+        }),
+        (2usize..8).prop_map({
+            let name = name.clone();
+            move |buckets| ColumnPipeline {
+                input: name.clone(),
+                steps: vec![],
+                encoder: Encoder::Hashing { buckets },
+            }
+        }),
+        proptest::collection::vec(finite_f64(), 1..4).prop_map(move |mut edges| {
+            edges.sort_by(f64::total_cmp);
+            edges.dedup();
+            ColumnPipeline {
+                input: name.clone(),
+                steps: vec![],
+                encoder: Encoder::Binned { edges },
+            }
+        }),
+    ]
+}
+
+fn arbitrary_pipeline() -> impl Strategy<Value = Pipeline> {
+    (1usize..4)
+        .prop_flat_map(|ncols| {
+            let cols: Vec<_> = (0..ncols).map(column_pipeline).collect();
+            (cols, proptest::collection::vec(-3.0f64..3.0, 32), -2.0f64..2.0, any::<bool>())
+        })
+        .prop_map(|(columns, raw_weights, bias, logistic)| {
+            let width: usize = columns.iter().map(|c| c.width()).sum();
+            let weights: Vec<f64> = raw_weights.into_iter().cycle().take(width).collect();
+            let lm = LinearModel::new(weights, bias);
+            let model = if logistic {
+                Model::Logistic(lm)
+            } else {
+                Model::Linear(lm)
+            };
+            Pipeline::new(columns, model, "out")
+        })
+}
+
+fn frame_for(pipeline: &Pipeline, rows: usize, seed: u64) -> Frame {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut frame = Frame::new();
+    for (i, cp) in pipeline.columns.iter().enumerate() {
+        let _ = i;
+        if cp.encoder.takes_strings() {
+            let vals: Vec<String> = (0..rows)
+                .map(|_| match rng.gen_range(0..4) {
+                    0 => format!("cat{}", rng.gen_range(0..5)),
+                    1 => "token one two".to_string(),
+                    2 => String::new(),
+                    _ => format!("w{} w{}", rng.gen_range(0..9), rng.gen_range(0..9)),
+                })
+                .collect();
+            frame.push(cp.input.clone(), FrameCol::Str(vals)).unwrap();
+        } else {
+            let vals: Vec<f64> = (0..rows)
+                .map(|_| {
+                    if rng.gen_bool(0.1) {
+                        f64::NAN
+                    } else {
+                        rng.gen_range(-1e3..1e3)
+                    }
+                })
+                .collect();
+            frame.push(cp.input.clone(), FrameCol::F64(vals)).unwrap();
+        }
+    }
+    frame
+}
+
+// ---- properties ------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FONNX serialization is lossless for arbitrary pipelines.
+    #[test]
+    fn fonnx_roundtrip_identity(p in arbitrary_pipeline()) {
+        let bytes = fonnx::to_bytes(&p).unwrap();
+        let back = fonnx::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(p, back);
+    }
+
+    /// The vectorized runtime and the row-at-a-time interpreter agree
+    /// bit-for-bit on arbitrary pipelines and inputs.
+    #[test]
+    fn runtimes_agree(p in arbitrary_pipeline(), seed in any::<u64>()) {
+        let frame = frame_for(&p, 17, seed);
+        let vectorized = StandaloneRuntime::new().score(&p, &frame).unwrap();
+        let interpreted = interpreted_score(&p, &frame).unwrap();
+        prop_assert_eq!(vectorized, interpreted);
+    }
+
+    /// Pruning unused inputs never changes scores.
+    #[test]
+    fn pruning_preserves_scores(p in arbitrary_pipeline(), seed in any::<u64>()) {
+        // zero out the weights of the first column's features to create
+        // guaranteed sparsity
+        let mut p = p;
+        let (a, b) = p.feature_range(0);
+        if let Model::Linear(lm) | Model::Logistic(lm) = &mut p.model {
+            for w in &mut lm.weights[a..b] {
+                *w = 0.0;
+            }
+        }
+        let frame = frame_for(&p, 11, seed);
+        let before = StandaloneRuntime::new().score(&p, &frame).unwrap();
+        let (pruned, kept) = p.prune_unused_inputs();
+        prop_assert!(kept.len() <= p.columns.len());
+        let after = StandaloneRuntime::new().score(&pruned, &frame).unwrap();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Tree compression with true data ranges preserves every in-range
+    /// prediction.
+    #[test]
+    fn tree_compression_is_semantics_preserving(
+        splits in proptest::collection::vec((0usize..3, -100.0f64..100.0), 1..15),
+        xs in proptest::collection::vec(
+            proptest::collection::vec(-100.0f64..100.0, 3),
+            1..30,
+        ),
+    ) {
+        let tree = balanced_tree(&splits);
+        let dim = 3;
+        // ranges from the actual data
+        let mut ranges = vec![(f64::INFINITY, f64::NEG_INFINITY); dim];
+        for row in &xs {
+            for (d, v) in row.iter().enumerate() {
+                ranges[d].0 = ranges[d].0.min(*v);
+                ranges[d].1 = ranges[d].1.max(*v);
+            }
+        }
+        let compressed = tree.compress(&ranges);
+        prop_assert!(compressed.num_nodes() <= tree.num_nodes());
+        for row in &xs {
+            prop_assert_eq!(tree.score_row(row), compressed.score_row(row));
+        }
+    }
+
+    /// Linear feature selection keeps scores identical when only
+    /// zero-weight features are dropped.
+    #[test]
+    fn linear_select_zero_features_identity(
+        weights in proptest::collection::vec(prop_oneof![Just(0.0), -5.0f64..5.0], 1..10),
+        x in proptest::collection::vec(-100.0f64..100.0, 10),
+    ) {
+        let lm = LinearModel::new(weights.clone(), 1.5);
+        let x = &x[..weights.len()];
+        let keep: Vec<usize> = lm
+            .used_features()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, u)| u.then_some(i))
+            .collect();
+        let selected = lm.select_features(&keep);
+        let xs: Vec<f64> = keep.iter().map(|&i| x[i]).collect();
+        prop_assert!((lm.score_row(x) - selected.score_row(&xs)).abs() < 1e-12);
+    }
+
+    /// Sigmoid is monotone and bounded.
+    #[test]
+    fn sigmoid_properties(a in -50.0f64..50.0, b in -50.0f64..50.0) {
+        let (sa, sb) = (sigmoid(a), sigmoid(b));
+        prop_assert!((0.0..=1.0).contains(&sa));
+        if a < b {
+            prop_assert!(sa <= sb);
+        }
+    }
+
+    /// Row encoding matches the batch encoder for every encoder kind.
+    #[test]
+    fn row_and_batch_encoding_agree(p in arbitrary_pipeline(), seed in any::<u64>()) {
+        let frame = frame_for(&p, 5, seed);
+        let batch = p.featurize(&frame).unwrap();
+        for row in 0..frame.num_rows() {
+            let values: Vec<RawValue> = p
+                .columns
+                .iter()
+                .map(|cp| {
+                    let col = frame.column(&cp.input).unwrap();
+                    match col {
+                        FrameCol::F64(v) => RawValue::Num(v[row]),
+                        FrameCol::Str(v) => RawValue::Text(v[row].clone()),
+                    }
+                })
+                .collect();
+            let mut features = vec![0.0; p.feature_width()];
+            let mut offset = 0;
+            for (cp, v) in p.columns.iter().zip(&values) {
+                cp.encode_value_into(v, &mut features[offset..offset + cp.width()]);
+                offset += cp.width();
+            }
+            prop_assert_eq!(batch.row(row), &features[..]);
+        }
+    }
+
+    /// Matrix solve actually solves (residual check) on well-conditioned
+    /// diagonally-dominant systems.
+    #[test]
+    fn linear_solver_residuals_vanish(
+        n in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut a = Matrix::zeros(n, n);
+        for r in 0..n {
+            for c in 0..n {
+                a.set(r, c, rng.gen_range(-1.0..1.0));
+            }
+            let diag = a.get(r, r);
+            a.set(r, r, diag + n as f64 * 2.0); // diagonal dominance
+        }
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-10.0..10.0)).collect();
+        let mut a2 = a.clone();
+        let mut b2 = b.clone();
+        let x = flock_ml::matrix::solve_linear_system(&mut a2, &mut b2).unwrap();
+        for (r, expected) in b.iter().enumerate() {
+            let got: f64 = (0..n).map(|c| a.get(r, c) * x[c]).sum();
+            prop_assert!((got - expected).abs() < 1e-6, "row {r}: {got} vs {expected}");
+        }
+    }
+}
+
+/// Build a small tree from a split list (leaves hold distinct values).
+fn balanced_tree(splits: &[(usize, f64)]) -> flock_ml::DecisionTree {
+    fn build(
+        splits: &[(usize, f64)],
+        i: usize,
+        nodes: &mut Vec<TreeNode>,
+        next_leaf: &mut f64,
+    ) -> usize {
+        if i >= splits.len() {
+            nodes.push(TreeNode::Leaf { value: *next_leaf });
+            *next_leaf += 1.0;
+            return nodes.len() - 1;
+        }
+        let my = nodes.len();
+        nodes.push(TreeNode::Leaf { value: -1.0 }); // placeholder
+        let left = build(splits, 2 * i + 1, nodes, next_leaf);
+        let right = build(splits, 2 * i + 2, nodes, next_leaf);
+        nodes[my] = TreeNode::Split {
+            feature: splits[i].0,
+            threshold: splits[i].1,
+            left,
+            right,
+        };
+        my
+    }
+    let mut nodes = Vec::new();
+    let mut next_leaf = 0.0;
+    build(splits, 0, &mut nodes, &mut next_leaf);
+    flock_ml::DecisionTree { nodes }
+}

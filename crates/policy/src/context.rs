@@ -1,0 +1,86 @@
+//! The decision context: the values a policy can inspect and act on.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A flat bag of named numeric and text values describing one pending
+/// decision: the model's prediction(s) plus the application-domain fields
+/// (amounts, user categories, ...).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DecisionContext {
+    numbers: BTreeMap<String, f64>,
+    texts: BTreeMap<String, String>,
+}
+
+impl DecisionContext {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_number(mut self, key: &str, value: f64) -> Self {
+        self.set_number(key, value);
+        self
+    }
+
+    pub fn with_text(mut self, key: &str, value: &str) -> Self {
+        self.set_text(key, value);
+        self
+    }
+
+    pub fn set_number(&mut self, key: &str, value: f64) {
+        self.numbers.insert(key.to_ascii_lowercase(), value);
+    }
+
+    pub fn set_text(&mut self, key: &str, value: &str) {
+        self.texts
+            .insert(key.to_ascii_lowercase(), value.to_string());
+    }
+
+    pub fn number(&self, key: &str) -> Option<f64> {
+        self.numbers.get(&key.to_ascii_lowercase()).copied()
+    }
+
+    pub fn text(&self, key: &str) -> Option<&str> {
+        self.texts.get(&key.to_ascii_lowercase()).map(|s| s.as_str())
+    }
+
+    pub fn numbers(&self) -> impl Iterator<Item = (&String, &f64)> {
+        self.numbers.iter()
+    }
+
+    /// Render for history/debugging.
+    pub fn describe(&self) -> String {
+        let mut parts: Vec<String> = self
+            .numbers
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        parts.extend(self.texts.iter().map(|(k, v)| format!("{k}='{v}'")));
+        parts.join(", ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_case_insensitive() {
+        let ctx = DecisionContext::new()
+            .with_number("Risk", 0.9)
+            .with_text("Region", "EU");
+        assert_eq!(ctx.number("risk"), Some(0.9));
+        assert_eq!(ctx.text("REGION"), Some("EU"));
+        assert_eq!(ctx.number("missing"), None);
+    }
+
+    #[test]
+    fn describe_renders_both_kinds() {
+        let ctx = DecisionContext::new()
+            .with_number("a", 1.0)
+            .with_text("b", "x");
+        let d = ctx.describe();
+        assert!(d.contains("a=1"));
+        assert!(d.contains("b='x'"));
+    }
+}

@@ -1,0 +1,280 @@
+//! The policy engine: evaluate, apply, remember.
+//!
+//! "The module continuously monitors the output of the ML models and
+//! applies the specified policies before taking any further action in the
+//! application domain. It also maintains the system state and actions
+//! taken over time allowing to easily debug and explain the system's
+//! actions." (paper §4.1)
+
+use crate::context::DecisionContext;
+use crate::policy::{Policy, PolicyAction};
+use flock_sql::Result;
+
+/// Final verdict for one decision.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    Proceed,
+    Denied { reason: String },
+    Escalated { to: String },
+}
+
+/// The result of running the policies over one context.
+#[derive(Debug, Clone)]
+pub struct Decision {
+    pub id: u64,
+    pub outcome: Outcome,
+    /// The (possibly modified) context after overrides/caps.
+    pub context: DecisionContext,
+    /// Names of the policies that matched, in application order.
+    pub applied: Vec<String>,
+    /// Whether any value differs from the model's raw output.
+    pub overridden: bool,
+}
+
+/// One history record, kept for debugging/explanation.
+#[derive(Debug, Clone)]
+pub struct DecisionRecord {
+    pub id: u64,
+    pub before: DecisionContext,
+    pub after: DecisionContext,
+    pub outcome: Outcome,
+    pub applied: Vec<String>,
+}
+
+/// Evaluates policies in priority order and keeps the decision history.
+#[derive(Debug, Default)]
+pub struct PolicyEngine {
+    policies: Vec<Policy>,
+    history: Vec<DecisionRecord>,
+    next_id: u64,
+}
+
+impl PolicyEngine {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add(&mut self, policy: Policy) {
+        self.policies.push(policy);
+        self.policies.sort_by_key(|p| p.priority);
+    }
+
+    pub fn policies(&self) -> &[Policy] {
+        &self.policies
+    }
+
+    pub fn history(&self) -> &[DecisionRecord] {
+        &self.history
+    }
+
+    /// Run the policies over one decision context.
+    pub fn decide(&mut self, raw: DecisionContext) -> Result<Decision> {
+        self.next_id += 1;
+        let id = self.next_id;
+        let before = raw.clone();
+        let mut ctx = raw;
+        let mut applied = Vec::new();
+        let mut outcome = Outcome::Proceed;
+
+        for policy in &self.policies {
+            if !policy.matches(&ctx)? {
+                continue;
+            }
+            applied.push(policy.name.clone());
+            match &policy.action {
+                PolicyAction::Override { field, value } => ctx.set_number(field, *value),
+                PolicyAction::Cap { field, max } => {
+                    if let Some(v) = ctx.number(field) {
+                        if v > *max {
+                            ctx.set_number(field, *max);
+                        }
+                    }
+                }
+                PolicyAction::Floor { field, min } => {
+                    if let Some(v) = ctx.number(field) {
+                        if v < *min {
+                            ctx.set_number(field, *min);
+                        }
+                    }
+                }
+                PolicyAction::Deny { reason } => {
+                    outcome = Outcome::Denied {
+                        reason: reason.clone(),
+                    };
+                }
+                PolicyAction::Escalate { to } => {
+                    outcome = Outcome::Escalated { to: to.clone() };
+                }
+                PolicyAction::Allow => {}
+            }
+            if policy.terminal {
+                break;
+            }
+        }
+
+        let overridden = ctx != before;
+        self.history.push(DecisionRecord {
+            id,
+            before,
+            after: ctx.clone(),
+            outcome: outcome.clone(),
+            applied: applied.clone(),
+        });
+        Ok(Decision {
+            id,
+            outcome,
+            context: ctx,
+            applied,
+            overridden,
+        })
+    }
+
+    /// Human-readable explanation of a past decision — "end-to-end
+    /// accountability".
+    pub fn explain(&self, id: u64) -> Option<String> {
+        let r = self.history.iter().find(|r| r.id == id)?;
+        let mut s = format!("decision #{}\n  input:  {}\n", r.id, r.before.describe());
+        if r.applied.is_empty() {
+            s.push_str("  no policies matched\n");
+        } else {
+            for p in &r.applied {
+                s.push_str(&format!("  applied policy: {p}\n"));
+            }
+        }
+        s.push_str(&format!("  output: {}\n", r.after.describe()));
+        s.push_str(&format!("  outcome: {:?}\n", r.outcome));
+        Some(s)
+    }
+
+    /// How often policies overrode the model (for monitoring dashboards).
+    pub fn override_rate(&self) -> f64 {
+        if self.history.is_empty() {
+            return 0.0;
+        }
+        let n = self
+            .history
+            .iter()
+            .filter(|r| r.after != r.before || r.outcome != Outcome::Proceed)
+            .count();
+        n as f64 / self.history.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> PolicyEngine {
+        let mut e = PolicyEngine::new();
+        e.add(
+            Policy::new(
+                "cap-parallelism",
+                "predicted_tokens > 100",
+                PolicyAction::Cap {
+                    field: "predicted_tokens".into(),
+                    max: 100.0,
+                },
+            )
+            .unwrap()
+            .with_priority(10),
+        );
+        e.add(
+            Policy::new(
+                "deny-extreme-risk",
+                "risk > 0.95",
+                PolicyAction::Deny {
+                    reason: "risk exceeds the regulatory ceiling".into(),
+                },
+            )
+            .unwrap()
+            .with_priority(1),
+        );
+        e
+    }
+
+    #[test]
+    fn cap_overrides_model_output() {
+        let mut e = engine();
+        let d = e
+            .decide(DecisionContext::new().with_number("predicted_tokens", 250.0))
+            .unwrap();
+        assert_eq!(d.outcome, Outcome::Proceed);
+        assert_eq!(d.context.number("predicted_tokens"), Some(100.0));
+        assert!(d.overridden);
+        assert_eq!(d.applied, vec!["cap-parallelism".to_string()]);
+    }
+
+    #[test]
+    fn deny_terminates_evaluation() {
+        let mut e = engine();
+        let d = e
+            .decide(
+                DecisionContext::new()
+                    .with_number("risk", 0.99)
+                    .with_number("predicted_tokens", 500.0),
+            )
+            .unwrap();
+        assert!(matches!(d.outcome, Outcome::Denied { .. }));
+        // deny has priority 1 and is terminal; the cap never ran
+        assert_eq!(d.applied, vec!["deny-extreme-risk".to_string()]);
+        assert_eq!(d.context.number("predicted_tokens"), Some(500.0));
+    }
+
+    #[test]
+    fn clean_input_passes_untouched() {
+        let mut e = engine();
+        let d = e
+            .decide(DecisionContext::new().with_number("predicted_tokens", 50.0))
+            .unwrap();
+        assert!(!d.overridden);
+        assert!(d.applied.is_empty());
+    }
+
+    #[test]
+    fn history_and_explanation() {
+        let mut e = engine();
+        let d = e
+            .decide(DecisionContext::new().with_number("predicted_tokens", 250.0))
+            .unwrap();
+        let text = e.explain(d.id).unwrap();
+        assert!(text.contains("cap-parallelism"));
+        assert!(text.contains("predicted_tokens=250"));
+        assert!(text.contains("predicted_tokens=100"));
+        assert!(e.explain(999).is_none());
+        assert!(e.override_rate() > 0.0);
+    }
+
+    #[test]
+    fn priorities_order_application() {
+        let mut e = PolicyEngine::new();
+        e.add(
+            Policy::new(
+                "second",
+                "x > 0",
+                PolicyAction::Override {
+                    field: "x".into(),
+                    value: 2.0,
+                },
+            )
+            .unwrap()
+            .with_priority(20),
+        );
+        e.add(
+            Policy::new(
+                "first",
+                "x > 0",
+                PolicyAction::Override {
+                    field: "x".into(),
+                    value: 1.0,
+                },
+            )
+            .unwrap()
+            .with_priority(10),
+        );
+        let d = e
+            .decide(DecisionContext::new().with_number("x", 5.0))
+            .unwrap();
+        assert_eq!(d.applied, vec!["first".to_string(), "second".to_string()]);
+        assert_eq!(d.context.number("x"), Some(2.0));
+    }
+}

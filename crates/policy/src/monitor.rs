@@ -1,0 +1,115 @@
+//! Continuous monitoring of the model→decision loop.
+
+use crate::context::DecisionContext;
+use crate::engine::{Decision, Outcome, PolicyEngine};
+use flock_sql::Result;
+use std::collections::BTreeMap;
+
+/// Aggregate statistics over a stream of decisions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MonitorReport {
+    pub decisions: usize,
+    pub proceeded: usize,
+    pub denied: usize,
+    pub escalated: usize,
+    pub overridden: usize,
+    /// How many times each policy fired.
+    pub policy_hits: BTreeMap<String, usize>,
+}
+
+impl MonitorReport {
+    pub fn override_rate(&self) -> f64 {
+        if self.decisions == 0 {
+            0.0
+        } else {
+            self.overridden as f64 / self.decisions as f64
+        }
+    }
+}
+
+/// Wraps a [`PolicyEngine`] and aggregates what happens to predictions as
+/// they stream through.
+#[derive(Debug, Default)]
+pub struct ContinuousMonitor {
+    engine: PolicyEngine,
+    report: MonitorReport,
+}
+
+impl ContinuousMonitor {
+    pub fn new(engine: PolicyEngine) -> Self {
+        ContinuousMonitor {
+            engine,
+            report: MonitorReport::default(),
+        }
+    }
+
+    pub fn engine(&self) -> &PolicyEngine {
+        &self.engine
+    }
+
+    /// Feed one prediction context through the policies.
+    pub fn observe(&mut self, ctx: DecisionContext) -> Result<Decision> {
+        let d = self.engine.decide(ctx)?;
+        self.report.decisions += 1;
+        match &d.outcome {
+            Outcome::Proceed => self.report.proceeded += 1,
+            Outcome::Denied { .. } => self.report.denied += 1,
+            Outcome::Escalated { .. } => self.report.escalated += 1,
+        }
+        if d.overridden {
+            self.report.overridden += 1;
+        }
+        for p in &d.applied {
+            *self.report.policy_hits.entry(p.clone()).or_default() += 1;
+        }
+        Ok(d)
+    }
+
+    pub fn report(&self) -> &MonitorReport {
+        &self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Policy, PolicyAction};
+
+    #[test]
+    fn monitor_aggregates_outcomes() {
+        let mut engine = PolicyEngine::new();
+        engine.add(
+            Policy::new(
+                "cap",
+                "score > 10",
+                PolicyAction::Cap {
+                    field: "score".into(),
+                    max: 10.0,
+                },
+            )
+            .unwrap(),
+        );
+        engine.add(
+            Policy::new(
+                "deny",
+                "score > 100",
+                PolicyAction::Deny {
+                    reason: "absurd".into(),
+                },
+            )
+            .unwrap()
+            .with_priority(1),
+        );
+        let mut mon = ContinuousMonitor::new(engine);
+        for score in [5.0, 50.0, 500.0, 7.0] {
+            mon.observe(DecisionContext::new().with_number("score", score))
+                .unwrap();
+        }
+        let r = mon.report();
+        assert_eq!(r.decisions, 4);
+        assert_eq!(r.denied, 1);
+        assert_eq!(r.proceeded, 3);
+        assert_eq!(r.policy_hits.get("cap"), Some(&1));
+        assert!(r.override_rate() > 0.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Policies: declarative business rules over decision contexts.
+//!
+//! Conditions are written in SQL expression syntax (reusing the engine's
+//! parser), e.g. `"p_default > 0.8 AND amount > 50000"`. Actions can
+//! override or bound the model output, deny the decision outright, or
+//! escalate to a human — "business rules expressed as policies then
+//! override the model" (paper §4.1).
+
+use crate::context::DecisionContext;
+use flock_sql::ast::{BinOp, Expr, UnOp};
+use flock_sql::parser::parse_expr;
+use flock_sql::{Result, SqlError, Value};
+
+/// What a matched policy does.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyAction {
+    /// Replace a context number.
+    Override { field: String, value: f64 },
+    /// Clamp a context number from above ("user-specified caps").
+    Cap { field: String, max: f64 },
+    /// Clamp from below.
+    Floor { field: String, min: f64 },
+    /// Refuse to act.
+    Deny { reason: String },
+    /// Route to a human queue.
+    Escalate { to: String },
+    /// Explicitly accept (useful as a terminal low-priority rule).
+    Allow,
+}
+
+/// A named rule: when `condition` holds, perform `action`.
+#[derive(Debug, Clone)]
+pub struct Policy {
+    pub name: String,
+    /// Lower numbers run first.
+    pub priority: i32,
+    pub condition: Expr,
+    pub action: PolicyAction,
+    /// Stop evaluating further policies once this one matches.
+    pub terminal: bool,
+}
+
+impl Policy {
+    /// Build a policy from a SQL-syntax condition string.
+    pub fn new(name: &str, condition: &str, action: PolicyAction) -> Result<Policy> {
+        let terminal = action_terminality(&action);
+        Ok(Policy {
+            name: name.to_string(),
+            priority: 100,
+            condition: parse_expr(condition)?,
+            action,
+            terminal,
+        })
+    }
+
+    pub fn with_priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    pub fn non_terminal(mut self) -> Self {
+        self.terminal = false;
+        self
+    }
+
+    /// Does this policy match the context?
+    pub fn matches(&self, ctx: &DecisionContext) -> Result<bool> {
+        Ok(eval_condition(&self.condition, ctx)?.as_bool() == Some(true))
+    }
+}
+
+fn action_terminality(action: &PolicyAction) -> bool {
+    matches!(action, PolicyAction::Deny { .. } | PolicyAction::Escalate { .. })
+}
+
+/// Evaluate a SQL expression against a decision context. Unknown fields
+/// evaluate to NULL (so policies can be written defensively).
+pub fn eval_condition(e: &Expr, ctx: &DecisionContext) -> Result<Value> {
+    Ok(match e {
+        Expr::Column { name, .. } => match ctx.number(name) {
+            Some(v) => Value::Float(v),
+            None => match ctx.text(name) {
+                Some(s) => Value::Text(s.to_string()),
+                None => Value::Null,
+            },
+        },
+        Expr::Literal(v) => v.clone(),
+        Expr::Binary { left, op, right } => {
+            let l = eval_condition(left, ctx)?;
+            let r = eval_condition(right, ctx)?;
+            flock_sql::exec::expr::eval_binary(&l, *op, &r)?
+        }
+        Expr::Unary { op, expr } => {
+            let v = eval_condition(expr, ctx)?;
+            match op {
+                UnOp::Not => match v.as_bool() {
+                    Some(b) => Value::Bool(!b),
+                    None => Value::Null,
+                },
+                UnOp::Neg => match v {
+                    Value::Int(i) => Value::Int(-i),
+                    Value::Float(f) => Value::Float(-f),
+                    _ => Value::Null,
+                },
+            }
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval_condition(expr, ctx)?;
+            Value::Bool(v.is_null() != *negated)
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let v = eval_condition(expr, ctx)?;
+            let lo = eval_condition(low, ctx)?;
+            let hi = eval_condition(high, ctx)?;
+            let ge = flock_sql::exec::expr::eval_binary(&v, BinOp::GtEq, &lo)?;
+            let le = flock_sql::exec::expr::eval_binary(&v, BinOp::LtEq, &hi)?;
+            let both = flock_sql::exec::expr::eval_binary(&ge, BinOp::And, &le)?;
+            match (both.as_bool(), negated) {
+                (Some(b), n) => Value::Bool(b != *n),
+                (None, _) => Value::Null,
+            }
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = eval_condition(expr, ctx)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut found = false;
+            for item in list {
+                let iv = eval_condition(item, ctx)?;
+                if v == iv {
+                    found = true;
+                    break;
+                }
+            }
+            Value::Bool(found != *negated)
+        }
+        other => {
+            return Err(SqlError::Plan(format!(
+                "unsupported construct in policy condition: {other}"
+            )))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> DecisionContext {
+        DecisionContext::new()
+            .with_number("risk", 0.9)
+            .with_number("amount", 60000.0)
+            .with_text("region", "EU")
+    }
+
+    #[test]
+    fn simple_comparison_matches() {
+        let p = Policy::new("high-risk", "risk > 0.8", PolicyAction::Deny {
+            reason: "too risky".into(),
+        })
+        .unwrap();
+        assert!(p.matches(&ctx()).unwrap());
+        let p2 = Policy::new("low", "risk < 0.5", PolicyAction::Allow).unwrap();
+        assert!(!p2.matches(&ctx()).unwrap());
+    }
+
+    #[test]
+    fn compound_conditions() {
+        let p = Policy::new(
+            "big-eu",
+            "amount > 50000 AND region = 'EU'",
+            PolicyAction::Escalate { to: "review".into() },
+        )
+        .unwrap();
+        assert!(p.matches(&ctx()).unwrap());
+        let p2 = Policy::new(
+            "either",
+            "risk BETWEEN 0.85 AND 0.95 OR amount < 0",
+            PolicyAction::Allow,
+        )
+        .unwrap();
+        assert!(p2.matches(&ctx()).unwrap());
+    }
+
+    #[test]
+    fn unknown_fields_are_null_not_errors() {
+        let p = Policy::new("ghost", "nonexistent > 5", PolicyAction::Allow).unwrap();
+        assert!(!p.matches(&ctx()).unwrap());
+        let p2 = Policy::new("isnull", "nonexistent IS NULL", PolicyAction::Allow).unwrap();
+        assert!(p2.matches(&ctx()).unwrap());
+    }
+
+    #[test]
+    fn deny_and_escalate_are_terminal_by_default() {
+        let deny = Policy::new("d", "risk > 0", PolicyAction::Deny { reason: "r".into() })
+            .unwrap();
+        assert!(deny.terminal);
+        let cap = Policy::new(
+            "c",
+            "risk > 0",
+            PolicyAction::Cap {
+                field: "x".into(),
+                max: 1.0,
+            },
+        )
+        .unwrap();
+        assert!(!cap.terminal);
+    }
+
+    #[test]
+    fn in_list_over_text() {
+        let p = Policy::new(
+            "regions",
+            "region IN ('EU', 'UK')",
+            PolicyAction::Allow,
+        )
+        .unwrap();
+        assert!(p.matches(&ctx()).unwrap());
+    }
+}

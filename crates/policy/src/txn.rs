@@ -1,0 +1,134 @@
+//! Transactional action application with rollback.
+//!
+//! "It makes sure that the actions happen in a transactional way, rolling
+//! back in case of failures when needed." Actions are applied through an
+//! [`ActionSink`]; if any application fails, the already-applied prefix is
+//! undone in reverse order.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One side-effecting action in the application domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DomainAction {
+    pub target: String,
+    pub value: f64,
+}
+
+/// Failure applying an action.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActionError(pub String);
+
+impl fmt::Display for ActionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "action failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for ActionError {}
+
+/// The system the actions apply to. `apply` returns an undo token (the
+/// previous value) so a failed batch can roll back.
+pub trait ActionSink {
+    fn apply(&mut self, action: &DomainAction) -> Result<Option<f64>, ActionError>;
+    fn undo(&mut self, action: &DomainAction, previous: Option<f64>);
+}
+
+/// Apply all actions or none. Returns how many were applied on success.
+pub fn apply_transactional(
+    sink: &mut dyn ActionSink,
+    actions: &[DomainAction],
+) -> Result<usize, ActionError> {
+    let mut journal: Vec<(usize, Option<f64>)> = Vec::with_capacity(actions.len());
+    for (i, action) in actions.iter().enumerate() {
+        match sink.apply(action) {
+            Ok(prev) => journal.push((i, prev)),
+            Err(e) => {
+                for (j, prev) in journal.into_iter().rev() {
+                    sink.undo(&actions[j], prev);
+                }
+                return Err(e);
+            }
+        }
+    }
+    Ok(actions.len())
+}
+
+/// An in-memory key→value system state, with optional failure injection
+/// for testing rollback.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    pub state: BTreeMap<String, f64>,
+    /// Targets that fail on apply (failure injection).
+    pub poisoned: Vec<String>,
+}
+
+impl ActionSink for MemorySink {
+    fn apply(&mut self, action: &DomainAction) -> Result<Option<f64>, ActionError> {
+        if self.poisoned.contains(&action.target) {
+            return Err(ActionError(format!("target '{}' unavailable", action.target)));
+        }
+        Ok(self.state.insert(action.target.clone(), action.value))
+    }
+
+    fn undo(&mut self, action: &DomainAction, previous: Option<f64>) {
+        match previous {
+            Some(v) => {
+                self.state.insert(action.target.clone(), v);
+            }
+            None => {
+                self.state.remove(&action.target);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn actions() -> Vec<DomainAction> {
+        vec![
+            DomainAction {
+                target: "job.parallelism".into(),
+                value: 64.0,
+            },
+            DomainAction {
+                target: "job.memory_gb".into(),
+                value: 8.0,
+            },
+            DomainAction {
+                target: "job.priority".into(),
+                value: 2.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn all_apply_on_success() {
+        let mut sink = MemorySink::default();
+        let n = apply_transactional(&mut sink, &actions()).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(sink.state.get("job.memory_gb"), Some(&8.0));
+    }
+
+    #[test]
+    fn failure_rolls_back_everything() {
+        let mut sink = MemorySink {
+            state: BTreeMap::from([("job.parallelism".to_string(), 16.0)]),
+            poisoned: vec!["job.priority".to_string()],
+        };
+        let err = apply_transactional(&mut sink, &actions());
+        assert!(err.is_err());
+        // pre-existing value restored, new keys removed
+        assert_eq!(sink.state.get("job.parallelism"), Some(&16.0));
+        assert!(!sink.state.contains_key("job.memory_gb"));
+        assert!(!sink.state.contains_key("job.priority"));
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let mut sink = MemorySink::default();
+        assert_eq!(apply_transactional(&mut sink, &[]).unwrap(), 0);
+    }
+}

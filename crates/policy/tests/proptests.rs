@@ -1,0 +1,153 @@
+//! Property-based tests of policy invariants.
+
+use flock_policy::{
+    apply_transactional, DecisionContext, DomainAction, MemorySink, Policy, PolicyAction,
+    PolicyEngine,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A cap policy guarantees the capped field never exceeds the bound.
+    #[test]
+    fn caps_always_bound(
+        value in -1e6f64..1e6,
+        max in -1e3f64..1e3,
+    ) {
+        let mut engine = PolicyEngine::new();
+        engine.add(
+            Policy::new(
+                "cap",
+                &format!("x > {max}"),
+                PolicyAction::Cap { field: "x".into(), max },
+            )
+            .unwrap(),
+        );
+        let d = engine
+            .decide(DecisionContext::new().with_number("x", value))
+            .unwrap();
+        let out = d.context.number("x").unwrap();
+        prop_assert!(out <= max.max(value.min(max)) + 1e-12);
+        prop_assert!(out <= value.max(max)); // never increases past input
+        if value <= max {
+            prop_assert_eq!(out, value, "untouched when already under the cap");
+        }
+    }
+
+    /// Floor + cap sandwich always lands inside the band.
+    #[test]
+    fn floor_and_cap_band(
+        value in -1e6f64..1e6,
+        lo in -100.0f64..0.0,
+        width in 0.0f64..200.0,
+    ) {
+        let hi = lo + width;
+        let mut engine = PolicyEngine::new();
+        engine.add(
+            Policy::new("f", &format!("x < {lo}"), PolicyAction::Floor {
+                field: "x".into(),
+                min: lo,
+            })
+            .unwrap()
+            .with_priority(1),
+        );
+        engine.add(
+            Policy::new("c", &format!("x > {hi}"), PolicyAction::Cap {
+                field: "x".into(),
+                max: hi,
+            })
+            .unwrap()
+            .with_priority(2),
+        );
+        let d = engine
+            .decide(DecisionContext::new().with_number("x", value))
+            .unwrap();
+        let out = d.context.number("x").unwrap();
+        prop_assert!(out >= lo - 1e-9 && out <= hi + 1e-9, "{out} not in [{lo}, {hi}]");
+    }
+
+    /// Transactional application: on failure the sink state is exactly the
+    /// pre-state, whatever the action sequence.
+    #[test]
+    fn rollback_restores_exact_state(
+        initial in proptest::collection::btree_map("[a-e]", -100.0f64..100.0, 0..5),
+        actions in proptest::collection::vec(("[a-h]", -100.0f64..100.0), 1..10),
+        poison_idx in any::<prop::sample::Index>(),
+    ) {
+        let actions: Vec<DomainAction> = actions
+            .into_iter()
+            .map(|(target, value)| DomainAction { target, value })
+            .collect();
+        let poisoned = actions[poison_idx.index(actions.len())].target.clone();
+        let mut sink = MemorySink {
+            state: initial.clone(),
+            poisoned: vec![poisoned],
+        };
+        let result = apply_transactional(&mut sink, &actions);
+        prop_assert!(result.is_err());
+        prop_assert_eq!(sink.state, initial);
+    }
+
+    /// Without poison, all actions land and the final state reflects the
+    /// last write per target.
+    #[test]
+    fn commit_applies_last_write_wins(
+        actions in proptest::collection::vec(("[a-d]", -100.0f64..100.0), 1..12),
+    ) {
+        let actions: Vec<DomainAction> = actions
+            .into_iter()
+            .map(|(target, value)| DomainAction { target, value })
+            .collect();
+        let mut sink = MemorySink::default();
+        let n = apply_transactional(&mut sink, &actions).unwrap();
+        prop_assert_eq!(n, actions.len());
+        let mut expected: BTreeMap<String, f64> = BTreeMap::new();
+        for a in &actions {
+            expected.insert(a.target.clone(), a.value);
+        }
+        prop_assert_eq!(sink.state, expected);
+    }
+
+    /// The decision history always records exactly one entry per decision,
+    /// with before/after consistent with the overridden flag.
+    #[test]
+    fn history_is_faithful(values in proptest::collection::vec(-10.0f64..10.0, 1..20)) {
+        let mut engine = PolicyEngine::new();
+        engine.add(
+            Policy::new("zero-floor", "x < 0", PolicyAction::Floor {
+                field: "x".into(),
+                min: 0.0,
+            })
+            .unwrap(),
+        );
+        for v in &values {
+            let d = engine
+                .decide(DecisionContext::new().with_number("x", *v))
+                .unwrap();
+            prop_assert_eq!(d.overridden, *v < 0.0);
+        }
+        prop_assert_eq!(engine.history().len(), values.len());
+        for (record, v) in engine.history().iter().zip(&values) {
+            prop_assert_eq!(record.before.number("x"), Some(*v));
+            prop_assert_eq!(record.after.number("x"), Some(v.max(0.0)));
+        }
+    }
+
+    /// Policy conditions never panic on arbitrary numeric contexts.
+    #[test]
+    fn conditions_never_panic(
+        fields in proptest::collection::btree_map("[a-c]", -1e9f64..1e9, 0..4),
+    ) {
+        let mut ctx = DecisionContext::new();
+        for (k, v) in &fields {
+            ctx.set_number(k, *v);
+        }
+        for cond in ["a > b", "a + b * c < 100", "a IS NULL", "missing > 5", "a BETWEEN b AND c"] {
+            if let Ok(p) = Policy::new("p", cond, PolicyAction::Allow) {
+                let _ = p.matches(&ctx);
+            }
+        }
+    }
+}

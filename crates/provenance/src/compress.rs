@@ -1,0 +1,227 @@
+//! Provenance compression and summarization (paper §4.2: "we develop
+//! optimized capture techniques, through compression and summarization,
+//! which are essential towards addressing C1").
+//!
+//! Two lossy-but-safe reductions:
+//! * **version-chain summarization** — a table with thousands of versions
+//!   (one per INSERT) keeps its first and latest version nodes plus a
+//!   summary node recording the count; queries that wrote the collapsed
+//!   versions re-point at the summary.
+//! * **query deduplication** — repeated executions of the same statement
+//!   template (same SQL after literal masking) collapse into one template
+//!   node with an execution count.
+
+use crate::graph::{NodeId, NodeKind, ProvenanceGraph};
+use std::collections::HashMap;
+
+/// Statistics about one compression run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompressionStats {
+    pub nodes_before: usize,
+    pub edges_before: usize,
+    pub nodes_after: usize,
+    pub edges_after: usize,
+}
+
+impl CompressionStats {
+    pub fn ratio(&self) -> f64 {
+        let before = (self.nodes_before + self.edges_before) as f64;
+        let after = (self.nodes_after + self.edges_after) as f64;
+        if after == 0.0 {
+            1.0
+        } else {
+            before / after
+        }
+    }
+}
+
+/// Mask literals in a SQL string so repeated parameterized executions map
+/// to one template ("SELECT * FROM t WHERE id = 7" -> "... id = ?").
+pub fn query_template(sql: &str) -> String {
+    let mut out = String::with_capacity(sql.len());
+    let mut chars = sql.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\'' => {
+                out.push('?');
+                for s in chars.by_ref() {
+                    if s == '\'' {
+                        break;
+                    }
+                }
+            }
+            '0'..='9' => {
+                // swallow the rest of the number
+                while let Some(&n) = chars.peek() {
+                    if n.is_ascii_digit() || n == '.' {
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push('?');
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Compress a graph, returning the reduced graph and statistics.
+pub fn compress(graph: &ProvenanceGraph) -> (ProvenanceGraph, CompressionStats) {
+    let mut stats = CompressionStats {
+        nodes_before: graph.node_count(),
+        edges_before: graph.edge_count(),
+        ..Default::default()
+    };
+
+    // Decide the fate of every old node: keep (mapped) or collapse into a
+    // representative.
+    let mut out = ProvenanceGraph::new();
+    let mut mapping: HashMap<NodeId, NodeId> = HashMap::new();
+
+    // 1. version-chain summarization: group TableVersion nodes by table
+    let mut versions_by_table: HashMap<String, Vec<&crate::graph::Node>> = HashMap::new();
+    for n in graph.nodes_of_kind(NodeKind::TableVersion) {
+        versions_by_table
+            .entry(n.name.clone())
+            .or_default()
+            .push(n);
+    }
+
+    // 2. query templating
+    let mut template_nodes: HashMap<String, NodeId> = HashMap::new();
+    let mut template_counts: HashMap<String, u64> = HashMap::new();
+
+    for n in graph.nodes() {
+        match n.kind {
+            NodeKind::TableVersion => {
+                let chain = &versions_by_table[&n.name];
+                if chain.len() <= 3 {
+                    let id = out.upsert(NodeKind::TableVersion, &n.name, n.version);
+                    mapping.insert(n.id, id);
+                } else {
+                    let min = chain.iter().filter_map(|v| v.version).min();
+                    let max = chain.iter().filter_map(|v| v.version).max();
+                    if n.version == min || n.version == max {
+                        let id = out.upsert(NodeKind::TableVersion, &n.name, n.version);
+                        mapping.insert(n.id, id);
+                    } else {
+                        // collapse into the summary node
+                        let id = out.upsert(
+                            NodeKind::TableVersion,
+                            &format!("{}@summary", n.name),
+                            None,
+                        );
+                        out.set_property(id, "collapsed_versions", &(chain.len() - 2).to_string());
+                        mapping.insert(n.id, id);
+                    }
+                }
+            }
+            NodeKind::Query => {
+                let sql = graph.property(n.id, "sql").unwrap_or(&n.name);
+                let template = query_template(sql);
+                let id = *template_nodes.entry(template.clone()).or_insert_with(|| {
+                    let id = out.create(NodeKind::Query, &format!("template:{template}"));
+                    out.set_property(id, "sql_template", &template);
+                    id
+                });
+                let count = template_counts.entry(template).or_insert(0);
+                *count += 1;
+                out.set_property(id, "executions", &count.to_string());
+                mapping.insert(n.id, id);
+            }
+            _ => {
+                let id = out.upsert(n.kind, &n.name, n.version);
+                for (k, v) in &n.properties {
+                    out.set_property(id, k, v);
+                }
+                mapping.insert(n.id, id);
+            }
+        }
+    }
+
+    for e in graph.edges() {
+        let (Some(&f), Some(&t)) = (mapping.get(&e.from), mapping.get(&e.to)) else {
+            continue;
+        };
+        if f == t {
+            continue; // self-loop introduced by collapsing
+        }
+        out.link(f, t, e.kind);
+    }
+
+    stats.nodes_after = out.node_count();
+    stats.edges_after = out.edge_count();
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::ProvCatalog;
+    use crate::graph::EdgeKind;
+
+    #[test]
+    fn templates_mask_literals() {
+        assert_eq!(
+            query_template("SELECT * FROM t WHERE id = 42 AND name = 'bob'"),
+            "SELECT * FROM t WHERE id = ? AND name = ?"
+        );
+        assert_eq!(query_template("SELECT a FROM t"), "SELECT a FROM t");
+    }
+
+    #[test]
+    fn long_version_chains_collapse() {
+        let mut cat = ProvCatalog::new();
+        for v in 1..=20 {
+            let tv = cat.table_version("t", v);
+            let q = cat.query(&format!("INSERT INTO t VALUES ({v})"), "u");
+            cat.link(q, tv, EdgeKind::Wrote);
+        }
+        let g = cat.graph();
+        let (small, stats) = compress(g);
+        assert!(stats.ratio() > 2.0, "ratio {}", stats.ratio());
+        assert!(small.size() < g.size());
+        // first and last survive
+        assert!(small.find(NodeKind::TableVersion, "t", Some(1)).is_some());
+        assert!(small.find(NodeKind::TableVersion, "t", Some(20)).is_some());
+        assert!(small.find(NodeKind::TableVersion, "t", Some(10)).is_none());
+        // 20 identical-template queries collapsed to one
+        assert_eq!(small.nodes_of_kind(NodeKind::Query).len(), 1);
+        let q = small.nodes_of_kind(NodeKind::Query)[0];
+        assert_eq!(small.property(q.id, "executions"), Some("20"));
+    }
+
+    #[test]
+    fn short_chains_are_untouched() {
+        let mut cat = ProvCatalog::new();
+        cat.table_version("t", 1);
+        cat.table_version("t", 2);
+        let (small, _) = compress(cat.graph());
+        assert!(small.find(NodeKind::TableVersion, "t", Some(1)).is_some());
+        assert!(small.find(NodeKind::TableVersion, "t", Some(2)).is_some());
+    }
+
+    #[test]
+    fn lineage_survives_compression() {
+        use crate::query::backward_lineage;
+        let mut cat = ProvCatalog::new();
+        let raw = cat.table("raw");
+        for v in 1..=10 {
+            let q = cat.query(&format!("INSERT INTO clean SELECT * FROM raw -- {v}"), "u");
+            cat.link(q, raw, EdgeKind::ReadFrom);
+            let tv = cat.table_version("clean", v);
+            cat.link(q, tv, EdgeKind::Wrote);
+        }
+        let m = cat.model("churn", None);
+        let latest = cat.table_version("clean", 10);
+        cat.link(m, latest, EdgeKind::TrainedOn);
+
+        let (small, _) = compress(cat.graph());
+        let m2 = small.find(NodeKind::Model, "churn", None).unwrap();
+        let raw2 = small.find(NodeKind::Table, "raw", None).unwrap();
+        let lineage = backward_lineage(&small, m2);
+        assert!(lineage.contains(&raw2), "lineage preserved after compression");
+    }
+}

@@ -1,0 +1,40 @@
+//! JSON export/import of provenance graphs (for exchange with external
+//! catalogs and for the experiment harnesses).
+
+use crate::graph::ProvenanceGraph;
+
+/// Serialize a graph to pretty JSON.
+pub fn to_json(graph: &ProvenanceGraph) -> String {
+    serde_json::to_string_pretty(graph).expect("graph serializes")
+}
+
+/// Load a graph back (indexes rebuilt).
+pub fn from_json(json: &str) -> Result<ProvenanceGraph, String> {
+    let mut g: ProvenanceGraph = serde_json::from_str(json).map_err(|e| e.to_string())?;
+    g.rebuild_indexes();
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::ProvCatalog;
+    use crate::graph::{EdgeKind, NodeKind};
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let mut cat = ProvCatalog::new();
+        let q = cat.query("SELECT * FROM t", "u");
+        let t = cat.table("t");
+        cat.link(q, t, EdgeKind::ReadFrom);
+        let json = to_json(cat.graph());
+        let back = from_json(&json).unwrap();
+        assert_eq!(back.size(), cat.graph().size());
+        assert!(back.find(NodeKind::Table, "t", None).is_some());
+    }
+
+    #[test]
+    fn bad_json_is_error() {
+        assert!(from_json("{").is_err());
+    }
+}

@@ -1,0 +1,315 @@
+//! The provenance graph: polymorphic, temporal (paper §4.2, challenge C1).
+//!
+//! Nodes are typed ("polymorphic": tables, columns, versions, queries,
+//! models, hyperparameters, metrics, scripts, users) and versioned
+//! ("temporal": a table has one `TableVersion` node per write). Edges are
+//! typed with documented direction semantics.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Node identifier (index into the node arena).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// Node types — the polymorphic data model of challenge C1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    Table,
+    Column,
+    TableVersion,
+    Query,
+    Model,
+    ModelVersion,
+    Hyperparameter,
+    Metric,
+    Script,
+    Dataset,
+    User,
+    Feature,
+}
+
+/// Edge types with their direction semantics:
+///
+/// | kind        | from → to                | meaning                        |
+/// |-------------|--------------------------|--------------------------------|
+/// | ReadFrom    | Query → Table/Column     | query reads the object         |
+/// | Wrote       | Query → TableVersion     | query produced the version     |
+/// | VersionOf   | TableVersion → Table     | version belongs to table       |
+/// | PartOf      | Column → Table           | column belongs to table        |
+/// | TrainedOn   | Model → TableVersion     | model trained on that snapshot |
+/// | DerivedFrom | A → B                    | A was derived from B           |
+/// | Uses        | Script → Dataset/Table   | script consumes the object     |
+/// | Produces    | Script/Query → Model     | producer emitted the model     |
+/// | HasParam    | Model → Hyperparameter   | model configured by param      |
+/// | Reports     | Model → Metric           | model evaluated by metric      |
+/// | IssuedBy    | Query/Script → User      | who ran it                     |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeKind {
+    ReadFrom,
+    Wrote,
+    VersionOf,
+    PartOf,
+    TrainedOn,
+    DerivedFrom,
+    Uses,
+    Produces,
+    HasParam,
+    Reports,
+    IssuedBy,
+}
+
+/// A provenance node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Node {
+    pub id: NodeId,
+    pub kind: NodeKind,
+    /// Qualified name, e.g. `db.orders` or `db.orders.price`.
+    pub name: String,
+    /// Version number for temporal nodes.
+    pub version: Option<u64>,
+    /// Free-form properties (sql text, timestamps, metric values, ...).
+    pub properties: Vec<(String, String)>,
+}
+
+/// A typed, directed edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    pub from: NodeId,
+    pub to: NodeId,
+    pub kind: EdgeKind,
+}
+
+/// The graph: an arena of nodes plus a deduplicated edge set.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProvenanceGraph {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    #[serde(skip)]
+    index: HashMap<(NodeKind, String, Option<u64>), NodeId>,
+    #[serde(skip)]
+    edge_set: std::collections::HashSet<Edge>,
+    #[serde(skip)]
+    out_adj: HashMap<NodeId, Vec<usize>>,
+    #[serde(skip)]
+    in_adj: HashMap<NodeId, Vec<usize>>,
+}
+
+impl ProvenanceGraph {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Paper's "size" metric: nodes + edges.
+    pub fn size(&self) -> usize {
+        self.node_count() + self.edge_count()
+    }
+
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Get or create the node with this identity. Names are normalized to
+    /// lowercase.
+    pub fn upsert(&mut self, kind: NodeKind, name: &str, version: Option<u64>) -> NodeId {
+        let key = (kind, name.to_ascii_lowercase(), version);
+        if let Some(id) = self.index.get(&key) {
+            return *id;
+        }
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            id,
+            kind,
+            name: key.1.clone(),
+            version,
+            properties: Vec::new(),
+        });
+        self.index.insert(key, id);
+        id
+    }
+
+    /// Always-create node (queries/scripts are never deduplicated).
+    pub fn create(&mut self, kind: NodeKind, name: &str) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            id,
+            kind,
+            name: name.to_string(),
+            version: None,
+            properties: Vec::new(),
+        });
+        id
+    }
+
+    pub fn set_property(&mut self, id: NodeId, key: &str, value: &str) {
+        let props = &mut self.nodes[id.0].properties;
+        if let Some(slot) = props.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value.to_string();
+        } else {
+            props.push((key.to_string(), value.to_string()));
+        }
+    }
+
+    pub fn property(&self, id: NodeId, key: &str) -> Option<&str> {
+        self.nodes[id.0]
+            .properties
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Add an edge (idempotent).
+    pub fn link(&mut self, from: NodeId, to: NodeId, kind: EdgeKind) {
+        let e = Edge { from, to, kind };
+        if self.edge_set.insert(e) {
+            let idx = self.edges.len();
+            self.edges.push(e);
+            self.out_adj.entry(from).or_default().push(idx);
+            self.in_adj.entry(to).or_default().push(idx);
+        }
+    }
+
+    /// Find a node by identity.
+    pub fn find(&self, kind: NodeKind, name: &str, version: Option<u64>) -> Option<NodeId> {
+        self.index
+            .get(&(kind, name.to_ascii_lowercase(), version))
+            .copied()
+    }
+
+    /// All nodes of a kind.
+    pub fn nodes_of_kind(&self, kind: NodeKind) -> Vec<&Node> {
+        self.nodes.iter().filter(|n| n.kind == kind).collect()
+    }
+
+    /// Substring search over node names (the catalog's discovery surface).
+    pub fn search(&self, needle: &str) -> Vec<&Node> {
+        let needle = needle.to_ascii_lowercase();
+        self.nodes
+            .iter()
+            .filter(|n| n.name.to_ascii_lowercase().contains(&needle))
+            .collect()
+    }
+
+    pub fn outgoing(&self, id: NodeId) -> impl Iterator<Item = &Edge> {
+        self.out_adj
+            .get(&id)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.edges[i])
+    }
+
+    pub fn incoming(&self, id: NodeId) -> impl Iterator<Item = &Edge> {
+        self.in_adj
+            .get(&id)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.edges[i])
+    }
+
+    /// Rebuild the derived indexes (needed after deserialization).
+    pub fn rebuild_indexes(&mut self) {
+        self.index.clear();
+        self.edge_set.clear();
+        self.out_adj.clear();
+        self.in_adj.clear();
+        for n in &self.nodes {
+            // queries/scripts created with `create` may collide by name;
+            // index only keeps the first, which matches upsert semantics
+            self.index
+                .entry((n.kind, n.name.to_ascii_lowercase(), n.version))
+                .or_insert(n.id);
+        }
+        for (i, e) in self.edges.iter().enumerate() {
+            self.edge_set.insert(*e);
+            self.out_adj.entry(e.from).or_default().push(i);
+            self.in_adj.entry(e.to).or_default().push(i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upsert_deduplicates_by_identity() {
+        let mut g = ProvenanceGraph::new();
+        let a = g.upsert(NodeKind::Table, "Orders", None);
+        let b = g.upsert(NodeKind::Table, "orders", None);
+        assert_eq!(a, b);
+        let v1 = g.upsert(NodeKind::TableVersion, "orders", Some(1));
+        let v2 = g.upsert(NodeKind::TableVersion, "orders", Some(2));
+        assert_ne!(v1, v2);
+        assert_eq!(g.node_count(), 3);
+    }
+
+    #[test]
+    fn create_never_deduplicates() {
+        let mut g = ProvenanceGraph::new();
+        let a = g.create(NodeKind::Query, "SELECT 1");
+        let b = g.create(NodeKind::Query, "SELECT 1");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn edges_dedupe_and_adjacency_works() {
+        let mut g = ProvenanceGraph::new();
+        let q = g.create(NodeKind::Query, "q");
+        let t = g.upsert(NodeKind::Table, "t", None);
+        g.link(q, t, EdgeKind::ReadFrom);
+        g.link(q, t, EdgeKind::ReadFrom);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.outgoing(q).count(), 1);
+        assert_eq!(g.incoming(t).count(), 1);
+        assert_eq!(g.size(), 3);
+    }
+
+    #[test]
+    fn properties_upsert() {
+        let mut g = ProvenanceGraph::new();
+        let q = g.create(NodeKind::Query, "q");
+        g.set_property(q, "sql", "SELECT 1");
+        g.set_property(q, "sql", "SELECT 2");
+        assert_eq!(g.property(q, "sql"), Some("SELECT 2"));
+        assert_eq!(g.property(q, "missing"), None);
+    }
+
+    #[test]
+    fn search_finds_substrings() {
+        let mut g = ProvenanceGraph::new();
+        g.upsert(NodeKind::Table, "customer_orders", None);
+        g.upsert(NodeKind::Column, "customer_orders.price", None);
+        assert_eq!(g.search("orders").len(), 2);
+        assert_eq!(g.search("PRICE").len(), 1);
+    }
+
+    #[test]
+    fn serde_roundtrip_with_index_rebuild() {
+        let mut g = ProvenanceGraph::new();
+        let q = g.create(NodeKind::Query, "q");
+        let t = g.upsert(NodeKind::Table, "t", None);
+        g.link(q, t, EdgeKind::ReadFrom);
+        let json = serde_json::to_string(&g).unwrap();
+        let mut back: ProvenanceGraph = serde_json::from_str(&json).unwrap();
+        back.rebuild_indexes();
+        assert_eq!(back.size(), g.size());
+        assert!(back.find(NodeKind::Table, "t", None).is_some());
+        assert_eq!(back.outgoing(q).count(), 1);
+    }
+}

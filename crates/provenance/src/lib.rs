@@ -1,0 +1,32 @@
+//! # flock-provenance
+//!
+//! The governance substrate of the Flock architecture (paper §4.2):
+//!
+//! * a **polymorphic, temporal provenance graph** (challenge C1) — typed
+//!   nodes for tables, columns, table versions, queries, models, model
+//!   versions, hyperparameters, metrics, scripts and users;
+//! * an Atlas-like **catalog** bridging capture modules (challenge C3);
+//! * **SQL provenance capture** in both the paper's modes: *eager*
+//!   (parse a statement, extract input tables/columns, record the graph)
+//!   and *lazy* (replay the engine's query log, pinning exact table
+//!   versions);
+//! * **model lineage capture** from the DBMS catalog's model objects;
+//! * **compression & summarization** of the provenance data model
+//!   (version-chain collapsing, query templating);
+//! * **lineage queries**: backward derivation and forward impact
+//!   analysis ("if we change this column, which models need retraining").
+
+pub mod catalog;
+pub mod compress;
+pub mod export;
+pub mod graph;
+pub mod model_capture;
+pub mod query;
+pub mod sql_capture;
+
+pub use catalog::ProvCatalog;
+pub use compress::{compress, query_template, CompressionStats};
+pub use graph::{Edge, EdgeKind, Node, NodeId, NodeKind, ProvenanceGraph};
+pub use model_capture::capture_models;
+pub use query::{backward_lineage, dependent_models, forward_impact, lineage_report};
+pub use sql_capture::{capture_log, capture_log_entry, capture_sql, CaptureReport};

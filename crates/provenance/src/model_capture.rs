@@ -1,0 +1,146 @@
+//! Capture model lineage from a live database catalog.
+//!
+//! Deployed models are extension objects whose metadata JSON records the
+//! training table, its exact version, the training statement, the user,
+//! and the quality metrics. This module folds all of that into the
+//! provenance graph — the end-to-end "model as derived data" record.
+
+use crate::catalog::ProvCatalog;
+use crate::graph::{EdgeKind, NodeId};
+use flock_sql::Catalog;
+
+/// Capture every deployed model (all versions) from the DB catalog.
+/// Returns the Model nodes created.
+pub fn capture_models(prov: &mut ProvCatalog, catalog: &Catalog, kind: &str) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    for obj in catalog.extensions_of_kind(kind) {
+        let model_node = prov.model(&obj.name, None);
+        out.push(model_node);
+        for version in &obj.versions {
+            let mv = prov.model(&obj.name, Some(version.version));
+            prov.link(mv, model_node, EdgeKind::VersionOf);
+            let md = &version.metadata;
+            let lineage = md.get("lineage");
+            if let Some(l) = lineage {
+                if let Some(table) = l.get("training_table").and_then(|v| v.as_str()) {
+                    match l
+                        .get("training_table_version")
+                        .and_then(|v| v.as_u64())
+                    {
+                        Some(tv) => {
+                            let version_node = prov.table_version(table, tv);
+                            prov.link(mv, version_node, EdgeKind::TrainedOn);
+                        }
+                        None => {
+                            let t = prov.table(table);
+                            prov.link(mv, t, EdgeKind::TrainedOn);
+                        }
+                    }
+                }
+                if let Some(user) = l.get("trained_by").and_then(|v| v.as_str()) {
+                    let u = prov.user(user);
+                    prov.link(mv, u, EdgeKind::IssuedBy);
+                }
+                if let Some(metrics) = l.get("metrics").and_then(|v| v.as_object()) {
+                    for (name, value) in metrics {
+                        let m = prov.metric(
+                            &format!("{}@v{}", obj.name, version.version),
+                            name,
+                            &value.to_string(),
+                        );
+                        prov.link(mv, m, EdgeKind::Reports);
+                    }
+                }
+                if let Some(sql) = l.get("training_query").and_then(|v| v.as_str()) {
+                    let owner = l
+                        .get("trained_by")
+                        .and_then(|v| v.as_str())
+                        .unwrap_or("unknown");
+                    let q = prov.query(sql, owner);
+                    prov.link(q, mv, EdgeKind::Produces);
+                }
+            }
+            if let Some(inputs) = md.get("inputs").and_then(|v| v.as_array()) {
+                // inputs are [name, is_text] pairs; record them as features
+                for input in inputs {
+                    if let Some(name) = input.get(0).and_then(|v| v.as_str()) {
+                        let f = prov.graph_mut().upsert(
+                            crate::graph::NodeKind::Feature,
+                            &format!("{}:{name}", obj.name),
+                            None,
+                        );
+                        prov.link(mv, f, EdgeKind::Uses);
+                        // connect the feature to its source column when the
+                        // training table is known
+                        if let Some(table) = lineage
+                            .and_then(|l| l.get("training_table"))
+                            .and_then(|v| v.as_str())
+                        {
+                            let c = prov.column(table, name);
+                            prov.link(f, c, EdgeKind::DerivedFrom);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeKind;
+    use crate::query::backward_lineage;
+
+    fn catalog_with_model() -> Catalog {
+        let mut c = Catalog::new();
+        let metadata = serde_json::json!({
+            "name": "risk",
+            "inputs": [["income", false], ["debt", false]],
+            "output": "score",
+            "kind": "logistic",
+            "complexity": 3,
+            "lineage": {
+                "training_table": "loans",
+                "training_table_version": 4,
+                "training_query": "CREATE MODEL risk KIND logistic FROM loans TARGET bad",
+                "trained_by": "alice",
+                "created_ms": 1,
+                "metrics": {"auc": 0.9}
+            }
+        });
+        c.create_extension("model", "risk", "alice", vec![1], metadata, 9)
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn model_lineage_lands_in_graph() {
+        let mut prov = ProvCatalog::new();
+        let models = capture_models(&mut prov, &catalog_with_model(), "model");
+        assert_eq!(models.len(), 1);
+        let g = prov.graph();
+        let mv = g.find(NodeKind::ModelVersion, "risk", Some(1)).unwrap();
+        let lineage = backward_lineage(g, mv);
+        let names: Vec<&str> = lineage.iter().map(|id| g.node(*id).name.as_str()).collect();
+        assert!(names.contains(&"loans"), "{names:?}");
+        assert!(names.contains(&"loans.income"), "feature column linked");
+        // the metric node exists with its value
+        let m = g.find(NodeKind::Metric, "risk@v1.auc", None).unwrap();
+        assert_eq!(g.property(m, "value"), Some("0.9"));
+    }
+
+    #[test]
+    fn versions_accumulate() {
+        let mut catalog = catalog_with_model();
+        catalog
+            .update_extension("model", "risk", vec![2], serde_json::json!({}), 10)
+            .unwrap();
+        let mut prov = ProvCatalog::new();
+        capture_models(&mut prov, &catalog, "model");
+        let g = prov.graph();
+        assert!(g.find(NodeKind::ModelVersion, "risk", Some(1)).is_some());
+        assert!(g.find(NodeKind::ModelVersion, "risk", Some(2)).is_some());
+    }
+}

@@ -1,0 +1,209 @@
+//! Lineage and impact-analysis queries over the provenance graph.
+//!
+//! Backward lineage answers "how was this model derived, and from which
+//! snapshot of data?"; forward impact answers "if we change this column,
+//! which models may need to be invalidated and retrained?" (challenge C3).
+
+use crate::graph::{EdgeKind, NodeId, ProvenanceGraph};
+use std::collections::{HashSet, VecDeque};
+
+/// Whether traversing an edge from→to moves toward *sources* (backward
+/// lineage) when walked forward, or toward *derivatives* when walked in
+/// reverse.
+pub(crate) fn points_at_dependency(kind: EdgeKind) -> bool {
+    matches!(
+        kind,
+        EdgeKind::ReadFrom
+            | EdgeKind::VersionOf
+            | EdgeKind::PartOf
+            | EdgeKind::TrainedOn
+            | EdgeKind::DerivedFrom
+            | EdgeKind::Uses
+            | EdgeKind::HasParam
+    )
+}
+
+/// Edge kinds where the *producer* is upstream of the produced object
+/// (edge direction producer → product).
+pub(crate) fn points_at_product(kind: EdgeKind) -> bool {
+    matches!(kind, EdgeKind::Wrote | EdgeKind::Produces)
+}
+
+/// All nodes upstream of `start` (its full derivation), excluding `start`.
+pub fn backward_lineage(graph: &ProvenanceGraph, start: NodeId) -> Vec<NodeId> {
+    traverse(graph, start, true)
+}
+
+/// All nodes downstream of `start` (everything derived from it).
+pub fn forward_impact(graph: &ProvenanceGraph, start: NodeId) -> Vec<NodeId> {
+    traverse(graph, start, false)
+}
+
+fn traverse(graph: &ProvenanceGraph, start: NodeId, backward: bool) -> Vec<NodeId> {
+    let mut seen: HashSet<NodeId> = HashSet::new();
+    let mut queue: VecDeque<NodeId> = VecDeque::new();
+    seen.insert(start);
+    queue.push_back(start);
+    let mut out = Vec::new();
+    while let Some(n) = queue.pop_front() {
+        // outgoing dependency edges move upstream
+        for e in graph.outgoing(n) {
+            let follow = if backward {
+                points_at_dependency(e.kind)
+            } else {
+                points_at_product(e.kind)
+            };
+            if follow && seen.insert(e.to) {
+                out.push(e.to);
+                queue.push_back(e.to);
+            }
+        }
+        // incoming producer edges also move upstream
+        for e in graph.incoming(n) {
+            let follow = if backward {
+                points_at_product(e.kind)
+            } else {
+                points_at_dependency(e.kind)
+            };
+            if follow && seen.insert(e.from) {
+                out.push(e.from);
+                queue.push_back(e.from);
+            }
+        }
+    }
+    out
+}
+
+/// Render a node's backward lineage as an indented tree (for audit
+/// reports and CLI output). Shared nodes print once; repeats are marked.
+pub fn lineage_report(graph: &ProvenanceGraph, start: NodeId) -> String {
+    let mut out = String::new();
+    let mut seen: HashSet<NodeId> = HashSet::new();
+    render(graph, start, 0, &mut seen, &mut out);
+    return out;
+
+    fn label(graph: &ProvenanceGraph, id: NodeId) -> String {
+        let n = graph.node(id);
+        let version = n.version.map(|v| format!(" v{v}")).unwrap_or_default();
+        format!("{:?} {}{}", n.kind, n.name, version)
+    }
+
+    fn render(
+        graph: &ProvenanceGraph,
+        id: NodeId,
+        depth: usize,
+        seen: &mut HashSet<NodeId>,
+        out: &mut String,
+    ) {
+        let pad = "  ".repeat(depth);
+        if !seen.insert(id) {
+            out.push_str(&format!("{pad}{} (…)\n", label(graph, id)));
+            return;
+        }
+        out.push_str(&format!("{pad}{}\n", label(graph, id)));
+        if depth > 12 {
+            return; // report depth guard
+        }
+        // one step upstream (same direction rules as backward_lineage)
+        let mut next: Vec<NodeId> = Vec::new();
+        for e in graph.outgoing(id) {
+            if super::query::points_at_dependency(e.kind) {
+                next.push(e.to);
+            }
+        }
+        for e in graph.incoming(id) {
+            if super::query::points_at_product(e.kind) {
+                next.push(e.from);
+            }
+        }
+        next.sort();
+        next.dedup();
+        for child in next {
+            render(graph, child, depth + 1, seen, out);
+        }
+    }
+}
+
+/// Models (Model / ModelVersion nodes) that transitively depend on `node`.
+pub fn dependent_models(graph: &ProvenanceGraph, node: NodeId) -> Vec<NodeId> {
+    use crate::graph::NodeKind;
+    forward_impact(graph, node)
+        .into_iter()
+        .filter(|id| {
+            matches!(
+                graph.node(*id).kind,
+                NodeKind::Model | NodeKind::ModelVersion
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::ProvCatalog;
+    use crate::graph::NodeKind;
+
+    /// Build: raw_table <-Read- etl_query -Wrote-> clean.v2 <- model trains
+    fn scenario() -> (ProvCatalog, NodeId, NodeId, NodeId) {
+        let mut cat = ProvCatalog::new();
+        let raw = cat.table("raw_events");
+        let q = cat.query("INSERT INTO clean SELECT * FROM raw_events", "etl");
+        cat.link(q, raw, EdgeKind::ReadFrom);
+        let v2 = cat.table_version("clean", 2);
+        cat.link(q, v2, EdgeKind::Wrote);
+        let m = cat.model("churn", None);
+        cat.link(m, v2, EdgeKind::TrainedOn);
+        (cat, raw, v2, m)
+    }
+
+    #[test]
+    fn backward_lineage_of_model_reaches_raw_data() {
+        let (cat, raw, v2, m) = scenario();
+        let g = cat.graph();
+        let lineage = backward_lineage(g, m);
+        assert!(lineage.contains(&v2), "training snapshot in lineage");
+        assert!(lineage.contains(&raw), "raw source in lineage");
+        // and the clean table itself via VersionOf
+        let clean = g.find(NodeKind::Table, "clean", None).unwrap();
+        assert!(lineage.contains(&clean));
+    }
+
+    #[test]
+    fn forward_impact_of_raw_data_reaches_model() {
+        let (cat, raw, _, m) = scenario();
+        let impact = forward_impact(cat.graph(), raw);
+        assert!(impact.contains(&m), "model impacted by raw data change");
+        assert_eq!(dependent_models(cat.graph(), raw), vec![m]);
+    }
+
+    #[test]
+    fn column_change_invalidates_models_trained_on_table() {
+        let mut cat = ProvCatalog::new();
+        let col = cat.column("customers", "income");
+        let q = cat.query("SELECT income FROM customers", "ds");
+        cat.link(q, col, EdgeKind::ReadFrom);
+        let m = cat.model("risk", None);
+        cat.link(q, m, EdgeKind::Produces);
+        let impacted = dependent_models(cat.graph(), col);
+        assert_eq!(impacted, vec![m]);
+    }
+
+    #[test]
+    fn lineage_report_renders_tree() {
+        let (cat, _, _, m) = scenario();
+        let report = lineage_report(cat.graph(), m);
+        assert!(report.starts_with("Model churn"), "{report}");
+        assert!(report.contains("TableVersion clean v2"));
+        assert!(report.contains("  ")); // indentation present
+        assert!(report.contains("raw_events"));
+    }
+
+    #[test]
+    fn lineage_excludes_unrelated_nodes() {
+        let (mut cat, _, _, m) = scenario();
+        let other = cat.table("unrelated");
+        let lineage = backward_lineage(cat.graph(), m);
+        assert!(!lineage.contains(&other));
+    }
+}

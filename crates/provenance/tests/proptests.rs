@@ -1,0 +1,104 @@
+//! Property-based tests of provenance invariants.
+
+use flock_provenance::{
+    backward_lineage, capture_sql, compress, forward_impact, query_template, EdgeKind, NodeKind,
+    ProvCatalog,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Capturing any string never panics (errors are fine).
+    #[test]
+    fn capture_never_panics(sql in "\\PC{0,120}") {
+        let mut cat = ProvCatalog::new();
+        let _ = capture_sql(&mut cat, &sql, "fuzz");
+    }
+
+    /// Query templating is idempotent and literal-free.
+    #[test]
+    fn templating_idempotent(
+        id in 0i64..100_000,
+        name in "[a-z]{1,10}",
+    ) {
+        let sql = format!("SELECT * FROM t WHERE id = {id} AND name = '{name}' AND age > 3.5");
+        let t1 = query_template(&sql);
+        let t2 = query_template(&t1);
+        prop_assert_eq!(&t1, &t2);
+        prop_assert!(!t1.contains(&id.to_string()) || id < 10, "{t1}");
+        prop_assert!(!t1.contains(&format!("'{name}'")), "{t1}");
+    }
+
+    /// Compression never grows the graph and preserves model→table
+    /// reachability.
+    #[test]
+    fn compression_shrinks_and_preserves_reachability(
+        n_versions in 1u64..30,
+        n_queries in 1usize..30,
+    ) {
+        let mut cat = ProvCatalog::new();
+        let raw = cat.table("raw");
+        for v in 1..=n_versions {
+            let q = cat.query(&format!("INSERT INTO clean SELECT {v} FROM raw"), "etl");
+            cat.link(q, raw, EdgeKind::ReadFrom);
+            let tv = cat.table_version("clean", v);
+            cat.link(q, tv, EdgeKind::Wrote);
+        }
+        for i in 0..n_queries {
+            let q = cat.query(&format!("SELECT a FROM clean WHERE x = {i}"), "analyst");
+            let t = cat.table("clean");
+            cat.link(q, t, EdgeKind::ReadFrom);
+        }
+        let m = cat.model("m", None);
+        let latest = cat.table_version("clean", n_versions);
+        cat.link(m, latest, EdgeKind::TrainedOn);
+
+        let graph = cat.graph();
+        let (small, stats) = compress(graph);
+        prop_assert!(small.size() <= graph.size());
+        prop_assert!(stats.ratio() >= 1.0);
+
+        let m2 = small.find(NodeKind::Model, "m", None).unwrap();
+        let raw2 = small.find(NodeKind::Table, "raw", None).unwrap();
+        let lineage = backward_lineage(&small, m2);
+        prop_assert!(lineage.contains(&raw2), "lineage broken by compression");
+    }
+
+    /// Backward and forward traversal are inverses: if B is upstream of A,
+    /// then A is downstream of B.
+    #[test]
+    fn lineage_direction_duality(n in 2u64..12) {
+        let mut cat = ProvCatalog::new();
+        // chain: table -> query -> version -> query -> version -> ...
+        let t = cat.table("src");
+        let mut last = t;
+        for v in 1..=n {
+            let q = cat.query(&format!("Q{v}"), "u");
+            cat.link(q, t, EdgeKind::ReadFrom);
+            cat.link(q, last, EdgeKind::ReadFrom);
+            let tv = cat.table_version("chain", v);
+            cat.link(q, tv, EdgeKind::Wrote);
+            last = tv;
+        }
+        let g = cat.graph();
+        let up = backward_lineage(g, last);
+        for node in up {
+            let down = forward_impact(g, node);
+            prop_assert!(down.contains(&last), "duality broken for {:?}", g.node(node));
+        }
+    }
+
+    /// Eager capture of a well-formed query records at least the table.
+    #[test]
+    fn capture_records_from_tables(
+        table in "t_[a-z]{1,10}",
+        col in "c_[a-z]{1,10}",
+    ) {
+        let mut cat = ProvCatalog::new();
+        let sql = format!("SELECT {col} FROM {table} WHERE {col} > 0");
+        let report = capture_sql(&mut cat, &sql, "u").unwrap();
+        prop_assert_eq!(report.tables_read.len(), 1);
+        prop_assert!(cat.graph().find(NodeKind::Table, &table, None).is_some());
+    }
+}

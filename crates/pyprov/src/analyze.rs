@@ -1,0 +1,579 @@
+//! Static provenance analysis of Python scripts (paper §4.2, "Provenance
+//! in Python").
+//!
+//! A single forward pass over the parsed statements tracks, per variable:
+//! where datasets came from (files or SQL), which variables hold models
+//! and featurizers, what hyperparameters they were constructed with, what
+//! data they were `fit` on, and which metrics evaluated them. `read_sql`
+//! calls are parsed with the SQL engine's own parser, connecting script
+//! provenance to table-level lineage (challenge C3).
+
+use crate::ast::{PyExpr, PyStmt};
+use crate::kb::{ApiRole, KnowledgeBase};
+use crate::parser::parse_script;
+use serde::Serialize;
+use std::collections::{BTreeSet, HashMap};
+
+/// Where a dataset variable ultimately came from.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum DatasetOrigin {
+    /// Loaded from a file path.
+    File(String),
+    /// Loaded with a SQL query reading these tables.
+    SqlTables(Vec<String>),
+}
+
+impl DatasetOrigin {
+    pub fn describe(&self) -> String {
+        match self {
+            DatasetOrigin::File(f) => format!("file:{f}"),
+            DatasetOrigin::SqlTables(ts) => format!("sql:{}", ts.join(",")),
+        }
+    }
+}
+
+/// A model discovered in the script.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModelInfo {
+    pub var: String,
+    pub class_path: String,
+    pub hyperparams: Vec<(String, String)>,
+    pub training_datasets: Vec<DatasetOrigin>,
+    pub metrics: Vec<String>,
+}
+
+/// A dataset variable and its origin.
+#[derive(Debug, Clone, Serialize)]
+pub struct DatasetInfo {
+    pub var: String,
+    pub origins: Vec<DatasetOrigin>,
+}
+
+/// The full analysis result for one script.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ScriptProvenance {
+    pub models: Vec<ModelInfo>,
+    pub datasets: Vec<DatasetInfo>,
+    /// Column names referenced through `df['col']` subscripts.
+    pub features: Vec<String>,
+    pub statements: usize,
+    pub unrecognized_statements: usize,
+}
+
+#[derive(Debug, Clone)]
+enum VarInfo {
+    Module(String),
+    ImportedName(String),
+    Dataset(BTreeSet<DatasetOrigin>),
+    Model(usize), // index into models vec
+    Featurizer(#[allow(dead_code)] String),
+    Prediction(usize), // model index
+}
+
+/// Analyze a script's source code.
+pub fn analyze(source: &str, kb: &KnowledgeBase) -> ScriptProvenance {
+    let stmts = parse_script(source);
+    let mut a = Analyzer {
+        kb,
+        vars: HashMap::new(),
+        out: ScriptProvenance::default(),
+        features: BTreeSet::new(),
+    };
+    a.out.statements = stmts.len();
+    for s in &stmts {
+        a.statement(s);
+    }
+    // materialize datasets from var state
+    for (var, info) in &a.vars {
+        if let VarInfo::Dataset(origins) = info {
+            if !origins.is_empty() {
+                a.out.datasets.push(DatasetInfo {
+                    var: var.clone(),
+                    origins: origins.iter().cloned().collect(),
+                });
+            }
+        }
+    }
+    a.out.datasets.sort_by(|x, y| x.var.cmp(&y.var));
+    a.out.features = a.features.into_iter().collect();
+    a.out
+}
+
+struct Analyzer<'a> {
+    kb: &'a KnowledgeBase,
+    vars: HashMap<String, VarInfo>,
+    out: ScriptProvenance,
+    features: BTreeSet<String>,
+}
+
+impl<'a> Analyzer<'a> {
+    fn statement(&mut self, stmt: &PyStmt) {
+        match stmt {
+            PyStmt::Import { module, alias } => {
+                let name = alias.clone().unwrap_or_else(|| module.clone());
+                self.vars.insert(name, VarInfo::Module(module.clone()));
+            }
+            PyStmt::FromImport { module, names } => {
+                for (n, alias) in names {
+                    let bound = alias.clone().unwrap_or_else(|| n.clone());
+                    self.vars
+                        .insert(bound, VarInfo::ImportedName(format!("{module}.{n}")));
+                }
+            }
+            PyStmt::Assign {
+                targets,
+                value,
+                target_exprs,
+            } => {
+                self.collect_features(value);
+                for t in target_exprs {
+                    self.collect_features(t);
+                }
+                self.scan_nested_metrics(value);
+                // column assignment `df['x'] = ...` only adds features
+                let is_column_assignment = targets.len() == 1
+                    && matches!(target_exprs.first(), Some(PyExpr::Subscript(..)));
+                if is_column_assignment {
+                    return;
+                }
+                let info = self.eval(value);
+                if let Some(VarInfo::Model(idx)) = &info {
+                    if let Some(first) = targets.first() {
+                        let m = &mut self.out.models[*idx];
+                        if m.var.is_empty() {
+                            m.var = first.clone();
+                        }
+                    }
+                }
+                match (&info, targets.len()) {
+                    (Some(v), 1) => {
+                        self.vars.insert(targets[0].clone(), v.clone());
+                    }
+                    (Some(v), _) => {
+                        // tuple targets (train_test_split): everything
+                        // inherits the same provenance
+                        for t in targets {
+                            self.vars.insert(t.clone(), v.clone());
+                        }
+                    }
+                    (None, _) => {
+                        // unknown value: propagate dataset provenance
+                        let origins = self.origins_of(value);
+                        if !origins.is_empty() {
+                            for t in targets {
+                                self.vars
+                                    .insert(t.clone(), VarInfo::Dataset(origins.clone()));
+                            }
+                        }
+                    }
+                }
+            }
+            PyStmt::Expr(e) => {
+                self.collect_features(e);
+                self.scan_nested_metrics(e);
+                // bare calls like model.fit(X, y)
+                let _ = self.eval(e);
+            }
+            PyStmt::For { iter, .. } => {
+                self.collect_features(iter);
+            }
+            PyStmt::Other => {
+                self.out.unrecognized_statements += 1;
+            }
+        }
+    }
+
+    /// Evaluate an expression's provenance role.
+    fn eval(&mut self, e: &PyExpr) -> Option<VarInfo> {
+        let PyExpr::Call { func, args, kwargs } = e else {
+            return None;
+        };
+        // method call on a tracked variable?
+        if let PyExpr::Attr(base, method) = &**func {
+            if let Some(base_var) = base.base_name() {
+                if let Some(info) = self.vars.get(base_var).cloned() {
+                    match (&info, method.as_str()) {
+                        (VarInfo::Model(idx), "fit") => {
+                            let mut origins = BTreeSet::new();
+                            for a in args {
+                                origins.extend(self.origins_of(a));
+                            }
+                            let model = &mut self.out.models[*idx];
+                            for o in origins {
+                                if !model.training_datasets.contains(&o) {
+                                    model.training_datasets.push(o);
+                                }
+                            }
+                            return Some(VarInfo::Model(*idx));
+                        }
+                        (
+                            VarInfo::Model(idx),
+                            "predict" | "predict_proba" | "decision_function" | "score",
+                        ) => {
+                            return Some(VarInfo::Prediction(*idx));
+                        }
+                        (VarInfo::Featurizer(_), "fit_transform" | "transform") => {
+                            let mut origins = BTreeSet::new();
+                            for a in args {
+                                origins.extend(self.origins_of(a));
+                            }
+                            return Some(VarInfo::Dataset(origins));
+                        }
+                        (VarInfo::Dataset(origins), _) => {
+                            // df.dropna(), df.merge(other), ...
+                            let mut all = origins.clone();
+                            for a in args {
+                                all.extend(self.origins_of(a));
+                            }
+                            return Some(VarInfo::Dataset(all));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+
+        // free-function / constructor call
+        let resolved = self.resolve_path(func)?;
+        match self.kb.lookup(&resolved) {
+            Some(ApiRole::DatasetFile) => {
+                let detail = first_str(args).unwrap_or_else(|| "<unknown>".into());
+                Some(VarInfo::Dataset(BTreeSet::from([DatasetOrigin::File(
+                    detail,
+                )])))
+            }
+            Some(ApiRole::DatasetSql) => {
+                let sql = first_str(args).unwrap_or_default();
+                let tables = tables_of_sql(&sql);
+                Some(VarInfo::Dataset(BTreeSet::from([
+                    DatasetOrigin::SqlTables(tables),
+                ])))
+            }
+            Some(ApiRole::ModelCtor) => {
+                let hyperparams: Vec<(String, String)> = kwargs
+                    .iter()
+                    .filter_map(|(k, v)| v.literal_repr().map(|r| (k.clone(), r)))
+                    .collect();
+                let idx = self.out.models.len();
+                self.out.models.push(ModelInfo {
+                    var: String::new(), // filled by assignment
+                    class_path: resolved,
+                    hyperparams,
+                    training_datasets: vec![],
+                    metrics: vec![],
+                });
+                Some(VarInfo::Model(idx))
+            }
+            Some(ApiRole::Featurizer) => Some(VarInfo::Featurizer(resolved)),
+            Some(ApiRole::Splitter) => {
+                let mut origins = BTreeSet::new();
+                for a in args {
+                    origins.extend(self.origins_of(a));
+                }
+                Some(VarInfo::Dataset(origins))
+            }
+            Some(ApiRole::Metric) => {
+                self.record_metric(&resolved, args);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Attach metric calls found anywhere inside an expression.
+    fn scan_nested_metrics(&mut self, e: &PyExpr) {
+        match e {
+            PyExpr::Call { func, args, kwargs } => {
+                if let Some(path) = self.resolve_path(func) {
+                    if self.kb.lookup(&path) == Some(ApiRole::Metric) {
+                        self.record_metric(&path, args);
+                    }
+                }
+                for a in args {
+                    self.scan_nested_metrics(a);
+                }
+                for (_, v) in kwargs {
+                    self.scan_nested_metrics(v);
+                }
+            }
+            PyExpr::Attr(b, _) | PyExpr::Subscript(b, _) => self.scan_nested_metrics(b),
+            PyExpr::Bin(a, b) => {
+                self.scan_nested_metrics(a);
+                self.scan_nested_metrics(b);
+            }
+            PyExpr::List(items) | PyExpr::Tuple(items) => {
+                for i in items {
+                    self.scan_nested_metrics(i);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn record_metric(&mut self, path: &str, args: &[PyExpr]) {
+        let metric = path.rsplit('.').next().unwrap_or(path).to_string();
+        // find the model behind any argument (prediction var or model var)
+        let mut names = Vec::new();
+        for a in args {
+            a.referenced_names(&mut names);
+        }
+        for n in names {
+            match self.vars.get(n) {
+                Some(VarInfo::Prediction(idx)) | Some(VarInfo::Model(idx)) => {
+                    let m = &mut self.out.models[*idx];
+                    if !m.metrics.contains(&metric) {
+                        m.metrics.push(metric);
+                    }
+                    return;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Resolve an attribute chain through import aliases.
+    fn resolve_path(&self, func: &PyExpr) -> Option<String> {
+        let path = func.dotted_path()?;
+        let mut segments: Vec<&str> = path.split('.').collect();
+        let first = segments.first()?;
+        match self.vars.get(*first) {
+            Some(VarInfo::Module(m)) => {
+                let head = m.clone();
+                segments.remove(0);
+                if segments.is_empty() {
+                    Some(head)
+                } else {
+                    Some(format!("{head}.{}", segments.join(".")))
+                }
+            }
+            Some(VarInfo::ImportedName(full)) => {
+                let head = full.clone();
+                segments.remove(0);
+                if segments.is_empty() {
+                    Some(head)
+                } else {
+                    Some(format!("{head}.{}", segments.join(".")))
+                }
+            }
+            _ => Some(path),
+        }
+    }
+
+    /// Dataset origins reachable from an expression.
+    fn origins_of(&self, e: &PyExpr) -> BTreeSet<DatasetOrigin> {
+        let mut names = Vec::new();
+        e.referenced_names(&mut names);
+        let mut out = BTreeSet::new();
+        for n in names {
+            if let Some(VarInfo::Dataset(origins)) = self.vars.get(n) {
+                out.extend(origins.iter().cloned());
+            }
+        }
+        out
+    }
+
+    /// Record `df['col']` accesses as feature names.
+    fn collect_features(&mut self, e: &PyExpr) {
+        match e {
+            PyExpr::Subscript(base, idx) => {
+                self.collect_features(base);
+                match &**idx {
+                    PyExpr::Str(s) => {
+                        self.features.insert(s.clone());
+                    }
+                    PyExpr::List(items) => {
+                        for i in items {
+                            if let PyExpr::Str(s) = i {
+                                self.features.insert(s.clone());
+                            }
+                        }
+                    }
+                    other => self.collect_features(other),
+                }
+            }
+            PyExpr::Attr(b, _) => self.collect_features(b),
+            PyExpr::Call { func, args, kwargs } => {
+                self.collect_features(func);
+                for a in args {
+                    self.collect_features(a);
+                }
+                for (_, v) in kwargs {
+                    self.collect_features(v);
+                }
+            }
+            PyExpr::Bin(a, b) => {
+                self.collect_features(a);
+                self.collect_features(b);
+            }
+            PyExpr::List(items) | PyExpr::Tuple(items) => {
+                for i in items {
+                    self.collect_features(i);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn first_str(args: &[PyExpr]) -> Option<String> {
+    args.iter().find_map(|a| match a {
+        PyExpr::Str(s) => Some(s.clone()),
+        _ => None,
+    })
+}
+
+/// Extract the tables a SQL string reads, using the engine's own parser.
+fn tables_of_sql(sql: &str) -> Vec<String> {
+    let mut prov = flock_provenance::ProvCatalog::new();
+    match flock_provenance::capture_sql(&mut prov, sql, "pyprov") {
+        Ok(report) => {
+            let g = prov.graph();
+            let mut names: Vec<String> = report
+                .tables_read
+                .iter()
+                .map(|id| g.node(*id).name.clone())
+                .collect();
+            names.sort();
+            names.dedup();
+            names
+        }
+        Err(_) => vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> ScriptProvenance {
+        analyze(src, &KnowledgeBase::standard())
+    }
+
+    const TYPICAL: &str = r#"
+import pandas as pd
+from sklearn.model_selection import train_test_split
+from sklearn.ensemble import RandomForestClassifier
+from sklearn.metrics import accuracy_score
+
+df = pd.read_csv('customers.csv')
+X = df[['age', 'income', 'debt']]
+y = df['churned']
+X_train, X_test, y_train, y_test = train_test_split(X, y, test_size=0.2)
+model = RandomForestClassifier(n_estimators=100, max_depth=6)
+model.fit(X_train, y_train)
+pred = model.predict(X_test)
+acc = accuracy_score(y_test, pred)
+"#;
+
+    #[test]
+    fn typical_sklearn_script_fully_analyzed() {
+        let p = run(TYPICAL);
+        assert_eq!(p.models.len(), 1);
+        let m = &p.models[0];
+        assert_eq!(m.class_path, "sklearn.ensemble.RandomForestClassifier");
+        assert_eq!(
+            m.hyperparams,
+            vec![
+                ("n_estimators".to_string(), "100".to_string()),
+                ("max_depth".to_string(), "6".to_string())
+            ]
+        );
+        assert_eq!(
+            m.training_datasets,
+            vec![DatasetOrigin::File("customers.csv".into())]
+        );
+        assert_eq!(m.metrics, vec!["accuracy_score".to_string()]);
+        assert!(p.features.contains(&"age".to_string()));
+        assert!(p.features.contains(&"churned".to_string()));
+    }
+
+    #[test]
+    fn read_sql_connects_to_tables() {
+        let p = run(r#"
+import pandas as pd
+from sklearn.linear_model import LogisticRegression
+df = pd.read_sql('SELECT age, income FROM patients JOIN visits ON patients.id = visits.pid', conn)
+m = LogisticRegression()
+m.fit(df, df['label'])
+"#);
+        assert_eq!(p.models.len(), 1);
+        let DatasetOrigin::SqlTables(tables) = &p.models[0].training_datasets[0] else {
+            panic!("{:?}", p.models[0].training_datasets)
+        };
+        assert_eq!(tables, &vec!["patients".to_string(), "visits".to_string()]);
+    }
+
+    #[test]
+    fn unknown_apis_reduce_coverage() {
+        let p = run(r#"
+import secretlib
+model = secretlib.MagicModel(depth=3)
+model.fit(data)
+"#);
+        assert_eq!(p.models.len(), 0, "unknown ctor is not identified");
+    }
+
+    #[test]
+    fn featurizer_transform_propagates_provenance() {
+        let p = run(r#"
+import pandas as pd
+from sklearn.preprocessing import StandardScaler
+from sklearn.svm import SVC
+raw = pd.read_csv('train.csv')
+scaler = StandardScaler()
+X = scaler.fit_transform(raw)
+clf = SVC(C=2.0)
+clf.fit(X, raw['y'])
+"#);
+        assert_eq!(p.models.len(), 1);
+        assert_eq!(
+            p.models[0].training_datasets,
+            vec![DatasetOrigin::File("train.csv".into())]
+        );
+        assert_eq!(p.models[0].hyperparams[0].1, "2");
+    }
+
+    #[test]
+    fn multiple_models_tracked_independently() {
+        let p = run(r#"
+import pandas as pd
+from sklearn.linear_model import LogisticRegression
+from sklearn.tree import DecisionTreeClassifier
+a = pd.read_csv('a.csv')
+b = pd.read_csv('b.csv')
+m1 = LogisticRegression()
+m1.fit(a, a['y'])
+m2 = DecisionTreeClassifier()
+m2.fit(b, b['y'])
+"#);
+        assert_eq!(p.models.len(), 2);
+        assert_ne!(
+            p.models[0].training_datasets,
+            p.models[1].training_datasets
+        );
+    }
+
+    #[test]
+    fn derived_dataframes_keep_origin() {
+        let p = run(r#"
+import pandas as pd
+from sklearn.linear_model import Ridge
+df = pd.read_csv('data.csv')
+clean = df.dropna()
+sub = clean[['a', 'b']]
+m = Ridge()
+m.fit(sub, clean['t'])
+"#);
+        assert_eq!(
+            p.models[0].training_datasets,
+            vec![DatasetOrigin::File("data.csv".into())]
+        );
+    }
+
+    #[test]
+    fn statement_counting() {
+        let p = run("x = 1\ndef foo():\n    return 2\n");
+        assert!(p.statements >= 2);
+        assert!(p.unrecognized_statements >= 1);
+    }
+}

@@ -1,0 +1,123 @@
+//! AST for the analyzed Python subset.
+
+/// An expression. The parser is tolerant: anything it cannot shape
+/// precisely becomes [`PyExpr::Opaque`], which the analysis treats as a
+/// value with no provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PyExpr {
+    Name(String),
+    /// `base.attr`
+    Attr(Box<PyExpr>, String),
+    Call {
+        func: Box<PyExpr>,
+        args: Vec<PyExpr>,
+        kwargs: Vec<(String, PyExpr)>,
+    },
+    /// `base[index]`
+    Subscript(Box<PyExpr>, Box<PyExpr>),
+    Str(String),
+    Num(f64),
+    List(Vec<PyExpr>),
+    Tuple(Vec<PyExpr>),
+    /// Binary operation — operands kept, operator dropped (provenance
+    /// flows through both sides regardless of the operator).
+    Bin(Box<PyExpr>, Box<PyExpr>),
+    Opaque,
+}
+
+impl PyExpr {
+    /// The dotted path of a name/attribute chain (`pd.read_csv` →
+    /// `Some("pd.read_csv")`).
+    pub fn dotted_path(&self) -> Option<String> {
+        match self {
+            PyExpr::Name(n) => Some(n.clone()),
+            PyExpr::Attr(base, attr) => Some(format!("{}.{attr}", base.dotted_path()?)),
+            _ => None,
+        }
+    }
+
+    /// The leftmost name of an expression (`df.col[0]` → `df`).
+    pub fn base_name(&self) -> Option<&str> {
+        match self {
+            PyExpr::Name(n) => Some(n),
+            PyExpr::Attr(base, _) | PyExpr::Subscript(base, _) => base.base_name(),
+            PyExpr::Call { func, .. } => func.base_name(),
+            _ => None,
+        }
+    }
+
+    /// Collect every variable name referenced anywhere in the expression.
+    pub fn referenced_names<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            PyExpr::Name(n) => out.push(n),
+            PyExpr::Attr(base, _) => base.referenced_names(out),
+            PyExpr::Call { func, args, kwargs } => {
+                func.referenced_names(out);
+                for a in args {
+                    a.referenced_names(out);
+                }
+                for (_, v) in kwargs {
+                    v.referenced_names(out);
+                }
+            }
+            PyExpr::Subscript(base, idx) => {
+                base.referenced_names(out);
+                idx.referenced_names(out);
+            }
+            PyExpr::List(items) | PyExpr::Tuple(items) => {
+                for i in items {
+                    i.referenced_names(out);
+                }
+            }
+            PyExpr::Bin(a, b) => {
+                a.referenced_names(out);
+                b.referenced_names(out);
+            }
+            PyExpr::Str(_) | PyExpr::Num(_) | PyExpr::Opaque => {}
+        }
+    }
+
+    /// Render a literal value for hyperparameter recording.
+    pub fn literal_repr(&self) -> Option<String> {
+        match self {
+            PyExpr::Str(s) => Some(format!("'{s}'")),
+            PyExpr::Num(n) => Some(if n.fract() == 0.0 && n.is_finite() {
+                format!("{}", *n as i64)
+            } else {
+                format!("{n}")
+            }),
+            PyExpr::Name(n) if n == "True" || n == "False" || n == "None" => Some(n.clone()),
+            _ => None,
+        }
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PyStmt {
+    /// `import module [as alias]`
+    Import {
+        module: String,
+        alias: Option<String>,
+    },
+    /// `from module import name [as alias], ...`
+    FromImport {
+        module: String,
+        names: Vec<(String, Option<String>)>,
+    },
+    /// `t1, t2 = expr` (single targets are one-element vectors). Targets
+    /// that are not simple names (e.g. `df['col']`) are recorded as their
+    /// base name.
+    Assign {
+        targets: Vec<String>,
+        value: PyExpr,
+        /// Raw target expressions, for column-assignment detection.
+        target_exprs: Vec<PyExpr>,
+    },
+    /// Bare expression (typically a call like `model.fit(X, y)`).
+    Expr(PyExpr),
+    /// `for target in iter:` — analyzed like an assignment of Opaque.
+    For { target: String, iter: PyExpr },
+    /// Anything else (def/if/return/...) — opaque but kept for counting.
+    Other,
+}

@@ -1,0 +1,118 @@
+//! Fold script-analysis results into the shared provenance catalog — the
+//! bridge that "connects the datasets used in the Python scripts to the
+//! columns of one or more DBMS tables" (challenge C3).
+
+use crate::analyze::{DatasetOrigin, ScriptProvenance};
+use flock_provenance::{EdgeKind, NodeId, ProvCatalog};
+
+/// Ingest one analyzed script. Returns the Script node.
+pub fn ingest(prov: &mut ProvCatalog, script_name: &str, analysis: &ScriptProvenance) -> NodeId {
+    let script = prov.script(script_name);
+    for m in &analysis.models {
+        let display = if m.var.is_empty() {
+            m.class_path.clone()
+        } else {
+            format!("{script_name}:{}", m.var)
+        };
+        let model = prov.model(&display, None);
+        prov.link(script, model, EdgeKind::Produces);
+        for (k, v) in &m.hyperparams {
+            let h = prov.hyperparameter(&display, k, v);
+            prov.link(model, h, EdgeKind::HasParam);
+        }
+        for metric in &m.metrics {
+            let node = prov.metric(&display, metric, "");
+            prov.link(model, node, EdgeKind::Reports);
+        }
+        for origin in &m.training_datasets {
+            match origin {
+                DatasetOrigin::File(f) => {
+                    let d = prov.dataset(f);
+                    prov.link(model, d, EdgeKind::TrainedOn);
+                    prov.link(script, d, EdgeKind::Uses);
+                }
+                DatasetOrigin::SqlTables(tables) => {
+                    // connect straight to the DBMS tables the SQL module
+                    // also records — cross-system lineage
+                    for t in tables {
+                        let tn = prov.table(t);
+                        prov.link(model, tn, EdgeKind::TrainedOn);
+                        prov.link(script, tn, EdgeKind::Uses);
+                    }
+                }
+            }
+        }
+    }
+    for d in &analysis.datasets {
+        for origin in &d.origins {
+            match origin {
+                DatasetOrigin::File(f) => {
+                    let node = prov.dataset(f);
+                    prov.link(script, node, EdgeKind::Uses);
+                }
+                DatasetOrigin::SqlTables(tables) => {
+                    for t in tables {
+                        let node = prov.table(t);
+                        prov.link(script, node, EdgeKind::Uses);
+                    }
+                }
+            }
+        }
+    }
+    script
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze;
+    use crate::kb::KnowledgeBase;
+    use flock_provenance::{backward_lineage, capture_sql, NodeKind};
+
+    #[test]
+    fn script_models_connect_to_dbms_tables() {
+        let mut prov = ProvCatalog::new();
+        // SQL side: the ETL that fills `patients`
+        capture_sql(
+            &mut prov,
+            "INSERT INTO patients SELECT * FROM raw_admissions",
+            "etl",
+        )
+        .unwrap();
+        // Python side: a script training on patients via read_sql
+        let analysis = analyze(
+            "import pandas as pd\nfrom sklearn.linear_model import LogisticRegression\n\
+             df = pd.read_sql('SELECT age FROM patients', conn)\n\
+             m = LogisticRegression()\nm.fit(df, df['y'])\n",
+            &KnowledgeBase::standard(),
+        );
+        ingest(&mut prov, "readmit.py", &analysis);
+
+        let g = prov.graph();
+        let model = g
+            .nodes_of_kind(NodeKind::Model)
+            .into_iter()
+            .find(|n| n.name.contains("readmit.py"))
+            .unwrap();
+        let lineage = backward_lineage(g, model.id);
+        let names: Vec<&str> = lineage.iter().map(|id| g.node(*id).name.as_str()).collect();
+        // cross-system: the model's lineage reaches the SQL-side raw table
+        assert!(names.contains(&"patients"), "{names:?}");
+        assert!(names.contains(&"raw_admissions"), "{names:?}");
+    }
+
+    #[test]
+    fn file_datasets_become_dataset_nodes() {
+        let mut prov = ProvCatalog::new();
+        let analysis = analyze(
+            "import pandas as pd\nfrom sklearn.svm import SVC\n\
+             df = pd.read_csv('train.csv')\nm = SVC()\nm.fit(df, df['y'])\n",
+            &KnowledgeBase::standard(),
+        );
+        ingest(&mut prov, "s.py", &analysis);
+        assert!(prov
+            .graph()
+            .find(NodeKind::Dataset, "train.csv", None)
+            .is_some());
+    }
+}

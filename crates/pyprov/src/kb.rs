@@ -1,0 +1,171 @@
+//! The knowledge base of ML APIs (paper §4.2: "a knowledge base of ML
+//! APIs that we maintain").
+//!
+//! The analyzer resolves call targets to dotted paths and asks the KB for
+//! their role. Coverage of real scripts is bounded by this KB — which is
+//! exactly the effect the paper's Kaggle-vs-Microsoft coverage table
+//! measures.
+
+use std::collections::HashMap;
+
+/// Role a known API plays in a pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApiRole {
+    /// Loads a dataset from a file (first positional arg = path).
+    DatasetFile,
+    /// Loads a dataset from a SQL query (first positional arg = SQL).
+    DatasetSql,
+    /// Constructs a model object.
+    ModelCtor,
+    /// Constructs a featurizer/transformer object.
+    Featurizer,
+    /// Splits datasets (provenance flows from args to all targets).
+    Splitter,
+    /// Computes an evaluation metric.
+    Metric,
+}
+
+/// The knowledge base: dotted path (and bare-name) → role.
+#[derive(Debug, Clone, Default)]
+pub struct KnowledgeBase {
+    by_path: HashMap<String, ApiRole>,
+}
+
+impl KnowledgeBase {
+    /// The built-in KB covering the dominant packages the paper's GitHub
+    /// analysis identified (numpy/pandas/sklearn plus the popular boosters).
+    pub fn standard() -> Self {
+        let mut kb = KnowledgeBase::default();
+        // dataset loaders
+        for f in [
+            "pandas.read_csv",
+            "pandas.read_parquet",
+            "pandas.read_json",
+            "pandas.read_excel",
+            "pandas.read_pickle",
+            "pandas.read_feather",
+            "numpy.loadtxt",
+            "numpy.load",
+        ] {
+            kb.insert(f, ApiRole::DatasetFile);
+        }
+        for f in ["pandas.read_sql", "pandas.read_sql_query", "pandas.read_sql_table"] {
+            kb.insert(f, ApiRole::DatasetSql);
+        }
+        // model constructors
+        for f in [
+            "sklearn.linear_model.LogisticRegression",
+            "sklearn.linear_model.LinearRegression",
+            "sklearn.linear_model.Ridge",
+            "sklearn.linear_model.Lasso",
+            "sklearn.linear_model.SGDClassifier",
+            "sklearn.tree.DecisionTreeClassifier",
+            "sklearn.tree.DecisionTreeRegressor",
+            "sklearn.ensemble.RandomForestClassifier",
+            "sklearn.ensemble.RandomForestRegressor",
+            "sklearn.ensemble.GradientBoostingClassifier",
+            "sklearn.ensemble.GradientBoostingRegressor",
+            "sklearn.ensemble.AdaBoostClassifier",
+            "sklearn.svm.SVC",
+            "sklearn.svm.SVR",
+            "sklearn.neighbors.KNeighborsClassifier",
+            "sklearn.naive_bayes.GaussianNB",
+            "sklearn.cluster.KMeans",
+            "sklearn.neural_network.MLPClassifier",
+            "xgboost.XGBClassifier",
+            "xgboost.XGBRegressor",
+            "lightgbm.LGBMClassifier",
+            "lightgbm.LGBMRegressor",
+        ] {
+            kb.insert(f, ApiRole::ModelCtor);
+        }
+        // featurizers
+        for f in [
+            "sklearn.preprocessing.StandardScaler",
+            "sklearn.preprocessing.MinMaxScaler",
+            "sklearn.preprocessing.OneHotEncoder",
+            "sklearn.preprocessing.LabelEncoder",
+            "sklearn.feature_extraction.text.TfidfVectorizer",
+            "sklearn.feature_extraction.text.CountVectorizer",
+            "sklearn.impute.SimpleImputer",
+            "sklearn.decomposition.PCA",
+        ] {
+            kb.insert(f, ApiRole::Featurizer);
+        }
+        // splitters
+        kb.insert("sklearn.model_selection.train_test_split", ApiRole::Splitter);
+        // metrics
+        for f in [
+            "sklearn.metrics.accuracy_score",
+            "sklearn.metrics.roc_auc_score",
+            "sklearn.metrics.f1_score",
+            "sklearn.metrics.precision_score",
+            "sklearn.metrics.recall_score",
+            "sklearn.metrics.mean_squared_error",
+            "sklearn.metrics.mean_absolute_error",
+            "sklearn.metrics.r2_score",
+            "sklearn.metrics.log_loss",
+        ] {
+            kb.insert(f, ApiRole::Metric);
+        }
+        kb
+    }
+
+    /// Register an API. The bare (last-segment) name is indexed too, so
+    /// `from sklearn.svm import SVC; SVC()` resolves.
+    pub fn insert(&mut self, path: &str, role: ApiRole) {
+        self.by_path.insert(path.to_string(), role);
+        if let Some(last) = path.rsplit('.').next() {
+            self.by_path.entry(last.to_string()).or_insert(role);
+        }
+    }
+
+    /// Look up a dotted path, trying the full path then the last segment.
+    pub fn lookup(&self, path: &str) -> Option<ApiRole> {
+        if let Some(r) = self.by_path.get(path) {
+            return Some(*r);
+        }
+        path.rsplit('.')
+            .next()
+            .and_then(|last| self.by_path.get(last))
+            .copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.by_path.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.by_path.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_kb_resolves_full_and_bare() {
+        let kb = KnowledgeBase::standard();
+        assert_eq!(
+            kb.lookup("sklearn.ensemble.RandomForestClassifier"),
+            Some(ApiRole::ModelCtor)
+        );
+        assert_eq!(kb.lookup("RandomForestClassifier"), Some(ApiRole::ModelCtor));
+        assert_eq!(kb.lookup("pandas.read_sql"), Some(ApiRole::DatasetSql));
+        // alias-resolved paths still end with the known function
+        assert_eq!(kb.lookup("pd.read_csv"), Some(ApiRole::DatasetFile));
+        assert_eq!(kb.lookup("made.up.Thing"), None);
+    }
+
+    #[test]
+    fn custom_entries_extend() {
+        let mut kb = KnowledgeBase::standard();
+        assert_eq!(kb.lookup("catboost.CatBoostClassifier"), None);
+        kb.insert("catboost.CatBoostClassifier", ApiRole::ModelCtor);
+        assert_eq!(
+            kb.lookup("catboost.CatBoostClassifier"),
+            Some(ApiRole::ModelCtor)
+        );
+    }
+}

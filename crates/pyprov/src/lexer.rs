@@ -1,0 +1,286 @@
+//! Tokenizer for the supported Python subset.
+//!
+//! The provenance analysis is flow-insensitive, so the lexer works on
+//! *logical lines*: physical lines are joined while brackets are open or a
+//! trailing backslash continues the line; comments are stripped; leading
+//! indentation is recorded but otherwise ignored.
+
+/// A token within one logical line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PyToken {
+    Name(String),
+    Number(f64),
+    Str(String),
+    /// `(`, `)`, `[`, `]`, `{`, `}`, `,`, `:`, `.`, `=`, `==`, `+`, `-`,
+    /// `*`, `/`, `%`, `<`, `>`, `<=`, `>=`, `!=`, `->`, `**`, `@`, `;`
+    Op(String),
+    Eol,
+}
+
+/// One logical line of a script.
+#[derive(Debug, Clone)]
+pub struct LogicalLine {
+    pub indent: usize,
+    pub tokens: Vec<PyToken>,
+}
+
+/// Split a script into logical lines and tokenize each.
+pub fn tokenize_script(source: &str) -> Vec<LogicalLine> {
+    let mut logical: Vec<(usize, String)> = Vec::new();
+    let mut buffer = String::new();
+    let mut indent = 0usize;
+    let mut depth: i32 = 0;
+    let mut continuation = false;
+
+    for raw in source.lines() {
+        let line = strip_comment(raw);
+        if buffer.is_empty() && !continuation {
+            if line.trim().is_empty() {
+                continue;
+            }
+            indent = line.len() - line.trim_start().len();
+        }
+        let trimmed = line.trim_end();
+        let backslash = trimmed.ends_with('\\');
+        let body = if backslash {
+            &trimmed[..trimmed.len() - 1]
+        } else {
+            trimmed
+        };
+        buffer.push_str(body);
+        buffer.push(' ');
+        depth += bracket_delta(body);
+        continuation = backslash;
+        if depth <= 0 && !continuation {
+            let text = std::mem::take(&mut buffer);
+            if !text.trim().is_empty() {
+                logical.push((indent, text));
+            }
+            depth = 0;
+        }
+    }
+    if !buffer.trim().is_empty() {
+        logical.push((indent, buffer));
+    }
+
+    logical
+        .into_iter()
+        .map(|(indent, text)| LogicalLine {
+            indent,
+            tokens: tokenize_line(&text),
+        })
+        .collect()
+}
+
+fn strip_comment(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut in_str: Option<char> = None;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match in_str {
+            Some(q) => {
+                out.push(c);
+                if c == q {
+                    in_str = None;
+                } else if c == '\\' {
+                    if let Some(n) = chars.next() {
+                        out.push(n);
+                    }
+                }
+            }
+            None => match c {
+                '#' => break,
+                '\'' | '"' => {
+                    in_str = Some(c);
+                    out.push(c);
+                }
+                other => out.push(other),
+            },
+        }
+    }
+    out
+}
+
+fn bracket_delta(s: &str) -> i32 {
+    let mut d = 0;
+    let mut in_str: Option<char> = None;
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        match in_str {
+            Some(q) => {
+                if c == q {
+                    in_str = None;
+                } else if c == '\\' {
+                    chars.next();
+                }
+            }
+            None => match c {
+                '\'' | '"' => in_str = Some(c),
+                '(' | '[' | '{' => d += 1,
+                ')' | ']' | '}' => d -= 1,
+                _ => {}
+            },
+        }
+    }
+    d
+}
+
+fn tokenize_line(text: &str) -> Vec<PyToken> {
+    let bytes = text.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        // decode the current char properly (inputs may be any UTF-8)
+        let c = text[i..].chars().next().expect("in-bounds char");
+        match c {
+            c if c.is_whitespace() => i += c.len_utf8(),
+            // string prefixes: f"", r'', b"" etc.
+            'f' | 'r' | 'b' | 'u' | 'F' | 'R' | 'B' | 'U'
+                if matches!(bytes.get(i + 1), Some(b'\'') | Some(b'"')) =>
+            {
+                i += 1; // skip prefix, fall through on next loop to quote
+            }
+            '\'' | '"' => {
+                let quote = c;
+                // triple-quoted?
+                let triple = bytes.get(i + 1) == Some(&(quote as u8))
+                    && bytes.get(i + 2) == Some(&(quote as u8));
+                let mut j = if triple { i + 3 } else { i + 1 };
+                let mut s = String::new();
+                loop {
+                    if j >= bytes.len() {
+                        break; // unterminated: tolerate
+                    }
+                    let cj = bytes[j] as char;
+                    if cj == '\\' && !triple {
+                        if j + 1 < bytes.len() {
+                            s.push(bytes[j + 1] as char);
+                        }
+                        j += 2;
+                        continue;
+                    }
+                    if cj == quote {
+                        if !triple {
+                            j += 1;
+                            break;
+                        }
+                        if bytes.get(j + 1) == Some(&(quote as u8))
+                            && bytes.get(j + 2) == Some(&(quote as u8))
+                        {
+                            j += 3;
+                            break;
+                        }
+                    }
+                    s.push(cj);
+                    j += 1;
+                }
+                tokens.push(PyToken::Str(s));
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let lit = text[start..i].replace('_', "");
+                let value = lit.trim_end_matches(|c: char| c.is_alphabetic());
+                tokens.push(PyToken::Number(value.parse().unwrap_or(f64::NAN)));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                for ch in text[i..].chars() {
+                    if ch.is_alphanumeric() || ch == '_' {
+                        i += ch.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(PyToken::Name(text[start..i].to_string()));
+            }
+            _ => {
+                // multi-char operators first
+                let two: Option<&str> = text.get(i..i + 2);
+                let op = match two {
+                    Some(op2 @ ("==" | "!=" | "<=" | ">=" | "->" | "**" | "//" | "+="
+                    | "-=" | "*=" | "/=")) => {
+                        i += 2;
+                        op2.to_string()
+                    }
+                    _ => {
+                        i += c.len_utf8();
+                        c.to_string()
+                    }
+                };
+                tokens.push(PyToken::Op(op));
+            }
+        }
+    }
+    tokens.push(PyToken::Eol);
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logical_lines_join_brackets() {
+        let src = "model = LogisticRegression(\n    C=1.0,\n    max_iter=100)\nx = 1";
+        let lines = tokenize_script(src);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].tokens.len() > 8);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let src = "# header\n\nx = 1  # trailing\n";
+        let lines = tokenize_script(src);
+        assert_eq!(lines.len(), 1);
+        assert_eq!(
+            lines[0].tokens,
+            vec![
+                PyToken::Name("x".into()),
+                PyToken::Op("=".into()),
+                PyToken::Number(1.0),
+                PyToken::Eol
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_hash_not_cut() {
+        let src = "q = 'SELECT # weird'";
+        let lines = tokenize_script(src);
+        assert!(matches!(&lines[0].tokens[2], PyToken::Str(s) if s.contains('#')));
+    }
+
+    #[test]
+    fn f_string_prefix_handled() {
+        let src = "name = f'model_{i}'";
+        let lines = tokenize_script(src);
+        assert!(matches!(&lines[0].tokens[2], PyToken::Str(_)));
+    }
+
+    #[test]
+    fn indent_recorded() {
+        let src = "for i in range(3):\n    total = total + i";
+        let lines = tokenize_script(src);
+        assert_eq!(lines[0].indent, 0);
+        assert_eq!(lines[1].indent, 4);
+    }
+
+    #[test]
+    fn operators_tokenize() {
+        let lines = tokenize_script("a >= b != c ** 2");
+        let ops: Vec<&PyToken> = lines[0]
+            .tokens
+            .iter()
+            .filter(|t| matches!(t, PyToken::Op(_)))
+            .collect();
+        assert_eq!(ops.len(), 3);
+    }
+}

@@ -1,0 +1,23 @@
+//! # flock-pyprov
+//!
+//! Python-script provenance for Flock (paper §4.2, "Provenance in
+//! Python"): a tolerant parser for a Python subset, a **knowledge base of
+//! ML APIs**, and a static analysis that identifies — per script — which
+//! variables hold **models**, their **hyperparameters**, the **features**
+//! touched, the **metrics** computed, and the **training datasets** used,
+//! then connects `read_sql` loads to DBMS tables through the shared
+//! provenance catalog (challenge C3).
+
+pub mod analyze;
+pub mod ast;
+pub mod ingest;
+pub mod kb;
+pub mod lexer;
+pub mod parser;
+pub mod report;
+
+pub use analyze::{analyze, DatasetOrigin, ModelInfo, ScriptProvenance};
+pub use ingest::ingest;
+pub use kb::{ApiRole, KnowledgeBase};
+pub use parser::parse_script;
+pub use report::{evaluate, script_covered, CoverageReport, ScriptGroundTruth};

@@ -1,0 +1,436 @@
+//! Tolerant parser: logical lines → statements.
+
+use crate::ast::{PyExpr, PyStmt};
+use crate::lexer::{tokenize_script, LogicalLine, PyToken};
+
+/// Positional and keyword arguments of a parsed call.
+type CallArgs = (Vec<PyExpr>, Vec<(String, PyExpr)>);
+
+/// Parse a script. Unrecognized lines become [`PyStmt::Other`] rather than
+/// errors — real notebooks contain plenty of constructs the provenance
+/// analysis does not need to understand.
+pub fn parse_script(source: &str) -> Vec<PyStmt> {
+    tokenize_script(source)
+        .into_iter()
+        .map(|line| parse_line(&line))
+        .collect()
+}
+
+fn parse_line(line: &LogicalLine) -> PyStmt {
+    let mut p = LineParser {
+        tokens: &line.tokens,
+        pos: 0,
+    };
+    p.statement().unwrap_or(PyStmt::Other)
+}
+
+struct LineParser<'a> {
+    tokens: &'a [PyToken],
+    pos: usize,
+}
+
+impl<'a> LineParser<'a> {
+    fn peek(&self) -> &PyToken {
+        self.tokens.get(self.pos).unwrap_or(&PyToken::Eol)
+    }
+
+    fn next(&mut self) -> PyToken {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_op(&mut self, op: &str) -> bool {
+        if matches!(self.peek(), PyToken::Op(o) if o == op) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_name(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), PyToken::Name(n) if n == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn name(&mut self) -> Option<String> {
+        match self.next() {
+            PyToken::Name(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    fn statement(&mut self) -> Option<PyStmt> {
+        if self.eat_name("import") {
+            let mut module = self.name()?;
+            while self.eat_op(".") {
+                module.push('.');
+                module.push_str(&self.name()?);
+            }
+            let alias = if self.eat_name("as") { self.name() } else { None };
+            return Some(PyStmt::Import { module, alias });
+        }
+        if self.eat_name("from") {
+            let mut module = self.name()?;
+            while self.eat_op(".") {
+                module.push('.');
+                module.push_str(&self.name()?);
+            }
+            if !self.eat_name("import") {
+                return None;
+            }
+            let mut names = Vec::new();
+            loop {
+                let n = self.name()?;
+                let alias = if self.eat_name("as") { self.name() } else { None };
+                names.push((n, alias));
+                if !self.eat_op(",") {
+                    break;
+                }
+            }
+            return Some(PyStmt::FromImport { module, names });
+        }
+        if self.eat_name("for") {
+            let target = self.name()?;
+            // swallow tuple targets: `for a, b in ...`
+            while self.eat_op(",") {
+                self.name()?;
+            }
+            if !self.eat_name("in") {
+                return None;
+            }
+            let iter = self.expr()?;
+            return Some(PyStmt::For { target, iter });
+        }
+        for kw in ["def", "if", "elif", "else", "return", "while", "with", "class", "print",
+            "try", "except", "finally", "pass", "break", "continue", "raise", "assert"]
+        {
+            if matches!(self.peek(), PyToken::Name(n) if n == kw) {
+                return Some(PyStmt::Other);
+            }
+        }
+
+        // assignment or expression
+        let first = self.expr()?;
+        if self.eat_op("=") {
+            let mut target_exprs = vec![first];
+            // tuple targets were parsed as Tuple by expr() when separated
+            // by commas
+            if let PyExpr::Tuple(items) = &target_exprs[0] {
+                target_exprs = items.clone();
+            }
+            let value = self.expr()?;
+            let targets = target_exprs
+                .iter()
+                .filter_map(|t| t.base_name().map(str::to_string))
+                .collect();
+            return Some(PyStmt::Assign {
+                targets,
+                value,
+                target_exprs,
+            });
+        }
+        if matches!(self.peek(), PyToken::Eol) || self.eat_op(":") {
+            return Some(PyStmt::Expr(first));
+        }
+        Some(PyStmt::Expr(first))
+    }
+
+    /// Expression with comma-tuples at top level.
+    fn expr(&mut self) -> Option<PyExpr> {
+        let first = self.binary()?;
+        if matches!(self.peek(), PyToken::Op(o) if o == ",") {
+            let mut items = vec![first];
+            while self.eat_op(",") {
+                if matches!(self.peek(), PyToken::Eol)
+                    || matches!(self.peek(), PyToken::Op(o) if o == "=" || o == ")" || o == "]")
+                {
+                    break; // trailing comma
+                }
+                items.push(self.binary()?);
+            }
+            return Some(PyExpr::Tuple(items));
+        }
+        Some(first)
+    }
+
+    /// Binary-ish expression: postfix operands joined by any operator.
+    fn binary(&mut self) -> Option<PyExpr> {
+        let mut left = self.postfix()?;
+        loop {
+            let op = match self.peek() {
+                PyToken::Op(o)
+                    if [
+                        "+", "-", "*", "/", "%", "**", "//", "==", "!=", "<", ">", "<=",
+                        ">=", "&", "|", "@",
+                    ]
+                    .contains(&o.as_str()) =>
+                {
+                    o.clone()
+                }
+                PyToken::Name(n) if n == "and" || n == "or" || n == "in" || n == "not" => {
+                    n.clone()
+                }
+                _ => break,
+            };
+            let _ = op;
+            self.next();
+            // tolerate `not in`, `is not`
+            if matches!(self.peek(), PyToken::Name(n) if n == "in" || n == "not") {
+                self.next();
+            }
+            let right = self.postfix()?;
+            left = PyExpr::Bin(Box::new(left), Box::new(right));
+        }
+        Some(left)
+    }
+
+    /// Postfix: primary with `.attr`, `(call)`, `[subscript]` suffixes.
+    fn postfix(&mut self) -> Option<PyExpr> {
+        let mut e = self.primary()?;
+        loop {
+            if self.eat_op(".") {
+                let attr = self.name()?;
+                e = PyExpr::Attr(Box::new(e), attr);
+            } else if matches!(self.peek(), PyToken::Op(o) if o == "(") {
+                self.next();
+                let (args, kwargs) = self.call_args()?;
+                e = PyExpr::Call {
+                    func: Box::new(e),
+                    args,
+                    kwargs,
+                };
+            } else if matches!(self.peek(), PyToken::Op(o) if o == "[") {
+                self.next();
+                let idx = if matches!(self.peek(), PyToken::Op(o) if o == "]") {
+                    PyExpr::Opaque
+                } else {
+                    self.expr()?
+                };
+                // tolerate slices `a[1:2]`
+                while !matches!(self.peek(), PyToken::Op(o) if o == "]") {
+                    if matches!(self.peek(), PyToken::Eol) {
+                        return Some(PyExpr::Subscript(Box::new(e), Box::new(idx)));
+                    }
+                    self.next();
+                }
+                self.next(); // ]
+                e = PyExpr::Subscript(Box::new(e), Box::new(idx));
+            } else {
+                break;
+            }
+        }
+        Some(e)
+    }
+
+    fn call_args(&mut self) -> Option<CallArgs> {
+        let mut args = Vec::new();
+        let mut kwargs = Vec::new();
+        if matches!(self.peek(), PyToken::Op(o) if o == ")") {
+            self.next();
+            return Some((args, kwargs));
+        }
+        loop {
+            // kwarg?
+            if let PyToken::Name(n) = self.peek().clone() {
+                if matches!(self.tokens.get(self.pos + 1), Some(PyToken::Op(o)) if o == "=") {
+                    self.next();
+                    self.next();
+                    let v = self.binary()?;
+                    kwargs.push((n, v));
+                    if self.eat_op(",") {
+                        continue;
+                    }
+                    break;
+                }
+            }
+            let a = self.binary()?;
+            args.push(a);
+            if self.eat_op(",") {
+                continue;
+            }
+            break;
+        }
+        // swallow to the closing paren
+        while !matches!(self.peek(), PyToken::Op(o) if o == ")") {
+            if matches!(self.peek(), PyToken::Eol) {
+                return Some((args, kwargs));
+            }
+            self.next();
+        }
+        self.next();
+        Some((args, kwargs))
+    }
+
+    fn primary(&mut self) -> Option<PyExpr> {
+        match self.next() {
+            PyToken::Name(n) => Some(PyExpr::Name(n)),
+            PyToken::Number(v) => Some(PyExpr::Num(v)),
+            PyToken::Str(s) => Some(PyExpr::Str(s)),
+            PyToken::Op(o) if o == "(" => {
+                if matches!(self.peek(), PyToken::Op(c) if c == ")") {
+                    self.next();
+                    return Some(PyExpr::Tuple(vec![]));
+                }
+                let inner = self.expr()?;
+                while !matches!(self.peek(), PyToken::Op(c) if c == ")") {
+                    if matches!(self.peek(), PyToken::Eol) {
+                        return Some(inner);
+                    }
+                    self.next();
+                }
+                self.next();
+                Some(inner)
+            }
+            PyToken::Op(o) if o == "[" => {
+                let mut items = Vec::new();
+                if matches!(self.peek(), PyToken::Op(c) if c == "]") {
+                    self.next();
+                    return Some(PyExpr::List(items));
+                }
+                loop {
+                    items.push(self.binary()?);
+                    if self.eat_op(",") {
+                        continue;
+                    }
+                    break;
+                }
+                while !matches!(self.peek(), PyToken::Op(c) if c == "]") {
+                    if matches!(self.peek(), PyToken::Eol) {
+                        return Some(PyExpr::List(items));
+                    }
+                    self.next();
+                }
+                self.next();
+                Some(PyExpr::List(items))
+            }
+            PyToken::Op(o) if o == "{" => {
+                // dicts/sets: swallow to matching close, provenance-opaque
+                let mut depth = 1;
+                while depth > 0 {
+                    match self.next() {
+                        PyToken::Op(c) if c == "{" => depth += 1,
+                        PyToken::Op(c) if c == "}" => depth -= 1,
+                        PyToken::Eol => break,
+                        _ => {}
+                    }
+                }
+                Some(PyExpr::Opaque)
+            }
+            PyToken::Op(o) if o == "-" || o == "+" || o == "*" => self.primary(),
+            PyToken::Op(_) | PyToken::Eol => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imports_parse() {
+        let stmts = parse_script("import pandas as pd\nfrom sklearn.linear_model import LogisticRegression, Ridge as R");
+        assert_eq!(
+            stmts[0],
+            PyStmt::Import {
+                module: "pandas".into(),
+                alias: Some("pd".into())
+            }
+        );
+        let PyStmt::FromImport { module, names } = &stmts[1] else {
+            panic!("{stmts:?}")
+        };
+        assert_eq!(module, "sklearn.linear_model");
+        assert_eq!(names.len(), 2);
+        assert_eq!(names[1], ("Ridge".into(), Some("R".into())));
+    }
+
+    #[test]
+    fn assignment_with_call_parses() {
+        let stmts = parse_script("df = pd.read_csv('train.csv', sep=',')");
+        let PyStmt::Assign { targets, value, .. } = &stmts[0] else {
+            panic!("{stmts:?}")
+        };
+        assert_eq!(targets, &vec!["df".to_string()]);
+        let PyExpr::Call { func, args, kwargs } = value else {
+            panic!()
+        };
+        assert_eq!(func.dotted_path().unwrap(), "pd.read_csv");
+        assert_eq!(args.len(), 1);
+        assert_eq!(kwargs.len(), 1);
+    }
+
+    #[test]
+    fn tuple_unpacking_parses() {
+        let stmts =
+            parse_script("X_train, X_test, y_train, y_test = train_test_split(X, y, test_size=0.2)");
+        let PyStmt::Assign { targets, .. } = &stmts[0] else {
+            panic!("{stmts:?}")
+        };
+        assert_eq!(targets.len(), 4);
+    }
+
+    #[test]
+    fn method_call_statement_parses() {
+        let stmts = parse_script("model.fit(X_train, y_train)");
+        let PyStmt::Expr(PyExpr::Call { func, args, .. }) = &stmts[0] else {
+            panic!("{stmts:?}")
+        };
+        assert_eq!(func.dotted_path().unwrap(), "model.fit");
+        assert_eq!(args.len(), 2);
+    }
+
+    #[test]
+    fn subscript_and_list_parse() {
+        let stmts = parse_script("X = df[['age', 'income']]\ny = df['label']");
+        let PyStmt::Assign { value, .. } = &stmts[0] else {
+            panic!()
+        };
+        assert!(matches!(value, PyExpr::Subscript(..)));
+        let PyStmt::Assign { value, .. } = &stmts[1] else {
+            panic!()
+        };
+        let PyExpr::Subscript(base, idx) = value else {
+            panic!()
+        };
+        assert_eq!(base.dotted_path().unwrap(), "df");
+        assert_eq!(**idx, PyExpr::Str("label".into()));
+    }
+
+    #[test]
+    fn unknown_constructs_become_other() {
+        let stmts = parse_script("def foo(x):\n    return x + 1\nif a > b:\n    pass");
+        assert!(stmts.iter().any(|s| matches!(s, PyStmt::Other)));
+    }
+
+    #[test]
+    fn column_target_assignment() {
+        let stmts = parse_script("df['new_col'] = df['a'] + df['b']");
+        let PyStmt::Assign {
+            targets,
+            target_exprs,
+            ..
+        } = &stmts[0]
+        else {
+            panic!("{stmts:?}")
+        };
+        assert_eq!(targets, &vec!["df".to_string()]);
+        assert!(matches!(&target_exprs[0], PyExpr::Subscript(..)));
+    }
+
+    #[test]
+    fn chained_methods_parse() {
+        let stmts = parse_script("clean = df.dropna().reset_index(drop=True)");
+        let PyStmt::Assign { value, .. } = &stmts[0] else {
+            panic!()
+        };
+        assert_eq!(value.base_name(), Some("df"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Coverage evaluation — the measurement behind the paper's table
+//! "Kaggle: 95% models / 61% training datasets covered; Microsoft:
+//! 100% / 100%".
+
+use crate::analyze::ScriptProvenance;
+use serde::Serialize;
+
+/// What a script *actually* contains (known to the corpus generator).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ScriptGroundTruth {
+    /// Number of models trained in the script.
+    pub models: usize,
+    /// Origin descriptions of every training dataset
+    /// (`file:train.csv` / `sql:orders,customers`).
+    pub training_datasets: Vec<String>,
+}
+
+/// Aggregated coverage over a corpus.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct CoverageReport {
+    pub scripts: usize,
+    /// Scripts where every model was identified.
+    pub scripts_models_covered: usize,
+    /// Scripts where every training dataset was identified.
+    pub scripts_datasets_covered: usize,
+}
+
+impl CoverageReport {
+    pub fn pct_models(&self) -> f64 {
+        if self.scripts == 0 {
+            return 0.0;
+        }
+        100.0 * self.scripts_models_covered as f64 / self.scripts as f64
+    }
+
+    pub fn pct_datasets(&self) -> f64 {
+        if self.scripts == 0 {
+            return 0.0;
+        }
+        100.0 * self.scripts_datasets_covered as f64 / self.scripts as f64
+    }
+}
+
+/// Does the analysis of one script cover its ground truth?
+pub fn script_covered(
+    analysis: &ScriptProvenance,
+    truth: &ScriptGroundTruth,
+) -> (bool, bool) {
+    let models_ok = analysis.models.len() >= truth.models;
+    let found: Vec<String> = analysis
+        .models
+        .iter()
+        .flat_map(|m| m.training_datasets.iter().map(|d| d.describe()))
+        .collect();
+    let datasets_ok = truth
+        .training_datasets
+        .iter()
+        .all(|t| found.iter().any(|f| f == t));
+    (models_ok, datasets_ok)
+}
+
+/// Evaluate a whole corpus.
+pub fn evaluate(results: &[(ScriptProvenance, ScriptGroundTruth)]) -> CoverageReport {
+    let mut report = CoverageReport {
+        scripts: results.len(),
+        ..Default::default()
+    };
+    for (analysis, truth) in results {
+        let (m, d) = script_covered(analysis, truth);
+        if m {
+            report.scripts_models_covered += 1;
+        }
+        if d {
+            report.scripts_datasets_covered += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze;
+    use crate::kb::KnowledgeBase;
+
+    #[test]
+    fn coverage_over_mixed_corpus() {
+        let kb = KnowledgeBase::standard();
+        let good = analyze(
+            "import pandas as pd\nfrom sklearn.svm import SVC\n\
+             df = pd.read_csv('a.csv')\nm = SVC()\nm.fit(df, df['y'])\n",
+            &kb,
+        );
+        let bad = analyze(
+            "import mysterylib\nm = mysterylib.Net()\nm.fit(data)\n",
+            &kb,
+        );
+        let results = vec![
+            (
+                good,
+                ScriptGroundTruth {
+                    models: 1,
+                    training_datasets: vec!["file:a.csv".into()],
+                },
+            ),
+            (
+                bad,
+                ScriptGroundTruth {
+                    models: 1,
+                    training_datasets: vec!["file:b.csv".into()],
+                },
+            ),
+        ];
+        let report = evaluate(&results);
+        assert_eq!(report.scripts, 2);
+        assert_eq!(report.scripts_models_covered, 1);
+        assert_eq!(report.scripts_datasets_covered, 1);
+        assert!((report.pct_models() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_corpus_is_zero() {
+        let r = evaluate(&[]);
+        assert_eq!(r.pct_models(), 0.0);
+    }
+}

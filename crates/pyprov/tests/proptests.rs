@@ -1,0 +1,80 @@
+//! Property-based tests: the Python parser and analyzer are total — any
+//! input produces a result, never a panic.
+
+use flock_pyprov::{analyze, parse_script, KnowledgeBase};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary text never panics the parser or analyzer.
+    #[test]
+    fn analyzer_is_total(src in "\\PC{0,300}") {
+        let kb = KnowledgeBase::standard();
+        let _ = parse_script(&src);
+        let _ = analyze(&src, &kb);
+    }
+
+    /// Python-shaped garbage exercises deeper paths; still no panics and
+    /// statement counting stays consistent.
+    #[test]
+    fn python_shaped_garbage(
+        lines in proptest::collection::vec(
+            prop_oneof![
+                Just("import pandas as pd".to_string()),
+                Just("from sklearn.svm import SVC".to_string()),
+                Just("df = pd.read_csv('x.csv')".to_string()),
+                Just("m = SVC(C=1.0)".to_string()),
+                Just("m.fit(df, df['y'])".to_string()),
+                Just("for i in range(10):".to_string()),
+                Just("    x = x + i".to_string()),
+                Just("def f(a, b):".to_string()),
+                Just("    return a".to_string()),
+                Just("x = [1, 2, (3), {'a': 1}]".to_string()),
+                Just("weird ((( unbalanced".to_string()),
+                Just("s = f'{x}'".to_string()),
+                Just("a, b = b, a".to_string()),
+                "[a-z]{1,8} = [a-z]{1,8}\\.[a-z]{1,8}\\([0-9]{0,3}\\)",
+            ],
+            0..25,
+        )
+    ) {
+        let src = lines.join("\n");
+        let kb = KnowledgeBase::standard();
+        let stmts = parse_script(&src);
+        let analysis = analyze(&src, &kb);
+        prop_assert_eq!(stmts.len(), analysis.statements);
+        prop_assert!(analysis.unrecognized_statements <= analysis.statements);
+    }
+
+    /// Every model the analyzer reports has a resolvable class path and
+    /// deduplicated metrics.
+    #[test]
+    fn reported_models_are_well_formed(
+        n_models in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ctors = ["LogisticRegression", "SVC", "RandomForestClassifier"];
+        let mut src = String::from(
+            "import pandas as pd\nfrom sklearn.linear_model import LogisticRegression\n\
+             from sklearn.svm import SVC\nfrom sklearn.ensemble import RandomForestClassifier\n\
+             df = pd.read_csv('d.csv')\n",
+        );
+        for i in 0..n_models {
+            let ctor = ctors[rng.gen_range(0..ctors.len())];
+            src.push_str(&format!("m{i} = {ctor}()\nm{i}.fit(df, df['y'])\n"));
+        }
+        let analysis = analyze(&src, &KnowledgeBase::standard());
+        prop_assert_eq!(analysis.models.len(), n_models);
+        for m in &analysis.models {
+            prop_assert!(m.class_path.starts_with("sklearn."), "{}", m.class_path);
+            prop_assert!(!m.training_datasets.is_empty());
+            let mut metrics = m.metrics.clone();
+            metrics.dedup();
+            prop_assert_eq!(&metrics, &m.metrics);
+        }
+    }
+}

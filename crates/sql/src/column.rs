@@ -1,0 +1,320 @@
+//! Columnar storage: typed column vectors with validity bitmaps.
+
+use crate::error::{Result, SqlError};
+use crate::types::{DataType, Value};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Physical storage for one column. Values are stored densely in a typed
+/// vector; NULLs occupy a default slot and are masked by `validity`.
+///
+/// Buffers are `Arc`-shared: cloning a column (scans, projections,
+/// PREDICT argument evaluation) is O(1); mutation copies on write.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ColumnVector {
+    data: Arc<ColumnData>,
+    validity: Arc<Vec<bool>>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum ColumnData {
+    Bool(Vec<bool>),
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Text(Vec<String>),
+    Date(Vec<i32>),
+}
+
+impl ColumnVector {
+    /// Create an empty column of the given type.
+    pub fn new(data_type: DataType) -> Self {
+        Self::with_capacity(data_type, 0)
+    }
+
+    pub fn with_capacity(data_type: DataType, cap: usize) -> Self {
+        let data = match data_type {
+            DataType::Bool => ColumnData::Bool(Vec::with_capacity(cap)),
+            DataType::Int => ColumnData::Int(Vec::with_capacity(cap)),
+            DataType::Float => ColumnData::Float(Vec::with_capacity(cap)),
+            DataType::Text => ColumnData::Text(Vec::with_capacity(cap)),
+            DataType::Date => ColumnData::Date(Vec::with_capacity(cap)),
+        };
+        ColumnVector {
+            data: Arc::new(data),
+            validity: Arc::new(Vec::with_capacity(cap)),
+        }
+    }
+
+    /// Build a column from scalar values, casting each to `data_type`.
+    pub fn from_values(data_type: DataType, values: &[Value]) -> Result<Self> {
+        let mut col = Self::with_capacity(data_type, values.len());
+        for v in values {
+            col.push(v.clone())?;
+        }
+        Ok(col)
+    }
+
+    /// Fast constructor from raw f64 data (used by the ML integration).
+    pub fn from_f64(values: impl IntoIterator<Item = f64>) -> Self {
+        let data: Vec<f64> = values.into_iter().collect();
+        let validity = vec![true; data.len()];
+        ColumnVector {
+            data: Arc::new(ColumnData::Float(data)),
+            validity: Arc::new(validity),
+        }
+    }
+
+    /// Fast constructor from raw i64 data.
+    pub fn from_i64(values: impl IntoIterator<Item = i64>) -> Self {
+        let data: Vec<i64> = values.into_iter().collect();
+        let validity = vec![true; data.len()];
+        ColumnVector {
+            data: Arc::new(ColumnData::Int(data)),
+            validity: Arc::new(validity),
+        }
+    }
+
+    /// Fast constructor from raw bool data.
+    pub fn from_bool(values: impl IntoIterator<Item = bool>) -> Self {
+        let data: Vec<bool> = values.into_iter().collect();
+        let validity = vec![true; data.len()];
+        ColumnVector {
+            data: Arc::new(ColumnData::Bool(data)),
+            validity: Arc::new(validity),
+        }
+    }
+
+    pub fn data_type(&self) -> DataType {
+        match &*self.data {
+            ColumnData::Bool(_) => DataType::Bool,
+            ColumnData::Int(_) => DataType::Int,
+            ColumnData::Float(_) => DataType::Float,
+            ColumnData::Text(_) => DataType::Text,
+            ColumnData::Date(_) => DataType::Date,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.validity.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.validity.is_empty()
+    }
+
+    pub fn is_null(&self, idx: usize) -> bool {
+        !self.validity[idx]
+    }
+
+    pub fn null_count(&self) -> usize {
+        self.validity.iter().filter(|v| !**v).count()
+    }
+
+    /// Read the value at `idx` as a scalar.
+    pub fn get(&self, idx: usize) -> Value {
+        if !self.validity[idx] {
+            return Value::Null;
+        }
+        match &*self.data {
+            ColumnData::Bool(v) => Value::Bool(v[idx]),
+            ColumnData::Int(v) => Value::Int(v[idx]),
+            ColumnData::Float(v) => Value::Float(v[idx]),
+            ColumnData::Text(v) => Value::Text(v[idx].clone()),
+            ColumnData::Date(v) => Value::Date(v[idx]),
+        }
+    }
+
+    /// Numeric view of a row: NULL -> None, non-numeric -> None.
+    pub fn get_f64(&self, idx: usize) -> Option<f64> {
+        if !self.validity[idx] {
+            return None;
+        }
+        match &*self.data {
+            ColumnData::Bool(v) => Some(v[idx] as i64 as f64),
+            ColumnData::Int(v) => Some(v[idx] as f64),
+            ColumnData::Float(v) => Some(v[idx]),
+            ColumnData::Date(v) => Some(v[idx] as f64),
+            ColumnData::Text(_) => None,
+        }
+    }
+
+    /// Borrow the raw f64 buffer when this is a Float column with no NULLs.
+    /// The vectorized inference path uses this to avoid per-row boxing.
+    pub fn as_f64_slice(&self) -> Option<&[f64]> {
+        match &*self.data {
+            ColumnData::Float(v) if self.validity.iter().all(|b| *b) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow the raw string buffer when this is a Text column.
+    pub fn as_text_slice(&self) -> Option<&[String]> {
+        match &*self.data {
+            ColumnData::Text(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Append a value, casting it to the column type. NULL is accepted for
+    /// any type.
+    pub fn push(&mut self, value: Value) -> Result<()> {
+        if value.is_null() {
+            self.push_null();
+            return Ok(());
+        }
+        let value = value.cast(self.data_type()).map_err(|_| {
+            SqlError::Constraint(format!(
+                "value {value} does not fit column of type {}",
+                self.data_type()
+            ))
+        })?;
+        Arc::make_mut(&mut self.validity).push(true);
+        match (Arc::make_mut(&mut self.data), value) {
+            (ColumnData::Bool(v), Value::Bool(x)) => v.push(x),
+            (ColumnData::Int(v), Value::Int(x)) => v.push(x),
+            (ColumnData::Float(v), Value::Float(x)) => v.push(x),
+            (ColumnData::Text(v), Value::Text(x)) => v.push(x),
+            (ColumnData::Date(v), Value::Date(x)) => v.push(x),
+            _ => unreachable!("cast guarantees matching variant"),
+        }
+        Ok(())
+    }
+
+    pub fn push_null(&mut self) {
+        Arc::make_mut(&mut self.validity).push(false);
+        match Arc::make_mut(&mut self.data) {
+            ColumnData::Bool(v) => v.push(false),
+            ColumnData::Int(v) => v.push(0),
+            ColumnData::Float(v) => v.push(0.0),
+            ColumnData::Text(v) => v.push(String::new()),
+            ColumnData::Date(v) => v.push(0),
+        }
+    }
+
+    /// Gather rows at `indices` into a new column (join/sort materialize).
+    pub fn take(&self, indices: &[usize]) -> ColumnVector {
+        let mut out = Self::with_capacity(self.data_type(), indices.len());
+        for &i in indices {
+            // push of an already-typed value cannot fail
+            out.push(self.get(i)).expect("same-type push");
+        }
+        out
+    }
+
+    /// Keep rows where `mask` is true (filter).
+    pub fn filter(&self, mask: &[bool]) -> ColumnVector {
+        debug_assert_eq!(mask.len(), self.len());
+        let indices: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &keep)| keep.then_some(i))
+            .collect();
+        self.take(&indices)
+    }
+
+    /// Zero-copy slice of rows `[start, start+len)`.
+    pub fn slice(&self, start: usize, len: usize) -> ColumnVector {
+        let end = (start + len).min(self.len());
+        let validity = self.validity[start..end].to_vec();
+        let data = match &*self.data {
+            ColumnData::Bool(v) => ColumnData::Bool(v[start..end].to_vec()),
+            ColumnData::Int(v) => ColumnData::Int(v[start..end].to_vec()),
+            ColumnData::Float(v) => ColumnData::Float(v[start..end].to_vec()),
+            ColumnData::Text(v) => ColumnData::Text(v[start..end].to_vec()),
+            ColumnData::Date(v) => ColumnData::Date(v[start..end].to_vec()),
+        };
+        ColumnVector {
+            data: Arc::new(data),
+            validity: Arc::new(validity),
+        }
+    }
+
+    /// Append all rows of `other` (must have the same type).
+    pub fn append(&mut self, other: &ColumnVector) -> Result<()> {
+        if other.data_type() != self.data_type() {
+            return Err(SqlError::Execution(format!(
+                "cannot append {} column to {} column",
+                other.data_type(),
+                self.data_type()
+            )));
+        }
+        Arc::make_mut(&mut self.validity).extend_from_slice(&other.validity);
+        match (Arc::make_mut(&mut self.data), &*other.data) {
+            (ColumnData::Bool(a), ColumnData::Bool(b)) => a.extend_from_slice(b),
+            (ColumnData::Int(a), ColumnData::Int(b)) => a.extend_from_slice(b),
+            (ColumnData::Float(a), ColumnData::Float(b)) => a.extend_from_slice(b),
+            (ColumnData::Text(a), ColumnData::Text(b)) => a.extend_from_slice(b),
+            (ColumnData::Date(a), ColumnData::Date(b)) => a.extend_from_slice(b),
+            _ => unreachable!("type equality checked above"),
+        }
+        Ok(())
+    }
+
+    /// Iterate scalar values (allocates for Text rows only).
+    pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_roundtrip() {
+        let mut c = ColumnVector::new(DataType::Int);
+        c.push(Value::Int(1)).unwrap();
+        c.push(Value::Null).unwrap();
+        c.push(Value::Float(3.7)).unwrap(); // casts to 3
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(0), Value::Int(1));
+        assert!(c.get(1).is_null());
+        assert_eq!(c.get(2), Value::Int(3));
+        assert_eq!(c.null_count(), 1);
+    }
+
+    #[test]
+    fn incompatible_push_rejected() {
+        let mut c = ColumnVector::new(DataType::Int);
+        assert!(c.push(Value::Text("xyz".into())).is_err());
+        assert_eq!(c.len(), 0, "failed push must not grow the column");
+    }
+
+    #[test]
+    fn filter_and_take() {
+        let c = ColumnVector::from_i64([10, 20, 30, 40]);
+        let f = c.filter(&[true, false, true, false]);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.get(1), Value::Int(30));
+        let t = c.take(&[3, 0]);
+        assert_eq!(t.get(0), Value::Int(40));
+        assert_eq!(t.get(1), Value::Int(10));
+    }
+
+    #[test]
+    fn slice_bounds_are_clamped() {
+        let c = ColumnVector::from_i64([1, 2, 3]);
+        let s = c.slice(2, 10);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(0), Value::Int(3));
+    }
+
+    #[test]
+    fn append_checks_types() {
+        let mut a = ColumnVector::from_i64([1]);
+        let b = ColumnVector::from_i64([2, 3]);
+        a.append(&b).unwrap();
+        assert_eq!(a.len(), 3);
+        let f = ColumnVector::from_f64([1.0]);
+        assert!(a.append(&f).is_err());
+    }
+
+    #[test]
+    fn f64_fast_path_requires_no_nulls() {
+        let mut c = ColumnVector::from_f64([1.0, 2.0]);
+        assert!(c.as_f64_slice().is_some());
+        c.push_null();
+        assert!(c.as_f64_slice().is_none());
+        assert_eq!(c.get_f64(2), None);
+    }
+}

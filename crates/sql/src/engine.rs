@@ -1,0 +1,1498 @@
+//! The database engine: sessions, transactions, DML, logging, auditing.
+
+use crate::ast::{AlterAction, Expr, GrantObject, InsertSource, Statement};
+use crate::batch::RecordBatch;
+use crate::catalog::{Catalog, ObjectRef, Privilege, ViewDef};
+use crate::column::ColumnVector;
+use crate::error::{Result, SqlError};
+use crate::exec::{create_physical_plan, EvalContext, ExecOptions, PhysExpr};
+use crate::optimizer::{optimize, OptimizerConfig};
+use crate::plan::{plan_query, rewrite_expr, LogicalPlan, PlanContext, PlanRewriter, SubqueryRunner};
+use crate::schema::{ColumnDef, Schema};
+use crate::table::Table;
+use crate::types::Value;
+use crate::udf::{NoInference, ProviderRef};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Classification of a statement for the query log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatementKind {
+    Query,
+    Insert,
+    Update,
+    Delete,
+    Ddl,
+    Txn,
+    Grant,
+    Other,
+}
+
+/// One entry in the query log; the provenance module's *lazy* capture mode
+/// replays this log.
+#[derive(Debug, Clone)]
+pub struct QueryLogEntry {
+    pub id: u64,
+    pub txn_id: u64,
+    pub user: String,
+    pub sql: String,
+    pub kind: StatementKind,
+    pub tables_read: Vec<String>,
+    pub tables_written: Vec<String>,
+    /// Table versions produced by this statement (name, new version).
+    pub versions_written: Vec<(String, u64)>,
+    pub timestamp_ms: u64,
+}
+
+/// One audit record. Every data/model access and every privileged action
+/// lands here — "auditably tracked" in the paper's words.
+#[derive(Debug, Clone)]
+pub struct AuditRecord {
+    pub seq: u64,
+    pub user: String,
+    pub action: String,
+    pub object: String,
+    pub detail: String,
+    pub timestamp_ms: u64,
+}
+
+fn now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+struct DbState {
+    catalog: Catalog,
+    next_txn: u64,
+    next_log_id: u64,
+    next_audit_seq: u64,
+    query_log: Vec<QueryLogEntry>,
+    audit_log: Vec<AuditRecord>,
+}
+
+/// A shared, thread-safe database handle.
+#[derive(Clone)]
+pub struct Database {
+    state: Arc<RwLock<DbState>>,
+    provider: Arc<RwLock<ProviderRef>>,
+    options: Arc<RwLock<ExecOptions>>,
+    optimizer: Arc<RwLock<OptimizerConfig>>,
+    rewriters: Arc<RwLock<Vec<Arc<dyn PlanRewriter>>>>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Database {
+            state: Arc::new(RwLock::new(DbState {
+                catalog: Catalog::new(),
+                next_txn: 1,
+                next_log_id: 1,
+                next_audit_seq: 1,
+                query_log: Vec::new(),
+                audit_log: Vec::new(),
+            })),
+            provider: Arc::new(RwLock::new(Arc::new(NoInference))),
+            options: Arc::new(RwLock::new(ExecOptions::default())),
+            optimizer: Arc::new(RwLock::new(OptimizerConfig::default())),
+            rewriters: Arc::new(RwLock::new(Vec::new())),
+        }
+    }
+
+    /// Register a plan rewriter (e.g. the Flock cross-optimizer), applied
+    /// after planning and before the relational optimizer.
+    pub fn add_plan_rewriter(&self, rewriter: Arc<dyn PlanRewriter>) {
+        self.rewriters.write().push(rewriter);
+    }
+
+    /// Remove all registered plan rewriters.
+    pub fn clear_plan_rewriters(&self) {
+        self.rewriters.write().clear();
+    }
+
+    fn apply_rewriters(&self, mut plan: LogicalPlan, catalog: &Catalog) -> Result<LogicalPlan> {
+        for r in self.rewriters.read().iter() {
+            plan = r.rewrite(plan, catalog)?;
+        }
+        Ok(plan)
+    }
+
+    /// Open a session as `user` (the bootstrap superuser is "admin").
+    pub fn session(&self, user: &str) -> Session {
+        Session {
+            db: self.clone(),
+            user: user.to_string(),
+            txn: None,
+        }
+    }
+
+    /// Install the inference provider (done by `flock-core`).
+    pub fn set_inference_provider(&self, provider: ProviderRef) {
+        *self.provider.write() = provider;
+    }
+
+    pub fn inference_provider(&self) -> ProviderRef {
+        self.provider.read().clone()
+    }
+
+    /// Replace execution options (threading, default PREDICT strategy).
+    pub fn set_exec_options(&self, options: ExecOptions) {
+        *self.options.write() = options;
+    }
+
+    pub fn exec_options(&self) -> ExecOptions {
+        self.options.read().clone()
+    }
+
+    pub fn set_optimizer_config(&self, config: OptimizerConfig) {
+        *self.optimizer.write() = config;
+    }
+
+    pub fn optimizer_config(&self) -> OptimizerConfig {
+        *self.optimizer.read()
+    }
+
+    /// Snapshot of the committed catalog.
+    pub fn catalog(&self) -> Catalog {
+        self.state.read().catalog.clone()
+    }
+
+    /// Full query log (committed statements).
+    pub fn query_log(&self) -> Vec<QueryLogEntry> {
+        self.state.read().query_log.clone()
+    }
+
+    /// Full audit log.
+    pub fn audit_log(&self) -> Vec<AuditRecord> {
+        self.state.read().audit_log.clone()
+    }
+
+    /// Convenience: run a statement as admin with autocommit.
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        self.session("admin").execute(sql)
+    }
+
+    /// Convenience: run a query as admin and return its batch.
+    pub fn query(&self, sql: &str) -> Result<RecordBatch> {
+        let res = self.execute(sql)?;
+        res.batch
+            .ok_or_else(|| SqlError::Execution("statement returned no rows".into()))
+    }
+}
+
+/// Result of executing one statement.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Result rows for queries / EXPLAIN, `None` for DML/DDL.
+    pub batch: Option<RecordBatch>,
+    pub rows_affected: usize,
+    pub message: String,
+}
+
+impl QueryResult {
+    fn none(message: impl Into<String>) -> Self {
+        QueryResult {
+            batch: None,
+            rows_affected: 0,
+            message: message.into(),
+        }
+    }
+
+    fn affected(n: usize, message: impl Into<String>) -> Self {
+        QueryResult {
+            batch: None,
+            rows_affected: n,
+            message: message.into(),
+        }
+    }
+}
+
+/// Base state of one object at transaction start, for conflict detection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum BaseState {
+    Absent,
+    TableAt(u64),
+    ExtensionAt(u64),
+    ViewPresent,
+}
+
+struct Txn {
+    id: u64,
+    catalog: Catalog,
+    /// Objects this txn wrote, with the committed state they were based on.
+    written: HashMap<String, BaseState>,
+    access_dirty: bool,
+    log_buf: Vec<QueryLogEntry>,
+    audit_buf: Vec<AuditRecord>,
+}
+
+/// A connection bound to a user, holding at most one open transaction.
+pub struct Session {
+    db: Database,
+    user: String,
+    txn: Option<Txn>,
+}
+
+impl Session {
+    pub fn user(&self) -> &str {
+        &self.user
+    }
+
+    pub fn in_transaction(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// Execute one SQL statement (autocommit unless inside BEGIN/COMMIT).
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        let stmt = crate::parser::parse_statement(sql)?;
+        self.execute_statement(stmt, sql)
+    }
+
+    /// Execute with `?` placeholders bound to `params`.
+    pub fn execute_with_params(&mut self, sql: &str, params: &[Value]) -> Result<QueryResult> {
+        let stmt = crate::parser::parse_statement(sql)?;
+        let stmt = bind_parameters(stmt, params)?;
+        self.execute_statement(stmt, sql)
+    }
+
+    /// Execute a whole script, statement by statement.
+    pub fn execute_script(&mut self, sql: &str) -> Result<Vec<QueryResult>> {
+        let stmts = crate::parser::parse_script(sql)?;
+        let rendered: Vec<String> = stmts.iter().map(|_| sql.to_string()).collect();
+        stmts
+            .into_iter()
+            .zip(rendered)
+            .map(|(s, raw)| self.execute_statement(s, &raw))
+            .collect()
+    }
+
+    /// Run a query and return the batch.
+    pub fn query(&mut self, sql: &str) -> Result<RecordBatch> {
+        self.execute(sql)?
+            .batch
+            .ok_or_else(|| SqlError::Execution("statement returned no rows".into()))
+    }
+
+    fn execute_statement(&mut self, stmt: Statement, sql: &str) -> Result<QueryResult> {
+        match stmt {
+            Statement::Begin => self.begin(),
+            Statement::Commit => self.commit(),
+            Statement::Rollback => self.rollback(),
+            Statement::Explain(inner) => self.explain(*inner),
+            other => self.run_in_txn(other, sql),
+        }
+    }
+
+    // ------------------------------------------------------- transactions
+
+    pub fn begin(&mut self) -> Result<QueryResult> {
+        if self.txn.is_some() {
+            return Err(SqlError::Transaction("transaction already open".into()));
+        }
+        let mut state = self.db.state.write();
+        let id = state.next_txn;
+        state.next_txn += 1;
+        self.txn = Some(Txn {
+            id,
+            catalog: state.catalog.clone(),
+            written: HashMap::new(),
+            access_dirty: false,
+            log_buf: Vec::new(),
+            audit_buf: Vec::new(),
+        });
+        Ok(QueryResult::none(format!("BEGIN (txn {id})")))
+    }
+
+    pub fn commit(&mut self) -> Result<QueryResult> {
+        let txn = self
+            .txn
+            .take()
+            .ok_or_else(|| SqlError::Transaction("no open transaction".into()))?;
+        let mut state = self.db.state.write();
+        // Conflict detection: every written object must still be at its
+        // base state in the committed catalog.
+        for (key, base) in &txn.written {
+            let current = object_state(&state.catalog, key);
+            if current != *base {
+                return Err(SqlError::Transaction(format!(
+                    "write-write conflict on '{key}' (txn {})",
+                    txn.id
+                )));
+            }
+        }
+        // Install final states.
+        for key in txn.written.keys() {
+            apply_object(&mut state.catalog, &txn.catalog, key);
+        }
+        if txn.access_dirty {
+            state.catalog.access = txn.catalog.access.clone();
+        }
+        let id = txn.id;
+        flush_logs(&mut state, txn.log_buf, txn.audit_buf);
+        Ok(QueryResult::none(format!("COMMIT (txn {id})")))
+    }
+
+    pub fn rollback(&mut self) -> Result<QueryResult> {
+        let txn = self
+            .txn
+            .take()
+            .ok_or_else(|| SqlError::Transaction("no open transaction".into()))?;
+        Ok(QueryResult::none(format!("ROLLBACK (txn {})", txn.id)))
+    }
+
+    /// Run one statement inside the open transaction, or autocommit.
+    fn run_in_txn(&mut self, stmt: Statement, sql: &str) -> Result<QueryResult> {
+        if self.txn.is_some() {
+            let result = self.dispatch(stmt, sql);
+            if result.is_err() {
+                // statement-level failure aborts the transaction
+                self.abort_txn();
+            }
+            return result;
+        }
+        self.begin()?;
+        match self.dispatch(stmt, sql) {
+            Ok(res) => {
+                self.commit()?;
+                Ok(res)
+            }
+            Err(e) => {
+                self.abort_txn();
+                Err(e)
+            }
+        }
+    }
+
+    /// Abort the open transaction, preserving its audit records — denied
+    /// accesses and other security events must survive rollback.
+    fn abort_txn(&mut self) {
+        if let Some(txn) = self.txn.take() {
+            let mut state = self.db.state.write();
+            flush_logs(&mut state, vec![], txn.audit_buf);
+        }
+    }
+
+    fn txn_mut(&mut self) -> &mut Txn {
+        self.txn.as_mut().expect("transaction must be open")
+    }
+
+    // ------------------------------------------------------- dispatch
+
+    fn dispatch(&mut self, stmt: Statement, sql: &str) -> Result<QueryResult> {
+        match stmt {
+            Statement::Query(q) => self.run_query(&q, sql),
+            Statement::Insert {
+                table,
+                columns,
+                source,
+            } => self.run_insert(&table, columns.as_deref(), source, sql),
+            Statement::Update {
+                table,
+                assignments,
+                selection,
+            } => self.run_update(&table, &assignments, selection.as_ref(), sql),
+            Statement::Delete { table, selection } => {
+                self.run_delete(&table, selection.as_ref(), sql)
+            }
+            Statement::CreateTable {
+                name,
+                columns,
+                if_not_exists,
+            } => self.run_create_table(&name, &columns, if_not_exists, sql),
+            Statement::DropTable { name, if_exists } => {
+                self.run_drop_table(&name, if_exists, sql)
+            }
+            Statement::CreateView { name, query: _ } => {
+                // store the original SQL text of the view body
+                let body = sql.split_once(" AS ").map(|x| x.1)
+                    .or_else(|| sql.split_once(" as ").map(|x| x.1))
+                    .unwrap_or(sql)
+                    .trim()
+                    .trim_end_matches(';')
+                    .to_string();
+                let txn = self.txn_mut();
+                let base = object_state(&txn.catalog, &format!("view:{}", name.to_ascii_lowercase()));
+                txn.catalog.create_view(ViewDef {
+                    name: name.clone(),
+                    sql: body,
+                })?;
+                let key = format!("view:{}", name.to_ascii_lowercase());
+                txn.written.entry(key).or_insert(base);
+                self.audit("CREATE VIEW", &name, "");
+                Ok(QueryResult::none(format!("view '{name}' created")))
+            }
+            Statement::DropView { name } => {
+                let txn = self.txn_mut();
+                let key = format!("view:{}", name.to_ascii_lowercase());
+                let base = object_state(&txn.catalog, &key);
+                txn.catalog.drop_view(&name)?;
+                txn.written.entry(key).or_insert(base);
+                self.audit("DROP VIEW", &name, "");
+                Ok(QueryResult::none(format!("view '{name}' dropped")))
+            }
+            Statement::AlterTable { name, action } => self.run_alter_table(&name, action, sql),
+            Statement::ShowTables => self.show_tables(),
+            Statement::Describe { name } => self.describe(&name),
+            Statement::CreateUser { name } => {
+                self.require_superuser("CREATE USER")?;
+                let txn = self.txn_mut();
+                txn.catalog.access.create_user(&name);
+                txn.access_dirty = true;
+                self.audit("CREATE USER", &name, "");
+                Ok(QueryResult::none(format!("user '{name}' created")))
+            }
+            Statement::Grant {
+                privileges,
+                object,
+                user,
+            } => self.run_grant(&privileges, &object, &user, false),
+            Statement::Revoke {
+                privileges,
+                object,
+                user,
+            } => self.run_grant(&privileges, &object, &user, true),
+            Statement::Begin | Statement::Commit | Statement::Rollback | Statement::Explain(_) => {
+                unreachable!("handled by execute_statement")
+            }
+        }
+    }
+
+    fn explain(&mut self, stmt: Statement) -> Result<QueryResult> {
+        let Statement::Query(q) = stmt else {
+            return Err(SqlError::Plan("EXPLAIN supports only queries".into()));
+        };
+        let catalog = self.working_catalog();
+        let provider = self.db.inference_provider();
+        let runner = EngineSubqueryRunner {
+            catalog: &catalog,
+            db: &self.db,
+            user: &self.user,
+        };
+        let ctx = PlanContext::new(&catalog, provider.as_ref()).with_subqueries(&runner);
+        let plan = plan_query(&q, &ctx)?;
+        let plan = self.db.apply_rewriters(plan, &catalog)?;
+        let optimized = optimize(plan, &self.db.optimizer_config())?;
+        let text = optimized.explain();
+        let schema = Arc::new(Schema::from_pairs(&[("plan", crate::types::DataType::Text)]));
+        let rows: Vec<Vec<Value>> = text
+            .lines()
+            .map(|l| vec![Value::Text(l.to_string())])
+            .collect();
+        Ok(QueryResult {
+            batch: Some(RecordBatch::from_rows(schema, &rows)?),
+            rows_affected: 0,
+            message: "EXPLAIN".into(),
+        })
+    }
+
+    /// ALTER TABLE: schema evolution as a new table version. Added columns
+    /// backfill NULL; dropped columns disappear from the current schema but
+    /// remain visible through time-travel reads of older versions.
+    fn run_alter_table(
+        &mut self,
+        name: &str,
+        action: AlterAction,
+        sql: &str,
+    ) -> Result<QueryResult> {
+        let catalog = self.working_catalog();
+        self.check_access(&catalog, &ObjectRef::table(name), Privilege::Create)?;
+        let table = catalog.table(name)?;
+        let schema = table.schema().clone();
+        let data = table.current().data.clone();
+
+        let (new_schema, new_batch, detail) = match action {
+            AlterAction::AddColumn(decl) => {
+                if schema.index_of(&decl.name).is_some() {
+                    return Err(SqlError::Catalog(format!(
+                        "column '{}' already exists in '{name}'",
+                        decl.name
+                    )));
+                }
+                let mut cols: Vec<ColumnDef> = schema.columns().to_vec();
+                cols.push(ColumnDef {
+                    name: decl.name.clone(),
+                    data_type: decl.data_type,
+                    nullable: true,
+                });
+                let new_schema = Schema::new(cols);
+                let mut columns = data.columns().to_vec();
+                let mut fresh = ColumnVector::with_capacity(decl.data_type, data.num_rows());
+                for _ in 0..data.num_rows() {
+                    fresh.push_null();
+                }
+                columns.push(fresh);
+                let batch = RecordBatch::new(Arc::new(new_schema.clone()), columns)?;
+                (new_schema, batch, format!("ADD COLUMN {}", decl.name))
+            }
+            AlterAction::DropColumn(col) => {
+                let idx = schema.index_of(&col).ok_or_else(|| {
+                    SqlError::Catalog(format!("column '{col}' does not exist in '{name}'"))
+                })?;
+                if schema.len() == 1 {
+                    return Err(SqlError::Constraint(
+                        "cannot drop the last column of a table".into(),
+                    ));
+                }
+                let keep: Vec<usize> = (0..schema.len()).filter(|&i| i != idx).collect();
+                let new_schema = schema.project(&keep);
+                let columns: Vec<ColumnVector> =
+                    keep.iter().map(|&i| data.column(i).clone()).collect();
+                let batch = RecordBatch::new(Arc::new(new_schema.clone()), columns)?;
+                (new_schema, batch, format!("DROP COLUMN {col}"))
+            }
+        };
+
+        let txn_id = self.txn_mut().id;
+        let txn = self.txn_mut();
+        let key = format!("table:{}", name.to_ascii_lowercase());
+        let base = object_state(&txn.catalog, &key);
+        let version = txn
+            .catalog
+            .table_mut(name)?
+            .evolve(new_schema, new_batch, txn_id)?;
+        txn.written.entry(key).or_insert(base);
+        self.log_statement(
+            sql,
+            StatementKind::Ddl,
+            vec![],
+            vec![name.to_string()],
+            vec![(name.to_string(), version)],
+        );
+        self.audit("ALTER TABLE", name, &detail);
+        Ok(QueryResult::none(format!(
+            "table '{name}' altered ({detail}); version {version}"
+        )))
+    }
+
+    // -------------------------------------------------- data discovery
+
+    /// `SHOW TABLES` — the catalog's discovery surface (paper §4.2:
+    /// "Data Discovery support is virtually non-existent" in file-based
+    /// workflows; a managed catalog fixes that).
+    fn show_tables(&mut self) -> Result<QueryResult> {
+        let catalog = self.working_catalog();
+        let schema = Arc::new(Schema::from_pairs(&[
+            ("name", crate::types::DataType::Text),
+            ("columns", crate::types::DataType::Int),
+            ("rows", crate::types::DataType::Int),
+            ("version", crate::types::DataType::Int),
+        ]));
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        for name in catalog.table_names() {
+            // only list tables this user may read
+            if catalog
+                .access
+                .check(&self.user, &ObjectRef::table(&name), Privilege::Select)
+                .is_err()
+            {
+                continue;
+            }
+            let t = catalog.table(&name)?;
+            rows.push(vec![
+                Value::Text(name.clone()),
+                Value::Int(t.schema().len() as i64),
+                Value::Int(t.row_count() as i64),
+                Value::Int(t.current_version() as i64),
+            ]);
+        }
+        let batch = RecordBatch::from_rows(schema, &rows)?;
+        Ok(QueryResult {
+            rows_affected: batch.num_rows(),
+            batch: Some(batch),
+            message: "SHOW TABLES".into(),
+        })
+    }
+
+    /// `DESCRIBE <table>` — per-column data profile straight from the
+    /// table's statistics: type, nullability, null count, distinct count,
+    /// and numeric min/max.
+    fn describe(&mut self, name: &str) -> Result<QueryResult> {
+        let catalog = self.working_catalog();
+        self.check_access(&catalog, &ObjectRef::table(name), Privilege::Select)?;
+        let table = catalog.table(name)?;
+        let stats = &table.current().stats;
+        let schema = Arc::new(Schema::from_pairs(&[
+            ("column", crate::types::DataType::Text),
+            ("type", crate::types::DataType::Text),
+            ("nullable", crate::types::DataType::Bool),
+            ("nulls", crate::types::DataType::Int),
+            ("distinct", crate::types::DataType::Int),
+            ("min", crate::types::DataType::Float),
+            ("max", crate::types::DataType::Float),
+        ]));
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        for (i, col) in table.schema().columns().iter().enumerate() {
+            let cs = &stats.columns[i];
+            rows.push(vec![
+                Value::Text(col.name.clone()),
+                Value::Text(col.data_type.to_string()),
+                Value::Bool(col.nullable),
+                Value::Int(cs.null_count as i64),
+                Value::Int(cs.distinct_count as i64),
+                cs.min.map(Value::Float).unwrap_or(Value::Null),
+                cs.max.map(Value::Float).unwrap_or(Value::Null),
+            ]);
+        }
+        let batch = RecordBatch::from_rows(schema, &rows)?;
+        Ok(QueryResult {
+            rows_affected: batch.num_rows(),
+            batch: Some(batch),
+            message: format!("DESCRIBE {name}"),
+        })
+    }
+
+    // ------------------------------------------------------- queries
+
+    fn working_catalog(&self) -> Catalog {
+        match &self.txn {
+            Some(t) => t.catalog.clone(),
+            None => self.db.catalog(),
+        }
+    }
+
+    fn run_query(&mut self, q: &crate::ast::Query, sql: &str) -> Result<QueryResult> {
+        let catalog = self.working_catalog();
+        let provider = self.db.inference_provider();
+        let options = self.db.exec_options();
+        let runner = EngineSubqueryRunner {
+            catalog: &catalog,
+            db: &self.db,
+            user: &self.user,
+        };
+        let ctx = PlanContext::new(&catalog, provider.as_ref()).with_subqueries(&runner);
+        let plan = plan_query(q, &ctx)?;
+
+        // Access control runs on the *pre-rewrite* plan: SELECT on every
+        // scanned table, EXECUTE on every referenced model. Rewriters may
+        // inline a model away, but inlining must not bypass its ACL.
+        let mut tables = Vec::new();
+        plan.visit(&mut |n| {
+            if let LogicalPlan::Scan { table, .. } = n {
+                tables.push(table.clone());
+            }
+        });
+        for t in &tables {
+            self.check_access(&catalog, &ObjectRef::table(t), Privilege::Select)?;
+        }
+        let mut models = Vec::new();
+        plan.visit_exprs(&mut |e| {
+            e.walk(&mut |x| {
+                if let Expr::Predict { model, .. } = x {
+                    models.push(model.clone());
+                }
+            })
+        });
+        for m in &models {
+            self.check_access(&catalog, &ObjectRef::extension(m), Privilege::Execute)?;
+        }
+
+        let plan = self.db.apply_rewriters(plan, &catalog)?;
+        let plan = optimize(plan, &self.db.optimizer_config())?;
+
+        let physical = create_physical_plan(&plan, &catalog, provider.as_ref(), &options)?;
+        let eval_ctx = EvalContext {
+            provider,
+            user: self.user.clone(),
+            threads: options.threads,
+        };
+        let batch = physical.execute(&eval_ctx)?;
+        let rows = batch.num_rows();
+        self.log_statement(sql, StatementKind::Query, tables, vec![], vec![]);
+        Ok(QueryResult {
+            batch: Some(batch),
+            rows_affected: rows,
+            message: format!("{rows} row(s)"),
+        })
+    }
+
+    // ------------------------------------------------------- DML
+
+    fn run_insert(
+        &mut self,
+        table_name: &str,
+        columns: Option<&[String]>,
+        source: InsertSource,
+        sql: &str,
+    ) -> Result<QueryResult> {
+        let catalog = self.working_catalog();
+        self.check_access(&catalog, &ObjectRef::table(table_name), Privilege::Insert)?;
+        let table = catalog.table(table_name)?;
+        let schema = table.schema().clone();
+
+        // Map provided columns to schema positions.
+        let positions: Vec<usize> = match columns {
+            Some(cols) => cols
+                .iter()
+                .map(|c| {
+                    schema
+                        .index_of(c)
+                        .ok_or_else(|| SqlError::Plan(format!("unknown column '{c}'")))
+                })
+                .collect::<Result<_>>()?,
+            None => (0..schema.len()).collect(),
+        };
+
+        let incoming: Vec<Vec<Value>> = match source {
+            InsertSource::Values(rows) => {
+                let provider = self.db.inference_provider();
+                let empty = RecordBatch::empty(Arc::new(Schema::default()));
+                let eval_ctx = EvalContext {
+                    provider: provider.clone(),
+                    user: self.user.clone(),
+                    threads: 1,
+                };
+                let mut out = Vec::with_capacity(rows.len());
+                for row in rows {
+                    if row.len() != positions.len() {
+                        return Err(SqlError::Constraint(format!(
+                            "INSERT row has {} values, expected {}",
+                            row.len(),
+                            positions.len()
+                        )));
+                    }
+                    let mut vals = Vec::with_capacity(row.len());
+                    for e in row {
+                        let folded = crate::optimizer::fold_expr(e)?;
+                        let compiled =
+                            PhysExpr::compile(&folded, &Schema::default(), provider.as_ref())?;
+                        vals.push(compiled.eval_row(&empty, 0, &eval_ctx)?);
+                    }
+                    out.push(vals);
+                }
+                out
+            }
+            InsertSource::Query(q) => {
+                let res = self.run_query(&q, sql)?;
+                let batch = res.batch.expect("query returns batch");
+                if batch.num_columns() != positions.len() {
+                    return Err(SqlError::Constraint(format!(
+                        "INSERT source has {} columns, expected {}",
+                        batch.num_columns(),
+                        positions.len()
+                    )));
+                }
+                (0..batch.num_rows()).map(|i| batch.row(i)).collect()
+            }
+        };
+
+        // Build full-width rows with NULL defaults, then append.
+        let current = &catalog.table(table_name)?.current().data;
+        let mut new_cols: Vec<ColumnVector> = current.columns().to_vec();
+        let n_inserted = incoming.len();
+        for row in &incoming {
+            for (ci, col) in new_cols.iter_mut().enumerate() {
+                let val = positions
+                    .iter()
+                    .position(|&p| p == ci)
+                    .map(|slot| row[slot].clone())
+                    .unwrap_or(Value::Null);
+                if val.is_null() && !schema.column(ci).nullable {
+                    return Err(SqlError::Constraint(format!(
+                        "column '{}' is NOT NULL",
+                        schema.column(ci).name
+                    )));
+                }
+                col.push(val)?;
+            }
+        }
+        let new_batch = RecordBatch::new(schema, new_cols)?;
+        let version = self.install_table_version(table_name, new_batch)?;
+        self.log_statement(
+            sql,
+            StatementKind::Insert,
+            vec![],
+            vec![table_name.to_string()],
+            vec![(table_name.to_string(), version)],
+        );
+        self.audit("INSERT", table_name, &format!("{n_inserted} row(s)"));
+        Ok(QueryResult::affected(
+            n_inserted,
+            format!("{n_inserted} row(s) inserted"),
+        ))
+    }
+
+    fn run_update(
+        &mut self,
+        table_name: &str,
+        assignments: &[(String, Expr)],
+        selection: Option<&Expr>,
+        sql: &str,
+    ) -> Result<QueryResult> {
+        let catalog = self.working_catalog();
+        self.check_access(&catalog, &ObjectRef::table(table_name), Privilege::Update)?;
+        let table = catalog.table(table_name)?;
+        let schema = table.schema().clone();
+        let data = table.current().data.clone();
+        let provider = self.db.inference_provider();
+        let eval_ctx = EvalContext {
+            provider: provider.clone(),
+            user: self.user.clone(),
+            threads: 1,
+        };
+
+        let pred = selection
+            .map(|p| PhysExpr::compile(p, &schema, provider.as_ref()))
+            .transpose()?;
+        let compiled: Vec<(usize, PhysExpr)> = assignments
+            .iter()
+            .map(|(col, e)| {
+                let idx = schema
+                    .index_of(col)
+                    .ok_or_else(|| SqlError::Plan(format!("unknown column '{col}'")))?;
+                Ok((idx, PhysExpr::compile(e, &schema, provider.as_ref())?))
+            })
+            .collect::<Result<_>>()?;
+
+        let mut rows: Vec<Vec<Value>> = (0..data.num_rows()).map(|i| data.row(i)).collect();
+        let mut updated = 0usize;
+        for (i, row) in rows.iter_mut().enumerate() {
+            let hit = match &pred {
+                Some(p) => p.eval_row(&data, i, &eval_ctx)?.as_bool() == Some(true),
+                None => true,
+            };
+            if !hit {
+                continue;
+            }
+            updated += 1;
+            for (idx, e) in &compiled {
+                let v = e.eval_row(&data, i, &eval_ctx)?;
+                if v.is_null() && !schema.column(*idx).nullable {
+                    return Err(SqlError::Constraint(format!(
+                        "column '{}' is NOT NULL",
+                        schema.column(*idx).name
+                    )));
+                }
+                row[*idx] = v;
+            }
+        }
+        let new_batch = RecordBatch::from_rows(schema, &rows)?;
+        let version = self.install_table_version(table_name, new_batch)?;
+        self.log_statement(
+            sql,
+            StatementKind::Update,
+            vec![table_name.to_string()],
+            vec![table_name.to_string()],
+            vec![(table_name.to_string(), version)],
+        );
+        self.audit("UPDATE", table_name, &format!("{updated} row(s)"));
+        Ok(QueryResult::affected(
+            updated,
+            format!("{updated} row(s) updated"),
+        ))
+    }
+
+    fn run_delete(
+        &mut self,
+        table_name: &str,
+        selection: Option<&Expr>,
+        sql: &str,
+    ) -> Result<QueryResult> {
+        let catalog = self.working_catalog();
+        self.check_access(&catalog, &ObjectRef::table(table_name), Privilege::Delete)?;
+        let table = catalog.table(table_name)?;
+        let schema = table.schema().clone();
+        let data = table.current().data.clone();
+        let provider = self.db.inference_provider();
+        let eval_ctx = EvalContext {
+            provider: provider.clone(),
+            user: self.user.clone(),
+            threads: 1,
+        };
+        let mask: Vec<bool> = match selection {
+            Some(p) => {
+                let compiled = PhysExpr::compile(p, &schema, provider.as_ref())?;
+                let col = compiled.eval(&data, &eval_ctx)?;
+                (0..data.num_rows())
+                    .map(|i| col.get(i).as_bool() != Some(true))
+                    .collect()
+            }
+            None => vec![false; data.num_rows()],
+        };
+        let deleted = mask.iter().filter(|k| !**k).count();
+        let new_batch = data.filter(&mask)?;
+        let version = self.install_table_version(table_name, new_batch)?;
+        self.log_statement(
+            sql,
+            StatementKind::Delete,
+            vec![table_name.to_string()],
+            vec![table_name.to_string()],
+            vec![(table_name.to_string(), version)],
+        );
+        self.audit("DELETE", table_name, &format!("{deleted} row(s)"));
+        Ok(QueryResult::affected(
+            deleted,
+            format!("{deleted} row(s) deleted"),
+        ))
+    }
+
+    // ------------------------------------------------------- DDL
+
+    fn run_create_table(
+        &mut self,
+        name: &str,
+        columns: &[crate::ast::ColumnDecl],
+        if_not_exists: bool,
+        sql: &str,
+    ) -> Result<QueryResult> {
+        let txn_id = self.txn_mut().id;
+        {
+            let txn = self.txn_mut();
+            if txn.catalog.has_table(name) {
+                if if_not_exists {
+                    return Ok(QueryResult::none(format!("table '{name}' already exists")));
+                }
+                return Err(SqlError::Catalog(format!("table '{name}' already exists")));
+            }
+            let key = format!("table:{}", name.to_ascii_lowercase());
+            let base = object_state(&txn.catalog, &key);
+            let schema = Schema::new(
+                columns
+                    .iter()
+                    .map(|c| ColumnDef {
+                        name: c.name.clone(),
+                        data_type: c.data_type,
+                        nullable: c.nullable,
+                    })
+                    .collect(),
+            );
+            let table = Table::new(name, schema, txn_id)?;
+            txn.catalog.create_table(table)?;
+            txn.written.entry(key).or_insert(base);
+            // creator gets full rights on the new table
+            let user = self.user.clone();
+            let txn = self.txn_mut();
+            txn.catalog
+                .access
+                .grant(&user, ObjectRef::table(name), &Privilege::ALL);
+            txn.access_dirty = true;
+        }
+        self.log_statement(sql, StatementKind::Ddl, vec![], vec![name.to_string()], vec![]);
+        self.audit("CREATE TABLE", name, "");
+        Ok(QueryResult::none(format!("table '{name}' created")))
+    }
+
+    fn run_drop_table(
+        &mut self,
+        name: &str,
+        if_exists: bool,
+        sql: &str,
+    ) -> Result<QueryResult> {
+        let catalog = self.working_catalog();
+        if !catalog.has_table(name) {
+            if if_exists {
+                return Ok(QueryResult::none(format!("table '{name}' does not exist")));
+            }
+            return Err(SqlError::Catalog(format!("table '{name}' does not exist")));
+        }
+        self.check_access(&catalog, &ObjectRef::table(name), Privilege::Drop)?;
+        let txn = self.txn_mut();
+        let key = format!("table:{}", name.to_ascii_lowercase());
+        let base = object_state(&txn.catalog, &key);
+        txn.catalog.drop_table(name)?;
+        txn.written.entry(key).or_insert(base);
+        self.log_statement(sql, StatementKind::Ddl, vec![], vec![name.to_string()], vec![]);
+        self.audit("DROP TABLE", name, "");
+        Ok(QueryResult::none(format!("table '{name}' dropped")))
+    }
+
+    fn run_grant(
+        &mut self,
+        privileges: &[Privilege],
+        object: &GrantObject,
+        user: &str,
+        revoke: bool,
+    ) -> Result<QueryResult> {
+        let obj_ref = match object {
+            GrantObject::Table(t) => ObjectRef::table(t),
+            GrantObject::Model(m) => ObjectRef::extension(m),
+        };
+        // Granting requires GRANT privilege on the object (or superuser).
+        let catalog = self.working_catalog();
+        self.check_access(&catalog, &obj_ref, Privilege::Grant)?;
+        let txn = self.txn_mut();
+        if revoke {
+            txn.catalog.access.revoke(user, &obj_ref, privileges);
+        } else {
+            txn.catalog.access.grant(user, obj_ref.clone(), privileges);
+        }
+        txn.access_dirty = true;
+        let verb = if revoke { "REVOKE" } else { "GRANT" };
+        self.audit(verb, &obj_ref.name.clone(), &format!("{privileges:?} {user}"));
+        Ok(QueryResult::none(format!("{verb} applied")))
+    }
+
+    /// Bulk-append a prepared batch to a table (the fast-load path used by
+    /// benchmarks and ETL). Columns are matched by position and must have
+    /// the table's types; constraint checks still apply.
+    pub fn append_batch(&mut self, table_name: &str, batch: RecordBatch) -> Result<u64> {
+        self.with_autocommit(|s| {
+            let catalog = s.working_catalog();
+            s.check_access(&catalog, &ObjectRef::table(table_name), Privilege::Insert)?;
+            let table = catalog.table(table_name)?;
+            let schema = table.schema().clone();
+            if batch.num_columns() != schema.len() {
+                return Err(SqlError::Constraint(format!(
+                    "batch has {} columns, table '{}' has {}",
+                    batch.num_columns(),
+                    table_name,
+                    schema.len()
+                )));
+            }
+            for (i, col) in batch.columns().iter().enumerate() {
+                let expected = schema.column(i).data_type;
+                if col.data_type() != expected {
+                    return Err(SqlError::Constraint(format!(
+                        "column {i} has type {} but table expects {expected}",
+                        col.data_type()
+                    )));
+                }
+                if !schema.column(i).nullable && col.null_count() > 0 {
+                    return Err(SqlError::Constraint(format!(
+                        "column '{}' is NOT NULL",
+                        schema.column(i).name
+                    )));
+                }
+            }
+            let mut cols = table.current().data.columns().to_vec();
+            for (dst, src) in cols.iter_mut().zip(batch.columns()) {
+                dst.append(src)?;
+            }
+            let rows = batch.num_rows();
+            let new_batch = RecordBatch::new(schema, cols)?;
+            let version = s.install_table_version(table_name, new_batch)?;
+            s.log_statement(
+                &format!("BULK INSERT INTO {table_name} ({rows} rows)"),
+                StatementKind::Insert,
+                vec![],
+                vec![table_name.to_string()],
+                vec![(table_name.to_string(), version)],
+            );
+            s.audit("BULK INSERT", table_name, &format!("{rows} row(s)"));
+            Ok(version)
+        })
+    }
+
+    // ------------------------------------------- extension objects (models)
+
+    /// Create a versioned extension object (e.g. a model). Used by
+    /// `flock-core` to implement CREATE MODEL.
+    pub fn create_extension_object(
+        &mut self,
+        kind: &str,
+        name: &str,
+        payload: Vec<u8>,
+        metadata: serde_json::Value,
+    ) -> Result<()> {
+        self.with_autocommit(|s| {
+            let user = s.user.clone();
+            let txn_id = s.txn_mut().id;
+            let txn = s.txn_mut();
+            let key = format!("ext:{kind}:{}", name.to_ascii_lowercase());
+            let base = object_state(&txn.catalog, &key);
+            txn.catalog
+                .create_extension(kind, name, &user, payload, metadata, txn_id)?;
+            txn.written.entry(key).or_insert(base);
+            let txn = s.txn_mut();
+            txn.catalog
+                .access
+                .grant(&user, ObjectRef::extension(name), &Privilege::ALL);
+            txn.access_dirty = true;
+            s.audit(&format!("CREATE {}", kind.to_uppercase()), name, "");
+            Ok(())
+        })
+    }
+
+    /// Append a new version to an extension object.
+    pub fn update_extension_object(
+        &mut self,
+        kind: &str,
+        name: &str,
+        payload: Vec<u8>,
+        metadata: serde_json::Value,
+    ) -> Result<u64> {
+        self.with_autocommit(|s| {
+            let catalog = s.working_catalog();
+            s.check_access(&catalog, &ObjectRef::extension(name), Privilege::Update)?;
+            let txn_id = s.txn_mut().id;
+            let txn = s.txn_mut();
+            let key = format!("ext:{kind}:{}", name.to_ascii_lowercase());
+            let base = object_state(&txn.catalog, &key);
+            let v = txn
+                .catalog
+                .update_extension(kind, name, payload, metadata, txn_id)?;
+            txn.written.entry(key).or_insert(base);
+            s.audit(&format!("UPDATE {}", kind.to_uppercase()), name, &format!("v{v}"));
+            Ok(v)
+        })
+    }
+
+    /// Drop an extension object.
+    pub fn drop_extension_object(&mut self, kind: &str, name: &str) -> Result<()> {
+        self.with_autocommit(|s| {
+            let catalog = s.working_catalog();
+            s.check_access(&catalog, &ObjectRef::extension(name), Privilege::Drop)?;
+            let txn = s.txn_mut();
+            let key = format!("ext:{kind}:{}", name.to_ascii_lowercase());
+            let base = object_state(&txn.catalog, &key);
+            txn.catalog.drop_extension(kind, name)?;
+            txn.written.entry(key).or_insert(base);
+            s.audit(&format!("DROP {}", kind.to_uppercase()), name, "");
+            Ok(())
+        })
+    }
+
+    /// Run `f` inside the open transaction, or begin+commit around it.
+    fn with_autocommit<T>(&mut self, f: impl FnOnce(&mut Self) -> Result<T>) -> Result<T> {
+        if self.txn.is_some() {
+            let r = f(self);
+            if r.is_err() {
+                self.abort_txn();
+            }
+            return r;
+        }
+        self.begin()?;
+        match f(self) {
+            Ok(v) => {
+                self.commit()?;
+                Ok(v)
+            }
+            Err(e) => {
+                self.abort_txn();
+                Err(e)
+            }
+        }
+    }
+
+    // ------------------------------------------------------- helpers
+
+    /// Install a new table version inside the open transaction.
+    fn install_table_version(&mut self, name: &str, batch: RecordBatch) -> Result<u64> {
+        let txn_id = self.txn_mut().id;
+        let txn = self.txn_mut();
+        let key = format!("table:{}", name.to_ascii_lowercase());
+        let base = object_state(&txn.catalog, &key);
+        let table = txn.catalog.table_mut(name)?;
+        let version = table.push_version(batch, txn_id)?;
+        txn.written.entry(key).or_insert(base);
+        Ok(version)
+    }
+
+    fn check_access(
+        &mut self,
+        catalog: &Catalog,
+        object: &ObjectRef,
+        privilege: Privilege,
+    ) -> Result<()> {
+        let r = catalog.access.check(&self.user, object, privilege);
+        if r.is_err() {
+            self.audit(
+                "ACCESS DENIED",
+                &object.name.clone(),
+                &format!("{privilege:?}"),
+            );
+        }
+        r
+    }
+
+    fn require_superuser(&mut self, action: &str) -> Result<()> {
+        if self.user.eq_ignore_ascii_case("admin") {
+            Ok(())
+        } else {
+            Err(SqlError::AccessDenied(format!(
+                "{action} requires superuser"
+            )))
+        }
+    }
+
+    fn audit(&mut self, action: &str, object: &str, detail: &str) {
+        let record = AuditRecord {
+            seq: 0, // assigned on flush
+            user: self.user.clone(),
+            action: action.to_string(),
+            object: object.to_string(),
+            detail: detail.to_string(),
+            timestamp_ms: now_ms(),
+        };
+        match &mut self.txn {
+            Some(t) => t.audit_buf.push(record),
+            None => {
+                let mut state = self.db.state.write();
+                flush_logs(&mut state, vec![], vec![record]);
+            }
+        }
+    }
+
+    fn log_statement(
+        &mut self,
+        sql: &str,
+        kind: StatementKind,
+        tables_read: Vec<String>,
+        tables_written: Vec<String>,
+        versions_written: Vec<(String, u64)>,
+    ) {
+        let entry = QueryLogEntry {
+            id: 0, // assigned on flush
+            txn_id: self.txn.as_ref().map(|t| t.id).unwrap_or(0),
+            user: self.user.clone(),
+            sql: sql.to_string(),
+            kind,
+            tables_read,
+            tables_written,
+            versions_written,
+            timestamp_ms: now_ms(),
+        };
+        match &mut self.txn {
+            Some(t) => t.log_buf.push(entry),
+            None => {
+                let mut state = self.db.state.write();
+                flush_logs(&mut state, vec![entry], vec![]);
+            }
+        }
+    }
+}
+
+fn flush_logs(state: &mut DbState, log: Vec<QueryLogEntry>, audit: Vec<AuditRecord>) {
+    for mut e in log {
+        e.id = state.next_log_id;
+        state.next_log_id += 1;
+        state.query_log.push(e);
+    }
+    for mut a in audit {
+        a.seq = state.next_audit_seq;
+        state.next_audit_seq += 1;
+        state.audit_log.push(a);
+    }
+}
+
+/// Current committed state of a namespaced object key
+/// (`table:x`, `view:x`, `ext:kind:x`).
+fn object_state(catalog: &Catalog, key: &str) -> BaseState {
+    if let Some(name) = key.strip_prefix("table:") {
+        return match catalog.table(name) {
+            Ok(t) => BaseState::TableAt(t.current_version()),
+            Err(_) => BaseState::Absent,
+        };
+    }
+    if let Some(name) = key.strip_prefix("view:") {
+        return if catalog.view(name).is_some() {
+            BaseState::ViewPresent
+        } else {
+            BaseState::Absent
+        };
+    }
+    if let Some(rest) = key.strip_prefix("ext:") {
+        let mut parts = rest.splitn(2, ':');
+        let kind = parts.next().unwrap_or("");
+        let name = parts.next().unwrap_or("");
+        return match catalog.extension(kind, name) {
+            Ok(e) => BaseState::ExtensionAt(e.current().version),
+            Err(_) => BaseState::Absent,
+        };
+    }
+    BaseState::Absent
+}
+
+/// Copy the final state of `key` from `src` into `dst` (or remove it).
+fn apply_object(dst: &mut Catalog, src: &Catalog, key: &str) {
+    if let Some(name) = key.strip_prefix("table:") {
+        match src.table(name) {
+            Ok(t) => {
+                let t = t.clone();
+                let _ = dst.drop_table(name);
+                let _ = dst.create_table(t);
+            }
+            Err(_) => {
+                let _ = dst.drop_table(name);
+            }
+        }
+        return;
+    }
+    if let Some(name) = key.strip_prefix("view:") {
+        match src.view(name) {
+            Some(v) => {
+                let v = v.clone();
+                let _ = dst.drop_view(name);
+                let _ = dst.create_view(v);
+            }
+            None => {
+                let _ = dst.drop_view(name);
+            }
+        }
+        return;
+    }
+    if let Some(rest) = key.strip_prefix("ext:") {
+        let mut parts = rest.splitn(2, ':');
+        let kind = parts.next().unwrap_or("").to_string();
+        let name = parts.next().unwrap_or("").to_string();
+        match src.extension(&kind, &name) {
+            Ok(obj) => {
+                let obj = obj.clone();
+                let _ = dst.drop_extension(&kind, &name);
+                let _ = restore_extension(dst, obj);
+            }
+            Err(_) => {
+                let _ = dst.drop_extension(&kind, &name);
+            }
+        }
+    }
+}
+
+fn restore_extension(dst: &mut Catalog, obj: crate::catalog::ExtensionObject) -> Result<()> {
+    // Recreate with the first version, then append the rest, preserving ids.
+    let mut versions = obj.versions.into_iter();
+    let first = versions
+        .next()
+        .expect("extension objects always have one version");
+    dst.create_extension(
+        &obj.kind,
+        &obj.name,
+        &obj.owner,
+        first.payload,
+        first.metadata,
+        first.txn_id,
+    )?;
+    for v in versions {
+        dst.update_extension(&obj.kind, &obj.name, v.payload, v.metadata, v.txn_id)?;
+    }
+    Ok(())
+}
+
+/// Bind `?` placeholders in a statement.
+pub fn bind_parameters(stmt: Statement, params: &[Value]) -> Result<Statement> {
+    let mut bind = |e: Expr| -> Result<Expr> {
+        rewrite_expr(e, &mut |x| match x {
+            Expr::Parameter(i) => params
+                .get(i)
+                .cloned()
+                .map(Expr::Literal)
+                .ok_or_else(|| SqlError::Plan(format!("missing parameter ?{i}"))),
+            other => Ok(other),
+        })
+    };
+    Ok(match stmt {
+        Statement::Query(q) => Statement::Query(bind_query(q, &mut bind)?),
+        Statement::Insert {
+            table,
+            columns,
+            source,
+        } => Statement::Insert {
+            table,
+            columns,
+            source: match source {
+                InsertSource::Values(rows) => InsertSource::Values(
+                    rows.into_iter()
+                        .map(|r| r.into_iter().map(&mut bind).collect::<Result<_>>())
+                        .collect::<Result<_>>()?,
+                ),
+                InsertSource::Query(q) => InsertSource::Query(Box::new(bind_query(*q, &mut bind)?)),
+            },
+        },
+        Statement::Update {
+            table,
+            assignments,
+            selection,
+        } => Statement::Update {
+            table,
+            assignments: assignments
+                .into_iter()
+                .map(|(c, e)| Ok((c, bind(e)?)))
+                .collect::<Result<_>>()?,
+            selection: selection.map(&mut bind).transpose()?,
+        },
+        Statement::Delete { table, selection } => Statement::Delete {
+            table,
+            selection: selection.map(&mut bind).transpose()?,
+        },
+        other => other,
+    })
+}
+
+fn bind_query(
+    mut q: crate::ast::Query,
+    bind: &mut impl FnMut(Expr) -> Result<Expr>,
+) -> Result<crate::ast::Query> {
+    q.select.selection = q.select.selection.map(&mut *bind).transpose()?;
+    q.select.having = q.select.having.map(&mut *bind).transpose()?;
+    q.select.projection = q
+        .select
+        .projection
+        .into_iter()
+        .map(|item| {
+            Ok(match item {
+                crate::ast::SelectItem::Expr { expr, alias } => crate::ast::SelectItem::Expr {
+                    expr: bind(expr)?,
+                    alias,
+                },
+                other => other,
+            })
+        })
+        .collect::<Result<_>>()?;
+    q.select.group_by = q
+        .select
+        .group_by
+        .into_iter()
+        .map(&mut *bind)
+        .collect::<Result<_>>()?;
+    q.unions = q
+        .unions
+        .into_iter()
+        .map(|arm| {
+            let mut sub = crate::ast::Query {
+                select: arm.select,
+                unions: vec![],
+                order_by: vec![],
+                limit: None,
+                offset: None,
+            };
+            sub = bind_query(sub, bind)?;
+            Ok(crate::ast::UnionArm {
+                select: sub.select,
+                all: arm.all,
+            })
+        })
+        .collect::<Result<_>>()?;
+    q.order_by = q
+        .order_by
+        .into_iter()
+        .map(|o| {
+            Ok(crate::ast::OrderItem {
+                expr: bind(o.expr)?,
+                asc: o.asc,
+            })
+        })
+        .collect::<Result<_>>()?;
+    Ok(q)
+}
+
+/// Recursive subquery runner backed by the session's working catalog.
+struct EngineSubqueryRunner<'a> {
+    catalog: &'a Catalog,
+    db: &'a Database,
+    user: &'a str,
+}
+
+impl SubqueryRunner for EngineSubqueryRunner<'_> {
+    fn run(&self, query: &crate::ast::Query) -> Result<RecordBatch> {
+        let provider = self.db.inference_provider();
+        let options = self.db.exec_options();
+        let ctx = PlanContext::new(self.catalog, provider.as_ref()).with_subqueries(self);
+        let plan = plan_query(query, &ctx)?;
+        let plan = self.db.apply_rewriters(plan, self.catalog)?;
+        let plan = optimize(plan, &self.db.optimizer_config())?;
+        let physical = create_physical_plan(&plan, self.catalog, provider.as_ref(), &options)?;
+        let eval_ctx = EvalContext {
+            provider,
+            user: self.user.to_string(),
+            threads: options.threads,
+        };
+        physical.execute(&eval_ctx)
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type shared across the SQL engine.
+
+use std::fmt;
+
+/// Errors produced by the SQL engine.
+///
+/// Every layer (lexer, parser, planner, optimizer, executor, catalog,
+/// transaction manager) reports failures through this single enum so that
+/// callers can match on the failure class without knowing which layer
+/// produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// Lexical error: unexpected character or malformed literal.
+    Lex(String),
+    /// Syntax error from the parser.
+    Parse(String),
+    /// Name-resolution or semantic analysis error (unknown table/column,
+    /// type mismatch, ambiguous reference, ...).
+    Plan(String),
+    /// Runtime error raised during execution (division by zero, cast
+    /// failure, overflow, ...).
+    Execution(String),
+    /// Catalog error: object already exists / not found / version missing.
+    Catalog(String),
+    /// Transaction error: conflicts, invalid state transitions.
+    Transaction(String),
+    /// Permission denied by the access-control layer.
+    AccessDenied(String),
+    /// Constraint violation (arity/type mismatch on INSERT, ...).
+    Constraint(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex(m) => write!(f, "lexical error: {m}"),
+            SqlError::Parse(m) => write!(f, "parse error: {m}"),
+            SqlError::Plan(m) => write!(f, "planning error: {m}"),
+            SqlError::Execution(m) => write!(f, "execution error: {m}"),
+            SqlError::Catalog(m) => write!(f, "catalog error: {m}"),
+            SqlError::Transaction(m) => write!(f, "transaction error: {m}"),
+            SqlError::AccessDenied(m) => write!(f, "access denied: {m}"),
+            SqlError::Constraint(m) => write!(f, "constraint violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Convenience alias used throughout the engine.
+pub type Result<T> = std::result::Result<T, SqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_layer_and_message() {
+        let e = SqlError::Parse("unexpected token".into());
+        assert_eq!(e.to_string(), "parse error: unexpected token");
+        let e = SqlError::AccessDenied("user bob lacks SELECT on t".into());
+        assert!(e.to_string().starts_with("access denied"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(SqlError::Lex("x".into()), SqlError::Lex("x".into()));
+        assert_ne!(SqlError::Lex("x".into()), SqlError::Parse("x".into()));
+    }
+}

@@ -1,0 +1,242 @@
+//! Aggregate accumulators and the grouping key.
+
+use crate::plan::AggFunc;
+use crate::types::Value;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+/// A grouping key: values compared with GROUP BY semantics
+/// (NULL == NULL, numerics unified).
+#[derive(Debug, Clone)]
+pub struct GroupKey(pub Vec<Value>);
+
+impl PartialEq for GroupKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.len() == other.0.len()
+            && self
+                .0
+                .iter()
+                .zip(&other.0)
+                .all(|(a, b)| a.group_eq(b))
+    }
+}
+
+impl Eq for GroupKey {}
+
+impl Hash for GroupKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for v in &self.0 {
+            v.group_hash(state);
+        }
+    }
+}
+
+/// Running state for one aggregate within one group.
+#[derive(Debug, Clone)]
+pub struct Accumulator {
+    func: AggFunc,
+    count: i64,
+    sum: f64,
+    sumsq: f64,
+    /// Whether all summed inputs were integers (SUM preserves Int type).
+    int_only: bool,
+    min: Option<Value>,
+    max: Option<Value>,
+    seen: Option<HashSet<String>>,
+}
+
+impl Accumulator {
+    pub fn new(func: AggFunc, distinct: bool) -> Self {
+        Accumulator {
+            func,
+            count: 0,
+            sum: 0.0,
+            sumsq: 0.0,
+            int_only: true,
+            min: None,
+            max: None,
+            seen: if distinct { Some(HashSet::new()) } else { None },
+        }
+    }
+
+    /// Feed one input value. `None` means COUNT(*) (count every row).
+    pub fn update(&mut self, value: Option<&Value>) {
+        let Some(v) = value else {
+            self.count += 1; // COUNT(*)
+            return;
+        };
+        if v.is_null() {
+            return; // aggregates skip NULLs
+        }
+        if let Some(seen) = &mut self.seen {
+            let key = match v {
+                Value::Float(f) => format!("f{}", f.to_bits()),
+                other => other.to_string(),
+            };
+            if !seen.insert(key) {
+                return;
+            }
+        }
+        self.count += 1;
+        match self.func {
+            AggFunc::Count => {}
+            AggFunc::Sum | AggFunc::Avg => {
+                if let Some(x) = v.as_f64() {
+                    self.sum += x;
+                }
+                if !matches!(v, Value::Int(_) | Value::Bool(_)) {
+                    self.int_only = false;
+                }
+            }
+            AggFunc::Variance | AggFunc::StdDev => {
+                if let Some(x) = v.as_f64() {
+                    self.sum += x;
+                    self.sumsq += x * x;
+                }
+            }
+            AggFunc::Min => {
+                let better = match &self.min {
+                    None => true,
+                    Some(m) => v.sql_cmp(m) == Some(std::cmp::Ordering::Less),
+                };
+                if better {
+                    self.min = Some(v.clone());
+                }
+            }
+            AggFunc::Max => {
+                let better = match &self.max {
+                    None => true,
+                    Some(m) => v.sql_cmp(m) == Some(std::cmp::Ordering::Greater),
+                };
+                if better {
+                    self.max = Some(v.clone());
+                }
+            }
+        }
+    }
+
+    /// Final aggregate value.
+    pub fn finish(&self) -> Value {
+        match self.func {
+            AggFunc::Count => Value::Int(self.count),
+            AggFunc::Sum => {
+                if self.count == 0 {
+                    Value::Null
+                } else if self.int_only {
+                    Value::Int(self.sum as i64)
+                } else {
+                    Value::Float(self.sum)
+                }
+            }
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::Min => self.min.clone().unwrap_or(Value::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
+            AggFunc::Variance | AggFunc::StdDev => {
+                if self.count == 0 {
+                    return Value::Null;
+                }
+                let n = self.count as f64;
+                let mean = self.sum / n;
+                let var = (self.sumsq / n - mean * mean).max(0.0);
+                Value::Float(if self.func == AggFunc::StdDev {
+                    var.sqrt()
+                } else {
+                    var
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_star_counts_nulls_via_none() {
+        let mut a = Accumulator::new(AggFunc::Count, false);
+        a.update(None);
+        a.update(None);
+        assert_eq!(a.finish(), Value::Int(2));
+    }
+
+    #[test]
+    fn count_expr_skips_nulls() {
+        let mut a = Accumulator::new(AggFunc::Count, false);
+        a.update(Some(&Value::Int(1)));
+        a.update(Some(&Value::Null));
+        a.update(Some(&Value::Int(3)));
+        assert_eq!(a.finish(), Value::Int(2));
+    }
+
+    #[test]
+    fn sum_preserves_int_when_possible() {
+        let mut a = Accumulator::new(AggFunc::Sum, false);
+        a.update(Some(&Value::Int(2)));
+        a.update(Some(&Value::Int(3)));
+        assert_eq!(a.finish(), Value::Int(5));
+        let mut b = Accumulator::new(AggFunc::Sum, false);
+        b.update(Some(&Value::Int(2)));
+        b.update(Some(&Value::Float(0.5)));
+        assert_eq!(b.finish(), Value::Float(2.5));
+    }
+
+    #[test]
+    fn empty_aggregates() {
+        assert!(Accumulator::new(AggFunc::Sum, false).finish().is_null());
+        assert!(Accumulator::new(AggFunc::Avg, false).finish().is_null());
+        assert!(Accumulator::new(AggFunc::Min, false).finish().is_null());
+        assert_eq!(
+            Accumulator::new(AggFunc::Count, false).finish(),
+            Value::Int(0)
+        );
+    }
+
+    #[test]
+    fn distinct_dedupes() {
+        let mut a = Accumulator::new(AggFunc::Count, true);
+        for v in [1, 2, 2, 3, 3, 3] {
+            a.update(Some(&Value::Int(v)));
+        }
+        assert_eq!(a.finish(), Value::Int(3));
+    }
+
+    #[test]
+    fn variance_and_stddev() {
+        let mut v = Accumulator::new(AggFunc::Variance, false);
+        let mut sd = Accumulator::new(AggFunc::StdDev, false);
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            v.update(Some(&Value::Float(x)));
+            sd.update(Some(&Value::Float(x)));
+        }
+        assert_eq!(v.finish(), Value::Float(4.0));
+        assert_eq!(sd.finish(), Value::Float(2.0));
+        assert!(Accumulator::new(AggFunc::StdDev, false).finish().is_null());
+    }
+
+    #[test]
+    fn min_max_strings() {
+        let mut a = Accumulator::new(AggFunc::Max, false);
+        a.update(Some(&Value::Text("apple".into())));
+        a.update(Some(&Value::Text("pear".into())));
+        assert_eq!(a.finish(), Value::Text("pear".into()));
+    }
+
+    #[test]
+    fn group_key_semantics() {
+        use std::collections::HashMap;
+        let mut m: HashMap<GroupKey, i32> = HashMap::new();
+        m.insert(GroupKey(vec![Value::Null]), 1);
+        *m.entry(GroupKey(vec![Value::Null])).or_insert(0) += 10;
+        assert_eq!(m.len(), 1, "NULL groups together");
+        m.insert(GroupKey(vec![Value::Int(1)]), 2);
+        *m.entry(GroupKey(vec![Value::Float(1.0)])).or_insert(0) += 1;
+        assert_eq!(m.len(), 2, "Int(1) and Float(1.0) share a group");
+    }
+}

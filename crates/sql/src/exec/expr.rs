@@ -1,0 +1,803 @@
+//! Compiled physical expressions and their vectorized evaluation.
+
+use super::functions::{eval_function, like_match};
+use crate::ast::{BinOp, Expr, PredictStrategy, UnOp};
+use crate::batch::RecordBatch;
+use crate::column::ColumnVector;
+use crate::error::{Result, SqlError};
+use crate::schema::Schema;
+use crate::types::{DataType, Value};
+use crate::udf::ProviderRef;
+
+/// A compiled expression: column references are resolved to indices and
+/// the output type is known.
+#[derive(Debug, Clone)]
+pub struct PhysExpr {
+    pub node: PhysNode,
+    pub data_type: DataType,
+}
+
+#[derive(Debug, Clone)]
+pub enum PhysNode {
+    Column(usize),
+    Literal(Value),
+    Binary {
+        left: Box<PhysExpr>,
+        op: BinOp,
+        right: Box<PhysExpr>,
+    },
+    Unary {
+        op: UnOp,
+        expr: Box<PhysExpr>,
+    },
+    IsNull {
+        expr: Box<PhysExpr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<PhysExpr>,
+        list: Vec<PhysExpr>,
+        negated: bool,
+    },
+    Case {
+        operand: Option<Box<PhysExpr>>,
+        when_then: Vec<(PhysExpr, PhysExpr)>,
+        else_expr: Option<Box<PhysExpr>>,
+    },
+    Like {
+        expr: Box<PhysExpr>,
+        pattern: Box<PhysExpr>,
+        negated: bool,
+    },
+    Function {
+        name: String,
+        args: Vec<PhysExpr>,
+    },
+    Cast {
+        expr: Box<PhysExpr>,
+        to: DataType,
+    },
+    Predict {
+        model: String,
+        args: Vec<PhysExpr>,
+        strategy: PredictStrategy,
+    },
+}
+
+/// Runtime context shared by expression evaluation.
+pub struct EvalContext {
+    pub provider: ProviderRef,
+    pub user: String,
+    /// Worker threads available for parallel PREDICT.
+    pub threads: usize,
+}
+
+impl PhysExpr {
+    /// Compile a resolved logical expression against an input schema.
+    pub fn compile(
+        expr: &Expr,
+        schema: &Schema,
+        provider: &dyn crate::udf::InferenceProvider,
+    ) -> Result<PhysExpr> {
+        let data_type =
+            crate::plan::expr_type(expr, schema, provider)?.unwrap_or(DataType::Text);
+        let node = match expr {
+            Expr::Column { name, .. } => {
+                let idx = schema
+                    .index_of(name)
+                    .ok_or_else(|| SqlError::Plan(format!("unresolved column '{name}'")))?;
+                PhysNode::Column(idx)
+            }
+            Expr::Literal(v) => PhysNode::Literal(v.clone()),
+            Expr::Binary { left, op, right } => PhysNode::Binary {
+                left: Box::new(Self::compile(left, schema, provider)?),
+                op: *op,
+                right: Box::new(Self::compile(right, schema, provider)?),
+            },
+            Expr::Unary { op, expr } => PhysNode::Unary {
+                op: *op,
+                expr: Box::new(Self::compile(expr, schema, provider)?),
+            },
+            Expr::IsNull { expr, negated } => PhysNode::IsNull {
+                expr: Box::new(Self::compile(expr, schema, provider)?),
+                negated: *negated,
+            },
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => PhysNode::InList {
+                expr: Box::new(Self::compile(expr, schema, provider)?),
+                list: list
+                    .iter()
+                    .map(|e| Self::compile(e, schema, provider))
+                    .collect::<Result<_>>()?,
+                negated: *negated,
+            },
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                // desugar to (e >= low AND e <= high), possibly negated
+                let e = Self::compile(expr, schema, provider)?;
+                let lo = Self::compile(low, schema, provider)?;
+                let hi = Self::compile(high, schema, provider)?;
+                let ge = PhysExpr {
+                    node: PhysNode::Binary {
+                        left: Box::new(e.clone()),
+                        op: BinOp::GtEq,
+                        right: Box::new(lo),
+                    },
+                    data_type: DataType::Bool,
+                };
+                let le = PhysExpr {
+                    node: PhysNode::Binary {
+                        left: Box::new(e),
+                        op: BinOp::LtEq,
+                        right: Box::new(hi),
+                    },
+                    data_type: DataType::Bool,
+                };
+                let both = PhysNode::Binary {
+                    left: Box::new(ge),
+                    op: BinOp::And,
+                    right: Box::new(le),
+                };
+                if *negated {
+                    PhysNode::Unary {
+                        op: UnOp::Not,
+                        expr: Box::new(PhysExpr {
+                            node: both,
+                            data_type: DataType::Bool,
+                        }),
+                    }
+                } else {
+                    both
+                }
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => PhysNode::Like {
+                expr: Box::new(Self::compile(expr, schema, provider)?),
+                pattern: Box::new(Self::compile(pattern, schema, provider)?),
+                negated: *negated,
+            },
+            Expr::Case {
+                operand,
+                when_then,
+                else_expr,
+            } => PhysNode::Case {
+                operand: match operand {
+                    Some(o) => Some(Box::new(Self::compile(o, schema, provider)?)),
+                    None => None,
+                },
+                when_then: when_then
+                    .iter()
+                    .map(|(w, t)| {
+                        Ok((
+                            Self::compile(w, schema, provider)?,
+                            Self::compile(t, schema, provider)?,
+                        ))
+                    })
+                    .collect::<Result<_>>()?,
+                else_expr: match else_expr {
+                    Some(e) => Some(Box::new(Self::compile(e, schema, provider)?)),
+                    None => None,
+                },
+            },
+            Expr::Function { name, args, .. } => PhysNode::Function {
+                name: name.clone(),
+                args: args
+                    .iter()
+                    .map(|e| Self::compile(e, schema, provider))
+                    .collect::<Result<_>>()?,
+            },
+            Expr::Cast { expr, to } => PhysNode::Cast {
+                expr: Box::new(Self::compile(expr, schema, provider)?),
+                to: *to,
+            },
+            Expr::Predict {
+                model,
+                args,
+                strategy,
+            } => PhysNode::Predict {
+                model: model.clone(),
+                args: args
+                    .iter()
+                    .map(|e| Self::compile(e, schema, provider))
+                    .collect::<Result<_>>()?,
+                strategy: *strategy,
+            },
+            Expr::Subquery(_) | Expr::InSubquery { .. } | Expr::Exists { .. } => {
+                return Err(SqlError::Plan(
+                    "subquery should have been flattened before compilation".into(),
+                ))
+            }
+            Expr::Wildcard => {
+                return Err(SqlError::Plan("'*' is not a value expression".into()))
+            }
+            Expr::Parameter(i) => {
+                return Err(SqlError::Plan(format!("unbound parameter ?{i}")))
+            }
+        };
+        Ok(PhysExpr { node, data_type })
+    }
+
+    /// The highest PREDICT parallelism requested anywhere in this tree
+    /// (0 when no parallel PREDICT present).
+    pub fn predict_parallelism(&self) -> usize {
+        let mut max = 0usize;
+        self.visit(&mut |e| {
+            if let PhysNode::Predict {
+                strategy: PredictStrategy::Parallel(n),
+                ..
+            } = &e.node
+            {
+                max = max.max(*n);
+            }
+        });
+        max
+    }
+
+    fn visit(&self, f: &mut impl FnMut(&PhysExpr)) {
+        f(self);
+        match &self.node {
+            PhysNode::Binary { left, right, .. } => {
+                left.visit(f);
+                right.visit(f);
+            }
+            PhysNode::Unary { expr, .. }
+            | PhysNode::IsNull { expr, .. }
+            | PhysNode::Cast { expr, .. } => expr.visit(f),
+            PhysNode::InList { expr, list, .. } => {
+                expr.visit(f);
+                for e in list {
+                    e.visit(f);
+                }
+            }
+            PhysNode::Like { expr, pattern, .. } => {
+                expr.visit(f);
+                pattern.visit(f);
+            }
+            PhysNode::Case {
+                operand,
+                when_then,
+                else_expr,
+            } => {
+                if let Some(o) = operand {
+                    o.visit(f);
+                }
+                for (w, t) in when_then {
+                    w.visit(f);
+                    t.visit(f);
+                }
+                if let Some(e) = else_expr {
+                    e.visit(f);
+                }
+            }
+            PhysNode::Function { args, .. } | PhysNode::Predict { args, .. } => {
+                for a in args {
+                    a.visit(f);
+                }
+            }
+            PhysNode::Column(_) | PhysNode::Literal(_) => {}
+        }
+    }
+
+    /// Vectorized evaluation over a batch.
+    pub fn eval(&self, batch: &RecordBatch, ctx: &EvalContext) -> Result<ColumnVector> {
+        match &self.node {
+            PhysNode::Column(i) => Ok(batch.column(*i).clone()),
+            PhysNode::Literal(Value::Float(x)) => {
+                Ok(ColumnVector::from_f64(std::iter::repeat_n(*x, batch.num_rows())))
+            }
+            PhysNode::Literal(Value::Int(i)) => {
+                Ok(ColumnVector::from_i64(std::iter::repeat_n(*i, batch.num_rows())))
+            }
+            PhysNode::Literal(v) => {
+                let ty = v.data_type().unwrap_or(self.data_type);
+                let mut col = ColumnVector::with_capacity(ty, batch.num_rows());
+                for _ in 0..batch.num_rows() {
+                    col.push(v.clone())?;
+                }
+                Ok(col)
+            }
+            // Row strategy models a scalar UDF: the engine invokes the
+            // scorer once per row, re-paying slicing/dispatch each time —
+            // the cost profile the paper's "Inline SQL 1x" anchor measures.
+            PhysNode::Predict {
+                strategy: PredictStrategy::Row,
+                ..
+            } => {
+                let n = batch.num_rows();
+                let mut out = ColumnVector::with_capacity(self.data_type, n);
+                for row in 0..n {
+                    out.push(self.eval_row(batch, row, ctx)?)?;
+                }
+                Ok(out)
+            }
+            PhysNode::Predict {
+                model,
+                args,
+                strategy,
+            } => {
+                let inputs: Vec<ColumnVector> = args
+                    .iter()
+                    .map(|a| a.eval(batch, ctx))
+                    .collect::<Result<_>>()?;
+                ctx.provider
+                    .predict(model, &inputs, *strategy, &ctx.user)
+            }
+            // Fast path: numeric comparisons over float columns produce a
+            // bool column without per-row boxing (this is the hot path of
+            // inlined-model predicates).
+            PhysNode::Binary { left, op, right } if op.is_comparison() => {
+                let l = left.eval(batch, ctx)?;
+                let r = right.eval(batch, ctx)?;
+                if let (Some(ls), Some(rs)) = (l.as_f64_slice(), r.as_f64_slice()) {
+                    let out = ls.iter().zip(rs).map(|(a, b)| match op {
+                        BinOp::Eq => a == b,
+                        BinOp::NotEq => a != b,
+                        BinOp::Lt => a < b,
+                        BinOp::LtEq => a <= b,
+                        BinOp::Gt => a > b,
+                        BinOp::GtEq => a >= b,
+                        _ => unreachable!(),
+                    });
+                    return Ok(ColumnVector::from_bool(out));
+                }
+                self.eval_rowwise_cols(batch, ctx, &[&l, &r], |vals| {
+                    eval_binary(&vals[0], *op, &vals[1])
+                })
+            }
+            // Fast path: SIGMOID over a float column (inlined logistic
+            // models evaluate this once per row otherwise).
+            PhysNode::Function { name, args } if name == "SIGMOID" && args.len() == 1 => {
+                let a = args[0].eval(batch, ctx)?;
+                if let Some(xs) = a.as_f64_slice() {
+                    return Ok(ColumnVector::from_f64(
+                        xs.iter().map(|x| 1.0 / (1.0 + (-x).exp())),
+                    ));
+                }
+                self.eval_rowwise_cols(batch, ctx, &[&a], |vals| {
+                    crate::exec::functions::eval_function("SIGMOID", &vals)
+                })
+            }
+            // Fast path: COALESCE(col, literal) over floats — the shape
+            // model inlining emits for imputation.
+            PhysNode::Function { name, args }
+                if name == "COALESCE"
+                    && args.len() == 2
+                    && matches!(args[1].node, PhysNode::Literal(Value::Float(_)))
+                    && self.data_type == DataType::Float =>
+            {
+                let a = args[0].eval(batch, ctx)?;
+                let PhysNode::Literal(Value::Float(fill)) = args[1].node else {
+                    unreachable!()
+                };
+                if a.as_f64_slice().is_some() {
+                    return Ok(a); // no NULLs: COALESCE is the identity
+                }
+                Ok(ColumnVector::from_f64(
+                    (0..a.len()).map(|i| a.get_f64(i).unwrap_or(fill)),
+                ))
+            }
+            // Fast path: pure-numeric binary arithmetic over float columns.
+            PhysNode::Binary { left, op, right }
+                if matches!(
+                    op,
+                    BinOp::Plus | BinOp::Minus | BinOp::Mul | BinOp::Div
+                ) && self.data_type == DataType::Float =>
+            {
+                let l = left.eval(batch, ctx)?;
+                let r = right.eval(batch, ctx)?;
+                if let (Some(ls), Some(rs)) = (l.as_f64_slice(), r.as_f64_slice()) {
+                    let out = match op {
+                        BinOp::Plus => ls.iter().zip(rs).map(|(a, b)| a + b).collect::<Vec<_>>(),
+                        BinOp::Minus => ls.iter().zip(rs).map(|(a, b)| a - b).collect(),
+                        BinOp::Mul => ls.iter().zip(rs).map(|(a, b)| a * b).collect(),
+                        BinOp::Div => {
+                            if rs.contains(&0.0) {
+                                return Err(SqlError::Execution("division by zero".into()));
+                            }
+                            ls.iter().zip(rs).map(|(a, b)| a / b).collect()
+                        }
+                        _ => unreachable!(),
+                    };
+                    return Ok(ColumnVector::from_f64(out));
+                }
+                self.eval_rowwise_cols(batch, ctx, &[&l, &r], |vals| {
+                    eval_binary(&vals[0], *op, &vals[1])
+                })
+            }
+            _ => {
+                let n = batch.num_rows();
+                let mut out = ColumnVector::with_capacity(self.data_type, n);
+                for row in 0..n {
+                    out.push(self.eval_row(batch, row, ctx)?)?;
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Helper: row-wise evaluation over pre-evaluated argument columns.
+    fn eval_rowwise_cols(
+        &self,
+        batch: &RecordBatch,
+        _ctx: &EvalContext,
+        cols: &[&ColumnVector],
+        f: impl Fn(Vec<Value>) -> Result<Value>,
+    ) -> Result<ColumnVector> {
+        let n = batch.num_rows();
+        let mut out = ColumnVector::with_capacity(self.data_type, n);
+        for row in 0..n {
+            let vals: Vec<Value> = cols.iter().map(|c| c.get(row)).collect();
+            out.push(f(vals)?)?;
+        }
+        Ok(out)
+    }
+
+    /// Scalar evaluation of one row. PREDICT here degenerates to a one-row
+    /// provider call — the "row UDF" code path the paper's Inline-SQL
+    /// baseline measures.
+    pub fn eval_row(&self, batch: &RecordBatch, row: usize, ctx: &EvalContext) -> Result<Value> {
+        Ok(match &self.node {
+            PhysNode::Column(i) => batch.column(*i).get(row),
+            PhysNode::Literal(v) => v.clone(),
+            PhysNode::Binary { left, op, right } => {
+                // short-circuit logic ops
+                match op {
+                    BinOp::And => {
+                        let l = left.eval_row(batch, row, ctx)?;
+                        if l.as_bool() == Some(false) {
+                            return Ok(Value::Bool(false));
+                        }
+                        let r = right.eval_row(batch, row, ctx)?;
+                        return eval_binary(&l, BinOp::And, &r);
+                    }
+                    BinOp::Or => {
+                        let l = left.eval_row(batch, row, ctx)?;
+                        if l.as_bool() == Some(true) {
+                            return Ok(Value::Bool(true));
+                        }
+                        let r = right.eval_row(batch, row, ctx)?;
+                        return eval_binary(&l, BinOp::Or, &r);
+                    }
+                    _ => {}
+                }
+                let l = left.eval_row(batch, row, ctx)?;
+                let r = right.eval_row(batch, row, ctx)?;
+                return eval_binary(&l, *op, &r);
+            }
+            PhysNode::Unary { op, expr } => {
+                let v = expr.eval_row(batch, row, ctx)?;
+                match op {
+                    UnOp::Not => match v {
+                        Value::Null => Value::Null,
+                        other => Value::Bool(!other.as_bool().ok_or_else(|| {
+                            SqlError::Execution(format!("NOT requires boolean, got {other}"))
+                        })?),
+                    },
+                    UnOp::Neg => match v {
+                        Value::Null => Value::Null,
+                        Value::Int(i) => Value::Int(-i),
+                        Value::Float(f) => Value::Float(-f),
+                        other => {
+                            return Err(SqlError::Execution(format!(
+                                "cannot negate {other}"
+                            )))
+                        }
+                    },
+                }
+            }
+            PhysNode::IsNull { expr, negated } => {
+                let v = expr.eval_row(batch, row, ctx)?;
+                Value::Bool(v.is_null() != *negated)
+            }
+            PhysNode::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let v = expr.eval_row(batch, row, ctx)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut saw_null = false;
+                let mut found = false;
+                for item in list {
+                    let iv = item.eval_row(batch, row, ctx)?;
+                    if iv.is_null() {
+                        saw_null = true;
+                    } else if v == iv {
+                        found = true;
+                        break;
+                    }
+                }
+                if found {
+                    Value::Bool(!*negated)
+                } else if saw_null {
+                    Value::Null
+                } else {
+                    Value::Bool(*negated)
+                }
+            }
+            PhysNode::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let v = expr.eval_row(batch, row, ctx)?;
+                let p = pattern.eval_row(batch, row, ctx)?;
+                match (v.as_str(), p.as_str()) {
+                    (Some(s), Some(pat)) => Value::Bool(like_match(s, pat) != *negated),
+                    _ => Value::Null,
+                }
+            }
+            PhysNode::Case {
+                operand,
+                when_then,
+                else_expr,
+            } => {
+                let op_v = match operand {
+                    Some(o) => Some(o.eval_row(batch, row, ctx)?),
+                    None => None,
+                };
+                for (w, t) in when_then {
+                    let wv = w.eval_row(batch, row, ctx)?;
+                    let hit = match &op_v {
+                        Some(ov) => !ov.is_null() && *ov == wv,
+                        None => wv.as_bool() == Some(true),
+                    };
+                    if hit {
+                        return t.eval_row(batch, row, ctx);
+                    }
+                }
+                match else_expr {
+                    Some(e) => return e.eval_row(batch, row, ctx),
+                    None => Value::Null,
+                }
+            }
+            PhysNode::Function { name, args } => {
+                let vals: Vec<Value> = args
+                    .iter()
+                    .map(|a| a.eval_row(batch, row, ctx))
+                    .collect::<Result<_>>()?;
+                eval_function(name, &vals)?
+            }
+            PhysNode::Cast { expr, to } => expr.eval_row(batch, row, ctx)?.cast(*to)?,
+            PhysNode::Predict { model, args, .. } => {
+                let one_row = batch.slice(row, 1);
+                let inputs: Vec<ColumnVector> = args
+                    .iter()
+                    .map(|a| a.eval(&one_row, ctx))
+                    .collect::<Result<_>>()?;
+                let out =
+                    ctx.provider
+                        .predict(model, &inputs, PredictStrategy::Row, &ctx.user)?;
+                out.get(0)
+            }
+        })
+    }
+}
+
+/// SQL binary-operator semantics on scalars.
+pub fn eval_binary(l: &Value, op: BinOp, r: &Value) -> Result<Value> {
+    use BinOp::*;
+    // three-valued logic for AND/OR
+    match op {
+        And => {
+            return Ok(match (l.as_bool(), r.as_bool()) {
+                (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+                (Some(true), Some(true)) => Value::Bool(true),
+                _ => Value::Null,
+            })
+        }
+        Or => {
+            return Ok(match (l.as_bool(), r.as_bool()) {
+                (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+                (Some(false), Some(false)) => Value::Bool(false),
+                _ => Value::Null,
+            })
+        }
+        _ => {}
+    }
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    if op.is_comparison() {
+        let ord = l.sql_cmp(r).ok_or_else(|| {
+            SqlError::Execution(format!("cannot compare {l} with {r}"))
+        })?;
+        let b = match op {
+            Eq => ord == std::cmp::Ordering::Equal,
+            NotEq => ord != std::cmp::Ordering::Equal,
+            Lt => ord == std::cmp::Ordering::Less,
+            LtEq => ord != std::cmp::Ordering::Greater,
+            Gt => ord == std::cmp::Ordering::Greater,
+            GtEq => ord != std::cmp::Ordering::Less,
+            _ => unreachable!(),
+        };
+        return Ok(Value::Bool(b));
+    }
+    if op == Concat {
+        return Ok(Value::Text(format!("{l}{r}")));
+    }
+    // arithmetic
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => Ok(match op {
+            Plus => Value::Int(a.wrapping_add(*b)),
+            Minus => Value::Int(a.wrapping_sub(*b)),
+            Mul => Value::Int(a.wrapping_mul(*b)),
+            Div => {
+                if *b == 0 {
+                    return Err(SqlError::Execution("division by zero".into()));
+                }
+                Value::Float(*a as f64 / *b as f64)
+            }
+            Mod => {
+                if *b == 0 {
+                    return Err(SqlError::Execution("division by zero".into()));
+                }
+                Value::Int(a % b)
+            }
+            _ => unreachable!(),
+        }),
+        // Date +/- integer days
+        (Value::Date(d), Value::Int(n)) if matches!(op, Plus | Minus) => Ok(Value::Date(
+            if op == Plus { d + *n as i32 } else { d - *n as i32 },
+        )),
+        (Value::Date(a), Value::Date(b)) if op == Minus => Ok(Value::Int((*a - *b) as i64)),
+        _ => {
+            let (a, b) = (
+                l.as_f64().ok_or_else(|| {
+                    SqlError::Execution(format!("cannot apply {op} to {l}"))
+                })?,
+                r.as_f64().ok_or_else(|| {
+                    SqlError::Execution(format!("cannot apply {op} to {r}"))
+                })?,
+            );
+            Ok(match op {
+                Plus => Value::Float(a + b),
+                Minus => Value::Float(a - b),
+                Mul => Value::Float(a * b),
+                Div => {
+                    if b == 0.0 {
+                        return Err(SqlError::Execution("division by zero".into()));
+                    }
+                    Value::Float(a / b)
+                }
+                Mod => Value::Float(a % b),
+                _ => unreachable!(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::udf::NoInference;
+    use std::sync::Arc;
+
+    fn ctx() -> EvalContext {
+        EvalContext {
+            provider: Arc::new(NoInference),
+            user: "admin".into(),
+            threads: 1,
+        }
+    }
+
+    fn test_batch() -> RecordBatch {
+        let schema = Arc::new(Schema::from_pairs(&[
+            ("a", DataType::Int),
+            ("b", DataType::Float),
+            ("s", DataType::Text),
+        ]));
+        RecordBatch::from_rows(
+            schema,
+            &[
+                vec![Value::Int(1), Value::Float(0.5), Value::Text("apple".into())],
+                vec![Value::Int(2), Value::Float(1.5), Value::Text("banana".into())],
+                vec![Value::Null, Value::Float(2.5), Value::Text("cherry".into())],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn compile(sql: &str) -> PhysExpr {
+        let e = crate::parser::parse_expr(sql).unwrap();
+        let batch = test_batch();
+        PhysExpr::compile(&e, batch.schema(), &NoInference).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_nulls() {
+        let batch = test_batch();
+        let e = compile("a + 10");
+        let out = e.eval(&batch, &ctx()).unwrap();
+        assert_eq!(out.get(0), Value::Int(11));
+        assert!(out.get(2).is_null());
+    }
+
+    #[test]
+    fn float_fast_path() {
+        let batch = test_batch();
+        let e = compile("b * 2.0");
+        let out = e.eval(&batch, &ctx()).unwrap();
+        assert_eq!(out.get(1), Value::Float(3.0));
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let batch = test_batch();
+        let e = compile("a >= 2 OR s = 'apple'");
+        let out = e.eval(&batch, &ctx()).unwrap();
+        assert_eq!(out.get(0), Value::Bool(true));
+        assert_eq!(out.get(1), Value::Bool(true));
+        assert!(out.get(2).is_null(), "NULL OR false is NULL");
+    }
+
+    #[test]
+    fn between_desugars() {
+        let batch = test_batch();
+        let e = compile("b BETWEEN 1.0 AND 2.0");
+        let out = e.eval(&batch, &ctx()).unwrap();
+        assert_eq!(out.get(0), Value::Bool(false));
+        assert_eq!(out.get(1), Value::Bool(true));
+        assert_eq!(out.get(2), Value::Bool(false));
+    }
+
+    #[test]
+    fn in_list_with_null_semantics() {
+        let batch = test_batch();
+        let e = compile("a IN (1, 3)");
+        let out = e.eval(&batch, &ctx()).unwrap();
+        assert_eq!(out.get(0), Value::Bool(true));
+        assert_eq!(out.get(1), Value::Bool(false));
+        assert!(out.get(2).is_null());
+    }
+
+    #[test]
+    fn like_and_case() {
+        let batch = test_batch();
+        let e = compile("CASE WHEN s LIKE '%an%' THEN 'has-an' ELSE 'no' END");
+        let out = e.eval(&batch, &ctx()).unwrap();
+        assert_eq!(out.get(0), Value::Text("no".into()));
+        assert_eq!(out.get(1), Value::Text("has-an".into()));
+    }
+
+    #[test]
+    fn cast_and_functions() {
+        let batch = test_batch();
+        let e = compile("CAST(b AS INT) + LENGTH(s)");
+        let out = e.eval(&batch, &ctx()).unwrap();
+        assert_eq!(out.get(0), Value::Int(5)); // 0 + 5
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        let batch = test_batch();
+        let e = compile("a / 0");
+        assert!(e.eval(&batch, &ctx()).is_err());
+    }
+
+    #[test]
+    fn date_arithmetic() {
+        let l = Value::Date(crate::types::parse_date("1996-01-01").unwrap());
+        let out = eval_binary(&l, BinOp::Plus, &Value::Int(31)).unwrap();
+        assert_eq!(out, Value::Date(crate::types::parse_date("1996-02-01").unwrap()));
+        let diff = eval_binary(
+            &Value::Date(10),
+            BinOp::Minus,
+            &Value::Date(3),
+        )
+        .unwrap();
+        assert_eq!(diff, Value::Int(7));
+    }
+}

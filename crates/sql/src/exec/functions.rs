@@ -1,0 +1,271 @@
+//! Scalar function implementations.
+
+use crate::error::{Result, SqlError};
+use crate::types::{DataType, Value};
+
+/// Evaluate a scalar function over already-evaluated argument values.
+///
+/// Functions follow SQL NULL propagation: any NULL argument yields NULL,
+/// except COALESCE/IFNULL/NULLIF/GREATEST/LEAST which handle NULLs
+/// explicitly.
+pub fn eval_function(name: &str, args: &[Value]) -> Result<Value> {
+    match name {
+        "COALESCE" | "IFNULL" => {
+            return Ok(args
+                .iter()
+                .find(|v| !v.is_null())
+                .cloned()
+                .unwrap_or(Value::Null));
+        }
+        "NULLIF" => {
+            let [a, b] = two(name, args)?;
+            return Ok(if a == b { Value::Null } else { a.clone() });
+        }
+        "GREATEST" => return extremum(args, std::cmp::Ordering::Greater),
+        "LEAST" => return extremum(args, std::cmp::Ordering::Less),
+        _ => {}
+    }
+    if args.iter().any(Value::is_null) {
+        return Ok(Value::Null);
+    }
+    Ok(match name {
+        "ABS" => match one(name, args)? {
+            Value::Int(i) => Value::Int(i.abs()),
+            v => Value::Float(num(name, v)?.abs()),
+        },
+        "ROUND" => {
+            if args.len() == 2 {
+                let x = num(name, &args[0])?;
+                let d = num(name, &args[1])? as i32;
+                let m = 10f64.powi(d);
+                Value::Float((x * m).round() / m)
+            } else {
+                Value::Float(num(name, one(name, args)?)?.round())
+            }
+        }
+        "FLOOR" => Value::Float(num(name, one(name, args)?)?.floor()),
+        "CEIL" | "CEILING" => Value::Float(num(name, one(name, args)?)?.ceil()),
+        "SQRT" => Value::Float(num(name, one(name, args)?)?.sqrt()),
+        "EXP" => Value::Float(num(name, one(name, args)?)?.exp()),
+        "LN" => Value::Float(num(name, one(name, args)?)?.ln()),
+        "LOG" => Value::Float(num(name, one(name, args)?)?.log10()),
+        "POWER" | "POW" => {
+            let [a, b] = two(name, args)?;
+            Value::Float(num(name, a)?.powf(num(name, b)?))
+        }
+        "SIGMOID" => {
+            let x = num(name, one(name, args)?)?;
+            Value::Float(1.0 / (1.0 + (-x).exp()))
+        }
+        "UPPER" => Value::Text(text(name, one(name, args)?)?.to_uppercase()),
+        "LOWER" => Value::Text(text(name, one(name, args)?)?.to_lowercase()),
+        "TRIM" => Value::Text(text(name, one(name, args)?)?.trim().to_string()),
+        "LENGTH" => Value::Int(text(name, one(name, args)?)?.chars().count() as i64),
+        "CONCAT" => {
+            let mut s = String::new();
+            for a in args {
+                s.push_str(&a.to_string());
+            }
+            Value::Text(s)
+        }
+        "REPLACE" => {
+            let [a, b, c] = three(name, args)?;
+            Value::Text(text(name, a)?.replace(text(name, b)?, text(name, c)?))
+        }
+        "SUBSTR" | "SUBSTRING" => {
+            let s = text(name, &args[0])?;
+            let start = num(name, &args[1])? as i64;
+            let chars: Vec<char> = s.chars().collect();
+            let begin = (start.max(1) - 1) as usize;
+            let len = if args.len() > 2 {
+                num(name, &args[2])? as usize
+            } else {
+                chars.len().saturating_sub(begin)
+            };
+            let out: String = chars.iter().skip(begin).take(len).collect();
+            Value::Text(out)
+        }
+        "YEAR" | "MONTH" | "DAY" => {
+            let d = date(name, one(name, args)?)?;
+            let s = crate::types::format_date(d);
+            let mut parts = s.split('-');
+            let pick = match name {
+                "YEAR" => 0,
+                "MONTH" => 1,
+                _ => 2,
+            };
+            let part = parts.nth(pick).unwrap_or("0");
+            Value::Int(part.parse::<i64>().unwrap_or(0))
+        }
+        other => {
+            return Err(SqlError::Execution(format!("unknown function '{other}'")));
+        }
+    })
+}
+
+fn extremum(args: &[Value], want: std::cmp::Ordering) -> Result<Value> {
+    let mut best: Option<&Value> = None;
+    for a in args {
+        if a.is_null() {
+            continue;
+        }
+        best = Some(match best {
+            None => a,
+            Some(b) => {
+                if a.sql_cmp(b) == Some(want) {
+                    a
+                } else {
+                    b
+                }
+            }
+        });
+    }
+    Ok(best.cloned().unwrap_or(Value::Null))
+}
+
+fn one<'a>(name: &str, args: &'a [Value]) -> Result<&'a Value> {
+    args.first()
+        .ok_or_else(|| SqlError::Execution(format!("{name} requires 1 argument")))
+}
+
+fn two<'a>(name: &str, args: &'a [Value]) -> Result<[&'a Value; 2]> {
+    if args.len() < 2 {
+        return Err(SqlError::Execution(format!("{name} requires 2 arguments")));
+    }
+    Ok([&args[0], &args[1]])
+}
+
+fn three<'a>(name: &str, args: &'a [Value]) -> Result<[&'a Value; 3]> {
+    if args.len() < 3 {
+        return Err(SqlError::Execution(format!("{name} requires 3 arguments")));
+    }
+    Ok([&args[0], &args[1], &args[2]])
+}
+
+fn num(name: &str, v: &Value) -> Result<f64> {
+    v.as_f64()
+        .ok_or_else(|| SqlError::Execution(format!("{name}: expected numeric, got {v}")))
+}
+
+fn text<'a>(name: &str, v: &'a Value) -> Result<&'a str> {
+    v.as_str()
+        .ok_or_else(|| SqlError::Execution(format!("{name}: expected text, got {v}")))
+}
+
+fn date(name: &str, v: &Value) -> Result<i32> {
+    match v {
+        Value::Date(d) => Ok(*d),
+        Value::Text(s) => crate::types::parse_date(s)
+            .ok_or_else(|| SqlError::Execution(format!("{name}: bad date '{s}'"))),
+        other => match other.cast(DataType::Date) {
+            Ok(Value::Date(d)) => Ok(d),
+            _ => Err(SqlError::Execution(format!(
+                "{name}: expected date, got {other}"
+            ))),
+        },
+    }
+}
+
+/// SQL LIKE matching with `%` and `_` wildcards.
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    like_rec(&t, &p)
+}
+
+fn like_rec(t: &[char], p: &[char]) -> bool {
+    match p.split_first() {
+        None => t.is_empty(),
+        Some(('%', rest)) => {
+            (0..=t.len()).any(|i| like_rec(&t[i..], rest))
+        }
+        Some(('_', rest)) => !t.is_empty() && like_rec(&t[1..], rest),
+        Some((c, rest)) => t.first() == Some(c) && like_rec(&t[1..], rest),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn math_functions() {
+        assert_eq!(
+            eval_function("ABS", &[Value::Int(-5)]).unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            eval_function("ROUND", &[Value::Float(2.567), Value::Int(1)]).unwrap(),
+            Value::Float(2.6)
+        );
+        assert_eq!(
+            eval_function("POWER", &[Value::Int(2), Value::Int(10)]).unwrap(),
+            Value::Float(1024.0)
+        );
+        let Value::Float(s) = eval_function("SIGMOID", &[Value::Float(0.0)]).unwrap() else {
+            panic!()
+        };
+        assert!((s - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn string_functions() {
+        assert_eq!(
+            eval_function("UPPER", &[Value::Text("abc".into())]).unwrap(),
+            Value::Text("ABC".into())
+        );
+        assert_eq!(
+            eval_function("LENGTH", &[Value::Text("héllo".into())]).unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            eval_function(
+                "SUBSTR",
+                &[Value::Text("hello".into()), Value::Int(2), Value::Int(3)]
+            )
+            .unwrap(),
+            Value::Text("ell".into())
+        );
+        assert_eq!(
+            eval_function("CONCAT", &[Value::Text("a".into()), Value::Int(1)]).unwrap(),
+            Value::Text("a1".into())
+        );
+    }
+
+    #[test]
+    fn null_propagation_and_coalesce() {
+        assert!(eval_function("ABS", &[Value::Null]).unwrap().is_null());
+        assert_eq!(
+            eval_function("COALESCE", &[Value::Null, Value::Int(2)]).unwrap(),
+            Value::Int(2)
+        );
+        assert!(eval_function("NULLIF", &[Value::Int(1), Value::Int(1)])
+            .unwrap()
+            .is_null());
+        assert_eq!(
+            eval_function("GREATEST", &[Value::Int(1), Value::Null, Value::Int(3)]).unwrap(),
+            Value::Int(3)
+        );
+    }
+
+    #[test]
+    fn date_parts() {
+        let d = Value::Date(crate::types::parse_date("1996-03-15").unwrap());
+        let arg = std::slice::from_ref(&d);
+        assert_eq!(eval_function("YEAR", arg).unwrap(), Value::Int(1996));
+        assert_eq!(eval_function("MONTH", arg).unwrap(), Value::Int(3));
+        assert_eq!(eval_function("DAY", arg).unwrap(), Value::Int(15));
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("hello", "h%"));
+        assert!(like_match("hello", "%llo"));
+        assert!(like_match("hello", "h_llo"));
+        assert!(!like_match("hello", "h_lo"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("abc", ""));
+        assert!(like_match("a%c", "a%c"));
+        assert!(like_match("special offer", "%special%"));
+    }
+}

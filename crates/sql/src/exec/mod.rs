@@ -1,0 +1,693 @@
+//! Physical planning and execution.
+//!
+//! Execution is batch-materialized: every operator consumes and produces a
+//! whole [`RecordBatch`]. Projections containing parallel `PREDICT` calls
+//! split their input into chunks and score across worker threads — the
+//! engine-level parallelism the paper credits for SONNX's speedup over
+//! standalone ONNX Runtime.
+
+pub mod agg;
+pub mod expr;
+pub mod functions;
+
+pub use expr::{EvalContext, PhysExpr, PhysNode};
+
+use crate::ast::{Expr, JoinType, PredictStrategy};
+use crate::batch::RecordBatch;
+use crate::catalog::Catalog;
+use crate::column::ColumnVector;
+use crate::error::Result;
+use crate::plan::{rewrite_expr, AggCall, LogicalPlan};
+use crate::schema::Schema;
+use crate::types::Value;
+use crate::udf::InferenceProvider;
+use agg::{Accumulator, GroupKey};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Execution tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Worker threads for parallel inference (>= 1).
+    pub threads: usize,
+    /// Minimum batch size before a parallel projection actually fans out.
+    pub parallel_row_threshold: usize,
+    /// What `PREDICT(...)` with strategy `Auto` resolves to.
+    pub default_predict: PredictStrategy,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        ExecOptions {
+            threads,
+            parallel_row_threshold: 4096,
+            default_predict: PredictStrategy::Parallel(threads),
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Single-threaded execution with vectorized (but serial) inference.
+    pub fn serial() -> Self {
+        ExecOptions {
+            threads: 1,
+            parallel_row_threshold: usize::MAX,
+            default_predict: PredictStrategy::Vectorized,
+        }
+    }
+}
+
+/// A physical operator tree.
+#[derive(Debug, Clone)]
+pub enum PhysicalPlan {
+    Scan {
+        data: RecordBatch,
+    },
+    Values {
+        schema: Arc<Schema>,
+        rows: Vec<Vec<PhysExpr>>,
+    },
+    Filter {
+        input: Box<PhysicalPlan>,
+        predicate: PhysExpr,
+    },
+    Project {
+        input: Box<PhysicalPlan>,
+        exprs: Vec<PhysExpr>,
+        schema: Arc<Schema>,
+        /// Chunked-parallel evaluation degree (1 = serial).
+        parallelism: usize,
+        /// Row threshold before fanning out.
+        parallel_threshold: usize,
+    },
+    HashAggregate {
+        input: Box<PhysicalPlan>,
+        group: Vec<PhysExpr>,
+        aggs: Vec<(AggCall, Option<PhysExpr>)>,
+        schema: Arc<Schema>,
+    },
+    HashJoin {
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+        left_keys: Vec<PhysExpr>,
+        right_keys: Vec<PhysExpr>,
+        join_type: JoinType,
+        filter: Option<PhysExpr>,
+        schema: Arc<Schema>,
+    },
+    NestedLoopJoin {
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+        join_type: JoinType,
+        filter: Option<PhysExpr>,
+        schema: Arc<Schema>,
+    },
+    Sort {
+        input: Box<PhysicalPlan>,
+        keys: Vec<(PhysExpr, bool)>,
+    },
+    Limit {
+        input: Box<PhysicalPlan>,
+        limit: Option<u64>,
+        offset: u64,
+    },
+    Distinct {
+        input: Box<PhysicalPlan>,
+    },
+    Union {
+        inputs: Vec<PhysicalPlan>,
+        schema: Arc<Schema>,
+    },
+}
+
+/// Translate an (optimized) logical plan into a physical plan, snapshotting
+/// table data from `catalog`.
+pub fn create_physical_plan(
+    logical: &LogicalPlan,
+    catalog: &Catalog,
+    provider: &dyn InferenceProvider,
+    options: &ExecOptions,
+) -> Result<PhysicalPlan> {
+    Ok(match logical {
+        LogicalPlan::Scan {
+            table,
+            version,
+            projection,
+            schema,
+        } => {
+            let t = catalog.table(table)?;
+            let tv = match version {
+                Some(v) => t.at_version(*v)?,
+                None => t.current(),
+            };
+            let src = &tv.data;
+            let columns: Vec<ColumnVector> = match projection {
+                Some(indices) => indices.iter().map(|&i| src.column(i).clone()).collect(),
+                None => src.columns().to_vec(),
+            };
+            PhysicalPlan::Scan {
+                data: RecordBatch::new(schema.clone(), columns)?,
+            }
+        }
+        LogicalPlan::Values { schema, rows } => {
+            let empty = RecordBatch::empty(Arc::new(Schema::default()));
+            let compiled: Vec<Vec<PhysExpr>> = rows
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .map(|e| PhysExpr::compile(e, empty.schema(), provider))
+                        .collect::<Result<_>>()
+                })
+                .collect::<Result<_>>()?;
+            PhysicalPlan::Values {
+                schema: schema.clone(),
+                rows: compiled,
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let child = create_physical_plan(input, catalog, provider, options)?;
+            let predicate = compile(predicate, input.schema(), provider, options)?;
+            PhysicalPlan::Filter {
+                input: Box::new(child),
+                predicate,
+            }
+        }
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => {
+            let child = create_physical_plan(input, catalog, provider, options)?;
+            let compiled: Vec<PhysExpr> = exprs
+                .iter()
+                .map(|e| compile(e, input.schema(), provider, options))
+                .collect::<Result<_>>()?;
+            let parallelism = compiled
+                .iter()
+                .map(PhysExpr::predict_parallelism)
+                .max()
+                .unwrap_or(0)
+                .max(1);
+            PhysicalPlan::Project {
+                input: Box::new(child),
+                exprs: compiled,
+                schema: schema.clone(),
+                parallelism,
+                parallel_threshold: options.parallel_row_threshold,
+            }
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group,
+            aggs,
+            schema,
+        } => {
+            let child = create_physical_plan(input, catalog, provider, options)?;
+            let group_c: Vec<PhysExpr> = group
+                .iter()
+                .map(|e| compile(e, input.schema(), provider, options))
+                .collect::<Result<_>>()?;
+            let aggs_c: Vec<(AggCall, Option<PhysExpr>)> = aggs
+                .iter()
+                .map(|a| {
+                    let arg = a
+                        .arg
+                        .as_ref()
+                        .map(|e| compile(e, input.schema(), provider, options))
+                        .transpose()?;
+                    Ok((a.clone(), arg))
+                })
+                .collect::<Result<_>>()?;
+            PhysicalPlan::HashAggregate {
+                input: Box::new(child),
+                group: group_c,
+                aggs: aggs_c,
+                schema: schema.clone(),
+            }
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            on,
+            filter,
+            schema,
+        } => {
+            let l = create_physical_plan(left, catalog, provider, options)?;
+            let r = create_physical_plan(right, catalog, provider, options)?;
+            let joined_schema = schema.clone();
+            let filter_c = filter
+                .as_ref()
+                .map(|f| compile(f, &joined_schema, provider, options))
+                .transpose()?;
+            if on.is_empty() {
+                PhysicalPlan::NestedLoopJoin {
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    join_type: *join_type,
+                    filter: filter_c,
+                    schema: joined_schema,
+                }
+            } else {
+                let left_keys: Vec<PhysExpr> = on
+                    .iter()
+                    .map(|(le, _)| compile(le, left.schema(), provider, options))
+                    .collect::<Result<_>>()?;
+                let right_keys: Vec<PhysExpr> = on
+                    .iter()
+                    .map(|(_, re)| compile(re, right.schema(), provider, options))
+                    .collect::<Result<_>>()?;
+                PhysicalPlan::HashJoin {
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    left_keys,
+                    right_keys,
+                    join_type: *join_type,
+                    filter: filter_c,
+                    schema: joined_schema,
+                }
+            }
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let child = create_physical_plan(input, catalog, provider, options)?;
+            let keys_c: Vec<(PhysExpr, bool)> = keys
+                .iter()
+                .map(|(e, asc)| Ok((compile(e, input.schema(), provider, options)?, *asc)))
+                .collect::<Result<_>>()?;
+            PhysicalPlan::Sort {
+                input: Box::new(child),
+                keys: keys_c,
+            }
+        }
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => PhysicalPlan::Limit {
+            input: Box::new(create_physical_plan(input, catalog, provider, options)?),
+            limit: *limit,
+            offset: *offset,
+        },
+        LogicalPlan::Distinct { input } => PhysicalPlan::Distinct {
+            input: Box::new(create_physical_plan(input, catalog, provider, options)?),
+        },
+        LogicalPlan::Union { inputs, schema } => PhysicalPlan::Union {
+            inputs: inputs
+                .iter()
+                .map(|i| create_physical_plan(i, catalog, provider, options))
+                .collect::<Result<_>>()?,
+            schema: schema.clone(),
+        },
+    })
+}
+
+/// Compile with `Auto` PREDICT strategies resolved to the engine default.
+fn compile(
+    e: &Expr,
+    schema: &Schema,
+    provider: &dyn InferenceProvider,
+    options: &ExecOptions,
+) -> Result<PhysExpr> {
+    let resolved = rewrite_expr(e.clone(), &mut |x| {
+        Ok(match x {
+            Expr::Predict {
+                model,
+                args,
+                strategy: PredictStrategy::Auto,
+            } => Expr::Predict {
+                model,
+                args,
+                strategy: options.default_predict,
+            },
+            other => other,
+        })
+    })?;
+    PhysExpr::compile(&resolved, schema, provider)
+}
+
+impl PhysicalPlan {
+    pub fn execute(&self, ctx: &EvalContext) -> Result<RecordBatch> {
+        match self {
+            PhysicalPlan::Scan { data } => Ok(data.clone()),
+            PhysicalPlan::Values { schema, rows } => {
+                let empty = RecordBatch::empty(Arc::new(Schema::default()));
+                let mut out_rows: Vec<Vec<Value>> = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let vals: Vec<Value> = row
+                        .iter()
+                        .map(|e| e.eval_row(&empty, 0, ctx))
+                        .collect::<Result<_>>()?;
+                    out_rows.push(vals);
+                }
+                RecordBatch::from_rows(schema.clone(), &out_rows)
+            }
+            PhysicalPlan::Filter { input, predicate } => {
+                let batch = input.execute(ctx)?;
+                let col = predicate.eval(&batch, ctx)?;
+                let mask: Vec<bool> = (0..batch.num_rows())
+                    .map(|i| col.get(i).as_bool() == Some(true))
+                    .collect();
+                batch.filter(&mask)
+            }
+            PhysicalPlan::Project {
+                input,
+                exprs,
+                schema,
+                parallelism,
+                parallel_threshold,
+            } => {
+                let batch = input.execute(ctx)?;
+                if *parallelism > 1 && batch.num_rows() >= *parallel_threshold {
+                    return project_parallel(&batch, exprs, schema, *parallelism, ctx);
+                }
+                let columns: Vec<ColumnVector> = exprs
+                    .iter()
+                    .map(|e| e.eval(&batch, ctx))
+                    .collect::<Result<_>>()?;
+                RecordBatch::new(schema.clone(), columns)
+            }
+            PhysicalPlan::HashAggregate {
+                input,
+                group,
+                aggs,
+                schema,
+            } => {
+                let batch = input.execute(ctx)?;
+                execute_aggregate(&batch, group, aggs, schema, ctx)
+            }
+            PhysicalPlan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                join_type,
+                filter,
+                schema,
+            } => {
+                let lb = left.execute(ctx)?;
+                let rb = right.execute(ctx)?;
+                execute_hash_join(
+                    &lb, &rb, left_keys, right_keys, *join_type, filter, schema, ctx,
+                )
+            }
+            PhysicalPlan::NestedLoopJoin {
+                left,
+                right,
+                join_type,
+                filter,
+                schema,
+            } => {
+                let lb = left.execute(ctx)?;
+                let rb = right.execute(ctx)?;
+                let pairs: Vec<(usize, usize)> = (0..lb.num_rows())
+                    .flat_map(|li| (0..rb.num_rows()).map(move |ri| (li, ri)))
+                    .collect();
+                finish_join(&lb, &rb, pairs, *join_type, filter, schema, ctx)
+            }
+            PhysicalPlan::Sort { input, keys } => {
+                let batch = input.execute(ctx)?;
+                let key_cols: Vec<(ColumnVector, bool)> = keys
+                    .iter()
+                    .map(|(e, asc)| Ok((e.eval(&batch, ctx)?, *asc)))
+                    .collect::<Result<_>>()?;
+                let mut indices: Vec<usize> = (0..batch.num_rows()).collect();
+                indices.sort_by(|&a, &b| {
+                    for (col, asc) in &key_cols {
+                        let ord = col.get(a).total_cmp(&col.get(b));
+                        let ord = if *asc { ord } else { ord.reverse() };
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+                batch.take(&indices)
+            }
+            PhysicalPlan::Limit {
+                input,
+                limit,
+                offset,
+            } => {
+                let batch = input.execute(ctx)?;
+                let start = (*offset as usize).min(batch.num_rows());
+                let len = limit
+                    .map(|l| l as usize)
+                    .unwrap_or(batch.num_rows() - start);
+                Ok(batch.slice(start, len))
+            }
+            PhysicalPlan::Union { inputs, schema } => {
+                let batches: Vec<RecordBatch> = inputs
+                    .iter()
+                    .map(|i| i.execute(ctx))
+                    .collect::<Result<_>>()?;
+                RecordBatch::concat(schema.clone(), &batches)
+            }
+            PhysicalPlan::Distinct { input } => {
+                let batch = input.execute(ctx)?;
+                let mut seen: std::collections::HashSet<GroupKey> =
+                    std::collections::HashSet::new();
+                let mut keep = Vec::new();
+                for i in 0..batch.num_rows() {
+                    if seen.insert(GroupKey(batch.row(i))) {
+                        keep.push(i);
+                    }
+                }
+                batch.take(&keep)
+            }
+        }
+    }
+
+    /// Output schema of this physical operator.
+    pub fn schema(&self) -> Arc<Schema> {
+        match self {
+            PhysicalPlan::Scan { data } => data.schema().clone(),
+            PhysicalPlan::Values { schema, .. }
+            | PhysicalPlan::Project { schema, .. }
+            | PhysicalPlan::HashAggregate { schema, .. }
+            | PhysicalPlan::HashJoin { schema, .. }
+            | PhysicalPlan::Union { schema, .. }
+            | PhysicalPlan::NestedLoopJoin { schema, .. } => schema.clone(),
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. }
+            | PhysicalPlan::Distinct { input } => input.schema(),
+        }
+    }
+}
+
+/// Evaluate a projection in parallel over row chunks.
+fn project_parallel(
+    batch: &RecordBatch,
+    exprs: &[PhysExpr],
+    schema: &Arc<Schema>,
+    parallelism: usize,
+    ctx: &EvalContext,
+) -> Result<RecordBatch> {
+    let n = batch.num_rows();
+    let chunk_rows = n.div_ceil(parallelism).max(1);
+    let chunks = batch.chunks(chunk_rows);
+    let results: Vec<Result<Vec<ColumnVector>>> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                s.spawn(move |_| {
+                    exprs
+                        .iter()
+                        .map(|e| e.eval(chunk, ctx))
+                        .collect::<Result<Vec<_>>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+    .expect("thread scope");
+    let mut parts: Vec<RecordBatch> = Vec::with_capacity(results.len());
+    for r in results {
+        parts.push(RecordBatch::new(schema.clone(), r?)?);
+    }
+    RecordBatch::concat(schema.clone(), &parts)
+}
+
+fn execute_aggregate(
+    batch: &RecordBatch,
+    group: &[PhysExpr],
+    aggs: &[(AggCall, Option<PhysExpr>)],
+    schema: &Arc<Schema>,
+    ctx: &EvalContext,
+) -> Result<RecordBatch> {
+    // Evaluate group + arg columns once, vectorized.
+    let group_cols: Vec<ColumnVector> = group
+        .iter()
+        .map(|e| e.eval(batch, ctx))
+        .collect::<Result<_>>()?;
+    let arg_cols: Vec<Option<ColumnVector>> = aggs
+        .iter()
+        .map(|(_, arg)| arg.as_ref().map(|e| e.eval(batch, ctx)).transpose())
+        .collect::<Result<_>>()?;
+
+    // Fast path: global aggregate (no GROUP BY) needs no hash table.
+    if group.is_empty() {
+        let mut accs: Vec<Accumulator> = aggs
+            .iter()
+            .map(|(call, _)| Accumulator::new(call.func, call.distinct))
+            .collect();
+        for row in 0..batch.num_rows() {
+            for (acc, arg) in accs.iter_mut().zip(&arg_cols) {
+                match arg {
+                    Some(col) => acc.update(Some(&col.get(row))),
+                    None => acc.update(None),
+                }
+            }
+        }
+        let row: Vec<Value> = accs.iter().map(Accumulator::finish).collect();
+        return RecordBatch::from_rows(schema.clone(), &[row]);
+    }
+
+    let mut groups: HashMap<GroupKey, Vec<Accumulator>> = HashMap::new();
+    let mut order: Vec<GroupKey> = Vec::new();
+    for row in 0..batch.num_rows() {
+        let key = GroupKey(group_cols.iter().map(|c| c.get(row)).collect());
+        let accs = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            aggs.iter()
+                .map(|(call, _)| Accumulator::new(call.func, call.distinct))
+                .collect()
+        });
+        for (acc, arg) in accs.iter_mut().zip(&arg_cols) {
+            match arg {
+                Some(col) => acc.update(Some(&col.get(row))),
+                None => acc.update(None),
+            }
+        }
+    }
+
+    // Global aggregate over an empty input still yields one row.
+    if groups.is_empty() && group.is_empty() {
+        let key = GroupKey(vec![]);
+        order.push(key.clone());
+        groups.insert(
+            key,
+            aggs.iter()
+                .map(|(call, _)| Accumulator::new(call.func, call.distinct))
+                .collect(),
+        );
+    }
+
+    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(order.len());
+    for key in order {
+        let accs = &groups[&key];
+        let mut row = key.0.clone();
+        row.extend(accs.iter().map(Accumulator::finish));
+        rows.push(row);
+    }
+    RecordBatch::from_rows(schema.clone(), &rows)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_hash_join(
+    lb: &RecordBatch,
+    rb: &RecordBatch,
+    left_keys: &[PhysExpr],
+    right_keys: &[PhysExpr],
+    join_type: JoinType,
+    filter: &Option<PhysExpr>,
+    schema: &Arc<Schema>,
+    ctx: &EvalContext,
+) -> Result<RecordBatch> {
+    let lk: Vec<ColumnVector> = left_keys
+        .iter()
+        .map(|e| e.eval(lb, ctx))
+        .collect::<Result<_>>()?;
+    let rk: Vec<ColumnVector> = right_keys
+        .iter()
+        .map(|e| e.eval(rb, ctx))
+        .collect::<Result<_>>()?;
+
+    // Build on the right side.
+    let mut table: HashMap<GroupKey, Vec<usize>> = HashMap::new();
+    for ri in 0..rb.num_rows() {
+        let key_vals: Vec<Value> = rk.iter().map(|c| c.get(ri)).collect();
+        if key_vals.iter().any(Value::is_null) {
+            continue; // NULL keys never match
+        }
+        table.entry(GroupKey(key_vals)).or_default().push(ri);
+    }
+
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for li in 0..lb.num_rows() {
+        let key_vals: Vec<Value> = lk.iter().map(|c| c.get(li)).collect();
+        if key_vals.iter().any(Value::is_null) {
+            continue;
+        }
+        if let Some(matches) = table.get(&GroupKey(key_vals)) {
+            for &ri in matches {
+                pairs.push((li, ri));
+            }
+        }
+    }
+    finish_join(lb, rb, pairs, join_type, filter, schema, ctx)
+}
+
+/// Materialize candidate pairs, apply the residual filter, and null-extend
+/// unmatched left rows for LEFT joins.
+fn finish_join(
+    lb: &RecordBatch,
+    rb: &RecordBatch,
+    pairs: Vec<(usize, usize)>,
+    join_type: JoinType,
+    filter: &Option<PhysExpr>,
+    schema: &Arc<Schema>,
+    ctx: &EvalContext,
+) -> Result<RecordBatch> {
+    let li: Vec<usize> = pairs.iter().map(|(l, _)| *l).collect();
+    let ri: Vec<usize> = pairs.iter().map(|(_, r)| *r).collect();
+    let left_part = lb.take(&li)?;
+    let right_part = rb.take(&ri)?;
+    let mut cols = left_part.columns().to_vec();
+    cols.extend(right_part.columns().iter().cloned());
+    let mut joined = RecordBatch::new(schema.clone(), cols)?;
+
+    let mut matched_left: Vec<bool> = vec![false; lb.num_rows()];
+    if let Some(f) = filter {
+        let col = f.eval(&joined, ctx)?;
+        let mask: Vec<bool> = (0..joined.num_rows())
+            .map(|i| col.get(i).as_bool() == Some(true))
+            .collect();
+        for (i, &keep) in mask.iter().enumerate() {
+            if keep {
+                matched_left[li[i]] = true;
+            }
+        }
+        joined = joined.filter(&mask)?;
+    } else {
+        for &l in &li {
+            matched_left[l] = true;
+        }
+    }
+
+    if join_type == JoinType::Left {
+        let unmatched: Vec<usize> = (0..lb.num_rows())
+            .filter(|&l| !matched_left[l])
+            .collect();
+        if !unmatched.is_empty() {
+            let left_rows = lb.take(&unmatched)?;
+            let mut cols = left_rows.columns().to_vec();
+            for c in rb.columns() {
+                let mut nulls = ColumnVector::with_capacity(c.data_type(), unmatched.len());
+                for _ in 0..unmatched.len() {
+                    nulls.push_null();
+                }
+                cols.push(nulls);
+            }
+            let null_ext = RecordBatch::new(schema.clone(), cols)?;
+            joined = RecordBatch::concat(schema.clone(), &[joined, null_ext])?;
+        }
+    }
+    Ok(joined)
+}

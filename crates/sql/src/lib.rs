@@ -1,0 +1,44 @@
+//! # flock-sql
+//!
+//! An in-memory, columnar SQL engine built as the DBMS substrate for the
+//! Flock reference architecture (CIDR 2020, *"Cloudy with high chance of
+//! DBMS"*). It provides the enterprise features the paper argues models
+//! must inherit from data platforms:
+//!
+//! * a SQL dialect with parser, logical planner, rule-based optimizer and
+//!   vectorized executor;
+//! * **versioned tables** — every committed write creates a new immutable
+//!   snapshot, enabling time travel and temporal provenance;
+//! * **transactions** with optimistic concurrency and rollback;
+//! * **extension objects** — versioned, securable catalog objects with
+//!   opaque payloads, used by `flock-core` to store models as derived data;
+//! * **access control and auditing** on tables *and* models;
+//! * a query log for lazy provenance capture;
+//! * a `PREDICT(...)` expression extension point through which the Flock
+//!   inference layer plugs into query execution.
+
+pub mod ast;
+pub mod batch;
+pub mod catalog;
+pub mod column;
+pub mod engine;
+pub mod error;
+pub mod exec;
+pub mod lexer;
+pub mod optimizer;
+pub mod parser;
+pub mod plan;
+pub mod schema;
+pub mod stats;
+pub mod table;
+pub mod types;
+pub mod udf;
+
+pub use batch::RecordBatch;
+pub use engine::{Database, QueryResult, Session};
+pub use catalog::{Catalog, ObjectKind, ObjectRef, Privilege};
+pub use column::ColumnVector;
+pub use error::{Result, SqlError};
+pub use schema::{ColumnDef, Schema};
+pub use table::{Table, TableVersion};
+pub use types::{DataType, Value};

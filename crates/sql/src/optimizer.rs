@@ -1,0 +1,922 @@
+//! Rule-based logical optimizer.
+//!
+//! Classical relational rules live here (constant folding, predicate
+//! pushdown, equi-join extraction, projection pruning). The SQL×ML
+//! *cross-optimizer* rules from the paper (predicate push-up across
+//! models, feature pruning via model sparsity, model compression, physical
+//! operator selection) are layered on top by `flock-core` — they operate
+//! on the same [`LogicalPlan`].
+
+use crate::ast::{BinOp, Expr, JoinType};
+use crate::error::Result;
+use crate::exec::expr::eval_binary;
+use crate::exec::functions::eval_function;
+use crate::plan::{rewrite_expr, LogicalPlan};
+use crate::schema::Schema;
+use crate::types::Value;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Which relational rules run. All on by default; ablation benches toggle
+/// them individually.
+#[derive(Debug, Clone, Copy)]
+pub struct OptimizerConfig {
+    pub constant_folding: bool,
+    pub predicate_pushdown: bool,
+    pub join_extraction: bool,
+    pub projection_pruning: bool,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            constant_folding: true,
+            predicate_pushdown: true,
+            join_extraction: true,
+            projection_pruning: true,
+        }
+    }
+}
+
+impl OptimizerConfig {
+    pub fn disabled() -> Self {
+        OptimizerConfig {
+            constant_folding: false,
+            predicate_pushdown: false,
+            join_extraction: false,
+            projection_pruning: false,
+        }
+    }
+}
+
+/// Optimize a logical plan.
+pub fn optimize(plan: LogicalPlan, config: &OptimizerConfig) -> Result<LogicalPlan> {
+    let mut plan = plan;
+    if config.constant_folding {
+        plan = fold_constants_plan(plan)?;
+    }
+    if config.predicate_pushdown {
+        // run to a small fixpoint: pushing can expose further pushes
+        for _ in 0..3 {
+            plan = push_down_filters(plan)?;
+        }
+    }
+    if config.join_extraction {
+        plan = extract_join_keys(plan)?;
+    }
+    if config.projection_pruning {
+        let required: Vec<String> =
+            plan.schema().names().iter().map(|s| s.to_string()).collect();
+        plan = prune_columns(plan, &required)?;
+        plan = remove_trivial_projects(plan);
+    }
+    Ok(plan)
+}
+
+// ---------------------------------------------------------------- folding
+
+/// Evaluate literal-only subexpressions at plan time.
+pub fn fold_expr(e: Expr) -> Result<Expr> {
+    rewrite_expr(e, &mut |x| {
+        Ok(match &x {
+            Expr::Binary { left, op, right } => {
+                if let (Expr::Literal(l), Expr::Literal(r)) = (&**left, &**right) {
+                    match eval_binary(l, *op, r) {
+                        Ok(v) => Expr::Literal(v),
+                        Err(_) => x, // fold nothing; fail at runtime instead
+                    }
+                } else {
+                    simplify_logic(x)
+                }
+            }
+            Expr::Function { name, args, .. } => {
+                let literals: Option<Vec<Value>> = args
+                    .iter()
+                    .map(|a| match a {
+                        Expr::Literal(v) => Some(v.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                match literals {
+                    Some(vals) if crate::plan::AggFunc::parse(name).is_none() => {
+                        match eval_function(name, &vals) {
+                            Ok(v) => Expr::Literal(v),
+                            Err(_) => x,
+                        }
+                    }
+                    _ => x,
+                }
+            }
+            Expr::Cast { expr, to } => {
+                if let Expr::Literal(v) = &**expr {
+                    match v.cast(*to) {
+                        Ok(folded) => Expr::Literal(folded),
+                        Err(_) => x,
+                    }
+                } else {
+                    x
+                }
+            }
+            Expr::Unary {
+                op: crate::ast::UnOp::Neg,
+                expr,
+            } => match &**expr {
+                Expr::Literal(Value::Int(i)) => Expr::Literal(Value::Int(-i)),
+                Expr::Literal(Value::Float(f)) => Expr::Literal(Value::Float(-f)),
+                _ => x,
+            },
+            _ => x,
+        })
+    })
+}
+
+/// `TRUE AND p -> p`, `FALSE OR p -> p`, etc.
+fn simplify_logic(x: Expr) -> Expr {
+    if let Expr::Binary { left, op, right } = &x {
+        match op {
+            BinOp::And => {
+                if let Expr::Literal(Value::Bool(true)) = **left {
+                    return (**right).clone();
+                }
+                if let Expr::Literal(Value::Bool(true)) = **right {
+                    return (**left).clone();
+                }
+                if matches!(**left, Expr::Literal(Value::Bool(false)))
+                    || matches!(**right, Expr::Literal(Value::Bool(false)))
+                {
+                    return Expr::Literal(Value::Bool(false));
+                }
+            }
+            BinOp::Or => {
+                if let Expr::Literal(Value::Bool(false)) = **left {
+                    return (**right).clone();
+                }
+                if let Expr::Literal(Value::Bool(false)) = **right {
+                    return (**left).clone();
+                }
+                if matches!(**left, Expr::Literal(Value::Bool(true)))
+                    || matches!(**right, Expr::Literal(Value::Bool(true)))
+                {
+                    return Expr::Literal(Value::Bool(true));
+                }
+            }
+            _ => {}
+        }
+    }
+    x
+}
+
+fn fold_constants_plan(plan: LogicalPlan) -> Result<LogicalPlan> {
+    map_plan_exprs(plan, &mut fold_expr)
+}
+
+/// Apply `f` to every expression in the plan, recursively.
+fn map_plan_exprs(
+    plan: LogicalPlan,
+    f: &mut impl FnMut(Expr) -> Result<Expr>,
+) -> Result<LogicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(map_plan_exprs(*input, f)?),
+            predicate: f(predicate)?,
+        },
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Project {
+            input: Box::new(map_plan_exprs(*input, f)?),
+            exprs: exprs.into_iter().map(&mut *f).collect::<Result<_>>()?,
+            schema,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group,
+            aggs,
+            schema,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(map_plan_exprs(*input, f)?),
+            group: group.into_iter().map(&mut *f).collect::<Result<_>>()?,
+            aggs,
+            schema,
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            on,
+            filter,
+            schema,
+        } => LogicalPlan::Join {
+            left: Box::new(map_plan_exprs(*left, f)?),
+            right: Box::new(map_plan_exprs(*right, f)?),
+            join_type,
+            on,
+            filter: filter.map(&mut *f).transpose()?,
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(map_plan_exprs(*input, f)?),
+            keys: keys
+                .into_iter()
+                .map(|(e, asc)| Ok((f(e)?, asc)))
+                .collect::<Result<_>>()?,
+        },
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => LogicalPlan::Limit {
+            input: Box::new(map_plan_exprs(*input, f)?),
+            limit,
+            offset,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(map_plan_exprs(*input, f)?),
+        },
+        LogicalPlan::Union { inputs, schema } => LogicalPlan::Union {
+            inputs: inputs
+                .into_iter()
+                .map(|i| map_plan_exprs(i, f))
+                .collect::<Result<_>>()?,
+            schema,
+        },
+        leaf @ (LogicalPlan::Scan { .. } | LogicalPlan::Values { .. }) => leaf,
+    })
+}
+
+// ------------------------------------------------------------- pushdown
+
+/// Push filters toward the scans.
+pub fn push_down_filters(plan: LogicalPlan) -> Result<LogicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            let input = push_down_filters(*input)?;
+            push_filter_into(input, predicate)?
+        }
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Project {
+            input: Box::new(push_down_filters(*input)?),
+            exprs,
+            schema,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group,
+            aggs,
+            schema,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(push_down_filters(*input)?),
+            group,
+            aggs,
+            schema,
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            on,
+            filter,
+            schema,
+        } => LogicalPlan::Join {
+            left: Box::new(push_down_filters(*left)?),
+            right: Box::new(push_down_filters(*right)?),
+            join_type,
+            on,
+            filter,
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(push_down_filters(*input)?),
+            keys,
+        },
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => LogicalPlan::Limit {
+            input: Box::new(push_down_filters(*input)?),
+            limit,
+            offset,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(push_down_filters(*input)?),
+        },
+        LogicalPlan::Union { inputs, schema } => LogicalPlan::Union {
+            inputs: inputs
+                .into_iter()
+                .map(push_down_filters)
+                .collect::<Result<_>>()?,
+            schema,
+        },
+        leaf => leaf,
+    })
+}
+
+/// Push one filter predicate into `input` as deep as possible.
+fn push_filter_into(input: LogicalPlan, predicate: Expr) -> Result<LogicalPlan> {
+    match input {
+        // Filter(Filter(x)) -> merged
+        LogicalPlan::Filter {
+            input: inner,
+            predicate: p2,
+        } => push_filter_into(*inner, Expr::and(p2, predicate)),
+        // Push through projection by substituting output exprs, unless the
+        // substituted predicate would duplicate a PREDICT call below the
+        // projection (the cross-optimizer owns that decision).
+        LogicalPlan::Project {
+            input: inner,
+            exprs,
+            schema,
+        } => {
+            let mut pushable = Vec::new();
+            let mut keep = Vec::new();
+            for part in predicate.split_conjunction() {
+                match substitute_projection(part, &exprs, &schema) {
+                    Some(sub) if !contains_predict(&sub) => pushable.push(sub),
+                    _ => keep.push(part.clone()),
+                }
+            }
+            let mut new_input = *inner;
+            if let Some(p) = Expr::conjunction(pushable) {
+                new_input = push_filter_into(new_input, p)?;
+            }
+            let projected = LogicalPlan::Project {
+                input: Box::new(new_input),
+                exprs,
+                schema,
+            };
+            Ok(wrap_filter(projected, Expr::conjunction(keep)))
+        }
+        // Split by side across a join.
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            on,
+            filter,
+            schema,
+        } => {
+            let left_cols: HashSet<String> = left
+                .schema()
+                .names()
+                .iter()
+                .map(|s| s.to_ascii_lowercase())
+                .collect();
+            let right_cols: HashSet<String> = right
+                .schema()
+                .names()
+                .iter()
+                .map(|s| s.to_ascii_lowercase())
+                .collect();
+            let mut to_left = Vec::new();
+            let mut to_right = Vec::new();
+            let mut to_join = Vec::new();
+            for part in predicate.split_conjunction() {
+                let mut cols = vec![];
+                part.referenced_columns(&mut cols);
+                let l = cols
+                    .iter()
+                    .any(|(_, n)| left_cols.contains(&n.to_ascii_lowercase()));
+                let r = cols
+                    .iter()
+                    .any(|(_, n)| right_cols.contains(&n.to_ascii_lowercase()));
+                match (l, r, join_type) {
+                    (true, false, _) => to_left.push(part.clone()),
+                    // Pushing below the null-producing side of a LEFT join
+                    // would change semantics; keep above instead.
+                    (false, true, JoinType::Left) => to_join.push(part.clone()),
+                    (false, true, _) => to_right.push(part.clone()),
+                    _ => to_join.push(part.clone()),
+                }
+            }
+            let mut l = *left;
+            if let Some(p) = Expr::conjunction(to_left) {
+                l = push_filter_into(l, p)?;
+            }
+            let mut r = *right;
+            if let Some(p) = Expr::conjunction(to_right) {
+                r = push_filter_into(r, p)?;
+            }
+            // Mixed conjuncts merge into the join's residual filter for
+            // inner joins (enabling key extraction); for LEFT joins they
+            // must stay above.
+            let (new_filter, above) = if join_type == JoinType::Inner {
+                (
+                    Expr::conjunction(
+                        filter
+                            .into_iter()
+                            .chain(to_join)
+                            .collect::<Vec<_>>(),
+                    ),
+                    None,
+                )
+            } else {
+                (filter, Expr::conjunction(to_join))
+            };
+            let joined = LogicalPlan::Join {
+                left: Box::new(l),
+                right: Box::new(r),
+                join_type,
+                on,
+                filter: new_filter,
+                schema,
+            };
+            Ok(wrap_filter(joined, above))
+        }
+        // Push below sort (sorting commutes with filtering).
+        LogicalPlan::Sort { input, keys } => Ok(LogicalPlan::Sort {
+            input: Box::new(push_filter_into(*input, predicate)?),
+            keys,
+        }),
+        // Push conjuncts that only touch group columns below an aggregate.
+        LogicalPlan::Aggregate {
+            input,
+            group,
+            aggs,
+            schema,
+        } => {
+            let mut pushable = Vec::new();
+            let mut keep = Vec::new();
+            for part in predicate.split_conjunction() {
+                match substitute_group_refs(part, &group) {
+                    Some(sub) => pushable.push(sub),
+                    None => keep.push(part.clone()),
+                }
+            }
+            let mut new_input = *input;
+            if let Some(p) = Expr::conjunction(pushable) {
+                new_input = push_filter_into(new_input, p)?;
+            }
+            let agg = LogicalPlan::Aggregate {
+                input: Box::new(new_input),
+                group,
+                aggs,
+                schema,
+            };
+            Ok(wrap_filter(agg, Expr::conjunction(keep)))
+        }
+        other => Ok(wrap_filter(other, Some(predicate))),
+    }
+}
+
+fn wrap_filter(plan: LogicalPlan, predicate: Option<Expr>) -> LogicalPlan {
+    match predicate {
+        Some(p) => LogicalPlan::Filter {
+            input: Box::new(plan),
+            predicate: p,
+        },
+        None => plan,
+    }
+}
+
+/// Rewrite a predicate over a projection's output into one over its input,
+/// if every referenced output column maps to a projection expression.
+fn substitute_projection(pred: &Expr, exprs: &[Expr], schema: &Schema) -> Option<Expr> {
+    let result = rewrite_expr(pred.clone(), &mut |x| match x {
+        Expr::Column { ref name, .. } => match schema.index_of(name) {
+            Some(i) => Ok(exprs[i].clone()),
+            None => Err(crate::error::SqlError::Plan("no mapping".into())),
+        },
+        other => Ok(other),
+    });
+    result.ok()
+}
+
+/// Rewrite `#gN` references back to the underlying group expressions;
+/// returns `None` when the predicate touches aggregate outputs.
+fn substitute_group_refs(pred: &Expr, group: &[Expr]) -> Option<Expr> {
+    let result = rewrite_expr(pred.clone(), &mut |x| match x {
+        Expr::Column { ref name, .. } => {
+            if let Some(n) = name.strip_prefix("#g") {
+                if let Ok(i) = n.parse::<usize>() {
+                    if let Some(g) = group.get(i) {
+                        return Ok(g.clone());
+                    }
+                }
+            }
+            Err(crate::error::SqlError::Plan("aggregate ref".into()))
+        }
+        other => Ok(other),
+    });
+    result.ok()
+}
+
+fn contains_predict(e: &Expr) -> bool {
+    let mut found = false;
+    e.walk(&mut |x| {
+        if matches!(x, Expr::Predict { .. }) {
+            found = true;
+        }
+    });
+    found
+}
+
+// -------------------------------------------------------- join extraction
+
+/// Move equi conjuncts from a join's residual filter into its key list.
+pub fn extract_join_keys(plan: LogicalPlan) -> Result<LogicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            mut on,
+            filter,
+            schema,
+        } => {
+            let left = Box::new(extract_join_keys(*left)?);
+            let right = Box::new(extract_join_keys(*right)?);
+            let mut residual = Vec::new();
+            if let Some(f) = filter {
+                let left_cols: HashSet<String> = left
+                    .schema()
+                    .names()
+                    .iter()
+                    .map(|s| s.to_ascii_lowercase())
+                    .collect();
+                for part in f.split_conjunction() {
+                    if join_type == JoinType::Inner {
+                        if let Expr::Binary {
+                            left: a,
+                            op: BinOp::Eq,
+                            right: b,
+                        } = part
+                        {
+                            let sa = expr_side(a, &left_cols);
+                            let sb = expr_side(b, &left_cols);
+                            match (sa, sb) {
+                                (ExprSide::Left, ExprSide::Right) => {
+                                    on.push(((**a).clone(), (**b).clone()));
+                                    continue;
+                                }
+                                (ExprSide::Right, ExprSide::Left) => {
+                                    on.push(((**b).clone(), (**a).clone()));
+                                    continue;
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                    residual.push(part.clone());
+                }
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                join_type,
+                on,
+                filter: Expr::conjunction(residual),
+                schema,
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(extract_join_keys(*input)?),
+            predicate,
+        },
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Project {
+            input: Box::new(extract_join_keys(*input)?),
+            exprs,
+            schema,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group,
+            aggs,
+            schema,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(extract_join_keys(*input)?),
+            group,
+            aggs,
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(extract_join_keys(*input)?),
+            keys,
+        },
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => LogicalPlan::Limit {
+            input: Box::new(extract_join_keys(*input)?),
+            limit,
+            offset,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(extract_join_keys(*input)?),
+        },
+        LogicalPlan::Union { inputs, schema } => LogicalPlan::Union {
+            inputs: inputs
+                .into_iter()
+                .map(extract_join_keys)
+                .collect::<Result<_>>()?,
+            schema,
+        },
+        leaf => leaf,
+    })
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum ExprSide {
+    Left,
+    Right,
+    Mixed,
+    None,
+}
+
+fn expr_side(e: &Expr, left_cols: &HashSet<String>) -> ExprSide {
+    let mut cols = vec![];
+    e.referenced_columns(&mut cols);
+    if cols.is_empty() {
+        return ExprSide::None;
+    }
+    let mut l = false;
+    let mut r = false;
+    for (_, n) in cols {
+        if left_cols.contains(&n.to_ascii_lowercase()) {
+            l = true;
+        } else {
+            r = true;
+        }
+    }
+    match (l, r) {
+        (true, false) => ExprSide::Left,
+        (false, true) => ExprSide::Right,
+        _ => ExprSide::Mixed,
+    }
+}
+
+// ------------------------------------------------------ projection pruning
+
+/// Remove unused columns, setting scan projections. `required` is the set
+/// of output column names the parent needs (in any order).
+pub fn prune_columns(plan: LogicalPlan, required: &[String]) -> Result<LogicalPlan> {
+    let req: HashSet<String> = required.iter().map(|s| s.to_ascii_lowercase()).collect();
+    Ok(match plan {
+        LogicalPlan::Scan {
+            table,
+            version,
+            projection,
+            schema,
+        } => {
+            // `projection` indices are relative to the *current* schema
+            // (idempotent re-pruning); compose them.
+            let keep: Vec<usize> = (0..schema.len())
+                .filter(|&i| req.contains(&schema.column(i).name.to_ascii_lowercase()))
+                .collect();
+            let keep = if keep.is_empty() { vec![0] } else { keep };
+            if keep.len() == schema.len() {
+                return Ok(LogicalPlan::Scan {
+                    table,
+                    version,
+                    projection,
+                    schema,
+                });
+            }
+            let new_projection = match projection {
+                Some(old) => keep.iter().map(|&i| old[i]).collect(),
+                None => keep.clone(),
+            };
+            let new_schema = Arc::new(schema.project(&keep));
+            LogicalPlan::Scan {
+                table,
+                version,
+                projection: Some(new_projection),
+                schema: new_schema,
+            }
+        }
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => {
+            // Keep only required output columns.
+            let keep: Vec<usize> = (0..schema.len())
+                .filter(|&i| req.contains(&schema.column(i).name.to_ascii_lowercase()))
+                .collect();
+            let keep = if keep.is_empty() { vec![0] } else { keep };
+            let kept_exprs: Vec<Expr> = keep.iter().map(|&i| exprs[i].clone()).collect();
+            let kept_schema = Arc::new(schema.project(&keep));
+            // Columns the kept expressions need from the input.
+            let mut needed = Vec::new();
+            for e in &kept_exprs {
+                e.referenced_columns(&mut needed);
+            }
+            let needed: Vec<String> = needed.into_iter().map(|(_, n)| n).collect();
+            LogicalPlan::Project {
+                input: Box::new(prune_columns(*input, &needed)?),
+                exprs: kept_exprs,
+                schema: kept_schema,
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let mut needed: Vec<(Option<String>, String)> = vec![];
+            predicate.referenced_columns(&mut needed);
+            let mut names: Vec<String> = needed.into_iter().map(|(_, n)| n).collect();
+            names.extend(required.iter().cloned());
+            LogicalPlan::Filter {
+                input: Box::new(prune_columns(*input, &names)?),
+                predicate,
+            }
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group,
+            aggs,
+            schema,
+        } => {
+            let mut needed: Vec<(Option<String>, String)> = vec![];
+            for g in &group {
+                g.referenced_columns(&mut needed);
+            }
+            for a in &aggs {
+                if let Some(arg) = &a.arg {
+                    arg.referenced_columns(&mut needed);
+                }
+            }
+            let names: Vec<String> = needed.into_iter().map(|(_, n)| n).collect();
+            LogicalPlan::Aggregate {
+                input: Box::new(prune_columns(*input, &names)?),
+                group,
+                aggs,
+                schema,
+            }
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            on,
+            filter,
+            schema,
+        } => {
+            let mut needed: Vec<(Option<String>, String)> = vec![];
+            for (l, r) in &on {
+                l.referenced_columns(&mut needed);
+                r.referenced_columns(&mut needed);
+            }
+            if let Some(f) = &filter {
+                f.referenced_columns(&mut needed);
+            }
+            let mut names: Vec<String> = needed.into_iter().map(|(_, n)| n).collect();
+            names.extend(required.iter().cloned());
+            let l = prune_columns(*left, &names)?;
+            let r = prune_columns(*right, &names)?;
+            let mut cols = l.schema().columns().to_vec();
+            cols.extend(r.schema().columns().iter().cloned());
+            // Keep join schema consistent with pruned children.
+            let new_schema = if cols.len() == schema.len() {
+                schema
+            } else {
+                Arc::new(Schema::new(cols))
+            };
+            LogicalPlan::Join {
+                left: Box::new(l),
+                right: Box::new(r),
+                join_type,
+                on,
+                filter,
+                schema: new_schema,
+            }
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let mut needed: Vec<(Option<String>, String)> = vec![];
+            for (e, _) in &keys {
+                e.referenced_columns(&mut needed);
+            }
+            let mut names: Vec<String> = needed.into_iter().map(|(_, n)| n).collect();
+            names.extend(required.iter().cloned());
+            LogicalPlan::Sort {
+                input: Box::new(prune_columns(*input, &names)?),
+                keys,
+            }
+        }
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => LogicalPlan::Limit {
+            input: Box::new(prune_columns(*input, required)?),
+            limit,
+            offset,
+        },
+        // DISTINCT depends on every input column.
+        LogicalPlan::Distinct { input } => {
+            let all: Vec<String> = input
+                .schema()
+                .names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            LogicalPlan::Distinct {
+                input: Box::new(prune_columns(*input, &all)?),
+            }
+        }
+        // UNION arms keep their full output (column names differ by arm,
+        // so positional pruning through it is not attempted); recurse so
+        // scans inside arms still prune against the arms' own projections.
+        LogicalPlan::Union { inputs, schema } => {
+            let inputs = inputs
+                .into_iter()
+                .map(|p| {
+                    let all: Vec<String> =
+                        p.schema().names().iter().map(|s| s.to_string()).collect();
+                    prune_columns(p, &all)
+                })
+                .collect::<Result<_>>()?;
+            LogicalPlan::Union { inputs, schema }
+        }
+        leaf @ LogicalPlan::Values { .. } => leaf,
+    })
+}
+
+/// Drop projections that are an exact identity over their input.
+pub fn remove_trivial_projects(plan: LogicalPlan) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => {
+            let input = Box::new(remove_trivial_projects(*input));
+            let identity = schema.len() == input.schema().len()
+                && exprs.iter().enumerate().all(|(i, e)| {
+                    matches!(e, Expr::Column { name, .. }
+                        if input.schema().index_of(name) == Some(i))
+                })
+                && schema
+                    .names()
+                    .iter()
+                    .zip(input.schema().names())
+                    .all(|(a, b)| *a == b);
+            if identity {
+                *input
+            } else {
+                LogicalPlan::Project {
+                    input,
+                    exprs,
+                    schema,
+                }
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(remove_trivial_projects(*input)),
+            predicate,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group,
+            aggs,
+            schema,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(remove_trivial_projects(*input)),
+            group,
+            aggs,
+            schema,
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            on,
+            filter,
+            schema,
+        } => LogicalPlan::Join {
+            left: Box::new(remove_trivial_projects(*left)),
+            right: Box::new(remove_trivial_projects(*right)),
+            join_type,
+            on,
+            filter,
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(remove_trivial_projects(*input)),
+            keys,
+        },
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => LogicalPlan::Limit {
+            input: Box::new(remove_trivial_projects(*input)),
+            limit,
+            offset,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(remove_trivial_projects(*input)),
+        },
+        LogicalPlan::Union { inputs, schema } => LogicalPlan::Union {
+            inputs: inputs.into_iter().map(remove_trivial_projects).collect(),
+            schema,
+        },
+        leaf => leaf,
+    }
+}

@@ -1,0 +1,170 @@
+//! Table schemas: named, typed, nullable columns.
+
+use crate::error::{Result, SqlError};
+use crate::types::DataType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single column definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    pub name: String,
+    pub data_type: DataType,
+    pub nullable: bool,
+}
+
+impl ColumnDef {
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            data_type,
+            nullable: true,
+        }
+    }
+
+    pub fn not_null(mut self) -> Self {
+        self.nullable = false;
+        self
+    }
+}
+
+/// An ordered list of column definitions.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    pub fn new(columns: Vec<ColumnDef>) -> Self {
+        Schema { columns }
+    }
+
+    /// Build a schema from `(name, type)` pairs; all columns nullable.
+    pub fn from_pairs(pairs: &[(&str, DataType)]) -> Self {
+        Schema {
+            columns: pairs
+                .iter()
+                .map(|(n, t)| ColumnDef::new(*n, *t))
+                .collect(),
+        }
+    }
+
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    pub fn column(&self, idx: usize) -> &ColumnDef {
+        &self.columns[idx]
+    }
+
+    /// Case-insensitive lookup of a column index by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    pub fn field(&self, name: &str) -> Result<&ColumnDef> {
+        self.index_of(name)
+            .map(|i| &self.columns[i])
+            .ok_or_else(|| SqlError::Plan(format!("unknown column '{name}'")))
+    }
+
+    pub fn names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Concatenate two schemas (used for join outputs).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        Schema { columns }
+    }
+
+    /// Keep only the columns at `indices`, in the given order.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema {
+            columns: indices.iter().map(|&i| self.columns[i].clone()).collect(),
+        }
+    }
+
+    /// Validate that no two columns share a (case-insensitive) name.
+    pub fn check_unique_names(&self) -> Result<()> {
+        for (i, c) in self.columns.iter().enumerate() {
+            if self.columns[..i]
+                .iter()
+                .any(|p| p.name.eq_ignore_ascii_case(&c.name))
+            {
+                return Err(SqlError::Plan(format!("duplicate column name '{}'", c.name)));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols: Vec<String> = self
+            .columns
+            .iter()
+            .map(|c| {
+                format!(
+                    "{} {}{}",
+                    c.name,
+                    c.data_type,
+                    if c.nullable { "" } else { " NOT NULL" }
+                )
+            })
+            .collect();
+        write!(f, "({})", cols.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::from_pairs(&[
+            ("id", DataType::Int),
+            ("name", DataType::Text),
+            ("score", DataType::Float),
+        ])
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = sample();
+        assert_eq!(s.index_of("ID"), Some(0));
+        assert_eq!(s.index_of("Score"), Some(2));
+        assert_eq!(s.index_of("missing"), None);
+    }
+
+    #[test]
+    fn join_concatenates_columns() {
+        let s = sample().join(&Schema::from_pairs(&[("extra", DataType::Bool)]));
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.index_of("extra"), Some(3));
+    }
+
+    #[test]
+    fn project_reorders() {
+        let s = sample().project(&[2, 0]);
+        assert_eq!(s.names(), vec!["score", "id"]);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let s = Schema::from_pairs(&[("a", DataType::Int), ("A", DataType::Text)]);
+        assert!(s.check_unique_names().is_err());
+        assert!(sample().check_unique_names().is_ok());
+    }
+}

@@ -1,0 +1,136 @@
+//! Column and table statistics.
+//!
+//! Statistics drive two things in Flock: classical cost-based decisions
+//! (physical operator selection for inference) and the cross-optimizer's
+//! *model compression* rule, which prunes decision-tree branches that can
+//! never be reached given the observed min/max of the input columns.
+
+use crate::batch::RecordBatch;
+use crate::types::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Statistics for a single column.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ColumnStats {
+    pub null_count: usize,
+    /// Minimum numeric value, when the column is numeric and non-empty.
+    pub min: Option<f64>,
+    /// Maximum numeric value, when the column is numeric and non-empty.
+    pub max: Option<f64>,
+    /// Number of distinct values (exact; tables here are memory-resident).
+    pub distinct_count: usize,
+    /// Distinct string values for low-cardinality text columns (capped),
+    /// used to fold one-hot featurizers at optimization time.
+    pub categories: Option<Vec<String>>,
+}
+
+/// Cap on how many distinct strings we retain per text column.
+const MAX_TRACKED_CATEGORIES: usize = 64;
+
+/// Statistics for a table version.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TableStats {
+    pub row_count: usize,
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Compute exact statistics over a batch.
+    pub fn compute(batch: &RecordBatch) -> TableStats {
+        let mut columns = Vec::with_capacity(batch.num_columns());
+        for c in batch.columns() {
+            let mut stats = ColumnStats::default();
+            let mut distinct: HashSet<String> = HashSet::new();
+            let mut text_cats: HashSet<String> = HashSet::new();
+            let mut track_cats = c.data_type() == crate::types::DataType::Text;
+            for i in 0..c.len() {
+                let v = c.get(i);
+                if v.is_null() {
+                    stats.null_count += 1;
+                    continue;
+                }
+                if let Some(x) = v.as_f64() {
+                    stats.min = Some(stats.min.map_or(x, |m| m.min(x)));
+                    stats.max = Some(stats.max.map_or(x, |m| m.max(x)));
+                }
+                let key = match &v {
+                    Value::Float(f) => format!("f{}", f.to_bits()),
+                    other => other.to_string(),
+                };
+                if track_cats {
+                    if text_cats.len() < MAX_TRACKED_CATEGORIES {
+                        text_cats.insert(key.clone());
+                    } else {
+                        track_cats = false;
+                        text_cats.clear();
+                    }
+                }
+                distinct.insert(key);
+            }
+            stats.distinct_count = distinct.len();
+            if track_cats && !text_cats.is_empty() {
+                let mut cats: Vec<String> = text_cats.into_iter().collect();
+                cats.sort();
+                stats.categories = Some(cats);
+            }
+            columns.push(stats);
+        }
+        TableStats {
+            row_count: batch.num_rows(),
+            columns,
+        }
+    }
+
+    /// The selectivity estimate for an equality predicate on column `idx`:
+    /// `1 / distinct_count` with a floor to avoid zero.
+    pub fn eq_selectivity(&self, idx: usize) -> f64 {
+        let d = self.columns.get(idx).map_or(1, |c| c.distinct_count.max(1));
+        1.0 / d as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::types::DataType;
+    use std::sync::Arc;
+
+    #[test]
+    fn stats_track_min_max_nulls_distinct() {
+        let schema = Arc::new(Schema::from_pairs(&[
+            ("x", DataType::Float),
+            ("s", DataType::Text),
+        ]));
+        let batch = RecordBatch::from_rows(
+            schema,
+            &[
+                vec![Value::Float(1.5), Value::Text("a".into())],
+                vec![Value::Null, Value::Text("b".into())],
+                vec![Value::Float(-2.0), Value::Text("a".into())],
+            ],
+        )
+        .unwrap();
+        let st = TableStats::compute(&batch);
+        assert_eq!(st.row_count, 3);
+        assert_eq!(st.columns[0].null_count, 1);
+        assert_eq!(st.columns[0].min, Some(-2.0));
+        assert_eq!(st.columns[0].max, Some(1.5));
+        assert_eq!(st.columns[0].distinct_count, 2);
+        assert_eq!(st.columns[1].distinct_count, 2);
+        assert_eq!(
+            st.columns[1].categories.as_deref(),
+            Some(&["a".to_string(), "b".to_string()][..])
+        );
+    }
+
+    #[test]
+    fn selectivity_uses_distinct_count() {
+        let schema = Arc::new(Schema::from_pairs(&[("x", DataType::Int)]));
+        let rows: Vec<Vec<Value>> = (0..10).map(|i| vec![Value::Int(i % 5)]).collect();
+        let batch = RecordBatch::from_rows(schema, &rows).unwrap();
+        let st = TableStats::compute(&batch);
+        assert!((st.eq_selectivity(0) - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,81 @@
+//! Extension point for ML inference inside queries.
+//!
+//! The SQL engine does not know how to score models — that is `flock-core`'s
+//! job. It only knows that `PREDICT(model, args...)` is a scalar expression
+//! whose evaluation is delegated to a registered [`InferenceProvider`].
+//! This keeps the substrate/contribution split of the paper explicit: the
+//! DBMS provides the *operator surface*, the Flock layer provides the
+//! *inference engine and cross-optimizer*.
+
+use crate::ast::PredictStrategy;
+use crate::column::ColumnVector;
+use crate::error::{Result, SqlError};
+use crate::types::DataType;
+use std::sync::Arc;
+
+/// Scores models over column batches. Implemented by `flock-core`.
+pub trait InferenceProvider: Send + Sync {
+    /// The output type of `PREDICT(model, ...)` (needed at planning time).
+    fn output_type(&self, model: &str) -> Result<DataType>;
+
+    /// The number of input arguments the model expects, when known.
+    fn input_arity(&self, model: &str) -> Result<usize>;
+
+    /// Score `model` over the given argument columns (all the same length)
+    /// using the given execution strategy. Returns one output column of
+    /// the same length.
+    fn predict(
+        &self,
+        model: &str,
+        inputs: &[ColumnVector],
+        strategy: PredictStrategy,
+        user: &str,
+    ) -> Result<ColumnVector>;
+}
+
+/// The default provider: rejects every PREDICT call. Used when the engine
+/// runs standalone, without the Flock inference layer.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoInference;
+
+impl InferenceProvider for NoInference {
+    fn output_type(&self, model: &str) -> Result<DataType> {
+        Err(SqlError::Plan(format!(
+            "PREDICT({model}, ...) requires an inference provider; none is registered"
+        )))
+    }
+
+    fn input_arity(&self, model: &str) -> Result<usize> {
+        Err(SqlError::Plan(format!("no inference provider for '{model}'")))
+    }
+
+    fn predict(
+        &self,
+        model: &str,
+        _inputs: &[ColumnVector],
+        _strategy: PredictStrategy,
+        _user: &str,
+    ) -> Result<ColumnVector> {
+        Err(SqlError::Execution(format!(
+            "no inference provider registered (model '{model}')"
+        )))
+    }
+}
+
+/// Shared handle to the provider.
+pub type ProviderRef = Arc<dyn InferenceProvider>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_inference_rejects_everything() {
+        let p = NoInference;
+        assert!(p.output_type("m").is_err());
+        assert!(p.input_arity("m").is_err());
+        assert!(p
+            .predict("m", &[], PredictStrategy::Auto, "admin")
+            .is_err());
+    }
+}

@@ -1,0 +1,593 @@
+//! End-to-end tests of the SQL engine: parse → plan → optimize → execute.
+
+use flock_sql::types::parse_date;
+use flock_sql::{Database, SqlError, Value};
+
+fn db_with_people() -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE people (id INT NOT NULL, name VARCHAR, age INT, salary DOUBLE, dept VARCHAR)")
+        .unwrap();
+    db.execute(
+        "INSERT INTO people VALUES \
+         (1, 'alice', 34, 95000.0, 'eng'), \
+         (2, 'bob', 28, 72000.0, 'eng'), \
+         (3, 'carol', 41, 120000.0, 'mgmt'), \
+         (4, 'dan', 23, 51000.0, 'sales'), \
+         (5, 'erin', 37, NULL, 'sales')",
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn select_filter_project() {
+    let db = db_with_people();
+    let b = db
+        .query("SELECT name, salary * 1.1 AS bumped FROM people WHERE age > 30 ORDER BY name")
+        .unwrap();
+    assert_eq!(b.num_rows(), 3);
+    assert_eq!(b.schema().names(), vec!["name", "bumped"]);
+    assert_eq!(b.column(0).get(0), Value::Text("alice".into()));
+    let Value::Float(x) = b.column(1).get(0) else {
+        panic!()
+    };
+    assert!((x - 104500.0).abs() < 1e-6);
+    // NULL salary propagates
+    assert!(b.column(1).get(2).is_null());
+}
+
+#[test]
+fn select_star_and_limit_offset() {
+    let db = db_with_people();
+    let b = db
+        .query("SELECT * FROM people ORDER BY id LIMIT 2 OFFSET 1")
+        .unwrap();
+    assert_eq!(b.num_rows(), 2);
+    assert_eq!(b.column(0).get(0), Value::Int(2));
+    assert_eq!(b.num_columns(), 5);
+}
+
+#[test]
+fn aggregates_group_by_having() {
+    let db = db_with_people();
+    let b = db
+        .query(
+            "SELECT dept, COUNT(*) AS n, AVG(salary) AS avg_sal, MAX(age) \
+             FROM people GROUP BY dept HAVING COUNT(*) >= 2 ORDER BY dept",
+        )
+        .unwrap();
+    assert_eq!(b.num_rows(), 2); // eng, sales
+    assert_eq!(b.column(0).get(0), Value::Text("eng".into()));
+    assert_eq!(b.column(1).get(0), Value::Int(2));
+    let Value::Float(avg) = b.column(2).get(0) else {
+        panic!()
+    };
+    assert!((avg - 83500.0).abs() < 1e-6);
+    // sales has one NULL salary -> AVG over the single non-null value
+    let Value::Float(sales_avg) = b.column(2).get(1) else {
+        panic!()
+    };
+    assert!((sales_avg - 51000.0).abs() < 1e-6);
+}
+
+#[test]
+fn global_aggregate_without_group() {
+    let db = db_with_people();
+    let b = db
+        .query("SELECT COUNT(*), SUM(salary), MIN(age), COUNT(salary) FROM people")
+        .unwrap();
+    assert_eq!(b.num_rows(), 1);
+    assert_eq!(b.column(0).get(0), Value::Int(5));
+    assert_eq!(b.column(3).get(0), Value::Int(4), "COUNT(col) skips NULL");
+}
+
+#[test]
+fn count_distinct() {
+    let db = db_with_people();
+    let b = db.query("SELECT COUNT(DISTINCT dept) FROM people").unwrap();
+    assert_eq!(b.column(0).get(0), Value::Int(3));
+}
+
+#[test]
+fn order_by_aggregate_not_in_select() {
+    let db = db_with_people();
+    let b = db
+        .query("SELECT dept FROM people GROUP BY dept ORDER BY COUNT(*) DESC, dept")
+        .unwrap();
+    assert_eq!(b.column(0).get(0), Value::Text("eng".into()));
+    assert_eq!(b.num_columns(), 1, "hidden sort keys are dropped");
+}
+
+#[test]
+fn joins_explicit_and_implicit() {
+    let db = db_with_people();
+    db.execute("CREATE TABLE depts (dept VARCHAR, floor INT)").unwrap();
+    db.execute("INSERT INTO depts VALUES ('eng', 3), ('mgmt', 5), ('hr', 1)")
+        .unwrap();
+
+    // explicit JOIN .. ON
+    let b = db
+        .query(
+            "SELECT p.name, d.floor FROM people p JOIN depts d ON p.dept = d.dept \
+             ORDER BY p.name",
+        )
+        .unwrap();
+    assert_eq!(b.num_rows(), 3); // alice, bob, carol
+    assert_eq!(b.column(1).get(2), Value::Int(5));
+
+    // implicit join via comma + WHERE
+    let b2 = db
+        .query(
+            "SELECT p.name FROM people p, depts d \
+             WHERE p.dept = d.dept AND d.floor = 3 ORDER BY p.name",
+        )
+        .unwrap();
+    assert_eq!(b2.num_rows(), 2);
+
+    // left join preserves unmatched rows with NULLs
+    let b3 = db
+        .query(
+            "SELECT p.name, d.floor FROM people p LEFT JOIN depts d ON p.dept = d.dept \
+             WHERE p.dept = 'sales' ORDER BY p.name",
+        )
+        .unwrap();
+    assert_eq!(b3.num_rows(), 2);
+    assert!(b3.column(1).get(0).is_null());
+}
+
+#[test]
+fn self_join_with_aliases() {
+    let db = db_with_people();
+    let b = db
+        .query(
+            "SELECT a.name, b.name FROM people a JOIN people b ON a.dept = b.dept \
+             WHERE a.id < b.id ORDER BY a.name",
+        )
+        .unwrap();
+    // pairs within same dept: (alice,bob), (dan,erin)
+    assert_eq!(b.num_rows(), 2);
+}
+
+#[test]
+fn distinct_rows() {
+    let db = db_with_people();
+    let b = db.query("SELECT DISTINCT dept FROM people ORDER BY dept").unwrap();
+    assert_eq!(b.num_rows(), 3);
+}
+
+#[test]
+fn update_and_delete_create_versions() {
+    let db = db_with_people();
+    db.execute("UPDATE people SET salary = salary + 1000 WHERE dept = 'eng'")
+        .unwrap();
+    db.execute("DELETE FROM people WHERE id = 4").unwrap();
+
+    let b = db.query("SELECT COUNT(*) FROM people").unwrap();
+    assert_eq!(b.column(0).get(0), Value::Int(4));
+
+    // time travel: version 2 (after initial insert) still has 5 rows
+    let b = db.query("SELECT COUNT(*) FROM people VERSION 2").unwrap();
+    assert_eq!(b.column(0).get(0), Value::Int(5));
+
+    let catalog = db.catalog();
+    let t = catalog.table("people").unwrap();
+    assert_eq!(t.current_version(), 4); // create, insert, update, delete
+}
+
+#[test]
+fn insert_from_select_and_column_list() {
+    let db = db_with_people();
+    db.execute("CREATE TABLE vips (id INT, name VARCHAR)").unwrap();
+    db.execute("INSERT INTO vips SELECT id, name FROM people WHERE salary > 90000")
+        .unwrap();
+    let b = db.query("SELECT COUNT(*) FROM vips").unwrap();
+    assert_eq!(b.column(0).get(0), Value::Int(2));
+
+    db.execute("INSERT INTO vips (name) VALUES ('guest')").unwrap();
+    let b = db
+        .query("SELECT id FROM vips WHERE name = 'guest'")
+        .unwrap();
+    assert!(b.column(0).get(0).is_null(), "missing columns default NULL");
+}
+
+#[test]
+fn not_null_constraint_enforced() {
+    let db = db_with_people();
+    let err = db.execute("INSERT INTO people (name) VALUES ('ghost')");
+    assert!(matches!(err, Err(SqlError::Constraint(_))));
+}
+
+#[test]
+fn transactions_commit_and_rollback() {
+    let db = db_with_people();
+    let mut s = db.session("admin");
+    s.execute("BEGIN").unwrap();
+    s.execute("DELETE FROM people").unwrap();
+    let inside = s.query("SELECT COUNT(*) FROM people").unwrap();
+    assert_eq!(inside.column(0).get(0), Value::Int(0));
+    // other sessions still see the data
+    let outside = db.query("SELECT COUNT(*) FROM people").unwrap();
+    assert_eq!(outside.column(0).get(0), Value::Int(5));
+    s.execute("ROLLBACK").unwrap();
+    let after = db.query("SELECT COUNT(*) FROM people").unwrap();
+    assert_eq!(after.column(0).get(0), Value::Int(5));
+
+    s.execute("BEGIN").unwrap();
+    s.execute("DELETE FROM people WHERE id = 1").unwrap();
+    s.execute("COMMIT").unwrap();
+    let after = db.query("SELECT COUNT(*) FROM people").unwrap();
+    assert_eq!(after.column(0).get(0), Value::Int(4));
+}
+
+#[test]
+fn write_write_conflict_detected() {
+    let db = db_with_people();
+    let mut s1 = db.session("admin");
+    let mut s2 = db.session("admin");
+    s1.execute("BEGIN").unwrap();
+    s2.execute("BEGIN").unwrap();
+    s1.execute("UPDATE people SET age = 99 WHERE id = 1").unwrap();
+    s2.execute("UPDATE people SET age = 11 WHERE id = 2").unwrap();
+    s1.execute("COMMIT").unwrap();
+    let err = s2.execute("COMMIT");
+    assert!(matches!(err, Err(SqlError::Transaction(_))));
+}
+
+#[test]
+fn access_control_enforced_and_audited() {
+    let db = db_with_people();
+    db.execute("CREATE USER alice").unwrap();
+    let mut alice = db.session("alice");
+    let err = alice.query("SELECT * FROM people");
+    assert!(matches!(err, Err(SqlError::AccessDenied(_))));
+
+    db.execute("GRANT SELECT ON TABLE people TO alice").unwrap();
+    alice.query("SELECT * FROM people").unwrap();
+    let err = alice.execute("DELETE FROM people");
+    assert!(matches!(err, Err(SqlError::AccessDenied(_))));
+
+    db.execute("REVOKE SELECT ON TABLE people FROM alice").unwrap();
+    assert!(alice.query("SELECT * FROM people").is_err());
+
+    let audit = db.audit_log();
+    assert!(audit.iter().any(|a| a.action == "ACCESS DENIED" && a.user == "alice"));
+    assert!(audit.iter().any(|a| a.action == "GRANT"));
+}
+
+#[test]
+fn views_expand() {
+    let db = db_with_people();
+    db.execute("CREATE VIEW engineers AS SELECT name, salary FROM people WHERE dept = 'eng'")
+        .unwrap();
+    let b = db.query("SELECT * FROM engineers ORDER BY name").unwrap();
+    assert_eq!(b.num_rows(), 2);
+    let b = db
+        .query("SELECT e.name FROM engineers e WHERE e.salary > 80000")
+        .unwrap();
+    assert_eq!(b.num_rows(), 1);
+}
+
+#[test]
+fn subqueries_in_where_and_from() {
+    let db = db_with_people();
+    let b = db
+        .query(
+            "SELECT name FROM people WHERE salary > (SELECT AVG(salary) FROM people) \
+             ORDER BY name",
+        )
+        .unwrap();
+    assert_eq!(b.num_rows(), 2); // alice, carol
+
+    let b = db
+        .query("SELECT name FROM people WHERE dept IN (SELECT dept FROM people WHERE age > 40)")
+        .unwrap();
+    assert_eq!(b.num_rows(), 1); // carol
+
+    let b = db
+        .query("SELECT COUNT(*) FROM (SELECT dept FROM people WHERE age > 25) t")
+        .unwrap();
+    assert_eq!(b.column(0).get(0), Value::Int(4));
+}
+
+#[test]
+fn exists_subquery() {
+    let db = db_with_people();
+    let b = db
+        .query("SELECT COUNT(*) FROM people WHERE EXISTS (SELECT 1 FROM people WHERE age > 100)")
+        .unwrap();
+    assert_eq!(b.column(0).get(0), Value::Int(0));
+}
+
+#[test]
+fn scalar_expressions_and_functions() {
+    let db = Database::new();
+    let b = db
+        .query("SELECT 1 + 2 * 3, UPPER('ab') || 'c', COALESCE(NULL, 42), ABS(-7)")
+        .unwrap();
+    assert_eq!(b.column(0).get(0), Value::Int(7));
+    assert_eq!(b.column(1).get(0), Value::Text("ABc".into()));
+    assert_eq!(b.column(2).get(0), Value::Int(42));
+    assert_eq!(b.column(3).get(0), Value::Int(7));
+}
+
+#[test]
+fn date_literals_and_functions() {
+    let db = Database::new();
+    db.execute("CREATE TABLE ev (d DATE)").unwrap();
+    db.execute("INSERT INTO ev VALUES ('1996-03-15'), ('1997-06-01')")
+        .unwrap();
+    let b = db
+        .query("SELECT YEAR(d) FROM ev WHERE d >= DATE '1997-01-01'")
+        .unwrap();
+    assert_eq!(b.num_rows(), 1);
+    assert_eq!(b.column(0).get(0), Value::Int(1997));
+    let b = db.query("SELECT d + 17 FROM ev ORDER BY d LIMIT 1").unwrap();
+    assert_eq!(
+        b.column(0).get(0),
+        Value::Date(parse_date("1996-04-01").unwrap())
+    );
+}
+
+#[test]
+fn explain_renders_plan() {
+    let db = db_with_people();
+    let res = db
+        .execute("EXPLAIN SELECT name FROM people WHERE age > 30")
+        .unwrap();
+    let text: Vec<String> = {
+        let b = res.batch.unwrap();
+        (0..b.num_rows()).map(|i| b.column(0).get(i).to_string()).collect()
+    };
+    let joined = text.join("\n");
+    assert!(joined.contains("Scan: people"));
+    assert!(joined.contains("Filter:"));
+    // projection pruning kicked in: scan carries a projection list
+    assert!(joined.contains("projection="), "expected pruned scan: {joined}");
+}
+
+#[test]
+fn query_log_records_reads_and_writes() {
+    let db = db_with_people();
+    db.query("SELECT * FROM people").unwrap();
+    let log = db.query_log();
+    let last = log.last().unwrap();
+    assert_eq!(last.tables_read, vec!["people".to_string()]);
+    let insert_entry = log
+        .iter()
+        .find(|e| e.kind == flock_sql::engine::StatementKind::Insert)
+        .unwrap();
+    assert_eq!(insert_entry.tables_written, vec!["people".to_string()]);
+    assert_eq!(insert_entry.versions_written[0].1, 2);
+}
+
+#[test]
+fn parameters_bind() {
+    let db = db_with_people();
+    let mut s = db.session("admin");
+    let res = s
+        .execute_with_params(
+            "SELECT name FROM people WHERE age > ? AND dept = ?",
+            &[Value::Int(30), Value::Text("eng".into())],
+        )
+        .unwrap();
+    assert_eq!(res.batch.unwrap().num_rows(), 1);
+}
+
+#[test]
+fn case_expressions_run() {
+    let db = db_with_people();
+    let b = db
+        .query(
+            "SELECT name, CASE WHEN age < 30 THEN 'young' WHEN age < 40 THEN 'mid' \
+             ELSE 'senior' END AS bucket FROM people ORDER BY id",
+        )
+        .unwrap();
+    assert_eq!(b.column(1).get(0), Value::Text("mid".into()));
+    assert_eq!(b.column(1).get(3), Value::Text("young".into()));
+    assert_eq!(b.column(1).get(2), Value::Text("senior".into()));
+}
+
+#[test]
+fn failed_statement_aborts_transaction() {
+    let db = db_with_people();
+    let mut s = db.session("admin");
+    s.execute("BEGIN").unwrap();
+    s.execute("DELETE FROM people WHERE id = 1").unwrap();
+    assert!(s.execute("SELECT * FROM nonexistent").is_err());
+    assert!(!s.in_transaction(), "error aborts the transaction");
+    // the delete was rolled back
+    let b = db.query("SELECT COUNT(*) FROM people").unwrap();
+    assert_eq!(b.column(0).get(0), Value::Int(5));
+}
+
+#[test]
+fn in_list_and_between_and_like() {
+    let db = db_with_people();
+    let b = db
+        .query("SELECT name FROM people WHERE dept IN ('eng', 'mgmt') ORDER BY name")
+        .unwrap();
+    assert_eq!(b.num_rows(), 3);
+    let b = db
+        .query("SELECT name FROM people WHERE age BETWEEN 28 AND 37 ORDER BY name")
+        .unwrap();
+    assert_eq!(b.num_rows(), 3);
+    let b = db
+        .query("SELECT name FROM people WHERE name LIKE '%a%' ORDER BY name")
+        .unwrap();
+    assert_eq!(b.num_rows(), 3); // alice, carol, dan
+}
+
+#[test]
+fn show_tables_respects_grants() {
+    let db = db_with_people();
+    db.execute("CREATE TABLE secrets (k VARCHAR)").unwrap();
+    db.execute("CREATE USER viewer").unwrap();
+    db.execute("GRANT SELECT ON TABLE people TO viewer").unwrap();
+
+    // admin sees everything
+    let all = db.query("SHOW TABLES").unwrap();
+    assert_eq!(all.num_rows(), 2);
+
+    // viewer only sees granted tables
+    let mut viewer = db.session("viewer");
+    let visible = viewer.query("SHOW TABLES").unwrap();
+    assert_eq!(visible.num_rows(), 1);
+    assert_eq!(visible.column(0).get(0), Value::Text("people".into()));
+    // row/version summary is present
+    assert_eq!(visible.column(2).get(0), Value::Int(5));
+}
+
+#[test]
+fn describe_profiles_columns_from_stats() {
+    let db = db_with_people();
+    let b = db.query("DESCRIBE people").unwrap();
+    assert_eq!(b.num_rows(), 5);
+    // salary column: one NULL, min/max from data
+    let salary_row = (0..b.num_rows())
+        .find(|&r| b.column(0).get(r) == Value::Text("salary".into()))
+        .unwrap();
+    assert_eq!(b.column(3).get(salary_row), Value::Int(1)); // nulls
+    assert_eq!(b.column(5).get(salary_row), Value::Float(51000.0)); // min
+    assert_eq!(b.column(6).get(salary_row), Value::Float(120000.0)); // max
+    // text column has no numeric range
+    let name_row = (0..b.num_rows())
+        .find(|&r| b.column(0).get(r) == Value::Text("name".into()))
+        .unwrap();
+    assert!(b.column(5).get(name_row).is_null());
+    assert_eq!(b.column(4).get(name_row), Value::Int(5)); // distinct names
+
+    // DESCRIBE requires SELECT
+    db.execute("CREATE USER nobody").unwrap();
+    let mut nobody = db.session("nobody");
+    assert!(matches!(
+        nobody.execute("DESCRIBE people"),
+        Err(SqlError::AccessDenied(_))
+    ));
+}
+
+#[test]
+fn union_and_union_all() {
+    let db = db_with_people();
+    // UNION ALL keeps duplicates
+    let b = db
+        .query("SELECT dept FROM people UNION ALL SELECT dept FROM people")
+        .unwrap();
+    assert_eq!(b.num_rows(), 10);
+    // plain UNION dedupes
+    let b = db
+        .query("SELECT dept FROM people UNION SELECT dept FROM people ORDER BY dept")
+        .unwrap();
+    assert_eq!(b.num_rows(), 3);
+    assert_eq!(b.column(0).get(0), Value::Text("eng".into()));
+    // mixed types unify (INT + DOUBLE -> DOUBLE)
+    let b = db
+        .query("SELECT age FROM people UNION ALL SELECT salary FROM people WHERE salary IS NOT NULL")
+        .unwrap();
+    assert_eq!(b.num_rows(), 9);
+    assert!(matches!(b.column(0).get(0), Value::Float(_) | Value::Int(_)));
+    // arity mismatch rejected
+    assert!(db
+        .query("SELECT age FROM people UNION SELECT age, salary FROM people")
+        .is_err());
+    // aggregates over a union
+    let b = db
+        .query(
+            "SELECT COUNT(*) FROM (SELECT name FROM people WHERE dept = 'eng' \
+             UNION ALL SELECT name FROM people WHERE dept = 'sales') u",
+        )
+        .unwrap();
+    assert_eq!(b.column(0).get(0), Value::Int(4));
+}
+
+#[test]
+fn stddev_and_variance_aggregates() {
+    let db = db_with_people();
+    let b = db
+        .query("SELECT dept, STDDEV(age), VARIANCE(age) FROM people GROUP BY dept ORDER BY dept")
+        .unwrap();
+    assert_eq!(b.num_rows(), 3);
+    // eng: ages 34, 28 -> mean 31, var 9, stddev 3
+    assert_eq!(b.column(1).get(0), Value::Float(3.0));
+    assert_eq!(b.column(2).get(0), Value::Float(9.0));
+    // global form
+    let g = db.query("SELECT STDDEV(salary) FROM people").unwrap();
+    assert!(g.column(0).get(0).as_f64().unwrap() > 0.0);
+}
+
+#[test]
+fn error_messages_are_actionable() {
+    let db = db_with_people();
+    let msg = |r: Result<flock_sql::RecordBatch, SqlError>| r.unwrap_err().to_string();
+
+    // unknown objects name the object
+    assert!(msg(db.query("SELECT * FROM ghosts")).contains("'ghosts'"));
+    assert!(msg(db.query("SELECT ghost_col FROM people")).contains("'ghost_col'"));
+    assert!(msg(db.query("SELECT NOSUCHFN(age) FROM people")).contains("'NOSUCHFN'"));
+
+    // ambiguity is reported as such
+    db.execute("CREATE TABLE people2 (id INT, name VARCHAR)").unwrap();
+    db.execute("INSERT INTO people2 VALUES (1, 'x')").unwrap();
+    let e = msg(db.query("SELECT id FROM people, people2"));
+    assert!(e.contains("ambiguous"), "{e}");
+
+    // aggregates in WHERE are rejected with a clear clause name
+    let e = msg(db.query("SELECT * FROM people WHERE COUNT(*) > 1"));
+    assert!(e.contains("WHERE"), "{e}");
+
+    // non-grouped columns are called out
+    let e = msg(db.query("SELECT name, COUNT(*) FROM people GROUP BY dept"));
+    assert!(e.contains("'name'") && e.contains("GROUP BY"), "{e}");
+
+    // bad ordinal in ORDER BY
+    let e = msg(db.query("SELECT name FROM people ORDER BY 7"));
+    assert!(e.contains("out of range"), "{e}");
+
+    // time-travel to a missing version names the latest
+    let e = msg(db.query("SELECT * FROM people VERSION 99"));
+    assert!(e.contains("99") && e.contains("latest"), "{e}");
+}
+
+#[test]
+fn type_errors_surface_at_plan_time() {
+    let db = db_with_people();
+    // incompatible arithmetic is a planning error, not a runtime panic
+    let e = db.query("SELECT name + dept FROM people");
+    assert!(matches!(e, Err(SqlError::Plan(_))), "{e:?}");
+    // CASE branch type conflicts
+    let e = db.query("SELECT CASE WHEN age > 30 THEN 'old' ELSE 1 END FROM people");
+    assert!(matches!(e, Err(SqlError::Plan(_))), "{e:?}");
+}
+
+#[test]
+fn alter_table_add_and_drop_columns() {
+    let db = db_with_people();
+    db.execute("ALTER TABLE people ADD COLUMN bonus DOUBLE").unwrap();
+    // new column reads as NULL and is writable
+    let b = db.query("SELECT bonus FROM people").unwrap();
+    assert!(b.column(0).get(0).is_null());
+    db.execute("UPDATE people SET bonus = salary * 0.1 WHERE dept = 'eng'")
+        .unwrap();
+    let b = db
+        .query("SELECT COUNT(bonus) FROM people")
+        .unwrap();
+    assert_eq!(b.column(0).get(0), Value::Int(2));
+
+    // drop it; queries referencing it now fail
+    db.execute("ALTER TABLE people DROP COLUMN bonus").unwrap();
+    assert!(db.query("SELECT bonus FROM people").is_err());
+
+    // but time travel still sees the old schema & data
+    let b = db
+        .query("SELECT bonus FROM people VERSION 4 WHERE bonus IS NOT NULL")
+        .unwrap();
+    assert_eq!(b.num_rows(), 2);
+
+    // guard rails
+    assert!(db.execute("ALTER TABLE people ADD COLUMN id INT").is_err());
+    assert!(db.execute("ALTER TABLE people DROP COLUMN ghost").is_err());
+    // audit captured the evolution
+    assert!(db
+        .audit_log()
+        .iter()
+        .any(|a| a.action == "ALTER TABLE" && a.detail.contains("bonus")));
+}

@@ -1,0 +1,199 @@
+//! Property-based tests of the SQL substrate invariants.
+
+use flock_sql::exec::functions::like_match;
+use flock_sql::types::{format_date, parse_date, Value};
+use flock_sql::{DataType, Database};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The lexer and parser must never panic, whatever the input.
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,200}") {
+        let _ = flock_sql::parser::parse_statement(&input);
+        let _ = flock_sql::parser::parse_expr(&input);
+        let _ = flock_sql::lexer::tokenize(&input);
+    }
+
+    /// SQL-ish inputs exercise deeper parser paths; still no panics.
+    #[test]
+    fn parser_survives_sql_shaped_garbage(
+        kws in proptest::collection::vec(
+            prop_oneof![
+                Just("SELECT"), Just("FROM"), Just("WHERE"), Just("GROUP"),
+                Just("BY"), Just("JOIN"), Just("ON"), Just("("), Just(")"),
+                Just(","), Just("x"), Just("t"), Just("1"), Just("'s'"),
+                Just("AND"), Just("="), Just("*"), Just("CASE"), Just("END"),
+                Just("IN"), Just("NOT"), Just("NULL"), Just("AS"),
+            ],
+            0..30,
+        )
+    ) {
+        let sql = kws.join(" ");
+        let _ = flock_sql::parser::parse_statement(&sql);
+    }
+
+    /// Date conversion is a bijection over a wide range.
+    #[test]
+    fn date_roundtrip(days in -200_000i32..200_000) {
+        let s = format_date(days);
+        prop_assert_eq!(parse_date(&s), Some(days));
+    }
+
+    /// Casting a value to its own type is the identity.
+    #[test]
+    fn cast_to_own_type_is_identity(v in value_strategy()) {
+        if let Some(t) = v.data_type() {
+            let back = v.cast(t).unwrap();
+            prop_assert!(back.group_eq(&v), "{:?} -> {:?}", v, back);
+        }
+    }
+
+    /// Int -> Float -> Int roundtrips for safe magnitudes.
+    #[test]
+    fn int_float_roundtrip(i in -1_000_000_000i64..1_000_000_000) {
+        let f = Value::Int(i).cast(DataType::Float).unwrap();
+        let back = f.cast(DataType::Int).unwrap();
+        prop_assert_eq!(back, Value::Int(i));
+    }
+
+    /// total_cmp is a total order: antisymmetric and transitive on triples.
+    #[test]
+    fn total_cmp_is_total_order(
+        a in value_strategy(),
+        b in value_strategy(),
+        c in value_strategy(),
+    ) {
+        use std::cmp::Ordering;
+        prop_assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
+        if a.total_cmp(&b) != Ordering::Greater && b.total_cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.total_cmp(&c), Ordering::Greater);
+        }
+    }
+
+    /// LIKE agrees with a simple reference implementation on %-only
+    /// patterns.
+    #[test]
+    fn like_matches_reference_for_contains(
+        text in "[a-c]{0,12}",
+        needle in "[a-c]{0,4}",
+    ) {
+        let pattern = format!("%{needle}%");
+        prop_assert_eq!(like_match(&text, &pattern), text.contains(&needle));
+        // prefix / suffix forms
+        prop_assert_eq!(
+            like_match(&text, &format!("{needle}%")),
+            text.starts_with(&needle)
+        );
+        prop_assert_eq!(
+            like_match(&text, &format!("%{needle}")),
+            text.ends_with(&needle)
+        );
+    }
+
+    /// Inserted rows always come back in full, regardless of content.
+    #[test]
+    fn insert_select_roundtrip(
+        rows in proptest::collection::vec(
+            (any::<i32>(), -1e9f64..1e9, "[a-zA-Z0-9 ]{0,12}"),
+            1..20,
+        )
+    ) {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (i INT, f DOUBLE, s VARCHAR)").unwrap();
+        let values: Vec<String> = rows
+            .iter()
+            .map(|(i, f, s)| format!("({i}, {f:?}, '{s}')"))
+            .collect();
+        db.execute(&format!("INSERT INTO t VALUES {}", values.join(", "))).unwrap();
+        let b = db.query("SELECT i, f, s FROM t").unwrap();
+        prop_assert_eq!(b.num_rows(), rows.len());
+        for (r, (i, f, s)) in rows.iter().enumerate() {
+            prop_assert_eq!(b.column(0).get(r), Value::Int(*i as i64));
+            let Value::Float(got) = b.column(1).get(r) else { panic!() };
+            prop_assert!((got - f).abs() < 1e-9);
+            prop_assert_eq!(b.column(2).get(r), Value::Text(s.clone()));
+        }
+    }
+
+    /// ORDER BY produces a sorted permutation of the input.
+    #[test]
+    fn order_by_sorts_and_permutes(
+        xs in proptest::collection::vec(-1000i64..1000, 1..40)
+    ) {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (x INT)").unwrap();
+        let values: Vec<String> = xs.iter().map(|x| format!("({x})")).collect();
+        db.execute(&format!("INSERT INTO t VALUES {}", values.join(", "))).unwrap();
+        let b = db.query("SELECT x FROM t ORDER BY x").unwrap();
+        let got: Vec<i64> = (0..b.num_rows())
+            .map(|r| b.column(0).get(r).as_i64().unwrap())
+            .collect();
+        let mut expected = xs.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Aggregates match straightforward recomputation.
+    #[test]
+    fn aggregates_match_reference(
+        xs in proptest::collection::vec(-100i64..100, 1..50)
+    ) {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (x INT)").unwrap();
+        let values: Vec<String> = xs.iter().map(|x| format!("({x})")).collect();
+        db.execute(&format!("INSERT INTO t VALUES {}", values.join(", "))).unwrap();
+        let b = db
+            .query("SELECT COUNT(*), SUM(x), MIN(x), MAX(x), AVG(x) FROM t")
+            .unwrap();
+        prop_assert_eq!(b.column(0).get(0), Value::Int(xs.len() as i64));
+        prop_assert_eq!(b.column(1).get(0), Value::Int(xs.iter().sum()));
+        prop_assert_eq!(b.column(2).get(0), Value::Int(*xs.iter().min().unwrap()));
+        prop_assert_eq!(b.column(3).get(0), Value::Int(*xs.iter().max().unwrap()));
+        let Value::Float(avg) = b.column(4).get(0) else { panic!() };
+        let expected = xs.iter().sum::<i64>() as f64 / xs.len() as f64;
+        prop_assert!((avg - expected).abs() < 1e-9);
+    }
+
+    /// The optimizer never changes results on a family of generated
+    /// filter + projection + sort queries.
+    #[test]
+    fn optimizer_preserves_generated_queries(
+        threshold in -50i64..50,
+        limit in 1usize..10,
+        desc in any::<bool>(),
+    ) {
+        use flock_sql::optimizer::OptimizerConfig;
+        let db = Database::new();
+        db.execute("CREATE TABLE t (a INT, b INT)").unwrap();
+        let values: Vec<String> = (0..40)
+            .map(|i| format!("({}, {})", i - 20, (i * 7) % 23))
+            .collect();
+        db.execute(&format!("INSERT INTO t VALUES {}", values.join(", "))).unwrap();
+        let q = format!(
+            "SELECT a, b + 1 AS b1 FROM t WHERE a > {threshold} \
+             ORDER BY b1 {}, a LIMIT {limit}",
+            if desc { "DESC" } else { "ASC" }
+        );
+        db.set_optimizer_config(OptimizerConfig::default());
+        let on = db.query(&q).unwrap();
+        db.set_optimizer_config(OptimizerConfig::disabled());
+        let off = db.query(&q).unwrap();
+        prop_assert_eq!(on.num_rows(), off.num_rows());
+        for r in 0..on.num_rows() {
+            prop_assert_eq!(on.row(r), off.row(r));
+        }
+    }
+}
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-1_000_000i64..1_000_000).prop_map(Value::Int),
+        (-1e6f64..1e6).prop_map(Value::Float),
+        "[a-z]{0,8}".prop_map(Value::Text),
+        (-50_000i32..50_000).prop_map(Value::Date),
+    ]
+}

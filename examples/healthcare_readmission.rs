@@ -1,0 +1,125 @@
+//! The paper's regulated-industry scenario: "a health insurance agency
+//! aiming to predict patient recidivism" — where "copying CSV files on a
+//! laptop and maximizing average model accuracy just doesn't cut it".
+//!
+//! Demonstrates governance everywhere:
+//! * access control on tables *and* models (a data scientist without
+//!   EXECUTE cannot score, and every denial is audited);
+//! * time-travel reads and version-pinned model lineage;
+//! * provenance: "why was this predicted" via backward lineage, and
+//!   impact analysis when the upstream table changes.
+//!
+//! Run with: `cargo run --example healthcare_readmission`
+
+use flock::core::FlockDb;
+use flock::provenance::{
+    backward_lineage, capture_models, capture_log, dependent_models, NodeKind, ProvCatalog,
+};
+
+fn main() {
+    let db = FlockDb::new();
+    db.execute(
+        "CREATE TABLE patients (id INT, age DOUBLE, prior_admissions DOUBLE, \
+         chronic_conditions DOUBLE, los_days DOUBLE, readmitted INT)",
+    )
+    .unwrap();
+    db.execute(
+        "INSERT INTO patients VALUES \
+         (1, 74.0, 3.0, 2.0, 9.0, 1), (2, 33.0, 0.0, 0.0, 2.0, 0), \
+         (3, 61.0, 2.0, 1.0, 6.0, 1), (4, 45.0, 1.0, 0.0, 3.0, 0), \
+         (5, 82.0, 4.0, 3.0, 12.0, 1), (6, 29.0, 0.0, 0.0, 1.0, 0), \
+         (7, 57.0, 1.0, 2.0, 5.0, 1), (8, 38.0, 0.0, 1.0, 2.0, 0)",
+    )
+    .unwrap();
+
+    // the clinical data science team trains in-engine; lineage pins the
+    // exact data version
+    db.execute(
+        "CREATE MODEL readmission KIND logistic FROM patients TARGET readmitted \
+         FEATURES age, prior_admissions, chronic_conditions, los_days",
+    )
+    .unwrap();
+    let md = db.model_metadata("readmission").unwrap();
+    println!(
+        "model 'readmission' v1 trained on patients v{} (auc {:.2})",
+        md.lineage.training_table_version.unwrap(),
+        md.lineage.metrics.get("auc").copied().unwrap_or(0.0)
+    );
+
+    // ---- access control -------------------------------------------------
+    db.execute("CREATE USER research_intern").unwrap();
+    db.execute("GRANT SELECT ON TABLE patients TO research_intern").unwrap();
+    let mut intern = db.session("research_intern");
+    let denied = intern.query(
+        "SELECT id, PREDICT(readmission, age, prior_admissions, chronic_conditions, los_days) \
+         FROM patients",
+    );
+    println!(
+        "\nintern scoring without EXECUTE on the model -> {}",
+        denied.err().map(|e| e.to_string()).unwrap_or_default()
+    );
+    db.execute("GRANT EXECUTE ON MODEL readmission TO research_intern").unwrap();
+    let allowed = intern
+        .query(
+            "SELECT id, ROUND(PREDICT(readmission, age, prior_admissions, \
+             chronic_conditions, los_days), 2) AS p_readmit FROM patients \
+             WHERE age > 55 ORDER BY p_readmit DESC",
+        )
+        .unwrap();
+    println!("after GRANT EXECUTE ON MODEL:\n{}", allowed.pretty());
+
+    // ---- data evolves; old versions stay queryable ----------------------
+    db.execute("INSERT INTO patients VALUES (9, 69.0, 2.0, 2.0, 8.0, 1)").unwrap();
+    let now = db.query("SELECT COUNT(*) FROM patients").unwrap();
+    let then = db.query("SELECT COUNT(*) FROM patients VERSION 2").unwrap();
+    println!(
+        "patients now: {} rows; at the model's training version: {} rows",
+        now.column(0).get(0),
+        then.column(0).get(0)
+    );
+
+    // ---- provenance: derivation and impact ------------------------------
+    let mut prov = ProvCatalog::new();
+    capture_log(&mut prov, &db.database().query_log());
+    capture_models(&mut prov, &db.database().catalog(), "model");
+    let graph = prov.graph();
+    println!(
+        "\nprovenance graph: {} nodes, {} edges",
+        graph.node_count(),
+        graph.edge_count()
+    );
+
+    let model_node = graph
+        .find(NodeKind::ModelVersion, "readmission", Some(1))
+        .expect("model captured");
+    let lineage = backward_lineage(graph, model_node);
+    println!("backward lineage of readmission v1:");
+    for id in lineage.iter().take(10) {
+        let n = graph.node(*id);
+        println!("  {:?} {}{}", n.kind, n.name,
+            n.version.map(|v| format!(" v{v}")).unwrap_or_default());
+    }
+
+    // impact analysis: the chronic_conditions column is being re-coded —
+    // which models must be revalidated?
+    let col = graph
+        .find(NodeKind::Column, "patients.chronic_conditions", None)
+        .expect("column captured");
+    let impacted = dependent_models(graph, col);
+    println!(
+        "\nchanging 'patients.chronic_conditions' impacts {} model(s):",
+        impacted.len()
+    );
+    for id in impacted {
+        println!("  {}", graph.node(id).name);
+    }
+
+    // the audit trail has the denial on record
+    let denials = db
+        .database()
+        .audit_log()
+        .into_iter()
+        .filter(|a| a.action == "ACCESS DENIED")
+        .count();
+    println!("\naudit log records {denials} access denial(s) — compliance-ready");
+}

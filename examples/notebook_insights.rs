@@ -1,0 +1,51 @@
+//! Figure-2-style corpus analysis: how much of the data-science ecosystem
+//! does a platform cover if it optimizes only the top-K packages?
+//!
+//! "Systems aiming to support EGML must provide broad coverage, but can
+//! focus on optimizing a core set of ML packages."
+//!
+//! Run with: `cargo run --example notebook_insights`
+
+use flock::corpus::notebooks::{NotebookCorpus, SnapshotParams, FIGURE2_KS};
+
+fn bar(pct: f64) -> String {
+    let filled = (pct / 2.5) as usize;
+    format!("{}{}", "█".repeat(filled), "░".repeat(40usize.saturating_sub(filled)))
+}
+
+fn main() {
+    let n = 50_000;
+    println!("Analyzing two synthetic notebook corpora of {n} notebooks each...");
+    let c2017 = NotebookCorpus::generate(SnapshotParams::year_2017(n));
+    let c2019 = NotebookCorpus::generate(SnapshotParams::year_2019(n));
+
+    println!(
+        "\n2017: {} packages in the ecosystem, {} actually imported",
+        c2017.params.packages,
+        c2017.distinct_packages()
+    );
+    println!(
+        "2019: {} packages in the ecosystem, {} actually imported (3x more packages)",
+        c2019.params.packages,
+        c2019.distinct_packages()
+    );
+
+    println!("\ncoverage: % of notebooks fully supported by the top-K packages\n");
+    println!("{:>6}  {:<44} {:<44}", "top-K", "2017", "2019");
+    for &k in &FIGURE2_KS {
+        let a = c2017.coverage(k);
+        let b = c2019.coverage(k);
+        println!("{k:>6}  {} {a:5.1}%  {} {b:5.1}%", bar(a), bar(b));
+    }
+
+    let shift = c2019.coverage(10) - c2017.coverage(10);
+    println!(
+        "\ntop-10 packages cover {shift:+.1} points more notebooks in 2019 — \
+         the head is consolidating (numpy/pandas/sklearn) even as the long \
+         tail triples."
+    );
+    println!(
+        "=> an EGML platform can focus its cross-optimizer on a small package \
+         core and still cover the majority of real pipelines."
+    );
+}

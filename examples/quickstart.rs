@@ -1,0 +1,69 @@
+//! Quickstart: the Flock loop in one file.
+//!
+//! Create a table, train a model *inside* the database, score it with
+//! `PREDICT` in plain SQL, and inspect the lineage the engine recorded —
+//! "an ML model is software derived from data".
+//!
+//! Run with: `cargo run --example quickstart`
+
+use flock::core::FlockDb;
+
+fn main() {
+    let db = FlockDb::new();
+
+    // 1. data lives in the DBMS
+    db.execute(
+        "CREATE TABLE loans (income DOUBLE, debt DOUBLE, years_employed DOUBLE, approved INT)",
+    )
+    .unwrap();
+    db.execute(
+        "INSERT INTO loans VALUES \
+         (95.0, 10.0, 8.0, 1), (20.0, 50.0, 1.0, 0), (80.0, 20.0, 5.0, 1), \
+         (15.0, 60.0, 0.5, 0), (120.0, 15.0, 12.0, 1), (30.0, 45.0, 2.0, 0), \
+         (70.0, 25.0, 6.0, 1), (25.0, 55.0, 1.5, 0)",
+    )
+    .unwrap();
+
+    // 2. train + deploy in one DDL statement; the engine records lineage
+    let result = db
+        .execute("CREATE MODEL approval KIND logistic FROM loans TARGET approved")
+        .unwrap();
+    println!("> {}", result.message);
+
+    // 3. scoring is just SQL — inference runs next to the data
+    let batch = db
+        .query(
+            "SELECT income, debt, PREDICT(approval, income, debt, years_employed) AS p_approve \
+             FROM loans ORDER BY p_approve DESC",
+        )
+        .unwrap();
+    println!("\nScores:\n{}", batch.pretty());
+
+    // 4. PREDICT composes with the whole relational algebra
+    let good = db
+        .query(
+            "SELECT COUNT(*) AS strong_applicants FROM loans \
+             WHERE PREDICT(approval, income, debt, years_employed) > 0.7",
+        )
+        .unwrap();
+    println!("\nStrong applicants:\n{}", good.pretty());
+
+    // 5. the model is governed like data: versioned, owned, with lineage
+    let models = db.query("SHOW MODELS").unwrap();
+    println!("\nDeployed models:\n{}", models.pretty());
+    let md = db.model_metadata("approval").unwrap();
+    println!(
+        "\nlineage: trained by '{}' on table '{}' version {} — metrics {:?}",
+        md.lineage.trained_by,
+        md.lineage.training_table.as_deref().unwrap_or("?"),
+        md.lineage.training_table_version.unwrap_or(0),
+        md.lineage.metrics
+    );
+
+    // 6. and every access was audited
+    let audit = db.database().audit_log();
+    println!("\naudit trail ({} records), last 3:", audit.len());
+    for record in audit.iter().rev().take(3) {
+        println!("  [{}] {} {} {}", record.seq, record.user, record.action, record.object);
+    }
+}

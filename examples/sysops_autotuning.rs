@@ -1,0 +1,161 @@
+//! The paper's own §4.1 case study: "we have built models to automate the
+//! selection of parallelism for large big data jobs to avoid resource
+//! wastage (in the context of Cosmos clusters). While models are generally
+//! accurate, they occasionally predict resource requirements in excess of
+//! the amounts allowed by user-specified caps. Business rules expressed as
+//! policies then override the model."
+//!
+//! This example closes that loop end to end: train the parallelism
+//! predictor in-engine, score incoming jobs, apply user caps and cluster
+//! policies, commit the resource actions transactionally (rolling back on
+//! failure), and watch the monitor + drift detector.
+//!
+//! Run with: `cargo run --example sysops_autotuning`
+
+use flock::core::FlockDb;
+use flock::ml::{DriftVerdict, ScoreProfile};
+use flock::policy::{
+    apply_transactional, ContinuousMonitor, DecisionContext, DomainAction, MemorySink, Outcome,
+    Policy, PolicyAction, PolicyEngine,
+};
+
+fn main() {
+    let db = FlockDb::new();
+
+    // historical job telemetry: input size, operator count, shuffle
+    // volume -> the parallelism that worked well
+    db.execute(
+        "CREATE TABLE job_history (input_gb DOUBLE, operators DOUBLE, \
+         shuffle_gb DOUBLE, best_parallelism INT)",
+    )
+    .unwrap();
+    let mut rows = Vec::new();
+    for i in 0..400 {
+        let input = 1.0 + (i % 100) as f64 * 5.0;
+        let ops = 2.0 + (i % 20) as f64;
+        let shuffle = input * 0.3 + (i % 7) as f64;
+        let best = (input * 0.4 + shuffle * 0.2 + ops).round();
+        rows.push(format!("({input}, {ops}, {shuffle}, {best})"));
+    }
+    db.execute(&format!("INSERT INTO job_history VALUES {}", rows.join(", ")))
+        .unwrap();
+
+    // train the predictor in-engine
+    let msg = db
+        .execute(
+            "CREATE MODEL parallelism KIND linear FROM job_history \
+             TARGET best_parallelism",
+        )
+        .unwrap();
+    println!("> {}", msg.message);
+    let md = db.model_metadata("parallelism").unwrap();
+    println!(
+        "> training r2 = {:.4}\n",
+        md.lineage.metrics.get("r2").copied().unwrap_or(0.0)
+    );
+
+    // cluster policies: user caps + sanity floors (the paper's override)
+    let mut engine = PolicyEngine::new();
+    engine.add(
+        Policy::new(
+            "deny-absurd",
+            "parallelism > 10000",
+            PolicyAction::Deny { reason: "prediction exceeds cluster capacity".into() },
+        )
+        .unwrap()
+        .with_priority(1),
+    );
+    engine.add(
+        Policy::new(
+            "floor-one",
+            "parallelism < 1",
+            PolicyAction::Floor { field: "parallelism".into(), min: 1.0 },
+        )
+        .unwrap()
+        .with_priority(5),
+    );
+    engine.add(
+        Policy::new(
+            "respect-user-cap",
+            "parallelism > user_cap AND user_cap > 0",
+            PolicyAction::Cap { field: "parallelism".into(), max: 256.0 },
+        )
+        .unwrap()
+        .with_priority(10),
+    );
+    let mut monitor = ContinuousMonitor::new(engine);
+
+    // incoming jobs (last one engineered to exceed its cap)
+    let jobs = [
+        (12.0, 6.0, 4.0, 512.0),
+        (220.0, 14.0, 70.0, 512.0),
+        (900.0, 24.0, 300.0, 256.0), // big job, user capped at 256
+        (3.0, 2.0, 0.5, 512.0),
+    ];
+    let mut session = db.session("admin");
+    let mut actions = Vec::new();
+    let mut live_scores = Vec::new();
+    println!("job admission decisions:");
+    for (i, (input, ops, shuffle, cap)) in jobs.iter().enumerate() {
+        let predicted = session
+            .predict_one(
+                "parallelism",
+                &[
+                    flock::sql::Value::Float(*input),
+                    flock::sql::Value::Float(*ops),
+                    flock::sql::Value::Float(*shuffle),
+                ],
+            )
+            .unwrap();
+        live_scores.push(predicted);
+        let ctx = DecisionContext::new()
+            .with_number("parallelism", predicted)
+            .with_number("user_cap", *cap);
+        let decision = monitor.observe(ctx).unwrap();
+        match &decision.outcome {
+            Outcome::Proceed => {
+                let p = decision.context.number("parallelism").unwrap().round();
+                let overridden = if decision.overridden { "  [policy override]" } else { "" };
+                println!(
+                    "  job {i}: predicted {predicted:.0} -> allocate {p:.0} tasks{overridden}"
+                );
+                actions.push(DomainAction {
+                    target: format!("job.{i}.parallelism"),
+                    value: p,
+                });
+            }
+            Outcome::Denied { reason } => println!("  job {i}: DENIED ({reason})"),
+            Outcome::Escalated { to } => println!("  job {i}: escalated to {to}"),
+        }
+    }
+
+    // transactional application to the (simulated) cluster controller
+    let mut cluster = MemorySink::default();
+    let n = apply_transactional(&mut cluster, &actions).unwrap();
+    println!("\n{n} allocation(s) applied transactionally: {:?}", cluster.state);
+
+    // accountability: every decision is explainable after the fact
+    println!("\nexplanation of the capped decision:");
+    print!("{}", monitor.engine().explain(3).unwrap());
+
+    // drift: the deployment-time profile vs this traffic
+    let baseline_scores: Vec<f64> = {
+        let b = db
+            .query(
+                "SELECT PREDICT(parallelism, input_gb, operators, shuffle_gb) \
+                 FROM job_history",
+            )
+            .unwrap();
+        (0..b.num_rows())
+            .map(|r| b.column(0).get(r).as_f64().unwrap())
+            .collect()
+    };
+    let profile = ScoreProfile::from_scores(&baseline_scores, 10);
+    let report = profile.check(&live_scores);
+    println!(
+        "\ndrift check on live traffic: psi {:.3}, verdict {:?}{}",
+        report.psi,
+        report.verdict,
+        if report.verdict == DriftVerdict::Stable { "" } else { " -> schedule revalidation" }
+    );
+}

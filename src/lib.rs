@@ -1,0 +1,32 @@
+//! # Flock
+//!
+//! Umbrella crate for the Flock reference architecture — a Rust
+//! reproduction of *"Cloudy with high chance of DBMS: A 10-year prediction
+//! for Enterprise-Grade ML"* (CIDR 2020).
+//!
+//! Flock's thesis: models are **software derived from data** — so they must
+//! be stored, scored, versioned, secured and audited inside managed data
+//! platforms, with provenance collected across every phase of the ML
+//! lifecycle. This crate re-exports the subsystem crates:
+//!
+//! * [`sql`] — the columnar DBMS substrate (parser, optimizer, executor,
+//!   versioned tables, transactions, access control).
+//! * [`ml`] — the ML substrate (featurizers, models, pipelines, and the
+//!   standalone scoring runtime used as the paper's "ONNX Runtime"
+//!   baseline).
+//! * [`core`] — the paper's contribution: models as first-class catalog
+//!   objects, `PREDICT` as a relational operator, and the SQL×ML
+//!   cross-optimizer.
+//! * [`provenance`] — the Atlas-like catalog and SQL provenance capture.
+//! * [`pyprov`] — static-analysis provenance for Python-style scripts.
+//! * [`policy`] — the business-rule policy module that closes the loop
+//!   from model prediction to application decision.
+//! * [`corpus`] — workload generators used by the paper's experiments.
+
+pub use flock_core as core;
+pub use flock_corpus as corpus;
+pub use flock_ml as ml;
+pub use flock_policy as policy;
+pub use flock_provenance as provenance;
+pub use flock_pyprov as pyprov;
+pub use flock_sql as sql;

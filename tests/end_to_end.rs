@@ -1,0 +1,369 @@
+//! Cross-crate integration tests: the full Flock lifecycle of Figure 1 —
+//! data → training → deployment → in-DB scoring → policies → provenance.
+
+use flock::core::{FlockDb, Lineage, XOptConfig};
+use flock::corpus::tabular::TabularDataset;
+use flock::ml::{ColumnPipeline, LinearModel, Model, Pipeline};
+use flock::policy::{DecisionContext, Outcome, Policy, PolicyAction, PolicyEngine};
+use flock::provenance::{
+    backward_lineage, capture_log, capture_models, dependent_models, NodeKind, ProvCatalog,
+};
+use flock::pyprov::{analyze, ingest, KnowledgeBase};
+use flock::sql::Value;
+
+/// The canonical lifecycle: gather data, train in-engine, score in SQL,
+/// gate through policies, and audit the provenance end to end.
+#[test]
+fn full_lifecycle_from_data_to_governed_decision() {
+    let db = FlockDb::new();
+    db.execute(
+        "CREATE TABLE txns (amount DOUBLE, merchant_risk DOUBLE, hour DOUBLE, fraud INT)",
+    )
+    .unwrap();
+    // deterministic, separable data
+    let mut rows = Vec::new();
+    for i in 0..200 {
+        let amount = 10.0 + (i % 50) as f64 * 20.0;
+        let risk = (i % 10) as f64 / 10.0;
+        let hour = (i % 24) as f64;
+        let fraud = if risk > 0.6 && amount > 500.0 { 1 } else { 0 };
+        rows.push(format!("({amount}, {risk}, {hour}, {fraud})"));
+    }
+    db.execute(&format!("INSERT INTO txns VALUES {}", rows.join(", ")))
+        .unwrap();
+
+    // 1. train + deploy with lineage
+    db.execute("CREATE MODEL fraud_detector KIND gbt FROM txns TARGET fraud").unwrap();
+    let md = db.model_metadata("fraud_detector").unwrap();
+    assert_eq!(md.lineage.training_table.as_deref(), Some("txns"));
+    assert!(md.lineage.metrics["accuracy"] > 0.9);
+
+    // 2. score in SQL, composing with filters and aggregates
+    let hot = db
+        .query(
+            "SELECT COUNT(*) FROM txns \
+             WHERE PREDICT(fraud_detector, amount, merchant_risk, hour) > 0.5",
+        )
+        .unwrap();
+    let flagged = hot.column(0).get(0).as_i64().unwrap();
+    assert!(flagged > 0, "the model should flag some transactions");
+
+    // 3. policies gate the model's output
+    let mut engine = PolicyEngine::new();
+    engine.add(
+        Policy::new(
+            "manual-review-band",
+            "p_fraud BETWEEN 0.4 AND 0.8",
+            PolicyAction::Escalate { to: "analyst".into() },
+        )
+        .unwrap(),
+    );
+    let scored = db
+        .query(
+            "SELECT amount, PREDICT(fraud_detector, amount, merchant_risk, hour) AS p \
+             FROM txns LIMIT 50",
+        )
+        .unwrap();
+    let mut escalations = 0;
+    for r in 0..scored.num_rows() {
+        let ctx = DecisionContext::new()
+            .with_number("p_fraud", scored.column(1).get(r).as_f64().unwrap());
+        if matches!(engine.decide(ctx).unwrap().outcome, Outcome::Escalated { .. }) {
+            escalations += 1;
+        }
+    }
+    assert_eq!(engine.history().len(), 50);
+    let _ = escalations; // band may be empty for a well-separated model
+
+    // 4. provenance: replay the query log + model catalog into the graph
+    let mut prov = ProvCatalog::new();
+    capture_log(&mut prov, &db.database().query_log());
+    capture_models(&mut prov, &db.database().catalog(), "model");
+    let g = prov.graph();
+    let mv = g
+        .find(NodeKind::ModelVersion, "fraud_detector", Some(1))
+        .expect("model version captured");
+    let lineage = backward_lineage(g, mv);
+    let names: Vec<&str> = lineage.iter().map(|i| g.node(*i).name.as_str()).collect();
+    assert!(names.contains(&"txns"), "lineage reaches the training table: {names:?}");
+}
+
+#[test]
+fn tpch_populated_queries_run_and_are_captured() {
+    let db = flock::sql::Database::new();
+    flock::corpus::tpch::populate(&db, 100, 7).unwrap();
+
+    // a few executable TPC-H-flavored queries against the populated subset
+    let q10ish = db
+        .query(
+            "SELECT c.c_custkey, c.c_name, COUNT(*) AS orders FROM customer c, orders o \
+             WHERE c.c_custkey = o.o_custkey GROUP BY c.c_custkey, c.c_name \
+             ORDER BY orders DESC LIMIT 5",
+        )
+        .unwrap();
+    assert_eq!(q10ish.num_rows(), 5);
+
+    let seg = db
+        .query(
+            "SELECT c_mktsegment, COUNT(*) FROM customer GROUP BY c_mktsegment \
+             ORDER BY c_mktsegment",
+        )
+        .unwrap();
+    assert!(seg.num_rows() >= 3);
+
+    // lazy provenance over everything the engine logged
+    let mut prov = ProvCatalog::new();
+    let reports = capture_log(&mut prov, &db.query_log());
+    assert!(reports.len() >= 10);
+    let g = prov.graph();
+    assert!(g.find(NodeKind::Table, "customer", None).is_some());
+    assert!(g
+        .find(NodeKind::Column, "customer.c_mktsegment", None)
+        .is_some());
+    // bulk loads minted table versions
+    assert!(g.nodes_of_kind(NodeKind::TableVersion).len() >= 4);
+}
+
+#[test]
+fn cross_optimizer_is_semantics_preserving_on_generated_data() {
+    let data = TabularDataset::generate(4_000, 11);
+    let queries = [
+        "SELECT AVG(PREDICT(good_model, age, income, debt, tenure, noise1, noise2, city)) FROM customers",
+        "SELECT COUNT(*) FROM customers WHERE PREDICT(good_model, age, income, debt, tenure, noise1, noise2, city) > 0.5",
+        "SELECT city, MAX(PREDICT(good_model, age, income, debt, tenure, noise1, noise2, city)) \
+         FROM customers GROUP BY city ORDER BY city",
+    ];
+    let build = |cfg: XOptConfig| {
+        let db = FlockDb::with_config(cfg);
+        data.load_into(db.database()).unwrap();
+        let p = data.train_pipeline(10, 3);
+        db.session("admin").deploy_model("good_model", &p, Lineage::default()).unwrap();
+        db
+    };
+    let on = build(XOptConfig::default());
+    let off = build(XOptConfig::disabled());
+    for q in queries {
+        let a = on.query(q).unwrap();
+        let b = off.query(q).unwrap();
+        assert_eq!(a.num_rows(), b.num_rows(), "{q}");
+        for r in 0..a.num_rows() {
+            for c in 0..a.num_columns() {
+                let (x, y) = (a.column(c).get(r), b.column(c).get(r));
+                match (x.as_f64(), y.as_f64()) {
+                    (Some(x), Some(y)) => assert!((x - y).abs() < 1e-9, "{q}: {x} vs {y}"),
+                    _ => assert_eq!(x, y, "{q}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn python_and_sql_provenance_join_in_one_catalog() {
+    let mut prov = ProvCatalog::new();
+    flock::provenance::capture_sql(
+        &mut prov,
+        "INSERT INTO features SELECT user_id, spend FROM events WHERE valid = 1",
+        "etl",
+    )
+    .unwrap();
+    let analysis = analyze(
+        "import pandas as pd\nfrom sklearn.linear_model import LogisticRegression\n\
+         df = pd.read_sql('SELECT user_id, spend FROM features', conn)\n\
+         m = LogisticRegression(C=0.5)\nm.fit(df, df['label'])\n",
+        &KnowledgeBase::standard(),
+    );
+    assert_eq!(analysis.models.len(), 1);
+    ingest(&mut prov, "churn.py", &analysis);
+
+    let g = prov.graph();
+    let model = g
+        .nodes_of_kind(NodeKind::Model)
+        .into_iter()
+        .find(|n| n.name.contains("churn.py"))
+        .unwrap();
+    let lineage = backward_lineage(g, model.id);
+    let names: Vec<&str> = lineage.iter().map(|i| g.node(*i).name.as_str()).collect();
+    assert!(names.contains(&"features"));
+    assert!(names.contains(&"events"), "cross-system lineage: {names:?}");
+
+    // impact: events feeds the model
+    let events = g.find(NodeKind::Table, "events", None).unwrap();
+    assert_eq!(dependent_models(g, events).len(), 1);
+}
+
+#[test]
+fn concurrent_sessions_score_while_models_update() {
+    let db = FlockDb::new();
+    db.execute("CREATE TABLE pts (x DOUBLE)").unwrap();
+    db.execute("INSERT INTO pts VALUES (1.0), (2.0), (3.0)").unwrap();
+    let v1 = Pipeline::new(
+        vec![ColumnPipeline::numeric("x")],
+        Model::Linear(LinearModel::new(vec![1.0], 0.0)),
+        "y",
+    );
+    db.session("admin").deploy_model("m", &v1, Lineage::default()).unwrap();
+
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let db = db.clone();
+            std::thread::spawn(move || {
+                for _ in 0..20 {
+                    if i == 0 {
+                        // writer: bump model version
+                        let v2 = Pipeline::new(
+                            vec![ColumnPipeline::numeric("x")],
+                            Model::Linear(LinearModel::new(vec![2.0], 0.0)),
+                            "y",
+                        );
+                        let _ = db.session("admin").update_model("m", &v2, Lineage::default());
+                    } else {
+                        // readers: scores are always from a consistent model
+                        let b = db
+                            .query("SELECT PREDICT(m, x) FROM pts ORDER BY x")
+                            .unwrap();
+                        let first = b.column(0).get(0).as_f64().unwrap();
+                        let last = b.column(0).get(2).as_f64().unwrap();
+                        assert!((last - 3.0 * first).abs() < 1e-9, "torn model read");
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let obj_version = db
+        .database()
+        .catalog()
+        .extension("model", "m")
+        .unwrap()
+        .current()
+        .version;
+    assert!(obj_version > 1, "writer committed updates");
+}
+
+#[test]
+fn figure_tables_are_regenerable_at_reduced_scale() {
+    // Fig 2
+    let f2 = flock_bench_smoke::fig2();
+    assert!(f2 > 0.0);
+    // coverage tables come from the pyprov harness
+    let kaggle = flock::pyprov::evaluate(
+        &flock::corpus::kaggle_corpus(3)
+            .iter()
+            .map(|s| {
+                (
+                    analyze(&s.source, &KnowledgeBase::standard()),
+                    flock::pyprov::ScriptGroundTruth {
+                        models: s.truth.models,
+                        training_datasets: s.truth.training_datasets.clone(),
+                    },
+                )
+            })
+            .collect::<Vec<_>>(),
+    );
+    assert!(kaggle.pct_models() >= 90.0);
+    assert!(kaggle.pct_datasets() < kaggle.pct_models());
+}
+
+/// Minimal stand-ins so this test does not depend on the bench crate
+/// (which is a workspace member but not a library dependency of `flock`).
+mod flock_bench_smoke {
+    pub fn fig2() -> f64 {
+        use flock::corpus::notebooks::{NotebookCorpus, SnapshotParams};
+        let c = NotebookCorpus::generate(SnapshotParams::year_2019(2_000));
+        c.coverage(10)
+    }
+}
+
+#[test]
+fn audit_spans_data_models_and_denials() {
+    let db = FlockDb::new();
+    db.execute("CREATE TABLE t (x INT)").unwrap();
+    db.execute("INSERT INTO t VALUES (1)").unwrap();
+    let p = Pipeline::new(
+        vec![ColumnPipeline::numeric("x")],
+        Model::Linear(LinearModel::new(vec![1.0], 0.0)),
+        "y",
+    );
+    db.session("admin").deploy_model("m", &p, Lineage::default()).unwrap();
+    db.execute("CREATE USER eve").unwrap();
+    let mut eve = db.session("eve");
+    assert!(eve.query("SELECT PREDICT(m, x) FROM t").is_err());
+
+    let audit = db.database().audit_log();
+    let actions: Vec<&str> = audit.iter().map(|a| a.action.as_str()).collect();
+    assert!(actions.contains(&"CREATE TABLE"));
+    assert!(actions.contains(&"INSERT"));
+    assert!(actions.contains(&"CREATE MODEL"));
+    assert!(actions.contains(&"ACCESS DENIED"));
+}
+
+#[test]
+fn model_values_survive_catalog_roundtrip_and_time_travel() {
+    let db = FlockDb::new();
+    db.execute("CREATE TABLE obs (x DOUBLE, y INT)").unwrap();
+    db.execute("INSERT INTO obs VALUES (1.0, 0), (10.0, 1), (2.0, 0), (9.0, 1)").unwrap();
+    db.execute("CREATE MODEL clf KIND logistic FROM obs TARGET y").unwrap();
+
+    let before = db.query("SELECT PREDICT(clf, x) FROM obs ORDER BY x").unwrap();
+
+    // data changes after training; the model (pinned to v2) is unaffected
+    db.execute("INSERT INTO obs VALUES (100.0, 1)").unwrap();
+    let md = db.model_metadata("clf").unwrap();
+    assert_eq!(md.lineage.training_table_version, Some(2));
+    let again = db.query("SELECT PREDICT(clf, x) FROM obs VERSION 2 ORDER BY x").unwrap();
+    for r in 0..before.num_rows() {
+        assert_eq!(before.column(0).get(r), again.column(0).get(r));
+    }
+    assert_eq!(
+        db.query("SELECT COUNT(*) FROM obs").unwrap().column(0).get(0),
+        Value::Int(5)
+    );
+}
+
+#[test]
+fn schema_change_breaks_models_exactly_as_impact_analysis_predicts() {
+    use flock::provenance::{capture_log, capture_models, NodeKind};
+    let db = FlockDb::new();
+    db.execute("CREATE TABLE visits (age DOUBLE, cost DOUBLE, readmit INT)").unwrap();
+    db.execute(
+        "INSERT INTO visits VALUES (70.0, 900.0, 1), (30.0, 100.0, 0), \
+         (65.0, 800.0, 1), (25.0, 50.0, 0)",
+    )
+    .unwrap();
+    db.execute("CREATE MODEL readmit_risk KIND logistic FROM visits TARGET readmit")
+        .unwrap();
+    db.query("SELECT PREDICT(readmit_risk, age, cost) FROM visits").unwrap();
+
+    // 1. provenance says: the 'cost' column feeds this model
+    let mut prov = ProvCatalog::new();
+    capture_log(&mut prov, &db.database().query_log());
+    capture_models(&mut prov, &db.database().catalog(), "model");
+    let g = prov.graph();
+    let cost = g.find(NodeKind::Column, "visits.cost", None).unwrap();
+    let impacted = dependent_models(g, cost);
+    assert!(
+        !impacted.is_empty(),
+        "impact analysis should flag the model before the change"
+    );
+
+    // 2. the schema change happens anyway
+    db.execute("ALTER TABLE visits DROP COLUMN cost").unwrap();
+
+    // 3. the model breaks exactly where predicted — cleanly, not silently
+    let err = db.query("SELECT PREDICT(readmit_risk, age, cost) FROM visits");
+    assert!(err.is_err());
+
+    // 4. and the recovery path works: retrain on the new schema
+    db.execute("DROP MODEL readmit_risk").unwrap();
+    db.execute("CREATE MODEL readmit_risk KIND logistic FROM visits TARGET readmit")
+        .unwrap();
+    let b = db
+        .query("SELECT PREDICT(readmit_risk, age) FROM visits")
+        .unwrap();
+    assert_eq!(b.num_rows(), 4);
+    let md = db.model_metadata("readmit_risk").unwrap();
+    assert_eq!(md.inputs.len(), 1, "retrained on the surviving column only");
+}
