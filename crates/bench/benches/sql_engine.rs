@@ -88,4 +88,43 @@ fn relational_ablation(c: &mut Criterion) {
 
 criterion_group!(ablation, relational_ablation);
 
-criterion_main!(benches, ablation);
+fn thread_scaling(c: &mut Criterion) {
+    use flock_sql::exec::ExecOptions;
+    let mut group = c.benchmark_group("thread_scaling");
+    group.sample_size(10);
+
+    let db = Database::new();
+    TabularDataset::generate(1_000_000, 42).load_into(&db).unwrap();
+    db.execute("CREATE TABLE cities (city VARCHAR, region VARCHAR)").unwrap();
+    db.execute(
+        "INSERT INTO cities VALUES ('nyc','east'),('sf','west'),('chi','mid'),\
+         ('aus','south'),('sea','west'),('mia','south')",
+    )
+    .unwrap();
+
+    const AGG: &str = "SELECT city, COUNT(*) AS n, AVG(income), SUM(debt) \
+                       FROM customers WHERE debt > 20.0 GROUP BY city ORDER BY city";
+    const JOIN: &str = "SELECT ct.region, COUNT(*), AVG(c.income) FROM customers c \
+                        JOIN cities ct ON c.city = ct.city \
+                        GROUP BY ct.region ORDER BY ct.region";
+
+    for threads in [1usize, 2, 4, 8] {
+        db.set_exec_options(ExecOptions {
+            threads,
+            parallel_row_threshold: 1,
+            ..ExecOptions::default()
+        });
+        group.bench_function(format!("aggregate_1m_t{threads}"), |b| {
+            b.iter(|| db.query(AGG).unwrap())
+        });
+        group.bench_function(format!("join_1m_t{threads}"), |b| {
+            b.iter(|| db.query(JOIN).unwrap())
+        });
+    }
+    db.set_exec_options(ExecOptions::serial());
+    group.finish();
+}
+
+criterion_group!(scaling, thread_scaling);
+
+criterion_main!(benches, ablation, scaling);

@@ -1,0 +1,149 @@
+//! Thread-scaling baseline for the morsel-driven relational executor:
+//! a 1M-row grouped aggregate and a 1M-row hash join at 1/2/4/8 threads,
+//! written to `results/BENCH_sql_parallel.json`.
+//!
+//! On multi-core hosts each configuration is measured wall-clock with
+//! `ExecOptions { threads, .. }`. On single-core hosts real fan-out cannot
+//! show up in wall-clock time, so — following the fig4 convention — the
+//! parallel times are *modeled* as the critical path: the table is split
+//! into `t` contiguous chunks, each chunk's query is actually executed and
+//! timed, and the modeled time is the slowest chunk plus the measured
+//! non-parallelizable overhead (plan + merge, i.e. serial minus the sum of
+//! chunk times, clamped at zero). The JSON records which mode produced the
+//! numbers.
+
+use flock_bench::fig4::host_threads;
+use flock_corpus::tabular::TabularDataset;
+use flock_sql::exec::ExecOptions;
+use flock_sql::Database;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const ROWS: usize = 1_000_000;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+const REPEATS: usize = 3;
+
+const AGG_QUERY: &str = "SELECT city, COUNT(*) AS n, AVG(income) AS avg_inc, SUM(debt) \
+                         FROM customers WHERE debt > 20.0 GROUP BY city ORDER BY city";
+const JOIN_QUERY: &str = "SELECT ct.region, COUNT(*), AVG(c.income) FROM customers c \
+                          JOIN cities ct ON c.city = ct.city \
+                          GROUP BY ct.region ORDER BY ct.region";
+
+fn load_cities(db: &Database) {
+    db.execute("CREATE TABLE cities (city VARCHAR, region VARCHAR)")
+        .unwrap();
+    db.execute(
+        "INSERT INTO cities VALUES ('nyc','east'),('sf','west'),('chi','mid'),\
+         ('aus','south'),('sea','west'),('mia','south')",
+    )
+    .unwrap();
+}
+
+fn time_best_ms(repeats: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Contiguous row range `[lo, hi)` of the dataset as its own dataset.
+fn slice(d: &TabularDataset, lo: usize, hi: usize) -> TabularDataset {
+    TabularDataset {
+        age: d.age[lo..hi].to_vec(),
+        income: d.income[lo..hi].to_vec(),
+        debt: d.debt[lo..hi].to_vec(),
+        tenure: d.tenure[lo..hi].to_vec(),
+        noise1: d.noise1[lo..hi].to_vec(),
+        noise2: d.noise2[lo..hi].to_vec(),
+        city: d.city[lo..hi].to_vec(),
+        comment: d.comment[lo..hi].to_vec(),
+        label: d.label[lo..hi].to_vec(),
+    }
+}
+
+/// Modeled t-way time on a single-core host: slowest chunk (critical path)
+/// plus the non-parallelizable remainder of the serial run.
+fn modeled_ms(data: &TabularDataset, query: &str, threads: usize, serial_ms: f64) -> f64 {
+    let chunk_rows = data.len().div_ceil(threads).max(1);
+    let mut chunk_times = Vec::new();
+    let mut lo = 0;
+    while lo < data.len() {
+        let hi = (lo + chunk_rows).min(data.len());
+        let db = Database::new();
+        slice(data, lo, hi).load_into(&db).unwrap();
+        load_cities(&db);
+        db.set_exec_options(ExecOptions::serial());
+        chunk_times.push(time_best_ms(REPEATS, || {
+            db.query(query).unwrap();
+        }));
+        lo = hi;
+    }
+    let critical = chunk_times.iter().copied().fold(0.0f64, f64::max);
+    let overhead = (serial_ms - chunk_times.iter().sum::<f64>()).max(0.0);
+    critical + overhead
+}
+
+fn main() {
+    let host = host_threads();
+    let mode = if host > 1 { "measured" } else { "modeled-critical-path" };
+    eprintln!("host threads: {host} -> {mode}; generating {ROWS} rows...");
+    let data = TabularDataset::generate(ROWS, 42);
+    let db = Database::new();
+    data.load_into(&db).unwrap();
+    load_cities(&db);
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"sql_parallel\",");
+    let _ = writeln!(out, "  \"rows\": {ROWS},");
+    let _ = writeln!(out, "  \"host_threads\": {host},");
+    let _ = writeln!(out, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(out, "  \"queries\": {{");
+
+    for (qi, (name, query)) in [("aggregate", AGG_QUERY), ("join", JOIN_QUERY)]
+        .iter()
+        .enumerate()
+    {
+        db.set_exec_options(ExecOptions::serial());
+        let serial_ms = time_best_ms(REPEATS, || {
+            db.query(query).unwrap();
+        });
+        let _ = writeln!(out, "    \"{name}\": {{");
+        let _ = writeln!(out, "      \"sql\": \"{}\",", query.replace('"', "\\\""));
+        let _ = writeln!(out, "      \"threads\": {{");
+        for (ti, &t) in THREADS.iter().enumerate() {
+            let ms = if t == 1 {
+                serial_ms
+            } else if host > 1 {
+                db.set_exec_options(ExecOptions {
+                    threads: t,
+                    parallel_row_threshold: 1,
+                    ..ExecOptions::default()
+                });
+                time_best_ms(REPEATS, || {
+                    db.query(query).unwrap();
+                })
+            } else {
+                modeled_ms(&data, query, t, serial_ms)
+            };
+            let speedup = serial_ms / ms;
+            eprintln!("{name} t={t}: {ms:.1} ms ({speedup:.2}x)");
+            let comma = if ti + 1 < THREADS.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "        \"{t}\": {{ \"ms\": {ms:.3}, \"speedup\": {speedup:.3} }}{comma}"
+            );
+        }
+        let _ = writeln!(out, "      }}");
+        let _ = writeln!(out, "    }}{}", if qi == 0 { "," } else { "" });
+    }
+    let _ = writeln!(out, "  }}");
+    out.push_str("}\n");
+
+    std::fs::create_dir_all("results").unwrap();
+    std::fs::write("results/BENCH_sql_parallel.json", &out).unwrap();
+    eprintln!("wrote results/BENCH_sql_parallel.json");
+    print!("{out}");
+}

@@ -69,6 +69,9 @@ impl FlockDb {
         db.set_inference_provider(provider.clone());
         let xopt = Arc::new(CrossOptimizer::new(registry.clone(), config));
         db.add_plan_rewriter(xopt.clone());
+        // The config's thread pool and fan-out threshold also govern the
+        // relational operators, not just PREDICT.
+        db.set_exec_options(config.exec_options());
         FlockDb {
             db,
             registry,
@@ -96,6 +99,7 @@ impl FlockDb {
 
     pub fn set_xopt_config(&self, config: XOptConfig) {
         self.xopt.set_config(config);
+        self.db.set_exec_options(config.exec_options());
     }
 
     /// Open a session as `user`.

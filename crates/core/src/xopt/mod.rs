@@ -75,6 +75,33 @@ impl XOptConfig {
             ..Default::default()
         }
     }
+
+    /// Clamp every knob into its valid range (threads and the fan-out
+    /// threshold must be >= 1) so a zero-thread config degrades to serial
+    /// execution instead of panicking the worker scope.
+    pub fn clamped(mut self) -> Self {
+        self.threads = self.threads.max(1);
+        self.parallel_row_threshold = self.parallel_row_threshold.max(1);
+        self
+    }
+
+    /// The engine-level execution options this configuration implies: the
+    /// same thread pool and fan-out threshold govern relational operators
+    /// (morsel-parallel filter/project/aggregate/join/sort) and PREDICT.
+    pub fn exec_options(&self) -> flock_sql::exec::ExecOptions {
+        let cfg = self.clamped();
+        flock_sql::exec::ExecOptions {
+            threads: cfg.threads,
+            parallel_row_threshold: cfg.parallel_row_threshold,
+            default_predict: if cfg.threads > 1 {
+                PredictStrategy::Parallel(cfg.threads)
+            } else {
+                PredictStrategy::Vectorized
+            },
+            ..flock_sql::exec::ExecOptions::default()
+        }
+        .validated()
+    }
 }
 
 /// The rewriter registered with the SQL engine.
@@ -87,7 +114,7 @@ impl CrossOptimizer {
     pub fn new(registry: Arc<ModelRegistry>, config: XOptConfig) -> Self {
         CrossOptimizer {
             registry,
-            config: RwLock::new(config),
+            config: RwLock::new(config.clamped()),
         }
     }
 
@@ -96,7 +123,7 @@ impl CrossOptimizer {
     }
 
     pub fn set_config(&self, config: XOptConfig) {
-        *self.config.write() = config;
+        *self.config.write() = config.clamped();
     }
 
     fn rewrite_node(&self, plan: LogicalPlan, catalog: &Catalog) -> Result<LogicalPlan> {
@@ -316,10 +343,9 @@ impl CrossOptimizer {
 
             // 4. physical operator selection from statistics
             let strategy = if cfg.operator_selection && strategy == PredictStrategy::Auto {
-                if est_rows >= cfg.parallel_row_threshold && cfg.threads > 1 {
-                    PredictStrategy::Parallel(cfg.threads)
-                } else {
-                    PredictStrategy::Vectorized
+                match stats::choose_degree(est_rows, cfg.threads, cfg.parallel_row_threshold) {
+                    1 => PredictStrategy::Vectorized,
+                    degree => PredictStrategy::Parallel(degree),
                 }
             } else {
                 strategy

@@ -91,6 +91,19 @@ pub fn estimate_rows(plan: &LogicalPlan, catalog: &Catalog) -> usize {
     }
 }
 
+/// Degree of parallelism for an operator whose input is estimated at
+/// `est_rows` rows: the full worker pool once the estimate clears the
+/// fan-out threshold, serial otherwise. Shared by the PREDICT
+/// operator-selection rule and the relational executor knobs so both
+/// make the same call from the same statistics.
+pub fn choose_degree(est_rows: usize, threads: usize, parallel_row_threshold: usize) -> usize {
+    if threads > 1 && est_rows >= parallel_row_threshold.max(1) {
+        threads
+    } else {
+        1
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -676,3 +676,60 @@ fn scripted_sessions_execute_multi_statement_workflows() {
     );
     let _ = &mut s;
 }
+
+#[test]
+fn predict_pipeline_deterministic_across_thread_configs() {
+    // A PREDICT query over enough rows to trigger morsel fan-out must
+    // return the same rows whatever thread count xopt hands the executor.
+    let db = FlockDb::new();
+    db.execute("CREATE TABLE txns (id INT, income DOUBLE, debt DOUBLE, age DOUBLE)")
+        .unwrap();
+    for chunk in 0..4 {
+        let rows: Vec<String> = (0..500)
+            .map(|i| {
+                let id = chunk * 500 + i;
+                // deterministic pseudo-data; no RNG crate needed
+                let income = ((id * 37) % 150) as f64 + 10.0;
+                let debt = ((id * 91) % 80) as f64;
+                let age = ((id * 13) % 50) as f64 + 18.0;
+                format!("({id}, {income}, {debt}, {age})")
+            })
+            .collect();
+        db.execute(&format!("INSERT INTO txns VALUES {}", rows.join(", ")))
+            .unwrap();
+    }
+    let mut s = db.session("admin");
+    s.deploy_model("risk", &risk_pipeline(), Lineage::default())
+        .unwrap();
+    let q = "SELECT id, PREDICT(risk, income, debt, age) AS r FROM txns \
+             WHERE PREDICT(risk, income, debt, age) > 1.5 ORDER BY id";
+
+    let serial_cfg = XOptConfig {
+        threads: 1,
+        ..XOptConfig::default()
+    };
+    db.set_xopt_config(serial_cfg);
+    let serial = db.session("admin").query(q).unwrap();
+    assert!(serial.num_rows() > 0, "query should select some rows");
+
+    for threads in [2usize, 8] {
+        db.set_xopt_config(XOptConfig {
+            threads,
+            parallel_row_threshold: 1,
+            ..XOptConfig::default()
+        });
+        let parallel = db.session("admin").query(q).unwrap();
+        assert_eq!(serial.num_rows(), parallel.num_rows(), "threads={threads}");
+        for r in 0..serial.num_rows() {
+            for c in 0..serial.num_columns() {
+                let a = serial.column(c).get(r);
+                let b = parallel.column(c).get(r);
+                // scoring is per-row (no reassociation): exact match expected
+                assert!(
+                    a.group_eq(&b),
+                    "threads={threads} row {r} col {c}: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+}

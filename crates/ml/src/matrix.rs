@@ -132,10 +132,25 @@ impl Matrix {
     }
 }
 
-/// Dense dot product.
+/// Dense dot product, unrolled into four independent accumulators so the
+/// FP adds don't serialize on one dependency chain (linear/logistic
+/// scoring spends nearly all its time here).
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    let n = a.len().min(b.len());
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let chunks = n / 4;
+    for i in 0..chunks {
+        let k = i * 4;
+        s0 += a[k] * b[k];
+        s1 += a[k + 1] * b[k + 1];
+        s2 += a[k + 2] * b[k + 2];
+        s3 += a[k + 3] * b[k + 3];
+    }
+    for k in chunks * 4..n {
+        s0 += a[k] * b[k];
+    }
+    (s0 + s2) + (s1 + s3)
 }
 
 /// Solve the symmetric positive-definite system `A x = b` in place using
@@ -206,6 +221,21 @@ mod tests {
     fn matvec_works() {
         let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
         assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn unrolled_dot_matches_naive_product() {
+        // lengths 0..=17 exercise every unroll tail (0..3 leftover lanes)
+        for n in 0..=17usize {
+            let a: Vec<f64> = (0..n).map(|i| (i as f64) * 0.37 - 2.1).collect();
+            let b: Vec<f64> = (0..n).map(|i| 1.0 / (i as f64 + 0.5)).collect();
+            let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            let fast = dot(&a, &b);
+            assert!(
+                (fast - naive).abs() <= 1e-12 * naive.abs().max(1.0),
+                "n={n}: {fast} vs {naive}"
+            );
+        }
     }
 
     #[test]

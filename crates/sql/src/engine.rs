@@ -144,8 +144,10 @@ impl Database {
     }
 
     /// Replace execution options (threading, default PREDICT strategy).
+    /// Knobs are clamped into valid ranges — a zero-thread or zero-morsel
+    /// configuration degrades to serial execution instead of panicking.
     pub fn set_exec_options(&self, options: ExecOptions) {
-        *self.options.write() = options;
+        *self.options.write() = options.validated();
     }
 
     pub fn exec_options(&self) -> ExecOptions {

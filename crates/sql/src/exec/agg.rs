@@ -115,6 +115,54 @@ impl Accumulator {
         }
     }
 
+    /// Whether this accumulator's state can be merged with a peer that saw
+    /// a disjoint slice of the input. DISTINCT aggregates other than
+    /// COUNT/MIN/MAX track only hashed keys, not values, so their partial
+    /// states cannot be combined.
+    pub fn mergeable(func: AggFunc, distinct: bool) -> bool {
+        !distinct || matches!(func, AggFunc::Count | AggFunc::Min | AggFunc::Max)
+    }
+
+    /// Fold another accumulator (same func/distinct, fed a later slice of
+    /// the input) into this one — the barrier step of two-phase parallel
+    /// aggregation.
+    pub fn merge(&mut self, other: &Accumulator) {
+        debug_assert_eq!(self.func, other.func);
+        if let (Some(seen), Some(other_seen)) = (&mut self.seen, &other.seen) {
+            // COUNT DISTINCT: count exactly the newly-seen keys.
+            let mut fresh = 0i64;
+            for key in other_seen {
+                if seen.insert(key.clone()) {
+                    fresh += 1;
+                }
+            }
+            self.count += fresh;
+        } else {
+            self.count += other.count;
+            self.sum += other.sum;
+            self.sumsq += other.sumsq;
+            self.int_only &= other.int_only;
+        }
+        if let Some(m) = &other.min {
+            let better = match &self.min {
+                None => true,
+                Some(cur) => m.sql_cmp(cur) == Some(std::cmp::Ordering::Less),
+            };
+            if better {
+                self.min = Some(m.clone());
+            }
+        }
+        if let Some(m) = &other.max {
+            let better = match &self.max {
+                None => true,
+                Some(cur) => m.sql_cmp(cur) == Some(std::cmp::Ordering::Greater),
+            };
+            if better {
+                self.max = Some(m.clone());
+            }
+        }
+    }
+
     /// Final aggregate value.
     pub fn finish(&self) -> Value {
         match self.func {
@@ -226,6 +274,52 @@ mod tests {
         a.update(Some(&Value::Text("apple".into())));
         a.update(Some(&Value::Text("pear".into())));
         assert_eq!(a.finish(), Value::Text("pear".into()));
+    }
+
+    #[test]
+    fn merge_matches_single_pass() {
+        for func in [
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Variance,
+            AggFunc::StdDev,
+        ] {
+            let values: Vec<Value> = (1..=8).map(Value::Int).collect();
+            let mut whole = Accumulator::new(func, false);
+            for v in &values {
+                whole.update(Some(v));
+            }
+            let mut left = Accumulator::new(func, false);
+            let mut right = Accumulator::new(func, false);
+            for v in &values[..3] {
+                left.update(Some(v));
+            }
+            for v in &values[3..] {
+                right.update(Some(v));
+            }
+            left.merge(&right);
+            assert_eq!(left.finish(), whole.finish(), "{func:?}");
+        }
+    }
+
+    #[test]
+    fn merge_count_distinct_unions_seen() {
+        let mut a = Accumulator::new(AggFunc::Count, true);
+        let mut b = Accumulator::new(AggFunc::Count, true);
+        for v in [1, 2, 3] {
+            a.update(Some(&Value::Int(v)));
+        }
+        for v in [2, 3, 4, 5] {
+            b.update(Some(&Value::Int(v)));
+        }
+        a.merge(&b);
+        assert_eq!(a.finish(), Value::Int(5));
+        assert!(Accumulator::mergeable(AggFunc::Count, true));
+        assert!(!Accumulator::mergeable(AggFunc::Sum, true));
+        assert!(Accumulator::mergeable(AggFunc::Sum, false));
     }
 
     #[test]

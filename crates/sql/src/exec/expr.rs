@@ -288,6 +288,16 @@ impl PhysExpr {
         }
     }
 
+    /// Evaluate as a selection mask: one `bool` per row, `true` only when
+    /// the expression is SQL-true (NULL filters out). Shared by the serial
+    /// and morsel-parallel filter paths.
+    pub fn eval_mask(&self, batch: &RecordBatch, ctx: &EvalContext) -> Result<Vec<bool>> {
+        let col = self.eval(batch, ctx)?;
+        Ok((0..batch.num_rows())
+            .map(|i| col.get(i).as_bool() == Some(true))
+            .collect())
+    }
+
     /// Vectorized evaluation over a batch.
     pub fn eval(&self, batch: &RecordBatch, ctx: &EvalContext) -> Result<ColumnVector> {
         match &self.node {

@@ -1,16 +1,22 @@
 //! Physical planning and execution.
 //!
 //! Execution is batch-materialized: every operator consumes and produces a
-//! whole [`RecordBatch`]. Projections containing parallel `PREDICT` calls
-//! split their input into chunks and score across worker threads — the
-//! engine-level parallelism the paper credits for SONNX's speedup over
-//! standalone ONNX Runtime.
+//! whole [`RecordBatch`]. Operators over large inputs run *morsel-driven
+//! parallel*: the batch splits into fixed-size morsels that a worker pool
+//! drains — filters and projections evaluate per morsel, aggregates run
+//! two-phase (thread-local partials merged at the barrier), hash joins
+//! partition the build side and probe morsels concurrently, and sorts
+//! merge per-run sorted indices. This is the engine-supplied parallelism
+//! the paper credits for SONNX's speedup over standalone ONNX Runtime,
+//! generalized from PREDICT projections to the whole relational algebra.
 
 pub mod agg;
 pub mod expr;
 pub mod functions;
+pub mod parallel;
 
 pub use expr::{EvalContext, PhysExpr, PhysNode};
+pub use parallel::ParallelPolicy;
 
 use crate::ast::{Expr, JoinType, PredictStrategy};
 use crate::batch::RecordBatch;
@@ -22,16 +28,25 @@ use crate::schema::Schema;
 use crate::types::Value;
 use crate::udf::InferenceProvider;
 use agg::{Accumulator, GroupKey};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
+
+/// Default fixed morsel size. Morsel boundaries are independent of the
+/// worker count so that results (including floating-point partial-sum
+/// order) never vary with the degree of parallelism.
+pub const DEFAULT_MORSEL_ROWS: usize = 4096;
 
 /// Execution tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ExecOptions {
-    /// Worker threads for parallel inference (>= 1).
+    /// Worker threads for parallel operators and inference (>= 1).
     pub threads: usize,
-    /// Minimum batch size before a parallel projection actually fans out.
+    /// Minimum estimated/actual row count before an operator fans out.
     pub parallel_row_threshold: usize,
+    /// Fixed morsel size in rows (>= 1).
+    pub morsel_rows: usize,
     /// What `PREDICT(...)` with strategy `Auto` resolves to.
     pub default_predict: PredictStrategy,
 }
@@ -44,6 +59,7 @@ impl Default for ExecOptions {
         ExecOptions {
             threads,
             parallel_row_threshold: 4096,
+            morsel_rows: DEFAULT_MORSEL_ROWS,
             default_predict: PredictStrategy::Parallel(threads),
         }
     }
@@ -55,8 +71,33 @@ impl ExecOptions {
         ExecOptions {
             threads: 1,
             parallel_row_threshold: usize::MAX,
+            morsel_rows: DEFAULT_MORSEL_ROWS,
             default_predict: PredictStrategy::Vectorized,
         }
+    }
+
+    /// Multi-threaded execution with an explicit degree and fan-out
+    /// threshold (both clamped to >= 1).
+    pub fn with_threads(threads: usize, parallel_row_threshold: usize) -> Self {
+        ExecOptions {
+            threads,
+            parallel_row_threshold,
+            ..ExecOptions::default()
+        }
+        .validated()
+    }
+
+    /// Clamp every knob into its valid range: a zero-thread or zero-morsel
+    /// configuration must degrade to serial execution, never panic the
+    /// worker scope.
+    pub fn validated(mut self) -> Self {
+        self.threads = self.threads.max(1);
+        self.parallel_row_threshold = self.parallel_row_threshold.max(1);
+        self.morsel_rows = self.morsel_rows.max(1);
+        if let PredictStrategy::Parallel(n) = self.default_predict {
+            self.default_predict = PredictStrategy::Parallel(n.max(1));
+        }
+        self
     }
 }
 
@@ -73,21 +114,20 @@ pub enum PhysicalPlan {
     Filter {
         input: Box<PhysicalPlan>,
         predicate: PhysExpr,
+        policy: ParallelPolicy,
     },
     Project {
         input: Box<PhysicalPlan>,
         exprs: Vec<PhysExpr>,
         schema: Arc<Schema>,
-        /// Chunked-parallel evaluation degree (1 = serial).
-        parallelism: usize,
-        /// Row threshold before fanning out.
-        parallel_threshold: usize,
+        policy: ParallelPolicy,
     },
     HashAggregate {
         input: Box<PhysicalPlan>,
         group: Vec<PhysExpr>,
         aggs: Vec<(AggCall, Option<PhysExpr>)>,
         schema: Arc<Schema>,
+        policy: ParallelPolicy,
     },
     HashJoin {
         left: Box<PhysicalPlan>,
@@ -97,6 +137,7 @@ pub enum PhysicalPlan {
         join_type: JoinType,
         filter: Option<PhysExpr>,
         schema: Arc<Schema>,
+        policy: ParallelPolicy,
     },
     NestedLoopJoin {
         left: Box<PhysicalPlan>,
@@ -108,6 +149,7 @@ pub enum PhysicalPlan {
     Sort {
         input: Box<PhysicalPlan>,
         keys: Vec<(PhysExpr, bool)>,
+        policy: ParallelPolicy,
     },
     Limit {
         input: Box<PhysicalPlan>,
@@ -124,13 +166,17 @@ pub enum PhysicalPlan {
 }
 
 /// Translate an (optimized) logical plan into a physical plan, snapshotting
-/// table data from `catalog`.
+/// table data from `catalog`. Each parallel-capable operator gets a
+/// [`ParallelPolicy`] chosen from its input's row-count estimate — the
+/// physical-operator-selection rule of the cross-optimizer, applied to the
+/// whole relational algebra rather than only PREDICT.
 pub fn create_physical_plan(
     logical: &LogicalPlan,
     catalog: &Catalog,
     provider: &dyn InferenceProvider,
     options: &ExecOptions,
 ) -> Result<PhysicalPlan> {
+    let options = &options.clone().validated();
     Ok(match logical {
         LogicalPlan::Scan {
             table,
@@ -170,9 +216,11 @@ pub fn create_physical_plan(
         LogicalPlan::Filter { input, predicate } => {
             let child = create_physical_plan(input, catalog, provider, options)?;
             let predicate = compile(predicate, input.schema(), provider, options)?;
+            let policy = ParallelPolicy::from_options(options, child.estimated_rows());
             PhysicalPlan::Filter {
                 input: Box::new(child),
                 predicate,
+                policy,
             }
         }
         LogicalPlan::Project {
@@ -185,18 +233,20 @@ pub fn create_physical_plan(
                 .iter()
                 .map(|e| compile(e, input.schema(), provider, options))
                 .collect::<Result<_>>()?;
-            let parallelism = compiled
+            // An explicit `PREDICT ... PARALLEL n` raises the degree even
+            // when row-count stats alone would stay serial.
+            let predict_par = compiled
                 .iter()
                 .map(PhysExpr::predict_parallelism)
                 .max()
-                .unwrap_or(0)
-                .max(1);
+                .unwrap_or(0);
+            let policy = ParallelPolicy::from_options(options, child.estimated_rows())
+                .with_min_degree(predict_par.max(1));
             PhysicalPlan::Project {
                 input: Box::new(child),
                 exprs: compiled,
                 schema: schema.clone(),
-                parallelism,
-                parallel_threshold: options.parallel_row_threshold,
+                policy,
             }
         }
         LogicalPlan::Aggregate {
@@ -221,11 +271,13 @@ pub fn create_physical_plan(
                     Ok((a.clone(), arg))
                 })
                 .collect::<Result<_>>()?;
+            let policy = ParallelPolicy::from_options(options, child.estimated_rows());
             PhysicalPlan::HashAggregate {
                 input: Box::new(child),
                 group: group_c,
                 aggs: aggs_c,
                 schema: schema.clone(),
+                policy,
             }
         }
         LogicalPlan::Join {
@@ -260,6 +312,8 @@ pub fn create_physical_plan(
                     .iter()
                     .map(|(_, re)| compile(re, right.schema(), provider, options))
                     .collect::<Result<_>>()?;
+                let est = l.estimated_rows().max(r.estimated_rows());
+                let policy = ParallelPolicy::from_options(options, est);
                 PhysicalPlan::HashJoin {
                     left: Box::new(l),
                     right: Box::new(r),
@@ -268,6 +322,7 @@ pub fn create_physical_plan(
                     join_type: *join_type,
                     filter: filter_c,
                     schema: joined_schema,
+                    policy,
                 }
             }
         }
@@ -277,9 +332,11 @@ pub fn create_physical_plan(
                 .iter()
                 .map(|(e, asc)| Ok((compile(e, input.schema(), provider, options)?, *asc)))
                 .collect::<Result<_>>()?;
+            let policy = ParallelPolicy::from_options(options, child.estimated_rows());
             PhysicalPlan::Sort {
                 input: Box::new(child),
                 keys: keys_c,
+                policy,
             }
         }
         LogicalPlan::Limit {
@@ -329,6 +386,40 @@ fn compile(
 }
 
 impl PhysicalPlan {
+    /// Output-cardinality estimate. Exact for scans (the physical plan
+    /// snapshots table data), heuristic above them — the same shape as the
+    /// cross-optimizer's logical estimator, reused here for per-operator
+    /// degree selection.
+    pub fn estimated_rows(&self) -> usize {
+        match self {
+            PhysicalPlan::Scan { data } => data.num_rows(),
+            PhysicalPlan::Values { rows, .. } => rows.len(),
+            // filters keep an estimated third of their input
+            PhysicalPlan::Filter { input, .. } => input.estimated_rows() / 3 + 1,
+            PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Distinct { input } => input.estimated_rows(),
+            PhysicalPlan::HashAggregate { input, group, .. } => {
+                if group.is_empty() {
+                    1
+                } else {
+                    (input.estimated_rows() / 10).max(1)
+                }
+            }
+            PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::NestedLoopJoin { left, right, .. } => {
+                left.estimated_rows().max(right.estimated_rows())
+            }
+            PhysicalPlan::Limit { input, limit, .. } => {
+                let n = input.estimated_rows();
+                limit.map_or(n, |l| n.min(l as usize))
+            }
+            PhysicalPlan::Union { inputs, .. } => {
+                inputs.iter().map(PhysicalPlan::estimated_rows).sum()
+            }
+        }
+    }
+
     pub fn execute(&self, ctx: &EvalContext) -> Result<RecordBatch> {
         match self {
             PhysicalPlan::Scan { data } => Ok(data.clone()),
@@ -344,24 +435,36 @@ impl PhysicalPlan {
                 }
                 RecordBatch::from_rows(schema.clone(), &out_rows)
             }
-            PhysicalPlan::Filter { input, predicate } => {
+            PhysicalPlan::Filter {
+                input,
+                predicate,
+                policy,
+            } => {
                 let batch = input.execute(ctx)?;
-                let col = predicate.eval(&batch, ctx)?;
-                let mask: Vec<bool> = (0..batch.num_rows())
-                    .map(|i| col.get(i).as_bool() == Some(true))
-                    .collect();
+                let mask: Vec<bool> = if policy.fan_out(batch.num_rows()) {
+                    parallel::map_morsels(&batch, policy, |m| predicate.eval_mask(m, ctx))?
+                        .concat()
+                } else {
+                    predicate.eval_mask(&batch, ctx)?
+                };
                 batch.filter(&mask)
             }
             PhysicalPlan::Project {
                 input,
                 exprs,
                 schema,
-                parallelism,
-                parallel_threshold,
+                policy,
             } => {
                 let batch = input.execute(ctx)?;
-                if *parallelism > 1 && batch.num_rows() >= *parallel_threshold {
-                    return project_parallel(&batch, exprs, schema, *parallelism, ctx);
+                if policy.fan_out(batch.num_rows()) {
+                    let parts = parallel::map_morsels(&batch, policy, |m| {
+                        let cols: Vec<ColumnVector> = exprs
+                            .iter()
+                            .map(|e| e.eval(m, ctx))
+                            .collect::<Result<_>>()?;
+                        RecordBatch::new(schema.clone(), cols)
+                    })?;
+                    return RecordBatch::concat(schema.clone(), &parts);
                 }
                 let columns: Vec<ColumnVector> = exprs
                     .iter()
@@ -374,9 +477,10 @@ impl PhysicalPlan {
                 group,
                 aggs,
                 schema,
+                policy,
             } => {
                 let batch = input.execute(ctx)?;
-                execute_aggregate(&batch, group, aggs, schema, ctx)
+                execute_aggregate(&batch, group, aggs, schema, policy, ctx)
             }
             PhysicalPlan::HashJoin {
                 left,
@@ -386,11 +490,12 @@ impl PhysicalPlan {
                 join_type,
                 filter,
                 schema,
+                policy,
             } => {
                 let lb = left.execute(ctx)?;
                 let rb = right.execute(ctx)?;
                 execute_hash_join(
-                    &lb, &rb, left_keys, right_keys, *join_type, filter, schema, ctx,
+                    &lb, &rb, left_keys, right_keys, *join_type, filter, schema, policy, ctx,
                 )
             }
             PhysicalPlan::NestedLoopJoin {
@@ -407,24 +512,13 @@ impl PhysicalPlan {
                     .collect();
                 finish_join(&lb, &rb, pairs, *join_type, filter, schema, ctx)
             }
-            PhysicalPlan::Sort { input, keys } => {
+            PhysicalPlan::Sort {
+                input,
+                keys,
+                policy,
+            } => {
                 let batch = input.execute(ctx)?;
-                let key_cols: Vec<(ColumnVector, bool)> = keys
-                    .iter()
-                    .map(|(e, asc)| Ok((e.eval(&batch, ctx)?, *asc)))
-                    .collect::<Result<_>>()?;
-                let mut indices: Vec<usize> = (0..batch.num_rows()).collect();
-                indices.sort_by(|&a, &b| {
-                    for (col, asc) in &key_cols {
-                        let ord = col.get(a).total_cmp(&col.get(b));
-                        let ord = if *asc { ord } else { ord.reverse() };
-                        if ord != std::cmp::Ordering::Equal {
-                            return ord;
-                        }
-                    }
-                    std::cmp::Ordering::Equal
-                });
-                batch.take(&indices)
+                execute_sort(&batch, keys, policy, ctx)
             }
             PhysicalPlan::Limit {
                 input,
@@ -478,50 +572,28 @@ impl PhysicalPlan {
     }
 }
 
-/// Evaluate a projection in parallel over row chunks.
-fn project_parallel(
-    batch: &RecordBatch,
-    exprs: &[PhysExpr],
-    schema: &Arc<Schema>,
-    parallelism: usize,
-    ctx: &EvalContext,
-) -> Result<RecordBatch> {
-    let n = batch.num_rows();
-    let chunk_rows = n.div_ceil(parallelism).max(1);
-    let chunks = batch.chunks(chunk_rows);
-    let results: Vec<Result<Vec<ColumnVector>>> = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|chunk| {
-                s.spawn(move |_| {
-                    exprs
-                        .iter()
-                        .map(|e| e.eval(chunk, ctx))
-                        .collect::<Result<Vec<_>>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect()
-    })
-    .expect("thread scope");
-    let mut parts: Vec<RecordBatch> = Vec::with_capacity(results.len());
-    for r in results {
-        parts.push(RecordBatch::new(schema.clone(), r?)?);
-    }
-    RecordBatch::concat(schema.clone(), &parts)
+// ------------------------------------------------------------- aggregate
+
+/// Per-morsel partial aggregation state: groups in first-appearance order.
+struct Partial {
+    order: Vec<GroupKey>,
+    groups: HashMap<GroupKey, Vec<Accumulator>>,
 }
 
-fn execute_aggregate(
+fn fresh_accs(aggs: &[(AggCall, Option<PhysExpr>)]) -> Vec<Accumulator> {
+    aggs.iter()
+        .map(|(call, _)| Accumulator::new(call.func, call.distinct))
+        .collect()
+}
+
+/// Phase 1 of grouped aggregation over one batch (a morsel or the whole
+/// input): evaluate group/arg expressions vectorized, then accumulate.
+fn accumulate_groups(
     batch: &RecordBatch,
     group: &[PhysExpr],
     aggs: &[(AggCall, Option<PhysExpr>)],
-    schema: &Arc<Schema>,
     ctx: &EvalContext,
-) -> Result<RecordBatch> {
-    // Evaluate group + arg columns once, vectorized.
+) -> Result<Partial> {
     let group_cols: Vec<ColumnVector> = group
         .iter()
         .map(|e| e.eval(batch, ctx))
@@ -530,34 +602,13 @@ fn execute_aggregate(
         .iter()
         .map(|(_, arg)| arg.as_ref().map(|e| e.eval(batch, ctx)).transpose())
         .collect::<Result<_>>()?;
-
-    // Fast path: global aggregate (no GROUP BY) needs no hash table.
-    if group.is_empty() {
-        let mut accs: Vec<Accumulator> = aggs
-            .iter()
-            .map(|(call, _)| Accumulator::new(call.func, call.distinct))
-            .collect();
-        for row in 0..batch.num_rows() {
-            for (acc, arg) in accs.iter_mut().zip(&arg_cols) {
-                match arg {
-                    Some(col) => acc.update(Some(&col.get(row))),
-                    None => acc.update(None),
-                }
-            }
-        }
-        let row: Vec<Value> = accs.iter().map(Accumulator::finish).collect();
-        return RecordBatch::from_rows(schema.clone(), &[row]);
-    }
-
     let mut groups: HashMap<GroupKey, Vec<Accumulator>> = HashMap::new();
     let mut order: Vec<GroupKey> = Vec::new();
     for row in 0..batch.num_rows() {
         let key = GroupKey(group_cols.iter().map(|c| c.get(row)).collect());
         let accs = groups.entry(key.clone()).or_insert_with(|| {
             order.push(key);
-            aggs.iter()
-                .map(|(call, _)| Accumulator::new(call.func, call.distinct))
-                .collect()
+            fresh_accs(aggs)
         });
         for (acc, arg) in accs.iter_mut().zip(&arg_cols) {
             match arg {
@@ -566,27 +617,118 @@ fn execute_aggregate(
             }
         }
     }
+    Ok(Partial { order, groups })
+}
 
-    // Global aggregate over an empty input still yields one row.
-    if groups.is_empty() && group.is_empty() {
-        let key = GroupKey(vec![]);
-        order.push(key.clone());
-        groups.insert(
-            key,
-            aggs.iter()
-                .map(|(call, _)| Accumulator::new(call.func, call.distinct))
-                .collect(),
-        );
+/// Phase 1 of a global (no GROUP BY) aggregate over one batch.
+fn accumulate_global(
+    batch: &RecordBatch,
+    aggs: &[(AggCall, Option<PhysExpr>)],
+    ctx: &EvalContext,
+) -> Result<Vec<Accumulator>> {
+    let arg_cols: Vec<Option<ColumnVector>> = aggs
+        .iter()
+        .map(|(_, arg)| arg.as_ref().map(|e| e.eval(batch, ctx)).transpose())
+        .collect::<Result<_>>()?;
+    let mut accs = fresh_accs(aggs);
+    for row in 0..batch.num_rows() {
+        for (acc, arg) in accs.iter_mut().zip(&arg_cols) {
+            match arg {
+                Some(col) => acc.update(Some(&col.get(row))),
+                None => acc.update(None),
+            }
+        }
+    }
+    Ok(accs)
+}
+
+fn execute_aggregate(
+    batch: &RecordBatch,
+    group: &[PhysExpr],
+    aggs: &[(AggCall, Option<PhysExpr>)],
+    schema: &Arc<Schema>,
+    policy: &ParallelPolicy,
+    ctx: &EvalContext,
+) -> Result<RecordBatch> {
+    let mergeable = aggs
+        .iter()
+        .all(|(call, _)| Accumulator::mergeable(call.func, call.distinct));
+    let parallel = mergeable && policy.fan_out(batch.num_rows());
+
+    // Global aggregate (no GROUP BY) needs no hash table.
+    if group.is_empty() {
+        let accs = if parallel {
+            let partials =
+                parallel::map_morsels(batch, policy, |m| accumulate_global(m, aggs, ctx))?;
+            let mut merged = fresh_accs(aggs);
+            for part in &partials {
+                for (acc, p) in merged.iter_mut().zip(part) {
+                    acc.merge(p);
+                }
+            }
+            merged
+        } else {
+            accumulate_global(batch, aggs, ctx)?
+        };
+        let row: Vec<Value> = accs.iter().map(Accumulator::finish).collect();
+        return RecordBatch::from_rows(schema.clone(), &[row]);
     }
 
-    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(order.len());
-    for key in order {
-        let accs = &groups[&key];
+    let partial = if parallel {
+        // Two-phase: thread-local partials per morsel, merged at the
+        // barrier in morsel order so group order (first appearance) and
+        // partial-sum association match any other thread count.
+        let partials =
+            parallel::map_morsels(batch, policy, |m| accumulate_groups(m, group, aggs, ctx))?;
+        let mut groups: HashMap<GroupKey, Vec<Accumulator>> = HashMap::new();
+        let mut order: Vec<GroupKey> = Vec::new();
+        for part in partials {
+            for key in part.order {
+                let accs = &part.groups[&key];
+                match groups.entry(key.clone()) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        for (dst, src) in e.get_mut().iter_mut().zip(accs) {
+                            dst.merge(src);
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        order.push(key);
+                        e.insert(accs.clone());
+                    }
+                }
+            }
+        }
+        Partial { order, groups }
+    } else {
+        accumulate_groups(batch, group, aggs, ctx)?
+    };
+
+    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(partial.order.len());
+    for key in partial.order {
+        let accs = &partial.groups[&key];
         let mut row = key.0.clone();
         row.extend(accs.iter().map(Accumulator::finish));
         rows.push(row);
     }
     RecordBatch::from_rows(schema.clone(), &rows)
+}
+
+// ------------------------------------------------------------- hash join
+
+fn group_key_hash(key: &GroupKey) -> u64 {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// Join key of one row; `None` when any key part is NULL (never matches).
+fn join_key(cols: &[ColumnVector], row: usize) -> Option<GroupKey> {
+    let vals: Vec<Value> = cols.iter().map(|c| c.get(row)).collect();
+    if vals.iter().any(Value::is_null) {
+        None
+    } else {
+        Some(GroupKey(vals))
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -598,6 +740,7 @@ fn execute_hash_join(
     join_type: JoinType,
     filter: &Option<PhysExpr>,
     schema: &Arc<Schema>,
+    policy: &ParallelPolicy,
     ctx: &EvalContext,
 ) -> Result<RecordBatch> {
     let lk: Vec<ColumnVector> = left_keys
@@ -609,28 +752,69 @@ fn execute_hash_join(
         .map(|e| e.eval(rb, ctx))
         .collect::<Result<_>>()?;
 
-    // Build on the right side.
-    let mut table: HashMap<GroupKey, Vec<usize>> = HashMap::new();
-    for ri in 0..rb.num_rows() {
-        let key_vals: Vec<Value> = rk.iter().map(|c| c.get(ri)).collect();
-        if key_vals.iter().any(Value::is_null) {
-            continue; // NULL keys never match
-        }
-        table.entry(GroupKey(key_vals)).or_default().push(ri);
-    }
-
-    let mut pairs: Vec<(usize, usize)> = Vec::new();
-    for li in 0..lb.num_rows() {
-        let key_vals: Vec<Value> = lk.iter().map(|c| c.get(li)).collect();
-        if key_vals.iter().any(Value::is_null) {
-            continue;
-        }
-        if let Some(matches) = table.get(&GroupKey(key_vals)) {
-            for &ri in matches {
-                pairs.push((li, ri));
+    let pairs = if policy.fan_out(lb.num_rows().max(rb.num_rows())) {
+        // Partitioned build: key+hash extraction per morsel range, then one
+        // build table per partition, each built by its own worker from the
+        // rows that hash into it (in row order, so per-key match order is
+        // identical to the serial build).
+        let nparts = policy.degree;
+        let build_ranges = parallel::morsel_ranges(rb.num_rows(), policy.morsel_rows);
+        let rkeys: Vec<Option<(GroupKey, u64)>> =
+            parallel::parallel_map(&build_ranges, policy.degree, |range| {
+                Ok(range
+                    .clone()
+                    .map(|ri| join_key(&rk, ri).map(|k| {
+                        let h = group_key_hash(&k);
+                        (k, h)
+                    }))
+                    .collect::<Vec<_>>())
+            })?
+            .concat();
+        let parts: Vec<usize> = (0..nparts).collect();
+        let tables: Vec<HashMap<GroupKey, Vec<usize>>> =
+            parallel::parallel_map(&parts, policy.degree, |&p| {
+                let mut table: HashMap<GroupKey, Vec<usize>> = HashMap::new();
+                for (ri, entry) in rkeys.iter().enumerate() {
+                    if let Some((key, h)) = entry {
+                        if (*h as usize) % nparts == p {
+                            table.entry(key.clone()).or_default().push(ri);
+                        }
+                    }
+                }
+                Ok(table)
+            })?;
+        // Morsel-parallel probe; morsel order keeps left-row order intact.
+        let probe_ranges = parallel::morsel_ranges(lb.num_rows(), policy.morsel_rows);
+        parallel::parallel_map(&probe_ranges, policy.degree, |range| {
+            let mut out: Vec<(usize, usize)> = Vec::new();
+            for li in range.clone() {
+                if let Some(key) = join_key(&lk, li) {
+                    let p = (group_key_hash(&key) as usize) % nparts;
+                    if let Some(matches) = tables[p].get(&key) {
+                        out.extend(matches.iter().map(|&ri| (li, ri)));
+                    }
+                }
+            }
+            Ok(out)
+        })?
+        .concat()
+    } else {
+        let mut table: HashMap<GroupKey, Vec<usize>> = HashMap::new();
+        for ri in 0..rb.num_rows() {
+            if let Some(key) = join_key(&rk, ri) {
+                table.entry(key).or_default().push(ri);
             }
         }
-    }
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for li in 0..lb.num_rows() {
+            if let Some(key) = join_key(&lk, li) {
+                if let Some(matches) = table.get(&key) {
+                    pairs.extend(matches.iter().map(|&ri| (li, ri)));
+                }
+            }
+        }
+        pairs
+    };
     finish_join(lb, rb, pairs, join_type, filter, schema, ctx)
 }
 
@@ -655,10 +839,7 @@ fn finish_join(
 
     let mut matched_left: Vec<bool> = vec![false; lb.num_rows()];
     if let Some(f) = filter {
-        let col = f.eval(&joined, ctx)?;
-        let mask: Vec<bool> = (0..joined.num_rows())
-            .map(|i| col.get(i).as_bool() == Some(true))
-            .collect();
+        let mask = f.eval_mask(&joined, ctx)?;
         for (i, &keep) in mask.iter().enumerate() {
             if keep {
                 matched_left[li[i]] = true;
@@ -690,4 +871,98 @@ fn finish_join(
         }
     }
     Ok(joined)
+}
+
+// ------------------------------------------------------------- sort
+
+fn execute_sort(
+    batch: &RecordBatch,
+    keys: &[(PhysExpr, bool)],
+    policy: &ParallelPolicy,
+    ctx: &EvalContext,
+) -> Result<RecordBatch> {
+    let n = batch.num_rows();
+    let fan_out = policy.fan_out(n);
+
+    // Key columns for the whole batch; evaluated morsel-parallel when the
+    // sort itself fans out (expression purity makes this equal to a single
+    // whole-batch evaluation).
+    let key_cols: Vec<(ColumnVector, bool)> = if fan_out {
+        let parts = parallel::map_morsels(batch, policy, |m| {
+            keys.iter()
+                .map(|(e, _)| e.eval(m, ctx))
+                .collect::<Result<Vec<_>>>()
+        })?;
+        let mut cols: Vec<ColumnVector> = parts[0].clone();
+        for part in &parts[1..] {
+            for (dst, src) in cols.iter_mut().zip(part) {
+                dst.append(src)?;
+            }
+        }
+        cols.into_iter()
+            .zip(keys.iter().map(|(_, asc)| *asc))
+            .collect()
+    } else {
+        keys.iter()
+            .map(|(e, asc)| Ok((e.eval(batch, ctx)?, *asc)))
+            .collect::<Result<_>>()?
+    };
+
+    let cmp_rows = |a: usize, b: usize| -> std::cmp::Ordering {
+        for (col, asc) in &key_cols {
+            let ord = col.get(a).total_cmp(&col.get(b));
+            let ord = if *asc { ord } else { ord.reverse() };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    };
+
+    if !fan_out {
+        let mut indices: Vec<usize> = (0..n).collect();
+        indices.sort_by(|&a, &b| cmp_rows(a, b));
+        return batch.take(&indices);
+    }
+
+    // Parallel sort: stable-sort contiguous runs concurrently, then k-way
+    // merge. Ties resolve to the earliest run (and stably within a run),
+    // which reproduces the serial stable sort exactly, independent of the
+    // run boundaries.
+    let run_rows = n.div_ceil(policy.degree).max(policy.morsel_rows);
+    let ranges = parallel::morsel_ranges(n, run_rows);
+    let runs: Vec<Vec<usize>> = parallel::parallel_map(&ranges, policy.degree, |range| {
+        let mut idx: Vec<usize> = range.clone().collect();
+        idx.sort_by(|&a, &b| cmp_rows(a, b));
+        Ok(idx)
+    })?;
+
+    let mut heads = vec![0usize; runs.len()];
+    let mut indices: Vec<usize> = Vec::with_capacity(n);
+    loop {
+        let mut best: Option<usize> = None;
+        for (r, run) in runs.iter().enumerate() {
+            if heads[r] >= run.len() {
+                continue;
+            }
+            best = Some(match best {
+                None => r,
+                Some(b)
+                    if cmp_rows(run[heads[r]], runs[b][heads[b]])
+                        == std::cmp::Ordering::Less =>
+                {
+                    r
+                }
+                Some(b) => b,
+            });
+        }
+        match best {
+            Some(r) => {
+                indices.push(runs[r][heads[r]]);
+                heads[r] += 1;
+            }
+            None => break,
+        }
+    }
+    batch.take(&indices)
 }

@@ -1,0 +1,177 @@
+//! Morsel-driven parallel execution primitives.
+//!
+//! Every parallel relational operator is built from the same two pieces:
+//! a batch is split into *fixed-size morsels* (so results never depend on
+//! the worker count — only scheduling does), and a small worker pool pulls
+//! morsels off a shared cursor until none remain. Workers return results
+//! tagged with their morsel index, and the caller reassembles them in
+//! morsel order, which makes every operator bit-for-bit deterministic with
+//! respect to the serial path (modulo floating-point re-association in
+//! partial aggregates, which fixed morsel boundaries keep stable across
+//! thread counts).
+
+use crate::batch::RecordBatch;
+use crate::error::Result;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How a physical operator fans out, decided at plan time from row-count
+/// estimates and [`super::ExecOptions`].
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelPolicy {
+    /// Worker threads (1 = serial).
+    pub degree: usize,
+    /// Minimum actual row count before fanning out.
+    pub row_threshold: usize,
+    /// Fixed morsel size in rows.
+    pub morsel_rows: usize,
+}
+
+impl ParallelPolicy {
+    /// Never fan out.
+    pub fn serial() -> Self {
+        ParallelPolicy {
+            degree: 1,
+            row_threshold: usize::MAX,
+            morsel_rows: super::DEFAULT_MORSEL_ROWS,
+        }
+    }
+
+    /// Choose a degree for an operator whose input is estimated at
+    /// `est_rows` rows: all of `options.threads` when the estimate clears
+    /// the threshold, serial otherwise.
+    pub fn from_options(options: &super::ExecOptions, est_rows: usize) -> Self {
+        let degree = if options.threads > 1 && est_rows >= options.parallel_row_threshold {
+            options.threads
+        } else {
+            1
+        };
+        ParallelPolicy {
+            degree,
+            row_threshold: options.parallel_row_threshold,
+            morsel_rows: options.morsel_rows,
+        }
+    }
+
+    /// Whether to actually fan out for a batch of `rows` rows.
+    pub fn fan_out(&self, rows: usize) -> bool {
+        self.degree > 1 && rows >= self.row_threshold && rows > self.morsel_rows
+    }
+
+    /// A copy with the degree raised to at least `degree` (used to honor
+    /// explicit `PREDICT ... PARALLEL n` strategies inside projections).
+    pub fn with_min_degree(mut self, degree: usize) -> Self {
+        self.degree = self.degree.max(degree);
+        self
+    }
+}
+
+/// Split `[0, n)` into contiguous ranges of `morsel_rows` rows.
+pub fn morsel_ranges(n: usize, morsel_rows: usize) -> Vec<Range<usize>> {
+    let step = morsel_rows.max(1);
+    if n == 0 {
+        return std::iter::once(0..0).collect();
+    }
+    (0..n)
+        .step_by(step)
+        .map(|start| start..(start + step).min(n))
+        .collect()
+}
+
+/// Run `f` over every item on a pool of `degree` workers pulling from a
+/// shared cursor, returning results in item order. Falls back to a plain
+/// serial loop when one worker (or one item) makes a pool pointless.
+pub fn parallel_map<T, I, F>(items: &[I], degree: usize, f: F) -> Result<Vec<T>>
+where
+    T: Send,
+    I: Sync,
+    F: Fn(&I) -> Result<T> + Sync,
+{
+    let workers = degree.min(items.len()).max(1);
+    if workers == 1 {
+        return items.iter().map(&f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let tagged: Vec<(usize, Result<T>)> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                let f = &f;
+                s.spawn(move |_| {
+                    let mut out: Vec<(usize, Result<T>)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f(&items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("morsel worker panicked"))
+            .collect()
+    })
+    .expect("thread scope");
+    let mut slots: Vec<Option<T>> = items.iter().map(|_| None).collect();
+    for (i, r) in tagged {
+        slots[i] = Some(r?);
+    }
+    Ok(slots
+        .into_iter()
+        .map(|s| s.expect("every morsel produces a result"))
+        .collect())
+}
+
+/// Morsel-map over a batch: split into fixed-size morsels and apply `f`
+/// to each on the worker pool, results in morsel order.
+pub fn map_morsels<T, F>(
+    batch: &RecordBatch,
+    policy: &ParallelPolicy,
+    f: F,
+) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(&RecordBatch) -> Result<T> + Sync,
+{
+    let morsels = batch.chunks(policy.morsel_rows);
+    parallel_map(&morsels, policy.degree, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_without_overlap() {
+        let rs = morsel_ranges(10, 4);
+        assert_eq!(rs, vec![0..4, 4..8, 8..10]);
+        let empty = morsel_ranges(0, 4);
+        assert_eq!(empty.len(), 1);
+        assert!(empty[0].is_empty());
+        assert_eq!(morsel_ranges(4, 4), vec![0..4]);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(&items, 8, |&i| Ok(i * 2)).unwrap();
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_surfaces_errors() {
+        let items: Vec<usize> = (0..10).collect();
+        let r: Result<Vec<usize>> = parallel_map(&items, 4, |&i| {
+            if i == 7 {
+                Err(crate::error::SqlError::Execution("boom".into()))
+            } else {
+                Ok(i)
+            }
+        });
+        assert!(r.is_err());
+    }
+}

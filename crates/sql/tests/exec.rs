@@ -138,6 +138,7 @@ fn serial_and_parallel_exec_options_agree() {
     db.set_exec_options(ExecOptions {
         threads: 4,
         parallel_row_threshold: 1,
+        morsel_rows: 2,
         default_predict: PredictStrategy::Parallel(4),
     });
     let parallel = db.query(q).unwrap();
