@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use flock_provenance::{capture_sql, compress, ProvCatalog};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use flock_rng::rngs::StdRng;
+use flock_rng::SeedableRng;
 
 fn capture(c: &mut Criterion) {
     let mut group = c.benchmark_group("provenance_capture");

@@ -96,4 +96,29 @@ fn main() {
         render_table(&["configuration", "time (ms)", "speedup"], &table)
     );
     println!("(paper: Inline SQL 1x, ORT 17x, Optimized 24x)");
+
+    if !a.optimized_breakdown.is_empty() {
+        println!("\nmeasured per-operator breakdown of the optimized run (from plan metrics):");
+        let table: Vec<Vec<String>> = a
+            .optimized_breakdown
+            .iter()
+            .map(|o| {
+                let mut name = "  ".repeat(o.depth);
+                name.push_str(&o.name);
+                if !o.detail.is_empty() {
+                    name.push_str(&format!(" [{}]", o.detail));
+                }
+                vec![
+                    name,
+                    o.rows_out.to_string(),
+                    format!("{:.3}", o.self_ms),
+                    o.degree.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(&["operator", "rows", "self (ms)", "degree"], &table)
+        );
+    }
 }

@@ -55,6 +55,40 @@ pub fn host_threads() -> usize {
 /// Simulated parallel degree used for the modeled column.
 pub const MODELED_THREADS: usize = 8;
 
+/// One operator of the executed in-DB plan with its *measured* self time,
+/// read from the engine's plan metrics (the same numbers `EXPLAIN
+/// ANALYZE` prints) instead of being re-derived from outer wall clocks.
+#[derive(Debug, Clone)]
+pub struct OperatorTime {
+    pub depth: usize,
+    pub name: String,
+    pub detail: String,
+    pub rows_out: u64,
+    pub self_ms: f64,
+    /// Effective parallel degree (1 = ran serially).
+    pub degree: u64,
+}
+
+/// Per-operator breakdown of the most recent query `db` executed.
+pub fn last_query_operator_times(db: &FlockDb) -> Vec<OperatorTime> {
+    db.database()
+        .last_query_metrics()
+        .map(|snap| {
+            snap.walk()
+                .into_iter()
+                .map(|(depth, n)| OperatorTime {
+                    depth,
+                    name: n.name.clone(),
+                    detail: n.detail.clone(),
+                    rows_out: n.rows_out,
+                    self_ms: n.self_ns as f64 / 1e6,
+                    degree: n.degree,
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
 /// The right panel: speedups vs the Inline-SQL anchor.
 #[derive(Debug, Clone)]
 pub struct SpeedupAnchor {
@@ -65,6 +99,8 @@ pub struct SpeedupAnchor {
     /// Modeled fully-optimized time with 8-way parallelism on single-core
     /// hosts (see [`Fig4Row::sonnx_parallel_modeled_ms`]).
     pub optimized_parallel_modeled_ms: Option<f64>,
+    /// Measured per-operator times of the final optimized run.
+    pub optimized_breakdown: Vec<OperatorTime>,
 }
 
 impl SpeedupAnchor {
@@ -185,6 +221,8 @@ pub fn run_anchor(size: usize, trees: usize, depth: usize, repeats: usize) -> Sp
     let optimized_ms = time_best_ms(repeats, || {
         let _ = db.query(SCORING_QUERY).expect("optimized");
     });
+    // measured per-operator times of the run that just finished
+    let optimized_breakdown = last_query_operator_times(&db);
 
     // modeled 8-way parallel optimized time on single-core hosts: the
     // pruned pipeline's critical-path chunk plus the measured in-DB
@@ -216,6 +254,7 @@ pub fn run_anchor(size: usize, trees: usize, depth: usize, repeats: usize) -> Sp
         ort_ms,
         optimized_ms,
         optimized_parallel_modeled_ms,
+        optimized_breakdown,
     }
 }
 
@@ -268,5 +307,14 @@ mod tests {
         let a = run_anchor(5_000, 8, 3, 1);
         assert!(a.ort_speedup() > 1.0, "ORT should beat inline SQL");
         assert!(a.optimized_speedup() > 1.0);
+        // the breakdown comes from real measured plan metrics: the scan
+        // materialized the whole table, and self times are non-negative
+        let scan = a
+            .optimized_breakdown
+            .iter()
+            .find(|o| o.name == "Scan")
+            .expect("scan in breakdown");
+        assert_eq!(scan.rows_out, 5_000);
+        assert!(a.optimized_breakdown.iter().all(|o| o.self_ms >= 0.0));
     }
 }

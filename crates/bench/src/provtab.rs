@@ -106,6 +106,10 @@ pub fn run_tpcc(n_statements: usize, seed: u64) -> ProvRow {
                 tables_written: versions_written.iter().map(|(t, _)| t.clone()).collect(),
                 versions_written,
                 timestamp_ms: 0,
+                rows_scanned: 0,
+                rows_returned: 0,
+                elapsed_us: 0,
+                parallel_ops: 0,
             }
         })
         .collect();

@@ -31,14 +31,60 @@ pub struct ModelPackage {
 }
 
 impl ModelPackage {
-    /// Serialize the package (for files / network transfer).
+    /// Serialize the package (for files / network transfer). Hand-written
+    /// over the JSON document model (same shape a serde derive would
+    /// emit), so packaging works against any JSON backend.
     pub fn to_bytes(&self) -> Vec<u8> {
-        serde_json::to_vec(self).expect("package serializes")
+        let mut doc = serde_json::Map::new();
+        doc.insert("name".to_string(), serde_json::Value::from(self.name.as_str()));
+        doc.insert("version".to_string(), serde_json::Value::from(self.version));
+        doc.insert(
+            "payload".to_string(),
+            serde_json::Value::Array(
+                self.payload.iter().map(|&b| serde_json::Value::from(b)).collect(),
+            ),
+        );
+        doc.insert("metadata".to_string(), self.metadata.clone());
+        serde_json::to_string(&serde_json::Value::Object(doc))
+            .expect("package serializes")
+            .into_bytes()
     }
 
     pub fn from_bytes(bytes: &[u8]) -> Result<ModelPackage> {
-        serde_json::from_slice(bytes)
-            .map_err(|e| SqlError::Execution(format!("invalid model package: {e}")))
+        let bad = |what: &str| SqlError::Execution(format!("invalid model package: {what}"));
+        let doc: serde_json::Value = serde_json::from_slice(bytes)
+            .map_err(|e| SqlError::Execution(format!("invalid model package: {e}")))?;
+        let name = doc
+            .get("name")
+            .and_then(serde_json::Value::as_str)
+            .ok_or_else(|| bad("missing name"))?
+            .to_string();
+        let version = doc
+            .get("version")
+            .and_then(serde_json::Value::as_u64)
+            .ok_or_else(|| bad("missing version"))?;
+        let payload = doc
+            .get("payload")
+            .and_then(serde_json::Value::as_array)
+            .ok_or_else(|| bad("missing payload"))?
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .filter(|&b| b <= u8::MAX as u64)
+                    .map(|b| b as u8)
+                    .ok_or_else(|| bad("payload byte out of range"))
+            })
+            .collect::<Result<Vec<u8>>>()?;
+        let metadata = doc
+            .get("metadata")
+            .cloned()
+            .ok_or_else(|| bad("missing metadata"))?;
+        Ok(ModelPackage {
+            name,
+            version,
+            payload,
+            metadata,
+        })
     }
 }
 

@@ -41,13 +41,115 @@ pub struct ModelMetadata {
 }
 
 impl ModelMetadata {
-    /// Serialize for storage in the catalog extension object.
+    /// Serialize for storage in the catalog extension object. Hand-written
+    /// over the JSON document model (same shape a serde derive would
+    /// emit), so the catalog works against any JSON backend.
     pub fn to_json(&self) -> serde_json::Value {
-        serde_json::to_value(self).expect("metadata serializes")
+        use serde_json::{Map, Value};
+        let mut lineage = Map::new();
+        lineage.insert(
+            "training_table".to_string(),
+            match &self.lineage.training_table {
+                Some(t) => Value::from(t.as_str()),
+                None => Value::Null,
+            },
+        );
+        lineage.insert(
+            "training_table_version".to_string(),
+            match self.lineage.training_table_version {
+                Some(v) => Value::from(v),
+                None => Value::Null,
+            },
+        );
+        lineage.insert(
+            "training_query".to_string(),
+            match &self.lineage.training_query {
+                Some(q) => Value::from(q.as_str()),
+                None => Value::Null,
+            },
+        );
+        lineage.insert(
+            "trained_by".to_string(),
+            Value::from(self.lineage.trained_by.as_str()),
+        );
+        lineage.insert("created_ms".to_string(), Value::from(self.lineage.created_ms));
+        let mut metrics = Map::new();
+        for (k, v) in &self.lineage.metrics {
+            metrics.insert(k.clone(), Value::from(*v));
+        }
+        lineage.insert("metrics".to_string(), Value::Object(metrics));
+
+        let mut doc = Map::new();
+        doc.insert("name".to_string(), Value::from(self.name.as_str()));
+        doc.insert(
+            "inputs".to_string(),
+            Value::Array(
+                self.inputs
+                    .iter()
+                    .map(|(n, text)| {
+                        Value::Array(vec![Value::from(n.as_str()), Value::from(*text)])
+                    })
+                    .collect(),
+            ),
+        );
+        doc.insert("output".to_string(), Value::from(self.output.as_str()));
+        doc.insert("kind".to_string(), Value::from(self.kind.as_str()));
+        doc.insert("complexity".to_string(), Value::from(self.complexity));
+        doc.insert("lineage".to_string(), Value::Object(lineage));
+        Value::Object(doc)
     }
 
     pub fn from_json(v: &serde_json::Value) -> Option<ModelMetadata> {
-        serde_json::from_value(v.clone()).ok()
+        use serde_json::Value;
+        let name = v.get("name")?.as_str()?.to_string();
+        let inputs = v
+            .get("inputs")?
+            .as_array()?
+            .iter()
+            .map(|pair| {
+                let a = pair.as_array()?;
+                match a.as_slice() {
+                    [n, t] => Some((n.as_str()?.to_string(), t.as_bool()?)),
+                    _ => None,
+                }
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let output = v.get("output")?.as_str()?.to_string();
+        let kind = v.get("kind")?.as_str()?.to_string();
+        let complexity = v.get("complexity")?.as_u64()? as usize;
+        let l = v.get("lineage")?;
+        let opt_str = |v: Option<&Value>| -> Option<Option<String>> {
+            match v {
+                None => None,
+                Some(Value::Null) => Some(None),
+                Some(s) => Some(Some(s.as_str()?.to_string())),
+            }
+        };
+        let lineage = Lineage {
+            training_table: opt_str(l.get("training_table"))?,
+            training_table_version: match l.get("training_table_version") {
+                None => return None,
+                Some(Value::Null) => None,
+                Some(n) => Some(n.as_u64()?),
+            },
+            training_query: opt_str(l.get("training_query"))?,
+            trained_by: l.get("trained_by")?.as_str()?.to_string(),
+            created_ms: l.get("created_ms")?.as_u64()?,
+            metrics: l
+                .get("metrics")?
+                .as_object()?
+                .iter()
+                .map(|(k, v)| Some((k.clone(), v.as_f64()?)))
+                .collect::<Option<std::collections::BTreeMap<_, _>>>()?,
+        };
+        Some(ModelMetadata {
+            name,
+            inputs,
+            output,
+            kind,
+            complexity,
+            lineage,
+        })
     }
 }
 

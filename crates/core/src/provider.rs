@@ -2,7 +2,9 @@
 //! execution, implementing the engine's PREDICT extension point.
 
 use crate::registry::ModelRegistry;
-use flock_ml::{interpreted_score, Frame, FrameCol, Pipeline, StandaloneRuntime};
+use flock_ml::{
+    interpreted_score_with_metrics, Frame, FrameCol, Pipeline, ScoringMetrics, StandaloneRuntime,
+};
 use flock_sql::ast::PredictStrategy;
 use flock_sql::udf::InferenceProvider;
 use flock_sql::{ColumnVector, DataType, SqlError};
@@ -22,6 +24,9 @@ pub struct PredictStats {
 pub struct FlockInferenceProvider {
     registry: Arc<ModelRegistry>,
     pub stats: Arc<PredictStats>,
+    /// Per-stage scoring latency/row counters (featurize vs. model eval vs.
+    /// interpreted path), cumulative across all PREDICT calls.
+    pub scoring: Arc<ScoringMetrics>,
 }
 
 impl FlockInferenceProvider {
@@ -29,6 +34,7 @@ impl FlockInferenceProvider {
         FlockInferenceProvider {
             registry,
             stats: Arc::new(PredictStats::default()),
+            scoring: Arc::new(ScoringMetrics::default()),
         }
     }
 
@@ -113,13 +119,13 @@ impl InferenceProvider for FlockInferenceProvider {
         let scores: Vec<f64> = match strategy {
             PredictStrategy::Row => {
                 self.stats.row_calls.fetch_add(1, Ordering::Relaxed);
-                interpreted_score(&pipeline, &frame)
+                interpreted_score_with_metrics(&pipeline, &frame, &self.scoring)
                     .map_err(|e| SqlError::Execution(e.to_string()))?
             }
             PredictStrategy::Auto | PredictStrategy::Vectorized => {
                 self.stats.vectorized_calls.fetch_add(1, Ordering::Relaxed);
                 StandaloneRuntime::new()
-                    .score(&pipeline, &frame)
+                    .score_with_metrics(&pipeline, &frame, &self.scoring)
                     .map_err(|e| SqlError::Execution(e.to_string()))?
             }
             PredictStrategy::Parallel(threads) => {
@@ -127,7 +133,7 @@ impl InferenceProvider for FlockInferenceProvider {
                 let threads = threads.max(1);
                 if threads == 1 || n < 2 * 1024 {
                     StandaloneRuntime::new()
-                        .score(&pipeline, &frame)
+                        .score_with_metrics(&pipeline, &frame, &self.scoring)
                         .map_err(|e| SqlError::Execution(e.to_string()))?
                 } else {
                     let chunk_rows = n.div_ceil(threads).max(1);
@@ -138,7 +144,10 @@ impl InferenceProvider for FlockInferenceProvider {
                                 .iter()
                                 .map(|chunk| {
                                     let p = &pipeline;
-                                    s.spawn(move |_| StandaloneRuntime::new().score(p, chunk))
+                                    let m = &self.scoring;
+                                    s.spawn(move |_| {
+                                        StandaloneRuntime::new().score_with_metrics(p, chunk, m)
+                                    })
                                 })
                                 .collect();
                             handles
@@ -223,6 +232,11 @@ mod tests {
         use std::sync::atomic::Ordering;
         assert_eq!(provider.stats.rows_scored.load(Ordering::Relaxed), 9);
         assert_eq!(provider.stats.row_calls.load(Ordering::Relaxed), 1);
+        // stage metrics: Vectorized + small Parallel both take the
+        // vectorized path (featurize + score); Row lands in interpret
+        assert_eq!(provider.scoring.featurize.rows.load(Ordering::Relaxed), 6);
+        assert_eq!(provider.scoring.score.rows.load(Ordering::Relaxed), 6);
+        assert_eq!(provider.scoring.interpret.rows.load(Ordering::Relaxed), 3);
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! roughly **3× more packages** in total, yet the **top-10 coverage is ~5
 //! points higher** (the ecosystem expands while the head consolidates).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use flock_rng::rngs::StdRng;
+use flock_rng::{Rng, SeedableRng};
 
 /// Parameters of one corpus snapshot.
 #[derive(Debug, Clone)]

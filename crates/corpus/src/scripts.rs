@@ -9,8 +9,8 @@
 //! follow standard patterns. The generator reproduces those difficulty
 //! mixes, with exact ground truth for scoring.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use flock_rng::rngs::StdRng;
+use flock_rng::{Rng, SeedableRng};
 
 /// Ground truth for one generated script.
 #[derive(Debug, Clone, Default)]

@@ -11,8 +11,8 @@ use flock_ml::{
     train, ColumnPipeline, Frame, FrameCol, Matrix, Model, NumericStep, Pipeline,
 };
 use flock_sql::{ColumnVector, Database, DataType, RecordBatch, Schema, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use flock_rng::rngs::StdRng;
+use flock_rng::{Rng, SeedableRng};
 use std::sync::Arc;
 
 const CITIES: [&str; 6] = ["nyc", "sf", "chi", "aus", "sea", "mia"];

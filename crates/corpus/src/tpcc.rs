@@ -6,8 +6,8 @@
 //! *larger* for TPC-C than TPC-H despite similar query counts — every
 //! write mints a new table-version node.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use flock_rng::rngs::StdRng;
+use flock_rng::{Rng, SeedableRng};
 
 /// The TPC-C schema (9 tables).
 pub fn schema_ddl() -> Vec<&'static str> {

@@ -6,8 +6,8 @@
 //! (date literals precomputed instead of INTERVAL arithmetic, WITH/VIEW
 //! rewritten as derived tables) — and generate parameterized instances.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use flock_rng::rngs::StdRng;
+use flock_rng::{Rng, SeedableRng};
 
 /// The TPC-H schema (8 tables).
 pub fn schema_ddl() -> Vec<&'static str> {

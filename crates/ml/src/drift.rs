@@ -161,8 +161,8 @@ impl DriftReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use flock_rng::rngs::StdRng;
+    use flock_rng::{Rng, SeedableRng};
 
     fn normal_ish(rng: &mut StdRng, mean: f64, spread: f64, n: usize) -> Vec<f64> {
         (0..n)

@@ -40,4 +40,7 @@ pub use model::{
     DecisionTree, GaussianNb, GbtModel, KnnModel, LinearModel, Model, RandomForest, TreeNode,
 };
 pub use pipeline::Pipeline;
-pub use runtime::{interpreted_score, StandaloneRuntime};
+pub use runtime::{
+    interpreted_score, interpreted_score_with_metrics, ScoringMetrics, StageMetrics,
+    StandaloneRuntime,
+};

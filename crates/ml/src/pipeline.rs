@@ -75,6 +75,29 @@ impl Pipeline {
         Ok(self.model.score_batch(&x))
     }
 
+    /// [`score`](Self::score) with per-stage instrumentation: featurization
+    /// and model evaluation are timed and counted separately.
+    pub fn score_with_metrics(
+        &self,
+        frame: &Frame,
+        metrics: &crate::runtime::ScoringMetrics,
+    ) -> Result<Vec<f64>> {
+        let t = std::time::Instant::now();
+        let x = self.featurize(frame)?;
+        metrics.featurize.record(frame.num_rows(), t.elapsed());
+        if x.cols() != self.expected_dim() {
+            return Err(MlError::Shape(format!(
+                "pipeline produces {} features but model expects {}",
+                x.cols(),
+                self.expected_dim()
+            )));
+        }
+        let t = std::time::Instant::now();
+        let scores = self.model.score_batch(&x);
+        metrics.score.record(scores.len(), t.elapsed());
+        Ok(scores)
+    }
+
     /// Score one row given raw values aligned with `self.columns`. This is
     /// the slow interpreted path (fresh feature buffer per row) used as the
     /// paper's inline-UDF anchor.

@@ -11,10 +11,49 @@ use crate::error::Result;
 use crate::featurize::RawValue;
 use crate::frame::{Frame, FrameCol};
 use crate::pipeline::Pipeline;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Rows per internal scoring batch. Bounds the feature-matrix working set
 /// (like real serving runtimes do) so large inputs stay cache-resident.
 pub const SCORE_BATCH_ROWS: usize = 32_768;
+
+/// Lock-free counters for one scoring-pipeline stage. Mirrors the SQL
+/// executor's per-operator metrics so PREDICT-heavy queries can be broken
+/// down end to end (relational operators *and* scoring stages).
+#[derive(Debug, Default)]
+pub struct StageMetrics {
+    pub rows: AtomicU64,
+    pub batches: AtomicU64,
+    pub wall_ns: AtomicU64,
+}
+
+impl StageMetrics {
+    /// Record one batch through this stage.
+    pub fn record(&self, rows: usize, elapsed: std::time::Duration) {
+        self.rows.fetch_add(rows as u64, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.wall_ns
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Mean cost per row, NaN before any rows were recorded.
+    pub fn ns_per_row(&self) -> f64 {
+        self.wall_ns.load(Ordering::Relaxed) as f64 / self.rows.load(Ordering::Relaxed) as f64
+    }
+}
+
+/// Per-stage latency and row counters for the scoring runtime:
+/// featurization vs. model evaluation (vectorized path), plus the
+/// interpreted row-at-a-time path, which has no stage split.
+#[derive(Debug, Default)]
+pub struct ScoringMetrics {
+    /// Raw columns → dense feature matrix.
+    pub featurize: StageMetrics,
+    /// Feature matrix → scores (model evaluation).
+    pub score: StageMetrics,
+    /// Whole-pipeline interpreted scoring (the per-row UDF path).
+    pub interpret: StageMetrics,
+}
 
 /// Vectorized, single-threaded pipeline scorer (the "ORT" baseline).
 #[derive(Debug, Default, Clone, Copy)]
@@ -37,12 +76,49 @@ impl StandaloneRuntime {
         }
         Ok(out)
     }
+
+    /// Like [`score`](Self::score), recording per-stage latency and row
+    /// counts into `metrics`.
+    pub fn score_with_metrics(
+        &self,
+        pipeline: &Pipeline,
+        frame: &Frame,
+        metrics: &ScoringMetrics,
+    ) -> Result<Vec<f64>> {
+        let n = frame.num_rows();
+        if n <= SCORE_BATCH_ROWS {
+            return pipeline.score_with_metrics(frame, metrics);
+        }
+        let mut out = Vec::with_capacity(n);
+        for chunk in frame.chunks(SCORE_BATCH_ROWS) {
+            out.extend(pipeline.score_with_metrics(&chunk, metrics)?);
+        }
+        Ok(out)
+    }
 }
 
 /// Row-at-a-time interpreted scoring: for each row, extract scalars,
 /// build a fresh feature vector, walk the model. Deliberately naive —
 /// this is the cost model of calling a scalar UDF per row.
 pub fn interpreted_score(pipeline: &Pipeline, frame: &Frame) -> Result<Vec<f64>> {
+    interpret(pipeline, frame, None)
+}
+
+/// [`interpreted_score`] with row/latency counters.
+pub fn interpreted_score_with_metrics(
+    pipeline: &Pipeline,
+    frame: &Frame,
+    metrics: &ScoringMetrics,
+) -> Result<Vec<f64>> {
+    interpret(pipeline, frame, Some(metrics))
+}
+
+fn interpret(
+    pipeline: &Pipeline,
+    frame: &Frame,
+    metrics: Option<&ScoringMetrics>,
+) -> Result<Vec<f64>> {
+    let started = std::time::Instant::now();
     let n = frame.num_rows();
     let mut out = Vec::with_capacity(n);
     // resolve input columns once; per-row work still dominates
@@ -60,6 +136,9 @@ pub fn interpreted_score(pipeline: &Pipeline, frame: &Frame) -> Result<Vec<f64>>
             })
             .collect();
         out.push(pipeline.score_row_values(&values)?);
+    }
+    if let Some(m) = metrics {
+        m.interpret.record(n, started.elapsed());
     }
     Ok(out)
 }
@@ -97,6 +176,27 @@ mod tests {
         let interpreted = interpreted_score(&p, &f).unwrap();
         assert_eq!(vectorized, interpreted);
         assert_eq!(vectorized, vec![8.0, 12.0, 7.0]);
+    }
+
+    #[test]
+    fn stage_metrics_accumulate_per_path() {
+        let (p, f) = setup();
+        let m = ScoringMetrics::default();
+        let scores = StandaloneRuntime::new()
+            .score_with_metrics(&p, &f, &m)
+            .unwrap();
+        assert_eq!(scores, vec![8.0, 12.0, 7.0]);
+        // vectorized path: featurize + model-eval stages, no interpret
+        assert_eq!(m.featurize.rows.load(Ordering::Relaxed), 3);
+        assert_eq!(m.featurize.batches.load(Ordering::Relaxed), 1);
+        assert_eq!(m.score.rows.load(Ordering::Relaxed), 3);
+        assert_eq!(m.interpret.rows.load(Ordering::Relaxed), 0);
+        // interpreted path lands in its own stage
+        let same = interpreted_score_with_metrics(&p, &f, &m).unwrap();
+        assert_eq!(same, scores);
+        assert_eq!(m.interpret.rows.load(Ordering::Relaxed), 3);
+        assert_eq!(m.featurize.rows.load(Ordering::Relaxed), 3);
+        assert!(m.score.ns_per_row() >= 0.0);
     }
 
     #[test]

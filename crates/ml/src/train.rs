@@ -11,9 +11,9 @@ use crate::model::{
     linear::sigmoid, DecisionTree, GaussianNb, GbtModel, KnnModel, LinearModel, Model,
     RandomForest, TreeNode,
 };
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use flock_rng::rngs::StdRng;
+use flock_rng::seq::SliceRandom;
+use flock_rng::{Rng, SeedableRng};
 
 /// Ridge-regularized linear regression via the normal equations.
 pub fn fit_linear(x: &Matrix, y: &[f64], ridge: f64) -> Result<LinearModel> {

@@ -90,8 +90,8 @@ fn arbitrary_pipeline() -> impl Strategy<Value = Pipeline> {
 }
 
 fn frame_for(pipeline: &Pipeline, rows: usize, seed: u64) -> Frame {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use flock_rng::rngs::StdRng;
+    use flock_rng::{Rng, SeedableRng};
     let mut rng = StdRng::seed_from_u64(seed);
     let mut frame = Frame::new();
     for (i, cp) in pipeline.columns.iter().enumerate() {
@@ -256,8 +256,8 @@ proptest! {
         n in 1usize..6,
         seed in any::<u64>(),
     ) {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use flock_rng::rngs::StdRng;
+        use flock_rng::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(seed);
         let mut a = Matrix::zeros(n, n);
         for r in 0..n {

@@ -252,7 +252,7 @@ fn extract_statement(stmt: &Statement, out: &mut Extraction) {
         Statement::CreateTable { name, .. } => out.written.push(name.clone()),
         Statement::DropTable { name, .. } => out.written.push(name.clone()),
         Statement::CreateView { query, .. } => extract_query(query, out),
-        Statement::Explain(inner) => extract_statement(inner, out),
+        Statement::Explain { statement, .. } => extract_statement(statement, out),
         _ => {}
     }
 }
@@ -447,6 +447,10 @@ mod tests {
             tables_written: vec!["t".into()],
             versions_written: vec![("t".into(), 5)],
             timestamp_ms: 0,
+            rows_scanned: 0,
+            rows_returned: 0,
+            elapsed_us: 0,
+            parallel_ops: 0,
         };
         let r = capture_log_entry(&mut cat, &entry);
         assert_eq!(r.versions_written.len(), 1);
@@ -488,6 +492,10 @@ mod tests {
             tables_written: vec!["b".into()],
             versions_written: vec![],
             timestamp_ms: 0,
+            rows_scanned: 0,
+            rows_returned: 0,
+            elapsed_us: 0,
+            parallel_ops: 0,
         };
         let r = capture_log_entry(&mut cat, &entry);
         assert_eq!(r.tables_read.len(), 1);

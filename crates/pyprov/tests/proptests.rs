@@ -54,8 +54,8 @@ proptest! {
         n_models in 1usize..4,
         seed in any::<u64>(),
     ) {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use flock_rng::rngs::StdRng;
+        use flock_rng::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(seed);
         let ctors = ["LogisticRegression", "SVC", "RandomForestClassifier"];
         let mut src = String::from(

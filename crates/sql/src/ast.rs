@@ -66,7 +66,12 @@ pub enum Statement {
         object: GrantObject,
         user: String,
     },
-    Explain(Box<Statement>),
+    Explain {
+        statement: Box<Statement>,
+        /// `EXPLAIN ANALYZE`: execute the statement and annotate the plan
+        /// tree with measured per-operator metrics.
+        analyze: bool,
+    },
 }
 
 /// An ALTER TABLE action.

@@ -130,11 +130,9 @@ impl RecordBatch {
         }
     }
 
-    /// Split into chunks of at most `chunk_rows` rows (for parallel scoring).
+    /// Split into chunks of at most `chunk_rows` rows (for parallel
+    /// scoring). An empty batch yields no chunks.
     pub fn chunks(&self, chunk_rows: usize) -> Vec<RecordBatch> {
-        if self.rows == 0 {
-            return vec![self.clone()];
-        }
         let chunk_rows = chunk_rows.max(1);
         (0..self.rows)
             .step_by(chunk_rows)

@@ -5,7 +5,10 @@ use crate::batch::RecordBatch;
 use crate::catalog::{Catalog, ObjectRef, Privilege, ViewDef};
 use crate::column::ColumnVector;
 use crate::error::{Result, SqlError};
-use crate::exec::{create_physical_plan, EvalContext, ExecOptions, PhysExpr};
+use crate::exec::{
+    create_physical_plan, EngineMetrics, EvalContext, ExecOptions, OpSnapshot, PhysExpr,
+    PlanMetrics,
+};
 use crate::optimizer::{optimize, OptimizerConfig};
 use crate::plan::{plan_query, rewrite_expr, LogicalPlan, PlanContext, PlanRewriter, SubqueryRunner};
 use crate::schema::{ColumnDef, Schema};
@@ -43,6 +46,24 @@ pub struct QueryLogEntry {
     /// Table versions produced by this statement (name, new version).
     pub versions_written: Vec<(String, u64)>,
     pub timestamp_ms: u64,
+    /// Rows materialized by scans while executing this statement
+    /// (0 for non-query statements).
+    pub rows_scanned: u64,
+    /// Rows returned to the client.
+    pub rows_returned: u64,
+    /// Wall time spent executing the physical plan, in microseconds.
+    pub elapsed_us: u64,
+    /// Operators that ran with parallel degree > 1.
+    pub parallel_ops: u64,
+}
+
+/// Measured runtime of one executed query, folded into its log entry.
+#[derive(Debug, Clone, Copy, Default)]
+struct QueryRuntime {
+    rows_scanned: u64,
+    rows_returned: u64,
+    elapsed_us: u64,
+    parallel_ops: u64,
 }
 
 /// One audit record. Every data/model access and every privileged action
@@ -81,6 +102,8 @@ pub struct Database {
     options: Arc<RwLock<ExecOptions>>,
     optimizer: Arc<RwLock<OptimizerConfig>>,
     rewriters: Arc<RwLock<Vec<Arc<dyn PlanRewriter>>>>,
+    metrics: Arc<EngineMetrics>,
+    last_query: Arc<RwLock<Option<OpSnapshot>>>,
 }
 
 impl Default for Database {
@@ -104,7 +127,20 @@ impl Database {
             options: Arc::new(RwLock::new(ExecOptions::default())),
             optimizer: Arc::new(RwLock::new(OptimizerConfig::default())),
             rewriters: Arc::new(RwLock::new(Vec::new())),
+            metrics: Arc::new(EngineMetrics::default()),
+            last_query: Arc::new(RwLock::new(None)),
         }
+    }
+
+    /// Cumulative engine-wide execution counters (the `flock_metrics`
+    /// virtual table reads these).
+    pub fn engine_metrics(&self) -> Arc<EngineMetrics> {
+        self.metrics.clone()
+    }
+
+    /// Per-operator snapshot of the most recently executed query plan.
+    pub fn last_query_metrics(&self) -> Option<OpSnapshot> {
+        self.last_query.read().clone()
     }
 
     /// Register a plan rewriter (e.g. the Flock cross-optimizer), applied
@@ -175,6 +211,43 @@ impl Database {
     /// Full audit log.
     pub fn audit_log(&self) -> Vec<AuditRecord> {
         self.state.read().audit_log.clone()
+    }
+
+    /// Overlay the `flock_metrics` virtual table onto a catalog snapshot
+    /// used for one query. A real user table of the same name shadows the
+    /// virtual one; otherwise every user may SELECT it.
+    fn overlay_metrics_table(&self, mut catalog: Catalog, user: &str) -> Catalog {
+        if catalog.has_table("flock_metrics") {
+            return catalog;
+        }
+        let schema = Schema::from_pairs(&[
+            ("metric", crate::types::DataType::Text),
+            ("value", crate::types::DataType::Int),
+        ]);
+        let rows: Vec<Vec<Value>> = self
+            .metrics
+            .rows()
+            .into_iter()
+            .map(|(name, v)| {
+                vec![
+                    Value::Text(name.to_string()),
+                    Value::Int(i64::try_from(v).unwrap_or(i64::MAX)),
+                ]
+            })
+            .collect();
+        let built = (|| -> Result<Table> {
+            let mut table = Table::new("flock_metrics", schema.clone(), 0)?;
+            table.push_version(RecordBatch::from_rows(Arc::new(schema), &rows)?, 0)?;
+            Ok(table)
+        })();
+        if let Ok(table) = built {
+            if catalog.create_table(table).is_ok() {
+                catalog
+                    .access
+                    .grant(user, ObjectRef::table("flock_metrics"), &[Privilege::Select]);
+            }
+        }
+        catalog
     }
 
     /// Convenience: run a statement as admin with autocommit.
@@ -288,7 +361,7 @@ impl Session {
             Statement::Begin => self.begin(),
             Statement::Commit => self.commit(),
             Statement::Rollback => self.rollback(),
-            Statement::Explain(inner) => self.explain(*inner),
+            Statement::Explain { statement, analyze } => self.explain(*statement, analyze),
             other => self.run_in_txn(other, sql),
         }
     }
@@ -461,18 +534,24 @@ impl Session {
                 object,
                 user,
             } => self.run_grant(&privileges, &object, &user, true),
-            Statement::Begin | Statement::Commit | Statement::Rollback | Statement::Explain(_) => {
+            Statement::Begin
+            | Statement::Commit
+            | Statement::Rollback
+            | Statement::Explain { .. } => {
                 unreachable!("handled by execute_statement")
             }
         }
     }
 
-    fn explain(&mut self, stmt: Statement) -> Result<QueryResult> {
+    fn explain(&mut self, stmt: Statement, analyze: bool) -> Result<QueryResult> {
         let Statement::Query(q) = stmt else {
             return Err(SqlError::Plan("EXPLAIN supports only queries".into()));
         };
-        let catalog = self.working_catalog();
+        let catalog = self
+            .db
+            .overlay_metrics_table(self.working_catalog(), &self.user);
         let provider = self.db.inference_provider();
+        let options = self.db.exec_options();
         let runner = EngineSubqueryRunner {
             catalog: &catalog,
             db: &self.db,
@@ -480,9 +559,33 @@ impl Session {
         };
         let ctx = PlanContext::new(&catalog, provider.as_ref()).with_subqueries(&runner);
         let plan = plan_query(&q, &ctx)?;
+
+        // EXPLAIN ANALYZE actually executes, so it is subject to the same
+        // access control as a plain query.
+        if analyze {
+            self.check_query_access(&catalog, &plan)?;
+        }
+
         let plan = self.db.apply_rewriters(plan, &catalog)?;
         let optimized = optimize(plan, &self.db.optimizer_config())?;
-        let text = optimized.explain();
+        let text = if analyze {
+            let physical =
+                create_physical_plan(&optimized, &catalog, provider.as_ref(), &options)?;
+            let eval_ctx = EvalContext {
+                provider,
+                user: self.user.clone(),
+                threads: options.threads,
+            };
+            let plan_metrics = PlanMetrics::for_plan(&physical);
+            physical.execute_metered(&eval_ctx, &plan_metrics)?;
+            let snapshot = plan_metrics.snapshot(&physical);
+            self.db.metrics.record_query(&snapshot);
+            let text = snapshot.render();
+            *self.db.last_query.write() = Some(snapshot);
+            text
+        } else {
+            optimized.explain()
+        };
         let schema = Arc::new(Schema::from_pairs(&[("plan", crate::types::DataType::Text)]));
         let rows: Vec<Vec<Value>> = text
             .lines()
@@ -491,7 +594,7 @@ impl Session {
         Ok(QueryResult {
             batch: Some(RecordBatch::from_rows(schema, &rows)?),
             rows_affected: 0,
-            message: "EXPLAIN".into(),
+            message: if analyze { "EXPLAIN ANALYZE" } else { "EXPLAIN" }.into(),
         })
     }
 
@@ -660,21 +763,15 @@ impl Session {
         }
     }
 
-    fn run_query(&mut self, q: &crate::ast::Query, sql: &str) -> Result<QueryResult> {
-        let catalog = self.working_catalog();
-        let provider = self.db.inference_provider();
-        let options = self.db.exec_options();
-        let runner = EngineSubqueryRunner {
-            catalog: &catalog,
-            db: &self.db,
-            user: &self.user,
-        };
-        let ctx = PlanContext::new(&catalog, provider.as_ref()).with_subqueries(&runner);
-        let plan = plan_query(q, &ctx)?;
-
-        // Access control runs on the *pre-rewrite* plan: SELECT on every
-        // scanned table, EXECUTE on every referenced model. Rewriters may
-        // inline a model away, but inlining must not bypass its ACL.
+    /// Access control runs on the *pre-rewrite* plan: SELECT on every
+    /// scanned table, EXECUTE on every referenced model. Rewriters may
+    /// inline a model away, but inlining must not bypass its ACL.
+    /// Returns the scanned table names for the query log.
+    fn check_query_access(
+        &mut self,
+        catalog: &Catalog,
+        plan: &LogicalPlan,
+    ) -> Result<Vec<String>> {
         let mut tables = Vec::new();
         plan.visit(&mut |n| {
             if let LogicalPlan::Scan { table, .. } = n {
@@ -682,7 +779,7 @@ impl Session {
             }
         });
         for t in &tables {
-            self.check_access(&catalog, &ObjectRef::table(t), Privilege::Select)?;
+            self.check_access(catalog, &ObjectRef::table(t), Privilege::Select)?;
         }
         let mut models = Vec::new();
         plan.visit_exprs(&mut |e| {
@@ -693,8 +790,26 @@ impl Session {
             })
         });
         for m in &models {
-            self.check_access(&catalog, &ObjectRef::extension(m), Privilege::Execute)?;
+            self.check_access(catalog, &ObjectRef::extension(m), Privilege::Execute)?;
         }
+        Ok(tables)
+    }
+
+    fn run_query(&mut self, q: &crate::ast::Query, sql: &str) -> Result<QueryResult> {
+        let catalog = self
+            .db
+            .overlay_metrics_table(self.working_catalog(), &self.user);
+        let provider = self.db.inference_provider();
+        let options = self.db.exec_options();
+        let runner = EngineSubqueryRunner {
+            catalog: &catalog,
+            db: &self.db,
+            user: &self.user,
+        };
+        let ctx = PlanContext::new(&catalog, provider.as_ref()).with_subqueries(&runner);
+        let plan = plan_query(q, &ctx)?;
+
+        let tables = self.check_query_access(&catalog, &plan)?;
 
         let plan = self.db.apply_rewriters(plan, &catalog)?;
         let plan = optimize(plan, &self.db.optimizer_config())?;
@@ -705,9 +820,21 @@ impl Session {
             user: self.user.clone(),
             threads: options.threads,
         };
-        let batch = physical.execute(&eval_ctx)?;
+        let plan_metrics = PlanMetrics::for_plan(&physical);
+        let started = std::time::Instant::now();
+        let batch = physical.execute_metered(&eval_ctx, &plan_metrics)?;
+        let elapsed_us = started.elapsed().as_micros() as u64;
+        let snapshot = plan_metrics.snapshot(&physical);
+        self.db.metrics.record_query(&snapshot);
         let rows = batch.num_rows();
-        self.log_statement(sql, StatementKind::Query, tables, vec![], vec![]);
+        let runtime = QueryRuntime {
+            rows_scanned: snapshot.rows_scanned(),
+            rows_returned: rows as u64,
+            elapsed_us,
+            parallel_ops: snapshot.parallel_ops(),
+        };
+        *self.db.last_query.write() = Some(snapshot);
+        self.log_statement_runtime(sql, StatementKind::Query, tables, vec![], vec![], runtime);
         Ok(QueryResult {
             batch: Some(batch),
             rows_affected: rows,
@@ -1240,6 +1367,25 @@ impl Session {
         tables_written: Vec<String>,
         versions_written: Vec<(String, u64)>,
     ) {
+        self.log_statement_runtime(
+            sql,
+            kind,
+            tables_read,
+            tables_written,
+            versions_written,
+            QueryRuntime::default(),
+        );
+    }
+
+    fn log_statement_runtime(
+        &mut self,
+        sql: &str,
+        kind: StatementKind,
+        tables_read: Vec<String>,
+        tables_written: Vec<String>,
+        versions_written: Vec<(String, u64)>,
+        runtime: QueryRuntime,
+    ) {
         let entry = QueryLogEntry {
             id: 0, // assigned on flush
             txn_id: self.txn.as_ref().map(|t| t.id).unwrap_or(0),
@@ -1250,6 +1396,10 @@ impl Session {
             tables_written,
             versions_written,
             timestamp_ms: now_ms(),
+            rows_scanned: runtime.rows_scanned,
+            rows_returned: runtime.rows_returned,
+            elapsed_us: runtime.elapsed_us,
+            parallel_ops: runtime.parallel_ops,
         };
         match &mut self.txn {
             Some(t) => t.log_buf.push(entry),

@@ -37,12 +37,25 @@ pub struct Accumulator {
     func: AggFunc,
     count: i64,
     sum: f64,
-    sumsq: f64,
+    /// Exact integer sum, maintained while every input is Int/Bool so SUM
+    /// stays lossless past 2^53 (where the f64 fold starts dropping ulps).
+    int_sum: i128,
+    /// Welford running state for VARIANCE/STDDEV: mean and the sum of
+    /// squared deviations from it (M2). Numerically stable where the
+    /// textbook `Σx² / n − mean²` cancels catastrophically.
+    mean: f64,
+    m2: f64,
+    /// Count of values folded into the Welford state (diverges from
+    /// `count` only for non-numeric inputs, which variance ignores).
+    welford_n: i64,
     /// Whether all summed inputs were integers (SUM preserves Int type).
     int_only: bool,
     min: Option<Value>,
     max: Option<Value>,
-    seen: Option<HashSet<String>>,
+    /// DISTINCT filter, keyed with GROUP BY semantics ([`GroupKey`]), so
+    /// `DISTINCT` unifies Int(1)/Float(1.0) and 0.0/-0.0 exactly the way
+    /// grouping does.
+    seen: Option<HashSet<GroupKey>>,
 }
 
 impl Accumulator {
@@ -51,7 +64,10 @@ impl Accumulator {
             func,
             count: 0,
             sum: 0.0,
-            sumsq: 0.0,
+            int_sum: 0,
+            mean: 0.0,
+            m2: 0.0,
+            welford_n: 0,
             int_only: true,
             min: None,
             max: None,
@@ -69,11 +85,7 @@ impl Accumulator {
             return; // aggregates skip NULLs
         }
         if let Some(seen) = &mut self.seen {
-            let key = match v {
-                Value::Float(f) => format!("f{}", f.to_bits()),
-                other => other.to_string(),
-            };
-            if !seen.insert(key) {
+            if !seen.insert(GroupKey(vec![v.clone()])) {
                 return;
             }
         }
@@ -84,14 +96,18 @@ impl Accumulator {
                 if let Some(x) = v.as_f64() {
                     self.sum += x;
                 }
-                if !matches!(v, Value::Int(_) | Value::Bool(_)) {
-                    self.int_only = false;
+                match v {
+                    Value::Int(i) => self.int_sum += *i as i128,
+                    Value::Bool(b) => self.int_sum += *b as i128,
+                    _ => self.int_only = false,
                 }
             }
             AggFunc::Variance | AggFunc::StdDev => {
                 if let Some(x) = v.as_f64() {
-                    self.sum += x;
-                    self.sumsq += x * x;
+                    self.welford_n += 1;
+                    let delta = x - self.mean;
+                    self.mean += delta / self.welford_n as f64;
+                    self.m2 += delta * (x - self.mean);
                 }
             }
             AggFunc::Min => {
@@ -138,9 +154,25 @@ impl Accumulator {
             }
             self.count += fresh;
         } else {
+            // Chan et al. parallel variance merge — exact combination of
+            // two Welford states over disjoint slices.
+            if other.welford_n > 0 {
+                if self.welford_n == 0 {
+                    self.mean = other.mean;
+                    self.m2 = other.m2;
+                } else {
+                    let n1 = self.welford_n as f64;
+                    let n2 = other.welford_n as f64;
+                    let n = n1 + n2;
+                    let delta = other.mean - self.mean;
+                    self.mean += delta * n2 / n;
+                    self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+                }
+                self.welford_n += other.welford_n;
+            }
             self.count += other.count;
             self.sum += other.sum;
-            self.sumsq += other.sumsq;
+            self.int_sum += other.int_sum;
             self.int_only &= other.int_only;
         }
         if let Some(m) = &other.min {
@@ -171,7 +203,11 @@ impl Accumulator {
                 if self.count == 0 {
                     Value::Null
                 } else if self.int_only {
-                    Value::Int(self.sum as i64)
+                    // Exact while the sum fits an i64; overflow beyond that
+                    // degrades to the closest float rather than wrapping.
+                    i64::try_from(self.int_sum)
+                        .map(Value::Int)
+                        .unwrap_or(Value::Float(self.int_sum as f64))
                 } else {
                     Value::Float(self.sum)
                 }
@@ -179,6 +215,8 @@ impl Accumulator {
             AggFunc::Avg => {
                 if self.count == 0 {
                     Value::Null
+                } else if self.int_only {
+                    Value::Float(self.int_sum as f64 / self.count as f64)
                 } else {
                     Value::Float(self.sum / self.count as f64)
                 }
@@ -189,9 +227,11 @@ impl Accumulator {
                 if self.count == 0 {
                     return Value::Null;
                 }
-                let n = self.count as f64;
-                let mean = self.sum / n;
-                let var = (self.sumsq / n - mean * mean).max(0.0);
+                let var = if self.welford_n == 0 {
+                    0.0
+                } else {
+                    (self.m2 / self.welford_n as f64).max(0.0)
+                };
                 Value::Float(if self.func == AggFunc::StdDev {
                     var.sqrt()
                 } else {
@@ -320,6 +360,72 @@ mod tests {
         assert!(Accumulator::mergeable(AggFunc::Count, true));
         assert!(!Accumulator::mergeable(AggFunc::Sum, true));
         assert!(Accumulator::mergeable(AggFunc::Sum, false));
+    }
+
+    #[test]
+    fn distinct_key_matches_group_by_semantics() {
+        // Int(1) and Float(1.0) are one distinct value, like GROUP BY;
+        // same for 0.0 and -0.0.
+        let mut a = Accumulator::new(AggFunc::Count, true);
+        a.update(Some(&Value::Int(1)));
+        a.update(Some(&Value::Float(1.0)));
+        a.update(Some(&Value::Float(0.0)));
+        a.update(Some(&Value::Float(-0.0)));
+        assert_eq!(a.finish(), Value::Int(2));
+
+        // merge unifies across partials under the same semantics
+        let mut b = Accumulator::new(AggFunc::Count, true);
+        b.update(Some(&Value::Float(1.0)));
+        b.update(Some(&Value::Int(7)));
+        a.merge(&b);
+        assert_eq!(a.finish(), Value::Int(3));
+    }
+
+    #[test]
+    fn int_sum_is_exact_beyond_f64_precision() {
+        // 2^53 + 1 + 1 + 1: the f64 fold silently drops every +1.
+        let big = 1i64 << 53;
+        let mut a = Accumulator::new(AggFunc::Sum, false);
+        a.update(Some(&Value::Int(big)));
+        for _ in 0..3 {
+            a.update(Some(&Value::Int(1)));
+        }
+        assert_eq!(a.finish(), Value::Int(big + 3));
+
+        // ... and stays exact through a parallel merge
+        let mut left = Accumulator::new(AggFunc::Sum, false);
+        let mut right = Accumulator::new(AggFunc::Sum, false);
+        left.update(Some(&Value::Int(big)));
+        right.update(Some(&Value::Int(1)));
+        left.merge(&right);
+        assert_eq!(left.finish(), Value::Int(big + 1));
+    }
+
+    #[test]
+    fn variance_is_stable_for_large_means() {
+        // mean 1e9, true population variance 2/3: the textbook
+        // sumsq/n - mean^2 formula loses every significant digit here.
+        let xs = [1e9, 1e9 + 1.0, 1e9 + 2.0];
+        let mut v = Accumulator::new(AggFunc::Variance, false);
+        for x in xs {
+            v.update(Some(&Value::Float(x)));
+        }
+        let Value::Float(var) = v.finish() else {
+            panic!("variance must be a float")
+        };
+        assert!((var - 2.0 / 3.0).abs() < 1e-9, "got {var}");
+
+        // exact parallel merge: split the same data across two partials
+        let mut left = Accumulator::new(AggFunc::StdDev, false);
+        let mut right = Accumulator::new(AggFunc::StdDev, false);
+        left.update(Some(&Value::Float(xs[0])));
+        right.update(Some(&Value::Float(xs[1])));
+        right.update(Some(&Value::Float(xs[2])));
+        left.merge(&right);
+        let Value::Float(sd) = left.finish() else {
+            panic!("stddev must be a float")
+        };
+        assert!((sd - (2.0f64 / 3.0).sqrt()).abs() < 1e-9, "got {sd}");
     }
 
     #[test]

@@ -243,6 +243,17 @@ impl PhysExpr {
         max
     }
 
+    /// Whether any PREDICT call appears in this tree.
+    pub fn contains_predict(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if matches!(e.node, PhysNode::Predict { .. }) {
+                found = true;
+            }
+        });
+        found
+    }
+
     fn visit(&self, f: &mut impl FnMut(&PhysExpr)) {
         f(self);
         match &self.node {

@@ -13,9 +13,11 @@
 pub mod agg;
 pub mod expr;
 pub mod functions;
+pub mod metrics;
 pub mod parallel;
 
 pub use expr::{EvalContext, PhysExpr, PhysNode};
+pub use metrics::{EngineMetrics, OpMetrics, OpSnapshot, PlanMetrics};
 pub use parallel::ParallelPolicy;
 
 use crate::ast::{Expr, JoinType, PredictStrategy};
@@ -31,6 +33,7 @@ use agg::{Accumulator, GroupKey};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::Ordering as AtomicOrdering;
 use std::sync::Arc;
 
 /// Default fixed morsel size. Morsel boundaries are independent of the
@@ -420,9 +423,37 @@ impl PhysicalPlan {
         }
     }
 
+    /// Execute without keeping the measurements (a throwaway metrics tree
+    /// absorbs them). The instrumented entry point is
+    /// [`PhysicalPlan::execute_metered`].
     pub fn execute(&self, ctx: &EvalContext) -> Result<RecordBatch> {
+        self.execute_metered(ctx, &PlanMetrics::for_plan(self))
+    }
+
+    /// Execute while recording per-operator runtime metrics into a
+    /// [`PlanMetrics`] tree built with [`PlanMetrics::for_plan`] (the tree
+    /// must mirror this plan).
+    pub fn execute_metered(&self, ctx: &EvalContext, m: &PlanMetrics) -> Result<RecordBatch> {
+        let started = std::time::Instant::now();
+        let out = self.execute_inner(ctx, m)?;
+        m.op
+            .wall_ns
+            .fetch_add(started.elapsed().as_nanos() as u64, AtomicOrdering::Relaxed);
+        m.op.batches.fetch_add(1, AtomicOrdering::Relaxed);
+        m.op
+            .rows_out
+            .fetch_add(out.num_rows() as u64, AtomicOrdering::Relaxed);
+        Ok(out)
+    }
+
+    fn execute_inner(&self, ctx: &EvalContext, m: &PlanMetrics) -> Result<RecordBatch> {
         match self {
-            PhysicalPlan::Scan { data } => Ok(data.clone()),
+            PhysicalPlan::Scan { data } => {
+                m.op
+                    .rows_in
+                    .fetch_add(data.num_rows() as u64, AtomicOrdering::Relaxed);
+                Ok(data.clone())
+            }
             PhysicalPlan::Values { schema, rows } => {
                 let empty = RecordBatch::empty(Arc::new(Schema::default()));
                 let mut out_rows: Vec<Vec<Value>> = Vec::with_capacity(rows.len());
@@ -440,8 +471,15 @@ impl PhysicalPlan {
                 predicate,
                 policy,
             } => {
-                let batch = input.execute(ctx)?;
+                let batch = input.execute_metered(ctx, &m.children[0])?;
+                m.op
+                    .rows_in
+                    .fetch_add(batch.num_rows() as u64, AtomicOrdering::Relaxed);
                 let mask: Vec<bool> = if policy.fan_out(batch.num_rows()) {
+                    m.op.record_fan_out(
+                        batch.num_rows().div_ceil(policy.morsel_rows.max(1)),
+                        policy.degree,
+                    );
                     parallel::map_morsels(&batch, policy, |m| predicate.eval_mask(m, ctx))?
                         .concat()
                 } else {
@@ -455,8 +493,15 @@ impl PhysicalPlan {
                 schema,
                 policy,
             } => {
-                let batch = input.execute(ctx)?;
+                let batch = input.execute_metered(ctx, &m.children[0])?;
+                m.op
+                    .rows_in
+                    .fetch_add(batch.num_rows() as u64, AtomicOrdering::Relaxed);
                 if policy.fan_out(batch.num_rows()) {
+                    m.op.record_fan_out(
+                        batch.num_rows().div_ceil(policy.morsel_rows.max(1)),
+                        policy.degree,
+                    );
                     let parts = parallel::map_morsels(&batch, policy, |m| {
                         let cols: Vec<ColumnVector> = exprs
                             .iter()
@@ -479,8 +524,11 @@ impl PhysicalPlan {
                 schema,
                 policy,
             } => {
-                let batch = input.execute(ctx)?;
-                execute_aggregate(&batch, group, aggs, schema, policy, ctx)
+                let batch = input.execute_metered(ctx, &m.children[0])?;
+                m.op
+                    .rows_in
+                    .fetch_add(batch.num_rows() as u64, AtomicOrdering::Relaxed);
+                execute_aggregate(&batch, group, aggs, schema, policy, ctx, &m.op)
             }
             PhysicalPlan::HashJoin {
                 left,
@@ -492,10 +540,15 @@ impl PhysicalPlan {
                 schema,
                 policy,
             } => {
-                let lb = left.execute(ctx)?;
-                let rb = right.execute(ctx)?;
+                let lb = left.execute_metered(ctx, &m.children[0])?;
+                let rb = right.execute_metered(ctx, &m.children[1])?;
+                m.op.rows_in.fetch_add(
+                    (lb.num_rows() + rb.num_rows()) as u64,
+                    AtomicOrdering::Relaxed,
+                );
                 execute_hash_join(
                     &lb, &rb, left_keys, right_keys, *join_type, filter, schema, policy, ctx,
+                    &m.op,
                 )
             }
             PhysicalPlan::NestedLoopJoin {
@@ -505,8 +558,12 @@ impl PhysicalPlan {
                 filter,
                 schema,
             } => {
-                let lb = left.execute(ctx)?;
-                let rb = right.execute(ctx)?;
+                let lb = left.execute_metered(ctx, &m.children[0])?;
+                let rb = right.execute_metered(ctx, &m.children[1])?;
+                m.op.rows_in.fetch_add(
+                    (lb.num_rows() + rb.num_rows()) as u64,
+                    AtomicOrdering::Relaxed,
+                );
                 let pairs: Vec<(usize, usize)> = (0..lb.num_rows())
                     .flat_map(|li| (0..rb.num_rows()).map(move |ri| (li, ri)))
                     .collect();
@@ -517,15 +574,21 @@ impl PhysicalPlan {
                 keys,
                 policy,
             } => {
-                let batch = input.execute(ctx)?;
-                execute_sort(&batch, keys, policy, ctx)
+                let batch = input.execute_metered(ctx, &m.children[0])?;
+                m.op
+                    .rows_in
+                    .fetch_add(batch.num_rows() as u64, AtomicOrdering::Relaxed);
+                execute_sort(&batch, keys, policy, ctx, &m.op)
             }
             PhysicalPlan::Limit {
                 input,
                 limit,
                 offset,
             } => {
-                let batch = input.execute(ctx)?;
+                let batch = input.execute_metered(ctx, &m.children[0])?;
+                m.op
+                    .rows_in
+                    .fetch_add(batch.num_rows() as u64, AtomicOrdering::Relaxed);
                 let start = (*offset as usize).min(batch.num_rows());
                 let len = limit
                     .map(|l| l as usize)
@@ -535,12 +598,20 @@ impl PhysicalPlan {
             PhysicalPlan::Union { inputs, schema } => {
                 let batches: Vec<RecordBatch> = inputs
                     .iter()
-                    .map(|i| i.execute(ctx))
+                    .zip(&m.children)
+                    .map(|(i, cm)| i.execute_metered(ctx, cm))
                     .collect::<Result<_>>()?;
+                m.op.rows_in.fetch_add(
+                    batches.iter().map(|b| b.num_rows() as u64).sum::<u64>(),
+                    AtomicOrdering::Relaxed,
+                );
                 RecordBatch::concat(schema.clone(), &batches)
             }
             PhysicalPlan::Distinct { input } => {
-                let batch = input.execute(ctx)?;
+                let batch = input.execute_metered(ctx, &m.children[0])?;
+                m.op
+                    .rows_in
+                    .fetch_add(batch.num_rows() as u64, AtomicOrdering::Relaxed);
                 let mut seen: std::collections::HashSet<GroupKey> =
                     std::collections::HashSet::new();
                 let mut keep = Vec::new();
@@ -551,6 +622,112 @@ impl PhysicalPlan {
                 }
                 batch.take(&keep)
             }
+        }
+    }
+
+    /// Child operators, in the order `execute` runs them (and in which
+    /// [`PlanMetrics::for_plan`] mirrors them).
+    pub fn children(&self) -> Vec<&PhysicalPlan> {
+        match self {
+            PhysicalPlan::Scan { .. } | PhysicalPlan::Values { .. } => Vec::new(),
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::HashAggregate { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. }
+            | PhysicalPlan::Distinct { input } => vec![input],
+            PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::NestedLoopJoin { left, right, .. } => vec![left, right],
+            PhysicalPlan::Union { inputs, .. } => inputs.iter().collect(),
+        }
+    }
+
+    /// Operator name and shape detail for plan rendering.
+    pub fn op_label(&self) -> (String, String) {
+        match self {
+            PhysicalPlan::Scan { data } => (
+                "Scan".to_string(),
+                format!("rows={}", data.num_rows()),
+            ),
+            PhysicalPlan::Values { rows, .. } => {
+                ("Values".to_string(), format!("rows={}", rows.len()))
+            }
+            PhysicalPlan::Filter { policy, .. } => {
+                ("Filter".to_string(), policy_detail(policy))
+            }
+            PhysicalPlan::Project { exprs, policy, .. } => {
+                let mut detail = format!("exprs={}", exprs.len());
+                if exprs.iter().any(PhysExpr::contains_predict) {
+                    detail.push_str(", predict");
+                }
+                if let Some(p) = policy_detail_opt(policy) {
+                    detail.push_str(&format!(", {p}"));
+                }
+                ("Project".to_string(), detail)
+            }
+            PhysicalPlan::HashAggregate {
+                group,
+                aggs,
+                policy,
+                ..
+            } => {
+                let mut detail = format!("groups={}, aggs={}", group.len(), aggs.len());
+                if let Some(p) = policy_detail_opt(policy) {
+                    detail.push_str(&format!(", {p}"));
+                }
+                ("HashAggregate".to_string(), detail)
+            }
+            PhysicalPlan::HashJoin {
+                join_type, policy, ..
+            } => {
+                let mut detail = format!("{join_type:?}");
+                if let Some(p) = policy_detail_opt(policy) {
+                    detail.push_str(&format!(", {p}"));
+                }
+                ("HashJoin".to_string(), detail)
+            }
+            PhysicalPlan::NestedLoopJoin { join_type, .. } => {
+                ("NestedLoopJoin".to_string(), format!("{join_type:?}"))
+            }
+            PhysicalPlan::Sort { keys, policy, .. } => {
+                let mut detail = format!("keys={}", keys.len());
+                if let Some(p) = policy_detail_opt(policy) {
+                    detail.push_str(&format!(", {p}"));
+                }
+                ("Sort".to_string(), detail)
+            }
+            PhysicalPlan::Limit { limit, offset, .. } => (
+                "Limit".to_string(),
+                match limit {
+                    Some(l) => format!("limit={l}, offset={offset}"),
+                    None => format!("offset={offset}"),
+                },
+            ),
+            PhysicalPlan::Distinct { .. } => ("Distinct".to_string(), String::new()),
+            PhysicalPlan::Union { inputs, .. } => {
+                ("Union".to_string(), format!("inputs={}", inputs.len()))
+            }
+        }
+    }
+
+    /// Static plan-tree rendering (the `EXPLAIN` body): operator names and
+    /// shape details, no runtime numbers.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(0, &mut out);
+        out
+    }
+
+    fn explain_into(&self, depth: usize, out: &mut String) {
+        let (name, detail) = self.op_label();
+        let indent = "  ".repeat(depth);
+        if detail.is_empty() {
+            out.push_str(&format!("{indent}{name}\n"));
+        } else {
+            out.push_str(&format!("{indent}{name} [{detail}]\n"));
+        }
+        for c in self.children() {
+            c.explain_into(depth + 1, out);
         }
     }
 
@@ -570,6 +747,15 @@ impl PhysicalPlan {
             | PhysicalPlan::Distinct { input } => input.schema(),
         }
     }
+}
+
+/// `degree=N` when the operator may fan out, empty when planned serial.
+fn policy_detail_opt(policy: &ParallelPolicy) -> Option<String> {
+    (policy.degree > 1).then(|| format!("degree={}", policy.degree))
+}
+
+fn policy_detail(policy: &ParallelPolicy) -> String {
+    policy_detail_opt(policy).unwrap_or_default()
 }
 
 // ------------------------------------------------------------- aggregate
@@ -642,6 +828,7 @@ fn accumulate_global(
     Ok(accs)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn execute_aggregate(
     batch: &RecordBatch,
     group: &[PhysExpr],
@@ -649,11 +836,18 @@ fn execute_aggregate(
     schema: &Arc<Schema>,
     policy: &ParallelPolicy,
     ctx: &EvalContext,
+    op: &OpMetrics,
 ) -> Result<RecordBatch> {
     let mergeable = aggs
         .iter()
         .all(|(call, _)| Accumulator::mergeable(call.func, call.distinct));
     let parallel = mergeable && policy.fan_out(batch.num_rows());
+    if parallel {
+        op.record_fan_out(
+            batch.num_rows().div_ceil(policy.morsel_rows.max(1)),
+            policy.degree,
+        );
+    }
 
     // Global aggregate (no GROUP BY) needs no hash table.
     if group.is_empty() {
@@ -742,6 +936,7 @@ fn execute_hash_join(
     schema: &Arc<Schema>,
     policy: &ParallelPolicy,
     ctx: &EvalContext,
+    op: &OpMetrics,
 ) -> Result<RecordBatch> {
     let lk: Vec<ColumnVector> = left_keys
         .iter()
@@ -759,6 +954,7 @@ fn execute_hash_join(
         // identical to the serial build).
         let nparts = policy.degree;
         let build_ranges = parallel::morsel_ranges(rb.num_rows(), policy.morsel_rows);
+        op.record_fan_out(build_ranges.len(), policy.degree);
         let rkeys: Vec<Option<(GroupKey, u64)>> =
             parallel::parallel_map(&build_ranges, policy.degree, |range| {
                 Ok(range
@@ -785,6 +981,7 @@ fn execute_hash_join(
             })?;
         // Morsel-parallel probe; morsel order keeps left-row order intact.
         let probe_ranges = parallel::morsel_ranges(lb.num_rows(), policy.morsel_rows);
+        op.record_fan_out(probe_ranges.len(), policy.degree);
         parallel::parallel_map(&probe_ranges, policy.degree, |range| {
             let mut out: Vec<(usize, usize)> = Vec::new();
             for li in range.clone() {
@@ -880,9 +1077,13 @@ fn execute_sort(
     keys: &[(PhysExpr, bool)],
     policy: &ParallelPolicy,
     ctx: &EvalContext,
+    op: &OpMetrics,
 ) -> Result<RecordBatch> {
     let n = batch.num_rows();
     let fan_out = policy.fan_out(n);
+    if fan_out {
+        op.record_fan_out(n.div_ceil(policy.morsel_rows.max(1)), policy.degree);
+    }
 
     // Key columns for the whole batch; evaluated morsel-parallel when the
     // sort itself fans out (expression purity makes this equal to a single
@@ -931,6 +1132,7 @@ fn execute_sort(
     // run boundaries.
     let run_rows = n.div_ceil(policy.degree).max(policy.morsel_rows);
     let ranges = parallel::morsel_ranges(n, run_rows);
+    op.record_fan_out(ranges.len(), policy.degree);
     let runs: Vec<Vec<usize>> = parallel::parallel_map(&ranges, policy.degree, |range| {
         let mut idx: Vec<usize> = range.clone().collect();
         idx.sort_by(|&a, &b| cmp_rows(a, b));

@@ -66,12 +66,10 @@ impl ParallelPolicy {
     }
 }
 
-/// Split `[0, n)` into contiguous ranges of `morsel_rows` rows.
+/// Split `[0, n)` into contiguous ranges of `morsel_rows` rows. Zero rows
+/// means zero morsels — no worker should ever see a phantom empty range.
 pub fn morsel_ranges(n: usize, morsel_rows: usize) -> Vec<Range<usize>> {
     let step = morsel_rows.max(1);
-    if n == 0 {
-        return std::iter::once(0..0).collect();
-    }
     (0..n)
         .step_by(step)
         .map(|start| start..(start + step).min(n))
@@ -149,10 +147,24 @@ mod tests {
     fn ranges_cover_without_overlap() {
         let rs = morsel_ranges(10, 4);
         assert_eq!(rs, vec![0..4, 4..8, 8..10]);
-        let empty = morsel_ranges(0, 4);
-        assert_eq!(empty.len(), 1);
-        assert!(empty[0].is_empty());
         assert_eq!(morsel_ranges(4, 4), vec![0..4]);
+    }
+
+    #[test]
+    fn zero_rows_means_zero_morsels() {
+        assert!(morsel_ranges(0, 4).is_empty());
+        // map_morsels must not invoke the closure on a phantom empty morsel
+        let batch = RecordBatch::empty(std::sync::Arc::new(crate::schema::Schema::new(
+            vec![crate::schema::ColumnDef::new("x", crate::types::DataType::Int)],
+        )));
+        let calls = AtomicUsize::new(0);
+        let parts = map_morsels(&batch, &ParallelPolicy::serial(), |m| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Ok(m.num_rows())
+        })
+        .unwrap();
+        assert!(parts.is_empty());
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -143,7 +143,11 @@ impl Parser {
 
     fn statement(&mut self) -> Result<Statement> {
         if self.eat_kw("EXPLAIN") {
-            return Ok(Statement::Explain(Box::new(self.statement()?)));
+            let analyze = self.eat_kw("ANALYZE");
+            return Ok(Statement::Explain {
+                statement: Box::new(self.statement()?),
+                analyze,
+            });
         }
         if self.peek_kw("SELECT") {
             return Ok(Statement::Query(self.query()?));
@@ -1237,7 +1241,9 @@ mod tests {
     #[test]
     fn explain_wraps_statement() {
         let stmt = parse_statement("EXPLAIN SELECT * FROM t").unwrap();
-        assert!(matches!(stmt, Statement::Explain(_)));
+        assert!(matches!(stmt, Statement::Explain { analyze: false, .. }));
+        let stmt = parse_statement("EXPLAIN ANALYZE SELECT * FROM t").unwrap();
+        assert!(matches!(stmt, Statement::Explain { analyze: true, .. }));
     }
 
     #[test]

@@ -232,6 +232,8 @@ impl Value {
             }
             Value::Float(f) => {
                 2u8.hash(state);
+                // group_eq treats 0.0 == -0.0, so both must hash alike.
+                let f = if *f == 0.0 { 0.0 } else { *f };
                 f.to_bits().hash(state);
             }
             Value::Text(s) => {

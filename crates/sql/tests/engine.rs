@@ -591,3 +591,112 @@ fn alter_table_add_and_drop_columns() {
         .iter()
         .any(|a| a.action == "ALTER TABLE" && a.detail.contains("bonus")));
 }
+
+// ------------------------------------------------------- observability
+
+#[test]
+fn explain_analyze_returns_annotated_plan_tree() {
+    let db = db_with_people();
+    let b = db
+        .query("EXPLAIN ANALYZE SELECT dept, AVG(salary) FROM people WHERE age > 25 GROUP BY dept")
+        .unwrap();
+    let tree: String = (0..b.num_rows())
+        .map(|i| match b.column(0).get(i) {
+            Value::Text(s) => s + "\n",
+            other => panic!("expected text plan line, got {other:?}"),
+        })
+        .collect();
+    // annotated operators with measured row counts and timings
+    assert!(tree.contains("HashAggregate"), "{tree}");
+    assert!(tree.contains("Filter"), "{tree}");
+    assert!(tree.contains("Scan"), "{tree}");
+    assert!(tree.contains("time="), "{tree}");
+    // the scan saw all 5 people
+    assert!(tree.contains("Scan [rows=5] (rows=5"), "{tree}");
+    // plain EXPLAIN stays a static tree without measurements
+    let b = db
+        .query("EXPLAIN SELECT dept FROM people")
+        .unwrap();
+    let static_tree: String = (0..b.num_rows())
+        .map(|i| match b.column(0).get(i) {
+            Value::Text(s) => s + "\n",
+            other => panic!("{other:?}"),
+        })
+        .collect();
+    assert!(!static_tree.contains("time="), "{static_tree}");
+}
+
+#[test]
+fn flock_metrics_table_reports_cumulative_counters() {
+    let db = db_with_people();
+    db.query("SELECT * FROM people").unwrap();
+    db.query("SELECT COUNT(*) FROM people").unwrap();
+    let b = db
+        .query("SELECT value FROM flock_metrics WHERE metric = 'queries'")
+        .unwrap();
+    // two queries ran before this one
+    assert_eq!(b.column(0).get(0), Value::Int(2));
+    let b = db
+        .query("SELECT value FROM flock_metrics WHERE metric = 'rows_scanned'")
+        .unwrap();
+    let Value::Int(scanned) = b.column(0).get(0) else {
+        panic!()
+    };
+    // 5 rows per people scan, the metrics scans themselves excluded at read time
+    assert!(scanned >= 10, "{scanned}");
+
+    // a real user table of the same name shadows the virtual one
+    db.execute("CREATE TABLE flock_metrics (metric VARCHAR, value INT)")
+        .unwrap();
+    db.execute("INSERT INTO flock_metrics VALUES ('mine', 42)")
+        .unwrap();
+    let b = db.query("SELECT value FROM flock_metrics").unwrap();
+    assert_eq!(b.num_rows(), 1);
+    assert_eq!(b.column(0).get(0), Value::Int(42));
+}
+
+#[test]
+fn flock_metrics_is_readable_by_unprivileged_users() {
+    let db = db_with_people();
+    db.execute("CREATE USER intern").unwrap();
+    let mut session = db.session("intern");
+    // no grants on people...
+    assert!(session.query("SELECT * FROM people").is_err());
+    // ...but the virtual metrics table is world-readable
+    let b = session.query("SELECT metric FROM flock_metrics").unwrap();
+    assert!(b.num_rows() >= 6);
+}
+
+#[test]
+fn query_log_records_runtime_metrics() {
+    let db = db_with_people();
+    db.query("SELECT * FROM people WHERE age > 30").unwrap();
+    let log = db.query_log();
+    let q = log
+        .iter()
+        .rfind(|e| e.sql.contains("age > 30"))
+        .expect("query logged");
+    assert_eq!(q.rows_scanned, 5);
+    assert_eq!(q.rows_returned, 3);
+    // insert entries carry no runtime numbers
+    let ins = log
+        .iter()
+        .find(|e| e.sql.starts_with("INSERT"))
+        .expect("insert logged");
+    assert_eq!(ins.rows_scanned, 0);
+    assert_eq!(ins.rows_returned, 0);
+}
+
+#[test]
+fn last_query_metrics_expose_operator_breakdown() {
+    let db = db_with_people();
+    db.query("SELECT dept, COUNT(*) FROM people GROUP BY dept ORDER BY dept")
+        .unwrap();
+    let snap = db.last_query_metrics().expect("metrics recorded");
+    let ops: Vec<&str> = snap.walk().iter().map(|(_, n)| n.name.as_str()).collect();
+    assert!(ops.contains(&"Sort"), "{ops:?}");
+    assert!(ops.contains(&"HashAggregate"), "{ops:?}");
+    assert!(ops.contains(&"Scan"), "{ops:?}");
+    assert_eq!(snap.rows_scanned(), 5);
+    assert_eq!(snap.rows_out, 3); // eng, mgmt, sales
+}
