@@ -1,0 +1,186 @@
+//! Raven-style cross-optimization microbench: what does each layer of
+//! the PREDICT stack buy on a predicate-constrained tree-ensemble
+//! workload? Writes `results/BENCH_predict_xopt.json`.
+//!
+//! The query shape is `... WHERE city = 'nyc' AND age >= 30`: the
+//! predicate fixes the one-hot city block and bounds `age`, so the
+//! specializer can fold the city features away and prune every branch
+//! unreachable under the constraints. Four scoring paths are timed on
+//! the rows that actually satisfy the predicate:
+//!
+//! * `interpreted` — row-at-a-time interpreted scoring (the sklearn
+//!   anchor);
+//! * `vectorized` — the standalone vectorized runtime on the raw
+//!   pipeline (the ORT anchor);
+//! * `compiled` — the flattened struct-of-arrays tree kernel, still
+//!   unspecialized;
+//! * `specialized_compiled` — the predicate-specialized pipeline through
+//!   the same compiled kernel (what the in-DB cross-optimizer executes).
+//!
+//! An end-to-end section runs the same predicate-constrained SQL query
+//! in-DB with the cross-optimizer off and on. The binary exits non-zero
+//! if the specialized+compiled path fails to beat the vectorized
+//! baseline or if any path disagrees on a single score, so CI can use it
+//! as a smoke test.
+
+use flock_bench::fig4::time_best_ms;
+use flock_core::{FlockDb, Lineage, XOptConfig};
+use flock_corpus::tabular::TabularDataset;
+use flock_ml::{interpreted_score, CompiledPipeline, Frame, FrameCol, InputConstraint, StandaloneRuntime};
+use std::fmt::Write as _;
+
+const ROWS: usize = 120_000;
+const TREES: usize = 40;
+const DEPTH: usize = 6;
+const REPEATS: usize = 3;
+
+const QUERY: &str = "SELECT AVG(PREDICT(good_model, age, income, debt, tenure, \
+     noise1, noise2, city)) FROM customers WHERE city = 'nyc' AND age >= 30.0";
+
+/// The rows of `data` satisfying `city = 'nyc' AND age >= 30` as a frame
+/// carrying every pipeline input.
+fn constrained_frame(data: &TabularDataset) -> Frame<'static> {
+    let keep: Vec<usize> = (0..data.len())
+        .filter(|&i| data.city[i] == "nyc" && data.age[i] >= 30.0)
+        .collect();
+    let take = |v: &[f64]| FrameCol::F64(keep.iter().map(|&i| v[i]).collect());
+    Frame::new()
+        .with("age", take(&data.age))
+        .unwrap()
+        .with("income", take(&data.income))
+        .unwrap()
+        .with("debt", take(&data.debt))
+        .unwrap()
+        .with("tenure", take(&data.tenure))
+        .unwrap()
+        .with("noise1", take(&data.noise1))
+        .unwrap()
+        .with("noise2", take(&data.noise2))
+        .unwrap()
+        .with(
+            "city",
+            FrameCol::Str(keep.iter().map(|&i| data.city[i].clone()).collect()),
+        )
+        .unwrap()
+}
+
+fn main() {
+    eprintln!("generating {ROWS} rows, training {TREES}x{DEPTH} gbt...");
+    let data = TabularDataset::generate(ROWS, 42);
+    let pipeline = data.train_pipeline(TREES, DEPTH);
+    let frame = constrained_frame(&data);
+    let n = frame.num_rows();
+    eprintln!("{n} rows satisfy the predicate");
+
+    // constraints in pipeline-input order:
+    // age, income, debt, tenure, noise1, noise2, city
+    let constraints: Vec<Option<InputConstraint>> = vec![
+        Some(InputConstraint::Range {
+            lo: 30.0,
+            hi: f64::INFINITY,
+        }),
+        None,
+        None,
+        None,
+        None,
+        None,
+        Some(InputConstraint::FixedText("nyc".into())),
+    ];
+    let (specialized, report) = pipeline
+        .specialize(&constraints)
+        .expect("constraints must specialize the gbt");
+    eprintln!("{}", report.annotation());
+
+    let compiled = CompiledPipeline::compile(&pipeline);
+    let spec_compiled = CompiledPipeline::compile(&specialized);
+
+    // all four paths must agree bit-for-bit before anything is timed
+    let reference = interpreted_score(&pipeline, &frame).expect("interpreted");
+    for (name, scores) in [
+        ("vectorized", StandaloneRuntime::new().score(&pipeline, &frame).unwrap()),
+        ("compiled", compiled.score(&frame).unwrap()),
+        ("specialized_compiled", spec_compiled.score(&frame).unwrap()),
+    ] {
+        assert_eq!(reference.len(), scores.len(), "{name}");
+        for (i, (a, b)) in reference.iter().zip(&scores).enumerate() {
+            assert!(a == b, "{name} diverges at row {i}: {a} vs {b}");
+        }
+    }
+
+    let interpreted_ms = time_best_ms(REPEATS, || {
+        let _ = interpreted_score(&pipeline, &frame).unwrap();
+    });
+    let vectorized_ms = time_best_ms(REPEATS, || {
+        let _ = StandaloneRuntime::new().score(&pipeline, &frame).unwrap();
+    });
+    let compiled_ms = time_best_ms(REPEATS, || {
+        let _ = compiled.score(&frame).unwrap();
+    });
+    let spec_compiled_ms = time_best_ms(REPEATS, || {
+        let _ = spec_compiled.score(&frame).unwrap();
+    });
+
+    // end to end: the same predicate-constrained query in-DB
+    let db = FlockDb::new();
+    data.load_into(db.database()).expect("load");
+    db.session("admin")
+        .deploy_model("good_model", &pipeline, Lineage::default())
+        .expect("deploy");
+    db.set_xopt_config(XOptConfig::disabled());
+    let indb_off_ms = time_best_ms(REPEATS, || {
+        let _ = db.query(QUERY).expect("xopt off");
+    });
+    let off_avg = db.query(QUERY).unwrap().column(0).get(0).as_f64().unwrap();
+    db.set_xopt_config(XOptConfig::default());
+    let indb_on_ms = time_best_ms(REPEATS, || {
+        let _ = db.query(QUERY).expect("xopt on");
+    });
+    let on_avg = db.query(QUERY).unwrap().column(0).get(0).as_f64().unwrap();
+    assert!(
+        (off_avg - on_avg).abs() < 1e-12,
+        "cross-optimizer changed the answer: {off_avg} vs {on_avg}"
+    );
+    let (cache_hits, cache_misses, _) = db.registry().compiled_cache_counts();
+
+    let spec_speedup = vectorized_ms / spec_compiled_ms;
+    let compiled_speedup = vectorized_ms / compiled_ms;
+    let indb_speedup = indb_off_ms / indb_on_ms;
+    eprintln!("interpreted          {interpreted_ms:9.2} ms");
+    eprintln!("vectorized           {vectorized_ms:9.2} ms (1.00x baseline)");
+    eprintln!("compiled             {compiled_ms:9.2} ms ({compiled_speedup:.2}x)");
+    eprintln!("specialized+compiled {spec_compiled_ms:9.2} ms ({spec_speedup:.2}x)");
+    eprintln!("in-DB xopt off/on    {indb_off_ms:9.2} / {indb_on_ms:.2} ms ({indb_speedup:.2}x)");
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"predict_xopt\",");
+    let _ = writeln!(out, "  \"rows\": {ROWS},");
+    let _ = writeln!(out, "  \"constrained_rows\": {n},");
+    let _ = writeln!(out, "  \"trees\": {TREES},");
+    let _ = writeln!(out, "  \"depth\": {DEPTH},");
+    let _ = writeln!(out, "  \"specialization\": \"{}\",", report.annotation());
+    let _ = writeln!(out, "  \"interpreted_ms\": {interpreted_ms:.3},");
+    let _ = writeln!(out, "  \"vectorized_ms\": {vectorized_ms:.3},");
+    let _ = writeln!(out, "  \"compiled_ms\": {compiled_ms:.3},");
+    let _ = writeln!(out, "  \"specialized_compiled_ms\": {spec_compiled_ms:.3},");
+    let _ = writeln!(out, "  \"compiled_speedup_vs_vectorized\": {compiled_speedup:.3},");
+    let _ = writeln!(out, "  \"specialized_speedup_vs_vectorized\": {spec_speedup:.3},");
+    let _ = writeln!(out, "  \"indb_xopt_off_ms\": {indb_off_ms:.3},");
+    let _ = writeln!(out, "  \"indb_xopt_on_ms\": {indb_on_ms:.3},");
+    let _ = writeln!(out, "  \"indb_speedup\": {indb_speedup:.3},");
+    let _ = writeln!(out, "  \"compile_cache_hits\": {cache_hits},");
+    let _ = writeln!(out, "  \"compile_cache_misses\": {cache_misses}");
+    out.push_str("}\n");
+
+    std::fs::create_dir_all("results").unwrap();
+    std::fs::write("results/BENCH_predict_xopt.json", &out).unwrap();
+    eprintln!("wrote results/BENCH_predict_xopt.json");
+    print!("{out}");
+
+    // smoke-test contract for CI: specialization must never lose to the
+    // unspecialized vectorized baseline on its home-turf workload
+    assert!(
+        spec_speedup >= 1.0,
+        "specialized+compiled ({spec_compiled_ms:.2} ms) lost to vectorized \
+         ({vectorized_ms:.2} ms)"
+    );
+}

@@ -169,12 +169,11 @@ pub fn run_sizes(sizes: &[usize], trees: usize, depth: usize, repeats: usize) ->
                 None
             } else {
                 let chunk_rows = size.div_ceil(MODELED_THREADS).max(1);
-                let chunks = frame.chunks(chunk_rows);
-                let critical = chunks
-                    .iter()
+                let critical = frame
+                    .chunks(chunk_rows)
                     .map(|c| {
                         time_best_ms(repeats, || {
-                            let _ = StandaloneRuntime::new().score(&pipeline, c).expect("chunk");
+                            let _ = StandaloneRuntime::new().score(&pipeline, &c).expect("chunk");
                         })
                     })
                     .fold(0.0f64, f64::max);
@@ -238,10 +237,9 @@ pub fn run_anchor(size: usize, trees: usize, depth: usize, repeats: usize) -> Sp
         let chunk_rows = size.div_ceil(MODELED_THREADS).max(1);
         let critical = frame
             .chunks(chunk_rows)
-            .iter()
             .map(|c| {
                 time_best_ms(repeats, || {
-                    let _ = StandaloneRuntime::new().score(&pruned, c).expect("chunk");
+                    let _ = StandaloneRuntime::new().score(&pruned, &c).expect("chunk");
                 })
             })
             .fold(0.0f64, f64::max);

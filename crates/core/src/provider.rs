@@ -3,9 +3,10 @@
 
 use crate::registry::ModelRegistry;
 use flock_ml::{
-    interpreted_score_with_metrics, Frame, FrameCol, Pipeline, ScoringMetrics, StandaloneRuntime,
+    interpreted_score_with_metrics, CompiledPipeline, Frame, FrameCol, Pipeline, ScoringMetrics,
 };
 use flock_sql::ast::PredictStrategy;
+use flock_sql::exec::parallel::parallel_map;
 use flock_sql::udf::InferenceProvider;
 use flock_sql::{ColumnVector, DataType, SqlError};
 use std::sync::Arc;
@@ -44,46 +45,60 @@ impl FlockInferenceProvider {
             .map(|m| m.pipeline)
             .ok_or_else(|| SqlError::Catalog(format!("model '{model}' is not deployed")))
     }
+
+    /// The compiled (flattened, cacheable) form of a registered pipeline.
+    fn compiled(&self, model: &str) -> Result<Arc<CompiledPipeline>, SqlError> {
+        self.registry
+            .compiled(model)
+            .ok_or_else(|| SqlError::Catalog(format!("model '{model}' is not deployed")))
+    }
 }
 
 /// Convert PREDICT argument columns into an ML frame using the pipeline's
-/// declared input names (positional binding).
-pub fn columns_to_frame(
+/// declared input names (positional binding against the *bound* columns —
+/// inputs the cross-optimizer folded into the pipeline take no argument).
+/// Borrows the engine's column buffers whenever they are directly usable
+/// (all-valid float / text vectors); copies only on nulls or type casts.
+pub fn columns_to_frame<'a>(
     pipeline: &Pipeline,
-    inputs: &[ColumnVector],
-) -> Result<Frame, SqlError> {
-    if inputs.len() != pipeline.columns.len() {
+    inputs: &'a [ColumnVector],
+) -> Result<Frame<'a>, SqlError> {
+    let bound = pipeline.bound_columns();
+    if inputs.len() != bound.len() {
         return Err(SqlError::Execution(format!(
             "model '{}' expects {} arguments, got {}",
             pipeline.output,
-            pipeline.columns.len(),
+            bound.len(),
             inputs.len()
         )));
     }
     let mut frame = Frame::new();
-    for (i, (cp, col)) in pipeline.columns.iter().zip(inputs).enumerate() {
+    for (&i, col) in bound.iter().zip(inputs) {
+        let cp = &pipeline.columns[i];
         let fc = if pipeline.input_is_text(i) {
-            let vals: Vec<String> = match col.as_text_slice() {
-                Some(slice) if col.null_count() == 0 => slice.to_vec(),
-                _ => (0..col.len())
-                    .map(|r| {
-                        let v = col.get(r);
-                        if v.is_null() {
-                            String::new()
-                        } else {
-                            v.to_string()
-                        }
-                    })
-                    .collect(),
-            };
-            FrameCol::Str(vals)
+            match col.as_text_slice() {
+                Some(slice) if col.null_count() == 0 => FrameCol::StrBorrowed(slice),
+                _ => FrameCol::Str(
+                    (0..col.len())
+                        .map(|r| {
+                            let v = col.get(r);
+                            if v.is_null() {
+                                String::new()
+                            } else {
+                                v.to_string()
+                            }
+                        })
+                        .collect(),
+                ),
+            }
         } else if let Some(slice) = col.as_f64_slice() {
-            FrameCol::F64(slice.to_vec())
+            FrameCol::F64Borrowed(slice)
         } else {
-            let vals: Vec<f64> = (0..col.len())
-                .map(|r| col.get_f64(r).unwrap_or(f64::NAN))
-                .collect();
-            FrameCol::F64(vals)
+            FrameCol::F64(
+                (0..col.len())
+                    .map(|r| col.get_f64(r).unwrap_or(f64::NAN))
+                    .collect(),
+            )
         };
         frame
             .push(cp.input.clone(), fc)
@@ -100,7 +115,11 @@ impl InferenceProvider for FlockInferenceProvider {
     }
 
     fn input_arity(&self, model: &str) -> Result<usize, SqlError> {
-        Ok(self.pipeline(model)?.columns.len())
+        Ok(self.pipeline(model)?.bound_columns().len())
+    }
+
+    fn describe(&self, model: &str) -> Option<String> {
+        self.registry.get(model).map(|m| m.metadata.kind.clone())
     }
 
     fn predict(
@@ -124,41 +143,29 @@ impl InferenceProvider for FlockInferenceProvider {
             }
             PredictStrategy::Auto | PredictStrategy::Vectorized => {
                 self.stats.vectorized_calls.fetch_add(1, Ordering::Relaxed);
-                StandaloneRuntime::new()
-                    .score_with_metrics(&pipeline, &frame, &self.scoring)
+                self.compiled(model)?
+                    .score_with_metrics(&frame, &self.scoring)
                     .map_err(|e| SqlError::Execution(e.to_string()))?
             }
             PredictStrategy::Parallel(threads) => {
                 self.stats.parallel_calls.fetch_add(1, Ordering::Relaxed);
+                let compiled = self.compiled(model)?;
                 let threads = threads.max(1);
                 if threads == 1 || n < 2 * 1024 {
-                    StandaloneRuntime::new()
-                        .score_with_metrics(&pipeline, &frame, &self.scoring)
+                    compiled
+                        .score_with_metrics(&frame, &self.scoring)
                         .map_err(|e| SqlError::Execution(e.to_string()))?
                 } else {
                     let chunk_rows = n.div_ceil(threads).max(1);
-                    let chunks = frame.chunks(chunk_rows);
-                    let results: Vec<Result<Vec<f64>, flock_ml::MlError>> =
-                        crossbeam::thread::scope(|s| {
-                            let handles: Vec<_> = chunks
-                                .iter()
-                                .map(|chunk| {
-                                    let p = &pipeline;
-                                    let m = &self.scoring;
-                                    s.spawn(move |_| {
-                                        StandaloneRuntime::new().score_with_metrics(p, chunk, m)
-                                    })
-                                })
-                                .collect();
-                            handles
-                                .into_iter()
-                                .map(|h| h.join().expect("scoring thread panicked"))
-                                .collect()
-                        })
-                        .expect("thread scope");
+                    let chunks: Vec<Frame> = frame.chunks(chunk_rows).collect();
+                    let results = parallel_map(&chunks, threads, |chunk| {
+                        compiled
+                            .score_with_metrics(chunk, &self.scoring)
+                            .map_err(|e| SqlError::Execution(e.to_string()))
+                    })?;
                     let mut out = Vec::with_capacity(n);
                     for r in results {
-                        out.extend(r.map_err(|e| SqlError::Execution(e.to_string()))?);
+                        out.extend(r);
                     }
                     out
                 }
@@ -266,5 +273,31 @@ mod tests {
         // NaN numeric becomes 0 after featurization; null text matches no category
         assert_eq!(out.get(0), Value::Float(13.0));
         assert_eq!(out.get(1), Value::Float(1.0));
+    }
+
+    #[test]
+    fn all_valid_engine_columns_are_borrowed_not_copied() {
+        let provider = FlockInferenceProvider::new(registry_with_model());
+        let pipeline = provider.pipeline("m").unwrap();
+        let a = ColumnVector::from_f64([1.0, 2.0]);
+        let c = ColumnVector::from_values(
+            DataType::Text,
+            &[Value::Text("x".into()), Value::Text("y".into())],
+        )
+        .unwrap();
+        let inputs = [a, c];
+        let frame = columns_to_frame(&pipeline, &inputs).unwrap();
+        let nums = frame.column("a").unwrap().as_f64().unwrap();
+        assert_eq!(
+            nums.as_ptr(),
+            inputs[0].as_f64_slice().unwrap().as_ptr(),
+            "float column borrows the engine buffer"
+        );
+        let texts = frame.column("c").unwrap().as_str().unwrap();
+        assert_eq!(
+            texts.as_ptr(),
+            inputs[1].as_text_slice().unwrap().as_ptr(),
+            "text column borrows the engine buffer"
+        );
     }
 }

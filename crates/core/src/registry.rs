@@ -7,9 +7,10 @@
 //! specialized models) under internal names.
 
 use crate::meta::ModelMetadata;
-use flock_ml::Pipeline;
+use flock_ml::{CompiledPipeline, Pipeline};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A scoring-ready model.
@@ -21,9 +22,23 @@ pub struct RegisteredModel {
     pub version: u64,
 }
 
+/// What a derived-variant builder hands back: the rewritten pipeline plus
+/// an optional human-readable annotation (shown by `EXPLAIN ANALYZE` and
+/// `DESCRIBE MODEL` via the variant's `kind`).
+pub struct DerivedPipeline {
+    pub pipeline: Pipeline,
+    pub annotation: Option<String>,
+}
+
 #[derive(Default)]
 pub struct ModelRegistry {
     models: RwLock<HashMap<String, RegisteredModel>>,
+    /// Compiled-pipeline cache: name -> (version it was compiled from,
+    /// evaluation-ready artifact). Invalidated on redeploy.
+    compiled: RwLock<HashMap<String, (u64, Arc<CompiledPipeline>)>>,
+    cache_hits: Arc<AtomicU64>,
+    cache_misses: Arc<AtomicU64>,
+    cache_invalidations: Arc<AtomicU64>,
 }
 
 impl ModelRegistry {
@@ -36,18 +51,82 @@ impl ModelRegistry {
     }
 
     pub fn insert(&self, name: &str, model: RegisteredModel) {
-        self.models
-            .write()
-            .insert(name.to_ascii_lowercase(), model);
+        let key = name.to_ascii_lowercase();
+        // A (re)deploy invalidates the compiled artifacts and derived
+        // variants of any previous version under this name.
+        self.evict_compiled(&key);
+        let derived_prefix = format!("{key}#");
+        self.models.write().retain(|k, _| {
+            let stale = k.starts_with(&derived_prefix);
+            if stale {
+                self.evict_compiled(k);
+            }
+            !stale
+        });
+        self.models.write().insert(key, model);
     }
 
     pub fn remove(&self, name: &str) {
         let key = name.to_ascii_lowercase();
         let mut models = self.models.write();
         models.remove(&key);
+        self.evict_compiled(&key);
         // drop derived variants of this model too
         let derived_prefix = format!("{key}#");
-        models.retain(|k, _| !k.starts_with(&derived_prefix));
+        models.retain(|k, _| {
+            let stale = k.starts_with(&derived_prefix);
+            if stale {
+                self.evict_compiled(k);
+            }
+            !stale
+        });
+    }
+
+    /// The compiled (evaluation-ready) form of a registered pipeline.
+    /// Compiles and caches on miss; a cached artifact is served only while
+    /// its source version is still registered.
+    pub fn compiled(&self, name: &str) -> Option<Arc<CompiledPipeline>> {
+        let key = name.to_ascii_lowercase();
+        let model = self.get(&key)?;
+        if let Some((version, artifact)) = self.compiled.read().get(&key) {
+            if *version == model.version {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Some(Arc::clone(artifact));
+            }
+        }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let artifact = Arc::new(CompiledPipeline::compile(&model.pipeline));
+        self.compiled
+            .write()
+            .insert(key, (model.version, Arc::clone(&artifact)));
+        Some(artifact)
+    }
+
+    fn evict_compiled(&self, key: &str) {
+        if self.compiled.write().remove(key).is_some() {
+            self.cache_invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// (hits, misses, invalidations) of the compiled-pipeline cache.
+    pub fn compiled_cache_counts(&self) -> (u64, u64, u64) {
+        (
+            self.cache_hits.load(Ordering::Relaxed),
+            self.cache_misses.load(Ordering::Relaxed),
+            self.cache_invalidations.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Shared counter handles, for registration into engine-wide metrics.
+    pub fn cache_counters(&self) -> [(&'static str, Arc<AtomicU64>); 3] {
+        [
+            ("predict_compile_hits", Arc::clone(&self.cache_hits)),
+            ("predict_compile_misses", Arc::clone(&self.cache_misses)),
+            (
+                "predict_compile_invalidations",
+                Arc::clone(&self.cache_invalidations),
+            ),
+        ]
     }
 
     pub fn names(&self) -> Vec<String> {
@@ -69,7 +148,7 @@ impl ModelRegistry {
         &self,
         base: &str,
         tag: &str,
-        build: impl FnOnce(&RegisteredModel) -> Option<Pipeline>,
+        build: impl FnOnce(&RegisteredModel) -> Option<DerivedPipeline>,
     ) -> Option<String> {
         let base_key = base.to_ascii_lowercase();
         let base_model = self.get(&base_key)?;
@@ -77,7 +156,11 @@ impl ModelRegistry {
         if self.get(&derived_name).is_some() {
             return Some(derived_name);
         }
-        let pipeline = build(&base_model)?;
+        let DerivedPipeline {
+            pipeline,
+            annotation,
+        } = build(&base_model)?;
+        let kind_suffix = annotation.unwrap_or_else(|| tag.to_string());
         let metadata = ModelMetadata {
             name: derived_name.clone(),
             inputs: pipeline
@@ -86,7 +169,7 @@ impl ModelRegistry {
                 .map(|c| (c.input.clone(), c.encoder.takes_strings()))
                 .collect(),
             output: pipeline.output.clone(),
-            kind: format!("{}:{tag}", base_model.metadata.kind),
+            kind: format!("{}:{kind_suffix}", base_model.metadata.kind),
             complexity: pipeline.complexity(),
             lineage: base_model.metadata.lineage.clone(),
         };
@@ -153,13 +236,19 @@ mod tests {
         let name1 = r
             .register_derived("m", "pruned", |base| {
                 build_calls += 1;
-                Some((*base.pipeline).clone())
+                Some(DerivedPipeline {
+                    pipeline: (*base.pipeline).clone(),
+                    annotation: None,
+                })
             })
             .unwrap();
         let name2 = r
             .register_derived("m", "pruned", |base| {
                 build_calls += 1;
-                Some((*base.pipeline).clone())
+                Some(DerivedPipeline {
+                    pipeline: (*base.pipeline).clone(),
+                    annotation: None,
+                })
             })
             .unwrap();
         assert_eq!(name1, name2);
@@ -176,5 +265,42 @@ mod tests {
     fn derived_of_missing_base_is_none() {
         let r = ModelRegistry::new();
         assert!(r.register_derived("ghost", "t", |_| None).is_none());
+    }
+
+    #[test]
+    fn derived_annotation_lands_in_kind() {
+        let r = ModelRegistry::new();
+        r.insert("m", entry(1));
+        let name = r
+            .register_derived("m", "spec1", |base| {
+                Some(DerivedPipeline {
+                    pipeline: (*base.pipeline).clone(),
+                    annotation: Some("spec(nodes 9->3)".into()),
+                })
+            })
+            .unwrap();
+        let kind = r.get(&name).unwrap().metadata.kind.clone();
+        assert_eq!(kind, "linear:spec(nodes 9->3)");
+    }
+
+    #[test]
+    fn compiled_cache_hits_and_invalidates_on_redeploy() {
+        let r = ModelRegistry::new();
+        r.insert("m", entry(1));
+        let c1 = r.compiled("m").unwrap();
+        let c2 = r.compiled("M").unwrap();
+        assert!(Arc::ptr_eq(&c1, &c2), "second lookup is a cache hit");
+        assert_eq!(r.compiled_cache_counts(), (1, 1, 0));
+
+        // redeploy bumps the version -> compiled artifact is evicted
+        r.insert("m", entry(2));
+        assert_eq!(r.compiled_cache_counts(), (1, 1, 1));
+        let c3 = r.compiled("m").unwrap();
+        assert!(!Arc::ptr_eq(&c1, &c3), "recompiled after invalidation");
+        assert_eq!(r.compiled_cache_counts(), (1, 2, 1));
+
+        r.remove("m");
+        assert_eq!(r.compiled_cache_counts(), (1, 2, 2));
+        assert!(r.compiled("m").is_none());
     }
 }

@@ -16,15 +16,18 @@
 //!   inlining the paper cites) when the model is small enough.
 
 pub mod inline;
+pub mod predicates;
 pub mod stats;
 
-use crate::registry::ModelRegistry;
+use crate::registry::{DerivedPipeline, ModelRegistry};
+use flock_ml::{specialize_mask, InputConstraint};
 use flock_sql::ast::{Expr, PredictStrategy};
 use flock_sql::plan::{rewrite_expr, LogicalPlan, PlanRewriter};
 use flock_sql::{Catalog, Result, Value};
 use inline::{inline_linear_raw, inline_pipeline, logit_threshold, LogitRewrite};
 use parking_lot::RwLock;
 use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
@@ -37,6 +40,9 @@ pub struct XOptConfig {
     pub predicate_pushup: bool,
     pub inline_models: bool,
     pub operator_selection: bool,
+    /// Specialize models against query predicates (Raven-style): fold
+    /// predicate-fixed inputs into the pipeline and prune the model.
+    pub predicate_specialization: bool,
     /// Trees at most this large are eligible for CASE-WHEN inlining.
     pub inline_max_tree_nodes: usize,
     /// Worker threads parallel PREDICT may use.
@@ -53,6 +59,7 @@ impl Default for XOptConfig {
             predicate_pushup: true,
             inline_models: true,
             operator_selection: true,
+            predicate_specialization: true,
             inline_max_tree_nodes: 128,
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -72,6 +79,7 @@ impl XOptConfig {
             predicate_pushup: false,
             inline_models: false,
             operator_selection: false,
+            predicate_specialization: false,
             ..Default::default()
         }
     }
@@ -136,7 +144,10 @@ impl CrossOptimizer {
                 } else {
                     predicate
                 };
-                let predicate = self.rewrite_exprs(predicate, &input, catalog, &cfg)?;
+                // Sibling conjuncts constrain PREDICTs inside the
+                // predicate itself, on top of anything below the filter.
+                let constraints = self.constraints_for(&cfg, &input, Some(&predicate));
+                let predicate = self.rewrite_exprs(predicate, &input, catalog, &cfg, &constraints)?;
                 LogicalPlan::Filter { input, predicate }
             }
             LogicalPlan::Project {
@@ -145,9 +156,10 @@ impl CrossOptimizer {
                 schema,
             } => {
                 let input = Box::new(self.rewrite_node(*input, catalog)?);
+                let constraints = self.constraints_for(&cfg, &input, None);
                 let exprs = exprs
                     .into_iter()
-                    .map(|e| self.rewrite_exprs(e, &input, catalog, &cfg))
+                    .map(|e| self.rewrite_exprs(e, &input, catalog, &cfg, &constraints))
                     .collect::<Result<_>>()?;
                 LogicalPlan::Project {
                     input,
@@ -162,16 +174,17 @@ impl CrossOptimizer {
                 schema,
             } => {
                 let input = Box::new(self.rewrite_node(*input, catalog)?);
+                let constraints = self.constraints_for(&cfg, &input, None);
                 let group = group
                     .into_iter()
-                    .map(|e| self.rewrite_exprs(e, &input, catalog, &cfg))
+                    .map(|e| self.rewrite_exprs(e, &input, catalog, &cfg, &constraints))
                     .collect::<Result<_>>()?;
                 let aggs = aggs
                     .into_iter()
                     .map(|mut a| {
                         a.arg = a
                             .arg
-                            .map(|e| self.rewrite_exprs(e, &input, catalog, &cfg))
+                            .map(|e| self.rewrite_exprs(e, &input, catalog, &cfg, &constraints))
                             .transpose()?;
                         Ok(a)
                     })
@@ -200,9 +213,12 @@ impl CrossOptimizer {
             },
             LogicalPlan::Sort { input, keys } => {
                 let input = Box::new(self.rewrite_node(*input, catalog)?);
+                let constraints = self.constraints_for(&cfg, &input, None);
                 let keys = keys
                     .into_iter()
-                    .map(|(e, asc)| Ok((self.rewrite_exprs(e, &input, catalog, &cfg)?, asc)))
+                    .map(|(e, asc)| {
+                        Ok((self.rewrite_exprs(e, &input, catalog, &cfg, &constraints)?, asc))
+                    })
                     .collect::<Result<_>>()?;
                 LogicalPlan::Sort { input, keys }
             }
@@ -229,6 +245,25 @@ impl CrossOptimizer {
         })
     }
 
+    /// Predicate constraints in scope for expressions evaluated on
+    /// `input`'s rows, optionally extended with a predicate's own
+    /// conjuncts (for PREDICTs inside that same predicate).
+    fn constraints_for(
+        &self,
+        cfg: &XOptConfig,
+        input: &LogicalPlan,
+        predicate: Option<&Expr>,
+    ) -> HashMap<String, InputConstraint> {
+        if !cfg.predicate_specialization {
+            return HashMap::new();
+        }
+        let mut constraints = predicates::plan_constraints(input);
+        if let Some(p) = predicate {
+            predicates::predicate_constraints(p, &mut constraints);
+        }
+        constraints
+    }
+
     /// Apply the per-PREDICT rules to every PREDICT inside `expr`.
     fn rewrite_exprs(
         &self,
@@ -236,6 +271,7 @@ impl CrossOptimizer {
         input: &LogicalPlan,
         catalog: &Catalog,
         cfg: &XOptConfig,
+        constraints: &HashMap<String, InputConstraint>,
     ) -> Result<Expr> {
         // Lazily computed context shared across PREDICTs in this expr.
         let ranges = if cfg.model_compression {
@@ -289,7 +325,10 @@ impl CrossOptimizer {
                 if usage.iter().any(|u| !u) {
                     if let Some(derived) =
                         self.registry.register_derived(&model, "pruned", |base| {
-                            Some(base.pipeline.prune_unused_inputs().0)
+                            Some(DerivedPipeline {
+                                pipeline: base.pipeline.prune_unused_inputs().0,
+                                annotation: None,
+                            })
                         })
                     {
                         args = args
@@ -319,11 +358,12 @@ impl CrossOptimizer {
                     let base_for_build = current.clone();
                     if let Some(derived) =
                         self.registry.register_derived(&model, &tag, move |_| {
-                            Some(
-                                base_for_build
+                            Some(DerivedPipeline {
+                                pipeline: base_for_build
                                     .pipeline
                                     .compress_with_ranges(&input_ranges),
-                            )
+                                annotation: None,
+                            })
                         })
                     {
                         model = derived;
@@ -341,7 +381,48 @@ impl CrossOptimizer {
                 }
             }
 
-            // 4. physical operator selection from statistics
+            // 4. predicate specialization (Raven-style): inputs fixed or
+            // bounded by the query's predicates are folded into the
+            // pipeline and the model is pruned against them. Runs after
+            // inlining so tiny models still become pure SQL. The bound
+            // mask is a pure function of (pipeline, constraints), so a
+            // cache hit re-derives which arguments to drop without
+            // consulting the specialized artifact.
+            if cfg.predicate_specialization {
+                let current = self.registry.get(&model).expect("model present");
+                let cs: Vec<Option<InputConstraint>> = args
+                    .iter()
+                    .map(|a| match a {
+                        Expr::Column { name, .. } => {
+                            constraints.get(&name.to_ascii_lowercase()).cloned()
+                        }
+                        Expr::Literal(v) => predicates::literal_constraint(v),
+                        _ => None,
+                    })
+                    .collect();
+                if let Some(mask) = specialize_mask(&current.pipeline, &cs) {
+                    let tag = format!("spec{:x}", hash_constraints(&cs));
+                    let cs_for_build = cs.clone();
+                    if let Some(derived) =
+                        self.registry.register_derived(&model, &tag, move |base| {
+                            let (pipeline, report) = base.pipeline.specialize(&cs_for_build)?;
+                            Some(DerivedPipeline {
+                                pipeline,
+                                annotation: Some(report.annotation()),
+                            })
+                        })
+                    {
+                        args = args
+                            .into_iter()
+                            .zip(&mask)
+                            .filter_map(|(a, keep)| keep.then_some(a))
+                            .collect();
+                        model = derived;
+                    }
+                }
+            }
+
+            // 5. physical operator selection from statistics
             let strategy = if cfg.operator_selection && strategy == PredictStrategy::Auto {
                 match stats::choose_degree(est_rows, cfg.threads, cfg.parallel_row_threshold) {
                     1 => PredictStrategy::Vectorized,
@@ -397,6 +478,29 @@ impl CrossOptimizer {
             })
         })
     }
+}
+
+fn hash_constraints(cs: &[Option<InputConstraint>]) -> u64 {
+    let mut h = DefaultHasher::new();
+    for c in cs {
+        match c {
+            None => 0u8.hash(&mut h),
+            Some(InputConstraint::FixedNum(v)) => {
+                1u8.hash(&mut h);
+                v.to_bits().hash(&mut h);
+            }
+            Some(InputConstraint::FixedText(s)) => {
+                2u8.hash(&mut h);
+                s.hash(&mut h);
+            }
+            Some(InputConstraint::Range { lo, hi }) => {
+                3u8.hash(&mut h);
+                lo.to_bits().hash(&mut h);
+                hi.to_bits().hash(&mut h);
+            }
+        }
+    }
+    h.finish()
 }
 
 fn hash_ranges(ranges: &[Option<(f64, f64)>]) -> u64 {

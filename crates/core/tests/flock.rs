@@ -678,6 +678,190 @@ fn scripted_sessions_execute_multi_statement_workflows() {
 }
 
 #[test]
+fn compiled_cache_invalidates_on_model_redeploy() {
+    let db = customer_db();
+    let mut s = db.session("admin");
+    // one-hot featurization is not affine, so this tree cannot inline
+    // into pure SQL: PREDICT survives and scores through the compiled
+    // pipeline cache
+    s.deploy_model("ct", &city_tree_pipeline(), Lineage::default())
+        .unwrap();
+    let q = "SELECT id FROM customers WHERE PREDICT(ct, income, city) > 1.5 ORDER BY id";
+
+    db.query(q).unwrap();
+    let (h0, m0, i0) = db.registry().compiled_cache_counts();
+    assert!(m0 >= 1, "first run must compile: {:?}", (h0, m0, i0));
+
+    db.query(q).unwrap();
+    let (h1, m1, i1) = db.registry().compiled_cache_counts();
+    assert!(h1 > h0, "second run should hit the cache");
+    assert_eq!(m1, m0, "no recompilation on a cache hit");
+    assert_eq!(i1, i0);
+
+    // redeploying bumps the version and must evict every compiled entry
+    // derived from the old one — scoring v2 through a stale compiled v1
+    // would silently return wrong answers
+    let v2 = Pipeline::new(
+        city_tree_pipeline().columns.clone(),
+        Model::Tree(flock_ml::DecisionTree {
+            nodes: vec![flock_ml::TreeNode::Leaf { value: 9.0 }],
+        }),
+        "const9",
+    );
+    s.update_model("ct", &v2, Lineage::default()).unwrap();
+    let (_, _, i2) = db.registry().compiled_cache_counts();
+    assert!(i2 > i1, "redeploy must invalidate compiled entries");
+
+    // v2 answers after the redeploy: every row now scores 9.0
+    let b = db.query(q).unwrap();
+    assert_eq!(b.num_rows(), 5);
+
+    // the counters are visible through SQL alongside the engine counters
+    let (hits, misses, invalidations) = db.registry().compiled_cache_counts();
+    for (metric, want) in [
+        ("predict_compile_hits", hits),
+        ("predict_compile_misses", misses),
+        ("predict_compile_invalidations", invalidations),
+    ] {
+        let b = db
+            .query(&format!(
+                "SELECT value FROM flock_metrics WHERE metric = '{metric}'"
+            ))
+            .unwrap();
+        assert_eq!(b.num_rows(), 1, "{metric}");
+        assert_eq!(b.column(0).get(0), Value::Int(want as i64), "{metric}");
+    }
+}
+
+/// tree over income + one-hot(city): splits to a single leaf once the
+/// query pins city = 'nyc'.
+fn city_tree_pipeline() -> Pipeline {
+    use flock_ml::{DecisionTree, TreeNode};
+    // features: 0 = income, 1 = city=nyc, 2 = city=sf, 3 = city=chi
+    let tree = DecisionTree {
+        nodes: vec![
+            TreeNode::Split {
+                feature: 1,
+                threshold: 0.5,
+                left: 1,
+                right: 2,
+            },
+            TreeNode::Split {
+                feature: 0,
+                threshold: 50.0,
+                left: 3,
+                right: 4,
+            },
+            TreeNode::Leaf { value: 5.0 },
+            TreeNode::Leaf { value: 1.0 },
+            TreeNode::Leaf { value: 2.0 },
+        ],
+    };
+    Pipeline::new(
+        vec![
+            ColumnPipeline::numeric("income"),
+            ColumnPipeline::one_hot(
+                "city",
+                vec!["nyc".into(), "sf".into(), "chi".into()],
+            ),
+        ],
+        Model::Tree(tree),
+        "city_tree",
+    )
+}
+
+#[test]
+fn explain_surfaces_predicate_specialization() {
+    let db = customer_db();
+    let mut s = db.session("admin");
+    s.deploy_model("ct", &city_tree_pipeline(), Lineage::default())
+        .unwrap();
+    // city = 'nyc' pins the one-hot block; the tree collapses to a leaf
+    let q = "SELECT id, PREDICT(ct, income, city) AS v FROM customers WHERE city = 'nyc'";
+    let res = s.execute(&format!("EXPLAIN ANALYZE {q}")).unwrap();
+    let text: String = {
+        let b = res.batch.unwrap();
+        (0..b.num_rows())
+            .map(|i| b.column(0).get(i).to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert!(
+        text.contains("spec("),
+        "specialization annotation expected in plan: {text}"
+    );
+
+    // and the specialized plan returns the same rows as the raw pipeline
+    let b = db.query(q).unwrap();
+    assert_eq!(b.num_rows(), 2);
+    for r in 0..b.num_rows() {
+        assert_eq!(b.column(1).get(r), Value::Float(5.0), "nyc leaf");
+    }
+    let off = customer_db();
+    off.set_xopt_config(XOptConfig::disabled());
+    off.session("admin")
+        .deploy_model("ct", &city_tree_pipeline(), Lineage::default())
+        .unwrap();
+    let raw = off.query(q).unwrap();
+    assert_eq!(raw.num_rows(), b.num_rows());
+    for r in 0..b.num_rows() {
+        assert_eq!(b.column(1).get(r), raw.column(1).get(r));
+    }
+}
+
+#[test]
+fn specialized_queries_agree_across_predict_strategies() {
+    use flock_sql::ast::PredictStrategy;
+    use flock_sql::exec::ExecOptions;
+    // Predicate-constrained and literal-argument queries: specialization
+    // must never change a score, whichever runtime executes it.
+    let queries = [
+        "SELECT id, PREDICT(ct, income, city) AS v FROM customers \
+         WHERE city = 'nyc' AND income >= 20 ORDER BY id",
+        "SELECT id, PREDICT(ct, income, 'sf') AS v FROM customers ORDER BY id",
+        "SELECT AVG(PREDICT(ct, income, city)) FROM customers WHERE income < 100",
+    ];
+    for q in queries {
+        let off = customer_db();
+        off.set_xopt_config(XOptConfig::disabled());
+        off.database().set_exec_options(ExecOptions {
+            default_predict: PredictStrategy::Row,
+            ..ExecOptions::serial()
+        });
+        off.session("admin")
+            .deploy_model("ct", &city_tree_pipeline(), Lineage::default())
+            .unwrap();
+        let baseline = off.query(q).unwrap();
+
+        for strategy in [
+            PredictStrategy::Row,
+            PredictStrategy::Vectorized,
+            PredictStrategy::Parallel(3),
+        ] {
+            let on = customer_db();
+            on.database().set_exec_options(ExecOptions {
+                default_predict: strategy,
+                ..ExecOptions::default()
+            });
+            on.session("admin")
+                .deploy_model("ct", &city_tree_pipeline(), Lineage::default())
+                .unwrap();
+            let got = on.query(q).unwrap();
+            assert_eq!(got.num_rows(), baseline.num_rows(), "{q} {strategy:?}");
+            for r in 0..got.num_rows() {
+                for c in 0..got.num_columns() {
+                    assert_eq!(
+                        got.column(c).get(r),
+                        baseline.column(c).get(r),
+                        "{q} {strategy:?} row {r} col {c}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn predict_pipeline_deterministic_across_thread_configs() {
     // A PREDICT query over enough rows to trigger morsel fan-out must
     // return the same rows whatever thread count xopt hands the executor.

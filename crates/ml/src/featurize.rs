@@ -65,6 +65,13 @@ pub enum Encoder {
     /// One-hot bin membership over sorted `edges`; produces
     /// `edges.len() + 1` features.
     Binned { edges: Vec<f64> },
+    /// Constant pre-encoded features, broadcast to every row without
+    /// reading any input column. Produced by the cross-optimizer when a
+    /// query predicate fixes an input (`WHERE c = 'x'`): the original
+    /// encoder is evaluated once at plan time and its output frozen here,
+    /// so scoring skips both the column binding and the encode work while
+    /// the model's weights stay untouched (bit-exact scores).
+    Fixed { values: Vec<f64> },
 }
 
 impl Encoder {
@@ -75,6 +82,7 @@ impl Encoder {
             Encoder::OneHot { categories } => categories.len(),
             Encoder::Hashing { buckets } => *buckets,
             Encoder::Binned { edges } => edges.len() + 1,
+            Encoder::Fixed { values } => values.len(),
         }
     }
 
@@ -140,6 +148,15 @@ impl ColumnPipeline {
         offset: usize,
         total: usize,
     ) -> Result<()> {
+        // Fixed features never touch the frame: the input column is not
+        // even bound after specialization.
+        if let Encoder::Fixed { values } = &self.encoder {
+            let w = values.len();
+            for r in 0..frame.num_rows() {
+                out[r * total + offset..r * total + offset + w].copy_from_slice(values);
+            }
+            return Ok(());
+        }
         let col = frame.column(&self.input)?;
         let n = col.len();
         match &self.encoder {
@@ -195,6 +212,7 @@ impl ColumnPipeline {
                     }
                 }
             }
+            Encoder::Fixed { .. } => unreachable!("handled above"),
         }
         debug_assert_eq!(n, frame.num_rows());
         Ok(())
@@ -204,6 +222,8 @@ impl ColumnPipeline {
     /// row-at-a-time interpreted scorer.
     pub fn encode_value_into(&self, value: &RawValue, out: &mut [f64]) {
         match (&self.encoder, value) {
+            // Fixed ignores the input value entirely.
+            (Encoder::Fixed { values }, _) => out.copy_from_slice(values),
             (Encoder::Numeric, RawValue::Num(raw)) => {
                 let mut x = *raw;
                 for s in &self.steps {
@@ -252,7 +272,7 @@ mod tests {
     use super::*;
     use crate::frame::FrameCol;
 
-    fn frame() -> Frame {
+    fn frame() -> Frame<'static> {
         Frame::new()
             .with("x", FrameCol::F64(vec![1.0, f64::NAN, 5.0]))
             .unwrap()

@@ -141,6 +141,7 @@ fn encoder_to_value(e: &Encoder) -> Value {
             variant("Hashing", obj(vec![("buckets", Value::from(*buckets))]))
         }
         Encoder::Binned { edges } => variant("Binned", obj(vec![("edges", f64s(edges))])),
+        Encoder::Fixed { values } => variant("Fixed", obj(vec![("values", f64s(values))])),
     }
 }
 
@@ -365,6 +366,9 @@ fn encoder_from_value(v: &Value) -> Result<Encoder> {
         }),
         "Binned" => Ok(Encoder::Binned {
             edges: f64s_from(get(p, "edges", "Binned")?, "Binned.edges")?,
+        }),
+        "Fixed" => Ok(Encoder::Fixed {
+            values: f64s_from(get(p, "values", "Fixed")?, "Fixed.values")?,
         }),
         other => Err(bad(&format!("unknown encoder '{other}'"))),
     }

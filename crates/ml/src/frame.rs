@@ -3,25 +3,32 @@
 //! A [`Frame`] is the ML-side analogue of a relational record batch:
 //! named columns of either numeric (`f64`, with NaN as missing) or string
 //! data. The in-DB integration converts `flock-sql` column vectors into
-//! frames at the PREDICT boundary.
+//! frames at the PREDICT boundary. Columns can either own their data or
+//! borrow it from the caller (`F64Borrowed` / `StrBorrowed`), so the
+//! PREDICT binding path and chunked scoring never copy dense columns.
 
 use crate::error::{MlError, Result};
-use serde::{Deserialize, Serialize};
 
 /// One column of a frame.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub enum FrameCol {
+#[derive(Debug, Clone)]
+pub enum FrameCol<'a> {
     /// Numeric data; missing values are NaN.
     F64(Vec<f64>),
     /// String data; missing values are empty strings.
     Str(Vec<String>),
+    /// Numeric data borrowed from the caller (zero-copy binding).
+    F64Borrowed(&'a [f64]),
+    /// String data borrowed from the caller (zero-copy binding).
+    StrBorrowed(&'a [String]),
 }
 
-impl FrameCol {
+impl<'a> FrameCol<'a> {
     pub fn len(&self) -> usize {
         match self {
             FrameCol::F64(v) => v.len(),
             FrameCol::Str(v) => v.len(),
+            FrameCol::F64Borrowed(v) => v.len(),
+            FrameCol::StrBorrowed(v) => v.len(),
         }
     }
 
@@ -32,31 +39,55 @@ impl FrameCol {
     pub fn as_f64(&self) -> Option<&[f64]> {
         match self {
             FrameCol::F64(v) => Some(v),
-            FrameCol::Str(_) => None,
+            FrameCol::F64Borrowed(v) => Some(v),
+            FrameCol::Str(_) | FrameCol::StrBorrowed(_) => None,
         }
     }
 
     pub fn as_str(&self) -> Option<&[String]> {
         match self {
             FrameCol::Str(v) => Some(v),
-            FrameCol::F64(_) => None,
+            FrameCol::StrBorrowed(v) => Some(v),
+            FrameCol::F64(_) | FrameCol::F64Borrowed(_) => None,
+        }
+    }
+
+    /// A borrowed view of rows `[start, end)`.
+    pub fn slice(&self, start: usize, end: usize) -> FrameCol<'_> {
+        match self {
+            FrameCol::F64(v) => FrameCol::F64Borrowed(&v[start..end]),
+            FrameCol::Str(v) => FrameCol::StrBorrowed(&v[start..end]),
+            FrameCol::F64Borrowed(v) => FrameCol::F64Borrowed(&v[start..end]),
+            FrameCol::StrBorrowed(v) => FrameCol::StrBorrowed(&v[start..end]),
+        }
+    }
+}
+
+/// Equality is by content, not by ownership: an owned column equals a
+/// borrowed view of the same data.
+impl PartialEq for FrameCol<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.as_f64(), other.as_f64()) {
+            (Some(a), Some(b)) => a == b,
+            (None, None) => self.as_str() == other.as_str(),
+            _ => false,
         }
     }
 }
 
 /// A named collection of equal-length columns.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
-pub struct Frame {
-    columns: Vec<(String, FrameCol)>,
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Frame<'a> {
+    columns: Vec<(String, FrameCol<'a>)>,
 }
 
-impl Frame {
+impl<'a> Frame<'a> {
     pub fn new() -> Self {
         Frame::default()
     }
 
     /// Add a column; all columns must share a length.
-    pub fn push(&mut self, name: impl Into<String>, col: FrameCol) -> Result<()> {
+    pub fn push(&mut self, name: impl Into<String>, col: FrameCol<'a>) -> Result<()> {
         if let Some((_, first)) = self.columns.first() {
             if first.len() != col.len() {
                 return Err(MlError::Shape(format!(
@@ -70,7 +101,7 @@ impl Frame {
         Ok(())
     }
 
-    pub fn with(mut self, name: impl Into<String>, col: FrameCol) -> Result<Self> {
+    pub fn with(mut self, name: impl Into<String>, col: FrameCol<'a>) -> Result<Self> {
         self.push(name, col)?;
         Ok(self)
     }
@@ -87,7 +118,7 @@ impl Frame {
         self.columns.iter().map(|(n, _)| n.as_str()).collect()
     }
 
-    pub fn column(&self, name: &str) -> Result<&FrameCol> {
+    pub fn column(&self, name: &str) -> Result<&FrameCol<'a>> {
         self.columns
             .iter()
             .find(|(n, _)| n.eq_ignore_ascii_case(name))
@@ -95,20 +126,20 @@ impl Frame {
             .ok_or_else(|| MlError::UnknownColumn(name.to_string()))
     }
 
-    pub fn column_at(&self, idx: usize) -> &FrameCol {
+    pub fn column_at(&self, idx: usize) -> &FrameCol<'a> {
         &self.columns[idx].1
     }
 
-    /// A one-row view of this frame (allocates; used by the row-at-a-time
+    /// A one-row copy of this frame (allocates; used by the row-at-a-time
     /// interpreted scorer).
-    pub fn slice_row(&self, row: usize) -> Frame {
+    pub fn slice_row(&self, row: usize) -> Frame<'static> {
         let columns = self
             .columns
             .iter()
             .map(|(n, c)| {
-                let col = match c {
-                    FrameCol::F64(v) => FrameCol::F64(vec![v[row]]),
-                    FrameCol::Str(v) => FrameCol::Str(vec![v[row].clone()]),
+                let col = match c.as_f64() {
+                    Some(v) => FrameCol::F64(vec![v[row]]),
+                    None => FrameCol::Str(vec![c.as_str().unwrap()[row].clone()]),
                 };
                 (n.clone(), col)
             })
@@ -116,31 +147,25 @@ impl Frame {
         Frame { columns }
     }
 
-    /// Split into chunks of at most `chunk_rows` (used by parallel scoring).
-    pub fn chunks(&self, chunk_rows: usize) -> Vec<Frame> {
+    /// Lazily split into borrowed chunks of at most `chunk_rows` (used by
+    /// chunked and parallel scoring). Chunks borrow from `self`, so a large
+    /// frame is never materialized twice. An empty frame yields one empty
+    /// chunk so callers still see the column layout.
+    pub fn chunks(&self, chunk_rows: usize) -> impl Iterator<Item = Frame<'_>> + '_ {
         let n = self.num_rows();
-        if n == 0 {
-            return vec![self.clone()];
-        }
         let chunk_rows = chunk_rows.max(1);
-        (0..n)
-            .step_by(chunk_rows)
-            .map(|start| {
-                let end = (start + chunk_rows).min(n);
-                let columns = self
+        let count = if n == 0 { 1 } else { n.div_ceil(chunk_rows) };
+        (0..count).map(move |i| {
+            let start = i * chunk_rows;
+            let end = (start + chunk_rows).min(n);
+            Frame {
+                columns: self
                     .columns
                     .iter()
-                    .map(|(name, c)| {
-                        let col = match c {
-                            FrameCol::F64(v) => FrameCol::F64(v[start..end].to_vec()),
-                            FrameCol::Str(v) => FrameCol::Str(v[start..end].to_vec()),
-                        };
-                        (name.clone(), col)
-                    })
-                    .collect();
-                Frame { columns }
-            })
-            .collect()
+                    .map(|(name, c)| (name.clone(), c.slice(start, end)))
+                    .collect(),
+            }
+        })
     }
 }
 
@@ -148,7 +173,7 @@ impl Frame {
 mod tests {
     use super::*;
 
-    fn frame() -> Frame {
+    fn frame() -> Frame<'static> {
         Frame::new()
             .with("age", FrameCol::F64(vec![34.0, 28.0, f64::NAN]))
             .unwrap()
@@ -182,11 +207,32 @@ mod tests {
     }
 
     #[test]
-    fn chunking_covers_rows() {
+    fn chunking_covers_rows_lazily() {
         let f = frame();
-        let chunks = f.chunks(2);
+        let chunks: Vec<Frame<'_>> = f.chunks(2).collect();
         assert_eq!(chunks.len(), 2);
         assert_eq!(chunks[0].num_rows(), 2);
         assert_eq!(chunks[1].num_rows(), 1);
+        // chunks borrow: numeric data points into the parent allocation
+        let parent = f.column("age").unwrap().as_f64().unwrap();
+        let child = chunks[0].column("age").unwrap().as_f64().unwrap();
+        assert_eq!(parent.as_ptr(), child.as_ptr());
+    }
+
+    #[test]
+    fn empty_frame_yields_one_chunk() {
+        let f = Frame::new()
+            .with("x", FrameCol::F64(vec![]))
+            .unwrap();
+        let chunks: Vec<Frame<'_>> = f.chunks(4).collect();
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].num_rows(), 0);
+        assert_eq!(chunks[0].num_columns(), 1);
+    }
+
+    #[test]
+    fn borrowed_equals_owned() {
+        let data = vec![1.0, 2.0];
+        assert_eq!(FrameCol::F64(data.clone()), FrameCol::F64Borrowed(&data));
     }
 }

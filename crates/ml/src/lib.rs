@@ -19,6 +19,7 @@
 //!   usage from model sparsity, range-based model compression, and
 //!   deterministic feature layout.
 
+pub mod compiled;
 pub mod drift;
 pub mod error;
 pub mod featurize;
@@ -29,8 +30,10 @@ pub mod metrics;
 pub mod model;
 pub mod pipeline;
 pub mod runtime;
+pub mod specialize;
 pub mod train;
 
+pub use compiled::{CompiledModel, CompiledPipeline};
 pub use drift::{DriftReport, DriftVerdict, ScoreProfile};
 pub use error::{MlError, Result};
 pub use featurize::{ColumnPipeline, Encoder, NumericStep, RawValue};
@@ -40,6 +43,7 @@ pub use model::{
     DecisionTree, GaussianNb, GbtModel, KnnModel, LinearModel, Model, RandomForest, TreeNode,
 };
 pub use pipeline::Pipeline;
+pub use specialize::{specialize_mask, InputConstraint, SpecializationReport};
 pub use runtime::{
     interpreted_score, interpreted_score_with_metrics, ScoringMetrics, StageMetrics,
     StandaloneRuntime,

@@ -1,0 +1,168 @@
+//! Flattened tree ensembles: a struct-of-arrays node layout plus a
+//! batch walk kernel.
+//!
+//! The arena-of-enums representation in [`tree`](super::tree) is the
+//! training/serialization format; scoring it walks tagged-enum nodes per
+//! row per tree. The compiled-pipeline cache instead stores ensembles in
+//! this flattened layout — parallel `feature`/`threshold`/`left`/`right`
+//! arrays shared by every tree, 20 bytes per node instead of an enum
+//! word-aligned to 40 — and evaluates them batch-at-a-time: the row loop
+//! streams the feature matrix exactly once while the compact node arrays
+//! stay cache-resident, and each row walks only its own root-to-leaf
+//! path (no per-level full-batch sweeps).
+//!
+//! Scores are bit-identical to the arena walker: the same NaN-goes-left
+//! split rule, and per-row tree contributions accumulated in tree order
+//! (matching the `iter().map(score_row).sum()` left fold).
+
+use super::tree::{DecisionTree, TreeNode};
+use crate::matrix::Matrix;
+
+/// Sentinel feature index marking a leaf node.
+pub const LEAF: u32 = u32::MAX;
+
+/// One or more trees flattened into shared struct-of-arrays storage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatTrees {
+    /// Split feature per node; [`LEAF`] marks leaves.
+    feature: Vec<u32>,
+    /// Split threshold for internal nodes; the leaf *value* for leaves.
+    threshold: Vec<f64>,
+    left: Vec<u32>,
+    right: Vec<u32>,
+    /// Node index of each tree's root.
+    roots: Vec<u32>,
+}
+
+impl FlatTrees {
+    pub fn from_trees(trees: &[DecisionTree]) -> FlatTrees {
+        let total: usize = trees.iter().map(DecisionTree::num_nodes).sum();
+        let mut flat = FlatTrees {
+            feature: Vec::with_capacity(total),
+            threshold: Vec::with_capacity(total),
+            left: Vec::with_capacity(total),
+            right: Vec::with_capacity(total),
+            roots: Vec::with_capacity(trees.len()),
+        };
+        for t in trees {
+            let base = flat.feature.len() as u32;
+            flat.roots.push(base);
+            for node in &t.nodes {
+                match node {
+                    TreeNode::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    } => {
+                        flat.feature.push(*feature as u32);
+                        flat.threshold.push(*threshold);
+                        flat.left.push(base + *left as u32);
+                        flat.right.push(base + *right as u32);
+                    }
+                    TreeNode::Leaf { value } => {
+                        flat.feature.push(LEAF);
+                        flat.threshold.push(*value);
+                        flat.left.push(0);
+                        flat.right.push(0);
+                    }
+                }
+            }
+        }
+        flat
+    }
+
+    pub fn num_trees(&self) -> usize {
+        self.roots.len()
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.feature.len()
+    }
+
+    /// Add every tree's prediction for every row into `acc` (length =
+    /// `x.rows()`), tree by tree in order per row — the same left-fold
+    /// summation order as the arena walker.
+    pub fn accumulate(&self, x: &Matrix, acc: &mut [f64]) {
+        debug_assert_eq!(acc.len(), x.rows());
+        for (r, out) in acc.iter_mut().enumerate() {
+            let row = x.row(r);
+            let mut sum = 0.0;
+            for &root in &self.roots {
+                let mut i = root as usize;
+                let mut f = self.feature[i];
+                while f != LEAF {
+                    let v = row[f as usize];
+                    i = if v.is_nan() || v <= self.threshold[i] {
+                        self.left[i]
+                    } else {
+                        self.right[i]
+                    } as usize;
+                    f = self.feature[i];
+                }
+                sum += self.threshold[i];
+            }
+            *out += sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::tree::TreeNode;
+
+    fn sample() -> DecisionTree {
+        // x0 <= 5 ? (x1 <= 2 ? 10 : 20) : 30
+        DecisionTree {
+            nodes: vec![
+                TreeNode::Split {
+                    feature: 0,
+                    threshold: 5.0,
+                    left: 1,
+                    right: 2,
+                },
+                TreeNode::Split {
+                    feature: 1,
+                    threshold: 2.0,
+                    left: 3,
+                    right: 4,
+                },
+                TreeNode::Leaf { value: 30.0 },
+                TreeNode::Leaf { value: 10.0 },
+                TreeNode::Leaf { value: 20.0 },
+            ],
+        }
+    }
+
+    #[test]
+    fn flat_matches_arena_walker() {
+        let trees = vec![sample(), DecisionTree::leaf(-3.0), sample()];
+        let flat = FlatTrees::from_trees(&trees);
+        assert_eq!(flat.num_trees(), 3);
+        assert_eq!(flat.num_nodes(), 11);
+        let rows = vec![
+            vec![4.0, 1.0],
+            vec![4.0, 3.0],
+            vec![6.0, 0.0],
+            vec![f64::NAN, 1.0],
+            vec![5.0, f64::NAN],
+        ];
+        let x = Matrix::from_rows(&rows);
+        let mut acc = vec![0.0; rows.len()];
+        flat.accumulate(&x, &mut acc);
+        for (r, row) in rows.iter().enumerate() {
+            let expected: f64 = trees.iter().map(|t| t.score_row(row)).sum();
+            assert_eq!(acc[r], expected, "row {r}");
+        }
+    }
+
+    #[test]
+    fn empty_ensemble_accumulates_nothing() {
+        let flat = FlatTrees::from_trees(&[]);
+        let x = Matrix::from_rows(&[vec![1.0]]);
+        let mut acc = vec![0.0; 1];
+        flat.accumulate(&x, &mut acc);
+        assert_eq!(acc, vec![0.0]);
+    }
+}

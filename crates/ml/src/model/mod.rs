@@ -2,12 +2,14 @@
 
 pub mod bayes;
 pub mod ensemble;
+pub mod flat;
 pub mod knn;
 pub mod linear;
 pub mod tree;
 
 pub use bayes::GaussianNb;
 pub use ensemble::{GbtModel, RandomForest};
+pub use flat::FlatTrees;
 pub use knn::KnnModel;
 pub use linear::{sigmoid, LinearModel};
 pub use tree::{DecisionTree, TreeNode};

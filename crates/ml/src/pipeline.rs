@@ -38,6 +38,19 @@ impl Pipeline {
         self.columns[i].encoder.takes_strings()
     }
 
+    /// Indices of the input columns that must actually be bound by the
+    /// caller — columns whose encoder reads input. [`Encoder::Fixed`]
+    /// columns (produced by predicate specialization) are excluded: their
+    /// features are plan-time constants.
+    pub fn bound_columns(&self) -> Vec<usize> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !matches!(c.encoder, Encoder::Fixed { .. }))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
     /// Total feature-vector width.
     pub fn feature_width(&self) -> usize {
         self.columns.iter().map(ColumnPipeline::width).sum()
@@ -204,6 +217,12 @@ impl Pipeline {
                         *f = (0.0, f64::INFINITY);
                     }
                 }
+                // constant features have exactly one reachable value
+                Encoder::Fixed { values } => {
+                    for (f, v) in feature_ranges[a..b].iter_mut().zip(values) {
+                        *f = (*v, *v);
+                    }
+                }
             }
         }
         Pipeline {
@@ -240,7 +259,7 @@ mod tests {
         )
     }
 
-    fn frame() -> Frame {
+    fn frame() -> Frame<'static> {
         Frame::new()
             .with("age", FrameCol::F64(vec![40.0, f64::NAN]))
             .unwrap()

@@ -8,7 +8,7 @@
 //!   structure and allocates a fresh feature buffer.
 
 use crate::error::Result;
-use crate::featurize::RawValue;
+use crate::featurize::{Encoder, RawValue};
 use crate::frame::{Frame, FrameCol};
 use crate::pipeline::Pipeline;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -121,18 +121,29 @@ fn interpret(
     let started = std::time::Instant::now();
     let n = frame.num_rows();
     let mut out = Vec::with_capacity(n);
-    // resolve input columns once; per-row work still dominates
-    let cols: Vec<&FrameCol> = pipeline
+    // resolve input columns once; per-row work still dominates. Fixed
+    // (specialized) columns never bind a frame column — their encoder
+    // ignores the placeholder value.
+    let cols: Vec<Option<&FrameCol>> = pipeline
         .columns
         .iter()
-        .map(|cp| frame.column(&cp.input))
+        .map(|cp| {
+            if matches!(cp.encoder, Encoder::Fixed { .. }) {
+                Ok(None)
+            } else {
+                frame.column(&cp.input).map(Some)
+            }
+        })
         .collect::<Result<_>>()?;
     for row in 0..n {
         let values: Vec<RawValue> = cols
             .iter()
             .map(|c| match c {
-                FrameCol::F64(v) => RawValue::Num(v[row]),
-                FrameCol::Str(v) => RawValue::Text(v[row].clone()),
+                None => RawValue::Num(f64::NAN),
+                Some(c) => match c.as_f64() {
+                    Some(v) => RawValue::Num(v[row]),
+                    None => RawValue::Text(c.as_str().unwrap()[row].clone()),
+                },
             })
             .collect();
         out.push(pipeline.score_row_values(&values)?);
@@ -149,7 +160,7 @@ mod tests {
     use crate::featurize::ColumnPipeline;
     use crate::model::{LinearModel, Model};
 
-    fn setup() -> (Pipeline, Frame) {
+    fn setup() -> (Pipeline, Frame<'static>) {
         let p = Pipeline::new(
             vec![
                 ColumnPipeline::numeric("a"),

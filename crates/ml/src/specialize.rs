@@ -1,0 +1,421 @@
+//! Predicate specialization (the paper's §4.1 cross-optimization): fold
+//! query-fixed inputs into the pipeline and prune the model against them.
+//!
+//! The SQL optimizer extracts per-input [`InputConstraint`]s from query
+//! predicates (`WHERE city = 'nyc'` fixes a one-hot input; `WHERE age
+//! BETWEEN 30 AND 40` bounds a numeric one) and calls
+//! [`Pipeline::specialize`]. Specialization is *score-preserving by
+//! construction* for every row that satisfies the constraints:
+//!
+//! * **Tree-family models** (`Tree`/`Forest`/`Gbt`): each fixed input is
+//!   encoded once, giving its feature slots degenerate `[v, v]` ranges;
+//!   range constraints bound numeric slots. `compress` then removes every
+//!   branch unreachable under those ranges — an exact transformation, the
+//!   same arithmetic on the surviving paths. Fixed inputs become provably
+//!   unused and their columns are dropped from the pipeline.
+//! * **Linear/logistic models**: fixed inputs swap their encoder for
+//!   [`Encoder::Fixed`], freezing the *encoded* feature values computed at
+//!   plan time. Weights and feature width are untouched, so the dot
+//!   product — and therefore the score — is bit-identical; what is saved
+//!   is the per-row encode work and the column binding.
+//!
+//! The split between bound and unbound inputs is a pure function of
+//! (pipeline, constraints) — [`specialize_mask`] — so the optimizer can
+//! re-derive which PREDICT arguments to drop on a cache hit without
+//! consulting the specialized artifact.
+
+use crate::featurize::{ColumnPipeline, Encoder, RawValue};
+use crate::model::Model;
+use crate::pipeline::Pipeline;
+
+/// A per-input constraint extracted from query predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InputConstraint {
+    /// The input equals a numeric literal (`WHERE x = 3.5`).
+    FixedNum(f64),
+    /// The input equals a string literal (`WHERE c = 'x'`).
+    FixedText(String),
+    /// The input lies in `[lo, hi]`; open sides are infinite. Closed
+    /// bounds are used even for strict predicates — a superset of the
+    /// true range is always safe.
+    Range { lo: f64, hi: f64 },
+}
+
+/// Is this constraint a *fixing* constraint the column's encoder can
+/// evaluate at plan time?
+fn fixes(cp: &ColumnPipeline, c: &InputConstraint) -> bool {
+    match c {
+        InputConstraint::FixedText(_) => cp.encoder.takes_strings(),
+        InputConstraint::FixedNum(_) => {
+            matches!(cp.encoder, Encoder::Numeric | Encoder::Binned { .. })
+        }
+        InputConstraint::Range { .. } => false,
+    }
+}
+
+/// Does this constraint bound the column's (numeric) feature range?
+fn bounds(cp: &ColumnPipeline, c: &InputConstraint) -> bool {
+    matches!(c, InputConstraint::Range { .. }) && matches!(cp.encoder, Encoder::Numeric)
+}
+
+/// Encode a fixing constraint into the column's feature slots.
+fn encode_fixed(cp: &ColumnPipeline, c: &InputConstraint) -> Vec<f64> {
+    let raw = match c {
+        InputConstraint::FixedNum(v) => RawValue::Num(*v),
+        InputConstraint::FixedText(s) => RawValue::Text(s.clone()),
+        InputConstraint::Range { .. } => unreachable!("ranges never fix"),
+    };
+    let mut out = vec![0.0; cp.width()];
+    cp.encode_value_into(&raw, &mut out);
+    out
+}
+
+/// Which PREDICT arguments stay bound after specializing `pipeline` under
+/// `constraints` (one entry per input column)? Returns `None` when
+/// specialization does not apply. Deterministic: both the optimizer and
+/// [`Pipeline::specialize`] derive the same mask from the same inputs, so
+/// a compiled-cache hit needs no stored metadata.
+pub fn specialize_mask(
+    pipeline: &Pipeline,
+    constraints: &[Option<InputConstraint>],
+) -> Option<Vec<bool>> {
+    if constraints.len() != pipeline.columns.len() {
+        return None;
+    }
+    let fixed: Vec<bool> = pipeline
+        .columns
+        .iter()
+        .zip(constraints)
+        .map(|(cp, c)| c.as_ref().is_some_and(|c| fixes(cp, c)))
+        .collect();
+    let any_fixed = fixed.iter().any(|b| *b);
+    let any_range = pipeline
+        .columns
+        .iter()
+        .zip(constraints)
+        .any(|(cp, c)| c.as_ref().is_some_and(|c| bounds(cp, c)));
+    let applies = match &pipeline.model {
+        Model::Tree(_) | Model::Forest(_) | Model::Gbt(_) => any_fixed || any_range,
+        Model::Linear(_) | Model::Logistic(_) => any_fixed,
+        _ => false,
+    };
+    if !applies {
+        return None;
+    }
+    let mut bound: Vec<bool> = fixed.iter().map(|f| !f).collect();
+    // PREDICT needs at least one bound argument to carry the row count.
+    if bound.iter().all(|b| !*b) {
+        bound[0] = true;
+    }
+    Some(bound)
+}
+
+/// What specialization changed — surfaced by `EXPLAIN ANALYZE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecializationReport {
+    pub nodes_before: usize,
+    pub nodes_after: usize,
+    pub features_before: usize,
+    pub features_after: usize,
+    pub inputs_before: usize,
+    pub inputs_after: usize,
+}
+
+impl SpecializationReport {
+    /// Compact plan annotation, e.g. `spec(nodes 85->21, feats 7->3,
+    /// inputs 5->3)`.
+    pub fn annotation(&self) -> String {
+        format!(
+            "spec(nodes {}->{}, feats {}->{}, inputs {}->{})",
+            self.nodes_before,
+            self.nodes_after,
+            self.features_before,
+            self.features_after,
+            self.inputs_before,
+            self.inputs_after,
+        )
+    }
+}
+
+impl Pipeline {
+    /// Specialize this pipeline under per-input predicate constraints.
+    /// Returns `None` when specialization does not apply; otherwise the
+    /// specialized pipeline (whose bound inputs are exactly
+    /// [`specialize_mask`]'s `true` entries, in order) and a report.
+    ///
+    /// Scores are bit-identical to the original on every row satisfying
+    /// the constraints.
+    pub fn specialize(
+        &self,
+        constraints: &[Option<InputConstraint>],
+    ) -> Option<(Pipeline, SpecializationReport)> {
+        let mask = specialize_mask(self, constraints)?;
+        let inputs_before = self.bound_columns().len();
+        let nodes_before = self.complexity();
+        let features_before = self.feature_width();
+
+        let specialized = match &self.model {
+            Model::Tree(_) | Model::Forest(_) | Model::Gbt(_) => {
+                self.specialize_trees(constraints, &mask)
+            }
+            Model::Linear(_) | Model::Logistic(_) => self.specialize_linear(constraints, &mask),
+            _ => unreachable!("specialize_mask rejected this model"),
+        };
+
+        let report = SpecializationReport {
+            nodes_before,
+            nodes_after: specialized.complexity(),
+            features_before,
+            features_after: specialized.feature_width(),
+            inputs_before,
+            inputs_after: specialized.bound_columns().len(),
+        };
+        Some((specialized, report))
+    }
+
+    /// Tree-family specialization: compress against per-feature ranges
+    /// (degenerate for fixed inputs), then drop the now-unused fixed
+    /// columns.
+    fn specialize_trees(
+        &self,
+        constraints: &[Option<InputConstraint>],
+        mask: &[bool],
+    ) -> Pipeline {
+        let dim = self.feature_width();
+        let mut ranges: Vec<(f64, f64)> = vec![(f64::NEG_INFINITY, f64::INFINITY); dim];
+        for (i, cp) in self.columns.iter().enumerate() {
+            let Some(c) = &constraints[i] else { continue };
+            let (a, b) = self.feature_range(i);
+            if fixes(cp, c) {
+                // Encoded fixed values are never NaN (the encoders
+                // normalize NaN away), so every split on these slots
+                // collapses under a [v, v] range.
+                for (slot, v) in ranges[a..b].iter_mut().zip(encode_fixed(cp, c)) {
+                    *slot = (v, v);
+                }
+            } else if bounds(cp, c) {
+                let InputConstraint::Range { lo, hi } = c else {
+                    unreachable!()
+                };
+                // push the raw range through the (monotone) numeric steps
+                let (mut lo, mut hi) = (*lo, *hi);
+                for s in &cp.steps {
+                    lo = s.apply(lo);
+                    hi = s.apply(hi);
+                }
+                ranges[a] = (lo.min(hi), lo.max(hi));
+            }
+        }
+        let compressed = self.model.compress(&ranges);
+
+        // Drop unbound columns: their features are provably unused after
+        // compression (their range is a single non-NaN point).
+        let mut keep_features: Vec<usize> = Vec::new();
+        let mut keep_columns: Vec<ColumnPipeline> = Vec::new();
+        for (i, cp) in self.columns.iter().enumerate() {
+            if mask[i] {
+                let (a, b) = self.feature_range(i);
+                keep_features.extend(a..b);
+                keep_columns.push(cp.clone());
+            }
+        }
+        debug_assert!({
+            let used = compressed.used_features(dim);
+            self.columns.iter().enumerate().all(|(i, _)| {
+                let (a, b) = self.feature_range(i);
+                mask[i] || used[a..b].iter().all(|u| !u)
+            })
+        });
+        let model = compressed.select_features(&keep_features, dim);
+        Pipeline {
+            columns: keep_columns,
+            model,
+            output: self.output.clone(),
+        }
+    }
+
+    /// Linear/logistic specialization: swap fixed inputs' encoders for
+    /// [`Encoder::Fixed`]. Feature width and weights are untouched.
+    fn specialize_linear(
+        &self,
+        constraints: &[Option<InputConstraint>],
+        mask: &[bool],
+    ) -> Pipeline {
+        let columns = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, cp)| {
+                if mask[i] {
+                    return cp.clone();
+                }
+                let c = constraints[i].as_ref().expect("unbound implies fixed");
+                ColumnPipeline {
+                    input: cp.input.clone(),
+                    steps: vec![],
+                    encoder: Encoder::Fixed {
+                        values: encode_fixed(cp, c),
+                    },
+                }
+            })
+            .collect();
+        Pipeline {
+            columns,
+            model: self.model.clone(),
+            output: self.output.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{Frame, FrameCol};
+    use crate::model::{DecisionTree, LinearModel, TreeNode};
+
+    fn tree_pipeline() -> Pipeline {
+        // feature 0: age (numeric), features 1-2: city one-hot
+        let tree = DecisionTree {
+            nodes: vec![
+                TreeNode::Split {
+                    feature: 1, // city == nyc
+                    threshold: 0.5,
+                    left: 1,
+                    right: 2,
+                },
+                TreeNode::Split {
+                    feature: 0,
+                    threshold: 40.0,
+                    left: 3,
+                    right: 4,
+                },
+                TreeNode::Leaf { value: 100.0 },
+                TreeNode::Leaf { value: 1.0 },
+                TreeNode::Leaf { value: 2.0 },
+            ],
+        };
+        Pipeline::new(
+            vec![
+                ColumnPipeline::numeric("age"),
+                ColumnPipeline::one_hot("city", vec!["nyc".into(), "sf".into()]),
+            ],
+            Model::Tree(tree),
+            "score",
+        )
+    }
+
+    #[test]
+    fn fixed_text_prunes_tree_and_drops_column() {
+        let p = tree_pipeline();
+        let cs = vec![None, Some(InputConstraint::FixedText("nyc".into()))];
+        let mask = specialize_mask(&p, &cs).unwrap();
+        assert_eq!(mask, vec![true, false]);
+        let (s, report) = p.specialize(&cs).unwrap();
+        // city = 'nyc' -> one-hot (1, 0) -> nyc-slot split collapses to
+        // its right leaf
+        assert_eq!(report.nodes_after, 1);
+        assert_eq!(s.columns.len(), 1);
+        assert_eq!(s.input_names(), vec!["age"]);
+        let f = Frame::new()
+            .with("age", FrameCol::F64(vec![30.0, 50.0]))
+            .unwrap();
+        let full = Frame::new()
+            .with("age", FrameCol::F64(vec![30.0, 50.0]))
+            .unwrap()
+            .with("city", FrameCol::Str(vec!["nyc".into(), "nyc".into()]))
+            .unwrap();
+        assert_eq!(s.score(&f).unwrap(), p.score(&full).unwrap());
+        assert_eq!(s.score(&f).unwrap(), vec![100.0, 100.0]);
+    }
+
+    #[test]
+    fn range_constraint_prunes_without_unbinding() {
+        let p = tree_pipeline();
+        let cs = vec![
+            Some(InputConstraint::Range {
+                lo: f64::NEG_INFINITY,
+                hi: 35.0,
+            }),
+            None,
+        ];
+        let mask = specialize_mask(&p, &cs).unwrap();
+        assert_eq!(mask, vec![true, true]);
+        let (s, report) = p.specialize(&cs).unwrap();
+        assert!(report.nodes_after < report.nodes_before);
+        let f = Frame::new()
+            .with("age", FrameCol::F64(vec![20.0, 35.0]))
+            .unwrap()
+            .with("city", FrameCol::Str(vec!["nyc".into(), "sf".into()]))
+            .unwrap();
+        assert_eq!(s.score(&f).unwrap(), p.score(&f).unwrap());
+    }
+
+    #[test]
+    fn all_inputs_fixed_keeps_first_bound() {
+        let p = tree_pipeline();
+        let cs = vec![
+            Some(InputConstraint::FixedNum(30.0)),
+            Some(InputConstraint::FixedText("nyc".into())),
+        ];
+        let mask = specialize_mask(&p, &cs).unwrap();
+        assert_eq!(mask, vec![true, false]);
+        let (s, report) = p.specialize(&cs).unwrap();
+        assert_eq!(report.nodes_after, 1);
+        assert_eq!(s.bound_columns().len(), 1);
+        let f = Frame::new()
+            .with("age", FrameCol::F64(vec![30.0]))
+            .unwrap();
+        // city = 'nyc' -> nyc slot is 1 -> root split goes right
+        assert_eq!(s.score(&f).unwrap(), vec![100.0]);
+    }
+
+    #[test]
+    fn linear_folding_is_bit_exact_and_unbinds() {
+        let p = Pipeline::new(
+            vec![
+                ColumnPipeline::numeric("a"),
+                ColumnPipeline::one_hot("c", vec!["x".into(), "y".into()]),
+            ],
+            Model::Linear(LinearModel::new(vec![2.0, 10.0, 20.0], 1.0)),
+            "score",
+        );
+        let cs = vec![None, Some(InputConstraint::FixedText("y".into()))];
+        let (s, report) = p.specialize(&cs).unwrap();
+        assert_eq!(report.features_after, report.features_before);
+        assert_eq!(s.bound_columns(), vec![0]);
+        assert!(matches!(s.columns[1].encoder, Encoder::Fixed { .. }));
+        let f = Frame::new()
+            .with("a", FrameCol::F64(vec![1.5, -2.0]))
+            .unwrap();
+        let full = Frame::new()
+            .with("a", FrameCol::F64(vec![1.5, -2.0]))
+            .unwrap()
+            .with("c", FrameCol::Str(vec!["y".into(), "y".into()]))
+            .unwrap();
+        assert_eq!(s.score(&f).unwrap(), p.score(&full).unwrap());
+    }
+
+    #[test]
+    fn inapplicable_constraints_return_none() {
+        let p = tree_pipeline();
+        // no constraints at all
+        assert!(specialize_mask(&p, &[None, None]).is_none());
+        // text constraint on a numeric column is not evaluable
+        assert!(
+            specialize_mask(&p, &[Some(InputConstraint::FixedText("x".into())), None]).is_none()
+        );
+        // arity mismatch
+        assert!(specialize_mask(&p, &[None]).is_none());
+        // unsupported model kind
+        let knn = Pipeline::new(
+            vec![ColumnPipeline::numeric("a")],
+            Model::Knn(crate::model::KnnModel {
+                k: 1,
+                points: crate::Matrix::from_rows(&[vec![0.0]]),
+                targets: vec![1.0],
+            }),
+            "score",
+        );
+        assert!(specialize_mask(&knn, &[Some(InputConstraint::FixedNum(1.0))]).is_none());
+    }
+}

@@ -2,8 +2,9 @@
 
 use flock_ml::model::sigmoid;
 use flock_ml::{
-    fonnx, interpreted_score, ColumnPipeline, Encoder, Frame, FrameCol, LinearModel, Matrix,
-    Model, NumericStep, Pipeline, RawValue, StandaloneRuntime, TreeNode,
+    fonnx, interpreted_score, specialize_mask, ColumnPipeline, CompiledPipeline, DecisionTree,
+    Encoder, Frame, FrameCol, GbtModel, InputConstraint, LinearModel, Matrix, Model, NumericStep,
+    Pipeline, RandomForest, RawValue, StandaloneRuntime, TreeNode,
 };
 use proptest::prelude::*;
 
@@ -233,9 +234,9 @@ proptest! {
                 .iter()
                 .map(|cp| {
                     let col = frame.column(&cp.input).unwrap();
-                    match col {
-                        FrameCol::F64(v) => RawValue::Num(v[row]),
-                        FrameCol::Str(v) => RawValue::Text(v[row].clone()),
+                    match col.as_f64() {
+                        Some(v) => RawValue::Num(v[row]),
+                        None => RawValue::Text(col.as_str().unwrap()[row].clone()),
                     }
                 })
                 .collect();
@@ -274,6 +275,187 @@ proptest! {
         for (r, expected) in b.iter().enumerate() {
             let got: f64 = (0..n).map(|c| a.get(r, c) * x[c]).sum();
             prop_assert!((got - expected).abs() < 1e-6, "row {r}: {got} vs {expected}");
+        }
+    }
+}
+
+// ---- specialization & compiled-kernel properties ---------------------
+//
+// A fixed column layout shared by every tree-family case: feature slots
+// 0 = c0 (numeric), 1..4 = c1 (one-hot over cat0/cat1/cat2), 4 = c2
+// (numeric). Constraints and conforming frames are generated against it.
+
+const SPEC_WIDTH: usize = 5;
+
+fn spec_columns() -> Vec<ColumnPipeline> {
+    vec![
+        ColumnPipeline::numeric("c0"),
+        ColumnPipeline::one_hot(
+            "c1",
+            vec!["cat0".to_string(), "cat1".to_string(), "cat2".to_string()],
+        ),
+        ColumnPipeline::numeric("c2"),
+    ]
+}
+
+fn spec_tree() -> impl Strategy<Value = DecisionTree> {
+    // thresholds straddle both the one-hot 0/1 slots and the numeric
+    // ranges so every feature kind can actually branch
+    proptest::collection::vec(
+        (0usize..SPEC_WIDTH, prop_oneof![-2.0f64..2.0, -60.0f64..60.0]),
+        1..7,
+    )
+    .prop_map(|splits| balanced_tree(&splits))
+}
+
+fn spec_model() -> impl Strategy<Value = Model> {
+    prop_oneof![
+        spec_tree().prop_map(Model::Tree),
+        proptest::collection::vec(spec_tree(), 1..4)
+            .prop_map(|trees| Model::Forest(RandomForest { trees })),
+        (
+            proptest::collection::vec(spec_tree(), 1..4),
+            0.05f64..0.5,
+            -1.0f64..1.0,
+            any::<bool>(),
+        )
+            .prop_map(|(trees, learning_rate, base_score, sigmoid_output)| {
+                Model::Gbt(GbtModel {
+                    trees,
+                    learning_rate,
+                    base_score,
+                    sigmoid_output,
+                })
+            }),
+        (
+            proptest::collection::vec(-3.0f64..3.0, SPEC_WIDTH),
+            -2.0f64..2.0,
+            any::<bool>(),
+        )
+            .prop_map(|(w, b, logistic)| {
+                let lm = LinearModel::new(w, b);
+                if logistic {
+                    Model::Logistic(lm)
+                } else {
+                    Model::Linear(lm)
+                }
+            }),
+    ]
+}
+
+fn spec_pipeline() -> impl Strategy<Value = Pipeline> {
+    spec_model().prop_map(|m| Pipeline::new(spec_columns(), m, "out"))
+}
+
+fn numeric_constraint() -> impl Strategy<Value = Option<InputConstraint>> {
+    prop_oneof![
+        Just(None),
+        (-40.0f64..40.0).prop_map(|v| Some(InputConstraint::FixedNum(v))),
+        (-40.0f64..0.0, 1.0f64..40.0)
+            .prop_map(|(lo, w)| Some(InputConstraint::Range { lo, hi: lo + w })),
+    ]
+}
+
+fn text_constraint() -> impl Strategy<Value = Option<InputConstraint>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(InputConstraint::FixedText("cat1".to_string()))),
+        // unseen category: the one-hot block encodes to all zeros
+        Just(Some(InputConstraint::FixedText("never-seen".to_string()))),
+    ]
+}
+
+/// A frame whose every row satisfies `cs`; unconstrained columns still
+/// carry NaNs, empty strings, and unseen categories.
+fn conforming_frame(cs: &[Option<InputConstraint>], rows: usize, seed: u64) -> Frame<'static> {
+    use flock_rng::rngs::StdRng;
+    use flock_rng::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut frame = Frame::new();
+    for (name, c, is_str) in [
+        ("c0", &cs[0], false),
+        ("c1", &cs[1], true),
+        ("c2", &cs[2], false),
+    ] {
+        if is_str {
+            let vals: Vec<String> = (0..rows)
+                .map(|_| match c {
+                    Some(InputConstraint::FixedText(s)) => s.clone(),
+                    _ => match rng.gen_range(0..5) {
+                        0 => String::new(),
+                        1 => "never-a-category".to_string(),
+                        k => format!("cat{}", k - 2),
+                    },
+                })
+                .collect();
+            frame.push(name, FrameCol::Str(vals)).unwrap();
+        } else {
+            let vals: Vec<f64> = (0..rows)
+                .map(|_| match c {
+                    Some(InputConstraint::FixedNum(v)) => *v,
+                    Some(InputConstraint::Range { lo, hi }) => rng.gen_range(*lo..*hi),
+                    _ => {
+                        if rng.gen_bool(0.15) {
+                            f64::NAN
+                        } else {
+                            rng.gen_range(-60.0..60.0)
+                        }
+                    }
+                })
+                .collect();
+            frame.push(name, FrameCol::F64(vals)).unwrap();
+        }
+    }
+    frame
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The compiled (flattened struct-of-arrays) scorer is bit-exact with
+    /// both stock runtimes for every model family, including NaN and
+    /// unseen-category inputs.
+    #[test]
+    fn compiled_pipeline_matches_runtimes(p in spec_pipeline(), seed in any::<u64>()) {
+        let frame = conforming_frame(&[None, None, None], 19, seed);
+        let vectorized = StandaloneRuntime::new().score(&p, &frame).unwrap();
+        let interpreted = interpreted_score(&p, &frame).unwrap();
+        let compiled = CompiledPipeline::compile(&p).score(&frame).unwrap();
+        prop_assert_eq!(&vectorized, &interpreted);
+        prop_assert_eq!(&vectorized, &compiled);
+    }
+
+    /// Predicate specialization never changes a score on rows satisfying
+    /// the constraints, whichever runtime scores the specialized
+    /// pipeline, and the deterministic bound mask agrees with what the
+    /// specializer actually kept bound.
+    #[test]
+    fn specialization_is_score_preserving(
+        p in spec_pipeline(),
+        c0 in numeric_constraint(),
+        c1 in text_constraint(),
+        c2 in numeric_constraint(),
+        seed in any::<u64>(),
+    ) {
+        let cs = vec![c0, c1, c2];
+        let mask = specialize_mask(&p, &cs);
+        let spec = p.specialize(&cs);
+        prop_assert_eq!(mask.is_some(), spec.is_some());
+        if let (Some(mask), Some((sp, report))) = (mask, spec) {
+            // the mask is the contract the SQL layer uses to drop
+            // PREDICT arguments on a cache hit
+            let bound = sp.bound_columns().len();
+            prop_assert_eq!(report.inputs_after, bound);
+            prop_assert_eq!(bound, mask.iter().filter(|b| **b).count());
+
+            let frame = conforming_frame(&cs, 23, seed);
+            let base = StandaloneRuntime::new().score(&p, &frame).unwrap();
+            let spec_vec = StandaloneRuntime::new().score(&sp, &frame).unwrap();
+            let spec_interp = interpreted_score(&sp, &frame).unwrap();
+            let spec_compiled = CompiledPipeline::compile(&sp).score(&frame).unwrap();
+            prop_assert_eq!(&base, &spec_vec);
+            prop_assert_eq!(&base, &spec_interp);
+            prop_assert_eq!(&base, &spec_compiled);
         }
     }
 }

@@ -61,6 +61,9 @@ pub enum PhysNode {
         model: String,
         args: Vec<PhysExpr>,
         strategy: PredictStrategy,
+        /// Provider-supplied description (model kind plus cross-optimizer
+        /// transformations), captured at compile time for plan rendering.
+        label: Option<String>,
     },
 }
 
@@ -211,6 +214,7 @@ impl PhysExpr {
                     .map(|e| Self::compile(e, schema, provider))
                     .collect::<Result<_>>()?,
                 strategy: *strategy,
+                label: provider.describe(model),
             },
             Expr::Subquery(_) | Expr::InSubquery { .. } | Expr::Exists { .. } => {
                 return Err(SqlError::Plan(
@@ -252,6 +256,18 @@ impl PhysExpr {
             }
         });
         found
+    }
+
+    /// Provider descriptions of every PREDICT in this tree, in call order.
+    pub fn predict_labels(&self, out: &mut Vec<String>) {
+        self.visit(&mut |e| {
+            if let PhysNode::Predict {
+                label: Some(l), ..
+            } = &e.node
+            {
+                out.push(l.clone());
+            }
+        });
     }
 
     fn visit(&self, f: &mut impl FnMut(&PhysExpr)) {
@@ -345,6 +361,7 @@ impl PhysExpr {
                 model,
                 args,
                 strategy,
+                ..
             } => {
                 let inputs: Vec<ColumnVector> = args
                     .iter()

@@ -11,7 +11,9 @@
 //! materialize whole batches (see DESIGN.md for the overhead budget).
 
 use super::PhysicalPlan;
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Lock-free counters for one physical operator.
 #[derive(Debug, Default)]
@@ -210,9 +212,24 @@ pub struct EngineMetrics {
     pub parallel_ops: AtomicU64,
     /// Morsels executed by parallel operator sections.
     pub morsels: AtomicU64,
+    /// Externally-owned counters registered by higher layers (e.g. the
+    /// inference layer's compiled-pipeline cache), appended to [`rows`].
+    registered: Mutex<Vec<(&'static str, Arc<AtomicU64>)>>,
 }
 
 impl EngineMetrics {
+    /// Expose an externally-owned counter as a `flock_metrics` row. The
+    /// caller keeps the handle and updates it; reads happen at snapshot
+    /// time. Re-registering a name replaces the previous handle.
+    pub fn register(&self, name: &'static str, counter: Arc<AtomicU64>) {
+        let mut registered = self.registered.lock();
+        if let Some(slot) = registered.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = counter;
+        } else {
+            registered.push((name, counter));
+        }
+    }
+
     /// Fold one executed query's snapshot into the cumulative counters.
     pub fn record_query(&self, snapshot: &OpSnapshot) {
         self.queries.fetch_add(1, Ordering::Relaxed);
@@ -227,16 +244,25 @@ impl EngineMetrics {
         self.morsels.fetch_add(morsels, Ordering::Relaxed);
     }
 
-    /// Name/value pairs in a stable order (the `flock_metrics` rows).
+    /// Name/value pairs in a stable order (the `flock_metrics` rows):
+    /// built-in execution counters first, then registered external ones
+    /// in registration order.
     pub fn rows(&self) -> Vec<(&'static str, u64)> {
-        vec![
+        let mut rows = vec![
             ("queries", self.queries.load(Ordering::Relaxed)),
             ("rows_scanned", self.rows_scanned.load(Ordering::Relaxed)),
             ("rows_returned", self.rows_returned.load(Ordering::Relaxed)),
             ("exec_ns", self.exec_ns.load(Ordering::Relaxed)),
             ("parallel_ops", self.parallel_ops.load(Ordering::Relaxed)),
             ("morsels", self.morsels.load(Ordering::Relaxed)),
-        ]
+        ];
+        rows.extend(
+            self.registered
+                .lock()
+                .iter()
+                .map(|(name, c)| (*name, c.load(Ordering::Relaxed))),
+        );
+        rows
     }
 }
 
@@ -288,6 +314,21 @@ mod tests {
         assert_eq!(rows["queries"], 2);
         assert_eq!(rows["rows_scanned"], 100);
         assert_eq!(rows["rows_returned"], 20);
+    }
+
+    #[test]
+    fn registered_counters_appear_in_rows() {
+        let m = EngineMetrics::default();
+        let c = Arc::new(AtomicU64::new(7));
+        m.register("predict_compile_hits", Arc::clone(&c));
+        c.fetch_add(1, Ordering::Relaxed);
+        let rows: std::collections::HashMap<_, _> = m.rows().into_iter().collect();
+        assert_eq!(rows["predict_compile_hits"], 8);
+        // re-registering the same name replaces the handle
+        m.register("predict_compile_hits", Arc::new(AtomicU64::new(0)));
+        let rows: std::collections::HashMap<_, _> = m.rows().into_iter().collect();
+        assert_eq!(rows["predict_compile_hits"], 0);
+        assert_eq!(m.rows().len(), 7);
     }
 
     #[test]

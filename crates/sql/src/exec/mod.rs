@@ -659,6 +659,13 @@ impl PhysicalPlan {
                 let mut detail = format!("exprs={}", exprs.len());
                 if exprs.iter().any(PhysExpr::contains_predict) {
                     detail.push_str(", predict");
+                    let mut labels = Vec::new();
+                    for e in exprs {
+                        e.predict_labels(&mut labels);
+                    }
+                    if !labels.is_empty() {
+                        detail.push_str(&format!("({})", labels.join("; ")));
+                    }
                 }
                 if let Some(p) = policy_detail_opt(policy) {
                     detail.push_str(&format!(", {p}"));

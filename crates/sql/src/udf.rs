@@ -21,6 +21,13 @@ pub trait InferenceProvider: Send + Sync {
     /// The number of input arguments the model expects, when known.
     fn input_arity(&self, model: &str) -> Result<usize>;
 
+    /// A short human-readable description of the model (kind plus any
+    /// cross-optimizer transformations), surfaced by plan rendering.
+    /// `None` when the provider has nothing to say.
+    fn describe(&self, _model: &str) -> Option<String> {
+        None
+    }
+
     /// Score `model` over the given argument columns (all the same length)
     /// using the given execution strategy. Returns one output column of
     /// the same length.
