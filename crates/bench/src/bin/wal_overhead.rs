@@ -1,0 +1,146 @@
+//! Durability-cost microbench: what does the write-ahead log add to an
+//! insert-heavy workload? Writes `results/BENCH_wal.json`.
+//!
+//! Four engine configurations run the same deterministic workload of
+//! `COMMITS` autocommitted multi-row INSERTs:
+//!
+//! * `none` — the in-memory engine with no durability (the baseline);
+//! * `buffered` — WAL appends to a real directory without fsync
+//!   (`DurabilityOptions::buffered()`), checkpoints disabled: a crash may
+//!   lose a suffix of acknowledged commits, recovery still lands on a
+//!   committed prefix;
+//! * `fsync` — fsync-on-commit, checkpoints disabled: every acknowledged
+//!   commit survives any crash;
+//! * `buffered+ckpt` — buffered logging plus a checkpoint every 64
+//!   commits. Because every committed write is a full table version, a
+//!   checkpoint snapshots the whole version history, so its cost grows
+//!   with table history — it is reported for visibility, not gated.
+//!
+//! The binary exits non-zero if buffered logging costs more than 15% over
+//! the no-durability baseline, so CI can use it as a perf smoke test.
+//! (The fsync column is reported but not gated — it is dominated by
+//! device sync latency, which varies wildly across CI hosts.)
+
+use flock_sql::{Database, DurabilityOptions};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const COMMITS: usize = 300;
+const ROWS_PER_COMMIT: usize = 50;
+const REPEATS: usize = 3;
+
+/// Deterministic LCG so the workload needs no RNG crate.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+}
+
+fn insert_statements() -> Vec<String> {
+    let mut rng = Lcg(7);
+    (0..COMMITS)
+        .map(|c| {
+            let rows: Vec<String> = (0..ROWS_PER_COMMIT)
+                .map(|r| {
+                    let id = (c * ROWS_PER_COMMIT + r) as i64;
+                    let amount = (rng.next() % 100_000) as f64 / 97.0;
+                    format!("({id}, {amount:.6}, 'cust_{}')", rng.next() % 500)
+                })
+                .collect();
+            format!("INSERT INTO payments VALUES {}", rows.join(", "))
+        })
+        .collect()
+}
+
+/// Run the workload once against a fresh database; returns elapsed ms for
+/// the insert loop only (table creation and engine setup excluded).
+fn run_once(db: &Database, statements: &[String]) -> f64 {
+    db.execute("CREATE TABLE payments (id INT, amount DOUBLE, cust VARCHAR)")
+        .expect("create");
+    let start = Instant::now();
+    for s in statements {
+        db.execute(s).expect("insert");
+    }
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn bench(
+    opts: Option<DurabilityOptions>,
+    label: &str,
+    statements: &[String],
+    scratch: &std::path::Path,
+) -> f64 {
+    let mut best = f64::INFINITY;
+    for rep in 0..REPEATS {
+        let db = match opts {
+            None => Database::new(),
+            Some(o) => {
+                let dir = scratch.join(format!("{label}-{rep}"));
+                Database::open(dir, o).expect("open")
+            }
+        };
+        best = best.min(run_once(&db, statements));
+    }
+    best
+}
+
+fn main() {
+    let statements = insert_statements();
+    let scratch = std::env::temp_dir().join(format!("flock-wal-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("scratch dir");
+
+    let no_ckpt = |fsync: bool| DurabilityOptions {
+        fsync_on_commit: fsync,
+        checkpoint_every_commits: 0,
+        keep_checkpoints: 2,
+    };
+
+    let total_rows = COMMITS * ROWS_PER_COMMIT;
+    eprintln!("{COMMITS} commits x {ROWS_PER_COMMIT} rows = {total_rows} rows, best of {REPEATS}");
+    let none_ms = bench(None, "none", &statements, &scratch);
+    eprintln!("no durability   {none_ms:9.2} ms");
+    let buffered_ms = bench(Some(no_ckpt(false)), "buffered", &statements, &scratch);
+    let buffered_overhead = (buffered_ms / none_ms - 1.0) * 100.0;
+    eprintln!("buffered wal    {buffered_ms:9.2} ms ({buffered_overhead:+.1}%)");
+    let fsync_ms = bench(Some(no_ckpt(true)), "fsync", &statements, &scratch);
+    let fsync_overhead = (fsync_ms / none_ms - 1.0) * 100.0;
+    eprintln!("fsync-on-commit {fsync_ms:9.2} ms ({fsync_overhead:+.1}%)");
+    let ckpt_ms = bench(
+        Some(DurabilityOptions::buffered()),
+        "buffered-ckpt",
+        &statements,
+        &scratch,
+    );
+    let ckpt_overhead = (ckpt_ms / none_ms - 1.0) * 100.0;
+    eprintln!("buffered+ckpt   {ckpt_ms:9.2} ms ({ckpt_overhead:+.1}%)");
+
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"wal_overhead\",");
+    let _ = writeln!(out, "  \"commits\": {COMMITS},");
+    let _ = writeln!(out, "  \"rows_per_commit\": {ROWS_PER_COMMIT},");
+    let _ = writeln!(out, "  \"repeats\": {REPEATS},");
+    let _ = writeln!(out, "  \"no_durability_ms\": {none_ms:.3},");
+    let _ = writeln!(out, "  \"buffered_wal_ms\": {buffered_ms:.3},");
+    let _ = writeln!(out, "  \"fsync_wal_ms\": {fsync_ms:.3},");
+    let _ = writeln!(out, "  \"buffered_ckpt_ms\": {ckpt_ms:.3},");
+    let _ = writeln!(out, "  \"buffered_overhead_pct\": {buffered_overhead:.2},");
+    let _ = writeln!(out, "  \"fsync_overhead_pct\": {fsync_overhead:.2},");
+    let _ = writeln!(out, "  \"buffered_ckpt_overhead_pct\": {ckpt_overhead:.2}");
+    out.push_str("}\n");
+
+    std::fs::create_dir_all("results").unwrap();
+    std::fs::write("results/BENCH_wal.json", &out).unwrap();
+    eprintln!("wrote results/BENCH_wal.json");
+    print!("{out}");
+
+    assert!(
+        buffered_overhead < 15.0,
+        "buffered WAL costs {buffered_overhead:.1}% over the no-durability \
+         baseline (gate: < 15%)"
+    );
+}

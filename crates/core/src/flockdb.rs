@@ -109,7 +109,39 @@ impl FlockDb {
     }
 
     pub fn with_config(config: XOptConfig) -> Self {
-        let db = Database::new();
+        Self::with_database(Database::new(), config)
+    }
+
+    /// Open (or create) a durable Flock database in a directory: the SQL
+    /// engine recovers its catalog from the write-ahead log, and the model
+    /// registry is rebuilt from the recovered extension objects — deployed
+    /// models come back scorable, with compiled-pipeline caches correctly
+    /// invalidated (cache keys include the recovered model versions).
+    pub fn open(
+        path: impl AsRef<std::path::Path>,
+        opts: flock_sql::DurabilityOptions,
+    ) -> Result<FlockDb> {
+        let db = Database::open(path, opts)?;
+        let flock = Self::with_database(db, XOptConfig::default());
+        flock.sync_registry();
+        Ok(flock)
+    }
+
+    /// Open a durable Flock database on any [`flock_sql::DurableFs`] (the
+    /// crash-recovery tests run against in-memory filesystems).
+    pub fn open_with_fs(
+        fs: Arc<dyn flock_sql::DurableFs>,
+        opts: flock_sql::DurabilityOptions,
+    ) -> Result<FlockDb> {
+        let db = Database::open_with_fs(fs, opts)?;
+        let flock = Self::with_database(db, XOptConfig::default());
+        flock.sync_registry();
+        Ok(flock)
+    }
+
+    /// Assemble the Flock layers around an existing engine (fresh or
+    /// recovered).
+    pub fn with_database(db: Database, config: XOptConfig) -> Self {
         let registry = Arc::new(ModelRegistry::new());
         let provider = Arc::new(FlockInferenceProvider::new(registry.clone()));
         db.set_inference_provider(provider.clone());
@@ -322,6 +354,12 @@ impl FlockSession {
     /// Bulk-append a prepared batch (fast load path).
     pub fn append_batch(&mut self, table: &str, batch: RecordBatch) -> Result<u64> {
         self.inner.append_batch(table, batch)
+    }
+
+    /// Truncate a table's version history, refusing to drop any version a
+    /// deployed model's lineage pins as its training snapshot.
+    pub fn truncate_table_history(&mut self, table: &str, keep: usize) -> Result<Vec<u64>> {
+        self.inner.truncate_table_history(table, keep)
     }
 
     /// Low-latency single-decision scoring: one prediction, in-process,

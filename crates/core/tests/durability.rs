@@ -1,0 +1,214 @@
+//! Durability at the Flock layer: deployed models are catalog objects, so
+//! they — and their lineage, grants, and audit trail — must survive a
+//! crash and come back scoring bit-identically, with the compiled-pipeline
+//! cache correctly keyed by the recovered catalog versions.
+
+use flock_core::{FlockDb, Lineage, XOptConfig};
+use flock_ml::{ColumnPipeline, LinearModel, Model, Pipeline};
+use flock_sql::{DurabilityOptions, MemFs, SqlError, Value};
+use std::sync::Arc;
+
+fn opts() -> DurabilityOptions {
+    DurabilityOptions::default()
+}
+
+/// risk = 0.05*debt - 0.02*income + 1.0
+fn risk_pipeline() -> Pipeline {
+    Pipeline::new(
+        vec![
+            ColumnPipeline::numeric("income"),
+            ColumnPipeline::numeric("debt"),
+        ],
+        Model::Linear(LinearModel::new(vec![-0.02, 0.05], 1.0)),
+        "risk",
+    )
+}
+
+/// steeper variant so redeploys visibly change scores
+fn risk_pipeline_v2() -> Pipeline {
+    Pipeline::new(
+        vec![
+            ColumnPipeline::numeric("income"),
+            ColumnPipeline::numeric("debt"),
+        ],
+        Model::Linear(LinearModel::new(vec![-0.04, 0.10], 2.0)),
+        "risk",
+    )
+}
+
+fn seed(db: &FlockDb) {
+    db.execute("CREATE TABLE customers (id INT, income DOUBLE, debt DOUBLE)")
+        .unwrap();
+    db.execute(
+        "INSERT INTO customers VALUES (1, 90.0, 10.0), (2, 40.0, 45.0), (3, 25.0, 60.0)",
+    )
+    .unwrap();
+}
+
+const SCORE_Q: &str =
+    "SELECT id, PREDICT(risk, income, debt) AS r FROM customers ORDER BY id";
+
+fn scores(db: &FlockDb) -> Vec<f64> {
+    let b = db.query(SCORE_Q).unwrap();
+    (0..b.num_rows())
+        .map(|r| b.column(1).get(r).as_f64().unwrap())
+        .collect()
+}
+
+#[test]
+fn deployed_model_survives_crash_and_scores_identically() {
+    let mem = MemFs::new();
+    let db = FlockDb::open_with_fs(mem.clone(), opts()).unwrap();
+    seed(&db);
+    db.session("admin")
+        .deploy_model("risk", &risk_pipeline(), Lineage::default())
+        .unwrap();
+    let before = scores(&db);
+    assert_eq!(before.len(), 3);
+    drop(db);
+
+    let rec = FlockDb::open_with_fs(mem.crash_image(), opts()).unwrap();
+    // the registry is rebuilt from the recovered catalog at open
+    let model = rec.registry().get("risk").expect("model recovered");
+    assert_eq!(model.version, 1);
+    let after = scores(&rec);
+    for (a, b) in before.iter().zip(&after) {
+        assert!(
+            a.to_bits() == b.to_bits(),
+            "recovered model scores differently: {a} vs {b}"
+        );
+    }
+}
+
+#[test]
+fn redeploy_survives_crash_with_correct_version_and_cache_keys() {
+    let mem = MemFs::new();
+    let db = FlockDb::open_with_fs(mem.clone(), opts()).unwrap();
+    seed(&db);
+    let mut s = db.session("admin");
+    s.deploy_model("risk", &risk_pipeline(), Lineage::default()).unwrap();
+    let v1_scores = scores(&db);
+    let v = s.update_model("risk", &risk_pipeline_v2(), Lineage::default()).unwrap();
+    assert_eq!(v, 2);
+    let v2_scores = scores(&db);
+    assert_ne!(v1_scores, v2_scores, "v2 must score differently");
+    drop(s);
+    drop(db);
+
+    let rec = FlockDb::open_with_fs(mem.crash_image(), opts()).unwrap();
+    let model = rec.registry().get("risk").expect("model recovered");
+    assert_eq!(model.version, 2, "newest deployed version wins after recovery");
+    let after = scores(&rec);
+    for (a, b) in v2_scores.iter().zip(&after) {
+        assert!(a.to_bits() == b.to_bits(), "{a} vs {b}");
+    }
+    // the compiled-pipeline cache is keyed by the recovered catalog
+    // version: repeated scoring hits the cache instead of recompiling.
+    // Inlining is turned off so PREDICT actually reaches the provider.
+    rec.set_xopt_config(XOptConfig {
+        inline_models: false,
+        ..XOptConfig::default()
+    });
+    let _ = scores(&rec); // compiles once (miss)
+    let (_, misses_first, _) = rec.registry().compiled_cache_counts();
+    let _ = scores(&rec);
+    let (hits, misses, _) = rec.registry().compiled_cache_counts();
+    assert_eq!(misses, misses_first, "second query must not recompile");
+    assert!(hits > 0, "second query should hit the compiled cache");
+}
+
+#[test]
+fn dropped_model_stays_dropped_after_crash() {
+    let mem = MemFs::new();
+    let db = FlockDb::open_with_fs(mem.clone(), opts()).unwrap();
+    seed(&db);
+    let mut s = db.session("admin");
+    s.deploy_model("risk", &risk_pipeline(), Lineage::default()).unwrap();
+    s.execute("DROP MODEL risk").unwrap();
+    drop(s);
+    drop(db);
+
+    let rec = FlockDb::open_with_fs(mem.crash_image(), opts()).unwrap();
+    assert!(rec.registry().get("risk").is_none(), "dropped model must stay dropped");
+    assert!(rec.query(SCORE_Q).is_err(), "PREDICT on a dropped model fails");
+}
+
+#[test]
+fn recovered_lineage_still_pins_training_table_versions() {
+    let mem = MemFs::new();
+    let db = FlockDb::open_with_fs(mem.clone(), opts()).unwrap();
+    seed(&db); // customers now at version 2 (create, insert)
+    db.session("admin")
+        .deploy_model(
+            "risk",
+            &risk_pipeline(),
+            Lineage {
+                training_table: Some("customers".into()),
+                training_table_version: Some(1),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    drop(db);
+
+    // keep the image handle: rec's own writes land on this copy
+    let img = mem.crash_image();
+    let rec = FlockDb::open_with_fs(img.clone(), opts()).unwrap();
+    let mut s = rec.session("admin");
+    // keep=1 would drop version 1, which the recovered model's lineage pins
+    match s.truncate_table_history("customers", 1) {
+        Err(SqlError::Constraint(msg)) => assert!(msg.contains("pinned"), "{msg}"),
+        other => panic!("expected pin violation after recovery, got {other:?}"),
+    }
+    // dropping the model lifts the pin
+    s.execute("DROP MODEL risk").unwrap();
+    let dropped = s.truncate_table_history("customers", 1).unwrap();
+    assert_eq!(dropped, vec![1]);
+    // time travel to the surviving version still works after another crash
+    drop(s);
+    drop(rec);
+    let rec2 = FlockDb::open_with_fs(img.crash_image(), opts()).unwrap();
+    assert_eq!(
+        rec2.query("SELECT COUNT(*) FROM customers").unwrap().column(0).get(0),
+        Value::Int(3)
+    );
+    assert!(rec2.query("SELECT COUNT(*) FROM customers VERSION 1").is_err());
+}
+
+#[test]
+fn open_on_disk_roundtrip() {
+    // FlockDb::open against a real directory: write, reopen, verify.
+    let dir = std::env::temp_dir().join(format!("flock-durability-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let db = FlockDb::open(&dir, opts()).unwrap();
+        seed(&db);
+        db.session("admin")
+            .deploy_model("risk", &risk_pipeline(), Lineage::default())
+            .unwrap();
+    }
+    {
+        let db = FlockDb::open(&dir, opts()).unwrap();
+        assert_eq!(scores(&db).len(), 3);
+        assert!(db.registry().get("risk").is_some());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_image_loses_nothing_under_fsync_even_mid_workload() {
+    // Arc<MemFs> is the "disk"; the live db keeps writing while we take
+    // crash images — each image must recover to the digest the engine had
+    // at that moment (fsync-on-commit).
+    let mem: Arc<MemFs> = MemFs::new();
+    let db = FlockDb::open_with_fs(mem.clone(), opts()).unwrap();
+    seed(&db);
+    let mut s = db.session("admin");
+    for i in 0..5 {
+        s.execute(&format!("INSERT INTO customers VALUES ({}, 1.0, 2.0)", 10 + i))
+            .unwrap();
+        let want = db.database().state_digest();
+        let rec = FlockDb::open_with_fs(mem.crash_image(), opts()).unwrap();
+        assert_eq!(rec.database().state_digest(), want, "iteration {i}");
+    }
+}

@@ -140,6 +140,32 @@ impl ExtensionObject {
     }
 }
 
+/// A canonical, order-stable dump of [`AccessControl`] used by the WAL and
+/// checkpoint codecs. Users, grants, and privilege lists are sorted, so
+/// two equal access states always produce byte-identical encodings.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AccessDump {
+    pub users: Vec<String>,
+    pub superusers: Vec<String>,
+    pub grants: Vec<(String, ObjectRef, Vec<Privilege>)>,
+}
+
+fn privilege_rank(p: Privilege) -> usize {
+    Privilege::ALL
+        .iter()
+        .position(|x| *x == p)
+        .expect("Privilege::ALL covers every variant")
+}
+
+fn object_rank(o: &ObjectRef) -> (u8, &str) {
+    let kind = match o.kind {
+        ObjectKind::Table => 0,
+        ObjectKind::View => 1,
+        ObjectKind::Extension => 2,
+    };
+    (kind, &o.name)
+}
+
 /// The access-control state: users and grants.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct AccessControl {
@@ -210,6 +236,47 @@ impl AccessControl {
                 object.name
             )))
         }
+    }
+
+    /// Export the full state in canonical (sorted) order for durability.
+    pub fn dump(&self) -> AccessDump {
+        let mut users: Vec<String> = self.users.iter().cloned().collect();
+        users.sort();
+        let mut superusers: Vec<String> = self.superusers.iter().cloned().collect();
+        superusers.sort();
+        let mut grants = Vec::new();
+        for (user, objs) in &self.grants {
+            for (obj, privs) in objs {
+                let mut privs: Vec<Privilege> = privs.iter().copied().collect();
+                privs.sort_by_key(|p| privilege_rank(*p));
+                grants.push((user.clone(), obj.clone(), privs));
+            }
+        }
+        grants.sort_by(|a, b| {
+            (a.0.as_str(), object_rank(&a.1)).cmp(&(b.0.as_str(), object_rank(&b.1)))
+        });
+        AccessDump {
+            users,
+            superusers,
+            grants,
+        }
+    }
+
+    /// Rebuild access state from a dump (recovery path). Does not seed the
+    /// bootstrap superuser — the dump is the complete state.
+    pub fn from_dump(dump: &AccessDump) -> AccessControl {
+        let mut ac = AccessControl::default();
+        ac.users.extend(dump.users.iter().cloned());
+        ac.superusers.extend(dump.superusers.iter().cloned());
+        for (user, obj, privs) in &dump.grants {
+            ac.grants
+                .entry(user.clone())
+                .or_default()
+                .entry(obj.clone())
+                .or_default()
+                .extend(privs.iter().copied());
+        }
+        ac
     }
 }
 
@@ -305,6 +372,11 @@ impl Catalog {
         self.views.get(&name.to_ascii_lowercase())
     }
 
+    /// All views in catalog-key (sorted) order.
+    pub fn views(&self) -> impl Iterator<Item = &ViewDef> {
+        self.views.values()
+    }
+
     pub fn drop_view(&mut self, name: &str) -> Result<()> {
         self.views
             .remove(&name.to_ascii_lowercase())
@@ -392,6 +464,31 @@ impl Catalog {
     pub fn has_extension(&self, kind: &str, name: &str) -> bool {
         let key = (kind.to_ascii_lowercase(), name.to_ascii_lowercase());
         self.extensions.contains_key(&key)
+    }
+
+    /// All extension objects in catalog-key (sorted) order.
+    pub fn extensions_all(&self) -> impl Iterator<Item = &ExtensionObject> {
+        self.extensions.values()
+    }
+
+    /// Install a fully-formed extension object (recovery path: checkpoint
+    /// restore re-creates objects with their complete version chains).
+    pub fn install_extension(&mut self, obj: ExtensionObject) -> Result<()> {
+        let key = (obj.kind.to_ascii_lowercase(), obj.name.to_ascii_lowercase());
+        if obj.versions.is_empty() {
+            return Err(SqlError::Catalog(format!(
+                "{} '{}' has no versions",
+                obj.kind, obj.name
+            )));
+        }
+        if self.extensions.contains_key(&key) {
+            return Err(SqlError::Catalog(format!(
+                "{} '{}' already exists",
+                obj.kind, obj.name
+            )));
+        }
+        self.extensions.insert(key, obj);
+        Ok(())
     }
 
     pub fn extensions_of_kind(&self, kind: &str) -> Vec<&ExtensionObject> {

@@ -15,6 +15,7 @@ use crate::schema::{ColumnDef, Schema};
 use crate::table::Table;
 use crate::types::Value;
 use crate::udf::{NoInference, ProviderRef};
+use crate::wal::{DurabilityOptions, DurableFs, RedoOp, StdFs, WalManager, WalRecord};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -92,6 +93,20 @@ struct DbState {
     next_audit_seq: u64,
     query_log: Vec<QueryLogEntry>,
     audit_log: Vec<AuditRecord>,
+    /// Write-ahead log; `None` for a purely in-memory database.
+    wal: Option<WalManager>,
+}
+
+/// Canonical snapshot of the committed state (checkpoints and digests).
+fn snapshot_of(state: &DbState) -> crate::wal::Snapshot {
+    crate::wal::build_snapshot(
+        &state.catalog,
+        state.next_txn,
+        state.next_log_id,
+        state.next_audit_seq,
+        &state.query_log,
+        &state.audit_log,
+    )
 }
 
 /// A shared, thread-safe database handle.
@@ -114,15 +129,20 @@ impl Default for Database {
 
 impl Database {
     pub fn new() -> Self {
+        Self::from_state(DbState {
+            catalog: Catalog::new(),
+            next_txn: 1,
+            next_log_id: 1,
+            next_audit_seq: 1,
+            query_log: Vec::new(),
+            audit_log: Vec::new(),
+            wal: None,
+        })
+    }
+
+    fn from_state(state: DbState) -> Self {
         Database {
-            state: Arc::new(RwLock::new(DbState {
-                catalog: Catalog::new(),
-                next_txn: 1,
-                next_log_id: 1,
-                next_audit_seq: 1,
-                query_log: Vec::new(),
-                audit_log: Vec::new(),
-            })),
+            state: Arc::new(RwLock::new(state)),
             provider: Arc::new(RwLock::new(Arc::new(NoInference))),
             options: Arc::new(RwLock::new(ExecOptions::default())),
             optimizer: Arc::new(RwLock::new(OptimizerConfig::default())),
@@ -130,6 +150,63 @@ impl Database {
             metrics: Arc::new(EngineMetrics::default()),
             last_query: Arc::new(RwLock::new(None)),
         }
+    }
+
+    /// Open (or create) a durable database in a directory on the real
+    /// filesystem. Recovery runs first: the newest valid checkpoint is
+    /// loaded and the log replayed, so the returned handle sees exactly the
+    /// committed state of the previous process.
+    pub fn open(path: impl AsRef<std::path::Path>, opts: DurabilityOptions) -> Result<Database> {
+        let fs = StdFs::new(path).map_err(|e| SqlError::Io(format!("opening database: {e}")))?;
+        Self::open_with_fs(Arc::new(fs), opts)
+    }
+
+    /// Open a durable database on any [`DurableFs`] — the fault-injection
+    /// harness runs the whole engine against in-memory and failpoint
+    /// filesystems through this entry point.
+    pub fn open_with_fs(fs: Arc<dyn DurableFs>, opts: DurabilityOptions) -> Result<Database> {
+        let rec = crate::wal::recover(fs, opts)?;
+        Ok(Self::from_state(DbState {
+            catalog: rec.catalog,
+            next_txn: rec.next_txn,
+            next_log_id: rec.next_log_id,
+            next_audit_seq: rec.next_audit_seq,
+            query_log: rec.query_log,
+            audit_log: rec.audit_log,
+            wal: Some(rec.manager),
+        }))
+    }
+
+    /// Durability options, or `None` for an in-memory database.
+    pub fn durability(&self) -> Option<DurabilityOptions> {
+        self.state.read().wal.as_ref().map(|w| w.options())
+    }
+
+    /// Force a checkpoint now. Returns its sequence number, or `None` for
+    /// an in-memory database.
+    pub fn checkpoint_now(&self) -> Result<Option<u64>> {
+        let mut state = self.state.write();
+        let snap = snapshot_of(&state);
+        match &mut state.wal {
+            Some(wal) => wal
+                .checkpoint(&snap)
+                .map(Some)
+                .map_err(|e| SqlError::Io(format!("checkpoint failed: {e}"))),
+            None => Ok(None),
+        }
+    }
+
+    /// Deterministic digest of the committed logical state (catalog, both
+    /// logs, and the log/audit id counters). `next_txn` is excluded: txn
+    /// ids consumed by rolled-back or read-only transactions are not — and
+    /// need not be — persisted by a redo-only log, so the counter may
+    /// legitimately differ across a recovery while the logical state is
+    /// bit-identical.
+    pub fn state_digest(&self) -> u64 {
+        let state = self.state.read();
+        let mut snap = snapshot_of(&state);
+        snap.next_txn = 0;
+        crate::wal::digest(&snap)
     }
 
     /// Cumulative engine-wide execution counters (the `flock_metrics`
@@ -305,6 +382,9 @@ struct Txn {
     /// Objects this txn wrote, with the committed state they were based on.
     written: HashMap<String, BaseState>,
     access_dirty: bool,
+    /// Logical redo records, captured at mutation time in execution order.
+    /// Replaying them over the base state reproduces the txn's effects.
+    redo_buf: Vec<RedoOp>,
     log_buf: Vec<QueryLogEntry>,
     audit_buf: Vec<AuditRecord>,
 }
@@ -380,6 +460,7 @@ impl Session {
             catalog: state.catalog.clone(),
             written: HashMap::new(),
             access_dirty: false,
+            redo_buf: Vec::new(),
             log_buf: Vec::new(),
             audit_buf: Vec::new(),
         });
@@ -391,7 +472,8 @@ impl Session {
             .txn
             .take()
             .ok_or_else(|| SqlError::Transaction("no open transaction".into()))?;
-        let mut state = self.db.state.write();
+        let mut guard = self.db.state.write();
+        let state = &mut *guard;
         // Conflict detection: every written object must still be at its
         // base state in the committed catalog.
         for (key, base) in &txn.written {
@@ -403,15 +485,72 @@ impl Session {
                 )));
             }
         }
-        // Install final states.
+
+        // Assign log ids up front (counters are bumped only after the WAL
+        // accepts the records, so a failed commit consumes nothing).
+        let mut log_entries = txn.log_buf;
+        let mut next_log_id = state.next_log_id;
+        for e in &mut log_entries {
+            e.id = next_log_id;
+            next_log_id += 1;
+        }
+        let mut audit_entries = txn.audit_buf;
+        let mut next_audit_seq = state.next_audit_seq;
+        for a in &mut audit_entries {
+            a.seq = next_audit_seq;
+            next_audit_seq += 1;
+        }
+
+        // Write-ahead: encode and append the whole transaction before any
+        // in-memory install. An I/O failure fails the commit outright —
+        // memory never runs ahead of what the log accepted.
+        if state.wal.is_some() {
+            let mut redo = txn.redo_buf;
+            if txn.access_dirty {
+                redo.push(RedoOp::AccessSet(txn.catalog.access.dump()));
+            }
+            let mut records = Vec::new();
+            if !redo.is_empty() {
+                records.push(WalRecord::Begin { txn_id: txn.id });
+                for op in redo {
+                    records.push(WalRecord::Op {
+                        txn_id: txn.id,
+                        op,
+                    });
+                }
+                records.push(WalRecord::Commit { txn_id: txn.id });
+            }
+            records.extend(log_entries.iter().cloned().map(WalRecord::QueryLog));
+            records.extend(audit_entries.iter().cloned().map(WalRecord::Audit));
+            if !records.is_empty() {
+                let wal = state.wal.as_mut().expect("checked above");
+                wal.append(&records).map_err(|e| {
+                    SqlError::Io(format!("wal append failed; commit aborted: {e}"))
+                })?;
+            }
+        }
+
+        // Point of no return: install final states.
         for key in txn.written.keys() {
             apply_object(&mut state.catalog, &txn.catalog, key);
         }
         if txn.access_dirty {
             state.catalog.access = txn.catalog.access.clone();
         }
+        state.next_log_id = next_log_id;
+        state.next_audit_seq = next_audit_seq;
+        state.query_log.extend(log_entries);
+        state.audit_log.extend(audit_entries);
+
+        // Periodic checkpoint (best-effort: a failed checkpoint leaves the
+        // previous one and the log intact, so it never loses data).
+        if state.wal.as_mut().is_some_and(|w| w.note_commit()) {
+            let snap = snapshot_of(state);
+            if let Some(wal) = &mut state.wal {
+                let _ = wal.checkpoint(&snap);
+            }
+        }
         let id = txn.id;
-        flush_logs(&mut state, txn.log_buf, txn.audit_buf);
         Ok(QueryResult::none(format!("COMMIT (txn {id})")))
     }
 
@@ -497,8 +636,12 @@ impl Session {
                 let base = object_state(&txn.catalog, &format!("view:{}", name.to_ascii_lowercase()));
                 txn.catalog.create_view(ViewDef {
                     name: name.clone(),
-                    sql: body,
+                    sql: body.clone(),
                 })?;
+                txn.redo_buf.push(RedoOp::CreateView {
+                    name: name.clone(),
+                    sql: body,
+                });
                 let key = format!("view:{}", name.to_ascii_lowercase());
                 txn.written.entry(key).or_insert(base);
                 self.audit("CREATE VIEW", &name, "");
@@ -509,6 +652,7 @@ impl Session {
                 let key = format!("view:{}", name.to_ascii_lowercase());
                 let base = object_state(&txn.catalog, &key);
                 txn.catalog.drop_view(&name)?;
+                txn.redo_buf.push(RedoOp::DropView { name: name.clone() });
                 txn.written.entry(key).or_insert(base);
                 self.audit("DROP VIEW", &name, "");
                 Ok(QueryResult::none(format!("view '{name}' dropped")))
@@ -659,10 +803,18 @@ impl Session {
         let txn = self.txn_mut();
         let key = format!("table:{}", name.to_ascii_lowercase());
         let base = object_state(&txn.catalog, &key);
-        let version = txn
-            .catalog
-            .table_mut(name)?
-            .evolve(new_schema, new_batch, txn_id)?;
+        let redo_data = new_batch.clone();
+        let table = txn.catalog.table_mut(name)?;
+        let redo_table = table.name().to_string();
+        let version = table.evolve(new_schema, new_batch, txn_id)?;
+        // The logged batch carries the evolved schema, so replay restores
+        // the ALTER through the ordinary push-version path.
+        txn.redo_buf.push(RedoOp::PushVersion {
+            table: redo_table,
+            version,
+            txn_id,
+            data: redo_data,
+        });
         txn.written.entry(key).or_insert(base);
         self.log_statement(
             sql,
@@ -912,12 +1064,16 @@ impl Session {
             }
         };
 
-        // Build full-width rows with NULL defaults, then append.
-        let current = &catalog.table(table_name)?.current().data;
-        let mut new_cols: Vec<ColumnVector> = current.columns().to_vec();
+        // Build the appended rows as their own batch (the WAL logs just
+        // this delta), then append it to the current snapshot.
         let n_inserted = incoming.len();
+        let mut delta_cols: Vec<ColumnVector> = schema
+            .columns()
+            .iter()
+            .map(|c| ColumnVector::with_capacity(c.data_type, n_inserted))
+            .collect();
         for row in &incoming {
-            for (ci, col) in new_cols.iter_mut().enumerate() {
+            for (ci, col) in delta_cols.iter_mut().enumerate() {
                 let val = positions
                     .iter()
                     .position(|&p| p == ci)
@@ -932,8 +1088,14 @@ impl Session {
                 col.push(val)?;
             }
         }
+        let delta = RecordBatch::new(schema.clone(), delta_cols)?;
+        let current = &catalog.table(table_name)?.current().data;
+        let mut new_cols: Vec<ColumnVector> = current.columns().to_vec();
+        for (dst, src) in new_cols.iter_mut().zip(delta.columns()) {
+            dst.append(src)?;
+        }
         let new_batch = RecordBatch::new(schema, new_cols)?;
-        let version = self.install_table_version(table_name, new_batch)?;
+        let version = self.install_table_version(table_name, new_batch, Some(delta))?;
         self.log_statement(
             sql,
             StatementKind::Insert,
@@ -1003,7 +1165,7 @@ impl Session {
             }
         }
         let new_batch = RecordBatch::from_rows(schema, &rows)?;
-        let version = self.install_table_version(table_name, new_batch)?;
+        let version = self.install_table_version(table_name, new_batch, None)?;
         self.log_statement(
             sql,
             StatementKind::Update,
@@ -1047,7 +1209,7 @@ impl Session {
         };
         let deleted = mask.iter().filter(|k| !**k).count();
         let new_batch = data.filter(&mask)?;
-        let version = self.install_table_version(table_name, new_batch)?;
+        let version = self.install_table_version(table_name, new_batch, None)?;
         self.log_statement(
             sql,
             StatementKind::Delete,
@@ -1092,8 +1254,13 @@ impl Session {
                     })
                     .collect(),
             );
-            let table = Table::new(name, schema, txn_id)?;
+            let table = Table::new(name, schema.clone(), txn_id)?;
             txn.catalog.create_table(table)?;
+            txn.redo_buf.push(RedoOp::CreateTable {
+                name: name.to_string(),
+                schema,
+                txn_id,
+            });
             txn.written.entry(key).or_insert(base);
             // creator gets full rights on the new table
             let user = self.user.clone();
@@ -1126,6 +1293,9 @@ impl Session {
         let key = format!("table:{}", name.to_ascii_lowercase());
         let base = object_state(&txn.catalog, &key);
         txn.catalog.drop_table(name)?;
+        txn.redo_buf.push(RedoOp::DropTable {
+            name: name.to_string(),
+        });
         txn.written.entry(key).or_insert(base);
         self.log_statement(sql, StatementKind::Ddl, vec![], vec![name.to_string()], vec![]);
         self.audit("DROP TABLE", name, "");
@@ -1195,8 +1365,9 @@ impl Session {
                 dst.append(src)?;
             }
             let rows = batch.num_rows();
+            let delta = RecordBatch::new(schema.clone(), batch.columns().to_vec())?;
             let new_batch = RecordBatch::new(schema, cols)?;
-            let version = s.install_table_version(table_name, new_batch)?;
+            let version = s.install_table_version(table_name, new_batch, Some(delta))?;
             s.log_statement(
                 &format!("BULK INSERT INTO {table_name} ({rows} rows)"),
                 StatementKind::Insert,
@@ -1226,8 +1397,22 @@ impl Session {
             let txn = s.txn_mut();
             let key = format!("ext:{kind}:{}", name.to_ascii_lowercase());
             let base = object_state(&txn.catalog, &key);
-            txn.catalog
-                .create_extension(kind, name, &user, payload, metadata, txn_id)?;
+            txn.catalog.create_extension(
+                kind,
+                name,
+                &user,
+                payload.clone(),
+                metadata.clone(),
+                txn_id,
+            )?;
+            txn.redo_buf.push(RedoOp::CreateExtension {
+                kind: kind.to_string(),
+                name: name.to_string(),
+                owner: user.clone(),
+                txn_id,
+                payload,
+                metadata,
+            });
             txn.written.entry(key).or_insert(base);
             let txn = s.txn_mut();
             txn.catalog
@@ -1254,9 +1439,21 @@ impl Session {
             let txn = s.txn_mut();
             let key = format!("ext:{kind}:{}", name.to_ascii_lowercase());
             let base = object_state(&txn.catalog, &key);
-            let v = txn
-                .catalog
-                .update_extension(kind, name, payload, metadata, txn_id)?;
+            let v = txn.catalog.update_extension(
+                kind,
+                name,
+                payload.clone(),
+                metadata.clone(),
+                txn_id,
+            )?;
+            txn.redo_buf.push(RedoOp::UpdateExtension {
+                kind: kind.to_string(),
+                name: name.to_string(),
+                version: v,
+                txn_id,
+                payload,
+                metadata,
+            });
             txn.written.entry(key).or_insert(base);
             s.audit(&format!("UPDATE {}", kind.to_uppercase()), name, &format!("v{v}"));
             Ok(v)
@@ -1272,9 +1469,44 @@ impl Session {
             let key = format!("ext:{kind}:{}", name.to_ascii_lowercase());
             let base = object_state(&txn.catalog, &key);
             txn.catalog.drop_extension(kind, name)?;
+            txn.redo_buf.push(RedoOp::DropExtension {
+                kind: kind.to_string(),
+                name: name.to_string(),
+            });
             txn.written.entry(key).or_insert(base);
             s.audit(&format!("DROP {}", kind.to_uppercase()), name, "");
             Ok(())
+        })
+    }
+
+    /// Truncate a table's version history to the newest `keep` versions.
+    /// Refuses to drop any version that a deployed model's lineage pins as
+    /// its training data — reproducibility ("which data trained this
+    /// model?") outranks space reclamation. Returns the dropped versions.
+    pub fn truncate_table_history(&mut self, name: &str, keep: usize) -> Result<Vec<u64>> {
+        self.with_autocommit(|s| {
+            let catalog = s.working_catalog();
+            s.check_access(&catalog, &ObjectRef::table(name), Privilege::Drop)?;
+            let pinned = lineage_pinned_versions(&catalog, name);
+            let txn = s.txn_mut();
+            let key = format!("table:{}", name.to_ascii_lowercase());
+            let base = object_state(&txn.catalog, &key);
+            let table = txn.catalog.table_mut(name)?;
+            let redo_table = table.name().to_string();
+            let dropped = table.truncate_history_pinned(keep, &pinned)?;
+            if !dropped.is_empty() {
+                txn.redo_buf.push(RedoOp::TruncateHistory {
+                    table: redo_table,
+                    keep: keep as u64,
+                });
+                txn.written.entry(key).or_insert(base);
+            }
+            s.audit(
+                "TRUNCATE HISTORY",
+                name,
+                &format!("kept {keep}, dropped {} version(s)", dropped.len()),
+            );
+            Ok(dropped)
         })
     }
 
@@ -1302,14 +1534,37 @@ impl Session {
 
     // ------------------------------------------------------- helpers
 
-    /// Install a new table version inside the open transaction.
-    fn install_table_version(&mut self, name: &str, batch: RecordBatch) -> Result<u64> {
+    /// Install a new table version inside the open transaction. When the
+    /// new version is the old one plus appended rows (INSERT), callers pass
+    /// the appended rows as `delta` so the WAL logs O(rows added) instead
+    /// of a full snapshot; other writes log the whole new snapshot.
+    fn install_table_version(
+        &mut self,
+        name: &str,
+        batch: RecordBatch,
+        delta: Option<RecordBatch>,
+    ) -> Result<u64> {
         let txn_id = self.txn_mut().id;
         let txn = self.txn_mut();
         let key = format!("table:{}", name.to_ascii_lowercase());
         let base = object_state(&txn.catalog, &key);
         let table = txn.catalog.table_mut(name)?;
+        let redo = match delta {
+            Some(rows) => RedoOp::AppendRows {
+                table: table.name().to_string(),
+                version: table.current_version() + 1,
+                txn_id,
+                rows,
+            },
+            None => RedoOp::PushVersion {
+                table: table.name().to_string(),
+                version: table.current_version() + 1,
+                txn_id,
+                data: batch.clone(),
+            },
+        };
         let version = table.push_version(batch, txn_id)?;
+        txn.redo_buf.push(redo);
         txn.written.entry(key).or_insert(base);
         Ok(version)
     }
@@ -1411,17 +1666,66 @@ impl Session {
     }
 }
 
+/// Flush log/audit entries outside a commit (rollback audit records, and
+/// logging done with no transaction open). Records go to the WAL first; if
+/// the log rejects them they are dropped from memory too, keeping the
+/// invariant that in-memory state never runs ahead of the WAL.
 fn flush_logs(state: &mut DbState, log: Vec<QueryLogEntry>, audit: Vec<AuditRecord>) {
-    for mut e in log {
-        e.id = state.next_log_id;
-        state.next_log_id += 1;
-        state.query_log.push(e);
+    let mut log = log;
+    let mut next_log_id = state.next_log_id;
+    for e in &mut log {
+        e.id = next_log_id;
+        next_log_id += 1;
     }
-    for mut a in audit {
-        a.seq = state.next_audit_seq;
-        state.next_audit_seq += 1;
-        state.audit_log.push(a);
+    let mut audit = audit;
+    let mut next_audit_seq = state.next_audit_seq;
+    for a in &mut audit {
+        a.seq = next_audit_seq;
+        next_audit_seq += 1;
     }
+    if let Some(wal) = &mut state.wal {
+        let records: Vec<WalRecord> = log
+            .iter()
+            .cloned()
+            .map(WalRecord::QueryLog)
+            .chain(audit.iter().cloned().map(WalRecord::Audit))
+            .collect();
+        if !records.is_empty() && wal.append(&records).is_err() {
+            return;
+        }
+    }
+    state.next_log_id = next_log_id;
+    state.next_audit_seq = next_audit_seq;
+    state.query_log.extend(log);
+    state.audit_log.extend(audit);
+}
+
+/// Table versions pinned by extension-object lineage: every version of
+/// every extension object (deployed models included) whose metadata says
+/// `lineage.training_table == table` pins `lineage.training_table_version`.
+/// The engine does not interpret extension payloads, but the lineage keys
+/// are part of the catalog contract shared with `flock-core`.
+fn lineage_pinned_versions(catalog: &Catalog, table: &str) -> Vec<u64> {
+    let table = table.to_ascii_lowercase();
+    let mut pinned = Vec::new();
+    for obj in catalog.extensions_all() {
+        for v in &obj.versions {
+            let Some(lineage) = v.metadata.get("lineage") else {
+                continue;
+            };
+            let trained_on = lineage
+                .get("training_table")
+                .and_then(|t| t.as_str())
+                .is_some_and(|t| t.eq_ignore_ascii_case(&table));
+            if !trained_on {
+                continue;
+            }
+            if let Some(pin) = lineage.get("training_table_version").and_then(|v| v.as_u64()) {
+                pinned.push(pin);
+            }
+        }
+    }
+    pinned
 }
 
 /// Current committed state of a namespaced object key

@@ -28,6 +28,9 @@ pub enum SqlError {
     AccessDenied(String),
     /// Constraint violation (arity/type mismatch on INSERT, ...).
     Constraint(String),
+    /// Durability I/O failure (WAL append/fsync, checkpoint write) or an
+    /// unrecoverable inconsistency found during recovery.
+    Io(String),
 }
 
 impl fmt::Display for SqlError {
@@ -41,6 +44,7 @@ impl fmt::Display for SqlError {
             SqlError::Transaction(m) => write!(f, "transaction error: {m}"),
             SqlError::AccessDenied(m) => write!(f, "access denied: {m}"),
             SqlError::Constraint(m) => write!(f, "constraint violation: {m}"),
+            SqlError::Io(m) => write!(f, "io error: {m}"),
         }
     }
 }

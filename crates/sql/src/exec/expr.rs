@@ -523,7 +523,11 @@ impl PhysExpr {
                     },
                     UnOp::Neg => match v {
                         Value::Null => Value::Null,
-                        Value::Int(i) => Value::Int(-i),
+                        Value::Int(i) => Value::Int(i.checked_neg().ok_or_else(|| {
+                            SqlError::Execution(format!(
+                                "integer overflow evaluating -({i})"
+                            ))
+                        })?),
                         Value::Float(f) => Value::Float(-f),
                         other => {
                             return Err(SqlError::Execution(format!(
@@ -624,6 +628,10 @@ impl PhysExpr {
     }
 }
 
+fn int_overflow(a: i64, op: BinOp, b: i64) -> SqlError {
+    SqlError::Execution(format!("integer overflow evaluating {a} {op} {b}"))
+}
+
 /// SQL binary-operator semantics on scalars.
 pub fn eval_binary(l: &Value, op: BinOp, r: &Value) -> Result<Value> {
     use BinOp::*;
@@ -669,9 +677,10 @@ pub fn eval_binary(l: &Value, op: BinOp, r: &Value) -> Result<Value> {
     // arithmetic
     match (l, r) {
         (Value::Int(a), Value::Int(b)) => Ok(match op {
-            Plus => Value::Int(a.wrapping_add(*b)),
-            Minus => Value::Int(a.wrapping_sub(*b)),
-            Mul => Value::Int(a.wrapping_mul(*b)),
+            // Checked arithmetic: SQL integers must not silently wrap.
+            Plus => Value::Int(a.checked_add(*b).ok_or_else(|| int_overflow(*a, op, *b))?),
+            Minus => Value::Int(a.checked_sub(*b).ok_or_else(|| int_overflow(*a, op, *b))?),
+            Mul => Value::Int(a.checked_mul(*b).ok_or_else(|| int_overflow(*a, op, *b))?),
             Div => {
                 if *b == 0 {
                     return Err(SqlError::Execution("division by zero".into()));
@@ -682,7 +691,9 @@ pub fn eval_binary(l: &Value, op: BinOp, r: &Value) -> Result<Value> {
                 if *b == 0 {
                     return Err(SqlError::Execution("division by zero".into()));
                 }
-                Value::Int(a % b)
+                // i64::MIN % -1 overflows in hardware even though the
+                // mathematical result is 0.
+                Value::Int(a.checked_rem(*b).ok_or_else(|| int_overflow(*a, op, *b))?)
             }
             _ => unreachable!(),
         }),
@@ -761,6 +772,49 @@ mod tests {
         let out = e.eval(&batch, &ctx()).unwrap();
         assert_eq!(out.get(0), Value::Int(11));
         assert!(out.get(2).is_null());
+    }
+
+    #[test]
+    fn integer_overflow_is_a_typed_error() {
+        let max = Value::Int(i64::MAX);
+        let min = Value::Int(i64::MIN);
+        for (l, op, r) in [
+            (&max, BinOp::Plus, &Value::Int(1)),
+            (&min, BinOp::Minus, &Value::Int(1)),
+            (&max, BinOp::Mul, &Value::Int(2)),
+            (&min, BinOp::Mod, &Value::Int(-1)),
+        ] {
+            match eval_binary(l, op, r) {
+                Err(SqlError::Execution(msg)) => {
+                    assert!(msg.contains("integer overflow"), "got: {msg}")
+                }
+                other => panic!("expected overflow error for {l} {op} {r}, got {other:?}"),
+            }
+        }
+        // In-range results are unaffected.
+        assert_eq!(
+            eval_binary(&max, BinOp::Plus, &Value::Int(0)).unwrap(),
+            Value::Int(i64::MAX)
+        );
+        assert_eq!(
+            eval_binary(&min, BinOp::Mod, &Value::Int(2)).unwrap(),
+            Value::Int(0)
+        );
+    }
+
+    #[test]
+    fn negating_i64_min_is_a_typed_error() {
+        let schema = Arc::new(Schema::from_pairs(&[("a", DataType::Int)]));
+        let batch =
+            RecordBatch::from_rows(schema.clone(), &[vec![Value::Int(i64::MIN)]]).unwrap();
+        let e = crate::parser::parse_expr("-a").unwrap();
+        let phys = PhysExpr::compile(&e, &schema, &NoInference).unwrap();
+        match phys.eval(&batch, &ctx()) {
+            Err(SqlError::Execution(msg)) => {
+                assert!(msg.contains("integer overflow"), "got: {msg}")
+            }
+            other => panic!("expected overflow error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -33,10 +33,12 @@ pub mod stats;
 pub mod table;
 pub mod types;
 pub mod udf;
+pub mod wal;
 
 pub use batch::RecordBatch;
 pub use engine::{Database, QueryResult, Session};
-pub use catalog::{Catalog, ObjectKind, ObjectRef, Privilege};
+pub use catalog::{AccessDump, Catalog, ObjectKind, ObjectRef, Privilege};
+pub use wal::{DurabilityOptions, DurableFs, FailpointFs, MemFs, StdFs};
 pub use column::ColumnVector;
 pub use error::{Result, SqlError};
 pub use schema::{ColumnDef, Schema};

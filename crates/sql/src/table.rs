@@ -134,6 +134,90 @@ impl Table {
             self.versions.drain(..self.versions.len() - keep);
         }
     }
+
+    /// History truncation that refuses to drop any version in `pinned`
+    /// (versions a deployed model's lineage records as its training data).
+    /// Returns the version numbers actually dropped.
+    pub fn truncate_history_pinned(&mut self, keep: usize, pinned: &[u64]) -> Result<Vec<u64>> {
+        let keep = keep.max(1);
+        if self.versions.len() <= keep {
+            return Ok(Vec::new());
+        }
+        let cut = self.versions.len() - keep;
+        let dropped: Vec<u64> = self.versions[..cut].iter().map(|v| v.version).collect();
+        if let Some(pin) = dropped.iter().find(|v| pinned.contains(v)) {
+            return Err(SqlError::Constraint(format!(
+                "cannot truncate history of '{}': version {pin} is pinned by \
+                 a deployed model's lineage (keep more versions or drop the \
+                 model first)",
+                self.name,
+            )));
+        }
+        self.versions.drain(..cut);
+        Ok(dropped)
+    }
+
+    /// Append a snapshot with explicit version and txn ids (WAL replay).
+    /// The version must extend the chain exactly — a gap means the log and
+    /// the base state do not belong together.
+    pub fn restore_version(&mut self, version: u64, txn_id: u64, data: RecordBatch) -> Result<()> {
+        if version != self.current_version() + 1 {
+            return Err(SqlError::Io(format!(
+                "wal replay version mismatch on '{}': have {}, log says {version}",
+                self.name,
+                self.current_version()
+            )));
+        }
+        let stats = TableStats::compute(&data);
+        // The batch carries its schema, so ALTER replays through the same
+        // path as plain writes.
+        self.schema = data.schema().clone();
+        self.versions.push(Arc::new(TableVersion {
+            version,
+            txn_id,
+            data,
+            stats,
+        }));
+        Ok(())
+    }
+
+    /// Rebuild a table from recovered `(version, txn_id, data)` triples
+    /// (checkpoint restore). Stats are recomputed — they are a pure
+    /// function of the data — and the live schema is the newest snapshot's.
+    pub fn from_history(
+        name: impl Into<String>,
+        history: Vec<(u64, u64, RecordBatch)>,
+    ) -> Result<Self> {
+        let name = name.into();
+        let Some(last) = history.last() else {
+            return Err(SqlError::Io(format!(
+                "checkpoint has no versions for table '{name}'"
+            )));
+        };
+        if history.windows(2).any(|w| w[1].0 <= w[0].0) {
+            return Err(SqlError::Io(format!(
+                "checkpoint versions for table '{name}' are not increasing"
+            )));
+        }
+        let schema = last.2.schema().clone();
+        let versions = history
+            .into_iter()
+            .map(|(version, txn_id, data)| {
+                let stats = TableStats::compute(&data);
+                Arc::new(TableVersion {
+                    version,
+                    txn_id,
+                    data,
+                    stats,
+                })
+            })
+            .collect();
+        Ok(Table {
+            name,
+            schema,
+            versions,
+        })
+    }
 }
 
 #[cfg(test)]

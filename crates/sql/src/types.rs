@@ -179,22 +179,31 @@ impl Value {
         }
     }
 
-    /// Total order used by ORDER BY and sort operators: NULLs first, then
-    /// numeric-coercible values (Bool/Int/Float/Date, NaN last), then
+    /// Total order used by ORDER BY and sort operators. NULLs sort as if
+    /// *larger* than every non-NULL value (SQL's default `NULLS LAST` for
+    /// ascending sorts; a descending sort therefore puts them first), and
+    /// NaN sorts as larger than every non-NaN number regardless of its
+    /// sign bit — so the order is numbers, then NaN, then NULL. Within
+    /// non-NULLs: numeric-coercible values (Bool/Int/Float/Date) before
     /// text. Unlike [`Value::sql_cmp`] this never returns "incomparable",
     /// so mixed-type columns still sort deterministically.
     pub fn total_cmp(&self, other: &Value) -> Ordering {
         match (self.is_null(), other.is_null()) {
             (true, true) => return Ordering::Equal,
-            (true, false) => return Ordering::Less,
-            (false, true) => return Ordering::Greater,
+            (true, false) => return Ordering::Greater,
+            (false, true) => return Ordering::Less,
             (false, false) => {}
         }
         if let (Value::Int(a), Value::Int(b)) = (self, other) {
             return a.cmp(b); // exact beyond f64 precision
         }
         match (self.as_f64(), other.as_f64()) {
-            (Some(a), Some(b)) => a.total_cmp(&b),
+            (Some(a), Some(b)) => {
+                // Normalize NaN sign so negative NaN does not sort below
+                // -inf: every NaN compares equal, above all numbers.
+                let norm = |x: f64| if x.is_nan() { f64::NAN } else { x };
+                norm(a).total_cmp(&norm(b))
+            }
             (Some(_), None) => Ordering::Less,
             (None, Some(_)) => Ordering::Greater,
             (None, None) => self
@@ -397,11 +406,34 @@ mod tests {
     }
 
     #[test]
-    fn total_order_sorts_nulls_first() {
+    fn total_order_sorts_nulls_last() {
         let mut vals = [Value::Int(2), Value::Null, Value::Int(1)];
         vals.sort_by(|a, b| a.total_cmp(b));
-        assert!(vals[0].is_null());
-        assert_eq!(vals[1], Value::Int(1));
+        assert_eq!(vals[0], Value::Int(1));
+        assert_eq!(vals[1], Value::Int(2));
+        assert!(vals[2].is_null());
+    }
+
+    #[test]
+    fn total_order_puts_nan_above_numbers_below_null() {
+        let neg_nan = f64::from_bits(f64::NAN.to_bits() | (1 << 63));
+        let mut vals = [
+            Value::Null,
+            Value::Float(f64::NAN),
+            Value::Float(f64::INFINITY),
+            Value::Float(neg_nan),
+            Value::Float(f64::NEG_INFINITY),
+            Value::Float(0.0),
+        ];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(vals[0], Value::Float(f64::NEG_INFINITY));
+        assert_eq!(vals[1], Value::Float(0.0));
+        assert_eq!(vals[2], Value::Float(f64::INFINITY));
+        // Both NaNs (either sign) sort after all numbers...
+        assert!(matches!(vals[3], Value::Float(f) if f.is_nan()));
+        assert!(matches!(vals[4], Value::Float(f) if f.is_nan()));
+        // ...and NULL sorts after NaN.
+        assert!(vals[5].is_null());
     }
 
     #[test]

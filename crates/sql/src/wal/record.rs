@@ -1,0 +1,384 @@
+//! Logical WAL records.
+//!
+//! The log is redo-only: each committed transaction contributes a BEGIN
+//! marker, one [`RedoOp`] per catalog mutation (captured at mutation time
+//! inside the transaction), a COMMIT marker, and then the query-log and
+//! audit entries the commit flushed. Audit records can also appear outside
+//! a commit — rolled-back transactions still flush their security events,
+//! per the engine's "must survive rollback" rule — so they are standalone
+//! records applied unconditionally on replay.
+
+use super::codec::{self, Corrupt, Dec, DecodeResult, Enc};
+use crate::batch::RecordBatch;
+use crate::catalog::AccessDump;
+use crate::engine::{AuditRecord, QueryLogEntry};
+use crate::schema::Schema;
+
+/// One logical redo operation against the catalog. Replaying a committed
+/// transaction's ops in order reproduces exactly the state its commit
+/// installed (table versions keep their version numbers and owning txn
+/// ids, so time travel and lineage pins survive recovery).
+#[derive(Debug, Clone)]
+pub enum RedoOp {
+    /// CREATE TABLE: a fresh table whose version 1 is the empty snapshot.
+    CreateTable {
+        name: String,
+        schema: Schema,
+        txn_id: u64,
+    },
+    /// Install a full snapshot as `version` (UPDATE/DELETE/ALTER; the
+    /// batch carries its schema, so schema evolution needs no special op).
+    PushVersion {
+        table: String,
+        version: u64,
+        txn_id: u64,
+        data: RecordBatch,
+    },
+    /// Install `version` by appending `rows` to the previous snapshot —
+    /// the INSERT fast path, logging O(rows added) instead of O(table).
+    AppendRows {
+        table: String,
+        version: u64,
+        txn_id: u64,
+        rows: RecordBatch,
+    },
+    DropTable {
+        name: String,
+    },
+    /// Drop all but the newest `keep` versions (pin checks already ran at
+    /// execution time; replay must reproduce the outcome verbatim).
+    TruncateHistory {
+        table: String,
+        keep: u64,
+    },
+    CreateView {
+        name: String,
+        sql: String,
+    },
+    DropView {
+        name: String,
+    },
+    CreateExtension {
+        kind: String,
+        name: String,
+        owner: String,
+        txn_id: u64,
+        payload: Vec<u8>,
+        metadata: serde_json::Value,
+    },
+    UpdateExtension {
+        kind: String,
+        name: String,
+        version: u64,
+        txn_id: u64,
+        payload: Vec<u8>,
+        metadata: serde_json::Value,
+    },
+    DropExtension {
+        kind: String,
+        name: String,
+    },
+    /// Full access-control state after the transaction. Grants commit as
+    /// whole-state last-writer-wins in the engine, and the log mirrors
+    /// that semantics exactly rather than inventing a finer-grained one.
+    AccessSet(AccessDump),
+}
+
+/// One framed record in a WAL segment.
+#[derive(Debug, Clone)]
+pub enum WalRecord {
+    Begin { txn_id: u64 },
+    Op { txn_id: u64, op: RedoOp },
+    Commit { txn_id: u64 },
+    QueryLog(QueryLogEntry),
+    Audit(AuditRecord),
+}
+
+fn object_kind_tag(k: crate::catalog::ObjectKind) -> u8 {
+    match k {
+        crate::catalog::ObjectKind::Table => 0,
+        crate::catalog::ObjectKind::View => 1,
+        crate::catalog::ObjectKind::Extension => 2,
+    }
+}
+
+fn object_kind_from(tag: u8) -> DecodeResult<crate::catalog::ObjectKind> {
+    Ok(match tag {
+        0 => crate::catalog::ObjectKind::Table,
+        1 => crate::catalog::ObjectKind::View,
+        2 => crate::catalog::ObjectKind::Extension,
+        _ => return Err(Corrupt),
+    })
+}
+
+fn privilege_tag(p: crate::catalog::Privilege) -> u8 {
+    crate::catalog::Privilege::ALL
+        .iter()
+        .position(|x| *x == p)
+        .expect("Privilege::ALL covers every variant") as u8
+}
+
+fn privilege_from(tag: u8) -> DecodeResult<crate::catalog::Privilege> {
+    crate::catalog::Privilege::ALL
+        .get(tag as usize)
+        .copied()
+        .ok_or(Corrupt)
+}
+
+pub(super) fn put_access_dump(e: &mut Enc, d: &AccessDump) {
+    e.u32(d.users.len() as u32);
+    for u in &d.users {
+        e.str(u);
+    }
+    e.u32(d.superusers.len() as u32);
+    for u in &d.superusers {
+        e.str(u);
+    }
+    e.u32(d.grants.len() as u32);
+    for (user, obj, privs) in &d.grants {
+        e.str(user);
+        e.u8(object_kind_tag(obj.kind));
+        e.str(&obj.name);
+        e.u32(privs.len() as u32);
+        for p in privs {
+            e.u8(privilege_tag(*p));
+        }
+    }
+}
+
+pub(super) fn get_access_dump(d: &mut Dec) -> DecodeResult<AccessDump> {
+    let n = d.seq_len()?;
+    let mut users = Vec::with_capacity(n);
+    for _ in 0..n {
+        users.push(d.str()?);
+    }
+    let n = d.seq_len()?;
+    let mut superusers = Vec::with_capacity(n);
+    for _ in 0..n {
+        superusers.push(d.str()?);
+    }
+    let n = d.seq_len()?;
+    let mut grants = Vec::with_capacity(n);
+    for _ in 0..n {
+        let user = d.str()?;
+        let kind = object_kind_from(d.u8()?)?;
+        let name = d.str()?;
+        let np = d.seq_len()?;
+        let mut privs = Vec::with_capacity(np);
+        for _ in 0..np {
+            privs.push(privilege_from(d.u8()?)?);
+        }
+        grants.push((
+            user,
+            crate::catalog::ObjectRef { kind, name },
+            privs,
+        ));
+    }
+    Ok(AccessDump {
+        users,
+        superusers,
+        grants,
+    })
+}
+
+fn put_op(e: &mut Enc, op: &RedoOp) {
+    match op {
+        RedoOp::CreateTable {
+            name,
+            schema,
+            txn_id,
+        } => {
+            e.u8(0);
+            e.str(name);
+            codec::put_schema(e, schema);
+            e.u64(*txn_id);
+        }
+        RedoOp::PushVersion {
+            table,
+            version,
+            txn_id,
+            data,
+        } => {
+            e.u8(1);
+            e.str(table);
+            e.u64(*version);
+            e.u64(*txn_id);
+            codec::put_batch(e, data);
+        }
+        RedoOp::AppendRows {
+            table,
+            version,
+            txn_id,
+            rows,
+        } => {
+            e.u8(2);
+            e.str(table);
+            e.u64(*version);
+            e.u64(*txn_id);
+            codec::put_batch(e, rows);
+        }
+        RedoOp::DropTable { name } => {
+            e.u8(3);
+            e.str(name);
+        }
+        RedoOp::TruncateHistory { table, keep } => {
+            e.u8(4);
+            e.str(table);
+            e.u64(*keep);
+        }
+        RedoOp::CreateView { name, sql } => {
+            e.u8(5);
+            e.str(name);
+            e.str(sql);
+        }
+        RedoOp::DropView { name } => {
+            e.u8(6);
+            e.str(name);
+        }
+        RedoOp::CreateExtension {
+            kind,
+            name,
+            owner,
+            txn_id,
+            payload,
+            metadata,
+        } => {
+            e.u8(7);
+            e.str(kind);
+            e.str(name);
+            e.str(owner);
+            e.u64(*txn_id);
+            e.bytes(payload);
+            codec::put_json(e, metadata);
+        }
+        RedoOp::UpdateExtension {
+            kind,
+            name,
+            version,
+            txn_id,
+            payload,
+            metadata,
+        } => {
+            e.u8(8);
+            e.str(kind);
+            e.str(name);
+            e.u64(*version);
+            e.u64(*txn_id);
+            e.bytes(payload);
+            codec::put_json(e, metadata);
+        }
+        RedoOp::DropExtension { kind, name } => {
+            e.u8(9);
+            e.str(kind);
+            e.str(name);
+        }
+        RedoOp::AccessSet(dump) => {
+            e.u8(10);
+            put_access_dump(e, dump);
+        }
+    }
+}
+
+fn get_op(d: &mut Dec) -> DecodeResult<RedoOp> {
+    Ok(match d.u8()? {
+        0 => RedoOp::CreateTable {
+            name: d.str()?,
+            schema: codec::get_schema(d)?,
+            txn_id: d.u64()?,
+        },
+        1 => RedoOp::PushVersion {
+            table: d.str()?,
+            version: d.u64()?,
+            txn_id: d.u64()?,
+            data: codec::get_batch(d)?,
+        },
+        2 => RedoOp::AppendRows {
+            table: d.str()?,
+            version: d.u64()?,
+            txn_id: d.u64()?,
+            rows: codec::get_batch(d)?,
+        },
+        3 => RedoOp::DropTable { name: d.str()? },
+        4 => RedoOp::TruncateHistory {
+            table: d.str()?,
+            keep: d.u64()?,
+        },
+        5 => RedoOp::CreateView {
+            name: d.str()?,
+            sql: d.str()?,
+        },
+        6 => RedoOp::DropView { name: d.str()? },
+        7 => RedoOp::CreateExtension {
+            kind: d.str()?,
+            name: d.str()?,
+            owner: d.str()?,
+            txn_id: d.u64()?,
+            payload: d.bytes()?,
+            metadata: codec::get_json(d)?,
+        },
+        8 => RedoOp::UpdateExtension {
+            kind: d.str()?,
+            name: d.str()?,
+            version: d.u64()?,
+            txn_id: d.u64()?,
+            payload: d.bytes()?,
+            metadata: codec::get_json(d)?,
+        },
+        9 => RedoOp::DropExtension {
+            kind: d.str()?,
+            name: d.str()?,
+        },
+        10 => RedoOp::AccessSet(get_access_dump(d)?),
+        _ => return Err(Corrupt),
+    })
+}
+
+impl WalRecord {
+    /// Encode into a raw payload (framing/checksumming is the segment
+    /// writer's job).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        match self {
+            WalRecord::Begin { txn_id } => {
+                e.u8(0);
+                e.u64(*txn_id);
+            }
+            WalRecord::Op { txn_id, op } => {
+                e.u8(1);
+                e.u64(*txn_id);
+                put_op(&mut e, op);
+            }
+            WalRecord::Commit { txn_id } => {
+                e.u8(2);
+                e.u64(*txn_id);
+            }
+            WalRecord::QueryLog(q) => {
+                e.u8(3);
+                codec::put_query_log(&mut e, q);
+            }
+            WalRecord::Audit(a) => {
+                e.u8(4);
+                codec::put_audit(&mut e, a);
+            }
+        }
+        e.buf
+    }
+
+    /// Decode one record payload; anything malformed is [`Corrupt`].
+    pub fn decode(payload: &[u8]) -> DecodeResult<WalRecord> {
+        let mut d = Dec::new(payload);
+        let rec = match d.u8()? {
+            0 => WalRecord::Begin { txn_id: d.u64()? },
+            1 => WalRecord::Op {
+                txn_id: d.u64()?,
+                op: get_op(&mut d)?,
+            },
+            2 => WalRecord::Commit { txn_id: d.u64()? },
+            3 => WalRecord::QueryLog(codec::get_query_log(&mut d)?),
+            4 => WalRecord::Audit(codec::get_audit(&mut d)?),
+            _ => return Err(Corrupt),
+        };
+        d.finish()?;
+        Ok(rec)
+    }
+}

@@ -122,11 +122,36 @@ fn non_equi_join_condition() {
 
 #[test]
 fn sort_null_and_mixed_ordering() {
+    // Regression test: ORDER BY used to put NULLs first ascending. The
+    // documented default is NULLS LAST (ascending); DESC reverses the whole
+    // order, so NULLs come first descending — PostgreSQL semantics.
     let db = db();
     let b = db.query("SELECT y FROM nums ORDER BY y").unwrap();
-    assert!(b.column(0).get(0).is_null(), "NULLs sort first ascending");
+    assert!(
+        b.column(0).get(b.num_rows() - 1).is_null(),
+        "NULLs sort last ascending"
+    );
+    assert_eq!(b.column(0).get(0), Value::Float(1.5));
     let b = db.query("SELECT y FROM nums ORDER BY y DESC").unwrap();
-    assert!(b.column(0).get(b.num_rows() - 1).is_null(), "NULLs last descending");
+    assert!(b.column(0).get(0).is_null(), "NULLs first descending");
+    assert_eq!(b.column(0).get(b.num_rows() - 1), Value::Float(1.5));
+}
+
+#[test]
+fn sort_places_nan_between_numbers_and_null() {
+    let db = Database::new();
+    db.execute("CREATE TABLE f (v DOUBLE)").unwrap();
+    db.execute("INSERT INTO f VALUES (1.0), (NULL), (SQRT(-1.0)), (-1.0)")
+        .unwrap();
+    let b = db.query("SELECT v FROM f ORDER BY v").unwrap();
+    assert_eq!(b.column(0).get(0), Value::Float(-1.0));
+    assert_eq!(b.column(0).get(1), Value::Float(1.0));
+    assert!(matches!(b.column(0).get(2), Value::Float(f) if f.is_nan()));
+    assert!(b.column(0).get(3).is_null(), "NULL sorts after NaN ascending");
+    let b = db.query("SELECT v FROM f ORDER BY v DESC").unwrap();
+    assert!(b.column(0).get(0).is_null());
+    assert!(matches!(b.column(0).get(1), Value::Float(f) if f.is_nan()));
+    assert_eq!(b.column(0).get(3), Value::Float(-1.0));
 }
 
 #[test]

@@ -226,6 +226,43 @@ fn predict_pipeline_identical_across_thread_counts() {
 }
 
 #[test]
+fn null_ordering_identical_across_thread_counts() {
+    // Regression test for ORDER BY NULL placement: the documented default
+    // is NULLS LAST ascending / NULLS FIRST descending, and the parallel
+    // merge path must agree with the serial sort exactly.
+    let db = fixture();
+    for q in [
+        "SELECT o_id, qty FROM orders ORDER BY qty, o_id",
+        "SELECT o_id, qty FROM orders ORDER BY qty DESC, o_id",
+    ] {
+        db.set_exec_options(ExecOptions::serial());
+        let serial = db.query(q).unwrap();
+        let n = serial.num_rows();
+        assert!(n > 0);
+        let desc = q.contains("DESC");
+        // NULL qty rows (~10% of the fixture) cluster at the documented end
+        let nulls: Vec<usize> = (0..n)
+            .filter(|&r| serial.column(1).get(r).is_null())
+            .collect();
+        assert!(!nulls.is_empty(), "fixture must contain NULL qty rows");
+        if desc {
+            assert_eq!(nulls, (0..nulls.len()).collect::<Vec<_>>(), "{q}: NULLs first");
+        } else {
+            assert_eq!(
+                nulls,
+                (n - nulls.len()..n).collect::<Vec<_>>(),
+                "{q}: NULLs last"
+            );
+        }
+        for threads in [2usize, 8] {
+            db.set_exec_options(parallel_options(threads));
+            let parallel = db.query(q).unwrap();
+            assert_batches_match(&serial, &parallel, &format!("threads={threads} {q}"));
+        }
+    }
+}
+
+#[test]
 fn degenerate_options_are_clamped_not_panicking() {
     let db = fixture();
     db.set_exec_options(ExecOptions {
