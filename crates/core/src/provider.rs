@@ -7,6 +7,7 @@ use flock_ml::{
 };
 use flock_sql::ast::PredictStrategy;
 use flock_sql::exec::parallel::parallel_map;
+use flock_sql::exec::CancelToken;
 use flock_sql::udf::InferenceProvider;
 use flock_sql::{ColumnVector, DataType, SqlError};
 use std::sync::Arc;
@@ -51,6 +52,63 @@ impl FlockInferenceProvider {
         self.registry
             .compiled(model)
             .ok_or_else(|| SqlError::Catalog(format!("model '{model}' is not deployed")))
+    }
+
+    /// Shared scoring path; `cancel` is polled before scoring and between
+    /// parallel chunks so a `statement_timeout` interrupts large batches
+    /// instead of waiting for the whole PREDICT to finish.
+    fn predict_inner(
+        &self,
+        model: &str,
+        inputs: &[ColumnVector],
+        strategy: PredictStrategy,
+        cancel: &CancelToken,
+    ) -> Result<ColumnVector, SqlError> {
+        use std::sync::atomic::Ordering;
+        cancel.check()?;
+        let pipeline = self.pipeline(model)?;
+        let frame = columns_to_frame(&pipeline, inputs)?;
+        let n = frame.num_rows();
+        self.stats.rows_scored.fetch_add(n as u64, Ordering::Relaxed);
+
+        let scores: Vec<f64> = match strategy {
+            PredictStrategy::Row => {
+                self.stats.row_calls.fetch_add(1, Ordering::Relaxed);
+                interpreted_score_with_metrics(&pipeline, &frame, &self.scoring)
+                    .map_err(|e| SqlError::Execution(e.to_string()))?
+            }
+            PredictStrategy::Auto | PredictStrategy::Vectorized => {
+                self.stats.vectorized_calls.fetch_add(1, Ordering::Relaxed);
+                self.compiled(model)?
+                    .score_with_metrics(&frame, &self.scoring)
+                    .map_err(|e| SqlError::Execution(e.to_string()))?
+            }
+            PredictStrategy::Parallel(threads) => {
+                self.stats.parallel_calls.fetch_add(1, Ordering::Relaxed);
+                let compiled = self.compiled(model)?;
+                let threads = threads.max(1);
+                if threads == 1 || n < 2 * 1024 {
+                    compiled
+                        .score_with_metrics(&frame, &self.scoring)
+                        .map_err(|e| SqlError::Execution(e.to_string()))?
+                } else {
+                    let chunk_rows = n.div_ceil(threads).max(1);
+                    let chunks: Vec<Frame> = frame.chunks(chunk_rows).collect();
+                    let results = parallel_map(&chunks, threads, |chunk| {
+                        cancel.check()?;
+                        compiled
+                            .score_with_metrics(chunk, &self.scoring)
+                            .map_err(|e| SqlError::Execution(e.to_string()))
+                    })?;
+                    let mut out = Vec::with_capacity(n);
+                    for r in results {
+                        out.extend(r);
+                    }
+                    out
+                }
+            }
+        };
+        Ok(ColumnVector::from_f64(scores))
     }
 }
 
@@ -129,49 +187,18 @@ impl InferenceProvider for FlockInferenceProvider {
         strategy: PredictStrategy,
         _user: &str,
     ) -> Result<ColumnVector, SqlError> {
-        use std::sync::atomic::Ordering;
-        let pipeline = self.pipeline(model)?;
-        let frame = columns_to_frame(&pipeline, inputs)?;
-        let n = frame.num_rows();
-        self.stats.rows_scored.fetch_add(n as u64, Ordering::Relaxed);
+        self.predict_inner(model, inputs, strategy, &CancelToken::none())
+    }
 
-        let scores: Vec<f64> = match strategy {
-            PredictStrategy::Row => {
-                self.stats.row_calls.fetch_add(1, Ordering::Relaxed);
-                interpreted_score_with_metrics(&pipeline, &frame, &self.scoring)
-                    .map_err(|e| SqlError::Execution(e.to_string()))?
-            }
-            PredictStrategy::Auto | PredictStrategy::Vectorized => {
-                self.stats.vectorized_calls.fetch_add(1, Ordering::Relaxed);
-                self.compiled(model)?
-                    .score_with_metrics(&frame, &self.scoring)
-                    .map_err(|e| SqlError::Execution(e.to_string()))?
-            }
-            PredictStrategy::Parallel(threads) => {
-                self.stats.parallel_calls.fetch_add(1, Ordering::Relaxed);
-                let compiled = self.compiled(model)?;
-                let threads = threads.max(1);
-                if threads == 1 || n < 2 * 1024 {
-                    compiled
-                        .score_with_metrics(&frame, &self.scoring)
-                        .map_err(|e| SqlError::Execution(e.to_string()))?
-                } else {
-                    let chunk_rows = n.div_ceil(threads).max(1);
-                    let chunks: Vec<Frame> = frame.chunks(chunk_rows).collect();
-                    let results = parallel_map(&chunks, threads, |chunk| {
-                        compiled
-                            .score_with_metrics(chunk, &self.scoring)
-                            .map_err(|e| SqlError::Execution(e.to_string()))
-                    })?;
-                    let mut out = Vec::with_capacity(n);
-                    for r in results {
-                        out.extend(r);
-                    }
-                    out
-                }
-            }
-        };
-        Ok(ColumnVector::from_f64(scores))
+    fn predict_cancellable(
+        &self,
+        model: &str,
+        inputs: &[ColumnVector],
+        strategy: PredictStrategy,
+        _user: &str,
+        cancel: &CancelToken,
+    ) -> Result<ColumnVector, SqlError> {
+        self.predict_inner(model, inputs, strategy, cancel)
     }
 }
 

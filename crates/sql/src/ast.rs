@@ -46,6 +46,12 @@ pub enum Statement {
     Begin,
     Commit,
     Rollback,
+    /// `SET <var> = <value>` / `SET <var> TO <value>` — session-local
+    /// settings (e.g. `statement_timeout`). `value: None` means `DEFAULT`.
+    Set {
+        name: String,
+        value: Option<Expr>,
+    },
     /// `SHOW TABLES` — list catalog tables with size/version summary.
     ShowTables,
     /// `DESCRIBE <table>` — per-column profile from table statistics

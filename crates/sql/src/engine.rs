@@ -6,8 +6,8 @@ use crate::catalog::{Catalog, ObjectRef, Privilege, ViewDef};
 use crate::column::ColumnVector;
 use crate::error::{Result, SqlError};
 use crate::exec::{
-    create_physical_plan, EngineMetrics, EvalContext, ExecOptions, OpSnapshot, PhysExpr,
-    PlanMetrics,
+    create_physical_plan, AdmissionController, AdmissionSlot, CancelHandle, CancelToken,
+    EngineMetrics, EvalContext, ExecOptions, OpSnapshot, PhysExpr, PlanMetrics, QueryBudget,
 };
 use crate::optimizer::{optimize, OptimizerConfig};
 use crate::plan::{plan_query, rewrite_expr, LogicalPlan, PlanContext, PlanRewriter, SubqueryRunner};
@@ -18,6 +18,7 @@ use crate::udf::{NoInference, ProviderRef};
 use crate::wal::{DurabilityOptions, DurableFs, RedoOp, StdFs, WalManager, WalRecord};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Classification of a statement for the query log.
@@ -118,6 +119,7 @@ pub struct Database {
     optimizer: Arc<RwLock<OptimizerConfig>>,
     rewriters: Arc<RwLock<Vec<Arc<dyn PlanRewriter>>>>,
     metrics: Arc<EngineMetrics>,
+    admission: Arc<AdmissionController>,
     last_query: Arc<RwLock<Option<OpSnapshot>>>,
 }
 
@@ -148,6 +150,7 @@ impl Database {
             optimizer: Arc::new(RwLock::new(OptimizerConfig::default())),
             rewriters: Arc::new(RwLock::new(Vec::new())),
             metrics: Arc::new(EngineMetrics::default()),
+            admission: Arc::new(AdmissionController::new()),
             last_query: Arc::new(RwLock::new(None)),
         }
     }
@@ -215,9 +218,18 @@ impl Database {
         self.metrics.clone()
     }
 
-    /// Per-operator snapshot of the most recently executed query plan.
+    /// Per-operator snapshot of the most recently executed query plan,
+    /// across *all* sessions — concurrent sessions overwrite each other
+    /// here. Use [`Session::last_query_metrics`] for the session-local
+    /// snapshot.
     pub fn last_query_metrics(&self) -> Option<OpSnapshot> {
         self.last_query.read().clone()
+    }
+
+    /// The per-database admission controller (active-query gauge; the
+    /// limit comes from [`ExecOptions::max_concurrent_queries`]).
+    pub fn admission(&self) -> Arc<AdmissionController> {
+        self.admission.clone()
     }
 
     /// Register a plan rewriter (e.g. the Flock cross-optimizer), applied
@@ -244,6 +256,9 @@ impl Database {
             db: self.clone(),
             user: user.to_string(),
             txn: None,
+            cancel_flag: Arc::new(AtomicBool::new(false)),
+            statement_timeout_ms: None,
+            last_query: None,
         }
     }
 
@@ -394,6 +409,16 @@ pub struct Session {
     db: Database,
     user: String,
     txn: Option<Txn>,
+    /// Cancel flag for the statement currently executing; reset at each
+    /// statement start, set from other threads via [`CancelHandle`].
+    cancel_flag: Arc<AtomicBool>,
+    /// Session-local `SET statement_timeout` override, in milliseconds
+    /// (`None` = fall back to [`ExecOptions::statement_timeout_ms`]).
+    statement_timeout_ms: Option<u64>,
+    /// This session's most recent query snapshot — unlike the engine-wide
+    /// [`Database::last_query_metrics`], concurrent sessions cannot
+    /// clobber it.
+    last_query: Option<OpSnapshot>,
 }
 
 impl Session {
@@ -403,6 +428,34 @@ impl Session {
 
     pub fn in_transaction(&self) -> bool {
         self.txn.is_some()
+    }
+
+    /// A handle other threads use to cancel this session's currently
+    /// executing statement (the flag resets when the next statement
+    /// starts). Cancellation is cooperative: the executor notices
+    /// at the next operator entry / morsel / row-stride boundary and
+    /// unwinds with [`SqlError::Cancelled`].
+    pub fn cancel_handle(&self) -> CancelHandle {
+        CancelHandle::new(self.cancel_flag.clone())
+    }
+
+    /// Session-local statement timeout in milliseconds, equivalent to
+    /// `SET statement_timeout = <ms>`. `None` restores the engine default
+    /// ([`ExecOptions::statement_timeout_ms`]); `Some(0)` disables the
+    /// timeout for this session even when the engine sets one.
+    pub fn set_statement_timeout(&mut self, ms: Option<u64>) {
+        self.statement_timeout_ms = ms;
+    }
+
+    /// The effective session-local timeout override, if any.
+    pub fn statement_timeout(&self) -> Option<u64> {
+        self.statement_timeout_ms
+    }
+
+    /// Per-operator snapshot of this session's most recent query
+    /// (including partial metrics of a cancelled / timed-out query).
+    pub fn last_query_metrics(&self) -> Option<OpSnapshot> {
+        self.last_query.clone()
     }
 
     /// Execute one SQL statement (autocommit unless inside BEGIN/COMMIT).
@@ -437,13 +490,99 @@ impl Session {
     }
 
     fn execute_statement(&mut self, stmt: Statement, sql: &str) -> Result<QueryResult> {
+        // Every statement starts fresh: a cancel aimed at the previous
+        // statement must not kill this one. (Commit/rollback are exempt
+        // from cancellation entirely — aborting a commit mid-install is
+        // exactly the partial-state hazard cancellation must avoid.)
+        self.cancel_flag.store(false, Ordering::Relaxed);
         match stmt {
             Statement::Begin => self.begin(),
             Statement::Commit => self.commit(),
             Statement::Rollback => self.rollback(),
+            Statement::Set { name, value } => self.run_set(&name, value),
             Statement::Explain { statement, analyze } => self.explain(*statement, analyze),
             other => self.run_in_txn(other, sql),
         }
+    }
+
+    /// `SET <var> = <value>` — session-local settings, outside any
+    /// transaction (they are not transactional and never touch the WAL).
+    fn run_set(&mut self, name: &str, value: Option<Expr>) -> Result<QueryResult> {
+        match name.to_ascii_lowercase().as_str() {
+            "statement_timeout" => {
+                let ms = match value {
+                    None => None, // SET statement_timeout = DEFAULT
+                    Some(e) => {
+                        let folded = crate::optimizer::fold_expr(e)?;
+                        match folded {
+                            // 0 is kept as an explicit override: it means
+                            // "disabled for this session", shadowing any
+                            // engine-wide ExecOptions::statement_timeout_ms.
+                            Expr::Literal(Value::Int(i)) if i >= 0 => Some(i as u64),
+                            other => {
+                                return Err(SqlError::Plan(format!(
+                                    "statement_timeout expects a non-negative integer \
+                                     (milliseconds), got {other:?}"
+                                )))
+                            }
+                        }
+                    }
+                };
+                self.statement_timeout_ms = ms;
+                Ok(QueryResult::none(match ms {
+                    Some(0) => "statement_timeout = off".to_string(),
+                    Some(v) => format!("statement_timeout = {v}ms"),
+                    None => "statement_timeout = default".to_string(),
+                }))
+            }
+            other => Err(SqlError::Plan(format!(
+                "unknown session variable '{other}'"
+            ))),
+        }
+    }
+
+    /// Cancellation token for one statement: the session's cancel flag
+    /// plus the effective deadline (session `SET statement_timeout`
+    /// overrides the engine-wide [`ExecOptions::statement_timeout_ms`]).
+    fn statement_cancel(&self, options: &ExecOptions) -> CancelToken {
+        let mut token = CancelToken::from_flag(self.cancel_flag.clone());
+        let timeout_ms = self
+            .statement_timeout_ms
+            .unwrap_or(options.statement_timeout_ms);
+        if timeout_ms > 0 {
+            token = token.with_deadline(std::time::Duration::from_millis(timeout_ms));
+        }
+        token
+    }
+
+    /// Claim an admission slot for one query, or reject with a typed
+    /// error. The RAII slot releases on every exit path, including
+    /// cancellation/timeout unwinds.
+    fn admit(&self, options: &ExecOptions) -> Result<AdmissionSlot> {
+        self.db
+            .admission
+            .try_acquire(options.max_concurrent_queries)
+            .ok_or_else(|| {
+                self.db
+                    .metrics
+                    .admission_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                SqlError::Admission(format!(
+                    "database is at max_concurrent_queries = {}",
+                    options.max_concurrent_queries
+                ))
+            })
+    }
+
+    /// Fold a failed query's error kind into the engine counters.
+    fn note_query_error(&self, e: &SqlError) {
+        let m = &self.db.metrics;
+        match e {
+            SqlError::Cancelled(_) => m.queries_cancelled.fetch_add(1, Ordering::Relaxed),
+            SqlError::Timeout(_) => m.queries_timed_out.fetch_add(1, Ordering::Relaxed),
+            SqlError::Budget(_) => m.budget_rejected.fetch_add(1, Ordering::Relaxed),
+            _ => 0,
+        };
     }
 
     // ------------------------------------------------------- transactions
@@ -504,7 +643,7 @@ impl Session {
         // Write-ahead: encode and append the whole transaction before any
         // in-memory install. An I/O failure fails the commit outright —
         // memory never runs ahead of what the log accepted.
-        if state.wal.is_some() {
+        if let Some(wal) = state.wal.as_mut() {
             let mut redo = txn.redo_buf;
             if txn.access_dirty {
                 redo.push(RedoOp::AccessSet(txn.catalog.access.dump()));
@@ -523,7 +662,6 @@ impl Session {
             records.extend(log_entries.iter().cloned().map(WalRecord::QueryLog));
             records.extend(audit_entries.iter().cloned().map(WalRecord::Audit));
             if !records.is_empty() {
-                let wal = state.wal.as_mut().expect("checked above");
                 wal.append(&records).map_err(|e| {
                     SqlError::Io(format!("wal append failed; commit aborted: {e}"))
                 })?;
@@ -681,6 +819,7 @@ impl Session {
             Statement::Begin
             | Statement::Commit
             | Statement::Rollback
+            | Statement::Set { .. }
             | Statement::Explain { .. } => {
                 unreachable!("handled by execute_statement")
             }
@@ -696,10 +835,12 @@ impl Session {
             .overlay_metrics_table(self.working_catalog(), &self.user);
         let provider = self.db.inference_provider();
         let options = self.db.exec_options();
+        let cancel = self.statement_cancel(&options);
         let runner = EngineSubqueryRunner {
             catalog: &catalog,
             db: &self.db,
             user: &self.user,
+            cancel: cancel.clone(),
         };
         let ctx = PlanContext::new(&catalog, provider.as_ref()).with_subqueries(&runner);
         let plan = plan_query(&q, &ctx)?;
@@ -713,19 +854,29 @@ impl Session {
         let plan = self.db.apply_rewriters(plan, &catalog)?;
         let optimized = optimize(plan, &self.db.optimizer_config())?;
         let text = if analyze {
+            let _slot = self.admit(&options)?;
+            let budget = Arc::new(QueryBudget::limited(
+                options.max_rows_budget,
+                options.max_mem_bytes,
+            ));
             let physical =
                 create_physical_plan(&optimized, &catalog, provider.as_ref(), &options)?;
-            let eval_ctx = EvalContext {
-                provider,
-                user: self.user.clone(),
-                threads: options.threads,
-            };
+            let eval_ctx = EvalContext::new(provider, self.user.clone(), options.threads)
+                .with_cancel(cancel)
+                .with_budget(budget);
             let plan_metrics = PlanMetrics::for_plan(&physical);
-            physical.execute_metered(&eval_ctx, &plan_metrics)?;
+            let result = physical.execute_metered(&eval_ctx, &plan_metrics);
+            // Partial metrics survive a cancelled/failed run: publish the
+            // snapshot before propagating the error.
             let snapshot = plan_metrics.snapshot(&physical);
             self.db.metrics.record_query(&snapshot);
             let text = snapshot.render();
+            self.last_query = Some(snapshot.clone());
             *self.db.last_query.write() = Some(snapshot);
+            if let Err(e) = result {
+                self.note_query_error(&e);
+                return Err(e);
+            }
             text
         } else {
             optimized.explain()
@@ -953,10 +1104,17 @@ impl Session {
             .overlay_metrics_table(self.working_catalog(), &self.user);
         let provider = self.db.inference_provider();
         let options = self.db.exec_options();
+        let _slot = self.admit(&options)?;
+        let cancel = self.statement_cancel(&options);
+        let budget = Arc::new(QueryBudget::limited(
+            options.max_rows_budget,
+            options.max_mem_bytes,
+        ));
         let runner = EngineSubqueryRunner {
             catalog: &catalog,
             db: &self.db,
             user: &self.user,
+            cancel: cancel.clone(),
         };
         let ctx = PlanContext::new(&catalog, provider.as_ref()).with_subqueries(&runner);
         let plan = plan_query(q, &ctx)?;
@@ -967,25 +1125,35 @@ impl Session {
         let plan = optimize(plan, &self.db.optimizer_config())?;
 
         let physical = create_physical_plan(&plan, &catalog, provider.as_ref(), &options)?;
-        let eval_ctx = EvalContext {
-            provider,
-            user: self.user.clone(),
-            threads: options.threads,
-        };
+        let eval_ctx = EvalContext::new(provider, self.user.clone(), options.threads)
+            .with_cancel(cancel)
+            .with_budget(budget);
         let plan_metrics = PlanMetrics::for_plan(&physical);
         let started = std::time::Instant::now();
-        let batch = physical.execute_metered(&eval_ctx, &plan_metrics)?;
+        let result = physical.execute_metered(&eval_ctx, &plan_metrics);
         let elapsed_us = started.elapsed().as_micros() as u64;
+        // Snapshot unconditionally: a cancelled / timed-out / over-budget
+        // query still publishes the partial counters it accumulated.
         let snapshot = plan_metrics.snapshot(&physical);
         self.db.metrics.record_query(&snapshot);
+        let rows_scanned = snapshot.rows_scanned();
+        let parallel_ops = snapshot.parallel_ops();
+        self.last_query = Some(snapshot.clone());
+        *self.db.last_query.write() = Some(snapshot);
+        let batch = match result {
+            Ok(batch) => batch,
+            Err(e) => {
+                self.note_query_error(&e);
+                return Err(e);
+            }
+        };
         let rows = batch.num_rows();
         let runtime = QueryRuntime {
-            rows_scanned: snapshot.rows_scanned(),
+            rows_scanned,
             rows_returned: rows as u64,
             elapsed_us,
-            parallel_ops: snapshot.parallel_ops(),
+            parallel_ops,
         };
-        *self.db.last_query.write() = Some(snapshot);
         self.log_statement_runtime(sql, StatementKind::Query, tables, vec![], vec![], runtime);
         Ok(QueryResult {
             batch: Some(batch),
@@ -1025,11 +1193,9 @@ impl Session {
             InsertSource::Values(rows) => {
                 let provider = self.db.inference_provider();
                 let empty = RecordBatch::empty(Arc::new(Schema::default()));
-                let eval_ctx = EvalContext {
-                    provider: provider.clone(),
-                    user: self.user.clone(),
-                    threads: 1,
-                };
+                let eval_ctx =
+                    EvalContext::new(provider.clone(), self.user.clone(), 1)
+                        .with_cancel(self.statement_cancel(&self.db.exec_options()));
                 let mut out = Vec::with_capacity(rows.len());
                 for row in rows {
                     if row.len() != positions.len() {
@@ -1123,11 +1289,8 @@ impl Session {
         let schema = table.schema().clone();
         let data = table.current().data.clone();
         let provider = self.db.inference_provider();
-        let eval_ctx = EvalContext {
-            provider: provider.clone(),
-            user: self.user.clone(),
-            threads: 1,
-        };
+        let eval_ctx = EvalContext::new(provider.clone(), self.user.clone(), 1)
+            .with_cancel(self.statement_cancel(&self.db.exec_options()));
 
         let pred = selection
             .map(|p| PhysExpr::compile(p, &schema, provider.as_ref()))
@@ -1192,11 +1355,8 @@ impl Session {
         let schema = table.schema().clone();
         let data = table.current().data.clone();
         let provider = self.db.inference_provider();
-        let eval_ctx = EvalContext {
-            provider: provider.clone(),
-            user: self.user.clone(),
-            threads: 1,
-        };
+        let eval_ctx = EvalContext::new(provider.clone(), self.user.clone(), 1)
+            .with_cancel(self.statement_cancel(&self.db.exec_options()));
         let mask: Vec<bool> = match selection {
             Some(p) => {
                 let compiled = PhysExpr::compile(p, &schema, provider.as_ref())?;
@@ -1929,10 +2089,13 @@ fn bind_query(
 }
 
 /// Recursive subquery runner backed by the session's working catalog.
+/// Carries the outer statement's cancellation token so a timeout also
+/// interrupts subquery materialization.
 struct EngineSubqueryRunner<'a> {
     catalog: &'a Catalog,
     db: &'a Database,
     user: &'a str,
+    cancel: CancelToken,
 }
 
 impl SubqueryRunner for EngineSubqueryRunner<'_> {
@@ -1944,11 +2107,8 @@ impl SubqueryRunner for EngineSubqueryRunner<'_> {
         let plan = self.db.apply_rewriters(plan, self.catalog)?;
         let plan = optimize(plan, &self.db.optimizer_config())?;
         let physical = create_physical_plan(&plan, self.catalog, provider.as_ref(), &options)?;
-        let eval_ctx = EvalContext {
-            provider,
-            user: self.user.to_string(),
-            threads: options.threads,
-        };
+        let eval_ctx = EvalContext::new(provider, self.user.to_string(), options.threads)
+            .with_cancel(self.cancel.clone());
         physical.execute(&eval_ctx)
     }
 }

@@ -31,6 +31,17 @@ pub enum SqlError {
     /// Durability I/O failure (WAL append/fsync, checkpoint write) or an
     /// unrecoverable inconsistency found during recovery.
     Io(String),
+    /// Query aborted by an explicit `Session::cancel()` (cooperative — the
+    /// executor notices at the next morsel/row-stride boundary).
+    Cancelled(String),
+    /// Query aborted because its `statement_timeout` deadline passed.
+    Timeout(String),
+    /// Query rejected up front by the admission controller (too many
+    /// concurrent queries on this database).
+    Admission(String),
+    /// Query aborted mid-run because it exceeded its per-query row or
+    /// memory budget.
+    Budget(String),
 }
 
 impl fmt::Display for SqlError {
@@ -45,6 +56,10 @@ impl fmt::Display for SqlError {
             SqlError::AccessDenied(m) => write!(f, "access denied: {m}"),
             SqlError::Constraint(m) => write!(f, "constraint violation: {m}"),
             SqlError::Io(m) => write!(f, "io error: {m}"),
+            SqlError::Cancelled(m) => write!(f, "query cancelled: {m}"),
+            SqlError::Timeout(m) => write!(f, "statement timeout: {m}"),
+            SqlError::Admission(m) => write!(f, "admission rejected: {m}"),
+            SqlError::Budget(m) => write!(f, "budget exceeded: {m}"),
         }
     }
 }

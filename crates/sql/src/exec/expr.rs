@@ -73,6 +73,36 @@ pub struct EvalContext {
     pub user: String,
     /// Worker threads available for parallel PREDICT.
     pub threads: usize,
+    /// Cooperative cancellation token, checked at operator entries, morsel
+    /// boundaries, and row strides. `CancelToken::none()` never fires.
+    pub cancel: super::cancel::CancelToken,
+    /// Per-query row/memory budget charged by `execute_metered`.
+    pub budget: std::sync::Arc<super::cancel::QueryBudget>,
+}
+
+impl EvalContext {
+    /// Context with no cancellation and no budget (embedded/test callers).
+    pub fn new(provider: ProviderRef, user: impl Into<String>, threads: usize) -> EvalContext {
+        EvalContext {
+            provider,
+            user: user.into(),
+            threads,
+            cancel: super::cancel::CancelToken::none(),
+            budget: std::sync::Arc::new(super::cancel::QueryBudget::unlimited()),
+        }
+    }
+
+    /// Attach a cancellation token.
+    pub fn with_cancel(mut self, cancel: super::cancel::CancelToken) -> EvalContext {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Attach a row/memory budget.
+    pub fn with_budget(mut self, budget: std::sync::Arc<super::cancel::QueryBudget>) -> EvalContext {
+        self.budget = budget;
+        self
+    }
 }
 
 impl PhysExpr {
@@ -326,7 +356,13 @@ impl PhysExpr {
     }
 
     /// Vectorized evaluation over a batch.
+    ///
+    /// Doubles as the per-morsel cancellation point: every morsel closure
+    /// of every parallel operator evaluates at least one expression, so
+    /// checking here bounds how long a cancelled query keeps running by
+    /// one morsel per worker.
     pub fn eval(&self, batch: &RecordBatch, ctx: &EvalContext) -> Result<ColumnVector> {
+        ctx.cancel.check()?;
         match &self.node {
             PhysNode::Column(i) => Ok(batch.column(*i).clone()),
             PhysNode::Literal(Value::Float(x)) => {
@@ -353,6 +389,7 @@ impl PhysExpr {
                 let n = batch.num_rows();
                 let mut out = ColumnVector::with_capacity(self.data_type, n);
                 for row in 0..n {
+                    ctx.cancel.check_every(row)?;
                     out.push(self.eval_row(batch, row, ctx)?)?;
                 }
                 Ok(out)
@@ -368,7 +405,7 @@ impl PhysExpr {
                     .map(|a| a.eval(batch, ctx))
                     .collect::<Result<_>>()?;
                 ctx.provider
-                    .predict(model, &inputs, *strategy, &ctx.user)
+                    .predict_cancellable(model, &inputs, *strategy, &ctx.user, &ctx.cancel)
             }
             // Fast path: numeric comparisons over float columns produce a
             // bool column without per-row boxing (this is the hot path of
@@ -456,6 +493,7 @@ impl PhysExpr {
                 let n = batch.num_rows();
                 let mut out = ColumnVector::with_capacity(self.data_type, n);
                 for row in 0..n {
+                    ctx.cancel.check_every(row)?;
                     out.push(self.eval_row(batch, row, ctx)?)?;
                 }
                 Ok(out)
@@ -619,9 +657,13 @@ impl PhysExpr {
                     .iter()
                     .map(|a| a.eval(&one_row, ctx))
                     .collect::<Result<_>>()?;
-                let out =
-                    ctx.provider
-                        .predict(model, &inputs, PredictStrategy::Row, &ctx.user)?;
+                let out = ctx.provider.predict_cancellable(
+                    model,
+                    &inputs,
+                    PredictStrategy::Row,
+                    &ctx.user,
+                    &ctx.cancel,
+                )?;
                 out.get(0)
             }
         })
@@ -721,7 +763,14 @@ pub fn eval_binary(l: &Value, op: BinOp, r: &Value) -> Result<Value> {
                     }
                     Value::Float(a / b)
                 }
-                Mod => Value::Float(a % b),
+                // `x % 0.0` is IEEE NaN in hardware, but SQL semantics
+                // match integer modulo: division by zero is an error.
+                Mod => {
+                    if b == 0.0 {
+                        return Err(SqlError::Execution("division by zero".into()));
+                    }
+                    Value::Float(a % b)
+                }
                 _ => unreachable!(),
             })
         }
@@ -735,11 +784,7 @@ mod tests {
     use std::sync::Arc;
 
     fn ctx() -> EvalContext {
-        EvalContext {
-            provider: Arc::new(NoInference),
-            user: "admin".into(),
-            threads: 1,
-        }
+        EvalContext::new(Arc::new(NoInference), "admin", 1)
     }
 
     fn test_batch() -> RecordBatch {

@@ -212,6 +212,14 @@ pub struct EngineMetrics {
     pub parallel_ops: AtomicU64,
     /// Morsels executed by parallel operator sections.
     pub morsels: AtomicU64,
+    /// Queries rejected up front by the admission controller.
+    pub admission_rejected: AtomicU64,
+    /// Queries aborted by an explicit `Session::cancel()`.
+    pub queries_cancelled: AtomicU64,
+    /// Queries aborted by `statement_timeout`.
+    pub queries_timed_out: AtomicU64,
+    /// Queries aborted for exceeding their row/memory budget.
+    pub budget_rejected: AtomicU64,
     /// Externally-owned counters registered by higher layers (e.g. the
     /// inference layer's compiled-pipeline cache), appended to [`rows`].
     registered: Mutex<Vec<(&'static str, Arc<AtomicU64>)>>,
@@ -255,6 +263,22 @@ impl EngineMetrics {
             ("exec_ns", self.exec_ns.load(Ordering::Relaxed)),
             ("parallel_ops", self.parallel_ops.load(Ordering::Relaxed)),
             ("morsels", self.morsels.load(Ordering::Relaxed)),
+            (
+                "admission_rejected",
+                self.admission_rejected.load(Ordering::Relaxed),
+            ),
+            (
+                "queries_cancelled",
+                self.queries_cancelled.load(Ordering::Relaxed),
+            ),
+            (
+                "queries_timed_out",
+                self.queries_timed_out.load(Ordering::Relaxed),
+            ),
+            (
+                "budget_rejected",
+                self.budget_rejected.load(Ordering::Relaxed),
+            ),
         ];
         rows.extend(
             self.registered
@@ -328,7 +352,7 @@ mod tests {
         m.register("predict_compile_hits", Arc::new(AtomicU64::new(0)));
         let rows: std::collections::HashMap<_, _> = m.rows().into_iter().collect();
         assert_eq!(rows["predict_compile_hits"], 0);
-        assert_eq!(m.rows().len(), 7);
+        assert_eq!(m.rows().len(), 11);
     }
 
     #[test]

@@ -11,11 +11,13 @@
 //! generalized from PREDICT projections to the whole relational algebra.
 
 pub mod agg;
+pub mod cancel;
 pub mod expr;
 pub mod functions;
 pub mod metrics;
 pub mod parallel;
 
+pub use cancel::{AdmissionController, AdmissionSlot, CancelHandle, CancelToken, QueryBudget};
 pub use expr::{EvalContext, PhysExpr, PhysNode};
 pub use metrics::{EngineMetrics, OpMetrics, OpSnapshot, PlanMetrics};
 pub use parallel::ParallelPolicy;
@@ -52,6 +54,19 @@ pub struct ExecOptions {
     pub morsel_rows: usize,
     /// What `PREDICT(...)` with strategy `Auto` resolves to.
     pub default_predict: PredictStrategy,
+    /// Database-default statement deadline in milliseconds (0 = none).
+    /// Sessions may override it with `SET statement_timeout = <ms>`.
+    pub statement_timeout_ms: u64,
+    /// Admission limit: maximum queries executing concurrently on this
+    /// database (0 = unlimited). Excess queries are rejected immediately
+    /// with `SqlError::Admission`, never queued.
+    pub max_concurrent_queries: usize,
+    /// Per-query budget on cumulative rows materialized across all
+    /// operators (0 = unlimited).
+    pub max_rows_budget: u64,
+    /// Per-query budget on approximate bytes materialized across all
+    /// operators (0 = unlimited).
+    pub max_mem_bytes: u64,
 }
 
 impl Default for ExecOptions {
@@ -64,6 +79,10 @@ impl Default for ExecOptions {
             parallel_row_threshold: 4096,
             morsel_rows: DEFAULT_MORSEL_ROWS,
             default_predict: PredictStrategy::Parallel(threads),
+            statement_timeout_ms: 0,
+            max_concurrent_queries: 0,
+            max_rows_budget: 0,
+            max_mem_bytes: 0,
         }
     }
 }
@@ -76,6 +95,7 @@ impl ExecOptions {
             parallel_row_threshold: usize::MAX,
             morsel_rows: DEFAULT_MORSEL_ROWS,
             default_predict: PredictStrategy::Vectorized,
+            ..ExecOptions::default()
         }
     }
 
@@ -434,6 +454,12 @@ impl PhysicalPlan {
     /// [`PlanMetrics`] tree built with [`PlanMetrics::for_plan`] (the tree
     /// must mirror this plan).
     pub fn execute_metered(&self, ctx: &EvalContext, m: &PlanMetrics) -> Result<RecordBatch> {
+        // Cooperative cancellation point: every operator checks the token
+        // before running, so a cancelled/timed-out query unwinds at the
+        // next operator boundary even when its expressions are trivial.
+        // Wall time already spent is recorded by the enclosing operators'
+        // timers, leaving a partial-but-consistent metrics tree behind.
+        ctx.cancel.check()?;
         let started = std::time::Instant::now();
         let out = self.execute_inner(ctx, m)?;
         m.op
@@ -443,6 +469,13 @@ impl PhysicalPlan {
         m.op
             .rows_out
             .fetch_add(out.num_rows() as u64, AtomicOrdering::Relaxed);
+        // Charge this operator's materialized output against the query's
+        // row/memory budget (bytes are approximated column-major at 8
+        // bytes per cell, the width of the numeric fast paths).
+        ctx.budget.charge(
+            out.num_rows() as u64,
+            (out.num_rows() * out.num_columns() * 8) as u64,
+        )?;
         Ok(out)
     }
 
@@ -564,9 +597,14 @@ impl PhysicalPlan {
                     (lb.num_rows() + rb.num_rows()) as u64,
                     AtomicOrdering::Relaxed,
                 );
-                let pairs: Vec<(usize, usize)> = (0..lb.num_rows())
-                    .flat_map(|li| (0..rb.num_rows()).map(move |ri| (li, ri)))
-                    .collect();
+                let mut pairs: Vec<(usize, usize)> =
+                    Vec::with_capacity(lb.num_rows() * rb.num_rows());
+                for li in 0..lb.num_rows() {
+                    ctx.cancel.check_every(li)?;
+                    for ri in 0..rb.num_rows() {
+                        pairs.push((li, ri));
+                    }
+                }
                 finish_join(&lb, &rb, pairs, *join_type, filter, schema, ctx)
             }
             PhysicalPlan::Sort {
@@ -616,6 +654,7 @@ impl PhysicalPlan {
                     std::collections::HashSet::new();
                 let mut keep = Vec::new();
                 for i in 0..batch.num_rows() {
+                    ctx.cancel.check_every(i)?;
                     if seen.insert(GroupKey(batch.row(i))) {
                         keep.push(i);
                     }
@@ -798,6 +837,7 @@ fn accumulate_groups(
     let mut groups: HashMap<GroupKey, Vec<Accumulator>> = HashMap::new();
     let mut order: Vec<GroupKey> = Vec::new();
     for row in 0..batch.num_rows() {
+        ctx.cancel.check_every(row)?;
         let key = GroupKey(group_cols.iter().map(|c| c.get(row)).collect());
         let accs = groups.entry(key.clone()).or_insert_with(|| {
             order.push(key);
@@ -825,6 +865,7 @@ fn accumulate_global(
         .collect::<Result<_>>()?;
     let mut accs = fresh_accs(aggs);
     for row in 0..batch.num_rows() {
+        ctx.cancel.check_every(row)?;
         for (acc, arg) in accs.iter_mut().zip(&arg_cols) {
             match arg {
                 Some(col) => acc.update(Some(&col.get(row))),
@@ -964,6 +1005,7 @@ fn execute_hash_join(
         op.record_fan_out(build_ranges.len(), policy.degree);
         let rkeys: Vec<Option<(GroupKey, u64)>> =
             parallel::parallel_map(&build_ranges, policy.degree, |range| {
+                ctx.cancel.check()?;
                 Ok(range
                     .clone()
                     .map(|ri| join_key(&rk, ri).map(|k| {
@@ -976,6 +1018,7 @@ fn execute_hash_join(
         let parts: Vec<usize> = (0..nparts).collect();
         let tables: Vec<HashMap<GroupKey, Vec<usize>>> =
             parallel::parallel_map(&parts, policy.degree, |&p| {
+                ctx.cancel.check()?;
                 let mut table: HashMap<GroupKey, Vec<usize>> = HashMap::new();
                 for (ri, entry) in rkeys.iter().enumerate() {
                     if let Some((key, h)) = entry {
@@ -990,6 +1033,7 @@ fn execute_hash_join(
         let probe_ranges = parallel::morsel_ranges(lb.num_rows(), policy.morsel_rows);
         op.record_fan_out(probe_ranges.len(), policy.degree);
         parallel::parallel_map(&probe_ranges, policy.degree, |range| {
+            ctx.cancel.check()?;
             let mut out: Vec<(usize, usize)> = Vec::new();
             for li in range.clone() {
                 if let Some(key) = join_key(&lk, li) {
@@ -1005,12 +1049,14 @@ fn execute_hash_join(
     } else {
         let mut table: HashMap<GroupKey, Vec<usize>> = HashMap::new();
         for ri in 0..rb.num_rows() {
+            ctx.cancel.check_every(ri)?;
             if let Some(key) = join_key(&rk, ri) {
                 table.entry(key).or_default().push(ri);
             }
         }
         let mut pairs: Vec<(usize, usize)> = Vec::new();
         for li in 0..lb.num_rows() {
+            ctx.cancel.check_every(li)?;
             if let Some(key) = join_key(&lk, li) {
                 if let Some(matches) = table.get(&key) {
                     pairs.extend(matches.iter().map(|&ri| (li, ri)));
@@ -1141,6 +1187,7 @@ fn execute_sort(
     let ranges = parallel::morsel_ranges(n, run_rows);
     op.record_fan_out(ranges.len(), policy.degree);
     let runs: Vec<Vec<usize>> = parallel::parallel_map(&ranges, policy.degree, |range| {
+        ctx.cancel.check()?;
         let mut idx: Vec<usize> = range.clone().collect();
         idx.sort_by(|&a, &b| cmp_rows(a, b));
         Ok(idx)
@@ -1149,6 +1196,7 @@ fn execute_sort(
     let mut heads = vec![0usize; runs.len()];
     let mut indices: Vec<usize> = Vec::with_capacity(n);
     loop {
+        ctx.cancel.check_every(indices.len())?;
         let mut best: Option<usize> = None;
         for (r, run) in runs.iter().enumerate() {
             if heads[r] >= run.len() {

@@ -227,6 +227,18 @@ impl Parser {
         if self.eat_kw("REVOKE") {
             return self.grant(true);
         }
+        if self.eat_kw("SET") {
+            let name = self.ident()?;
+            if !self.eat(&Token::Eq) {
+                self.expect_kw("TO")?;
+            }
+            let value = if self.eat_kw("DEFAULT") {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            return Ok(Statement::Set { name, value });
+        }
         Err(SqlError::Parse(format!(
             "unsupported statement starting at '{}'",
             self.peek()

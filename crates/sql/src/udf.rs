@@ -38,6 +38,23 @@ pub trait InferenceProvider: Send + Sync {
         strategy: PredictStrategy,
         user: &str,
     ) -> Result<ColumnVector>;
+
+    /// Cancellation-aware scoring. The default checks the token once and
+    /// delegates to [`InferenceProvider::predict`], so simple providers
+    /// stay oblivious; providers with long or chunked scoring loops (like
+    /// `flock-core`'s) should override this and poll `cancel` between
+    /// chunks so `statement_timeout` can interrupt a large batch mid-way.
+    fn predict_cancellable(
+        &self,
+        model: &str,
+        inputs: &[ColumnVector],
+        strategy: PredictStrategy,
+        user: &str,
+        cancel: &crate::exec::CancelToken,
+    ) -> Result<ColumnVector> {
+        cancel.check()?;
+        self.predict(model, inputs, strategy, user)
+    }
 }
 
 /// The default provider: rejects every PREDICT call. Used when the engine

@@ -165,6 +165,7 @@ fn serial_and_parallel_exec_options_agree() {
         parallel_row_threshold: 1,
         morsel_rows: 2,
         default_predict: PredictStrategy::Parallel(4),
+        ..ExecOptions::default()
     });
     let parallel = db.query(q).unwrap();
     assert_eq!(serial.num_rows(), parallel.num_rows());
@@ -238,6 +239,49 @@ fn division_and_modulo_by_zero_error_cleanly() {
     // but only when rows actually flow through the expression
     let ok = db.query("SELECT x / 0 FROM nums WHERE x > 100");
     assert!(ok.is_ok(), "no rows -> no evaluation -> no error");
+}
+
+#[test]
+fn float_modulo_by_zero_errors_like_integer_modulo() {
+    // Regression test: `x % 0.0` is NaN in IEEE hardware, so the float
+    // path used to silently return NaN while `x / 0.0` (and the integer
+    // paths) raised "division by zero". Both paths now raise the same
+    // typed error, in the vectorized column path and in scalar evaluation.
+    let db = db();
+    for q in [
+        "SELECT y % 0.0 FROM nums",     // vectorized: column % literal
+        "SELECT 5.5 % 0.0 FROM nums",   // scalar: literal % literal
+        "SELECT x % 0.0 FROM nums",     // int column coerced to float
+        "SELECT y % (1.0 - 1.0) FROM nums", // folded-to-zero divisor
+    ] {
+        let err = db.query(q).unwrap_err();
+        assert!(
+            err.to_string().contains("division by zero"),
+            "{q}: expected division-by-zero, got {err}"
+        );
+    }
+    // NULL propagation is unchanged: NULL divisor/dividend yields NULL,
+    // not an error, matching the integer semantics.
+    for q in [
+        "SELECT y % NULL FROM nums",
+        "SELECT NULL % 2.0 FROM nums",
+        "SELECT x % NULL FROM nums",
+    ] {
+        let b = db.query(q).unwrap();
+        for r in 0..b.num_rows() {
+            assert!(b.column(0).get(r).is_null(), "{q}: row {r}");
+        }
+    }
+    // A NULL *value* in the column still propagates per row while other
+    // rows evaluate normally, and no NaN ever escapes.
+    let b = db.query("SELECT y % 2.0 FROM nums ORDER BY x").unwrap();
+    assert_eq!(b.column(0).get(0), Value::Float(1.5));
+    assert!(b.column(0).get(2).is_null(), "NULL y row propagates NULL");
+    for r in 0..b.num_rows() {
+        if let Value::Float(f) = b.column(0).get(r) {
+            assert!(!f.is_nan(), "row {r}: modulo leaked a NaN");
+        }
+    }
 }
 
 #[test]

@@ -121,6 +121,7 @@ fn parallel_options(threads: usize) -> ExecOptions {
         parallel_row_threshold: 1,
         morsel_rows: 64,
         default_predict: PredictStrategy::Vectorized,
+        ..ExecOptions::default()
     }
 }
 
@@ -270,6 +271,7 @@ fn degenerate_options_are_clamped_not_panicking() {
         parallel_row_threshold: 0,
         morsel_rows: 0,
         default_predict: PredictStrategy::Parallel(0),
+        ..ExecOptions::default()
     });
     let b = db
         .query("SELECT region, COUNT(*) FROM orders GROUP BY region ORDER BY region")
