@@ -327,6 +327,25 @@ impl FlockSession {
         r
     }
 
+    /// Prepare a SQL statement with `?` placeholders for repeated
+    /// execution. Flock model DDL (`CREATE MODEL` etc.) is not
+    /// preparable — serve it through [`execute`](Self::execute).
+    pub fn prepare(&mut self, sql: &str) -> Result<flock_sql::PreparedStatement> {
+        self.inner.prepare(sql)
+    }
+
+    /// Execute a prepared statement with `params` bound to its `?`
+    /// placeholders, hitting the shared plan cache on the hot path.
+    pub fn execute_prepared(
+        &mut self,
+        prepared: &flock_sql::PreparedStatement,
+        params: &[Value],
+    ) -> Result<QueryResult> {
+        let r = self.inner.execute_prepared(prepared, params);
+        self.flock.sync_registry();
+        r
+    }
+
     /// Deploy a pipeline as a new model (version 1).
     pub fn deploy_model(
         &mut self,

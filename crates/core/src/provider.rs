@@ -3,7 +3,8 @@
 
 use crate::registry::ModelRegistry;
 use flock_ml::{
-    interpreted_score_with_metrics, CompiledPipeline, Frame, FrameCol, Pipeline, ScoringMetrics,
+    interpreted_score_with_metrics, BatchScratch, CompiledPipeline, Frame, FrameCol, Pipeline,
+    ScoringMetrics,
 };
 use flock_sql::ast::PredictStrategy;
 use flock_sql::exec::parallel::parallel_map;
@@ -18,6 +19,7 @@ use std::sync::Arc;
 pub struct PredictStats {
     pub row_calls: std::sync::atomic::AtomicU64,
     pub vectorized_calls: std::sync::atomic::AtomicU64,
+    pub batched_calls: std::sync::atomic::AtomicU64,
     pub parallel_calls: std::sync::atomic::AtomicU64,
     pub rows_scored: std::sync::atomic::AtomicU64,
 }
@@ -82,6 +84,22 @@ impl FlockInferenceProvider {
                 self.compiled(model)?
                     .score_with_metrics(&frame, &self.scoring)
                     .map_err(|e| SqlError::Execution(e.to_string()))?
+            }
+            PredictStrategy::Batched => {
+                self.stats.batched_calls.fetch_add(1, Ordering::Relaxed);
+                // Scratch buffers live per worker thread and persist
+                // across statements: the serving hot loop never
+                // reallocates cursor/sum arrays.
+                thread_local! {
+                    static SCRATCH: std::cell::RefCell<BatchScratch> =
+                        std::cell::RefCell::new(BatchScratch::default());
+                }
+                let compiled = self.compiled(model)?;
+                SCRATCH.with(|s| {
+                    compiled
+                        .score_batched_with_metrics(&frame, &self.scoring, &mut s.borrow_mut())
+                        .map_err(|e| SqlError::Execution(e.to_string()))
+                })?
             }
             PredictStrategy::Parallel(threads) => {
                 self.stats.parallel_calls.fetch_add(1, Ordering::Relaxed);
@@ -199,6 +217,13 @@ impl InferenceProvider for FlockInferenceProvider {
         cancel: &CancelToken,
     ) -> Result<ColumnVector, SqlError> {
         self.predict_inner(model, inputs, strategy, cancel)
+    }
+
+    /// Model-deployment epoch: redeploying or dropping any model bumps
+    /// it, invalidating every cached plan whose `PREDICT` was bound
+    /// against the old registry state.
+    fn plan_epoch(&self) -> u64 {
+        self.registry.plan_epoch()
     }
 }
 

@@ -39,6 +39,13 @@ pub struct ModelRegistry {
     cache_hits: Arc<AtomicU64>,
     cache_misses: Arc<AtomicU64>,
     cache_invalidations: Arc<AtomicU64>,
+    /// Bumped whenever a *deployed* model (non-derived name) is registered
+    /// or removed. The SQL plan cache samples this through
+    /// [`InferenceProvider::plan_epoch`] so cached plans die on model
+    /// redeploy / drop. Derived-variant registrations do NOT bump it:
+    /// they happen *during* planning (epochs were already sampled), and a
+    /// bump would make every fresh cache entry instantly stale.
+    epoch: AtomicU64,
 }
 
 impl ModelRegistry {
@@ -63,13 +70,16 @@ impl ModelRegistry {
             }
             !stale
         });
-        self.models.write().insert(key, model);
+        self.models.write().insert(key.clone(), model);
+        if !key.contains('#') {
+            self.epoch.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     pub fn remove(&self, name: &str) {
         let key = name.to_ascii_lowercase();
         let mut models = self.models.write();
-        models.remove(&key);
+        let removed = models.remove(&key).is_some();
         self.evict_compiled(&key);
         // drop derived variants of this model too
         let derived_prefix = format!("{key}#");
@@ -80,6 +90,16 @@ impl ModelRegistry {
             }
             !stale
         });
+        if removed && !key.contains('#') {
+            self.epoch.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Monotonic model-deployment epoch (see the field doc). Sampled by
+    /// the SQL plan cache to invalidate plans whose `PREDICT` targets
+    /// were redeployed or dropped.
+    pub fn plan_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
     }
 
     /// The compiled (evaluation-ready) form of a registered pipeline.

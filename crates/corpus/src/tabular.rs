@@ -90,7 +90,7 @@ impl TabularDataset {
     }
 
     /// The feature frame (inputs only) for standalone runtimes.
-    pub fn frame(&self) -> Frame {
+    pub fn frame(&self) -> Frame<'_> {
         Frame::new()
             .with("age", FrameCol::F64(self.age.clone()))
             .unwrap()

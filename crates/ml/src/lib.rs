@@ -40,7 +40,8 @@ pub use featurize::{ColumnPipeline, Encoder, NumericStep, RawValue};
 pub use frame::{Frame, FrameCol};
 pub use matrix::Matrix;
 pub use model::{
-    DecisionTree, GaussianNb, GbtModel, KnnModel, LinearModel, Model, RandomForest, TreeNode,
+    BatchScratch, DecisionTree, GaussianNb, GbtModel, KnnModel, LinearModel, Model, RandomForest,
+    TreeNode,
 };
 pub use pipeline::Pipeline;
 pub use specialize::{specialize_mask, InputConstraint, SpecializationReport};

@@ -270,13 +270,17 @@ pub enum UnOp {
 
 /// How a PREDICT call should be executed. `Auto` lets the optimizer pick;
 /// the cross-optimizer's physical-selection rule rewrites it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// (`Hash` lets the plan cache key on a session's strategy override.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PredictStrategy {
     Auto,
     /// Interpret the pipeline row-at-a-time (the "inline SQL UDF" anchor).
     Row,
     /// Score the whole batch through the vectorized runtime.
     Vectorized,
+    /// Level-synchronous struct-of-arrays batch kernel over flattened
+    /// trees (bit-exact with `Vectorized`; non-tree models fall back).
+    Batched,
     /// Partition the batch across `n` worker threads.
     Parallel(usize),
 }

@@ -147,6 +147,22 @@ impl ColumnVector {
         }
     }
 
+    /// Borrow the raw bool buffer when this column is all-valid bools.
+    pub fn as_bool_slice(&self) -> Option<&[bool]> {
+        match &*self.data {
+            ColumnData::Bool(v) if self.validity.iter().all(|b| *b) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow the raw i64 buffer when this column is all-valid ints.
+    pub fn as_i64_slice(&self) -> Option<&[i64]> {
+        match &*self.data {
+            ColumnData::Int(v) if self.validity.iter().all(|b| *b) => Some(v),
+            _ => None,
+        }
+    }
+
     /// Borrow the raw string buffer when this is a Text column.
     pub fn as_text_slice(&self) -> Option<&[String]> {
         match &*self.data {

@@ -1,6 +1,6 @@
 //! The database engine: sessions, transactions, DML, logging, auditing.
 
-use crate::ast::{AlterAction, Expr, GrantObject, InsertSource, Statement};
+use crate::ast::{AlterAction, Expr, GrantObject, InsertSource, PredictStrategy, Statement};
 use crate::batch::RecordBatch;
 use crate::catalog::{Catalog, ObjectRef, Privilege, ViewDef};
 use crate::column::ColumnVector;
@@ -9,16 +9,18 @@ use crate::exec::{
     create_physical_plan, AdmissionController, AdmissionSlot, CancelHandle, CancelToken,
     EngineMetrics, EvalContext, ExecOptions, OpSnapshot, PhysExpr, PlanMetrics, QueryBudget,
 };
+use crate::lexer::Token;
 use crate::optimizer::{optimize, OptimizerConfig};
 use crate::plan::{plan_query, rewrite_expr, LogicalPlan, PlanContext, PlanRewriter, SubqueryRunner};
+use crate::plancache::{bind_slots, normalize, CacheHit, CacheKey, CachedPlan, ParamSlot, PlanCache};
 use crate::schema::{ColumnDef, Schema};
 use crate::table::Table;
-use crate::types::Value;
+use crate::types::{DataType, Value};
 use crate::udf::{NoInference, ProviderRef};
 use crate::wal::{DurabilityOptions, DurableFs, RedoOp, StdFs, WalManager, WalRecord};
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Classification of a statement for the query log.
@@ -121,6 +123,14 @@ pub struct Database {
     metrics: Arc<EngineMetrics>,
     admission: Arc<AdmissionController>,
     last_query: Arc<RwLock<Option<OpSnapshot>>>,
+    plan_cache: Arc<PlanCache>,
+    /// Bumped when a transaction that ran DDL (or changed grants) commits;
+    /// cached plans carry the epoch they were planned under.
+    ddl_epoch: Arc<AtomicU64>,
+    /// Bumped when exec options, optimizer config, plan rewriters, or the
+    /// inference provider change — any of these can change what a plan
+    /// compiles to.
+    options_epoch: Arc<AtomicU64>,
 }
 
 impl Default for Database {
@@ -143,15 +153,23 @@ impl Database {
     }
 
     fn from_state(state: DbState) -> Self {
+        let metrics = Arc::new(EngineMetrics::default());
+        let plan_cache = Arc::new(PlanCache::default());
+        for (name, counter) in plan_cache.counters() {
+            metrics.register(name, counter);
+        }
         Database {
             state: Arc::new(RwLock::new(state)),
             provider: Arc::new(RwLock::new(Arc::new(NoInference))),
             options: Arc::new(RwLock::new(ExecOptions::default())),
             optimizer: Arc::new(RwLock::new(OptimizerConfig::default())),
             rewriters: Arc::new(RwLock::new(Vec::new())),
-            metrics: Arc::new(EngineMetrics::default()),
+            metrics,
             admission: Arc::new(AdmissionController::new()),
             last_query: Arc::new(RwLock::new(None)),
+            plan_cache,
+            ddl_epoch: Arc::new(AtomicU64::new(0)),
+            options_epoch: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -236,11 +254,18 @@ impl Database {
     /// after planning and before the relational optimizer.
     pub fn add_plan_rewriter(&self, rewriter: Arc<dyn PlanRewriter>) {
         self.rewriters.write().push(rewriter);
+        self.options_epoch.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Remove all registered plan rewriters.
     pub fn clear_plan_rewriters(&self) {
         self.rewriters.write().clear();
+        self.options_epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The prepared-statement / plain-SQL plan cache.
+    pub fn plan_cache(&self) -> Arc<PlanCache> {
+        self.plan_cache.clone()
     }
 
     fn apply_rewriters(&self, mut plan: LogicalPlan, catalog: &Catalog) -> Result<LogicalPlan> {
@@ -258,6 +283,7 @@ impl Database {
             txn: None,
             cancel_flag: Arc::new(AtomicBool::new(false)),
             statement_timeout_ms: None,
+            predict_strategy: None,
             last_query: None,
         }
     }
@@ -265,6 +291,7 @@ impl Database {
     /// Install the inference provider (done by `flock-core`).
     pub fn set_inference_provider(&self, provider: ProviderRef) {
         *self.provider.write() = provider;
+        self.options_epoch.fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn inference_provider(&self) -> ProviderRef {
@@ -276,6 +303,7 @@ impl Database {
     /// configuration degrades to serial execution instead of panicking.
     pub fn set_exec_options(&self, options: ExecOptions) {
         *self.options.write() = options.validated();
+        self.options_epoch.fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn exec_options(&self) -> ExecOptions {
@@ -284,6 +312,7 @@ impl Database {
 
     pub fn set_optimizer_config(&self, config: OptimizerConfig) {
         *self.optimizer.write() = config;
+        self.options_epoch.fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn optimizer_config(&self) -> OptimizerConfig {
@@ -397,6 +426,10 @@ struct Txn {
     /// Objects this txn wrote, with the committed state they were based on.
     written: HashMap<String, BaseState>,
     access_dirty: bool,
+    /// True once any DDL ran (create/drop/alter of tables, views, or
+    /// extension objects). A committing DDL txn bumps the database's DDL
+    /// epoch, invalidating every cached plan.
+    ddl: bool,
     /// Logical redo records, captured at mutation time in execution order.
     /// Replaying them over the base state reproduces the txn's effects.
     redo_buf: Vec<RedoOp>,
@@ -415,6 +448,12 @@ pub struct Session {
     /// Session-local `SET statement_timeout` override, in milliseconds
     /// (`None` = fall back to [`ExecOptions::statement_timeout_ms`]).
     statement_timeout_ms: Option<u64>,
+    /// Session-local `SET predict_strategy` override. Applied to every
+    /// `PREDICT(...)` whose statement did not pin a strategy explicitly,
+    /// *before* plan rewriters run (xopt consumes `Auto`), and keyed into
+    /// the plan cache so sessions with different overrides never share
+    /// a cached plan.
+    predict_strategy: Option<PredictStrategy>,
     /// This session's most recent query snapshot — unlike the engine-wide
     /// [`Database::last_query_metrics`], concurrent sessions cannot
     /// clobber it.
@@ -459,7 +498,22 @@ impl Session {
     }
 
     /// Execute one SQL statement (autocommit unless inside BEGIN/COMMIT).
+    ///
+    /// Plain `SELECT` text outside a transaction takes a fast path: the
+    /// raw token stream keys the plan cache, so repeating the same query
+    /// text skips parse/plan/optimize. Literals stay inline on this path —
+    /// value-dependent optimizations (e.g. threshold-based model pruning)
+    /// still see them.
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        if self.txn.is_none() {
+            if let Ok(tokens) = crate::lexer::tokenize(sql) {
+                if matches!(tokens.first(),
+                    Some(Token::Ident(w)) if w.eq_ignore_ascii_case("SELECT"))
+                {
+                    return self.execute_select_tokens(tokens, sql);
+                }
+            }
+        }
         let stmt = crate::parser::parse_statement(sql)?;
         self.execute_statement(stmt, sql)
     }
@@ -469,6 +523,345 @@ impl Session {
         let stmt = crate::parser::parse_statement(sql)?;
         let stmt = bind_parameters(stmt, params)?;
         self.execute_statement(stmt, sql)
+    }
+
+    /// Prepare a statement for repeated execution. `?` placeholders bind
+    /// at execute time. Literal constants are parameterized out of queries,
+    /// so executions that differ only in constants share one cached plan;
+    /// the skip rules (LIMIT/OFFSET/VERSION, `DATE` literals, ORDER BY /
+    /// GROUP BY ordinals) are documented on [`crate::plancache::normalize`].
+    pub fn prepare(&mut self, sql: &str) -> Result<PreparedStatement> {
+        let tokens = crate::lexer::tokenize(sql)?;
+        let norm = normalize(&tokens);
+        // Parse the normalized stream once: syntax errors surface at
+        // prepare time, and the statement class picks the execute path.
+        let (stmt, nparams) = crate::parser::parse_token_stream(norm.tokens.clone())?;
+        debug_assert_eq!(nparams, norm.slots.len());
+        let kind = match stmt {
+            // Scalar/IN/EXISTS subqueries execute during planning, so such
+            // a query cannot be planned parameter-generically; it falls
+            // back to binding literals into the AST on every execute.
+            Statement::Query(q) if !query_has_subqueries(&q) => PreparedKind::Query {
+                tokens: norm.tokens,
+                slots: norm.slots,
+            },
+            _ => {
+                let (stmt, _) = crate::parser::parse_statement_with_params(sql)?;
+                PreparedKind::Other {
+                    stmt: Box::new(stmt),
+                }
+            }
+        };
+        let gauge = self.db.plan_cache.prepared_active.clone();
+        gauge.fetch_add(1, Ordering::Relaxed);
+        Ok(PreparedStatement {
+            sql: sql.to_string(),
+            kind,
+            user_params: norm.user_params,
+            gauge,
+        })
+    }
+
+    /// Execute a prepared statement with `params` bound to its `?`
+    /// placeholders. Queries go through the plan cache: steady state skips
+    /// lex/parse/plan/optimize and jumps to the cached physical plan.
+    pub fn execute_prepared(
+        &mut self,
+        prepared: &PreparedStatement,
+        params: &[Value],
+    ) -> Result<QueryResult> {
+        if params.len() != prepared.user_params {
+            return Err(SqlError::Plan(format!(
+                "prepared statement expects {} parameter(s), got {}",
+                prepared.user_params,
+                params.len()
+            )));
+        }
+        self.cancel_flag.store(false, Ordering::Relaxed);
+        match &prepared.kind {
+            PreparedKind::Query { tokens, slots } => {
+                // An open user transaction bypasses the shared cache
+                // entirely: a plan bound against uncommitted state must
+                // not leak into (or out of) it.
+                if self.txn.is_some() {
+                    let (stmt, _) = crate::parser::parse_token_stream(tokens.clone())?;
+                    let bound = bind_slots(slots, params)?;
+                    let stmt = bind_parameters(stmt, &bound)?;
+                    return self.run_in_txn(stmt, &prepared.sql);
+                }
+                let bound = Arc::new(bind_slots(slots, params)?);
+                let key = CacheKey {
+                    tokens: tokens.clone(),
+                    param_types: bound.iter().map(Value::data_type).collect(),
+                    predict: self.predict_strategy,
+                };
+                if let Some(result) = self.try_cached(&key, &bound, &prepared.sql)? {
+                    return Ok(result);
+                }
+                let (stmt, _) = crate::parser::parse_token_stream(tokens.clone())?;
+                let Statement::Query(q) = stmt else {
+                    unreachable!("prepared Query kind parses back to a query");
+                };
+                self.plan_execute_insert(key, q, bound, &prepared.sql)
+            }
+            PreparedKind::Other { stmt } => {
+                let stmt = bind_parameters((**stmt).clone(), params)?;
+                self.execute_statement(stmt, &prepared.sql)
+            }
+        }
+    }
+
+    /// Cached execution of a plain `SELECT` given its raw token stream.
+    fn execute_select_tokens(&mut self, tokens: Vec<Token>, sql: &str) -> Result<QueryResult> {
+        self.cancel_flag.store(false, Ordering::Relaxed);
+        let key = CacheKey {
+            tokens,
+            param_types: Vec::new(),
+            predict: self.predict_strategy,
+        };
+        let params: Arc<Vec<Value>> = Arc::new(Vec::new());
+        if let Some(result) = self.try_cached(&key, &params, sql)? {
+            return Ok(result);
+        }
+        // Miss: parse the very tokens that keyed the lookup (never the raw
+        // text — script execution reuses one text for many statements).
+        let (stmt, _) = crate::parser::parse_token_stream(key.tokens.clone())?;
+        match stmt {
+            Statement::Query(q) => self.plan_execute_insert(key, q, params, sql),
+            other => self.execute_statement(other, sql),
+        }
+    }
+
+    /// Try to serve a query from the plan cache. `Ok(None)` means a miss
+    /// (cold or invalidated) — the caller replans.
+    fn try_cached(
+        &mut self,
+        key: &CacheKey,
+        params: &Arc<Vec<Value>>,
+        sql: &str,
+    ) -> Result<Option<QueryResult>> {
+        let db = self.db.clone();
+        let provider = db.inference_provider();
+        let epochs = (
+            db.ddl_epoch.load(Ordering::Relaxed),
+            db.options_epoch.load(Ordering::Relaxed),
+            provider.plan_epoch(),
+        );
+        let catalog = db.catalog();
+        let hit = db.plan_cache.lookup(key, epochs, |t| {
+            catalog.table(t).ok().map(|tab| tab.current_version())
+        });
+        let entry = match hit {
+            Ok(CacheHit::Ready(e)) => e,
+            Ok(CacheHit::Rebind(e)) => {
+                // Plain DML moved a table version under the plan: re-derive
+                // only the physical plan (cheap — column data is
+                // Arc-shared) from the cached logical plan and refresh the
+                // entry in place.
+                let options = self.session_options();
+                let physical =
+                    create_physical_plan(&e.logical, &catalog, provider.as_ref(), &options)?;
+                let table_versions = e
+                    .table_versions
+                    .iter()
+                    .map(|(t, _)| catalog.table(t).map(|tab| (t.clone(), tab.current_version())))
+                    .collect::<Result<Vec<_>>>()?;
+                db.plan_cache.insert(
+                    key.clone(),
+                    CachedPlan {
+                        logical: e.logical.clone(),
+                        physical,
+                        tables: e.tables.clone(),
+                        models: e.models.clone(),
+                        table_versions,
+                        ddl_epoch: e.ddl_epoch,
+                        options_epoch: e.options_epoch,
+                        model_epoch: e.model_epoch,
+                    },
+                )
+            }
+            Err(_) => return Ok(None),
+        };
+        // Per-execute ACL: a cached plan must never outlive a revocation.
+        // (Revokes also bump the DDL epoch, but the check here makes the
+        // property independent of epoch bookkeeping.)
+        for t in &entry.tables {
+            self.check_access(&catalog, &ObjectRef::table(t), Privilege::Select)?;
+        }
+        for m in &entry.models {
+            self.check_access(&catalog, &ObjectRef::extension(m), Privilege::Execute)?;
+        }
+        let options = self.session_options();
+        let _slot = self.admit(&options)?;
+        let cancel = self.statement_cancel(&options);
+        self.run_physical(
+            &entry.physical,
+            provider,
+            &options,
+            cancel,
+            params.clone(),
+            entry.tables.clone(),
+            sql,
+        )
+        .map(Some)
+    }
+
+    /// Cache-miss path: plan a query whose parameters stay unbound,
+    /// execute it with `params`, and remember the plan under `key` unless
+    /// the query is uncacheable.
+    fn plan_execute_insert(
+        &mut self,
+        key: CacheKey,
+        q: crate::ast::Query,
+        params: Arc<Vec<Value>>,
+        sql: &str,
+    ) -> Result<QueryResult> {
+        // Scalar/IN/EXISTS subqueries run at plan time; such a query can
+        // neither stay parameter-generic nor be safely cached. (Prepared
+        // statements filtered these out at prepare time, so params are
+        // always empty here.)
+        if query_has_subqueries(&q) {
+            debug_assert!(params.is_empty());
+            return self.run_in_txn(Statement::Query(q), sql);
+        }
+        // Typed parameters: wrap each `?i` in an identity CAST so type
+        // derivation sees the bound type instead of a default.
+        let q = annotate_param_types(q, &key.param_types)?;
+        let catalog = self
+            .db
+            .overlay_metrics_table(self.db.catalog(), &self.user);
+        let provider = self.db.inference_provider();
+        let options = self.session_options();
+        // Epochs are sampled BEFORE planning: if DDL commits concurrently,
+        // the inserted entry is already stale and dies on first lookup.
+        let epochs = (
+            self.db.ddl_epoch.load(Ordering::Relaxed),
+            self.db.options_epoch.load(Ordering::Relaxed),
+            provider.plan_epoch(),
+        );
+        let cancel = self.statement_cancel(&options);
+        let runner = EngineSubqueryRunner {
+            catalog: &catalog,
+            db: &self.db,
+            user: &self.user,
+            cancel: cancel.clone(),
+        };
+        let ctx = PlanContext::new(&catalog, provider.as_ref()).with_subqueries(&runner);
+        let plan = plan_query(&q, &ctx)?;
+        let (tables, models) = self.check_query_access(&catalog, &plan)?;
+        let plan = self.apply_session_strategy(plan)?;
+        let plan = self.db.apply_rewriters(plan, &catalog)?;
+        let plan = optimize(plan, &self.db.optimizer_config())?;
+        let physical = create_physical_plan(&plan, &catalog, provider.as_ref(), &options)?;
+
+        // Record the bound version of every live (non-pinned) scan in the
+        // *optimized* plan — that is what the physical plan snapshots.
+        // Queries over the per-query `flock_metrics` overlay never cache.
+        let mut table_versions = Vec::new();
+        let mut cacheable = !tables
+            .iter()
+            .any(|t| t.eq_ignore_ascii_case("flock_metrics"));
+        plan.visit(&mut |n| {
+            if let LogicalPlan::Scan {
+                table,
+                version: None,
+                ..
+            } = n
+            {
+                if table.eq_ignore_ascii_case("flock_metrics") {
+                    cacheable = false;
+                } else {
+                    match catalog.table(table) {
+                        Ok(t) => table_versions.push((table.clone(), t.current_version())),
+                        Err(_) => cacheable = false,
+                    }
+                }
+            }
+        });
+
+        let slot = self.admit(&options)?;
+        let result = self.run_physical(
+            &physical,
+            provider,
+            &options,
+            cancel,
+            params,
+            tables.clone(),
+            sql,
+        );
+        drop(slot);
+        // Insert even when execution failed (cancel/timeout/budget): the
+        // plan itself is valid and the next execution should still hit.
+        if cacheable {
+            self.db.plan_cache.insert(
+                key,
+                CachedPlan {
+                    logical: Arc::new(plan),
+                    physical,
+                    tables,
+                    models,
+                    table_versions,
+                    ddl_epoch: epochs.0,
+                    options_epoch: epochs.1,
+                    model_epoch: epochs.2,
+                },
+            );
+        }
+        result
+    }
+
+    /// Shared execution tail for cached and freshly planned physical
+    /// query plans: budget, eval context (with bound parameters), metered
+    /// execution, metrics publication, and query logging.
+    #[allow(clippy::too_many_arguments)]
+    fn run_physical(
+        &mut self,
+        physical: &crate::exec::PhysicalPlan,
+        provider: ProviderRef,
+        options: &ExecOptions,
+        cancel: CancelToken,
+        params: Arc<Vec<Value>>,
+        tables: Vec<String>,
+        sql: &str,
+    ) -> Result<QueryResult> {
+        let budget = Arc::new(QueryBudget::limited(
+            options.max_rows_budget,
+            options.max_mem_bytes,
+        ));
+        let eval_ctx = EvalContext::new(provider, self.user.clone(), options.threads)
+            .with_cancel(cancel)
+            .with_budget(budget)
+            .with_params(params);
+        let plan_metrics = PlanMetrics::for_plan(physical);
+        let started = std::time::Instant::now();
+        let result = physical.execute_metered(&eval_ctx, &plan_metrics);
+        let elapsed_us = started.elapsed().as_micros() as u64;
+        let snapshot = plan_metrics.snapshot(physical);
+        self.db.metrics.record_query(&snapshot);
+        let rows_scanned = snapshot.rows_scanned();
+        let parallel_ops = snapshot.parallel_ops();
+        self.last_query = Some(snapshot.clone());
+        *self.db.last_query.write() = Some(snapshot);
+        let batch = match result {
+            Ok(batch) => batch,
+            Err(e) => {
+                self.note_query_error(&e);
+                return Err(e);
+            }
+        };
+        let rows = batch.num_rows();
+        let runtime = QueryRuntime {
+            rows_scanned,
+            rows_returned: rows as u64,
+            elapsed_us,
+            parallel_ops,
+        };
+        self.log_statement_runtime(sql, StatementKind::Query, tables, vec![], vec![], runtime);
+        Ok(QueryResult {
+            batch: Some(batch),
+            rows_affected: rows,
+            message: format!("{rows} row(s)"),
+        })
     }
 
     /// Execute a whole script, statement by statement.
@@ -535,9 +928,72 @@ impl Session {
                     None => "statement_timeout = default".to_string(),
                 }))
             }
+            "predict_strategy" => {
+                let strategy = match value {
+                    None => None, // SET predict_strategy = DEFAULT
+                    Some(e) => {
+                        let folded = crate::optimizer::fold_expr(e)?;
+                        let Expr::Literal(Value::Text(s)) = folded else {
+                            return Err(SqlError::Plan(format!(
+                                "predict_strategy expects a string literal, got {folded:?}"
+                            )));
+                        };
+                        match s.to_ascii_lowercase().as_str() {
+                            "auto" | "default" => None,
+                            "row" => Some(PredictStrategy::Row),
+                            "vectorized" => Some(PredictStrategy::Vectorized),
+                            "batched" => Some(PredictStrategy::Batched),
+                            // Degree is resolved once at SET time from the
+                            // engine-wide thread budget.
+                            "parallel" => Some(PredictStrategy::Parallel(
+                                self.db.exec_options().threads.max(1),
+                            )),
+                            other => {
+                                return Err(SqlError::Plan(format!(
+                                    "predict_strategy expects one of 'row' | 'vectorized' \
+                                     | 'batched' | 'parallel' | 'auto', got '{other}'"
+                                )))
+                            }
+                        }
+                    }
+                };
+                self.predict_strategy = strategy;
+                Ok(QueryResult::none(match strategy {
+                    Some(PredictStrategy::Parallel(n)) => {
+                        format!("predict_strategy = parallel({n})")
+                    }
+                    Some(s) => format!("predict_strategy = {s:?}").to_ascii_lowercase(),
+                    None => "predict_strategy = default".to_string(),
+                }))
+            }
             other => Err(SqlError::Plan(format!(
                 "unknown session variable '{other}'"
             ))),
+        }
+    }
+
+    /// This session's effective [`ExecOptions`]: the engine-wide options
+    /// with any `SET predict_strategy` override folded into
+    /// `default_predict`, so `Auto` strategies that reach physical
+    /// compilation untouched still resolve to the session's choice.
+    fn session_options(&self) -> ExecOptions {
+        let mut options = self.db.exec_options();
+        if let Some(s) = self.predict_strategy {
+            options.default_predict = s;
+        }
+        options
+    }
+
+    /// Apply the session `SET predict_strategy` override to a logical
+    /// plan: every `PREDICT` that did not pin a strategy in SQL (i.e.
+    /// still `Auto`) adopts the override. Must run *before*
+    /// [`Database::apply_rewriters`] — the cross-optimizer's operator
+    /// selection consumes `Auto` there, after which the override would be
+    /// silently lost.
+    fn apply_session_strategy(&self, plan: LogicalPlan) -> Result<LogicalPlan> {
+        match self.predict_strategy {
+            Some(s) => override_auto_predict(plan, s),
+            None => Ok(plan),
         }
     }
 
@@ -599,6 +1055,7 @@ impl Session {
             catalog: state.catalog.clone(),
             written: HashMap::new(),
             access_dirty: false,
+            ddl: false,
             redo_buf: Vec::new(),
             log_buf: Vec::new(),
             audit_buf: Vec::new(),
@@ -679,6 +1136,14 @@ impl Session {
         state.next_audit_seq = next_audit_seq;
         state.query_log.extend(log_entries);
         state.audit_log.extend(audit_entries);
+
+        // Committed DDL — or any grant/revoke — moves the epoch every
+        // cached plan was validated against, so stale plans (including
+        // ones a revoked user could still score through) die on their
+        // next lookup.
+        if txn.ddl || txn.access_dirty {
+            self.db.ddl_epoch.fetch_add(1, Ordering::Relaxed);
+        }
 
         // Periodic checkpoint (best-effort: a failed checkpoint leaves the
         // previous one and the log intact, so it never loses data).
@@ -782,6 +1247,7 @@ impl Session {
                 });
                 let key = format!("view:{}", name.to_ascii_lowercase());
                 txn.written.entry(key).or_insert(base);
+                txn.ddl = true;
                 self.audit("CREATE VIEW", &name, "");
                 Ok(QueryResult::none(format!("view '{name}' created")))
             }
@@ -792,6 +1258,7 @@ impl Session {
                 txn.catalog.drop_view(&name)?;
                 txn.redo_buf.push(RedoOp::DropView { name: name.clone() });
                 txn.written.entry(key).or_insert(base);
+                txn.ddl = true;
                 self.audit("DROP VIEW", &name, "");
                 Ok(QueryResult::none(format!("view '{name}' dropped")))
             }
@@ -834,7 +1301,7 @@ impl Session {
             .db
             .overlay_metrics_table(self.working_catalog(), &self.user);
         let provider = self.db.inference_provider();
-        let options = self.db.exec_options();
+        let options = self.session_options();
         let cancel = self.statement_cancel(&options);
         let runner = EngineSubqueryRunner {
             catalog: &catalog,
@@ -851,6 +1318,7 @@ impl Session {
             self.check_query_access(&catalog, &plan)?;
         }
 
+        let plan = self.apply_session_strategy(plan)?;
         let plan = self.db.apply_rewriters(plan, &catalog)?;
         let optimized = optimize(plan, &self.db.optimizer_config())?;
         let text = if analyze {
@@ -967,6 +1435,7 @@ impl Session {
             data: redo_data,
         });
         txn.written.entry(key).or_insert(base);
+        txn.ddl = true;
         self.log_statement(
             sql,
             StatementKind::Ddl,
@@ -1069,12 +1538,13 @@ impl Session {
     /// Access control runs on the *pre-rewrite* plan: SELECT on every
     /// scanned table, EXECUTE on every referenced model. Rewriters may
     /// inline a model away, but inlining must not bypass its ACL.
-    /// Returns the scanned table names for the query log.
+    /// Returns the scanned table and model names — the query log wants the
+    /// tables, and cached plans re-check both lists on every execute.
     fn check_query_access(
         &mut self,
         catalog: &Catalog,
         plan: &LogicalPlan,
-    ) -> Result<Vec<String>> {
+    ) -> Result<(Vec<String>, Vec<String>)> {
         let mut tables = Vec::new();
         plan.visit(&mut |n| {
             if let LogicalPlan::Scan { table, .. } = n {
@@ -1095,7 +1565,7 @@ impl Session {
         for m in &models {
             self.check_access(catalog, &ObjectRef::extension(m), Privilege::Execute)?;
         }
-        Ok(tables)
+        Ok((tables, models))
     }
 
     fn run_query(&mut self, q: &crate::ast::Query, sql: &str) -> Result<QueryResult> {
@@ -1103,7 +1573,7 @@ impl Session {
             .db
             .overlay_metrics_table(self.working_catalog(), &self.user);
         let provider = self.db.inference_provider();
-        let options = self.db.exec_options();
+        let options = self.session_options();
         let _slot = self.admit(&options)?;
         let cancel = self.statement_cancel(&options);
         let budget = Arc::new(QueryBudget::limited(
@@ -1119,8 +1589,9 @@ impl Session {
         let ctx = PlanContext::new(&catalog, provider.as_ref()).with_subqueries(&runner);
         let plan = plan_query(q, &ctx)?;
 
-        let tables = self.check_query_access(&catalog, &plan)?;
+        let (tables, _models) = self.check_query_access(&catalog, &plan)?;
 
+        let plan = self.apply_session_strategy(plan)?;
         let plan = self.db.apply_rewriters(plan, &catalog)?;
         let plan = optimize(plan, &self.db.optimizer_config())?;
 
@@ -1422,6 +1893,7 @@ impl Session {
                 txn_id,
             });
             txn.written.entry(key).or_insert(base);
+            txn.ddl = true;
             // creator gets full rights on the new table
             let user = self.user.clone();
             let txn = self.txn_mut();
@@ -1457,6 +1929,7 @@ impl Session {
             name: name.to_string(),
         });
         txn.written.entry(key).or_insert(base);
+        txn.ddl = true;
         self.log_statement(sql, StatementKind::Ddl, vec![], vec![name.to_string()], vec![]);
         self.audit("DROP TABLE", name, "");
         Ok(QueryResult::none(format!("table '{name}' dropped")))
@@ -1574,6 +2047,7 @@ impl Session {
                 metadata,
             });
             txn.written.entry(key).or_insert(base);
+            txn.ddl = true;
             let txn = s.txn_mut();
             txn.catalog
                 .access
@@ -1615,6 +2089,7 @@ impl Session {
                 metadata,
             });
             txn.written.entry(key).or_insert(base);
+            txn.ddl = true;
             s.audit(&format!("UPDATE {}", kind.to_uppercase()), name, &format!("v{v}"));
             Ok(v)
         })
@@ -1634,6 +2109,7 @@ impl Session {
                 name: name.to_string(),
             });
             txn.written.entry(key).or_insert(base);
+            txn.ddl = true;
             s.audit(&format!("DROP {}", kind.to_uppercase()), name, "");
             Ok(())
         })
@@ -1660,6 +2136,7 @@ impl Session {
                     keep: keep as u64,
                 });
                 txn.written.entry(key).or_insert(base);
+                txn.ddl = true;
             }
             s.audit(
                 "TRUNCATE HISTORY",
@@ -1824,6 +2301,234 @@ impl Session {
             }
         }
     }
+}
+
+/// A statement prepared by [`Session::prepare`] for repeated execution.
+/// Holding one keeps the `prepared_statements_active` gauge up; dropping
+/// it decrements.
+pub struct PreparedStatement {
+    sql: String,
+    kind: PreparedKind,
+    user_params: usize,
+    gauge: Arc<AtomicU64>,
+}
+
+impl PreparedStatement {
+    /// Number of `?` placeholders to bind at execute time.
+    pub fn param_count(&self) -> usize {
+        self.user_params
+    }
+
+    /// The original statement text.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+}
+
+impl Drop for PreparedStatement {
+    fn drop(&mut self) {
+        self.gauge.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+enum PreparedKind {
+    /// A subquery-free query: executes through the plan cache.
+    Query {
+        /// Normalized token stream (literals parameterized out).
+        tokens: Vec<Token>,
+        /// How each `?` in `tokens` is filled at execute time.
+        slots: Vec<ParamSlot>,
+    },
+    /// Everything else (DML, DDL, subquery-bearing queries): parameters
+    /// are bound into the AST on every execute.
+    Other { stmt: Box<Statement> },
+}
+
+/// Whether a query contains scalar / IN / EXISTS subqueries anywhere,
+/// including inside derived tables. Those execute during planning, so such
+/// a query can neither stay parameter-generic nor be cached safely.
+/// Rewrite every `PREDICT(...)` still carrying `PredictStrategy::Auto`
+/// anywhere in `plan` to use `strategy` instead. Explicit per-statement
+/// strategies (`PREDICT(... USING ...)` variants) are left untouched.
+fn override_auto_predict(plan: LogicalPlan, strategy: PredictStrategy) -> Result<LogicalPlan> {
+    fn over(e: Expr, s: PredictStrategy) -> Result<Expr> {
+        rewrite_expr(e, &mut |e| {
+            Ok(match e {
+                Expr::Predict {
+                    model,
+                    args,
+                    strategy: PredictStrategy::Auto,
+                } => Expr::Predict {
+                    model,
+                    args,
+                    strategy: s,
+                },
+                other => other,
+            })
+        })
+    }
+    let s = strategy;
+    Ok(match plan {
+        leaf @ LogicalPlan::Scan { .. } => leaf,
+        LogicalPlan::Values { schema, rows } => LogicalPlan::Values {
+            schema,
+            rows: rows
+                .into_iter()
+                .map(|row| row.into_iter().map(|e| over(e, s)).collect::<Result<_>>())
+                .collect::<Result<_>>()?,
+        },
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(override_auto_predict(*input, s)?),
+            predicate: over(predicate, s)?,
+        },
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Project {
+            input: Box::new(override_auto_predict(*input, s)?),
+            exprs: exprs
+                .into_iter()
+                .map(|e| over(e, s))
+                .collect::<Result<_>>()?,
+            schema,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group,
+            aggs,
+            schema,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(override_auto_predict(*input, s)?),
+            group: group
+                .into_iter()
+                .map(|e| over(e, s))
+                .collect::<Result<_>>()?,
+            aggs: aggs
+                .into_iter()
+                .map(|a| {
+                    let crate::plan::AggCall {
+                        func,
+                        arg,
+                        distinct,
+                    } = a;
+                    Ok(crate::plan::AggCall {
+                        func,
+                        arg: arg.map(|e| over(e, s)).transpose()?,
+                        distinct,
+                    })
+                })
+                .collect::<Result<_>>()?,
+            schema,
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            on,
+            filter,
+            schema,
+        } => LogicalPlan::Join {
+            left: Box::new(override_auto_predict(*left, s)?),
+            right: Box::new(override_auto_predict(*right, s)?),
+            join_type,
+            on: on
+                .into_iter()
+                .map(|(l, r)| Ok((over(l, s)?, over(r, s)?)))
+                .collect::<Result<_>>()?,
+            filter: filter.map(|e| over(e, s)).transpose()?,
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(override_auto_predict(*input, s)?),
+            keys: keys
+                .into_iter()
+                .map(|(e, asc)| Ok((over(e, s)?, asc)))
+                .collect::<Result<_>>()?,
+        },
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => LogicalPlan::Limit {
+            input: Box::new(override_auto_predict(*input, s)?),
+            limit,
+            offset,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(override_auto_predict(*input, s)?),
+        },
+        LogicalPlan::Union { inputs, schema } => LogicalPlan::Union {
+            inputs: inputs
+                .into_iter()
+                .map(|p| override_auto_predict(p, s))
+                .collect::<Result<_>>()?,
+            schema,
+        },
+    })
+}
+
+fn query_has_subqueries(q: &crate::ast::Query) -> bool {
+    fn expr_has(e: &Expr) -> bool {
+        let mut found = false;
+        e.walk(&mut |x| {
+            if matches!(
+                x,
+                Expr::Subquery(_) | Expr::InSubquery { .. } | Expr::Exists { .. }
+            ) {
+                found = true;
+            }
+        });
+        found
+    }
+    fn table_ref_has(tr: &crate::ast::TableRef) -> bool {
+        match tr {
+            crate::ast::TableRef::Table { .. } => false,
+            crate::ast::TableRef::Subquery { query, .. } => query_has_subqueries(query),
+            crate::ast::TableRef::Join {
+                left, right, on, ..
+            } => {
+                table_ref_has(left)
+                    || table_ref_has(right)
+                    || on.as_ref().is_some_and(expr_has)
+            }
+        }
+    }
+    fn select_has(sel: &crate::ast::Select) -> bool {
+        sel.from.iter().any(table_ref_has)
+            || sel.selection.as_ref().is_some_and(expr_has)
+            || sel.having.as_ref().is_some_and(expr_has)
+            || sel.group_by.iter().any(expr_has)
+            || sel.projection.iter().any(|p| match p {
+                crate::ast::SelectItem::Expr { expr, .. } => expr_has(expr),
+                _ => false,
+            })
+    }
+    select_has(&q.select)
+        || q.order_by.iter().any(|o| expr_has(&o.expr))
+        || q.unions.iter().any(|arm| select_has(&arm.select))
+}
+
+/// Wrap every `?i` whose bound value has a known type in an identity
+/// `CAST`, so expression type derivation sees the parameter's runtime
+/// type instead of a default. Used on the plan-cache miss path.
+fn annotate_param_types(
+    q: crate::ast::Query,
+    types: &[Option<DataType>],
+) -> Result<crate::ast::Query> {
+    let mut bind = |e: Expr| -> Result<Expr> {
+        rewrite_expr(e, &mut |x| match x {
+            Expr::Parameter(i) => Ok(match types.get(i).copied().flatten() {
+                Some(t) => Expr::Cast {
+                    expr: Box::new(Expr::Parameter(i)),
+                    to: t,
+                },
+                None => Expr::Parameter(i),
+            }),
+            other => Ok(other),
+        })
+    };
+    bind_query(q, &mut bind)
 }
 
 /// Flush log/audit entries outside a commit (rollback audit records, and
@@ -2035,6 +2740,12 @@ fn bind_query(
     mut q: crate::ast::Query,
     bind: &mut impl FnMut(Expr) -> Result<Expr>,
 ) -> Result<crate::ast::Query> {
+    q.select.from = q
+        .select
+        .from
+        .into_iter()
+        .map(|tr| bind_table_ref(tr, bind))
+        .collect::<Result<_>>()?;
     q.select.selection = q.select.selection.map(&mut *bind).transpose()?;
     q.select.having = q.select.having.map(&mut *bind).transpose()?;
     q.select.projection = q
@@ -2086,6 +2797,33 @@ fn bind_query(
         })
         .collect::<Result<_>>()?;
     Ok(q)
+}
+
+/// Descend into FROM-clause table references (derived tables and join
+/// conditions carry expressions too) applying `bind` to every expression.
+fn bind_table_ref(
+    tr: crate::ast::TableRef,
+    bind: &mut impl FnMut(Expr) -> Result<Expr>,
+) -> Result<crate::ast::TableRef> {
+    use crate::ast::TableRef;
+    Ok(match tr {
+        TableRef::Subquery { query, alias } => TableRef::Subquery {
+            query: Box::new(bind_query(*query, bind)?),
+            alias,
+        },
+        TableRef::Join {
+            left,
+            right,
+            join_type,
+            on,
+        } => TableRef::Join {
+            left: Box::new(bind_table_ref(*left, bind)?),
+            right: Box::new(bind_table_ref(*right, bind)?),
+            join_type,
+            on: on.map(&mut *bind).transpose()?,
+        },
+        t @ TableRef::Table { .. } => t,
+    })
 }
 
 /// Recursive subquery runner backed by the session's working catalog.

@@ -65,6 +65,10 @@ pub enum PhysNode {
         /// transformations), captured at compile time for plan rendering.
         label: Option<String>,
     },
+    /// `?` placeholder resolved at execute time from `EvalContext::params`.
+    /// Kept unbound through planning so a prepared plan can be cached once
+    /// and re-executed with different parameter values.
+    Parameter(usize),
 }
 
 /// Runtime context shared by expression evaluation.
@@ -78,6 +82,8 @@ pub struct EvalContext {
     pub cancel: super::cancel::CancelToken,
     /// Per-query row/memory budget charged by `execute_metered`.
     pub budget: std::sync::Arc<super::cancel::QueryBudget>,
+    /// Bound parameter values for `PhysNode::Parameter` slots, in `?` order.
+    pub params: std::sync::Arc<Vec<Value>>,
 }
 
 impl EvalContext {
@@ -89,6 +95,7 @@ impl EvalContext {
             threads,
             cancel: super::cancel::CancelToken::none(),
             budget: std::sync::Arc::new(super::cancel::QueryBudget::unlimited()),
+            params: std::sync::Arc::new(Vec::new()),
         }
     }
 
@@ -102,6 +109,23 @@ impl EvalContext {
     pub fn with_budget(mut self, budget: std::sync::Arc<super::cancel::QueryBudget>) -> EvalContext {
         self.budget = budget;
         self
+    }
+
+    /// Attach bound parameter values (prepared-statement execution).
+    pub fn with_params(mut self, params: std::sync::Arc<Vec<Value>>) -> EvalContext {
+        self.params = params;
+        self
+    }
+
+    /// Look up a bound parameter; out-of-range is a typed execution error
+    /// (never a panic) so arity mismatches surface cleanly at execute time.
+    fn param(&self, i: usize) -> Result<&Value> {
+        self.params.get(i).ok_or_else(|| {
+            SqlError::Execution(format!(
+                "no value bound for parameter ?{i} ({} provided)",
+                self.params.len()
+            ))
+        })
     }
 }
 
@@ -254,9 +278,7 @@ impl PhysExpr {
             Expr::Wildcard => {
                 return Err(SqlError::Plan("'*' is not a value expression".into()))
             }
-            Expr::Parameter(i) => {
-                return Err(SqlError::Plan(format!("unbound parameter ?{i}")))
-            }
+            Expr::Parameter(i) => PhysNode::Parameter(*i),
         };
         Ok(PhysExpr { node, data_type })
     }
@@ -341,7 +363,41 @@ impl PhysExpr {
                     a.visit(f);
                 }
             }
-            PhysNode::Column(_) | PhysNode::Literal(_) => {}
+            PhysNode::Column(_) | PhysNode::Literal(_) | PhysNode::Parameter(_) => {}
+        }
+    }
+
+    /// Whether evaluating this expression can touch a batch column or a
+    /// model. Column-free, PREDICT-free subtrees (parameters, literals,
+    /// casts and scalar functions over them — every built-in function is
+    /// deterministic) produce the same value on every row, so the
+    /// vectorized evaluator computes them once per batch and broadcasts.
+    /// Prepared plans keep `CAST(?n AS ...)` unfolded so one cached plan
+    /// serves every binding; this is what keeps that from costing a
+    /// per-row cast on the serving hot path.
+    fn is_column_free(&self) -> bool {
+        let mut free = true;
+        self.visit(&mut |e| {
+            if matches!(e.node, PhysNode::Column(_) | PhysNode::Predict { .. }) {
+                free = false;
+            }
+        });
+        free
+    }
+
+    /// A column of `n` copies of `v`, typed like this expression.
+    fn broadcast(&self, v: Value, n: usize) -> Result<ColumnVector> {
+        match v {
+            Value::Float(x) => Ok(ColumnVector::from_f64(std::iter::repeat_n(x, n))),
+            Value::Int(x) => Ok(ColumnVector::from_i64(std::iter::repeat_n(x, n))),
+            v => {
+                let ty = v.data_type().unwrap_or(self.data_type);
+                let mut col = ColumnVector::with_capacity(ty, n);
+                for _ in 0..n {
+                    col.push(v.clone())?;
+                }
+                Ok(col)
+            }
         }
     }
 
@@ -350,6 +406,9 @@ impl PhysExpr {
     /// and morsel-parallel filter paths.
     pub fn eval_mask(&self, batch: &RecordBatch, ctx: &EvalContext) -> Result<Vec<bool>> {
         let col = self.eval(batch, ctx)?;
+        if let Some(bs) = col.as_bool_slice() {
+            return Ok(bs.to_vec());
+        }
         Ok((0..batch.num_rows())
             .map(|i| col.get(i).as_bool() == Some(true))
             .collect())
@@ -363,6 +422,20 @@ impl PhysExpr {
     /// one morsel per worker.
     pub fn eval(&self, batch: &RecordBatch, ctx: &EvalContext) -> Result<ColumnVector> {
         ctx.cancel.check()?;
+        // Constant hoisting: a compound expression that reads no column
+        // evaluates once and broadcasts instead of once per row (leaf
+        // literals/parameters already broadcast below without the
+        // tree-walk check).
+        if batch.num_rows() > 1
+            && !matches!(
+                self.node,
+                PhysNode::Column(_) | PhysNode::Literal(_) | PhysNode::Parameter(_)
+            )
+            && self.is_column_free()
+        {
+            let v = self.eval_row(batch, 0, ctx)?;
+            return self.broadcast(v, batch.num_rows());
+        }
         match &self.node {
             PhysNode::Column(i) => Ok(batch.column(*i).clone()),
             PhysNode::Literal(Value::Float(x)) => {
@@ -378,6 +451,10 @@ impl PhysExpr {
                     col.push(v.clone())?;
                 }
                 Ok(col)
+            }
+            PhysNode::Parameter(i) => {
+                let v = ctx.param(*i)?.clone();
+                self.broadcast(v, batch.num_rows())
             }
             // Row strategy models a scalar UDF: the engine invokes the
             // scorer once per row, re-paying slicing/dispatch each time —
@@ -425,9 +502,64 @@ impl PhysExpr {
                     });
                     return Ok(ColumnVector::from_bool(out));
                 }
+                // Same fast path for int columns (key lookups and windowed
+                // range scans — `id >= ?n` — are int-vs-int comparisons).
+                if let (Some(ls), Some(rs)) = (l.as_i64_slice(), r.as_i64_slice()) {
+                    let out = ls.iter().zip(rs).map(|(a, b)| match op {
+                        BinOp::Eq => a == b,
+                        BinOp::NotEq => a != b,
+                        BinOp::Lt => a < b,
+                        BinOp::LtEq => a <= b,
+                        BinOp::Gt => a > b,
+                        BinOp::GtEq => a >= b,
+                        _ => unreachable!(),
+                    });
+                    return Ok(ColumnVector::from_bool(out));
+                }
                 self.eval_rowwise_cols(batch, ctx, &[&l, &r], |vals| {
                     eval_binary(&vals[0], *op, &vals[1])
                 })
+            }
+            // Vectorized AND/OR: evaluate both sides as columns (each
+            // taking its own fast path — a conjunctive range filter like
+            // `id >= ?1 AND id < ?2` stays columnar end-to-end) and
+            // combine with the same three-valued `eval_binary` logic the
+            // scalar walk uses. Eager right-side evaluation can reach a
+            // row the short-circuiting scalar walk would skip; if it
+            // errors, re-run row-wise so error semantics stay identical.
+            PhysNode::Binary { left, op, right }
+                if matches!(op, BinOp::And | BinOp::Or) =>
+            {
+                let l = left.eval(batch, ctx)?;
+                match right.eval(batch, ctx) {
+                    Ok(r) => {
+                        // NULL-free bool columns (what comparison fast
+                        // paths produce): two-valued logic on raw slices.
+                        if let (Some(ls), Some(rs)) = (l.as_bool_slice(), r.as_bool_slice()) {
+                            let out = ls.iter().zip(rs).map(|(a, b)| match op {
+                                BinOp::And => *a && *b,
+                                BinOp::Or => *a || *b,
+                                _ => unreachable!(),
+                            });
+                            return Ok(ColumnVector::from_bool(out));
+                        }
+                        let n = batch.num_rows();
+                        let mut out = ColumnVector::with_capacity(DataType::Bool, n);
+                        for i in 0..n {
+                            out.push(eval_binary(&l.get(i), *op, &r.get(i))?)?;
+                        }
+                        Ok(out)
+                    }
+                    Err(_) => {
+                        let n = batch.num_rows();
+                        let mut out = ColumnVector::with_capacity(self.data_type, n);
+                        for row in 0..n {
+                            ctx.cancel.check_every(row)?;
+                            out.push(self.eval_row(batch, row, ctx)?)?;
+                        }
+                        Ok(out)
+                    }
+                }
             }
             // Fast path: SIGMOID over a float column (inlined logistic
             // models evaluate this once per row otherwise).
@@ -525,6 +657,7 @@ impl PhysExpr {
         Ok(match &self.node {
             PhysNode::Column(i) => batch.column(*i).get(row),
             PhysNode::Literal(v) => v.clone(),
+            PhysNode::Parameter(i) => ctx.param(*i)?.clone(),
             PhysNode::Binary { left, op, right } => {
                 // short-circuit logic ops
                 match op {

@@ -5,7 +5,8 @@ use std::fmt;
 
 /// A lexical token. Keywords are recognized later, in the parser, so any
 /// word lexes to `Ident`; the parser compares case-insensitively.
-#[derive(Debug, Clone, PartialEq)]
+/// (`Eq`/`Hash` let normalized token streams key the plan cache directly.)
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Token {
     Ident(String),
     /// A double-quoted identifier (exact case preserved).

@@ -28,6 +28,7 @@ pub mod lexer;
 pub mod optimizer;
 pub mod parser;
 pub mod plan;
+pub mod plancache;
 pub mod schema;
 pub mod stats;
 pub mod table;
@@ -36,7 +37,7 @@ pub mod udf;
 pub mod wal;
 
 pub use batch::RecordBatch;
-pub use engine::{Database, QueryResult, Session};
+pub use engine::{Database, PreparedStatement, QueryResult, Session};
 pub use catalog::{AccessDump, Catalog, ObjectKind, ObjectRef, Privilege};
 pub use wal::{DurabilityOptions, DurableFs, FailpointFs, MemFs, StdFs};
 pub use column::ColumnVector;

@@ -41,6 +41,31 @@ pub fn parse_expr(sql: &str) -> Result<Expr> {
     Ok(e)
 }
 
+/// Parse one statement and report how many `?` placeholders it contains.
+/// Used by the prepared-statement path to validate bind arity up front.
+pub fn parse_statement_with_params(sql: &str) -> Result<(Statement, usize)> {
+    let mut p = Parser::new(sql)?;
+    let stmt = p.statement()?;
+    p.eat(&Token::Semicolon);
+    p.expect_eof()?;
+    Ok((stmt, p.params))
+}
+
+/// Parse a pre-tokenized statement (the plan cache normalizes token streams
+/// before parsing, so re-rendering to text would be lossy). Returns the
+/// statement plus the number of `?` placeholders encountered.
+pub fn parse_token_stream(tokens: Vec<Token>) -> Result<(Statement, usize)> {
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        params: 0,
+    };
+    let stmt = p.statement()?;
+    p.eat(&Token::Semicolon);
+    p.expect_eof()?;
+    Ok((stmt, p.params))
+}
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,

@@ -1138,9 +1138,10 @@ impl<'a, 'b> Planner<'a, 'b> {
                 let exists = batch.num_rows() > 0;
                 Ok(Expr::Literal(Value::Bool(exists != negated)))
             }
-            Expr::Parameter(i) => Err(SqlError::Plan(format!(
-                "unbound parameter ?{i}; bind parameters before planning"
-            ))),
+            // Parameters survive planning so a prepared plan can be cached
+            // and re-executed with fresh bindings; missing values surface as
+            // typed execution errors at execute time.
+            p @ Expr::Parameter(_) => Ok(p),
             other => Ok(other),
         })
     }

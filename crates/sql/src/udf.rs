@@ -39,6 +39,16 @@ pub trait InferenceProvider: Send + Sync {
         user: &str,
     ) -> Result<ColumnVector>;
 
+    /// A monotonic epoch that moves whenever a plan built against this
+    /// provider could become wrong — typically on model deploy/redeploy/
+    /// drop, since the cross-optimizer may inline model internals into
+    /// plans. The plan cache re-validates cached entries against it on
+    /// every execute. Providers with immutable model sets keep the
+    /// default constant.
+    fn plan_epoch(&self) -> u64 {
+        0
+    }
+
     /// Cancellation-aware scoring. The default checks the token once and
     /// delegates to [`InferenceProvider::predict`], so simple providers
     /// stay oblivious; providers with long or chunked scoring loops (like
