@@ -1,0 +1,205 @@
+//! Connection storm against a live `flock-server`: hundreds of concurrent
+//! TCP clients, each authenticating, running a mixed workload of ad-hoc
+//! queries and prepared executes, and disconnecting cleanly.
+//!
+//! The claim under test is the service boundary itself: the
+//! thread-per-connection server with per-session admission control must
+//! sustain `N_CLIENTS` concurrent connections with **zero dropped or hung
+//! connections** — every request gets exactly one reply, retryable
+//! `admission` rejects are the only tolerated failures, and the process
+//! self-gates non-zero otherwise. Reports qps and p50/p99 per-request
+//! latency to `results/BENCH_server.json`.
+//!
+//! `FLOCK_SERVER_SHORT=1` shrinks the storm for CI smoke (the full run is
+//! the 128+-client acceptance configuration).
+
+use flock_core::FlockDb;
+use flock_server::client::{Client, ClientError};
+use flock_server::{Server, ServerConfig};
+use flock_sql::Value;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct ClientReport {
+    latencies_us: Vec<u64>,
+    admission_retries: u64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let short = std::env::var("FLOCK_SERVER_SHORT").is_ok();
+    let n_clients: usize = if short { 32 } else { 160 };
+    let requests_per_client: usize = if short { 20 } else { 40 };
+    // Bound concurrent query execution well below the connection count so
+    // the storm actually exercises admission rejects + client retry.
+    let max_concurrent = 8;
+
+    let db = Arc::new(FlockDb::new());
+    db.database().execute("CREATE TABLE kv (k INT, v TEXT)").unwrap();
+    for chunk in 0..4 {
+        let values: Vec<String> = (0..64)
+            .map(|i| {
+                let k = chunk * 64 + i;
+                format!("({k}, 'value-{k}')")
+            })
+            .collect();
+        db.database()
+            .execute(&format!("INSERT INTO kv VALUES {}", values.join(", ")))
+            .unwrap();
+    }
+    let mut opts = db.database().exec_options();
+    opts.max_concurrent_queries = max_concurrent;
+    db.database().set_exec_options(opts);
+
+    let handle = Server::start(db.clone(), ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+    println!(
+        "storm: {n_clients} clients x {requests_per_client} requests, \
+         admission limit {max_concurrent}, server {addr}"
+    );
+
+    let failures = Arc::new(AtomicU64::new(0));
+    let wall = Instant::now();
+    let reports: Vec<ClientReport> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..n_clients)
+            .map(|id| {
+                let failures = failures.clone();
+                scope.spawn(move || {
+                    let mut report =
+                        ClientReport { latencies_us: Vec::new(), admission_retries: 0 };
+                    let mut client = match Client::connect(addr, "admin") {
+                        Ok(c) => c,
+                        Err(e) => {
+                            eprintln!("client {id}: connect failed: {e}");
+                            failures.fetch_add(1, Ordering::Relaxed);
+                            return report;
+                        }
+                    };
+                    let stmt = match client.prepare("SELECT v FROM kv WHERE k = ?") {
+                        Ok(s) => s,
+                        Err(e) => {
+                            eprintln!("client {id}: prepare failed: {e}");
+                            failures.fetch_add(1, Ordering::Relaxed);
+                            return report;
+                        }
+                    };
+                    for req in 0..requests_per_client {
+                        let key = ((id * 31 + req * 7) % 256) as i64;
+                        // Alternate prepared executes (plan-cache hot
+                        // path) with ad-hoc text queries.
+                        let started = Instant::now();
+                        let mut attempts = 0u64;
+                        loop {
+                            let result = if req % 2 == 0 {
+                                client.execute(stmt, &[Value::Int(key)])
+                            } else {
+                                client.query(&format!("SELECT v FROM kv WHERE k = {key}"))
+                            };
+                            match result {
+                                Ok(rows) => {
+                                    if rows.rows.len() != 1 {
+                                        eprintln!(
+                                            "client {id}: wrong row count {}",
+                                            rows.rows.len()
+                                        );
+                                        failures.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    break;
+                                }
+                                Err(ClientError::Sql(e)) if e.retryable => {
+                                    // Admission reject: the server is full,
+                                    // not broken. Back off and retry.
+                                    report.admission_retries += 1;
+                                    attempts += 1;
+                                    if attempts > 10_000 {
+                                        eprintln!("client {id}: starved by admission");
+                                        failures.fetch_add(1, Ordering::Relaxed);
+                                        break;
+                                    }
+                                    std::thread::sleep(Duration::from_micros(500));
+                                }
+                                Err(e) => {
+                                    eprintln!("client {id}: request failed: {e}");
+                                    failures.fetch_add(1, Ordering::Relaxed);
+                                    break;
+                                }
+                            }
+                        }
+                        report.latencies_us.push(started.elapsed().as_micros() as u64);
+                    }
+                    if let Err(e) = client.goodbye() {
+                        eprintln!("client {id}: goodbye failed: {e}");
+                        failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                    report
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().expect("client thread panicked")).collect()
+    });
+    let wall_s = wall.elapsed().as_secs_f64();
+
+    // Shutdown joins every worker thread, so the gauge read below is the
+    // settled post-storm value, not a teardown race.
+    handle.shutdown();
+    let open_after = db
+        .database()
+        .engine_metrics()
+        .rows()
+        .into_iter()
+        .find(|(n, _)| *n == "server_connections_open")
+        .map(|(_, v)| v)
+        .unwrap_or(u64::MAX);
+
+    let mut latencies: Vec<u64> =
+        reports.iter().flat_map(|r| r.latencies_us.iter().copied()).collect();
+    latencies.sort_unstable();
+    let total_requests = latencies.len();
+    let expected_requests = n_clients * requests_per_client;
+    let retries: u64 = reports.iter().map(|r| r.admission_retries).sum();
+    let failed = failures.load(Ordering::Relaxed);
+    let qps = total_requests as f64 / wall_s;
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+
+    println!("completed {total_requests}/{expected_requests} requests in {wall_s:.2}s");
+    println!("qps {qps:.0}, p50 {p50} us, p99 {p99} us");
+    println!("admission retries {retries}, failures {failed}, connections open after storm {open_after}");
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"server_storm\",");
+    let _ = writeln!(out, "  \"short_mode\": {short},");
+    let _ = writeln!(out, "  \"clients\": {n_clients},");
+    let _ = writeln!(out, "  \"requests_per_client\": {requests_per_client},");
+    let _ = writeln!(out, "  \"admission_limit\": {max_concurrent},");
+    let _ = writeln!(out, "  \"total_requests\": {total_requests},");
+    let _ = writeln!(out, "  \"wall_seconds\": {wall_s:.3},");
+    let _ = writeln!(out, "  \"qps\": {qps:.1},");
+    let _ = writeln!(out, "  \"p50_us\": {p50},");
+    let _ = writeln!(out, "  \"p99_us\": {p99},");
+    let _ = writeln!(out, "  \"admission_retries\": {retries},");
+    let _ = writeln!(out, "  \"dropped_or_hung\": {failed}");
+    out.push_str("}\n");
+    std::fs::create_dir_all("results").unwrap();
+    std::fs::write("results/BENCH_server.json", &out).unwrap();
+    eprintln!("wrote results/BENCH_server.json");
+
+    // Self-gate: every client completed every request over a live
+    // connection, nothing dropped, nothing hung, nothing left open.
+    if failed > 0 || total_requests != expected_requests || open_after != 0 {
+        eprintln!(
+            "GATE FAILED: failures={failed}, requests={total_requests}/{expected_requests}, \
+             open_after={open_after}"
+        );
+        std::process::exit(1);
+    }
+}

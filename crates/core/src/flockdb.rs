@@ -194,6 +194,14 @@ impl FlockDb {
         }
     }
 
+    /// Whether `user` exists in the committed catalog ("admin" is the
+    /// bootstrap superuser). The network server authenticates `Hello`
+    /// against this before opening a session; sessions themselves accept
+    /// any name, with per-statement access control doing the real work.
+    pub fn user_exists(&self, user: &str) -> bool {
+        self.db.catalog().access.user_exists(user)
+    }
+
     /// Convenience: execute as admin.
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
         self.session("admin").execute(sql)

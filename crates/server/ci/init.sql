@@ -1,0 +1,6 @@
+-- Boot script for the CI server-smoke job (run by flock-serve --init as
+-- admin before the listener starts accepting connections).
+CREATE TABLE sensors (id INT, reading DOUBLE, label TEXT);
+INSERT INTO sensors VALUES (1, 0.5, 'ok'), (2, 1.5, 'hot'), (3, -0.5, 'cold'), (4, 0.7, 'ok');
+CREATE USER analyst;
+GRANT SELECT ON TABLE sensors TO analyst

@@ -1,0 +1,162 @@
+//! `flock-cli` — line-oriented client for a running `flock-serve`.
+//!
+//! ```text
+//! flock-cli [--addr ADDR:PORT] [--user NAME] [-f FILE]
+//! ```
+//!
+//! Interactive: statements end with `;` (may span lines); `\q` quits.
+//! With `-f FILE` the script runs non-interactively and the process exits
+//! non-zero if any statement fails — that is what CI's smoke job checks.
+
+use flock_server::client::{Client, ClientError};
+use flock_server::protocol::WireRows;
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: flock-cli [--addr ADDR:PORT] [--user NAME] [-f FILE]");
+    std::process::exit(2);
+}
+
+/// Render a result set as an aligned text table.
+fn render(r: &WireRows) -> String {
+    if r.columns.is_empty() {
+        if r.rows_affected > 0 {
+            return format!("OK, {} row(s) affected. {}", r.rows_affected, r.message);
+        }
+        return format!("OK. {}", r.message);
+    }
+    let mut widths: Vec<usize> = r.columns.iter().map(|c| c.name.len()).collect();
+    let cells: Vec<Vec<String>> = r
+        .rows
+        .iter()
+        .map(|row| row.iter().map(|v| v.to_string()).collect())
+        .collect();
+    for row in &cells {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (i, c) in r.columns.iter().enumerate() {
+        out.push_str(&format!("{:<w$}  ", c.name, w = widths[i]));
+    }
+    out.push('\n');
+    for (i, _) in r.columns.iter().enumerate() {
+        out.push_str(&"-".repeat(widths[i]));
+        out.push_str("  ");
+    }
+    out.push('\n');
+    for row in &cells {
+        for (i, cell) in row.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", cell, w = widths[i]));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("({} row(s))", r.rows.len()));
+    out
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:5433".to_string();
+    let mut user = "admin".to_string();
+    let mut file: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().unwrap_or_else(|| {
+            eprintln!("{name} needs a value");
+            usage()
+        });
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--user" => user = value("--user"),
+            "-f" => file = Some(value("-f")),
+            _ => usage(),
+        }
+    }
+
+    let addr = match addr.parse() {
+        Ok(a) => a,
+        Err(_) => {
+            eprintln!("flock-cli: bad --addr '{addr}'");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut client = match Client::connect(addr, &user) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("flock-cli: cannot connect as {user}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let interactive = file.is_none();
+    if interactive {
+        println!("connected to {} as {} (session {})", client.server_name(), user, client.session_id());
+        println!("end statements with ';', quit with \\q");
+    }
+
+    let input: Box<dyn BufRead> = match &file {
+        Some(path) => match std::fs::File::open(path) {
+            Ok(f) => Box::new(std::io::BufReader::new(f)),
+            Err(e) => {
+                eprintln!("flock-cli: cannot open {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Box::new(std::io::BufReader::new(std::io::stdin())),
+    };
+
+    let mut failed = false;
+    let mut buffer = String::new();
+    let mut lines = input.lines();
+    loop {
+        if interactive {
+            print!("{}", if buffer.is_empty() { "flock> " } else { "   ... " });
+            let _ = std::io::stdout().flush();
+        }
+        let line = match lines.next() {
+            Some(Ok(l)) => l,
+            Some(Err(e)) => {
+                eprintln!("flock-cli: read error: {e}");
+                failed = true;
+                break;
+            }
+            None => break,
+        };
+        let trimmed = line.trim();
+        if buffer.is_empty() && (trimmed.is_empty() || trimmed.starts_with("--")) {
+            continue;
+        }
+        if buffer.is_empty() && (trimmed == "\\q" || trimmed == "\\quit") {
+            break;
+        }
+        buffer.push_str(&line);
+        buffer.push('\n');
+        // Execute every complete `;`-terminated statement in the buffer.
+        while let Some(pos) = buffer.find(';') {
+            let stmt = buffer[..pos].trim().to_string();
+            buffer = buffer[pos + 1..].to_string();
+            if stmt.is_empty() {
+                continue;
+            }
+            match client.query(&stmt) {
+                Ok(rows) => println!("{}", render(&rows)),
+                Err(ClientError::Sql(e)) => {
+                    eprintln!("error [{}{}]: {}", e.code, if e.retryable { ", retryable" } else { "" }, e.message);
+                    failed = true;
+                }
+                Err(e) => {
+                    eprintln!("flock-cli: connection lost: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    let _ = client.goodbye();
+    if failed && file.is_some() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

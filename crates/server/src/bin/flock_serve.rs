@@ -1,0 +1,126 @@
+//! `flock-serve` — run a Flock database behind the TCP wire protocol.
+//!
+//! ```text
+//! flock-serve [--bind ADDR:PORT] [--dir PATH] [--init FILE] [--timeout-ms N] [--max-concurrent N]
+//! ```
+//!
+//! * `--bind` (default `127.0.0.1:5433`): listen address; port 0 picks a
+//!   free port and prints it.
+//! * `--dir`: open a durable database in this directory (WAL + checkpoints
+//!   survive restarts). Without it the database is in-memory.
+//! * `--init`: run a SQL script as `admin` before accepting connections
+//!   (create users, tables, models for a demo or a test).
+//! * `--timeout-ms`: database-default statement timeout.
+//! * `--max-concurrent`: admission-control limit on concurrently executing
+//!   queries (0 = unlimited).
+//!
+//! The server runs until stdin reaches EOF (`flock-serve < /dev/null`
+//! exits immediately after binding; in a terminal, Ctrl-D stops it), then
+//! shuts down gracefully: in-flight statements finish and every
+//! connection gets a `Goodbye`.
+
+use flock_core::FlockDb;
+use flock_server::{Server, ServerConfig};
+use std::io::Read;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: flock-serve [--bind ADDR:PORT] [--dir PATH] [--init FILE] \
+         [--timeout-ms N] [--max-concurrent N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut bind = "127.0.0.1:5433".to_string();
+    let mut dir: Option<String> = None;
+    let mut init: Option<String> = None;
+    let mut timeout_ms: u64 = 0;
+    let mut max_concurrent: usize = 0;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().unwrap_or_else(|| {
+            eprintln!("{name} needs a value");
+            usage()
+        });
+        match arg.as_str() {
+            "--bind" => bind = value("--bind"),
+            "--dir" => dir = Some(value("--dir")),
+            "--init" => init = Some(value("--init")),
+            "--timeout-ms" => {
+                timeout_ms = value("--timeout-ms").parse().unwrap_or_else(|_| usage())
+            }
+            "--max-concurrent" => {
+                max_concurrent = value("--max-concurrent").parse().unwrap_or_else(|_| usage())
+            }
+            _ => usage(),
+        }
+    }
+
+    let db = match &dir {
+        Some(path) => {
+            match FlockDb::open(path, flock_sql::DurabilityOptions::default()) {
+                Ok(db) => db,
+                Err(e) => {
+                    eprintln!("flock-serve: cannot open {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => FlockDb::new(),
+    };
+
+    if timeout_ms > 0 || max_concurrent > 0 {
+        let mut opts = db.database().exec_options();
+        opts.statement_timeout_ms = timeout_ms;
+        opts.max_concurrent_queries = max_concurrent;
+        db.database().set_exec_options(opts);
+    }
+
+    if let Some(script) = &init {
+        let sql = match std::fs::read_to_string(script) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("flock-serve: cannot read {script}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut session = db.session("admin");
+        for stmt in sql.split(';').map(str::trim).filter(|s| !s.is_empty()) {
+            if let Err(e) = session.execute(stmt) {
+                eprintln!("flock-serve: init statement failed: {e}\n  {stmt}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let config = ServerConfig {
+        bind: match bind.parse() {
+            Ok(a) => a,
+            Err(_) => {
+                eprintln!("flock-serve: bad --bind address '{bind}'");
+                return ExitCode::FAILURE;
+            }
+        },
+        ..ServerConfig::default()
+    };
+
+    let handle = match Server::start(Arc::new(db), config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("flock-serve: cannot bind {bind}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("flock-serve listening on {}", handle.local_addr());
+
+    // Block until stdin closes, then drain and exit.
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+    eprintln!("flock-serve: shutting down");
+    handle.shutdown();
+    ExitCode::SUCCESS
+}

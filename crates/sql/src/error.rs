@@ -66,6 +66,138 @@ impl fmt::Display for SqlError {
 
 impl std::error::Error for SqlError {}
 
+impl SqlError {
+    /// Stable, machine-readable error code — one per variant. This is the
+    /// contract network clients program against: codes never change once
+    /// shipped, while `Display` messages may be reworded freely.
+    pub fn code(&self) -> &'static str {
+        match self {
+            SqlError::Lex(_) => "lex",
+            SqlError::Parse(_) => "parse",
+            SqlError::Plan(_) => "plan",
+            SqlError::Execution(_) => "execution",
+            SqlError::Catalog(_) => "catalog",
+            SqlError::Transaction(_) => "transaction",
+            SqlError::AccessDenied(_) => "access_denied",
+            SqlError::Constraint(_) => "constraint",
+            SqlError::Io(_) => "io",
+            SqlError::Cancelled(_) => "cancelled",
+            SqlError::Timeout(_) => "timeout",
+            SqlError::Admission(_) => "admission",
+            SqlError::Budget(_) => "budget",
+        }
+    }
+
+    /// Whether re-submitting the identical statement may succeed without
+    /// any client-side change. Only [`SqlError::Admission`] qualifies: the
+    /// database was merely full at that instant. A `timeout` or `budget`
+    /// failure will recur until the client changes its limits, and a
+    /// `cancelled` statement was aborted on purpose.
+    pub fn retryable(&self) -> bool {
+        matches!(self, SqlError::Admission(_))
+    }
+
+    /// The variant's inner message, without the `Display` layer prefix.
+    pub fn message(&self) -> &str {
+        match self {
+            SqlError::Lex(m)
+            | SqlError::Parse(m)
+            | SqlError::Plan(m)
+            | SqlError::Execution(m)
+            | SqlError::Catalog(m)
+            | SqlError::Transaction(m)
+            | SqlError::AccessDenied(m)
+            | SqlError::Constraint(m)
+            | SqlError::Io(m)
+            | SqlError::Cancelled(m)
+            | SqlError::Timeout(m)
+            | SqlError::Admission(m)
+            | SqlError::Budget(m) => m,
+        }
+    }
+
+    /// Wire-safe form: `{code, message, retryable}`.
+    pub fn to_wire(&self) -> WireError {
+        WireError {
+            code: self.code().to_string(),
+            message: self.message().to_string(),
+            retryable: self.retryable(),
+        }
+    }
+
+    /// Rebuild the typed error from a stable code + message (the client
+    /// side of the wire contract). Unknown codes — a newer server talking
+    /// to an older client — degrade to [`SqlError::Execution`] rather than
+    /// failing, so old clients keep working.
+    pub fn from_code(code: &str, message: &str) -> SqlError {
+        let m = message.to_string();
+        match code {
+            "lex" => SqlError::Lex(m),
+            "parse" => SqlError::Parse(m),
+            "plan" => SqlError::Plan(m),
+            "execution" => SqlError::Execution(m),
+            "catalog" => SqlError::Catalog(m),
+            "transaction" => SqlError::Transaction(m),
+            "access_denied" => SqlError::AccessDenied(m),
+            "constraint" => SqlError::Constraint(m),
+            "io" => SqlError::Io(m),
+            "cancelled" => SqlError::Cancelled(m),
+            "timeout" => SqlError::Timeout(m),
+            "admission" => SqlError::Admission(m),
+            "budget" => SqlError::Budget(m),
+            other => SqlError::Execution(format!("[{other}] {message}")),
+        }
+    }
+}
+
+/// A [`SqlError`] serialized for the wire: stable `code`, human `message`,
+/// and a `retryable` hint so clients can shed or retry load without
+/// string-matching error text.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct WireError {
+    pub code: String,
+    pub message: String,
+    pub retryable: bool,
+}
+
+impl WireError {
+    /// Reconstruct the typed error (inverse of [`SqlError::to_wire`]).
+    pub fn to_sql_error(&self) -> SqlError {
+        SqlError::from_code(&self.code, &self.message)
+    }
+
+    /// Explicit JSON form, `{"code","message","retryable"}`. The wire
+    /// protocol builds documents by hand at the `serde_json::Value` level
+    /// so the byte layout is pinned by this code, not by derive internals.
+    pub fn to_json(&self) -> serde_json::Value {
+        let mut m = serde_json::Map::new();
+        m.insert("code".to_string(), serde_json::Value::String(self.code.clone()));
+        m.insert(
+            "message".to_string(),
+            serde_json::Value::String(self.message.clone()),
+        );
+        m.insert("retryable".to_string(), serde_json::Value::Bool(self.retryable));
+        serde_json::Value::Object(m)
+    }
+
+    /// Parse the JSON form; `None` if any field is missing or mistyped.
+    pub fn from_json(v: &serde_json::Value) -> Option<WireError> {
+        Some(WireError {
+            code: v.get("code")?.as_str()?.to_string(),
+            message: v.get("message")?.as_str()?.to_string(),
+            retryable: v.get("retryable")?.as_bool()?,
+        })
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render through the reconstructed typed error so a round-tripped
+        // error displays exactly like the original did on the server.
+        write!(f, "{}", self.to_sql_error())
+    }
+}
+
 /// Convenience alias used throughout the engine.
 pub type Result<T> = std::result::Result<T, SqlError>;
 
@@ -85,5 +217,85 @@ mod tests {
     fn errors_are_comparable() {
         assert_eq!(SqlError::Lex("x".into()), SqlError::Lex("x".into()));
         assert_ne!(SqlError::Lex("x".into()), SqlError::Parse("x".into()));
+    }
+
+    /// Every variant, for exhaustive sweeps over the wire contract.
+    fn all_variants() -> Vec<SqlError> {
+        vec![
+            SqlError::Lex("m".into()),
+            SqlError::Parse("m".into()),
+            SqlError::Plan("m".into()),
+            SqlError::Execution("m".into()),
+            SqlError::Catalog("m".into()),
+            SqlError::Transaction("m".into()),
+            SqlError::AccessDenied("m".into()),
+            SqlError::Constraint("m".into()),
+            SqlError::Io("m".into()),
+            SqlError::Cancelled("m".into()),
+            SqlError::Timeout("m".into()),
+            SqlError::Admission("m".into()),
+            SqlError::Budget("m".into()),
+        ]
+    }
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let variants = all_variants();
+        let codes: std::collections::HashSet<_> =
+            variants.iter().map(|e| e.code()).collect();
+        assert_eq!(codes.len(), variants.len(), "codes must be distinct");
+        // The shipped contract: these exact strings, forever.
+        assert_eq!(SqlError::Admission("x".into()).code(), "admission");
+        assert_eq!(SqlError::Plan("x".into()).code(), "plan");
+        assert_eq!(SqlError::AccessDenied("x".into()).code(), "access_denied");
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_variant_message_and_display() {
+        for e in all_variants() {
+            let wire = e.to_wire();
+            let back = wire.to_sql_error();
+            assert_eq!(back, e, "round-trip must reproduce the variant");
+            assert_eq!(back.to_string(), e.to_string());
+            assert_eq!(wire.to_string(), e.to_string());
+            // And through JSON text, as the server actually ships it.
+            let json = wire.to_json().to_string();
+            let doc: serde_json::Value = serde_json::from_str(&json).unwrap();
+            let parsed = WireError::from_json(&doc).unwrap();
+            assert_eq!(parsed, wire);
+            assert_eq!(parsed.to_sql_error(), e);
+        }
+    }
+
+    #[test]
+    fn only_admission_is_retryable() {
+        for e in all_variants() {
+            assert_eq!(
+                e.retryable(),
+                matches!(e, SqlError::Admission(_)),
+                "{e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_wire_json_is_rejected_not_panicked() {
+        for bad in [
+            "null",
+            "{}",
+            r#"{"code":"plan"}"#,
+            r#"{"code":1,"message":"m","retryable":false}"#,
+            r#"{"code":"plan","message":"m","retryable":"yes"}"#,
+        ] {
+            let doc: serde_json::Value = serde_json::from_str(bad).unwrap();
+            assert!(WireError::from_json(&doc).is_none(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn unknown_code_degrades_to_execution() {
+        let e = SqlError::from_code("fancy_new_code", "details");
+        assert!(matches!(&e, SqlError::Execution(m) if m.contains("fancy_new_code")));
+        assert!(e.to_string().contains("details"));
     }
 }

@@ -41,7 +41,7 @@ pub use engine::{Database, PreparedStatement, QueryResult, Session};
 pub use catalog::{AccessDump, Catalog, ObjectKind, ObjectRef, Privilege};
 pub use wal::{DurabilityOptions, DurableFs, FailpointFs, MemFs, StdFs};
 pub use column::ColumnVector;
-pub use error::{Result, SqlError};
+pub use error::{Result, SqlError, WireError};
 pub use schema::{ColumnDef, Schema};
 pub use table::{Table, TableVersion};
 pub use types::{DataType, Value};
