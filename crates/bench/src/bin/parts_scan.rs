@@ -1,0 +1,213 @@
+//! Bigger-than-memory scan bench: load a table whose working set is
+//! several times the configured `table_memory_budget`, let commit-time
+//! offload spill it into compressed columnar parts, and compare a cold
+//! full-table aggregate against a zone-map-pruned selective scan.
+//! Writes `results/BENCH_parts.json`.
+//!
+//! Gates (process exits non-zero on violation):
+//!
+//! * the selective scan must beat the full scan by >= 2x — zone maps must
+//!   actually skip parts, not just decorate EXPLAIN;
+//! * the streaming scan's peak decoded footprint
+//!   (`part_scan_peak_bytes`) must stay within the budget — the whole
+//!   point of spilling is that scans never need the table resident;
+//! * the resident tail itself must stay within the budget after load.
+//!
+//! After the timed runs the budget is raised 8x and the size-tiered
+//! merger compacts level-0 parts (runs now fit the raised budget/2 merge
+//! cap); the selective scan is re-timed to show pruning survives
+//! compaction, with the peak gated against the raised budget.
+//!
+//! `FLOCK_PARTS_SHORT=1` shrinks the working set for CI smoke.
+
+use flock_sql::{Database, DurabilityOptions, Value};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const REPEATS: usize = 3;
+
+/// Deterministic LCG so the workload needs no RNG crate.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+}
+
+fn metric(db: &Database, name: &str) -> i64 {
+    let b = db
+        .query(&format!("SELECT value FROM flock_metrics WHERE metric = '{name}'"))
+        .expect("flock_metrics");
+    match b.column(0).get(0) {
+        Value::Int(v) => v,
+        other => panic!("metric {name}: {other:?}"),
+    }
+}
+
+/// Best-of-N wall time for one query, checking the result is stable.
+fn time_query(db: &Database, sql: &str) -> (f64, Vec<Value>) {
+    let mut best = f64::INFINITY;
+    let mut result = Vec::new();
+    for _ in 0..REPEATS {
+        let start = Instant::now();
+        let b = db.query(sql).expect("query");
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        let row: Vec<Value> = (0..b.num_columns()).map(|c| b.column(c).get(0)).collect();
+        if result.is_empty() {
+            result = row;
+        } else {
+            assert_eq!(result, row, "unstable result for {sql}");
+        }
+    }
+    (best, result)
+}
+
+fn main() {
+    let short = std::env::var("FLOCK_PARTS_SHORT").is_ok_and(|v| v == "1");
+    // 3 columns x 8 bytes/cell: the working set is ~3x the budget, so the
+    // table cannot stay resident.
+    let budget: u64 = if short { 2 << 20 } else { 16 << 20 };
+    // Row counts sit just past a flush point, so nearly the whole table
+    // lives in parts and the resident tail stays a sliver — the selective
+    // scan's cost is then dominated by the parts it cannot prune.
+    let total_rows: i64 = if short { 368_640 } else { 2_120_000 };
+    let step: i64 = 8192;
+
+    let scratch = std::env::temp_dir().join(format!("flock-parts-bench-{}", std::process::id()));
+    let db = Database::open(&scratch, DurabilityOptions::buffered()).expect("open");
+    db.stop_background_merge(); // timed sections stay deterministic
+    db.set_table_memory_budget(budget);
+    db.execute("CREATE TABLE t (k INT, v DOUBLE, cat VARCHAR)").expect("create");
+
+    eprintln!(
+        "loading {total_rows} rows (~{} MB resident model) under a {} MB budget",
+        total_rows * 24 / (1 << 20),
+        budget >> 20
+    );
+    let mut rng = Lcg(42);
+    let load_start = Instant::now();
+    let mut k = 0i64;
+    while k < total_rows {
+        let n = step.min(total_rows - k);
+        let rows: Vec<String> = (k..k + n)
+            .map(|k| {
+                let v = (rng.next() % 1_000_000) as f64 / 977.0;
+                format!("({k}, {v:.4}, 'c{}')", rng.next() % 8)
+            })
+            .collect();
+        db.execute(&format!("INSERT INTO t VALUES {}", rows.join(", ")))
+            .expect("insert");
+        k += n;
+    }
+    let load_ms = load_start.elapsed().as_secs_f64() * 1e3;
+    db.checkpoint_now().expect("checkpoint");
+
+    let parts_total = metric(&db, "parts_total");
+    let on_disk = metric(&db, "part_bytes_on_disk");
+    let uncompressed = metric(&db, "part_bytes_uncompressed");
+    let compression = uncompressed as f64 / on_disk.max(1) as f64;
+    assert!(parts_total > 4, "load must have spilled into parts, got {parts_total}");
+    eprintln!(
+        "loaded in {load_ms:.0} ms: {parts_total} parts, {:.1} MB on disk \
+         ({compression:.2}x compression)",
+        on_disk as f64 / (1 << 20) as f64
+    );
+
+    // Cold-ish full scan (every part decoded, streamed chunk by chunk)
+    // vs a selective range: k is monotone, so a 1/16th key range lives in
+    // a couple of parts and zone maps prune the rest at plan time.
+    let full_sql = "SELECT COUNT(*), SUM(v) FROM t";
+    let lo = total_rows / 2;
+    let hi = lo + total_rows / 16;
+    let sel_sql = format!("SELECT COUNT(*), SUM(v) FROM t WHERE k BETWEEN {lo} AND {hi}");
+
+    let (full_ms, full_row) = time_query(&db, full_sql);
+    let pruned_before = metric(&db, "zonemap_parts_pruned");
+    let scanned_before = metric(&db, "zonemap_parts_scanned");
+    let (sel_ms, _) = time_query(&db, &sel_sql);
+    // Pruning happens when the scan is (re)planned — the plan cache may
+    // serve the repeats from one planning — so these are raw deltas over
+    // all REPEATS runs, however many plannings that took.
+    let pruned = metric(&db, "zonemap_parts_pruned") - pruned_before;
+    let scanned = metric(&db, "zonemap_parts_scanned") - scanned_before;
+    let speedup = full_ms / sel_ms;
+    let peak = metric(&db, "part_scan_peak_bytes");
+    let tail_resident = db
+        .catalog()
+        .table("t")
+        .map(|t| (t.current().data.num_rows() * 3 * 8) as u64)
+        .expect("table t");
+    assert_eq!(full_row[0], Value::Int(total_rows), "full scan lost rows");
+    eprintln!("full scan      {full_ms:9.2} ms");
+    eprintln!(
+        "selective scan {sel_ms:9.2} ms ({speedup:.1}x, pruned {pruned}/{} parts)",
+        pruned + scanned
+    );
+
+    // Raise the budget 8x: runs of level-0 parts now fit the merge cap,
+    // so compaction fires; pruning must keep working on the merged
+    // layout and the scan peak must respect the raised envelope.
+    db.set_table_memory_budget(budget * 8);
+    let merges = db.merge_now();
+    // checkpoint re-syncs the part inventory counters to the live catalog
+    // (merged-away parts drop out) and lets pruning reclaim their files
+    db.checkpoint_now().expect("checkpoint");
+    let parts_after_merge = metric(&db, "parts_total");
+    let (sel_merged_ms, _) = time_query(&db, &sel_sql);
+    let peak_after_merge = metric(&db, "part_scan_peak_bytes");
+    eprintln!(
+        "after {merges} merges ({parts_total} -> {parts_after_merge} parts): \
+         selective scan {sel_merged_ms:9.2} ms"
+    );
+
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"parts_scan\",");
+    let _ = writeln!(out, "  \"short\": {short},");
+    let _ = writeln!(out, "  \"rows\": {total_rows},");
+    let _ = writeln!(out, "  \"budget_bytes\": {budget},");
+    let _ = writeln!(out, "  \"load_ms\": {load_ms:.3},");
+    let _ = writeln!(out, "  \"parts_total\": {parts_total},");
+    let _ = writeln!(out, "  \"part_bytes_on_disk\": {on_disk},");
+    let _ = writeln!(out, "  \"part_bytes_uncompressed\": {uncompressed},");
+    let _ = writeln!(out, "  \"compression_ratio\": {compression:.3},");
+    let _ = writeln!(out, "  \"full_scan_ms\": {full_ms:.3},");
+    let _ = writeln!(out, "  \"selective_scan_ms\": {sel_ms:.3},");
+    let _ = writeln!(out, "  \"pruned_speedup\": {speedup:.2},");
+    let _ = writeln!(out, "  \"zonemap_parts_pruned\": {pruned},");
+    let _ = writeln!(out, "  \"zonemap_parts_scanned\": {scanned},");
+    let _ = writeln!(out, "  \"part_scan_peak_bytes\": {peak},");
+    let _ = writeln!(out, "  \"tail_resident_bytes\": {tail_resident},");
+    let _ = writeln!(out, "  \"merges\": {merges},");
+    let _ = writeln!(out, "  \"parts_after_merge\": {parts_after_merge},");
+    let _ = writeln!(out, "  \"selective_scan_after_merge_ms\": {sel_merged_ms:.3},");
+    let _ = writeln!(out, "  \"part_scan_peak_after_merge_bytes\": {peak_after_merge}");
+    out.push_str("}\n");
+
+    std::fs::create_dir_all("results").unwrap();
+    std::fs::write("results/BENCH_parts.json", &out).unwrap();
+    eprintln!("wrote results/BENCH_parts.json");
+    print!("{out}");
+
+    assert!(pruned > 0, "the selective scan pruned nothing");
+    assert!(
+        speedup >= 2.0,
+        "zone-map pruning gained only {speedup:.2}x on a selective scan (gate: >= 2x)"
+    );
+    assert!(
+        peak as u64 <= budget,
+        "streaming scan peaked at {peak} decoded bytes, over the {budget}-byte budget"
+    );
+    assert!(
+        tail_resident <= budget,
+        "resident tail is {tail_resident} bytes, over the {budget}-byte budget"
+    );
+    assert!(merges > 0, "raising the budget 8x must enable compaction");
+    assert!(
+        peak_after_merge as u64 <= budget * 8,
+        "post-merge scan peaked at {peak_after_merge} bytes, over the raised budget"
+    );
+}

@@ -1,7 +1,7 @@
 //! `flock-serve` — run a Flock database behind the TCP wire protocol.
 //!
 //! ```text
-//! flock-serve [--bind ADDR:PORT] [--dir PATH] [--init FILE] [--timeout-ms N] [--max-concurrent N]
+//! flock-serve [--bind ADDR:PORT] [--dir PATH] [--init FILE] [--timeout-ms N] [--max-concurrent N] [--table-memory-budget BYTES]
 //! ```
 //!
 //! * `--bind` (default `127.0.0.1:5433`): listen address; port 0 picks a
@@ -13,6 +13,9 @@
 //! * `--timeout-ms`: database-default statement timeout.
 //! * `--max-concurrent`: admission-control limit on concurrently executing
 //!   queries (0 = unlimited).
+//! * `--table-memory-budget`: resident-bytes budget per table (0 =
+//!   unlimited). Tables exceeding it spill to compressed columnar parts
+//!   on disk; requires `--dir`.
 //!
 //! The server runs until stdin reaches EOF (`flock-serve < /dev/null`
 //! exits immediately after binding; in a terminal, Ctrl-D stops it), then
@@ -28,7 +31,7 @@ use std::sync::Arc;
 fn usage() -> ! {
     eprintln!(
         "usage: flock-serve [--bind ADDR:PORT] [--dir PATH] [--init FILE] \
-         [--timeout-ms N] [--max-concurrent N]"
+         [--timeout-ms N] [--max-concurrent N] [--table-memory-budget BYTES]"
     );
     std::process::exit(2);
 }
@@ -39,6 +42,7 @@ fn main() -> ExitCode {
     let mut init: Option<String> = None;
     let mut timeout_ms: u64 = 0;
     let mut max_concurrent: usize = 0;
+    let mut table_memory_budget: u64 = 0;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -55,6 +59,10 @@ fn main() -> ExitCode {
             }
             "--max-concurrent" => {
                 max_concurrent = value("--max-concurrent").parse().unwrap_or_else(|_| usage())
+            }
+            "--table-memory-budget" => {
+                table_memory_budget =
+                    value("--table-memory-budget").parse().unwrap_or_else(|_| usage())
             }
             _ => usage(),
         }
@@ -78,6 +86,13 @@ fn main() -> ExitCode {
         opts.statement_timeout_ms = timeout_ms;
         opts.max_concurrent_queries = max_concurrent;
         db.database().set_exec_options(opts);
+    }
+    if table_memory_budget > 0 {
+        if dir.is_none() {
+            eprintln!("flock-serve: --table-memory-budget requires --dir (parts live on disk)");
+            return ExitCode::FAILURE;
+        }
+        db.database().set_table_memory_budget(table_memory_budget);
     }
 
     if let Some(script) = &init {

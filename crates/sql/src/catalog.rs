@@ -10,6 +10,7 @@ use crate::error::{Result, SqlError};
 use crate::table::Table;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
 
 /// Kinds of securable catalog objects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -289,6 +290,12 @@ pub struct Catalog {
     views: BTreeMap<String, ViewDef>,
     extensions: BTreeMap<(String, String), ExtensionObject>,
     pub access: AccessControl,
+    /// Handle to the database directory's part files, when the engine is
+    /// durable. Rides along with catalog clones (it is just an `Arc`) so
+    /// planners and executors holding a catalog snapshot can open the
+    /// part-backed versions it references. `None` for in-memory engines —
+    /// whose tables never have parts.
+    part_store: Option<Arc<crate::parts::PartStore>>,
 }
 
 impl Default for Catalog {
@@ -304,7 +311,17 @@ impl Catalog {
             views: BTreeMap::new(),
             extensions: BTreeMap::new(),
             access: AccessControl::new(),
+            part_store: None,
         }
+    }
+
+    /// Attach the part store (done once at database open, after recovery).
+    pub fn set_part_store(&mut self, store: Arc<crate::parts::PartStore>) {
+        self.part_store = Some(store);
+    }
+
+    pub fn part_store(&self) -> Option<&Arc<crate::parts::PartStore>> {
+        self.part_store.as_ref()
     }
 
     // ---- tables ----

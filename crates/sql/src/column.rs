@@ -270,6 +270,72 @@ impl ColumnVector {
     pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
         (0..self.len()).map(move |i| self.get(i))
     }
+
+    /// Borrow the validity bitmap (NULL slots are `false`).
+    pub(crate) fn validity_slice(&self) -> &[bool] {
+        &self.validity
+    }
+
+    /// Borrow the raw typed buffer *including* NULL slots (which hold the
+    /// type's default). The part codec encodes raw buffers plus the
+    /// validity bitmap, so NULL slots must round-trip untouched.
+    pub(crate) fn raw(&self) -> RawColumn<'_> {
+        match &*self.data {
+            ColumnData::Bool(v) => RawColumn::Bool(v),
+            ColumnData::Int(v) => RawColumn::Int(v),
+            ColumnData::Float(v) => RawColumn::Float(v),
+            ColumnData::Text(v) => RawColumn::Text(v),
+            ColumnData::Date(v) => RawColumn::Date(v),
+        }
+    }
+
+    /// Rebuild a column from a raw buffer and validity bitmap. NULL slots
+    /// must already hold the type's default value (the part codec
+    /// normalizes them on encode).
+    pub(crate) fn from_raw(raw: RawColumnOwned, validity: Vec<bool>) -> Result<Self> {
+        let data = match raw {
+            RawColumnOwned::Bool(v) => ColumnData::Bool(v),
+            RawColumnOwned::Int(v) => ColumnData::Int(v),
+            RawColumnOwned::Float(v) => ColumnData::Float(v),
+            RawColumnOwned::Text(v) => ColumnData::Text(v),
+            RawColumnOwned::Date(v) => ColumnData::Date(v),
+        };
+        let len = match &data {
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Text(v) => v.len(),
+            ColumnData::Date(v) => v.len(),
+        };
+        if len != validity.len() {
+            return Err(SqlError::Execution(format!(
+                "column buffer has {len} rows but validity has {}",
+                validity.len()
+            )));
+        }
+        Ok(ColumnVector {
+            data: Arc::new(data),
+            validity: Arc::new(validity),
+        })
+    }
+}
+
+/// Borrowed view of a column's raw typed buffer (NULL slots included).
+pub(crate) enum RawColumn<'a> {
+    Bool(&'a [bool]),
+    Int(&'a [i64]),
+    Float(&'a [f64]),
+    Text(&'a [String]),
+    Date(&'a [i32]),
+}
+
+/// Owned raw buffer for [`ColumnVector::from_raw`].
+pub(crate) enum RawColumnOwned {
+    Bool(Vec<bool>),
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Text(Vec<String>),
+    Date(Vec<i32>),
 }
 
 #[cfg(test)]

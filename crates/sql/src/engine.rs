@@ -18,10 +18,10 @@ use crate::table::Table;
 use crate::types::{DataType, Value};
 use crate::udf::{NoInference, ProviderRef};
 use crate::wal::{DurabilityOptions, DurableFs, RedoOp, StdFs, WalManager, WalRecord};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 /// Classification of a statement for the query log.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,6 +112,234 @@ fn snapshot_of(state: &DbState) -> crate::wal::Snapshot {
     )
 }
 
+/// Upper bound on rows per part flushed by offload.
+const MAX_PART_ROWS: usize = 65_536;
+/// A merge folds at least this many consecutive same-level parts.
+const MERGE_MIN_PARTS: usize = 4;
+/// ... and never produces a part with more rows than this.
+const MERGE_MAX_ROWS: u64 = 262_144;
+/// Decoded-bytes cap for a merge when no memory budget is set.
+const MERGE_DEFAULT_BYTES: u64 = 16 << 20;
+
+/// Decoded-size cap for one merge: half the table memory budget (the
+/// streaming scan decodes one part at a time, so this keeps a merged
+/// part's decode within the same envelope), or a fixed default.
+fn merge_byte_cap(budget: u64) -> u64 {
+    if budget > 0 {
+        (budget / 2).max(1)
+    } else {
+        MERGE_DEFAULT_BYTES
+    }
+}
+
+/// Resident footprint estimate for a batch — the same coarse
+/// 8-bytes-per-cell model the executor's memory accounting uses.
+fn resident_bytes(b: &RecordBatch) -> u64 {
+    (b.num_rows() as u64) * (b.num_columns() as u64) * 8
+}
+
+/// Reset the part store's inventory counters to the set of parts the live
+/// catalog references (deduplicated: appends share parts across versions).
+fn sync_part_inventory(catalog: &Catalog) {
+    let Some(store) = catalog.part_store() else { return };
+    let mut live: std::collections::BTreeMap<u64, &crate::parts::PartMeta> =
+        std::collections::BTreeMap::new();
+    for name in catalog.table_names() {
+        if let Ok(t) = catalog.table(&name) {
+            for v in t.versions() {
+                for p in &v.parts {
+                    live.insert(p.id, p);
+                }
+            }
+        }
+    }
+    store.set_inventory(live.into_values());
+}
+
+/// Rewrite a snapshot into its fully resident logical form: each
+/// part-backed version gets its parts decoded and prepended to the tail,
+/// and its manifest cleared. Best-effort — an unreadable part leaves that
+/// version physical (a state recovery would reject anyway).
+fn logicalize_snapshot(
+    snap: &mut crate::wal::Snapshot,
+    store: Option<&Arc<crate::parts::PartStore>>,
+) {
+    let Some(store) = store else { return };
+    for t in &mut snap.tables {
+        for v in &mut t.versions {
+            if v.parts.is_empty() {
+                continue;
+            }
+            let mut batches = Vec::with_capacity(v.parts.len() + 1);
+            let all_readable = v.parts.iter().all(|p| match store.read_part(p.id) {
+                Ok(b) => {
+                    batches.push(b);
+                    true
+                }
+                Err(_) => false,
+            });
+            if !all_readable {
+                continue;
+            }
+            batches.push(v.data.clone());
+            if let Ok(full) = RecordBatch::concat(v.data.schema().clone(), &batches) {
+                v.data = full;
+                v.parts.clear();
+            }
+        }
+    }
+}
+
+/// Fully materialize a table version: decode its disk parts (in order)
+/// ahead of the resident tail. Full-rewrite paths (UPDATE/DELETE/ALTER)
+/// go through this, so the new version they install never silently drops
+/// rows that lived on disk.
+fn materialize_version(
+    catalog: &Catalog,
+    v: &crate::table::TableVersion,
+) -> Result<RecordBatch> {
+    if v.parts.is_empty() {
+        return Ok(v.data.clone());
+    }
+    let store = catalog.part_store().ok_or_else(|| {
+        SqlError::Io("table has disk parts but no part store is attached".into())
+    })?;
+    let mut batches = Vec::with_capacity(v.parts.len() + 1);
+    for p in &v.parts {
+        batches.push(store.read_part(p.id)?);
+    }
+    batches.push(v.data.clone());
+    RecordBatch::concat(v.data.schema().clone(), &batches)
+}
+
+/// One size-tiered merge step: find a run of [`MERGE_MIN_PARTS`]+
+/// consecutive same-level parts in some table's current version whose
+/// combined decoded size fits under `byte_cap`, fold them into a single
+/// next-level part, and splice it in place. Decode and encode run outside
+/// the catalog lock (parts are immutable); the splice re-verifies the run
+/// is still current before swapping, and never deletes the source files —
+/// older versions and older checkpoints may still reference them, so
+/// reclamation belongs to checkpoint pruning. Purely physical: no WAL
+/// record, no version bump, no logical-digest change.
+fn merge_step(state: &RwLock<DbState>, byte_cap: u64) -> bool {
+    let (name, start, run, store) = {
+        let st = state.read();
+        let Some(store) = st.catalog.part_store().cloned() else {
+            return false;
+        };
+        let mut found = None;
+        'tables: for name in st.catalog.table_names() {
+            let Ok(table) = st.catalog.table(&name) else { continue };
+            let parts = &table.current().parts;
+            let mut i = 0;
+            while i + MERGE_MIN_PARTS <= parts.len() {
+                let level = parts[i].level;
+                let mut j = i;
+                let (mut rows, mut bytes) = (0u64, 0u64);
+                while j < parts.len()
+                    && parts[j].level == level
+                    && rows + parts[j].rows <= MERGE_MAX_ROWS
+                    && bytes + parts[j].decoded_bytes() <= byte_cap
+                {
+                    rows += parts[j].rows;
+                    bytes += parts[j].decoded_bytes();
+                    j += 1;
+                }
+                if j - i >= MERGE_MIN_PARTS {
+                    found = Some((name.clone(), i, parts[i..j].to_vec()));
+                    break 'tables;
+                }
+                i = if j > i { j } else { i + 1 };
+            }
+        }
+        match found {
+            Some((name, start, run)) => (name, start, run, store),
+            None => return false,
+        }
+    };
+
+    let mut batches = Vec::with_capacity(run.len());
+    for m in &run {
+        match store.read_part(m.id) {
+            Ok(b) => batches.push(b),
+            Err(_) => return false,
+        }
+    }
+    let schema = batches[0].schema().clone();
+    let Ok(folded) = RecordBatch::concat(schema, &batches) else {
+        return false;
+    };
+    let Ok(merged) = store.write_part(&folded, run[0].level.saturating_add(1)) else {
+        return false;
+    };
+
+    let mut st = state.write();
+    let Ok(table) = st.catalog.table_mut(&name) else {
+        store.remove_part(&merged);
+        return false;
+    };
+    let cur = table.current();
+    let still_current = cur.parts.len() >= start + run.len()
+        && cur.parts[start..start + run.len()]
+            .iter()
+            .zip(&run)
+            .all(|(a, b)| a.id == b.id);
+    if !still_current {
+        store.remove_part(&merged);
+        return false;
+    }
+    let mut parts = cur.parts.clone();
+    let tail = cur.data.clone();
+    parts.splice(start..start + run.len(), [merged]);
+    table.replace_current_with_parts(parts, tail);
+    store.note_merged(run.len() as u64);
+    true
+}
+
+/// Handle to the background part-merge thread: signals stop and joins on
+/// drop (the last database handle dropping takes the thread with it).
+struct MergerGuard {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MergerGuard {
+    fn spawn(state: Weak<RwLock<DbState>>, budget: Arc<AtomicU64>) -> MergerGuard {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("flock-part-merger".into())
+            .spawn(move || loop {
+                std::thread::sleep(std::time::Duration::from_millis(25));
+                if flag.load(Ordering::Relaxed) {
+                    return;
+                }
+                // Weak: the merger must not keep a closed database alive.
+                let Some(state) = state.upgrade() else { return };
+                let cap = merge_byte_cap(budget.load(Ordering::Relaxed));
+                while merge_step(&state, cap) {
+                    if flag.load(Ordering::Relaxed) {
+                        return;
+                    }
+                }
+            })
+            .expect("spawning part merger");
+        MergerGuard {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for MergerGuard {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
 /// A shared, thread-safe database handle.
 #[derive(Clone)]
 pub struct Database {
@@ -131,6 +359,13 @@ pub struct Database {
     /// inference provider change — any of these can change what a plan
     /// compiles to.
     options_epoch: Arc<AtomicU64>,
+    /// Engine-wide cap on a table's resident bytes (0 = offloading
+    /// disabled). Commits that leave a written table over this budget
+    /// flush its resident rows into disk parts as part of the commit.
+    table_memory_budget: Arc<AtomicU64>,
+    /// Background part-merge thread, if started. Dropped (stopped and
+    /// joined) with the last handle to this database.
+    merger: Arc<Mutex<Option<MergerGuard>>>,
 }
 
 impl Default for Database {
@@ -170,6 +405,8 @@ impl Database {
             plan_cache,
             ddl_epoch: Arc::new(AtomicU64::new(0)),
             options_epoch: Arc::new(AtomicU64::new(0)),
+            table_memory_budget: Arc::new(AtomicU64::new(0)),
+            merger: Arc::new(Mutex::new(None)),
         }
     }
 
@@ -179,23 +416,38 @@ impl Database {
     /// committed state of the previous process.
     pub fn open(path: impl AsRef<std::path::Path>, opts: DurabilityOptions) -> Result<Database> {
         let fs = StdFs::new(path).map_err(|e| SqlError::Io(format!("opening database: {e}")))?;
-        Self::open_with_fs(Arc::new(fs), opts)
+        let db = Self::open_with_fs(Arc::new(fs), opts)?;
+        db.start_background_merge();
+        Ok(db)
     }
 
     /// Open a durable database on any [`DurableFs`] — the fault-injection
     /// harness runs the whole engine against in-memory and failpoint
-    /// filesystems through this entry point.
+    /// filesystems through this entry point. The background merger is
+    /// *not* started here (so fault-injection runs stay deterministic);
+    /// call [`Database::start_background_merge`] if you want it.
     pub fn open_with_fs(fs: Arc<dyn DurableFs>, opts: DurabilityOptions) -> Result<Database> {
         let rec = crate::wal::recover(fs, opts)?;
-        Ok(Self::from_state(DbState {
-            catalog: rec.catalog,
+        let store = Arc::new(
+            crate::parts::PartStore::open(rec.manager.fs().clone())
+                .map_err(|e| SqlError::Io(format!("opening part store: {e}")))?,
+        );
+        let mut catalog = rec.catalog;
+        catalog.set_part_store(store.clone());
+        sync_part_inventory(&catalog);
+        let db = Self::from_state(DbState {
+            catalog,
             next_txn: rec.next_txn,
             next_log_id: rec.next_log_id,
             next_audit_seq: rec.next_audit_seq,
             query_log: rec.query_log,
             audit_log: rec.audit_log,
             wal: Some(rec.manager),
-        }))
+        });
+        for (name, counter) in store.metric_counters() {
+            db.metrics.register(name, counter);
+        }
+        Ok(db)
     }
 
     /// Durability options, or `None` for an in-memory database.
@@ -208,13 +460,15 @@ impl Database {
     pub fn checkpoint_now(&self) -> Result<Option<u64>> {
         let mut state = self.state.write();
         let snap = snapshot_of(&state);
-        match &mut state.wal {
+        let r = match &mut state.wal {
             Some(wal) => wal
                 .checkpoint(&snap)
                 .map(Some)
                 .map_err(|e| SqlError::Io(format!("checkpoint failed: {e}"))),
             None => Ok(None),
-        }
+        };
+        sync_part_inventory(&state.catalog);
+        r
     }
 
     /// Deterministic digest of the committed logical state (catalog, both
@@ -223,11 +477,120 @@ impl Database {
     /// need not be — persisted by a redo-only log, so the counter may
     /// legitimately differ across a recovery while the logical state is
     /// bit-identical.
+    /// The digest is taken over the *logical* form of the snapshot: every
+    /// part-backed version is materialized into resident rows first, so the
+    /// digest is independent of physical layout — offloading history into
+    /// disk parts or merging parts never changes it, and a recovery that
+    /// replays the WAL into a fully resident state digests identically to
+    /// the part-backed state it recovered.
     pub fn state_digest(&self) -> u64 {
         let state = self.state.read();
         let mut snap = snapshot_of(&state);
         snap.next_txn = 0;
+        logicalize_snapshot(&mut snap, state.catalog.part_store());
         crate::wal::digest(&snap)
+    }
+
+    /// Set the engine-wide resident-bytes budget per table (0 disables
+    /// offloading). Also reachable as `SET table_memory_budget = <bytes>`.
+    pub fn set_table_memory_budget(&self, bytes: u64) {
+        self.table_memory_budget.store(bytes, Ordering::Relaxed);
+    }
+
+    pub fn table_memory_budget(&self) -> u64 {
+        self.table_memory_budget.load(Ordering::Relaxed)
+    }
+
+    /// Synchronously run merge steps until no more apply (what the
+    /// background thread does continuously). Returns merges performed.
+    /// Deterministic alternative for tests and fault-injection harnesses.
+    pub fn merge_now(&self) -> usize {
+        let cap = merge_byte_cap(self.table_memory_budget.load(Ordering::Relaxed));
+        let mut n = 0;
+        while merge_step(&self.state, cap) {
+            n += 1;
+        }
+        n
+    }
+
+    /// Start the background part-merge thread (idempotent; no-op for
+    /// in-memory databases). [`Database::open`] starts it automatically;
+    /// [`Database::open_with_fs`] leaves it off so fault-injection runs
+    /// stay deterministic.
+    pub fn start_background_merge(&self) {
+        let mut slot = self.merger.lock();
+        if slot.is_some() || self.state.read().catalog.part_store().is_none() {
+            return;
+        }
+        *slot = Some(MergerGuard::spawn(
+            Arc::downgrade(&self.state),
+            self.table_memory_budget.clone(),
+        ));
+    }
+
+    /// Stop and join the background merge thread, if running.
+    pub fn stop_background_merge(&self) {
+        *self.merger.lock() = None;
+    }
+
+    /// Commit-time offload: flush any written table whose resident bytes
+    /// exceed the budget into disk parts and collapse its version history.
+    /// Runs inside the committing transaction — the part-backed catalog
+    /// installs with the commit and the history truncation rides the same
+    /// WAL record batch, so a kill during the flush recovers to either the
+    /// old state or the committed one, never a mix. Freshly flushed parts
+    /// become reachable at the next checkpoint; until then a crash simply
+    /// orphans them for checkpoint pruning to sweep.
+    fn offload_over_budget(&self, txn: &mut Txn) -> Result<()> {
+        let budget = self.table_memory_budget.load(Ordering::Relaxed);
+        if budget == 0 {
+            return Ok(());
+        }
+        let Some(store) = txn.catalog.part_store().cloned() else {
+            return Ok(());
+        };
+        let keys: Vec<String> = txn
+            .written
+            .keys()
+            .filter(|k| k.starts_with("table:"))
+            .cloned()
+            .collect();
+        for key in keys {
+            let name = key["table:".len()..].to_string();
+            let Ok(table) = txn.catalog.table(&name) else {
+                continue; // dropped in this transaction
+            };
+            let cur = table.current();
+            if resident_bytes(&cur.data) <= budget {
+                continue;
+            }
+            // Chunk so one part decodes back under half the budget: the
+            // streaming scan's peak is then one part plus the tail.
+            let ncols = cur.data.num_columns().max(1);
+            let chunk_rows = ((budget as usize / (8 * ncols)) / 2).clamp(1, MAX_PART_ROWS);
+            let mut parts = cur.parts.clone();
+            for chunk in cur.data.chunks(chunk_rows) {
+                parts.push(store.write_part(&chunk, 0)?);
+            }
+            let tail = RecordBatch::empty(cur.data.schema().clone());
+            let pinned = lineage_pinned_versions(&txn.catalog, &name);
+            let table = txn.catalog.table_mut(&name)?;
+            let redo_table = table.name().to_string();
+            table.replace_current_with_parts(parts, tail);
+            // History versions hold the resident rows we just offloaded;
+            // drop them unless a deployed model's lineage pins one (then
+            // keep history and only the current version goes part-backed).
+            if table
+                .truncate_history_pinned(1, &pinned)
+                .is_ok_and(|d| !d.is_empty())
+            {
+                txn.redo_buf.push(RedoOp::TruncateHistory {
+                    table: redo_table,
+                    keep: 1,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Cumulative engine-wide execution counters (the `flock_metrics`
@@ -928,6 +1291,31 @@ impl Session {
                     None => "statement_timeout = default".to_string(),
                 }))
             }
+            "table_memory_budget" => {
+                let bytes = match value {
+                    None => 0, // SET table_memory_budget = DEFAULT
+                    Some(e) => {
+                        let folded = crate::optimizer::fold_expr(e)?;
+                        match folded {
+                            Expr::Literal(Value::Int(i)) if i >= 0 => i as u64,
+                            other => {
+                                return Err(SqlError::Plan(format!(
+                                    "table_memory_budget expects a non-negative integer \
+                                     (bytes), got {other:?}"
+                                )))
+                            }
+                        }
+                    }
+                };
+                // Engine-wide, not session-local: offload happens at
+                // commit, which serves every session.
+                self.db.set_table_memory_budget(bytes);
+                Ok(QueryResult::none(if bytes == 0 {
+                    "table_memory_budget = off".to_string()
+                } else {
+                    format!("table_memory_budget = {bytes} bytes")
+                }))
+            }
             "predict_strategy" => {
                 let strategy = match value {
                     None => None, // SET predict_strategy = DEFAULT
@@ -1064,7 +1452,7 @@ impl Session {
     }
 
     pub fn commit(&mut self) -> Result<QueryResult> {
-        let txn = self
+        let mut txn = self
             .txn
             .take()
             .ok_or_else(|| SqlError::Transaction("no open transaction".into()))?;
@@ -1080,6 +1468,13 @@ impl Session {
                     txn.id
                 )));
             }
+        }
+
+        // Memory-budget offload rides this commit (durable databases
+        // only). A part-write failure aborts the commit cleanly: nothing
+        // reached the WAL and the committed catalog was never touched.
+        if state.wal.is_some() {
+            self.db.offload_over_budget(&mut txn)?;
         }
 
         // Assign log ids up front (counters are bumped only after the WAL
@@ -1152,6 +1547,7 @@ impl Session {
             if let Some(wal) = &mut state.wal {
                 let _ = wal.checkpoint(&snap);
             }
+            sync_part_inventory(&state.catalog);
         }
         let id = txn.id;
         Ok(QueryResult::none(format!("COMMIT (txn {id})")))
@@ -1374,7 +1770,7 @@ impl Session {
         self.check_access(&catalog, &ObjectRef::table(name), Privilege::Create)?;
         let table = catalog.table(name)?;
         let schema = table.schema().clone();
-        let data = table.current().data.clone();
+        let data = materialize_version(&catalog, table.current())?;
 
         let (new_schema, new_batch, detail) = match action {
             AlterAction::AddColumn(decl) => {
@@ -1758,7 +2154,7 @@ impl Session {
         self.check_access(&catalog, &ObjectRef::table(table_name), Privilege::Update)?;
         let table = catalog.table(table_name)?;
         let schema = table.schema().clone();
-        let data = table.current().data.clone();
+        let data = materialize_version(&catalog, table.current())?;
         let provider = self.db.inference_provider();
         let eval_ctx = EvalContext::new(provider.clone(), self.user.clone(), 1)
             .with_cancel(self.statement_cancel(&self.db.exec_options()));
@@ -1824,7 +2220,7 @@ impl Session {
         self.check_access(&catalog, &ObjectRef::table(table_name), Privilege::Delete)?;
         let table = catalog.table(table_name)?;
         let schema = table.schema().clone();
-        let data = table.current().data.clone();
+        let data = materialize_version(&catalog, table.current())?;
         let provider = self.db.inference_provider();
         let eval_ctx = EvalContext::new(provider.clone(), self.user.clone(), 1)
             .with_cancel(self.statement_cancel(&self.db.exec_options()));
@@ -2200,7 +2596,15 @@ impl Session {
                 data: batch.clone(),
             },
         };
-        let version = table.push_version(batch, txn_id)?;
+        // Appends carry the disk-part prefix forward (the batch is the
+        // grown resident tail); full rewrites install fully resident.
+        let version = match &redo {
+            RedoOp::AppendRows { .. } => {
+                let carried = table.current().parts.clone();
+                table.push_version_with_parts(carried, batch, txn_id)?
+            }
+            _ => table.push_version(batch, txn_id)?,
+        };
         txn.redo_buf.push(redo);
         txn.written.entry(key).or_insert(base);
         Ok(version)

@@ -58,7 +58,9 @@ impl PlanMetrics {
     /// Build a zeroed metrics tree shaped like `plan`.
     pub fn for_plan(plan: &PhysicalPlan) -> PlanMetrics {
         let children = match plan {
-            PhysicalPlan::Scan { .. } | PhysicalPlan::Values { .. } => Vec::new(),
+            PhysicalPlan::Scan { .. }
+            | PhysicalPlan::PartScan { .. }
+            | PhysicalPlan::Values { .. } => Vec::new(),
             PhysicalPlan::Filter { input, .. }
             | PhysicalPlan::Project { input, .. }
             | PhysicalPlan::HashAggregate { input, .. }

@@ -22,7 +22,7 @@ pub use expr::{EvalContext, PhysExpr, PhysNode};
 pub use metrics::{EngineMetrics, OpMetrics, OpSnapshot, PlanMetrics};
 pub use parallel::ParallelPolicy;
 
-use crate::ast::{Expr, JoinType, PredictStrategy};
+use crate::ast::{BinOp, Expr, JoinType, PredictStrategy};
 use crate::batch::RecordBatch;
 use crate::catalog::Catalog;
 use crate::column::ColumnVector;
@@ -130,6 +130,27 @@ pub enum PhysicalPlan {
     Scan {
         data: RecordBatch,
     },
+    /// Streaming scan over a part-backed table version: disk parts decode
+    /// one at a time (projection pushdown skips unwanted column blocks),
+    /// the fused filter runs per chunk, and only survivors materialize —
+    /// peak decode memory is one part, not the table. Planning consumes
+    /// the per-part zone maps to drop whole parts the filter cannot match.
+    PartScan {
+        schema: Arc<Schema>,
+        store: Arc<crate::parts::PartStore>,
+        /// Parts to scan (post-pruning), oldest first.
+        parts: Vec<crate::parts::PartMeta>,
+        /// Parts skipped by zone-map pruning, of `total` before pruning.
+        pruned: usize,
+        total: usize,
+        /// Projected resident tail (scanned after the parts).
+        tail: RecordBatch,
+        /// Base-table column indices to decode; `None` = all columns.
+        projection: Option<Vec<usize>>,
+        /// Filter fused into the scan, compiled against `schema`.
+        predicate: Option<PhysExpr>,
+        policy: ParallelPolicy,
+    },
     Values {
         schema: Arc<Schema>,
         rows: Vec<Vec<PhysExpr>>,
@@ -207,6 +228,11 @@ pub fn create_physical_plan(
             projection,
             schema,
         } => {
+            if let Some(ps) =
+                plan_part_scan(catalog, table, version, projection, schema, None, provider, options)?
+            {
+                return Ok(ps);
+            }
             let t = catalog.table(table)?;
             let tv = match version {
                 Some(v) => t.at_version(*v)?,
@@ -237,6 +263,30 @@ pub fn create_physical_plan(
             }
         }
         LogicalPlan::Filter { input, predicate } => {
+            // Fuse a filter directly over a part-backed scan: the predicate
+            // prunes parts via zone maps at plan time and runs per decoded
+            // chunk at execution time, so non-matching rows never
+            // materialize into a whole-table batch.
+            if let LogicalPlan::Scan {
+                table,
+                version,
+                projection,
+                schema,
+            } = input.as_ref()
+            {
+                if let Some(ps) = plan_part_scan(
+                    catalog,
+                    table,
+                    version,
+                    projection,
+                    schema,
+                    Some(predicate),
+                    provider,
+                    options,
+                )? {
+                    return Ok(ps);
+                }
+            }
             let child = create_physical_plan(input, catalog, provider, options)?;
             let predicate = compile(predicate, input.schema(), provider, options)?;
             let policy = ParallelPolicy::from_options(options, child.estimated_rows());
@@ -408,6 +458,155 @@ fn compile(
     PhysExpr::compile(&resolved, schema, provider)
 }
 
+/// Per-column numeric bounds implied by a predicate, keyed by output-schema
+/// column index: `col = 5` → `[5, 5]`, `col > 5` → `[5, ∞)` (inclusive —
+/// pruning stays conservative for both strict and non-strict forms).
+type ColBounds = HashMap<usize, (Option<f64>, Option<f64>)>;
+
+fn tighten(bounds: &mut ColBounds, idx: usize, lo: Option<f64>, hi: Option<f64>) {
+    let e = bounds.entry(idx).or_insert((None, None));
+    if let Some(l) = lo {
+        e.0 = Some(e.0.map_or(l, |x: f64| x.max(l)));
+    }
+    if let Some(h) = hi {
+        e.1 = Some(e.1.map_or(h, |x: f64| x.min(h)));
+    }
+}
+
+fn column_index(e: &Expr, schema: &Schema) -> Option<usize> {
+    match e {
+        Expr::Column { name, .. } => schema.index_of(name),
+        _ => None,
+    }
+}
+
+fn literal_f64(e: &Expr) -> Option<f64> {
+    match e {
+        Expr::Literal(v) => v.as_f64(),
+        _ => None,
+    }
+}
+
+/// Extract conservative zone-prunable bounds from a predicate: AND-split
+/// into conjuncts, then keep `col <op> literal` (either orientation) and
+/// `col BETWEEN lo AND hi`. Everything else (OR, NOT, expressions over the
+/// column) contributes no bounds — parts it might match are never pruned.
+fn zone_constraints(pred: &Expr, schema: &Schema) -> ColBounds {
+    let mut bounds = ColBounds::new();
+    for conj in pred.split_conjunction() {
+        match conj {
+            Expr::Binary { left, op, right } => {
+                let (idx, lit, op) = match (column_index(left, schema), literal_f64(right)) {
+                    (Some(i), Some(v)) => (i, v, *op),
+                    _ => match (column_index(right, schema), literal_f64(left)) {
+                        // flip so the column is on the left: 5 < x ⇒ x > 5
+                        (Some(i), Some(v)) => (i, v, op.flip()),
+                        _ => continue,
+                    },
+                };
+                match op {
+                    BinOp::Eq => tighten(&mut bounds, idx, Some(lit), Some(lit)),
+                    BinOp::Lt | BinOp::LtEq => tighten(&mut bounds, idx, None, Some(lit)),
+                    BinOp::Gt | BinOp::GtEq => tighten(&mut bounds, idx, Some(lit), None),
+                    _ => {}
+                }
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated: false,
+            } => {
+                if let (Some(idx), lo, hi) =
+                    (column_index(expr, schema), literal_f64(low), literal_f64(high))
+                {
+                    if lo.is_some() || hi.is_some() {
+                        tighten(&mut bounds, idx, lo, hi);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    bounds
+}
+
+/// Build a [`PhysicalPlan::PartScan`] for a scan over a part-backed table
+/// version, or `None` when the version is fully resident (the materialized
+/// `Scan` stays the fast path there). Zone-map pruning happens here, at
+/// plan time, and is recorded in the store's counters.
+#[allow(clippy::too_many_arguments)]
+fn plan_part_scan(
+    catalog: &Catalog,
+    table: &str,
+    version: &Option<u64>,
+    projection: &Option<Vec<usize>>,
+    schema: &Arc<Schema>,
+    predicate: Option<&Expr>,
+    provider: &dyn InferenceProvider,
+    options: &ExecOptions,
+) -> Result<Option<PhysicalPlan>> {
+    let Some(store) = catalog.part_store() else {
+        return Ok(None);
+    };
+    let t = catalog.table(table)?;
+    let tv = match version {
+        Some(v) => t.at_version(*v)?,
+        None => t.current(),
+    };
+    if tv.parts.is_empty() {
+        return Ok(None);
+    }
+    let src = &tv.data;
+    let tail_cols: Vec<ColumnVector> = match projection {
+        Some(indices) => indices.iter().map(|&i| src.column(i).clone()).collect(),
+        None => src.columns().to_vec(),
+    };
+    let tail = RecordBatch::new(schema.clone(), tail_cols)?;
+
+    let total = tv.parts.len();
+    let bounds = predicate
+        .map(|p| zone_constraints(p, schema))
+        .unwrap_or_default();
+    let parts: Vec<crate::parts::PartMeta> = tv
+        .parts
+        .iter()
+        .filter(|p| {
+            bounds.iter().all(|(&k, &(lo, hi))| {
+                // output column k is base-table column projection[k]
+                let zi = projection.as_ref().map_or(k, |pr| pr[k]);
+                p.zones.get(zi).is_none_or(|z| z.overlaps(lo, hi, p.rows))
+            })
+        })
+        .cloned()
+        .collect();
+    let pruned = total - parts.len();
+    store
+        .zonemap_parts_pruned
+        .fetch_add(pruned as u64, AtomicOrdering::Relaxed);
+    store
+        .zonemap_parts_scanned
+        .fetch_add(parts.len() as u64, AtomicOrdering::Relaxed);
+
+    let predicate = predicate
+        .map(|p| compile(p, schema, provider, options))
+        .transpose()?;
+    let est: usize =
+        parts.iter().map(|p| p.rows as usize).sum::<usize>() + tail.num_rows();
+    let policy = ParallelPolicy::from_options(options, est);
+    Ok(Some(PhysicalPlan::PartScan {
+        schema: schema.clone(),
+        store: store.clone(),
+        parts,
+        pruned,
+        total,
+        tail,
+        projection: projection.clone(),
+        predicate,
+        policy,
+    }))
+}
+
 impl PhysicalPlan {
     /// Output-cardinality estimate. Exact for scans (the physical plan
     /// snapshots table data), heuristic above them — the same shape as the
@@ -416,6 +615,19 @@ impl PhysicalPlan {
     pub fn estimated_rows(&self) -> usize {
         match self {
             PhysicalPlan::Scan { data } => data.num_rows(),
+            PhysicalPlan::PartScan {
+                parts,
+                tail,
+                predicate,
+                ..
+            } => {
+                let n = parts.iter().map(|p| p.rows as usize).sum::<usize>() + tail.num_rows();
+                if predicate.is_some() {
+                    n / 3 + 1
+                } else {
+                    n
+                }
+            }
             PhysicalPlan::Values { rows, .. } => rows.len(),
             // filters keep an estimated third of their input
             PhysicalPlan::Filter { input, .. } => input.estimated_rows() / 3 + 1,
@@ -487,6 +699,14 @@ impl PhysicalPlan {
                     .fetch_add(data.num_rows() as u64, AtomicOrdering::Relaxed);
                 Ok(data.clone())
             }
+            PhysicalPlan::PartScan { schema, .. } => {
+                let mut survivors: Vec<RecordBatch> = Vec::new();
+                self.for_each_part_chunk(ctx, m, &mut |chunk| {
+                    survivors.push(chunk);
+                    Ok(())
+                })?;
+                RecordBatch::concat(schema.clone(), &survivors)
+            }
             PhysicalPlan::Values { schema, rows } => {
                 let empty = RecordBatch::empty(Arc::new(Schema::default()));
                 let mut out_rows: Vec<Vec<Value>> = Vec::with_capacity(rows.len());
@@ -557,6 +777,17 @@ impl PhysicalPlan {
                 schema,
                 policy,
             } => {
+                // Aggregates over a part-backed scan stream chunk-by-chunk
+                // into the accumulators (partials merged in chunk order, so
+                // results don't depend on part layout) — the concatenated
+                // input batch never materializes.
+                if matches!(input.as_ref(), PhysicalPlan::PartScan { .. })
+                    && aggs
+                        .iter()
+                        .all(|(call, _)| Accumulator::mergeable(call.func, call.distinct))
+                {
+                    return execute_aggregate_streaming(input, group, aggs, schema, ctx, m);
+                }
                 let batch = input.execute_metered(ctx, &m.children[0])?;
                 m.op
                     .rows_in
@@ -664,11 +895,94 @@ impl PhysicalPlan {
         }
     }
 
+    /// Stream a part-backed scan: decode each part (projected), apply the
+    /// fused filter, and hand the surviving chunk to `f`. Only valid on
+    /// [`PhysicalPlan::PartScan`]. At most one decoded part is alive at a
+    /// time — peak decode bytes go to the store's high-water counter.
+    /// Bumps the scan's `rows_in` and charges the query budget per decoded
+    /// chunk; output-side metrics are the caller's (either
+    /// `execute_metered` on the materialized result, or the streaming
+    /// aggregate recording per-chunk).
+    fn for_each_part_chunk(
+        &self,
+        ctx: &EvalContext,
+        m: &PlanMetrics,
+        f: &mut dyn FnMut(RecordBatch) -> Result<()>,
+    ) -> Result<()> {
+        let PhysicalPlan::PartScan {
+            schema,
+            store,
+            parts,
+            tail,
+            projection,
+            predicate,
+            policy,
+            ..
+        } = self
+        else {
+            return Err(crate::error::SqlError::Execution(
+                "for_each_part_chunk on a non-PartScan operator".into(),
+            ));
+        };
+        let mut peak = 0u64;
+        let proj = projection.as_deref();
+        for (i, part) in parts.iter().enumerate() {
+            ctx.cancel.check()?;
+            let raw = store.read_part_projected(part.id, proj)?;
+            // decoded under the part's stored schema; present as ours
+            let chunk = RecordBatch::new(schema.clone(), raw.columns().to_vec())?;
+            peak = peak.max((chunk.num_rows() * chunk.num_columns() * 8) as u64);
+            self.emit_chunk(chunk, predicate, policy, ctx, m, f)?;
+            ctx.cancel.check_every(i)?;
+        }
+        ctx.cancel.check()?;
+        self.emit_chunk(tail.clone(), predicate, policy, ctx, m, f)?;
+        store.record_scan_peak(peak);
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_chunk(
+        &self,
+        chunk: RecordBatch,
+        predicate: &Option<PhysExpr>,
+        policy: &ParallelPolicy,
+        ctx: &EvalContext,
+        m: &PlanMetrics,
+        f: &mut dyn FnMut(RecordBatch) -> Result<()>,
+    ) -> Result<()> {
+        m.op
+            .rows_in
+            .fetch_add(chunk.num_rows() as u64, AtomicOrdering::Relaxed);
+        ctx.budget.charge(
+            chunk.num_rows() as u64,
+            (chunk.num_rows() * chunk.num_columns() * 8) as u64,
+        )?;
+        let filtered = match predicate {
+            Some(p) => {
+                let mask = if policy.fan_out(chunk.num_rows()) {
+                    m.op.record_fan_out(
+                        chunk.num_rows().div_ceil(policy.morsel_rows.max(1)),
+                        policy.degree,
+                    );
+                    parallel::map_morsels(&chunk, policy, |mo| p.eval_mask(mo, ctx))?.concat()
+                } else {
+                    p.eval_mask(&chunk, ctx)?
+                };
+                chunk.filter(&mask)?
+            }
+            None => chunk,
+        };
+        f(filtered)
+    }
+
     /// Child operators, in the order `execute` runs them (and in which
     /// [`PlanMetrics::for_plan`] mirrors them).
     pub fn children(&self) -> Vec<&PhysicalPlan> {
         match self {
-            PhysicalPlan::Scan { .. } | PhysicalPlan::Values { .. } => Vec::new(),
+            PhysicalPlan::Scan { .. }
+            | PhysicalPlan::PartScan { .. }
+            | PhysicalPlan::Values { .. } => Vec::new(),
             PhysicalPlan::Filter { input, .. }
             | PhysicalPlan::Project { input, .. }
             | PhysicalPlan::HashAggregate { input, .. }
@@ -688,6 +1002,24 @@ impl PhysicalPlan {
                 "Scan".to_string(),
                 format!("rows={}", data.num_rows()),
             ),
+            PhysicalPlan::PartScan {
+                parts,
+                pruned,
+                total,
+                tail,
+                predicate,
+                ..
+            } => {
+                let disk_rows: u64 = parts.iter().map(|p| p.rows).sum();
+                let mut detail = format!(
+                    "parts pruned {pruned}/{total}, rows(disk)={disk_rows}, rows(tail)={}",
+                    tail.num_rows()
+                );
+                if predicate.is_some() {
+                    detail.push_str(", fused filter");
+                }
+                ("PartScan".to_string(), detail)
+            }
             PhysicalPlan::Values { rows, .. } => {
                 ("Values".to_string(), format!("rows={}", rows.len()))
             }
@@ -781,6 +1113,7 @@ impl PhysicalPlan {
     pub fn schema(&self) -> Arc<Schema> {
         match self {
             PhysicalPlan::Scan { data } => data.schema().clone(),
+            PhysicalPlan::PartScan { schema, .. } => schema.clone(),
             PhysicalPlan::Values { schema, .. }
             | PhysicalPlan::Project { schema, .. }
             | PhysicalPlan::HashAggregate { schema, .. }
@@ -948,6 +1281,86 @@ fn execute_aggregate(
     let mut rows: Vec<Vec<Value>> = Vec::with_capacity(partial.order.len());
     for key in partial.order {
         let accs = &partial.groups[&key];
+        let mut row = key.0.clone();
+        row.extend(accs.iter().map(Accumulator::finish));
+        rows.push(row);
+    }
+    RecordBatch::from_rows(schema.clone(), &rows)
+}
+
+/// Aggregate over a part-backed scan without materializing its input:
+/// each decoded (and filter-fused) chunk accumulates into a partial that
+/// merges immediately, in chunk order — the same merge discipline the
+/// morsel-parallel path uses, so group order is first-appearance across
+/// the whole stream. Caller guarantees every aggregate is mergeable.
+fn execute_aggregate_streaming(
+    scan: &PhysicalPlan,
+    group: &[PhysExpr],
+    aggs: &[(AggCall, Option<PhysExpr>)],
+    schema: &Arc<Schema>,
+    ctx: &EvalContext,
+    m: &PlanMetrics,
+) -> Result<RecordBatch> {
+    let cm = &m.children[0];
+    let scan_started = std::time::Instant::now();
+
+    if group.is_empty() {
+        let mut merged = fresh_accs(aggs);
+        scan.for_each_part_chunk(ctx, cm, &mut |chunk| {
+            cm.op
+                .rows_out
+                .fetch_add(chunk.num_rows() as u64, AtomicOrdering::Relaxed);
+            cm.op.batches.fetch_add(1, AtomicOrdering::Relaxed);
+            m.op
+                .rows_in
+                .fetch_add(chunk.num_rows() as u64, AtomicOrdering::Relaxed);
+            let part = accumulate_global(&chunk, aggs, ctx)?;
+            for (acc, p) in merged.iter_mut().zip(&part) {
+                acc.merge(p);
+            }
+            Ok(())
+        })?;
+        cm.op
+            .wall_ns
+            .fetch_add(scan_started.elapsed().as_nanos() as u64, AtomicOrdering::Relaxed);
+        let row: Vec<Value> = merged.iter().map(Accumulator::finish).collect();
+        return RecordBatch::from_rows(schema.clone(), &[row]);
+    }
+
+    let mut groups: HashMap<GroupKey, Vec<Accumulator>> = HashMap::new();
+    let mut order: Vec<GroupKey> = Vec::new();
+    scan.for_each_part_chunk(ctx, cm, &mut |chunk| {
+        cm.op
+            .rows_out
+            .fetch_add(chunk.num_rows() as u64, AtomicOrdering::Relaxed);
+        cm.op.batches.fetch_add(1, AtomicOrdering::Relaxed);
+        m.op
+            .rows_in
+            .fetch_add(chunk.num_rows() as u64, AtomicOrdering::Relaxed);
+        let part = accumulate_groups(&chunk, group, aggs, ctx)?;
+        for key in part.order {
+            let accs = &part.groups[&key];
+            match groups.entry(key.clone()) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    for (dst, src) in e.get_mut().iter_mut().zip(accs) {
+                        dst.merge(src);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    order.push(key);
+                    e.insert(accs.clone());
+                }
+            }
+        }
+        Ok(())
+    })?;
+    cm.op
+        .wall_ns
+        .fetch_add(scan_started.elapsed().as_nanos() as u64, AtomicOrdering::Relaxed);
+
+    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(order.len());
+    for key in order {
+        let accs = &groups[&key];
         let mut row = key.0.clone();
         row.extend(accs.iter().map(Accumulator::finish));
         rows.push(row);

@@ -27,6 +27,7 @@ pub mod exec;
 pub mod lexer;
 pub mod optimizer;
 pub mod parser;
+pub mod parts;
 pub mod plan;
 pub mod plancache;
 pub mod schema;

@@ -1,0 +1,742 @@
+//! On-disk part format and per-column lightweight compression.
+//!
+//! A part is one framed, checksummed record (the same `[len][fnv64][payload]`
+//! frame as WAL records, so torn or bit-flipped part files are detected by
+//! the frame checksum alone):
+//!
+//! ```text
+//! payload := format(u8) id(u64) level(u8) rows(u32) schema
+//!            ncols(u32) column*
+//! column  := zone block(bytes)
+//! zone    := has_min(bool) min(f64) has_max(bool) max(f64) nulls(u64)
+//! block   := validity-bitmap enc_tag(u8) values
+//! ```
+//!
+//! Column blocks are length-prefixed, so a projected read decodes the small
+//! zone headers for every column but skips the value blocks of columns the
+//! scan does not need. Encodings are chosen per column by computed size:
+//!
+//! * Int: raw i64 | RLE `(value,count)` runs | frame-of-reference bit-pack
+//! * Bool: bitmap
+//! * Text: raw | dictionary (<= 255 distinct, u8 indices)
+//! * Float/Date: raw (IEEE-754 bits / i32), checksummed by the frame
+//!
+//! NULL slots are normalized to the type's default before encoding so the
+//! raw buffers round-trip bit-exactly regardless of how the batch was built.
+
+use crate::batch::RecordBatch;
+use crate::column::{ColumnVector, RawColumn, RawColumnOwned};
+use crate::types::DataType;
+use crate::wal::codec::{frame, read_frame, Corrupt, Dec, DecodeResult, Enc};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use super::{PartMeta, ZoneMap};
+
+/// Version byte at the start of every part payload.
+const PART_FORMAT: u8 = 1;
+
+// Encoding tags, disjoint across types so a corrupt tag never aliases.
+const ENC_INT_RAW: u8 = 0;
+const ENC_INT_RLE: u8 = 1;
+const ENC_INT_FOR: u8 = 2;
+const ENC_BOOL_BITMAP: u8 = 3;
+const ENC_FLOAT_RAW: u8 = 4;
+const ENC_TEXT_RAW: u8 = 5;
+const ENC_TEXT_DICT: u8 = 6;
+const ENC_DATE_RAW: u8 = 7;
+
+/// A fully decoded part: identity plus its rows.
+pub struct DecodedPart {
+    pub id: u64,
+    pub level: u8,
+    pub batch: RecordBatch,
+}
+
+// ----------------------------------------------------------- bit packing
+
+fn pack_bits(bits: impl Iterator<Item = bool>, n: usize) -> Vec<u8> {
+    let mut out = vec![0u8; n.div_ceil(8)];
+    for (i, b) in bits.enumerate() {
+        if b {
+            out[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out
+}
+
+fn unpack_bit(bytes: &[u8], i: usize) -> bool {
+    bytes[i / 8] & (1 << (i % 8)) != 0
+}
+
+// --------------------------------------------------------- int encodings
+
+/// Count RLE runs without materializing them.
+fn rle_runs(vals: &[i64]) -> usize {
+    let mut runs = 0;
+    let mut prev = None;
+    for v in vals {
+        if prev != Some(*v) {
+            runs += 1;
+            prev = Some(*v);
+        }
+    }
+    runs
+}
+
+/// Bits needed per value for frame-of-reference packing, and the base.
+fn for_params(vals: &[i64]) -> (i64, u32) {
+    let base = vals.iter().copied().min().unwrap_or(0);
+    let max = vals.iter().copied().max().unwrap_or(0);
+    let span = (max as i128 - base as i128) as u128;
+    let width = 128 - span.leading_zeros();
+    (base, width.min(64))
+}
+
+fn encode_int(e: &mut Enc, vals: &[i64]) {
+    let n = vals.len();
+    let raw_size = 8 * n;
+    let runs = rle_runs(vals);
+    let rle_size = 4 + 12 * runs;
+    let (base, width) = for_params(vals);
+    let for_size = 9 + (n * width as usize).div_ceil(8);
+    if rle_size < raw_size && rle_size <= for_size {
+        e.u8(ENC_INT_RLE);
+        e.u32(runs as u32);
+        let mut i = 0;
+        while i < n {
+            let v = vals[i];
+            let mut j = i + 1;
+            while j < n && vals[j] == v {
+                j += 1;
+            }
+            e.i64(v);
+            e.u32((j - i) as u32);
+            i = j;
+        }
+    } else if for_size < raw_size && width < 64 {
+        e.u8(ENC_INT_FOR);
+        e.i64(base);
+        e.u8(width as u8);
+        let mut acc: u64 = 0;
+        let mut nbits: u32 = 0;
+        for &v in vals {
+            let diff = (v as i128 - base as i128) as u64;
+            acc |= diff << nbits;
+            nbits += width;
+            while nbits >= 8 {
+                e.u8((acc & 0xff) as u8);
+                acc >>= 8;
+                nbits -= 8;
+            }
+        }
+        if nbits > 0 {
+            e.u8((acc & 0xff) as u8);
+        }
+    } else {
+        e.u8(ENC_INT_RAW);
+        for &v in vals {
+            e.i64(v);
+        }
+    }
+}
+
+fn decode_int(d: &mut Dec, n: usize, tag: u8) -> DecodeResult<Vec<i64>> {
+    match tag {
+        ENC_INT_RAW => (0..n).map(|_| d.i64()).collect(),
+        ENC_INT_RLE => {
+            let runs = d.seq_len()?;
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..runs {
+                let v = d.i64()?;
+                let count = d.u32()? as usize;
+                if out.len() + count > n {
+                    return Err(Corrupt);
+                }
+                out.resize(out.len() + count, v);
+            }
+            if out.len() != n {
+                return Err(Corrupt);
+            }
+            Ok(out)
+        }
+        ENC_INT_FOR => {
+            let base = d.i64()?;
+            let width = d.u8()? as u32;
+            if width >= 64 {
+                return Err(Corrupt);
+            }
+            let mut out = Vec::with_capacity(n);
+            let mut acc: u64 = 0;
+            let mut nbits: u32 = 0;
+            let mask = if width == 0 { 0 } else { (1u64 << width) - 1 };
+            for _ in 0..n {
+                while nbits < width {
+                    acc |= (d.u8()? as u64) << nbits;
+                    nbits += 8;
+                }
+                let diff = acc & mask;
+                acc >>= width;
+                nbits -= width;
+                out.push((base as i128 + diff as i128) as i64);
+            }
+            Ok(out)
+        }
+        _ => Err(Corrupt),
+    }
+}
+
+// -------------------------------------------------------- text encodings
+
+fn encode_text(e: &mut Enc, vals: &[String]) {
+    let n = vals.len();
+    let raw_size: usize = vals.iter().map(|s| 4 + s.len()).sum();
+    let mut dict: Vec<&str> = Vec::new();
+    let mut index: HashMap<&str, u8> = HashMap::new();
+    let mut too_many = false;
+    for s in vals {
+        if !index.contains_key(s.as_str()) {
+            if dict.len() == 256 {
+                too_many = true;
+                break;
+            }
+            index.insert(s.as_str(), dict.len() as u8);
+            dict.push(s.as_str());
+        }
+    }
+    let dict_size = 2 + dict.iter().map(|s| 4 + s.len()).sum::<usize>() + n;
+    if !too_many && dict.len() <= 256 && dict_size < raw_size {
+        e.u8(ENC_TEXT_DICT);
+        e.u32(dict.len() as u32);
+        for s in &dict {
+            e.str(s);
+        }
+        for s in vals {
+            e.u8(index[s.as_str()]);
+        }
+    } else {
+        e.u8(ENC_TEXT_RAW);
+        for s in vals {
+            e.str(s);
+        }
+    }
+}
+
+fn decode_text(d: &mut Dec, n: usize, tag: u8) -> DecodeResult<Vec<String>> {
+    match tag {
+        ENC_TEXT_RAW => (0..n).map(|_| d.str()).collect(),
+        ENC_TEXT_DICT => {
+            let ndict = d.seq_len()?;
+            if ndict > 256 {
+                return Err(Corrupt);
+            }
+            let dict: Vec<String> = (0..ndict).map(|_| d.str()).collect::<DecodeResult<_>>()?;
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                let idx = d.u8()? as usize;
+                out.push(dict.get(idx).ok_or(Corrupt)?.clone());
+            }
+            Ok(out)
+        }
+        _ => Err(Corrupt),
+    }
+}
+
+// -------------------------------------------------------- column blocks
+
+/// Logical (uncompressed) size of a column's values, used for the
+/// compression-ratio counters: what a raw encoding would occupy.
+fn uncompressed_size(col: &ColumnVector) -> usize {
+    match col.raw() {
+        RawColumn::Bool(v) => v.len(),
+        RawColumn::Int(v) => 8 * v.len(),
+        RawColumn::Float(v) => 8 * v.len(),
+        RawColumn::Text(v) => v.iter().map(|s| 4 + s.len()).sum(),
+        RawColumn::Date(v) => 4 * v.len(),
+    }
+}
+
+/// Zone map for one column: min/max use the same numeric view as
+/// [`TableStats`](crate::stats::TableStats) (`get_f64`), so planner
+/// comparisons against zone bounds and against table stats agree.
+/// Text columns carry only a null count (not prunable). A NaN anywhere
+/// poisons min/max to `None` — pruning must stay conservative.
+fn zone_of(col: &ColumnVector) -> ZoneMap {
+    let mut min: Option<f64> = None;
+    let mut max: Option<f64> = None;
+    let mut nulls: u64 = 0;
+    let mut poisoned = matches!(col.data_type(), DataType::Text);
+    for i in 0..col.len() {
+        if col.is_null(i) {
+            nulls += 1;
+            continue;
+        }
+        if poisoned {
+            continue;
+        }
+        match col.get_f64(i) {
+            Some(v) if v.is_nan() => poisoned = true,
+            Some(v) => {
+                min = Some(min.map_or(v, |m: f64| m.min(v)));
+                max = Some(max.map_or(v, |m: f64| m.max(v)));
+            }
+            None => poisoned = true,
+        }
+    }
+    if poisoned {
+        min = None;
+        max = None;
+    }
+    ZoneMap {
+        min,
+        max,
+        null_count: nulls,
+    }
+}
+
+fn put_zone(e: &mut Enc, z: &ZoneMap) {
+    e.bool(z.min.is_some());
+    e.f64(z.min.unwrap_or(0.0));
+    e.bool(z.max.is_some());
+    e.f64(z.max.unwrap_or(0.0));
+    e.u64(z.null_count);
+}
+
+fn get_zone(d: &mut Dec) -> DecodeResult<ZoneMap> {
+    let has_min = d.bool()?;
+    let min = d.f64()?;
+    let has_max = d.bool()?;
+    let max = d.f64()?;
+    let null_count = d.u64()?;
+    Ok(ZoneMap {
+        min: has_min.then_some(min),
+        max: has_max.then_some(max),
+        null_count,
+    })
+}
+
+/// Encode one column's value block (validity bitmap + tagged values),
+/// normalizing NULL slots to the type default first so the encoding is a
+/// pure function of the column's logical contents.
+fn encode_block(col: &ColumnVector) -> Vec<u8> {
+    let n = col.len();
+    let validity = col.validity_slice();
+    let has_nulls = validity.iter().any(|v| !*v);
+    let mut e = Enc::new();
+    e.buf.extend_from_slice(&pack_bits(validity.iter().copied(), n));
+    match col.raw() {
+        RawColumn::Bool(v) => {
+            e.u8(ENC_BOOL_BITMAP);
+            let bits = (0..n).map(|i| v[i] && validity[i]);
+            e.buf.extend_from_slice(&pack_bits(bits, n));
+        }
+        RawColumn::Int(v) => {
+            if has_nulls {
+                let norm: Vec<i64> = (0..n).map(|i| if validity[i] { v[i] } else { 0 }).collect();
+                encode_int(&mut e, &norm);
+            } else {
+                encode_int(&mut e, v);
+            }
+        }
+        RawColumn::Float(v) => {
+            e.u8(ENC_FLOAT_RAW);
+            for i in 0..n {
+                e.f64(if validity[i] { v[i] } else { 0.0 });
+            }
+        }
+        RawColumn::Text(v) => {
+            if has_nulls {
+                let norm: Vec<String> = (0..n)
+                    .map(|i| if validity[i] { v[i].clone() } else { String::new() })
+                    .collect();
+                encode_text(&mut e, &norm);
+            } else {
+                encode_text(&mut e, v);
+            }
+        }
+        RawColumn::Date(v) => {
+            e.u8(ENC_DATE_RAW);
+            for i in 0..n {
+                e.i32(if validity[i] { v[i] } else { 0 });
+            }
+        }
+    }
+    e.buf
+}
+
+fn decode_block(block: &[u8], n: usize, data_type: DataType) -> DecodeResult<ColumnVector> {
+    let mut d = Dec::new(block);
+    let vbytes = n.div_ceil(8);
+    let validity_bits = {
+        let mut tmp = Vec::with_capacity(vbytes);
+        for _ in 0..vbytes {
+            tmp.push(d.u8()?);
+        }
+        tmp
+    };
+    let validity: Vec<bool> = (0..n).map(|i| unpack_bit(&validity_bits, i)).collect();
+    let tag = d.u8()?;
+    let raw = match data_type {
+        DataType::Bool => {
+            if tag != ENC_BOOL_BITMAP {
+                return Err(Corrupt);
+            }
+            let mut bytes = Vec::with_capacity(vbytes);
+            for _ in 0..vbytes {
+                bytes.push(d.u8()?);
+            }
+            RawColumnOwned::Bool((0..n).map(|i| unpack_bit(&bytes, i)).collect())
+        }
+        DataType::Int => RawColumnOwned::Int(decode_int(&mut d, n, tag)?),
+        DataType::Float => {
+            if tag != ENC_FLOAT_RAW {
+                return Err(Corrupt);
+            }
+            RawColumnOwned::Float((0..n).map(|_| d.f64()).collect::<DecodeResult<_>>()?)
+        }
+        DataType::Text => RawColumnOwned::Text(decode_text(&mut d, n, tag)?),
+        DataType::Date => {
+            if tag != ENC_DATE_RAW {
+                return Err(Corrupt);
+            }
+            RawColumnOwned::Date((0..n).map(|_| d.i32()).collect::<DecodeResult<_>>()?)
+        }
+    };
+    d.finish()?;
+    ColumnVector::from_raw(raw, validity).map_err(|_| Corrupt)
+}
+
+// ------------------------------------------------------------ part files
+
+/// Encode a batch into a part file image (one checksummed frame) and its
+/// manifest entry. The caller supplies the part id and merge level.
+pub fn encode_part(id: u64, level: u8, batch: &RecordBatch) -> (Vec<u8>, PartMeta) {
+    let mut e = Enc::new();
+    e.u8(PART_FORMAT);
+    e.u64(id);
+    e.u8(level);
+    e.u32(batch.num_rows() as u32);
+    crate::wal::codec::put_schema(&mut e, batch.schema());
+    e.u32(batch.num_columns() as u32);
+    let mut zones = Vec::with_capacity(batch.num_columns());
+    let mut uncompressed: u64 = 0;
+    for col in batch.columns() {
+        let zone = zone_of(col);
+        put_zone(&mut e, &zone);
+        zones.push(zone);
+        uncompressed += uncompressed_size(col) as u64;
+        let block = encode_block(col);
+        e.bytes(&block);
+    }
+    let mut file = Vec::with_capacity(e.buf.len() + 16);
+    frame(&mut file, &e.buf);
+    let meta = PartMeta {
+        id,
+        rows: batch.num_rows() as u64,
+        level,
+        bytes_on_disk: file.len() as u64,
+        bytes_uncompressed: uncompressed,
+        zones,
+    };
+    (file, meta)
+}
+
+/// Decode a part file image. With `projection`, only the named columns'
+/// value blocks are decoded (others are skipped via their length prefix)
+/// and the batch's columns follow the projection's order.
+pub fn decode_part(bytes: &[u8], projection: Option<&[usize]>) -> DecodeResult<DecodedPart> {
+    let (payload, next) = read_frame(bytes, 0)?;
+    if next != bytes.len() {
+        return Err(Corrupt);
+    }
+    let mut d = Dec::new(payload);
+    if d.u8()? != PART_FORMAT {
+        return Err(Corrupt);
+    }
+    let id = d.u64()?;
+    let level = d.u8()?;
+    let rows = d.u32()? as usize;
+    let schema = crate::wal::codec::get_schema(&mut d)?;
+    let ncols = d.seq_len()?;
+    if ncols != schema.len() {
+        return Err(Corrupt);
+    }
+    if let Some(p) = projection {
+        if p.iter().any(|&i| i >= ncols) {
+            return Err(Corrupt);
+        }
+    }
+    let mut decoded: Vec<Option<ColumnVector>> = (0..ncols).map(|_| None).collect();
+    for (i, slot) in decoded.iter_mut().enumerate() {
+        let _zone = get_zone(&mut d)?;
+        let wanted = projection.is_none_or(|p| p.contains(&i));
+        if wanted {
+            let block = d.bytes_ref()?;
+            *slot = Some(decode_block(block, rows, schema.column(i).data_type)?);
+        } else {
+            d.skip_bytes()?;
+        }
+    }
+    d.finish()?;
+    let (schema, columns) = match projection {
+        Some(p) => (
+            schema.project(p),
+            p.iter()
+                .map(|&i| decoded[i].take().expect("projected column decoded"))
+                .collect(),
+        ),
+        None => (
+            schema,
+            decoded
+                .into_iter()
+                .map(|c| c.expect("all columns decoded"))
+                .collect(),
+        ),
+    };
+    let batch = RecordBatch::new(Arc::new(schema), columns).map_err(|_| Corrupt)?;
+    Ok(DecodedPart { id, level, batch })
+}
+
+/// Cheap integrity check: the frame checksum covers the whole payload, so
+/// a torn or bit-flipped part file fails here without a full decode.
+pub fn validate_part_image(bytes: &[u8]) -> bool {
+    match read_frame(bytes, 0) {
+        Ok((_, next)) => next == bytes.len(),
+        Err(Corrupt) => false,
+    }
+}
+
+// -------------------------------------------------- checkpoint meta codec
+
+/// Encode a part's manifest entry (checkpoints embed these so recovery
+/// never decodes part data just to rebuild stats).
+pub fn put_part_meta(e: &mut Enc, m: &PartMeta) {
+    e.u64(m.id);
+    e.u64(m.rows);
+    e.u8(m.level);
+    e.u64(m.bytes_on_disk);
+    e.u64(m.bytes_uncompressed);
+    e.u32(m.zones.len() as u32);
+    for z in &m.zones {
+        put_zone(e, z);
+    }
+}
+
+pub fn get_part_meta(d: &mut Dec) -> DecodeResult<PartMeta> {
+    let id = d.u64()?;
+    let rows = d.u64()?;
+    let level = d.u8()?;
+    let bytes_on_disk = d.u64()?;
+    let bytes_uncompressed = d.u64()?;
+    let nzones = d.seq_len()?;
+    let zones = (0..nzones).map(|_| get_zone(d)).collect::<DecodeResult<_>>()?;
+    Ok(PartMeta {
+        id,
+        rows,
+        level,
+        bytes_on_disk,
+        bytes_uncompressed,
+        zones,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::types::Value;
+
+    fn batch(cols: Vec<(&str, DataType, Vec<Value>)>) -> RecordBatch {
+        let schema = Schema::new(
+            cols.iter()
+                .map(|(n, t, _)| crate::schema::ColumnDef::new(*n, *t))
+                .collect(),
+        );
+        let columns = cols
+            .iter()
+            .map(|(_, t, vs)| ColumnVector::from_values(*t, vs).unwrap())
+            .collect();
+        RecordBatch::new(Arc::new(schema), columns).unwrap()
+    }
+
+    fn roundtrip(b: &RecordBatch) -> DecodedPart {
+        let (file, meta) = encode_part(7, 2, b);
+        assert_eq!(meta.rows as usize, b.num_rows());
+        assert!(validate_part_image(&file));
+        decode_part(&file, None).unwrap()
+    }
+
+    fn assert_batches_equal(a: &RecordBatch, b: &RecordBatch) {
+        assert_eq!(a.num_rows(), b.num_rows());
+        assert_eq!(a.num_columns(), b.num_columns());
+        for c in 0..a.num_columns() {
+            for r in 0..a.num_rows() {
+                let (x, y) = (a.column(c).get(r), b.column(c).get(r));
+                // Value's PartialEq is SQL-flavored (NULL != NULL).
+                assert!(
+                    (x.is_null() && y.is_null()) || x == y,
+                    "col {c} row {r}: {x:?} vs {y:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_types_roundtrip_with_nulls() {
+        let b = batch(vec![
+            (
+                "i",
+                DataType::Int,
+                vec![Value::Int(5), Value::Null, Value::Int(-3)],
+            ),
+            (
+                "f",
+                DataType::Float,
+                vec![Value::Float(1.5), Value::Float(-0.0), Value::Null],
+            ),
+            (
+                "t",
+                DataType::Text,
+                vec![Value::Text("a".into()), Value::Null, Value::Text("a".into())],
+            ),
+            (
+                "b",
+                DataType::Bool,
+                vec![Value::Bool(true), Value::Bool(false), Value::Null],
+            ),
+            (
+                "d",
+                DataType::Date,
+                vec![Value::Date(19000), Value::Null, Value::Date(-5)],
+            ),
+        ]);
+        let p = roundtrip(&b);
+        assert_eq!(p.id, 7);
+        assert_eq!(p.level, 2);
+        assert_batches_equal(&b, &p.batch);
+    }
+
+    #[test]
+    fn rle_and_for_and_dict_compress() {
+        let n = 4096;
+        let runs: Vec<Value> = (0..n).map(|i| Value::Int(i / 512)).collect();
+        let seq: Vec<Value> = (0..n).map(|i| Value::Int(1_000_000 + i)).collect();
+        let cat: Vec<Value> = (0..n)
+            .map(|i| Value::Text(format!("cat{}", i % 7)))
+            .collect();
+        let b = batch(vec![
+            ("runs", DataType::Int, runs),
+            ("seq", DataType::Int, seq),
+            ("cat", DataType::Text, cat),
+        ]);
+        let (file, meta) = encode_part(1, 0, &b);
+        assert!(
+            meta.bytes_on_disk < meta.bytes_uncompressed / 2,
+            "compressible data must compress: {} on disk vs {} raw",
+            meta.bytes_on_disk,
+            meta.bytes_uncompressed
+        );
+        let p = decode_part(&file, None).unwrap();
+        assert_batches_equal(&b, &p.batch);
+    }
+
+    #[test]
+    fn extreme_ints_roundtrip() {
+        let b = batch(vec![(
+            "i",
+            DataType::Int,
+            vec![
+                Value::Int(i64::MIN),
+                Value::Int(i64::MAX),
+                Value::Int(0),
+                Value::Int(-1),
+            ],
+        )]);
+        let p = roundtrip(&b);
+        assert_batches_equal(&b, &p.batch);
+    }
+
+    #[test]
+    fn zone_maps_track_min_max_nulls() {
+        let b = batch(vec![
+            (
+                "i",
+                DataType::Int,
+                vec![Value::Int(10), Value::Null, Value::Int(-4)],
+            ),
+            (
+                "t",
+                DataType::Text,
+                vec![Value::Text("x".into()), Value::Text("y".into()), Value::Null],
+            ),
+        ]);
+        let (_, meta) = encode_part(0, 0, &b);
+        assert_eq!(meta.zones[0].min, Some(-4.0));
+        assert_eq!(meta.zones[0].max, Some(10.0));
+        assert_eq!(meta.zones[0].null_count, 1);
+        assert_eq!(meta.zones[1].min, None, "text columns are not prunable");
+        assert_eq!(meta.zones[1].null_count, 1);
+    }
+
+    #[test]
+    fn projection_skips_blocks_and_reorders() {
+        let b = batch(vec![
+            ("a", DataType::Int, vec![Value::Int(1), Value::Int(2)]),
+            (
+                "b",
+                DataType::Text,
+                vec![Value::Text("p".into()), Value::Text("q".into())],
+            ),
+            ("c", DataType::Float, vec![Value::Float(0.5), Value::Null]),
+        ]);
+        let (file, _) = encode_part(3, 0, &b);
+        let p = decode_part(&file, Some(&[2, 0])).unwrap();
+        assert_eq!(p.batch.schema().names(), vec!["c", "a"]);
+        assert_eq!(p.batch.column(0).get(0), Value::Float(0.5));
+        assert!(p.batch.column(0).get(1).is_null());
+        assert_eq!(p.batch.column(1).get(1), Value::Int(2));
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let b = batch(vec![("a", DataType::Int, vec![Value::Int(1)])]);
+        let (mut file, _) = encode_part(0, 0, &b);
+        // Torn tail.
+        assert!(!validate_part_image(&file[..file.len() - 1]));
+        assert!(decode_part(&file[..file.len() - 1], None).is_err());
+        // Bit flip in the payload.
+        let last = file.len() - 1;
+        file[last] ^= 0x40;
+        assert!(!validate_part_image(&file));
+        assert!(decode_part(&file, None).is_err());
+    }
+
+    #[test]
+    fn part_meta_roundtrips() {
+        let m = PartMeta {
+            id: 42,
+            rows: 1000,
+            level: 3,
+            bytes_on_disk: 512,
+            bytes_uncompressed: 9000,
+            zones: vec![
+                ZoneMap {
+                    min: Some(-1.5),
+                    max: Some(99.0),
+                    null_count: 7,
+                },
+                ZoneMap {
+                    min: None,
+                    max: None,
+                    null_count: 0,
+                },
+            ],
+        };
+        let mut e = Enc::new();
+        put_part_meta(&mut e, &m);
+        let mut d = Dec::new(&e.buf);
+        let back = get_part_meta(&mut d).unwrap();
+        d.finish().unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,265 @@
+//! Disk-resident part storage: id allocation, atomic writes, counters.
+//!
+//! Parts live beside the WAL segments in the same flat database directory
+//! as `part.{id}` files. Writes go through the write-tmp → fsync → rename
+//! protocol, so a crash mid-write leaves only a `part.{id}.tmp` orphan that
+//! the next open removes; a `part.{id}` file is complete by construction
+//! (and its frame checksum proves it). A part becomes *reachable* only when
+//! a checkpoint (the manifest) references it — the rename is physical
+//! durability, the checkpoint is the atomic commit point.
+
+use crate::batch::RecordBatch;
+use crate::error::{Result, SqlError};
+use crate::wal::DurableFs;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use super::codec::{decode_part, encode_part, validate_part_image};
+use super::PartMeta;
+
+/// File name of a final part.
+pub fn part_file_name(id: u64) -> String {
+    format!("part.{id:08}")
+}
+
+/// Parse `part.{id}` (not `.tmp`) into its id.
+pub fn parse_part_name(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("part.")?;
+    if rest.len() < 8 || !rest.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    rest.parse().ok()
+}
+
+fn is_part_tmp(name: &str) -> bool {
+    name.starts_with("part.") && name.ends_with(".tmp")
+}
+
+/// Shared handle to the database directory's part files, plus the
+/// engine-wide part counters surfaced through `flock_metrics`.
+pub struct PartStore {
+    fs: Arc<dyn DurableFs>,
+    next_id: AtomicU64,
+    /// Live part files (referenced or awaiting their first checkpoint).
+    pub parts_total: Arc<AtomicU64>,
+    /// Monotone count of parts retired by background merges.
+    pub parts_merged: Arc<AtomicU64>,
+    pub part_bytes_on_disk: Arc<AtomicU64>,
+    pub part_bytes_uncompressed: Arc<AtomicU64>,
+    /// Parts skipped by zone-map pruning at plan time.
+    pub zonemap_parts_pruned: Arc<AtomicU64>,
+    /// Parts actually fed to the scan (post-pruning).
+    pub zonemap_parts_scanned: Arc<AtomicU64>,
+    /// High-water mark of bytes decoded at once by a streaming part scan —
+    /// the observable form of the memory-budget guarantee.
+    pub part_scan_peak_bytes: Arc<AtomicU64>,
+}
+
+impl PartStore {
+    /// Open the store over an existing database directory: sweep orphaned
+    /// `part.*.tmp` files from interrupted writes and resume id allocation
+    /// above every part file on disk (referenced or orphaned, so ids are
+    /// never reused even for parts a prune will later delete).
+    pub fn open(fs: Arc<dyn DurableFs>) -> std::io::Result<PartStore> {
+        let mut max_id = 0u64;
+        for name in fs.list()? {
+            if is_part_tmp(&name) {
+                let _ = fs.remove(&name);
+            } else if let Some(id) = parse_part_name(&name) {
+                max_id = max_id.max(id + 1);
+            }
+        }
+        Ok(PartStore {
+            fs,
+            next_id: AtomicU64::new(max_id),
+            parts_total: Arc::new(AtomicU64::new(0)),
+            parts_merged: Arc::new(AtomicU64::new(0)),
+            part_bytes_on_disk: Arc::new(AtomicU64::new(0)),
+            part_bytes_uncompressed: Arc::new(AtomicU64::new(0)),
+            zonemap_parts_pruned: Arc::new(AtomicU64::new(0)),
+            zonemap_parts_scanned: Arc::new(AtomicU64::new(0)),
+            part_scan_peak_bytes: Arc::new(AtomicU64::new(0)),
+        })
+    }
+
+    /// Counter handles for [`EngineMetrics`](crate::engine) registration.
+    pub fn metric_counters(&self) -> Vec<(&'static str, Arc<AtomicU64>)> {
+        vec![
+            ("parts_total", self.parts_total.clone()),
+            ("parts_merged", self.parts_merged.clone()),
+            ("part_bytes_on_disk", self.part_bytes_on_disk.clone()),
+            (
+                "part_bytes_uncompressed",
+                self.part_bytes_uncompressed.clone(),
+            ),
+            ("zonemap_parts_pruned", self.zonemap_parts_pruned.clone()),
+            ("zonemap_parts_scanned", self.zonemap_parts_scanned.clone()),
+            ("part_scan_peak_bytes", self.part_scan_peak_bytes.clone()),
+        ]
+    }
+
+    /// Reset the inventory counters to an authoritative live-part set
+    /// (called after recovery, when the catalog knows which parts exist).
+    pub fn set_inventory<'a>(&self, parts: impl Iterator<Item = &'a PartMeta>) {
+        let (mut n, mut disk, mut raw) = (0u64, 0u64, 0u64);
+        for m in parts {
+            n += 1;
+            disk += m.bytes_on_disk;
+            raw += m.bytes_uncompressed;
+        }
+        self.parts_total.store(n, Ordering::Relaxed);
+        self.part_bytes_on_disk.store(disk, Ordering::Relaxed);
+        self.part_bytes_uncompressed.store(raw, Ordering::Relaxed);
+    }
+
+    /// Write a batch as a new immutable part: encode, write `part.N.tmp`,
+    /// fsync, rename to `part.N`. On any error the final file does not
+    /// exist and the orphaned tmp (if any) is swept at the next open.
+    pub fn write_part(&self, batch: &RecordBatch, level: u8) -> Result<PartMeta> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (file, meta) = encode_part(id, level, batch);
+        let tmp = format!("{}.tmp", part_file_name(id));
+        let io = |e: std::io::Error| SqlError::Io(format!("part write: {e}"));
+        self.fs.write_all(&tmp, &file).map_err(io)?;
+        self.fs.sync(&tmp).map_err(io)?;
+        self.fs.rename(&tmp, &part_file_name(id)).map_err(io)?;
+        self.parts_total.fetch_add(1, Ordering::Relaxed);
+        self.part_bytes_on_disk
+            .fetch_add(meta.bytes_on_disk, Ordering::Relaxed);
+        self.part_bytes_uncompressed
+            .fetch_add(meta.bytes_uncompressed, Ordering::Relaxed);
+        Ok(meta)
+    }
+
+    /// Read and fully decode a part.
+    pub fn read_part(&self, id: u64) -> Result<RecordBatch> {
+        self.read_part_projected(id, None)
+    }
+
+    /// Read a part, decoding only the projected columns (arbitrary order).
+    pub fn read_part_projected(
+        &self,
+        id: u64,
+        projection: Option<&[usize]>,
+    ) -> Result<RecordBatch> {
+        let name = part_file_name(id);
+        let bytes = self
+            .fs
+            .read(&name)
+            .map_err(|e| SqlError::Io(format!("part read {name}: {e}")))?;
+        let part = decode_part(&bytes, projection)
+            .map_err(|_| SqlError::Io(format!("part file {name} is corrupt")))?;
+        if part.id != id {
+            return Err(SqlError::Io(format!(
+                "part file {name} claims id {}",
+                part.id
+            )));
+        }
+        Ok(part.batch)
+    }
+
+    /// True iff the part file exists and passes its frame checksum.
+    /// Recovery uses this to reject checkpoint generations that reference
+    /// torn or missing parts.
+    pub fn validate_part(&self, id: u64) -> bool {
+        match self.fs.read(&part_file_name(id)) {
+            Ok(bytes) => validate_part_image(&bytes),
+            Err(_) => false,
+        }
+    }
+
+    /// Delete a retired part file and release its inventory bytes.
+    pub fn remove_part(&self, meta: &PartMeta) {
+        if self.fs.remove(&part_file_name(meta.id)).is_ok() {
+            sub_saturating(&self.parts_total, 1);
+            sub_saturating(&self.part_bytes_on_disk, meta.bytes_on_disk);
+            sub_saturating(&self.part_bytes_uncompressed, meta.bytes_uncompressed);
+        }
+    }
+
+    /// Record that `retired` source parts were folded into a merged part.
+    pub fn note_merged(&self, retired: u64) {
+        self.parts_merged.fetch_add(retired, Ordering::Relaxed);
+    }
+
+    /// Raise the streaming-scan peak-bytes high-water mark.
+    pub fn record_scan_peak(&self, bytes: u64) {
+        self.part_scan_peak_bytes.fetch_max(bytes, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for PartStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PartStore")
+            .field("next_id", &self.next_id.load(Ordering::Relaxed))
+            .field("parts_total", &self.parts_total.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+fn sub_saturating(counter: &AtomicU64, by: u64) {
+    let mut cur = counter.load(Ordering::Relaxed);
+    loop {
+        let next = cur.saturating_sub(by);
+        match counter.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnVector;
+    use crate::schema::Schema;
+    use crate::types::DataType;
+    use crate::wal::MemFs;
+
+    fn sample_batch(n: i64) -> RecordBatch {
+        let schema = Arc::new(Schema::from_pairs(&[("k", DataType::Int)]));
+        RecordBatch::new(schema, vec![ColumnVector::from_i64(0..n)]).unwrap()
+    }
+
+    #[test]
+    fn write_read_remove_lifecycle() {
+        let fs: Arc<dyn DurableFs> = MemFs::new();
+        let store = PartStore::open(fs.clone()).unwrap();
+        let meta = store.write_part(&sample_batch(100), 0).unwrap();
+        assert_eq!(meta.rows, 100);
+        assert_eq!(store.parts_total.load(Ordering::Relaxed), 1);
+        let back = store.read_part(meta.id).unwrap();
+        assert_eq!(back.num_rows(), 100);
+        assert!(store.validate_part(meta.id));
+        store.remove_part(&meta);
+        assert_eq!(store.parts_total.load(Ordering::Relaxed), 0);
+        assert!(!store.validate_part(meta.id));
+    }
+
+    #[test]
+    fn open_sweeps_tmps_and_resumes_ids() {
+        let fs: Arc<dyn DurableFs> = MemFs::new();
+        {
+            let store = PartStore::open(fs.clone()).unwrap();
+            store.write_part(&sample_batch(10), 0).unwrap();
+            store.write_part(&sample_batch(10), 0).unwrap();
+        }
+        fs.write_all("part.00000009.tmp", b"torn").unwrap();
+        let store = PartStore::open(fs.clone()).unwrap();
+        assert!(
+            !fs.list().unwrap().iter().any(|n| n.ends_with(".tmp")),
+            "orphaned tmp must be swept at open"
+        );
+        let meta = store.write_part(&sample_batch(10), 0).unwrap();
+        assert!(meta.id >= 2, "ids must not be reused after reopen");
+    }
+
+    #[test]
+    fn part_names_parse() {
+        assert_eq!(parse_part_name(&part_file_name(7)), Some(7));
+        assert_eq!(parse_part_name("part.00000123"), Some(123));
+        assert_eq!(parse_part_name("part.00000123.tmp"), None);
+        assert_eq!(parse_part_name("wal.00000001"), None);
+        assert_eq!(parse_part_name("checkpoint.00000001"), None);
+    }
+}

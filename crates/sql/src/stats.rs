@@ -82,6 +82,40 @@ impl TableStats {
         }
     }
 
+    /// Statistics for a part-backed snapshot: exact stats for the resident
+    /// tail, zone-map-derived stats for the disk parts, merged. This is
+    /// the *only* way part-backed stats are built — offload, append, and
+    /// checkpoint recovery all call it — so stats are a deterministic
+    /// function of (part manifests, tail) and never require decoding part
+    /// data. Distinct counts become upper bounds (each part contributes
+    /// its non-null row count) and text category tracking is dropped once
+    /// any rows live on disk; both degrade planning estimates, never
+    /// correctness.
+    pub fn compute_with_parts(parts: &[crate::parts::PartMeta], tail: &RecordBatch) -> TableStats {
+        let mut stats = TableStats::compute(tail);
+        if parts.is_empty() {
+            return stats;
+        }
+        for p in parts {
+            stats.row_count += p.rows as usize;
+            for (i, zone) in p.zones.iter().enumerate() {
+                let Some(c) = stats.columns.get_mut(i) else {
+                    continue;
+                };
+                c.null_count += zone.null_count as usize;
+                if let Some(zmin) = zone.min {
+                    c.min = Some(c.min.map_or(zmin, |m| m.min(zmin)));
+                }
+                if let Some(zmax) = zone.max {
+                    c.max = Some(c.max.map_or(zmax, |m| m.max(zmax)));
+                }
+                c.distinct_count += (p.rows - zone.null_count) as usize;
+                c.categories = None;
+            }
+        }
+        stats
+    }
+
     /// The selectivity estimate for an equality predicate on column `idx`:
     /// `1 / distinct_count` with a floor to avoid zero.
     pub fn eq_selectivity(&self, idx: usize) -> f64 {

@@ -8,21 +8,47 @@
 
 use crate::batch::RecordBatch;
 use crate::error::{Result, SqlError};
+use crate::parts::PartMeta;
 use crate::schema::Schema;
 use crate::stats::TableStats;
 use std::sync::Arc;
 
 /// One immutable snapshot of a table's contents.
+///
+/// A version's rows are the concatenation of its disk-resident `parts`
+/// (in order) followed by the resident `data` tail. Fully resident
+/// versions simply have no parts; nothing else changes. Parts are
+/// immutable and may be shared by several versions of the same table
+/// (an append carries the prefix forward and only grows the tail).
 #[derive(Debug)]
 pub struct TableVersion {
     /// Monotonically increasing per-table version number, starting at 1.
     pub version: u64,
     /// The transaction id that committed this version.
     pub txn_id: u64,
-    /// Data snapshot.
+    /// Disk-resident prefix of this snapshot, oldest part first.
+    pub parts: Vec<PartMeta>,
+    /// Resident tail (the whole snapshot when `parts` is empty).
     pub data: RecordBatch,
-    /// Exact statistics for this snapshot.
+    /// Exact statistics for the tail, merged with zone-map-derived
+    /// statistics for the parts (see [`TableStats::compute_with_parts`]).
     pub stats: TableStats,
+}
+
+impl TableVersion {
+    /// Total rows in this snapshot: disk parts plus resident tail.
+    pub fn total_rows(&self) -> usize {
+        self.part_rows() + self.data.num_rows()
+    }
+
+    /// Rows held in disk-resident parts.
+    pub fn part_rows(&self) -> usize {
+        self.parts.iter().map(|p| p.rows as usize).sum()
+    }
+
+    pub fn has_parts(&self) -> bool {
+        !self.parts.is_empty()
+    }
 }
 
 /// A named, versioned table.
@@ -46,6 +72,7 @@ impl Table {
             versions: vec![Arc::new(TableVersion {
                 version: 1,
                 txn_id,
+                parts: Vec::new(),
                 data,
                 stats,
             })],
@@ -89,26 +116,58 @@ impl Table {
     }
 
     pub fn row_count(&self) -> usize {
-        self.current().data.num_rows()
+        self.current().total_rows()
     }
 
-    /// Install a new snapshot produced by a committed write.
+    /// Install a new snapshot produced by a committed write. The snapshot
+    /// is fully resident: full-rewrite paths (UPDATE/DELETE/ALTER)
+    /// materialize any disk parts first, so part references never leak
+    /// into a version whose `data` already contains those rows.
     pub fn push_version(&mut self, data: RecordBatch, txn_id: u64) -> Result<u64> {
+        self.push_version_with_parts(Vec::new(), data, txn_id)
+    }
+
+    /// Install a new snapshot as disk parts plus a resident tail
+    /// (append paths carry the current parts forward; offload replaces
+    /// resident history with freshly flushed parts).
+    pub fn push_version_with_parts(
+        &mut self,
+        parts: Vec<PartMeta>,
+        data: RecordBatch,
+        txn_id: u64,
+    ) -> Result<u64> {
         if data.schema().len() != self.schema.len() {
             return Err(SqlError::Constraint(format!(
                 "new version of '{}' has wrong arity",
                 self.name
             )));
         }
-        let stats = TableStats::compute(&data);
+        let stats = TableStats::compute_with_parts(&parts, &data);
         let version = self.current_version() + 1;
         self.versions.push(Arc::new(TableVersion {
             version,
             txn_id,
+            parts,
             data,
             stats,
         }));
         Ok(version)
+    }
+
+    /// Replace the current version in place with a part-backed equivalent
+    /// (offload: same version number and txn, same logical rows, but
+    /// history collapsed to one version whose prefix lives on disk).
+    pub fn replace_current_with_parts(&mut self, parts: Vec<PartMeta>, tail: RecordBatch) {
+        let cur = self.current();
+        let stats = TableStats::compute_with_parts(&parts, &tail);
+        let v = Arc::new(TableVersion {
+            version: cur.version,
+            txn_id: cur.txn_id,
+            parts,
+            data: tail,
+            stats,
+        });
+        *self.versions.last_mut().expect("tables always have >=1 version") = v;
     }
 
     /// Install a new snapshot *with a new schema* (ALTER TABLE). Older
@@ -161,6 +220,19 @@ impl Table {
     /// The version must extend the chain exactly — a gap means the log and
     /// the base state do not belong together.
     pub fn restore_version(&mut self, version: u64, txn_id: u64, data: RecordBatch) -> Result<()> {
+        self.restore_version_with_parts(version, txn_id, Vec::new(), data)
+    }
+
+    /// WAL-replay append that carries disk parts forward (AppendRows over
+    /// a part-backed base: the parts prefix is unchanged, only the
+    /// resident tail grows).
+    pub fn restore_version_with_parts(
+        &mut self,
+        version: u64,
+        txn_id: u64,
+        parts: Vec<PartMeta>,
+        data: RecordBatch,
+    ) -> Result<()> {
         if version != self.current_version() + 1 {
             return Err(SqlError::Io(format!(
                 "wal replay version mismatch on '{}': have {}, log says {version}",
@@ -168,25 +240,27 @@ impl Table {
                 self.current_version()
             )));
         }
-        let stats = TableStats::compute(&data);
+        let stats = TableStats::compute_with_parts(&parts, &data);
         // The batch carries its schema, so ALTER replays through the same
         // path as plain writes.
         self.schema = data.schema().clone();
         self.versions.push(Arc::new(TableVersion {
             version,
             txn_id,
+            parts,
             data,
             stats,
         }));
         Ok(())
     }
 
-    /// Rebuild a table from recovered `(version, txn_id, data)` triples
-    /// (checkpoint restore). Stats are recomputed — they are a pure
-    /// function of the data — and the live schema is the newest snapshot's.
+    /// Rebuild a table from recovered `(version, txn_id, parts, data)`
+    /// tuples (checkpoint restore). Stats are recomputed — they are a pure
+    /// function of the tail data and part zone maps, so recovery never
+    /// touches part files — and the live schema is the newest snapshot's.
     pub fn from_history(
         name: impl Into<String>,
-        history: Vec<(u64, u64, RecordBatch)>,
+        history: Vec<(u64, u64, Vec<PartMeta>, RecordBatch)>,
     ) -> Result<Self> {
         let name = name.into();
         let Some(last) = history.last() else {
@@ -199,14 +273,15 @@ impl Table {
                 "checkpoint versions for table '{name}' are not increasing"
             )));
         }
-        let schema = last.2.schema().clone();
+        let schema = last.3.schema().clone();
         let versions = history
             .into_iter()
-            .map(|(version, txn_id, data)| {
-                let stats = TableStats::compute(&data);
+            .map(|(version, txn_id, parts, data)| {
+                let stats = TableStats::compute_with_parts(&parts, &data);
                 Arc::new(TableVersion {
                     version,
                     txn_id,
+                    parts,
                     data,
                     stats,
                 })

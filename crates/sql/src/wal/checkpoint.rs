@@ -14,16 +14,23 @@ use super::record::{get_access_dump, put_access_dump};
 use crate::batch::RecordBatch;
 use crate::catalog::{AccessDump, ViewDef};
 use crate::engine::{AuditRecord, QueryLogEntry};
+use crate::parts::PartMeta;
 
 /// Bump when the checkpoint or WAL record layout changes incompatibly.
-pub const FORMAT_VERSION: u8 = 1;
+/// v2: table versions carry a part manifest (disk-resident prefix) ahead
+/// of the resident tail batch.
+pub const FORMAT_VERSION: u8 = 2;
 
 /// One table version in a snapshot (stats are recomputed on restore —
-/// they are a pure function of the data).
+/// they are a pure function of the tail data and part zone maps).
 #[derive(Debug, Clone)]
 pub struct VersionSnapshot {
     pub version: u64,
     pub txn_id: u64,
+    /// Manifest of the disk-resident prefix: the checkpoint references
+    /// part files instead of rewriting their rows, which is what makes
+    /// checkpoints O(resident tail) rather than O(table).
+    pub parts: Vec<PartMeta>,
     pub data: RecordBatch,
 }
 
@@ -77,6 +84,10 @@ pub fn encode_snapshot(s: &Snapshot) -> Vec<u8> {
         for v in &t.versions {
             e.u64(v.version);
             e.u64(v.txn_id);
+            e.u32(v.parts.len() as u32);
+            for p in &v.parts {
+                crate::parts::put_part_meta(&mut e, p);
+            }
             codec::put_batch(&mut e, &v.data);
         }
     }
@@ -125,9 +136,16 @@ pub fn decode_snapshot(payload: &[u8]) -> DecodeResult<Snapshot> {
         let nv = d.seq_len()?;
         let mut versions = Vec::with_capacity(nv);
         for _ in 0..nv {
+            let version = d.u64()?;
+            let txn_id = d.u64()?;
+            let np = d.seq_len()?;
+            let parts = (0..np)
+                .map(|_| crate::parts::get_part_meta(&mut d))
+                .collect::<DecodeResult<Vec<_>>>()?;
             versions.push(VersionSnapshot {
-                version: d.u64()?,
-                txn_id: d.u64()?,
+                version,
+                txn_id,
+                parts,
                 data: codec::get_batch(&mut d)?,
             });
         }

@@ -194,6 +194,22 @@ impl<'a> Dec<'a> {
         String::from_utf8(self.bytes()?).map_err(|_| Corrupt)
     }
 
+    /// Borrow a length-prefixed byte block without copying it (part
+    /// readers decode large column blocks in place).
+    pub fn bytes_ref(&mut self) -> DecodeResult<&'a [u8]> {
+        let len = self.u32()? as usize;
+        if len > MAX_FRAME {
+            return Err(Corrupt);
+        }
+        self.take(len)
+    }
+
+    /// Advance past a length-prefixed byte block without reading it
+    /// (projection pushdown skips unneeded column blocks).
+    pub fn skip_bytes(&mut self) -> DecodeResult<()> {
+        self.bytes_ref().map(|_| ())
+    }
+
     /// Length prefix for a repeated section, sanity-capped.
     pub fn seq_len(&mut self) -> DecodeResult<usize> {
         let n = self.u32()? as usize;

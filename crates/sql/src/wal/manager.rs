@@ -29,8 +29,9 @@ use crate::batch::RecordBatch;
 use crate::catalog::{AccessControl, Catalog, ExtensionObject, ExtensionVersion, ViewDef};
 use crate::engine::{AuditRecord, QueryLogEntry};
 use crate::error::{Result, SqlError};
+use crate::parts::{parse_part_name, part_file_name, validate_part_image, PartMeta};
 use crate::table::Table;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::io;
 use std::sync::Arc;
 
@@ -136,7 +137,61 @@ impl WalManager {
                 let _ = self.fs.remove(name);
             }
         }
+        self.prune_parts(&names, &checkpoints, keep);
     }
+
+    /// Part retirement, tied to checkpoint retention: a part file is live
+    /// iff at least one *retained* checkpoint references it, so recovery
+    /// can fall back a generation and still find every part that
+    /// generation needs. If any retained checkpoint fails to read or
+    /// decode, nothing is deleted — losing disk space is recoverable,
+    /// deleting a part a fallback checkpoint references is not. Part tmp
+    /// files are never touched here (the background merger may own one);
+    /// they are swept at open.
+    fn prune_parts(&self, names: &[String], checkpoints_desc: &[u64], keep: usize) {
+        let retained = &checkpoints_desc[..keep.min(checkpoints_desc.len())];
+        let mut live: BTreeSet<u64> = BTreeSet::new();
+        for &seq in retained {
+            let Ok(bytes) = self.fs.read(&checkpoint_name(seq)) else {
+                return;
+            };
+            let Ok((payload, _)) = read_frame(&bytes, 0) else {
+                return;
+            };
+            let Ok(snap) = super::checkpoint::decode_snapshot(payload) else {
+                return;
+            };
+            for t in &snap.tables {
+                for v in &t.versions {
+                    live.extend(v.parts.iter().map(|p| p.id));
+                }
+            }
+        }
+        for name in names {
+            if let Some(id) = parse_part_name(name) {
+                if !live.contains(&id) {
+                    let _ = self.fs.remove(name);
+                }
+            }
+        }
+    }
+}
+
+/// True iff every part file a snapshot references exists and passes its
+/// frame checksum. Recovery refuses a checkpoint generation whose parts
+/// are torn or missing and falls back to an older one.
+fn snapshot_parts_valid(fs: &Arc<dyn DurableFs>, snap: &Snapshot) -> bool {
+    let ids: BTreeSet<u64> = snap
+        .tables
+        .iter()
+        .flat_map(|t| &t.versions)
+        .flat_map(|v| &v.parts)
+        .map(|p| p.id)
+        .collect();
+    ids.iter().all(|&id| {
+        fs.read(&part_file_name(id))
+            .is_ok_and(|bytes| validate_part_image(&bytes))
+    })
 }
 
 /// Everything recovery hands back to the engine.
@@ -175,10 +230,14 @@ pub fn recover(fs: Arc<dyn DurableFs>, opts: DurabilityOptions) -> Result<Recove
         let Ok((payload, _)) = read_frame(&bytes, 0) else {
             continue;
         };
-        if let Ok(snap) = super::checkpoint::decode_snapshot(payload) {
-            base = Some((seq, snap));
-            break;
+        let Ok(snap) = super::checkpoint::decode_snapshot(payload) else {
+            continue;
+        };
+        if !snapshot_parts_valid(&fs, &snap) {
+            continue;
         }
+        base = Some((seq, snap));
+        break;
     }
 
     let (base_seq, mut catalog, mut next_txn, mut next_log_id, mut next_audit_seq, mut query_log, mut audit_log) =
@@ -331,12 +390,15 @@ fn apply_op(catalog: &mut Catalog, op: &RedoOp) -> Result<()> {
                     "append-rows arity mismatch replaying '{table}'"
                 )));
             }
+            // An append only grows the resident tail; a part-backed
+            // base keeps its disk prefix.
+            let parts: Vec<PartMeta> = t.current().parts.clone();
             let mut cols = current.columns().to_vec();
             for (dst, src) in cols.iter_mut().zip(rows.columns()) {
                 dst.append(src)?;
             }
             let batch = RecordBatch::new(t.schema().clone(), cols)?;
-            t.restore_version(*version, *txn_id, batch)
+            t.restore_version_with_parts(*version, *txn_id, parts, batch)
         }
         RedoOp::DropTable { name } => catalog.drop_table(name),
         RedoOp::TruncateHistory { table, keep } => {
@@ -410,6 +472,7 @@ pub(crate) fn build_snapshot(
                     .map(|v| VersionSnapshot {
                         version: v.version,
                         txn_id: v.txn_id,
+                        parts: v.parts.clone(),
                         data: v.data.clone(),
                     })
                     .collect(),
@@ -452,10 +515,10 @@ pub(crate) fn build_snapshot(
 fn restore_catalog(snap: &Snapshot) -> Result<Catalog> {
     let mut catalog = Catalog::new();
     for t in &snap.tables {
-        let history: Vec<(u64, u64, RecordBatch)> = t
+        let history: Vec<(u64, u64, Vec<PartMeta>, RecordBatch)> = t
             .versions
             .iter()
-            .map(|v| (v.version, v.txn_id, v.data.clone()))
+            .map(|v| (v.version, v.txn_id, v.parts.clone(), v.data.clone()))
             .collect();
         catalog.create_table(Table::from_history(t.name.clone(), history)?)?;
     }

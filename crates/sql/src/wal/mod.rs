@@ -28,7 +28,7 @@
 //! in sorted order and floats by their IEEE-754 bit pattern.
 
 mod checkpoint;
-mod codec;
+pub(crate) mod codec;
 mod fs;
 mod manager;
 mod record;
