@@ -1,0 +1,19 @@
+use flock_sql::parts::{decode_part, encode_part};
+use flock_sql::batch::RecordBatch;
+use flock_sql::column::ColumnVector;
+use flock_sql::schema::Schema;
+use flock_sql::types::DataType;
+use std::sync::Arc;
+
+#[test]
+fn wide_for_roundtrip() {
+    // distinct values spanning ~2^61 so FOR with width 61-63 is chosen
+    let vals: Vec<i64> = (0..1000i64).map(|i| i * 3_000_000_000_000_000).collect();
+    let schema = Arc::new(Schema::from_pairs(&[("k", DataType::Int)]));
+    let b = RecordBatch::new(schema, vec![ColumnVector::from_i64(vals.clone())]).unwrap();
+    let (file, _) = encode_part(1, 0, &b);
+    let p = decode_part(&file, None).unwrap();
+    for (i, v) in vals.iter().enumerate() {
+        assert_eq!(p.batch.column(0).get(i), flock_sql::types::Value::Int(*v), "row {i}");
+    }
+}
