@@ -1,0 +1,211 @@
+//! Streaming-ingestion bench: drive the NEXMark-style three-stream
+//! auction workload (persons/auctions/bids, 1:3:46) through stream
+//! tables with q3/q6/q13-shaped continuous queries attached, and
+//! measure sustained ingest throughput while the scheduler closes
+//! windows. Writes `results/BENCH_streaming.json`.
+//!
+//! Gates (process exits non-zero on violation):
+//!
+//! * **window-vs-batch equality** — every emitted q3 (tumbling) and q6
+//!   (sliding) window must be bit-equal to the equivalent batch
+//!   `GROUP BY` over the same captured events, including group order;
+//! * windows must actually close (q3/q6/q13 sinks all non-empty) and
+//!   continuous `PREDICT` must score q13 windows;
+//! * no continuous query may error during the run.
+//!
+//! `FLOCK_STREAM_SHORT=1` shrinks the event count for CI smoke.
+
+use flock_corpus::nexmark::{self, NexmarkGen, Q3_STATES};
+use flock_sql::ast::PredictStrategy;
+use flock_sql::udf::InferenceProvider;
+use flock_sql::{ColumnVector, DataType, Database, Result, Value};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Scores a bidder window from (avg price, bid count); bounded well
+/// under the policy threshold so the bench never holds its own model.
+struct BidderScorer;
+
+impl InferenceProvider for BidderScorer {
+    fn output_type(&self, _model: &str) -> Result<DataType> {
+        Ok(DataType::Float)
+    }
+    fn input_arity(&self, _model: &str) -> Result<usize> {
+        Ok(2)
+    }
+    fn predict(
+        &self,
+        _model: &str,
+        inputs: &[ColumnVector],
+        _strategy: PredictStrategy,
+        _user: &str,
+    ) -> Result<ColumnVector> {
+        let n = inputs[0].len();
+        let vals: Vec<Value> = (0..n)
+            .map(|i| match (inputs[0].get(i).as_f64(), inputs[1].get(i).as_f64()) {
+                (Some(avg), Some(cnt)) => Value::Float((avg / 10_000.0 + cnt / 1000.0).min(1.0)),
+                _ => Value::Float(0.0),
+            })
+            .collect();
+        ColumnVector::from_values(DataType::Float, &vals)
+    }
+}
+
+fn metric(db: &Database, name: &str) -> i64 {
+    let b = db
+        .query(&format!("SELECT value FROM flock_metrics WHERE metric = '{name}'"))
+        .expect("flock_metrics");
+    match b.column(0).get(0) {
+        Value::Int(v) => v,
+        other => panic!("metric {name}: {other:?}"),
+    }
+}
+
+fn rows_of(b: &flock_sql::RecordBatch) -> Vec<Vec<Value>> {
+    (0..b.num_rows()).map(|i| b.row(i)).collect()
+}
+
+/// Check every window in `sink` against the equivalent batch GROUP BY
+/// over the captured events; returns the number of windows verified.
+fn check_windows(db: &Database, sink: &str, batch_sql: impl Fn(i64) -> String) -> usize {
+    let emitted = rows_of(&db.query(&format!("SELECT * FROM {sink}")).expect("sink"));
+    let mut starts: Vec<i64> = emitted
+        .iter()
+        .map(|r| match r[0] {
+            Value::Int(s) => s,
+            ref other => panic!("window_start: {other:?}"),
+        })
+        .collect();
+    starts.sort_unstable();
+    starts.dedup();
+    let mut checked = 0;
+    for s in starts {
+        let want = rows_of(&db.query(&batch_sql(s)).expect("batch query"));
+        let got: Vec<Vec<Value>> = emitted
+            .iter()
+            .filter(|r| matches!(r[0], Value::Int(v) if v == s))
+            .map(|r| r[1..].to_vec())
+            .collect();
+        assert_eq!(
+            want, got,
+            "{sink}: window {s} diverges from the batch GROUP BY"
+        );
+        checked += 1;
+    }
+    checked
+}
+
+fn main() {
+    let short = std::env::var("FLOCK_STREAM_SHORT").is_ok_and(|v| v == "1");
+    let total_events: usize = if short { 25_000 } else { 250_000 };
+    let rate: u32 = 1000; // 1 ms event-time spacing
+    let chunk = 2500;
+
+    let db = Database::new();
+    db.set_inference_provider(Arc::new(BidderScorer));
+    db.session("admin")
+        .create_extension_object(
+            "model",
+            "bidder_risk",
+            vec![],
+            serde_json::from_str("{}").unwrap(),
+        )
+        .expect("register model");
+    for ddl in nexmark::schema_ddl(100) {
+        db.execute(&ddl).expect("create stream");
+    }
+    db.execute(&nexmark::q3_ddl(1000)).expect("q3");
+    db.execute(&nexmark::q6_ddl(2000, 1000)).expect("q6");
+    db.execute(&nexmark::q13_ddl(1000, "bidder_risk", 2.0)).expect("q13");
+
+    // Timed loop: rate-controlled generator, multi-row INSERTs, a
+    // scheduler tick per chunk so windows close while ingest continues.
+    let mut gen = NexmarkGen::new(42, rate);
+    let start = Instant::now();
+    let mut ingested = 0usize;
+    while ingested < total_events {
+        let n = chunk.min(total_events - ingested);
+        let events = gen.batch(n);
+        for stmt in nexmark::insert_statements(&events) {
+            db.execute(&stmt).expect("insert");
+        }
+        db.stream_tick_now();
+        ingested += n;
+    }
+    db.stream_tick_now();
+    let elapsed = start.elapsed().as_secs_f64();
+    let events_per_sec = total_events as f64 / elapsed;
+
+    let windows_closed = metric(&db, "stream_windows_closed");
+    let rows_emitted = metric(&db, "stream_rows_emitted");
+    let predict_windows = metric(&db, "stream_predict_windows");
+    let late_events = metric(&db, "stream_late_events");
+    let cq_errors = metric(&db, "stream_cq_errors");
+    let breaches = metric(&db, "stream_policy_breaches");
+
+    eprintln!(
+        "{total_events} events in {elapsed:.2} s -> {events_per_sec:.0} events/s, \
+         {windows_closed} windows closed, {rows_emitted} rows emitted"
+    );
+
+    // ------------------------------------------- window-vs-batch gate
+    let q3_checked = check_windows(&db, "q3_out", |s| {
+        format!(
+            "SELECT state, COUNT(*) AS arrivals FROM person \
+             WHERE (state = '{}' OR state = '{}' OR state = '{}') \
+             AND et >= {s} AND et < {} GROUP BY state",
+            Q3_STATES[0],
+            Q3_STATES[1],
+            Q3_STATES[2],
+            s + 1000
+        )
+    });
+    let q6_checked = check_windows(&db, "q6_out", |s| {
+        format!(
+            "SELECT auction, COUNT(*) AS bids, AVG(price) AS avg_price, \
+             MAX(price) AS best FROM bid \
+             WHERE et >= {s} AND et < {} GROUP BY auction",
+            s + 2000
+        )
+    });
+    let q13_rows = db.query("SELECT COUNT(*) FROM q13_out").expect("q13_out");
+    let q13_emitted = match q13_rows.column(0).get(0) {
+        Value::Int(v) => v,
+        other => panic!("q13 count: {other:?}"),
+    };
+    eprintln!(
+        "equality gate: {q3_checked} q3 tumbling + {q6_checked} q6 sliding \
+         windows bit-equal to batch; q13 scored {q13_emitted} rows"
+    );
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"stream_bench\",");
+    let _ = writeln!(out, "  \"short\": {short},");
+    let _ = writeln!(out, "  \"events\": {total_events},");
+    let _ = writeln!(out, "  \"modeled_rate_events_per_sec\": {rate},");
+    let _ = writeln!(out, "  \"elapsed_s\": {elapsed:.3},");
+    let _ = writeln!(out, "  \"sustained_events_per_sec\": {events_per_sec:.0},");
+    let _ = writeln!(out, "  \"windows_closed\": {windows_closed},");
+    let _ = writeln!(out, "  \"rows_emitted\": {rows_emitted},");
+    let _ = writeln!(out, "  \"predict_windows\": {predict_windows},");
+    let _ = writeln!(out, "  \"late_events\": {late_events},");
+    let _ = writeln!(out, "  \"policy_breaches\": {breaches},");
+    let _ = writeln!(out, "  \"cq_errors\": {cq_errors},");
+    let _ = writeln!(out, "  \"q3_windows_verified\": {q3_checked},");
+    let _ = writeln!(out, "  \"q6_windows_verified\": {q6_checked},");
+    let _ = writeln!(out, "  \"q13_rows\": {q13_emitted}");
+    out.push_str("}\n");
+
+    std::fs::create_dir_all("results").unwrap();
+    std::fs::write("results/BENCH_streaming.json", &out).unwrap();
+    eprintln!("wrote results/BENCH_streaming.json");
+    print!("{out}");
+
+    assert!(cq_errors == 0, "continuous queries errored {cq_errors} times");
+    assert!(q3_checked > 0, "no q3 windows closed");
+    assert!(q6_checked > 0, "no q6 windows closed");
+    assert!(q13_emitted > 0, "q13 emitted nothing");
+    assert!(predict_windows > 0, "continuous PREDICT never ran");
+    assert!(breaches == 0, "bench scorer unexpectedly breached the policy");
+}

@@ -1,0 +1,324 @@
+//! NEXMark-style streaming workload generator (ROADMAP item 1).
+//!
+//! Produces the classic three-stream auction workload — persons,
+//! auctions, bids, in the standard 1:3:46 proportions — as rate-
+//! controlled `INSERT`-path events for flock-sql stream tables, plus
+//! adapted q3/q6/q13-shaped continuous queries:
+//!
+//! * **q3-shaped** — filtered per-state person arrivals per tumbling
+//!   window (the selection+group core of NEXMark's "local item" query);
+//! * **q6-shaped** — per-auction average/best bid price over a sliding
+//!   window (the windowed-average core of "avg selling price by seller");
+//! * **q13-shaped** — per-bidder window aggregates enriched through
+//!   `PREDICT` (NEXMark's side-input enrichment, re-expressed as
+//!   continuous model scoring) with a policy threshold that holds the
+//!   model on breach.
+//!
+//! Rate control is in *event time*: the generator spaces events
+//! `1000 / events_per_sec` ms apart deterministically, so a driver can
+//! replay them as fast as the engine ingests while windows still close
+//! on the modeled clock.
+
+use flock_rng::rngs::StdRng;
+use flock_rng::{Rng, SeedableRng};
+
+/// US states the person generator draws from (q3 filters a subset).
+const STATES: [&str; 8] = ["OR", "ID", "CA", "WA", "NV", "AZ", "UT", "NY"];
+
+/// q3's filter set, kept small so the filter is selective.
+pub const Q3_STATES: [&str; 3] = ["OR", "ID", "CA"];
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Person {
+    pub et: i64,
+    pub id: i64,
+    pub name: String,
+    pub state: &'static str,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Auction {
+    pub et: i64,
+    pub id: i64,
+    pub seller: i64,
+    pub category: i64,
+    pub initial_bid: i64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bid {
+    pub et: i64,
+    pub auction: i64,
+    pub bidder: i64,
+    pub price: i64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    Person(Person),
+    Auction(Auction),
+    Bid(Bid),
+}
+
+impl Event {
+    pub fn event_time(&self) -> i64 {
+        match self {
+            Event::Person(p) => p.et,
+            Event::Auction(a) => a.et,
+            Event::Bid(b) => b.et,
+        }
+    }
+}
+
+/// Deterministic, rate-controlled NEXMark event generator.
+pub struct NexmarkGen {
+    rng: StdRng,
+    events_per_sec: u32,
+    emitted: u64,
+    /// Event-time accumulator in microseconds (keeps integer pacing exact
+    /// for rates that don't divide 1000).
+    et_us: i64,
+    next_person: i64,
+    next_auction: i64,
+    people: Vec<i64>,
+    auctions: Vec<i64>,
+}
+
+impl NexmarkGen {
+    pub fn new(seed: u64, events_per_sec: u32) -> Self {
+        assert!(events_per_sec > 0, "rate must be positive");
+        NexmarkGen {
+            rng: StdRng::seed_from_u64(seed),
+            events_per_sec,
+            emitted: 0,
+            et_us: 0,
+            next_person: 1000,
+            next_auction: 5000,
+            people: Vec::new(),
+            auctions: Vec::new(),
+        }
+    }
+
+    /// Current event time in milliseconds.
+    fn et_ms(&self) -> i64 {
+        self.et_us / 1000
+    }
+
+    /// The next event: persons, auctions and bids interleave 1:3:46 per
+    /// 50 events (the NEXMark standard mix), event times spaced by the
+    /// configured rate.
+    pub fn next_event(&mut self) -> Event {
+        let slot = self.emitted % 50;
+        self.emitted += 1;
+        let et = self.et_ms();
+        self.et_us += 1_000_000 / i64::from(self.events_per_sec);
+        if slot == 0 || self.people.is_empty() {
+            let id = self.next_person;
+            self.next_person += 1;
+            self.people.push(id);
+            let state = STATES[self.rng.gen_range(0..STATES.len())];
+            return Event::Person(Person {
+                et,
+                id,
+                name: format!("p{id}"),
+                state,
+            });
+        }
+        if slot <= 3 || self.auctions.is_empty() {
+            let id = self.next_auction;
+            self.next_auction += 1;
+            self.auctions.push(id);
+            let seller = self.people[self.rng.gen_range(0..self.people.len())];
+            return Event::Auction(Auction {
+                et,
+                id,
+                seller,
+                category: self.rng.gen_range(0..10),
+                initial_bid: self.rng.gen_range(1..100),
+            });
+        }
+        let auction = self.auctions[self.rng.gen_range(0..self.auctions.len())];
+        let bidder = self.people[self.rng.gen_range(0..self.people.len())];
+        Event::Bid(Bid {
+            et,
+            auction,
+            bidder,
+            price: self.rng.gen_range(1..10_000),
+        })
+    }
+
+    /// Generate the next `n` events in event-time order.
+    pub fn batch(&mut self, n: usize) -> Vec<Event> {
+        (0..n).map(|_| self.next_event()).collect()
+    }
+}
+
+/// `CREATE STREAM` DDL for the three NEXMark streams, all watermarked on
+/// their event-time column with the given lag allowance.
+pub fn schema_ddl(lag_ms: i64) -> Vec<String> {
+    vec![
+        format!(
+            "CREATE STREAM person (et INT NOT NULL, id INT NOT NULL, \
+             name VARCHAR, state VARCHAR) WATERMARK (et, {lag_ms})"
+        ),
+        format!(
+            "CREATE STREAM auction (et INT NOT NULL, id INT NOT NULL, \
+             seller INT, category INT, initial_bid INT) WATERMARK (et, {lag_ms})"
+        ),
+        format!(
+            "CREATE STREAM bid (et INT NOT NULL, auction INT NOT NULL, \
+             bidder INT, price INT) WATERMARK (et, {lag_ms})"
+        ),
+    ]
+}
+
+/// Render a slice of events as multi-row INSERT statements, one per
+/// stream, preserving event-time order within each stream.
+pub fn insert_statements(events: &[Event]) -> Vec<String> {
+    let mut persons = Vec::new();
+    let mut auctions = Vec::new();
+    let mut bids = Vec::new();
+    for e in events {
+        match e {
+            Event::Person(p) => persons.push(format!(
+                "({}, {}, '{}', '{}')",
+                p.et, p.id, p.name, p.state
+            )),
+            Event::Auction(a) => auctions.push(format!(
+                "({}, {}, {}, {}, {})",
+                a.et, a.id, a.seller, a.category, a.initial_bid
+            )),
+            Event::Bid(b) => bids.push(format!(
+                "({}, {}, {}, {})",
+                b.et, b.auction, b.bidder, b.price
+            )),
+        }
+    }
+    let mut out = Vec::new();
+    if !persons.is_empty() {
+        out.push(format!("INSERT INTO person VALUES {}", persons.join(", ")));
+    }
+    if !auctions.is_empty() {
+        out.push(format!("INSERT INTO auction VALUES {}", auctions.join(", ")));
+    }
+    if !bids.is_empty() {
+        out.push(format!("INSERT INTO bid VALUES {}", bids.join(", ")));
+    }
+    out
+}
+
+/// q3-shaped continuous query: per-state person arrivals, filtered to
+/// [`Q3_STATES`], per tumbling window.
+pub fn q3_ddl(window_ms: i64) -> String {
+    format!(
+        "CREATE CONTINUOUS QUERY nex_q3 ON person WINDOW TUMBLING ({window_ms}) \
+         EMIT INTO q3_out AS \
+         SELECT state, COUNT(*) AS arrivals FROM person \
+         WHERE state = '{}' OR state = '{}' OR state = '{}' GROUP BY state",
+        Q3_STATES[0], Q3_STATES[1], Q3_STATES[2]
+    )
+}
+
+/// q6-shaped continuous query: average and best bid price per auction
+/// over a sliding window.
+pub fn q6_ddl(size_ms: i64, slide_ms: i64) -> String {
+    format!(
+        "CREATE CONTINUOUS QUERY nex_q6 ON bid WINDOW SLIDING ({size_ms}, {slide_ms}) \
+         EMIT INTO q6_out AS \
+         SELECT auction, COUNT(*) AS bids, AVG(price) AS avg_price, MAX(price) AS best \
+         FROM bid GROUP BY auction"
+    )
+}
+
+/// q13-shaped continuous query: per-bidder window aggregates enriched
+/// through `PREDICT`, with a policy threshold that holds the model when
+/// the score breaches. The model must accept two numeric features
+/// (average price, bid count).
+pub fn q13_ddl(window_ms: i64, model: &str, threshold: f64) -> String {
+    format!(
+        "CREATE CONTINUOUS QUERY nex_q13 ON bid WINDOW TUMBLING ({window_ms}) \
+         EMIT INTO q13_out AS \
+         SELECT bidder, COUNT(*) AS n, AVG(price) AS avg_price, \
+                PREDICT({model}, AVG(price), COUNT(*)) AS score \
+         FROM bid GROUP BY bidder \
+         WHEN score > {threshold} THEN HOLD MODEL {model}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic_and_rate_paced() {
+        let a: Vec<Event> = NexmarkGen::new(7, 1000).batch(500);
+        let b: Vec<Event> = NexmarkGen::new(7, 1000).batch(500);
+        assert_eq!(a, b);
+        // 1000 events/sec -> 1 ms spacing, monotone non-decreasing
+        assert_eq!(a[0].event_time(), 0);
+        assert_eq!(a[499].event_time(), 499);
+        for w in a.windows(2) {
+            assert!(w[0].event_time() <= w[1].event_time());
+        }
+        // a different seed moves the payloads
+        let c: Vec<Event> = NexmarkGen::new(8, 1000).batch(500);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mix_is_one_three_fortysix() {
+        let events = NexmarkGen::new(1, 500).batch(1000);
+        let persons = events.iter().filter(|e| matches!(e, Event::Person(_))).count();
+        let auctions = events.iter().filter(|e| matches!(e, Event::Auction(_))).count();
+        let bids = events.iter().filter(|e| matches!(e, Event::Bid(_))).count();
+        assert_eq!(persons, 20);
+        assert_eq!(auctions, 60);
+        assert_eq!(bids, 920);
+    }
+
+    #[test]
+    fn bids_reference_live_auctions_and_people() {
+        let mut g = NexmarkGen::new(3, 2000);
+        let mut auction_ids = std::collections::HashSet::new();
+        let mut person_ids = std::collections::HashSet::new();
+        for e in g.batch(2000) {
+            match e {
+                Event::Person(p) => {
+                    person_ids.insert(p.id);
+                }
+                Event::Auction(a) => {
+                    assert!(person_ids.contains(&a.seller));
+                    auction_ids.insert(a.id);
+                }
+                Event::Bid(b) => {
+                    assert!(auction_ids.contains(&b.auction));
+                    assert!(person_ids.contains(&b.bidder));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workload_runs_end_to_end_on_the_engine() {
+        let db = flock_sql::Database::new();
+        for ddl in schema_ddl(0) {
+            db.execute(&ddl).unwrap();
+        }
+        db.execute(&q3_ddl(1000)).unwrap();
+        db.execute(&q6_ddl(2000, 1000)).unwrap();
+        let mut g = NexmarkGen::new(42, 1000);
+        for _ in 0..5 {
+            let events = g.batch(1000);
+            for stmt in insert_statements(&events) {
+                db.execute(&stmt).unwrap();
+            }
+            db.stream_tick_now();
+        }
+        // 5 s of modeled traffic at 1 ms spacing closes at least 3 q3
+        // windows and emits q6 rows
+        let q3 = db.query("SELECT * FROM q3_out").unwrap();
+        assert!(q3.num_rows() >= 3, "q3 emitted {} rows", q3.num_rows());
+        let q6 = db.query("SELECT * FROM q6_out").unwrap();
+        assert!(q6.num_rows() > 0);
+    }
+}

@@ -70,6 +70,69 @@ impl ContinuousMonitor {
     }
 }
 
+/// The monitor re-expressed as an **in-database continuous query**: model
+/// outputs stream through a windowed aggregate whose `WHEN` clause is the
+/// policy's breach condition, and a breach fires the engine's
+/// transactional action — audit row plus model hold — in the same commit
+/// as the window's emission. This moves the observe-loop of
+/// [`ContinuousMonitor`] from client-side calls to where the data lives:
+/// the scheduler evaluates it on every closed window, crash-safe and
+/// audited, with no monitoring process to keep alive.
+#[derive(Debug, Clone)]
+pub struct StreamingMonitor {
+    /// Continuous-query name registered in the catalog.
+    pub name: String,
+    /// Stream of model outputs to watch.
+    pub stream: String,
+    /// Tumbling window size (ms) over which scores are aggregated.
+    pub window_ms: i64,
+    /// Sink table receiving each closed window's aggregates.
+    pub sink: String,
+    /// The windowed aggregate (`SELECT ... FROM <stream> GROUP BY ...`);
+    /// its output columns are what the breach condition sees.
+    pub select: String,
+    /// Breach condition in SQL expression syntax over the sink columns
+    /// (same dialect as [`crate::policy::Policy`] conditions).
+    pub breach: String,
+    /// Model placed on hold when the condition holds for any emitted row.
+    pub hold_model: String,
+}
+
+impl StreamingMonitor {
+    /// Build from a [`crate::policy::Policy`]: the policy's condition
+    /// becomes the `WHEN` clause verbatim (both sides share the SQL
+    /// expression dialect).
+    pub fn from_policy(
+        policy: &crate::policy::Policy,
+        stream: &str,
+        window_ms: i64,
+        sink: &str,
+        select: &str,
+        hold_model: &str,
+    ) -> Self {
+        StreamingMonitor {
+            name: format!("{}_monitor", policy.name),
+            stream: stream.to_string(),
+            window_ms,
+            sink: sink.to_string(),
+            select: select.to_string(),
+            breach: policy.condition.to_string(),
+            hold_model: hold_model.to_string(),
+        }
+    }
+
+    /// Render the `CREATE CONTINUOUS QUERY` DDL that deploys this monitor
+    /// into a flock-sql database.
+    pub fn as_continuous_query(&self) -> String {
+        format!(
+            "CREATE CONTINUOUS QUERY {} ON {} WINDOW TUMBLING ({}) \
+             EMIT INTO {} AS {} WHEN {} THEN HOLD MODEL {}",
+            self.name, self.stream, self.window_ms, self.sink, self.select, self.breach,
+            self.hold_model
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,5 +174,81 @@ mod tests {
         assert_eq!(r.proceeded, 3);
         assert_eq!(r.policy_hits.get("cap"), Some(&1));
         assert!(r.override_rate() > 0.0);
+    }
+
+    /// A pass-through scorer so the deployed monitor can PREDICT-free
+    /// aggregate raw scores; the policy condition does the judging.
+    struct IdentityScorer;
+
+    impl flock_sql::udf::InferenceProvider for IdentityScorer {
+        fn output_type(&self, _m: &str) -> Result<flock_sql::DataType> {
+            Ok(flock_sql::DataType::Float)
+        }
+        fn input_arity(&self, _m: &str) -> Result<usize> {
+            Ok(1)
+        }
+        fn predict(
+            &self,
+            _model: &str,
+            inputs: &[flock_sql::ColumnVector],
+            _strategy: flock_sql::ast::PredictStrategy,
+            _user: &str,
+        ) -> Result<flock_sql::ColumnVector> {
+            Ok(inputs[0].clone())
+        }
+    }
+
+    #[test]
+    fn deployed_monitor_holds_model_on_breach() {
+        let policy = Policy::new(
+            "risk_cap",
+            "mean_score > 0.9",
+            PolicyAction::Deny {
+                reason: "score drift".into(),
+            },
+        )
+        .unwrap();
+        let mon = StreamingMonitor::from_policy(
+            &policy,
+            "scores",
+            100,
+            "score_windows",
+            "SELECT model_id, COUNT(*) AS n, AVG(score) AS mean_score \
+             FROM scores GROUP BY model_id",
+            "churn",
+        );
+        let ddl = mon.as_continuous_query();
+        assert!(ddl.contains("WHEN (mean_score > 0.9) THEN HOLD MODEL churn"), "{ddl}");
+
+        let db = flock_sql::Database::new();
+        db.set_inference_provider(std::sync::Arc::new(IdentityScorer));
+        let mut admin = db.session("admin");
+        admin
+            .create_extension_object("model", "churn", vec![], serde_json::from_str("{}").unwrap())
+            .unwrap();
+        db.execute("CREATE STREAM scores (et INT, model_id INT, score DOUBLE) WATERMARK (et, 0)")
+            .unwrap();
+        db.execute(&ddl).unwrap();
+
+        // calm window, then a drifting one, then a flush event to close it
+        db.execute("INSERT INTO scores VALUES (10, 1, 0.2), (20, 1, 0.3)")
+            .unwrap();
+        db.execute("INSERT INTO scores VALUES (110, 1, 0.95), (120, 1, 0.97), (300, 1, 0.1)")
+            .unwrap();
+        db.stream_tick_now();
+
+        // the breach held the model, transactionally with the emission
+        let audit = db.audit_log();
+        assert!(audit.iter().any(|r| r.action == "POLICY BREACH"));
+        assert!(audit.iter().any(|r| r.action == "MODEL HOLD" && r.object == "churn"));
+        let err = db
+            .query("SELECT PREDICT(churn, score) FROM scores")
+            .unwrap_err();
+        assert!(err.to_string().contains("on hold"), "{err}");
+        // the calm window emitted without breaching
+        let b = db
+            .query("SELECT COUNT(*) FROM score_windows WHERE mean_score <= 0.9")
+            .unwrap();
+        assert!(matches!(b.column(0).get(0), flock_sql::Value::Int(n) if n >= 1));
     }
 }

@@ -8,3 +8,6 @@ SET statement_timeout = 5000;
 SET predict_strategy = 'vectorized';
 SELECT metric, value FROM flock_metrics WHERE metric = 'server_connections_accepted';
 SET statement_timeout = DEFAULT;
+SHOW STREAMS;
+INSERT INTO clicks VALUES (10, 1), (20, 1), (30, 2), (150, 1);
+SELECT metric, value FROM flock_metrics WHERE metric = 'stream_cq_ticks';

@@ -1,0 +1,6 @@
+-- Run by the CI server-smoke job after a scheduler-tick delay: the
+-- tumbling window [0, 100) over smoke.sql's click inserts must have
+-- closed and emitted per-page counts (the job greps the output for the
+-- expected rows).
+SELECT window_start, page, n FROM click_windows;
+SHOW STREAMS

@@ -80,6 +80,9 @@ fn main() -> ExitCode {
         }
         None => FlockDb::new(),
     };
+    // Continuous queries need the tick scheduler even without --dir
+    // (Database::open starts it on recovery; in-memory does not).
+    db.database().start_stream_scheduler();
 
     if timeout_ms > 0 || max_concurrent > 0 {
         let mut opts = db.database().exec_options();

@@ -78,6 +78,80 @@ pub enum Statement {
         /// tree with measured per-operator metrics.
         analyze: bool,
     },
+    /// `CREATE STREAM s (cols...) WATERMARK (et_col, lag_ms)` — an
+    /// append-only stream table: a regular WAL-durable table plus a
+    /// catalog marker naming its event-time column and watermark lag.
+    CreateStream {
+        name: String,
+        columns: Vec<ColumnDecl>,
+        /// Event-time column (must be an INT column of the stream, in
+        /// milliseconds).
+        event_time: String,
+        /// Watermark lag: watermark = max(event_time) - lag_ms.
+        lag_ms: i64,
+        if_not_exists: bool,
+    },
+    /// `DROP STREAM s` — drops the stream table and its marker.
+    DropStream {
+        name: String,
+    },
+    /// `CREATE CONTINUOUS QUERY name ON stream WINDOW TUMBLING(size) |
+    /// SLIDING(size, slide) EMIT INTO sink AS SELECT ...
+    /// [WHEN expr THEN HOLD MODEL m]` — register a standing windowed
+    /// aggregate over a stream, emitting each closed window into `sink`.
+    CreateContinuousQuery {
+        name: String,
+        stream: String,
+        window: WindowSpec,
+        sink: String,
+        query: Box<Query>,
+        /// Optional policy predicate over the emitted rows; any breaching
+        /// row fires the transactional action.
+        when: Option<Expr>,
+        /// Model put on hold when `when` fires.
+        hold_model: Option<String>,
+    },
+    /// `DROP CONTINUOUS QUERY name` — unregister; the sink table stays.
+    DropContinuousQuery {
+        name: String,
+    },
+    /// `SHOW STREAMS` — streams and registered continuous queries.
+    ShowStreams,
+}
+
+/// Window shape of a continuous query. `slide_ms == size_ms` is a
+/// tumbling window; `slide_ms < size_ms` is sliding (overlapping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSpec {
+    pub size_ms: i64,
+    pub slide_ms: i64,
+}
+
+impl WindowSpec {
+    pub fn tumbling(size_ms: i64) -> WindowSpec {
+        WindowSpec {
+            size_ms,
+            slide_ms: size_ms,
+        }
+    }
+
+    pub fn sliding(size_ms: i64, slide_ms: i64) -> WindowSpec {
+        WindowSpec { size_ms, slide_ms }
+    }
+
+    pub fn is_tumbling(&self) -> bool {
+        self.size_ms == self.slide_ms
+    }
+}
+
+impl fmt::Display for WindowSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_tumbling() {
+            write!(f, "TUMBLING ({})", self.size_ms)
+        } else {
+            write!(f, "SLIDING ({}, {})", self.size_ms, self.slide_ms)
+        }
+    }
 }
 
 /// An ALTER TABLE action.
@@ -186,6 +260,122 @@ pub enum JoinType {
     Inner,
     Left,
     Cross,
+}
+
+impl fmt::Display for Query {
+    /// Render back to parseable SQL. Subquery-bearing table refs and
+    /// expressions render as `(<subquery>)` placeholders — callers that
+    /// need round-trippable text (continuous-query specs) reject
+    /// subqueries up front.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.select)?;
+        for arm in &self.unions {
+            write!(
+                f,
+                " UNION {}{}",
+                if arm.all { "ALL " } else { "" },
+                arm.select
+            )?;
+        }
+        if !self.order_by.is_empty() {
+            let items: Vec<String> = self
+                .order_by
+                .iter()
+                .map(|o| {
+                    format!("{}{}", o.expr, if o.asc { "" } else { " DESC" })
+                })
+                .collect();
+            write!(f, " ORDER BY {}", items.join(", "))?;
+        }
+        if let Some(n) = self.limit {
+            write!(f, " LIMIT {n}")?;
+        }
+        if let Some(n) = self.offset {
+            write!(f, " OFFSET {n}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SELECT {}",
+            if self.distinct { "DISTINCT " } else { "" }
+        )?;
+        let items: Vec<String> = self
+            .projection
+            .iter()
+            .map(|p| match p {
+                SelectItem::Wildcard => "*".to_string(),
+                SelectItem::QualifiedWildcard(q) => format!("{q}.*"),
+                SelectItem::Expr { expr, alias } => match alias {
+                    Some(a) => format!("{expr} AS {a}"),
+                    None => expr.to_string(),
+                },
+            })
+            .collect();
+        write!(f, "{}", items.join(", "))?;
+        if !self.from.is_empty() {
+            let tables: Vec<String> =
+                self.from.iter().map(|t| t.to_string()).collect();
+            write!(f, " FROM {}", tables.join(", "))?;
+        }
+        if let Some(w) = &self.selection {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            let keys: Vec<String> =
+                self.group_by.iter().map(|e| e.to_string()).collect();
+            write!(f, " GROUP BY {}", keys.join(", "))?;
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableRef::Table {
+                name,
+                alias,
+                version,
+            } => {
+                write!(f, "{name}")?;
+                if let Some(v) = version {
+                    write!(f, " VERSION {v}")?;
+                }
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+            TableRef::Subquery { alias, .. } => {
+                write!(f, "(<subquery>) AS {alias}")
+            }
+            TableRef::Join {
+                left,
+                right,
+                join_type,
+                on,
+            } => {
+                let kind = match join_type {
+                    JoinType::Inner => "JOIN",
+                    JoinType::Left => "LEFT JOIN",
+                    JoinType::Cross => "CROSS JOIN",
+                };
+                write!(f, "{left} {kind} {right}")?;
+                if let Some(e) = on {
+                    write!(f, " ON {e}")?;
+                }
+                Ok(())
+            }
+        }
+    }
 }
 
 /// Binary operators, in increasing precedence groups.

@@ -1,14 +1,19 @@
 //! The database engine: sessions, transactions, DML, logging, auditing.
 
-use crate::ast::{AlterAction, Expr, GrantObject, InsertSource, PredictStrategy, Statement};
+use crate::ast::{
+    AlterAction, ColumnDecl, Expr, GrantObject, InsertSource, PredictStrategy, Statement,
+    WindowSpec,
+};
 use crate::batch::RecordBatch;
 use crate::catalog::{Catalog, ObjectRef, Privilege, ViewDef};
 use crate::column::ColumnVector;
 use crate::error::{Result, SqlError};
+use crate::exec::window::WindowAggState;
 use crate::exec::{
     create_physical_plan, AdmissionController, AdmissionSlot, CancelHandle, CancelToken,
     EngineMetrics, EvalContext, ExecOptions, OpSnapshot, PhysExpr, PlanMetrics, QueryBudget,
 };
+use crate::stream::{compile_cq, CompiledCq, CqSpec, StreamSpec, CQ_KIND, STREAM_KIND};
 use crate::lexer::Token;
 use crate::optimizer::{optimize, OptimizerConfig};
 use crate::plan::{plan_query, rewrite_expr, LogicalPlan, PlanContext, PlanRewriter, SubqueryRunner};
@@ -340,6 +345,74 @@ impl Drop for MergerGuard {
     }
 }
 
+/// Per-continuous-query runtime state, kept outside the catalog: the
+/// compiled per-window pipeline plus incremental ingest/window state.
+/// Purely a cache — a crash (or an emission conflict) discards it and the
+/// next tick rebuilds it from the stream's retained rows, with the CQ's
+/// durable `next_emit_ms` cursor suppressing re-emission of windows that
+/// already reached the sink.
+struct CqRuntime {
+    /// Options epoch the pipeline was compiled under (provider / exec
+    /// option changes recompile; the query text itself is immutable).
+    options_epoch: u64,
+    compiled: CompiledCq,
+    /// Stream rows already folded into window state. The stream table is
+    /// append-only, so `slice(rows_seen..)` is exactly the new events.
+    rows_seen: usize,
+    /// Max event time over *all* ingested rows (pre-WHERE), driving the
+    /// watermark even when the filter drops every recent event.
+    max_event_ms: Option<i64>,
+    state: WindowAggState,
+    /// Late events already folded into the engine-wide counter.
+    late_reported: u64,
+}
+
+/// Handle to the background continuous-query scheduler thread: signals
+/// stop and joins on drop, exactly like [`MergerGuard`].
+struct StreamGuard {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl StreamGuard {
+    fn spawn(weak: WeakDb) -> StreamGuard {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("flock-cq-scheduler".into())
+            .spawn(move || loop {
+                // Chunked sleep so large tick settings still join promptly.
+                let tick = weak.stream_tick_ms.load(Ordering::Relaxed).max(1);
+                let mut slept = 0u64;
+                while slept < tick {
+                    let step = (tick - slept).min(25);
+                    std::thread::sleep(std::time::Duration::from_millis(step));
+                    slept += step;
+                    if flag.load(Ordering::Relaxed) {
+                        return;
+                    }
+                }
+                // Weak: the scheduler must not keep a closed database alive.
+                let Some(db) = weak.upgrade() else { return };
+                db.stream_tick_once();
+            })
+            .expect("spawning cq scheduler");
+        StreamGuard {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for StreamGuard {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
 /// A shared, thread-safe database handle.
 #[derive(Clone)]
 pub struct Database {
@@ -366,6 +439,59 @@ pub struct Database {
     /// Background part-merge thread, if started. Dropped (stopped and
     /// joined) with the last handle to this database.
     merger: Arc<Mutex<Option<MergerGuard>>>,
+    /// Continuous-query scheduler tick interval in milliseconds
+    /// (engine-wide; also reachable as `SET stream_tick_ms = <ms>`).
+    stream_tick_ms: Arc<AtomicU64>,
+    /// Background continuous-query scheduler thread, if started.
+    streams: Arc<Mutex<Option<StreamGuard>>>,
+    /// Per-CQ incremental runtime state; the lock also serializes ticks,
+    /// so the background scheduler and [`Database::stream_tick_now`] never
+    /// interleave within one tick.
+    stream_runtime: Arc<Mutex<HashMap<String, CqRuntime>>>,
+}
+
+/// Everything a background scheduler needs to reconstruct a [`Database`]
+/// handle per tick without keeping the state alive: a weak state pointer
+/// plus clones of the shared components. The reconstructed handle gets
+/// fresh (empty) background-thread slots — schedulers never spawn peers.
+struct WeakDb {
+    state: Weak<RwLock<DbState>>,
+    provider: Arc<RwLock<ProviderRef>>,
+    options: Arc<RwLock<ExecOptions>>,
+    optimizer: Arc<RwLock<OptimizerConfig>>,
+    rewriters: Arc<RwLock<Vec<Arc<dyn PlanRewriter>>>>,
+    metrics: Arc<EngineMetrics>,
+    admission: Arc<AdmissionController>,
+    last_query: Arc<RwLock<Option<OpSnapshot>>>,
+    plan_cache: Arc<PlanCache>,
+    ddl_epoch: Arc<AtomicU64>,
+    options_epoch: Arc<AtomicU64>,
+    table_memory_budget: Arc<AtomicU64>,
+    stream_tick_ms: Arc<AtomicU64>,
+    stream_runtime: Arc<Mutex<HashMap<String, CqRuntime>>>,
+}
+
+impl WeakDb {
+    fn upgrade(&self) -> Option<Database> {
+        Some(Database {
+            state: self.state.upgrade()?,
+            provider: self.provider.clone(),
+            options: self.options.clone(),
+            optimizer: self.optimizer.clone(),
+            rewriters: self.rewriters.clone(),
+            metrics: self.metrics.clone(),
+            admission: self.admission.clone(),
+            last_query: self.last_query.clone(),
+            plan_cache: self.plan_cache.clone(),
+            ddl_epoch: self.ddl_epoch.clone(),
+            options_epoch: self.options_epoch.clone(),
+            table_memory_budget: self.table_memory_budget.clone(),
+            merger: Arc::new(Mutex::new(None)),
+            stream_tick_ms: self.stream_tick_ms.clone(),
+            streams: Arc::new(Mutex::new(None)),
+            stream_runtime: self.stream_runtime.clone(),
+        })
+    }
 }
 
 impl Default for Database {
@@ -407,6 +533,28 @@ impl Database {
             options_epoch: Arc::new(AtomicU64::new(0)),
             table_memory_budget: Arc::new(AtomicU64::new(0)),
             merger: Arc::new(Mutex::new(None)),
+            stream_tick_ms: Arc::new(AtomicU64::new(25)),
+            streams: Arc::new(Mutex::new(None)),
+            stream_runtime: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    fn weak(&self) -> WeakDb {
+        WeakDb {
+            state: Arc::downgrade(&self.state),
+            provider: self.provider.clone(),
+            options: self.options.clone(),
+            optimizer: self.optimizer.clone(),
+            rewriters: self.rewriters.clone(),
+            metrics: self.metrics.clone(),
+            admission: self.admission.clone(),
+            last_query: self.last_query.clone(),
+            plan_cache: self.plan_cache.clone(),
+            ddl_epoch: self.ddl_epoch.clone(),
+            options_epoch: self.options_epoch.clone(),
+            table_memory_budget: self.table_memory_budget.clone(),
+            stream_tick_ms: self.stream_tick_ms.clone(),
+            stream_runtime: self.stream_runtime.clone(),
         }
     }
 
@@ -418,6 +566,7 @@ impl Database {
         let fs = StdFs::new(path).map_err(|e| SqlError::Io(format!("opening database: {e}")))?;
         let db = Self::open_with_fs(Arc::new(fs), opts)?;
         db.start_background_merge();
+        db.start_stream_scheduler();
         Ok(db)
     }
 
@@ -531,6 +680,291 @@ impl Database {
     /// Stop and join the background merge thread, if running.
     pub fn stop_background_merge(&self) {
         *self.merger.lock() = None;
+    }
+
+    /// Start the background continuous-query scheduler (idempotent).
+    /// [`Database::open`] starts it automatically; in-memory databases and
+    /// fault-injection harnesses call [`Database::stream_tick_now`] for a
+    /// deterministic, synchronous tick instead.
+    pub fn start_stream_scheduler(&self) {
+        let mut slot = self.streams.lock();
+        if slot.is_some() {
+            return;
+        }
+        *slot = Some(StreamGuard::spawn(self.weak()));
+    }
+
+    /// Stop and join the continuous-query scheduler, if running.
+    pub fn stop_stream_scheduler(&self) {
+        *self.streams.lock() = None;
+    }
+
+    /// Set the scheduler tick interval (also `SET stream_tick_ms = <ms>`).
+    pub fn set_stream_tick_ms(&self, ms: u64) {
+        self.stream_tick_ms.store(ms.max(1), Ordering::Relaxed);
+    }
+
+    /// Run one scheduler tick synchronously: feed every registered
+    /// continuous query its newly appended stream rows, close every window
+    /// the watermark has passed, and emit closed windows into their sink
+    /// tables. Returns the number of windows emitted. The deterministic
+    /// alternative to the background scheduler for tests and harnesses.
+    pub fn stream_tick_now(&self) -> usize {
+        self.stream_tick_once()
+    }
+
+    /// One scheduler pass over every registered continuous query. Errors
+    /// are per-CQ: a failing query is counted, its runtime discarded (the
+    /// next tick rebuilds from the stream's retained rows under the
+    /// durable emission cursor), and the others proceed.
+    fn stream_tick_once(&self) -> usize {
+        let catalog = self.catalog();
+        let cqs: Vec<(String, String, serde_json::Value)> = catalog
+            .extensions_of_kind(CQ_KIND)
+            .into_iter()
+            .map(|o| (o.name.clone(), o.owner.clone(), o.current().metadata.clone()))
+            .collect();
+        let mut runtimes = self.stream_runtime.lock();
+        runtimes.retain(|k, _| catalog.has_extension(CQ_KIND, k));
+        let mut emitted = 0usize;
+        for (name, owner, meta) in cqs {
+            self.metrics.stream_cq_ticks.fetch_add(1, Ordering::Relaxed);
+            match self.tick_cq(&mut runtimes, &catalog, &name, &owner, &meta) {
+                Ok(n) => emitted += n,
+                Err(_) => {
+                    runtimes.remove(&name);
+                    self.metrics.stream_cq_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        emitted
+    }
+
+    /// Tick one continuous query against a catalog snapshot: ingest the
+    /// stream's new rows into incremental window state, close windows
+    /// under the watermark, and emit them transactionally (sink append +
+    /// cursor advance + any policy action commit or fail as one).
+    fn tick_cq(
+        &self,
+        runtimes: &mut HashMap<String, CqRuntime>,
+        catalog: &Catalog,
+        name: &str,
+        owner: &str,
+        meta: &serde_json::Value,
+    ) -> Result<usize> {
+        let spec = CqSpec::from_metadata(meta)?;
+        let stream_spec = StreamSpec::from_metadata(
+            &catalog
+                .extension(STREAM_KIND, &spec.stream)?
+                .current()
+                .metadata,
+        )?;
+        let table = catalog.table(&spec.stream)?;
+        let data = materialize_version(catalog, table.current())?;
+        let provider = self.inference_provider();
+        let opt_epoch = self.options_epoch.load(Ordering::Relaxed);
+
+        // (Re)build the runtime: missing, or the stream shrank under it
+        // (dropped and recreated), or after a process restart. The durable
+        // cursor suppresses re-emission during the replay below.
+        let stale = match runtimes.get(name) {
+            Some(rt) => rt.rows_seen > data.num_rows(),
+            None => true,
+        };
+        if stale {
+            let compiled = compile_cq(&spec, catalog, provider.as_ref())?;
+            let state = WindowAggState::new(
+                spec.window.size_ms,
+                spec.window.slide_ms,
+                compiled.agg_calls.clone(),
+            );
+            runtimes.insert(
+                name.to_string(),
+                CqRuntime {
+                    options_epoch: opt_epoch,
+                    compiled,
+                    rows_seen: 0,
+                    max_event_ms: None,
+                    state,
+                    late_reported: 0,
+                },
+            );
+        }
+        let rt = runtimes.get_mut(name).expect("runtime just ensured");
+        if rt.options_epoch != opt_epoch {
+            // provider / exec options moved: recompile the pipeline, keep
+            // the window state (the query text is immutable).
+            rt.compiled = compile_cq(&spec, catalog, provider.as_ref())?;
+            rt.options_epoch = opt_epoch;
+        }
+
+        let eval_ctx = EvalContext::new(provider.clone(), owner.to_string(), 1);
+
+        // Ingest rows appended since the last tick, in insertion order —
+        // the same order the batch aggregate would scan them, which is the
+        // bit-equality contract.
+        let n = data.num_rows();
+        if n > rt.rows_seen {
+            let fresh = data.slice(rt.rows_seen, n - rt.rows_seen);
+            rt.rows_seen = n;
+            let et_all = event_times(&fresh, rt.compiled.et_index)?;
+            if let Some(m) = et_all.iter().copied().max() {
+                rt.max_event_ms = Some(rt.max_event_ms.map_or(m, |c| c.max(m)));
+            }
+            let (filtered, et) = match &rt.compiled.where_pred {
+                Some(p) => {
+                    let col = p.eval(&fresh, &eval_ctx)?;
+                    let mask: Vec<bool> = (0..fresh.num_rows())
+                        .map(|i| col.get(i).as_bool() == Some(true))
+                        .collect();
+                    let kept: Vec<i64> = et_all
+                        .iter()
+                        .zip(&mask)
+                        .filter(|(_, keep)| **keep)
+                        .map(|(t, _)| *t)
+                        .collect();
+                    (fresh.filter(&mask)?, kept)
+                }
+                None => (fresh, et_all),
+            };
+            if filtered.num_rows() > 0 {
+                let group_cols: Vec<ColumnVector> = rt
+                    .compiled
+                    .group_exprs
+                    .iter()
+                    .map(|e| e.eval(&filtered, &eval_ctx))
+                    .collect::<Result<_>>()?;
+                let agg_cols: Vec<Option<ColumnVector>> = rt
+                    .compiled
+                    .agg_args
+                    .iter()
+                    .map(|a| a.as_ref().map(|e| e.eval(&filtered, &eval_ctx)).transpose())
+                    .collect::<Result<_>>()?;
+                rt.state.observe(&et, &group_cols, &agg_cols);
+            }
+            let late = rt.state.late_events;
+            if late > rt.late_reported {
+                self.metrics
+                    .stream_late_events
+                    .fetch_add(late - rt.late_reported, Ordering::Relaxed);
+                rt.late_reported = late;
+            }
+        }
+
+        // Close windows under the watermark, ascending by start.
+        let Some(max_et) = rt.max_event_ms else {
+            return Ok(0);
+        };
+        let watermark = max_et.saturating_sub(stream_spec.lag_ms);
+        let closed = rt.state.close_ready(watermark);
+        let Some(last_start) = closed.last().map(|c| c.start) else {
+            return Ok(0);
+        };
+        // Replay suppression: windows below the durable cursor already
+        // reached the sink before a crash/rebuild.
+        let emit: Vec<_> = closed
+            .into_iter()
+            .filter(|c| spec.next_emit_ms.is_none_or(|cursor| c.start >= cursor))
+            .collect();
+        if emit.is_empty() {
+            return Ok(0);
+        }
+        let emitted = emit.len();
+
+        // Finalize each window: aggregate batch -> HAVING -> projection
+        // (PREDICT here runs the batched serving kernel per window).
+        let mut sink_rows: Vec<Vec<Value>> = Vec::new();
+        for w in &emit {
+            let rows: Vec<Vec<Value>> = w
+                .keys
+                .iter()
+                .zip(&w.aggs)
+                .map(|(k, a)| k.0.iter().cloned().chain(a.iter().cloned()).collect())
+                .collect();
+            let mut agg_batch = RecordBatch::from_rows(rt.compiled.agg_schema.clone(), &rows)?;
+            if let Some(h) = &rt.compiled.having {
+                let col = h.eval(&agg_batch, &eval_ctx)?;
+                let mask: Vec<bool> = (0..agg_batch.num_rows())
+                    .map(|i| col.get(i).as_bool() == Some(true))
+                    .collect();
+                agg_batch = agg_batch.filter(&mask)?;
+            }
+            self.metrics
+                .stream_windows_closed
+                .fetch_add(1, Ordering::Relaxed);
+            if agg_batch.num_rows() == 0 {
+                continue;
+            }
+            let proj_cols: Vec<ColumnVector> = rt
+                .compiled
+                .proj_exprs
+                .iter()
+                .map(|e| e.eval(&agg_batch, &eval_ctx))
+                .collect::<Result<_>>()?;
+            if !rt.compiled.predict_models.is_empty() {
+                self.metrics
+                    .stream_predict_windows
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            for r in 0..agg_batch.num_rows() {
+                let mut row = Vec::with_capacity(1 + proj_cols.len());
+                row.push(Value::Int(w.start));
+                row.extend(proj_cols.iter().map(|c| c.get(r)));
+                sink_rows.push(row);
+            }
+        }
+        let sink_batch = RecordBatch::from_rows(
+            Arc::new(rt.compiled.sink_schema.clone()),
+            &sink_rows,
+        )?;
+
+        // Policy check over the emitted rows (the sink shape the breach
+        // predicate was compiled against).
+        let mut breach_rows = 0usize;
+        if let Some(p) = &rt.compiled.when_pred {
+            if sink_batch.num_rows() > 0 {
+                let col = p.eval(&sink_batch, &eval_ctx)?;
+                breach_rows = (0..sink_batch.num_rows())
+                    .filter(|&i| col.get(i).as_bool() == Some(true))
+                    .count();
+            }
+        }
+
+        // One transaction: sink append + durable cursor advance + any
+        // policy action. A crash lands wholly before or wholly after.
+        let rows_emitted = sink_batch.num_rows();
+        let mut new_spec = spec.clone();
+        new_spec.next_emit_ms = Some(last_start + spec.window.slide_ms);
+        let hold = spec.hold_model.clone();
+        let mut session = self.session(owner);
+        let cq_name = name.to_string();
+        let sink_name = spec.sink.clone();
+        session.with_autocommit(move |s| {
+            if sink_batch.num_rows() > 0 {
+                s.append_batch_txn(&sink_name, sink_batch)?;
+            }
+            s.update_extension_txn(CQ_KIND, &cq_name, Vec::new(), new_spec.to_metadata(), false)?;
+            if breach_rows > 0 {
+                s.audit(
+                    "POLICY BREACH",
+                    &cq_name,
+                    &format!("{breach_rows} breaching row(s) in closed window(s)"),
+                );
+                if let Some(m) = &hold {
+                    s.hold_model_txn(m)?;
+                }
+            }
+            Ok(())
+        })?;
+        self.metrics
+            .stream_rows_emitted
+            .fetch_add(rows_emitted as u64, Ordering::Relaxed);
+        if breach_rows > 0 {
+            self.metrics
+                .stream_policy_breaches
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(emitted)
     }
 
     /// Commit-time offload: flush any written table whose resident bytes
@@ -1052,7 +1486,7 @@ impl Session {
             self.check_access(&catalog, &ObjectRef::table(t), Privilege::Select)?;
         }
         for m in &entry.models {
-            self.check_access(&catalog, &ObjectRef::extension(m), Privilege::Execute)?;
+            self.check_model_executable(&catalog, m)?;
         }
         let options = self.session_options();
         let _slot = self.admit(&options)?;
@@ -1315,6 +1749,26 @@ impl Session {
                 } else {
                     format!("table_memory_budget = {bytes} bytes")
                 }))
+            }
+            "stream_tick_ms" => {
+                let ms = match value {
+                    None => 25, // SET stream_tick_ms = DEFAULT
+                    Some(e) => {
+                        let folded = crate::optimizer::fold_expr(e)?;
+                        match folded {
+                            Expr::Literal(Value::Int(i)) if i > 0 => i as u64,
+                            other => {
+                                return Err(SqlError::Plan(format!(
+                                    "stream_tick_ms expects a positive integer \
+                                     (milliseconds), got {other:?}"
+                                )))
+                            }
+                        }
+                    }
+                };
+                // Engine-wide: one scheduler thread serves every session.
+                self.db.set_stream_tick_ms(ms);
+                Ok(QueryResult::none(format!("stream_tick_ms = {ms}ms")))
             }
             "predict_strategy" => {
                 let strategy = match value {
@@ -1679,6 +2133,25 @@ impl Session {
                 object,
                 user,
             } => self.run_grant(&privileges, &object, &user, true),
+            Statement::CreateStream {
+                name,
+                columns,
+                event_time,
+                lag_ms,
+                if_not_exists,
+            } => self.run_create_stream(&name, &columns, &event_time, lag_ms, if_not_exists, sql),
+            Statement::DropStream { name } => self.run_drop_stream(&name, sql),
+            Statement::CreateContinuousQuery {
+                name,
+                stream,
+                window,
+                sink,
+                query,
+                when,
+                hold_model,
+            } => self.run_create_cq(&name, &stream, window, &sink, &query, when, hold_model, sql),
+            Statement::DropContinuousQuery { name } => self.run_drop_cq(&name, sql),
+            Statement::ShowStreams => self.show_streams(),
             Statement::Begin
             | Statement::Commit
             | Statement::Rollback
@@ -1767,6 +2240,7 @@ impl Session {
         sql: &str,
     ) -> Result<QueryResult> {
         let catalog = self.working_catalog();
+        reject_stream_write(&catalog, name, "ALTER TABLE")?;
         self.check_access(&catalog, &ObjectRef::table(name), Privilege::Create)?;
         let table = catalog.table(name)?;
         let schema = table.schema().clone();
@@ -1959,7 +2433,7 @@ impl Session {
             })
         });
         for m in &models {
-            self.check_access(catalog, &ObjectRef::extension(m), Privilege::Execute)?;
+            self.check_model_executable(catalog, m)?;
         }
         Ok((tables, models))
     }
@@ -2137,6 +2611,9 @@ impl Session {
             vec![(table_name.to_string(), version)],
         );
         self.audit("INSERT", table_name, &format!("{n_inserted} row(s)"));
+        if catalog.has_extension(STREAM_KIND, table_name) {
+            self.trim_stream_history(table_name)?;
+        }
         Ok(QueryResult::affected(
             n_inserted,
             format!("{n_inserted} row(s) inserted"),
@@ -2151,6 +2628,7 @@ impl Session {
         sql: &str,
     ) -> Result<QueryResult> {
         let catalog = self.working_catalog();
+        reject_stream_write(&catalog, table_name, "UPDATE")?;
         self.check_access(&catalog, &ObjectRef::table(table_name), Privilege::Update)?;
         let table = catalog.table(table_name)?;
         let schema = table.schema().clone();
@@ -2217,6 +2695,7 @@ impl Session {
         sql: &str,
     ) -> Result<QueryResult> {
         let catalog = self.working_catalog();
+        reject_stream_write(&catalog, table_name, "DELETE")?;
         self.check_access(&catalog, &ObjectRef::table(table_name), Privilege::Delete)?;
         let table = catalog.table(table_name)?;
         let schema = table.schema().clone();
@@ -2310,6 +2789,11 @@ impl Session {
         sql: &str,
     ) -> Result<QueryResult> {
         let catalog = self.working_catalog();
+        if catalog.has_extension(STREAM_KIND, name) {
+            return Err(SqlError::Constraint(format!(
+                "'{name}' is a stream; use DROP STREAM {name}"
+            )));
+        }
         if !catalog.has_table(name) {
             if if_exists {
                 return Ok(QueryResult::none(format!("table '{name}' does not exist")));
@@ -2329,6 +2813,257 @@ impl Session {
         self.log_statement(sql, StatementKind::Ddl, vec![], vec![name.to_string()], vec![]);
         self.audit("DROP TABLE", name, "");
         Ok(QueryResult::none(format!("table '{name}' dropped")))
+    }
+
+    // ------------------------------- streams and continuous queries (DDL)
+
+    /// Create a table inside the open transaction from an already-built
+    /// schema, granting the creator full rights. Shared by stream backing
+    /// tables and continuous-query sink tables.
+    fn create_table_from_schema_txn(&mut self, name: &str, schema: Schema) -> Result<()> {
+        let txn_id = self.txn_mut().id;
+        let txn = self.txn_mut();
+        if txn.catalog.has_table(name) {
+            return Err(SqlError::Catalog(format!("table '{name}' already exists")));
+        }
+        let key = format!("table:{}", name.to_ascii_lowercase());
+        let base = object_state(&txn.catalog, &key);
+        let table = Table::new(name, schema.clone(), txn_id)?;
+        txn.catalog.create_table(table)?;
+        txn.redo_buf.push(RedoOp::CreateTable {
+            name: name.to_string(),
+            schema,
+            txn_id,
+        });
+        txn.written.entry(key).or_insert(base);
+        txn.ddl = true;
+        let user = self.user.clone();
+        let txn = self.txn_mut();
+        txn.catalog
+            .access
+            .grant(&user, ObjectRef::table(name), &Privilege::ALL);
+        txn.access_dirty = true;
+        Ok(())
+    }
+
+    /// `CREATE STREAM name (cols...) WATERMARK (col, lag_ms)`: an
+    /// append-only table plus a stream extension object carrying the
+    /// event-time column and watermark lag. Both are WAL-durable through
+    /// the existing redo records — no new log format.
+    #[allow(clippy::too_many_arguments)]
+    fn run_create_stream(
+        &mut self,
+        name: &str,
+        columns: &[ColumnDecl],
+        event_time: &str,
+        lag_ms: i64,
+        if_not_exists: bool,
+        sql: &str,
+    ) -> Result<QueryResult> {
+        {
+            let txn = self.txn_mut();
+            if txn.catalog.has_table(name) || txn.catalog.has_extension(STREAM_KIND, name) {
+                if if_not_exists && txn.catalog.has_extension(STREAM_KIND, name) {
+                    return Ok(QueryResult::none(format!("stream '{name}' already exists")));
+                }
+                return Err(SqlError::Catalog(format!(
+                    "stream or table '{name}' already exists"
+                )));
+            }
+        }
+        let et = columns
+            .iter()
+            .find(|c| c.name.eq_ignore_ascii_case(event_time))
+            .ok_or_else(|| {
+                SqlError::Catalog(format!(
+                    "watermark column '{event_time}' is not a column of stream '{name}'"
+                ))
+            })?;
+        if et.data_type != crate::types::DataType::Int {
+            return Err(SqlError::Constraint(format!(
+                "watermark column '{event_time}' must be INT (event-time milliseconds)"
+            )));
+        }
+        let schema = Schema::new(
+            columns
+                .iter()
+                .map(|c| ColumnDef {
+                    name: c.name.clone(),
+                    data_type: c.data_type,
+                    nullable: c.nullable,
+                })
+                .collect(),
+        );
+        self.create_table_from_schema_txn(name, schema)?;
+        let spec = StreamSpec {
+            event_time: et.name.clone(),
+            lag_ms,
+        };
+        self.create_extension_txn(STREAM_KIND, name, Vec::new(), spec.to_metadata())?;
+        self.log_statement(sql, StatementKind::Ddl, vec![], vec![name.to_string()], vec![]);
+        Ok(QueryResult::none(format!("stream '{name}' created")))
+    }
+
+    fn run_drop_stream(&mut self, name: &str, sql: &str) -> Result<QueryResult> {
+        let catalog = self.working_catalog();
+        if !catalog.has_extension(STREAM_KIND, name) {
+            return Err(SqlError::Catalog(format!("stream '{name}' does not exist")));
+        }
+        for cq in catalog.extensions_of_kind(CQ_KIND) {
+            let spec = CqSpec::from_metadata(&cq.current().metadata)?;
+            if spec.stream.eq_ignore_ascii_case(name) {
+                return Err(SqlError::Constraint(format!(
+                    "stream '{name}' is read by continuous query '{}'; drop that first",
+                    cq.name
+                )));
+            }
+        }
+        self.check_access(&catalog, &ObjectRef::table(name), Privilege::Drop)?;
+        self.drop_extension_txn(STREAM_KIND, name)?;
+        let txn = self.txn_mut();
+        let key = format!("table:{}", name.to_ascii_lowercase());
+        let base = object_state(&txn.catalog, &key);
+        txn.catalog.drop_table(name)?;
+        txn.redo_buf.push(RedoOp::DropTable {
+            name: name.to_string(),
+        });
+        txn.written.entry(key).or_insert(base);
+        txn.ddl = true;
+        self.log_statement(sql, StatementKind::Ddl, vec![], vec![name.to_string()], vec![]);
+        self.audit("DROP STREAM", name, "");
+        Ok(QueryResult::none(format!("stream '{name}' dropped")))
+    }
+
+    /// `CREATE CONTINUOUS QUERY`: validates and compiles the whole
+    /// pipeline up front (window shape, query plan, PREDICT models, WHEN
+    /// predicate), creates the sink table from the compiled output schema,
+    /// and registers the CQ as an extension object the scheduler picks up
+    /// on its next tick.
+    #[allow(clippy::too_many_arguments)]
+    fn run_create_cq(
+        &mut self,
+        name: &str,
+        stream: &str,
+        window: WindowSpec,
+        sink: &str,
+        query: &crate::ast::Query,
+        when: Option<Expr>,
+        hold_model: Option<String>,
+        sql: &str,
+    ) -> Result<QueryResult> {
+        crate::stream::validate_window(&window)?;
+        let catalog = self.working_catalog();
+        if catalog.has_extension(CQ_KIND, name) {
+            return Err(SqlError::Catalog(format!(
+                "continuous query '{name}' already exists"
+            )));
+        }
+        if !catalog.has_extension(STREAM_KIND, stream) {
+            return Err(SqlError::Catalog(format!("stream '{stream}' does not exist")));
+        }
+        if catalog.has_table(sink) {
+            return Err(SqlError::Catalog(format!(
+                "sink table '{sink}' already exists"
+            )));
+        }
+        self.check_access(&catalog, &ObjectRef::table(stream), Privilege::Select)?;
+        if let Some(m) = &hold_model {
+            if !catalog.has_extension("model", m) {
+                return Err(SqlError::Catalog(format!("model '{m}' does not exist")));
+            }
+            // holding a model mutates it; the creator must hold that right
+            self.check_access(&catalog, &ObjectRef::extension(m), Privilege::Update)?;
+        }
+        let spec = CqSpec {
+            stream: stream.to_string(),
+            window,
+            sink: sink.to_string(),
+            query_sql: query.to_string(),
+            when_sql: when.as_ref().map(|e| e.to_string()),
+            hold_model,
+            next_emit_ms: None,
+        };
+        let provider = self.db.inference_provider();
+        let compiled = crate::stream::compile_cq(&spec, &catalog, provider.as_ref())?;
+        for m in &compiled.predict_models {
+            self.check_access(&catalog, &ObjectRef::extension(m), Privilege::Execute)?;
+        }
+        self.create_table_from_schema_txn(sink, compiled.sink_schema.clone())?;
+        self.create_extension_txn(CQ_KIND, name, Vec::new(), spec.to_metadata())?;
+        self.log_statement(
+            sql,
+            StatementKind::Ddl,
+            vec![stream.to_string()],
+            vec![name.to_string(), sink.to_string()],
+            vec![],
+        );
+        Ok(QueryResult::none(format!(
+            "continuous query '{name}' created (sink '{sink}')"
+        )))
+    }
+
+    /// Drop a continuous query. Its sink table survives as ordinary
+    /// queryable data.
+    fn run_drop_cq(&mut self, name: &str, sql: &str) -> Result<QueryResult> {
+        let catalog = self.working_catalog();
+        if !catalog.has_extension(CQ_KIND, name) {
+            return Err(SqlError::Catalog(format!(
+                "continuous query '{name}' does not exist"
+            )));
+        }
+        self.drop_extension_txn(CQ_KIND, name)?;
+        self.log_statement(sql, StatementKind::Ddl, vec![], vec![name.to_string()], vec![]);
+        Ok(QueryResult::none(format!(
+            "continuous query '{name}' dropped; sink table retained"
+        )))
+    }
+
+    fn show_streams(&mut self) -> Result<QueryResult> {
+        let catalog = self.working_catalog();
+        let schema = Arc::new(Schema::from_pairs(&[
+            ("name", crate::types::DataType::Text),
+            ("event_time", crate::types::DataType::Text),
+            ("lag_ms", crate::types::DataType::Int),
+            ("rows", crate::types::DataType::Int),
+            ("continuous_queries", crate::types::DataType::Int),
+        ]));
+        let mut streams = catalog.extensions_of_kind(STREAM_KIND);
+        streams.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        for s in streams {
+            // only list streams this user may read
+            if catalog
+                .access
+                .check(&self.user, &ObjectRef::table(&s.name), Privilege::Select)
+                .is_err()
+            {
+                continue;
+            }
+            let spec = StreamSpec::from_metadata(&s.current().metadata)?;
+            let t = catalog.table(&s.name)?;
+            let cqs = catalog
+                .extensions_of_kind(CQ_KIND)
+                .into_iter()
+                .filter(|c| {
+                    CqSpec::from_metadata(&c.current().metadata)
+                        .map(|cs| cs.stream.eq_ignore_ascii_case(&s.name))
+                        .unwrap_or(false)
+                })
+                .count();
+            rows.push(vec![
+                Value::Text(s.name.clone()),
+                Value::Text(spec.event_time),
+                Value::Int(spec.lag_ms),
+                Value::Int(t.row_count() as i64),
+                Value::Int(cqs as i64),
+            ]);
+        }
+        let batch = RecordBatch::from_rows(schema, &rows)?;
+        Ok(QueryResult {
+            rows_affected: batch.num_rows(),
+            batch: Some(batch),
+            message: "SHOW STREAMS".into(),
+        })
     }
 
     fn run_grant(
@@ -2361,52 +3096,79 @@ impl Session {
     /// benchmarks and ETL). Columns are matched by position and must have
     /// the table's types; constraint checks still apply.
     pub fn append_batch(&mut self, table_name: &str, batch: RecordBatch) -> Result<u64> {
-        self.with_autocommit(|s| {
-            let catalog = s.working_catalog();
-            s.check_access(&catalog, &ObjectRef::table(table_name), Privilege::Insert)?;
-            let table = catalog.table(table_name)?;
-            let schema = table.schema().clone();
-            if batch.num_columns() != schema.len() {
+        self.with_autocommit(|s| s.append_batch_txn(table_name, batch))
+    }
+
+    /// [`Session::append_batch`] body, runnable inside an open transaction
+    /// so continuous queries can bundle a sink append with their cursor
+    /// advance and policy actions.
+    fn append_batch_txn(&mut self, table_name: &str, batch: RecordBatch) -> Result<u64> {
+        let catalog = self.working_catalog();
+        self.check_access(&catalog, &ObjectRef::table(table_name), Privilege::Insert)?;
+        let table = catalog.table(table_name)?;
+        let schema = table.schema().clone();
+        if batch.num_columns() != schema.len() {
+            return Err(SqlError::Constraint(format!(
+                "batch has {} columns, table '{}' has {}",
+                batch.num_columns(),
+                table_name,
+                schema.len()
+            )));
+        }
+        for (i, col) in batch.columns().iter().enumerate() {
+            let expected = schema.column(i).data_type;
+            if col.data_type() != expected {
                 return Err(SqlError::Constraint(format!(
-                    "batch has {} columns, table '{}' has {}",
-                    batch.num_columns(),
-                    table_name,
-                    schema.len()
+                    "column {i} has type {} but table expects {expected}",
+                    col.data_type()
                 )));
             }
-            for (i, col) in batch.columns().iter().enumerate() {
-                let expected = schema.column(i).data_type;
-                if col.data_type() != expected {
-                    return Err(SqlError::Constraint(format!(
-                        "column {i} has type {} but table expects {expected}",
-                        col.data_type()
-                    )));
-                }
-                if !schema.column(i).nullable && col.null_count() > 0 {
-                    return Err(SqlError::Constraint(format!(
-                        "column '{}' is NOT NULL",
-                        schema.column(i).name
-                    )));
-                }
+            if !schema.column(i).nullable && col.null_count() > 0 {
+                return Err(SqlError::Constraint(format!(
+                    "column '{}' is NOT NULL",
+                    schema.column(i).name
+                )));
             }
-            let mut cols = table.current().data.columns().to_vec();
-            for (dst, src) in cols.iter_mut().zip(batch.columns()) {
-                dst.append(src)?;
-            }
-            let rows = batch.num_rows();
-            let delta = RecordBatch::new(schema.clone(), batch.columns().to_vec())?;
-            let new_batch = RecordBatch::new(schema, cols)?;
-            let version = s.install_table_version(table_name, new_batch, Some(delta))?;
-            s.log_statement(
-                &format!("BULK INSERT INTO {table_name} ({rows} rows)"),
-                StatementKind::Insert,
-                vec![],
-                vec![table_name.to_string()],
-                vec![(table_name.to_string(), version)],
-            );
-            s.audit("BULK INSERT", table_name, &format!("{rows} row(s)"));
-            Ok(version)
-        })
+        }
+        let mut cols = table.current().data.columns().to_vec();
+        for (dst, src) in cols.iter_mut().zip(batch.columns()) {
+            dst.append(src)?;
+        }
+        let rows = batch.num_rows();
+        let delta = RecordBatch::new(schema.clone(), batch.columns().to_vec())?;
+        let new_batch = RecordBatch::new(schema, cols)?;
+        let version = self.install_table_version(table_name, new_batch, Some(delta))?;
+        self.log_statement(
+            &format!("BULK INSERT INTO {table_name} ({rows} rows)"),
+            StatementKind::Insert,
+            vec![],
+            vec![table_name.to_string()],
+            vec![(table_name.to_string(), version)],
+        );
+        self.audit("BULK INSERT", table_name, &format!("{rows} row(s)"));
+        if catalog.has_extension(STREAM_KIND, table_name) {
+            self.trim_stream_history(table_name)?;
+        }
+        Ok(version)
+    }
+
+    /// Streams forgo time travel: keep only the newest version so the
+    /// append-only log doesn't accrete per-append snapshot history.
+    fn trim_stream_history(&mut self, name: &str) -> Result<()> {
+        let txn = self.txn_mut();
+        let key = format!("table:{}", name.to_ascii_lowercase());
+        let base = object_state(&txn.catalog, &key);
+        let table = txn.catalog.table_mut(name)?;
+        let redo_table = table.name().to_string();
+        let dropped = table.truncate_history_pinned(1, &[])?;
+        if !dropped.is_empty() {
+            txn.redo_buf.push(RedoOp::TruncateHistory {
+                table: redo_table,
+                keep: 1,
+            });
+            txn.written.entry(key).or_insert(base);
+        }
+        Ok(())
     }
 
     // ------------------------------------------- extension objects (models)
@@ -2420,38 +3182,46 @@ impl Session {
         payload: Vec<u8>,
         metadata: serde_json::Value,
     ) -> Result<()> {
-        self.with_autocommit(|s| {
-            let user = s.user.clone();
-            let txn_id = s.txn_mut().id;
-            let txn = s.txn_mut();
-            let key = format!("ext:{kind}:{}", name.to_ascii_lowercase());
-            let base = object_state(&txn.catalog, &key);
-            txn.catalog.create_extension(
-                kind,
-                name,
-                &user,
-                payload.clone(),
-                metadata.clone(),
-                txn_id,
-            )?;
-            txn.redo_buf.push(RedoOp::CreateExtension {
-                kind: kind.to_string(),
-                name: name.to_string(),
-                owner: user.clone(),
-                txn_id,
-                payload,
-                metadata,
-            });
-            txn.written.entry(key).or_insert(base);
-            txn.ddl = true;
-            let txn = s.txn_mut();
-            txn.catalog
-                .access
-                .grant(&user, ObjectRef::extension(name), &Privilege::ALL);
-            txn.access_dirty = true;
-            s.audit(&format!("CREATE {}", kind.to_uppercase()), name, "");
-            Ok(())
-        })
+        self.with_autocommit(|s| s.create_extension_txn(kind, name, payload, metadata))
+    }
+
+    fn create_extension_txn(
+        &mut self,
+        kind: &str,
+        name: &str,
+        payload: Vec<u8>,
+        metadata: serde_json::Value,
+    ) -> Result<()> {
+        let user = self.user.clone();
+        let txn_id = self.txn_mut().id;
+        let txn = self.txn_mut();
+        let key = format!("ext:{kind}:{}", name.to_ascii_lowercase());
+        let base = object_state(&txn.catalog, &key);
+        txn.catalog.create_extension(
+            kind,
+            name,
+            &user,
+            payload.clone(),
+            metadata.clone(),
+            txn_id,
+        )?;
+        txn.redo_buf.push(RedoOp::CreateExtension {
+            kind: kind.to_string(),
+            name: name.to_string(),
+            owner: user.clone(),
+            txn_id,
+            payload,
+            metadata,
+        });
+        txn.written.entry(key).or_insert(base);
+        txn.ddl = true;
+        let txn = self.txn_mut();
+        txn.catalog
+            .access
+            .grant(&user, ObjectRef::extension(name), &Privilege::ALL);
+        txn.access_dirty = true;
+        self.audit(&format!("CREATE {}", kind.to_uppercase()), name, "");
+        Ok(())
     }
 
     /// Append a new version to an extension object.
@@ -2462,53 +3232,93 @@ impl Session {
         payload: Vec<u8>,
         metadata: serde_json::Value,
     ) -> Result<u64> {
-        self.with_autocommit(|s| {
-            let catalog = s.working_catalog();
-            s.check_access(&catalog, &ObjectRef::extension(name), Privilege::Update)?;
-            let txn_id = s.txn_mut().id;
-            let txn = s.txn_mut();
-            let key = format!("ext:{kind}:{}", name.to_ascii_lowercase());
-            let base = object_state(&txn.catalog, &key);
-            let v = txn.catalog.update_extension(
-                kind,
-                name,
-                payload.clone(),
-                metadata.clone(),
-                txn_id,
-            )?;
-            txn.redo_buf.push(RedoOp::UpdateExtension {
-                kind: kind.to_string(),
-                name: name.to_string(),
-                version: v,
-                txn_id,
-                payload,
-                metadata,
-            });
-            txn.written.entry(key).or_insert(base);
+        self.with_autocommit(|s| s.update_extension_txn(kind, name, payload, metadata, true))
+    }
+
+    /// `ddl: false` skips the ddl-epoch bump (and the audit entry): the
+    /// continuous-query scheduler advances its durable cursor through this
+    /// path every emission, and neither cached plans nor the audit trail
+    /// should churn for that bookkeeping.
+    fn update_extension_txn(
+        &mut self,
+        kind: &str,
+        name: &str,
+        payload: Vec<u8>,
+        metadata: serde_json::Value,
+        ddl: bool,
+    ) -> Result<u64> {
+        let catalog = self.working_catalog();
+        self.check_access(&catalog, &ObjectRef::extension(name), Privilege::Update)?;
+        let txn_id = self.txn_mut().id;
+        let txn = self.txn_mut();
+        let key = format!("ext:{kind}:{}", name.to_ascii_lowercase());
+        let base = object_state(&txn.catalog, &key);
+        let v = txn.catalog.update_extension(
+            kind,
+            name,
+            payload.clone(),
+            metadata.clone(),
+            txn_id,
+        )?;
+        txn.redo_buf.push(RedoOp::UpdateExtension {
+            kind: kind.to_string(),
+            name: name.to_string(),
+            version: v,
+            txn_id,
+            payload,
+            metadata,
+        });
+        txn.written.entry(key).or_insert(base);
+        if ddl {
             txn.ddl = true;
-            s.audit(&format!("UPDATE {}", kind.to_uppercase()), name, &format!("v{v}"));
-            Ok(v)
-        })
+            self.audit(&format!("UPDATE {}", kind.to_uppercase()), name, &format!("v{v}"));
+        }
+        Ok(v)
+    }
+
+    /// Place a model on hold inside the open transaction: further PREDICT
+    /// calls against it are refused until an operator clears the `hold`
+    /// metadata flag. Fired by continuous-query policy breaches.
+    fn hold_model_txn(&mut self, model: &str) -> Result<()> {
+        let catalog = self.working_catalog();
+        let cur = catalog.extension("model", model)?.current();
+        let payload = cur.payload.clone();
+        let mut metadata = cur.metadata.clone();
+        match metadata.as_object_mut() {
+            Some(m) => {
+                m.insert("hold".to_string(), serde_json::Value::Bool(true));
+            }
+            None => {
+                return Err(SqlError::Constraint(format!(
+                    "model '{model}' has non-object metadata"
+                )))
+            }
+        }
+        self.update_extension_txn("model", model, payload, metadata, true)?;
+        self.audit("MODEL HOLD", model, "policy breach");
+        Ok(())
     }
 
     /// Drop an extension object.
     pub fn drop_extension_object(&mut self, kind: &str, name: &str) -> Result<()> {
-        self.with_autocommit(|s| {
-            let catalog = s.working_catalog();
-            s.check_access(&catalog, &ObjectRef::extension(name), Privilege::Drop)?;
-            let txn = s.txn_mut();
-            let key = format!("ext:{kind}:{}", name.to_ascii_lowercase());
-            let base = object_state(&txn.catalog, &key);
-            txn.catalog.drop_extension(kind, name)?;
-            txn.redo_buf.push(RedoOp::DropExtension {
-                kind: kind.to_string(),
-                name: name.to_string(),
-            });
-            txn.written.entry(key).or_insert(base);
-            txn.ddl = true;
-            s.audit(&format!("DROP {}", kind.to_uppercase()), name, "");
-            Ok(())
-        })
+        self.with_autocommit(|s| s.drop_extension_txn(kind, name))
+    }
+
+    fn drop_extension_txn(&mut self, kind: &str, name: &str) -> Result<()> {
+        let catalog = self.working_catalog();
+        self.check_access(&catalog, &ObjectRef::extension(name), Privilege::Drop)?;
+        let txn = self.txn_mut();
+        let key = format!("ext:{kind}:{}", name.to_ascii_lowercase());
+        let base = object_state(&txn.catalog, &key);
+        txn.catalog.drop_extension(kind, name)?;
+        txn.redo_buf.push(RedoOp::DropExtension {
+            kind: kind.to_string(),
+            name: name.to_string(),
+        });
+        txn.written.entry(key).or_insert(base);
+        txn.ddl = true;
+        self.audit(&format!("DROP {}", kind.to_uppercase()), name, "");
+        Ok(())
     }
 
     /// Truncate a table's version history to the newest `keep` versions.
@@ -2625,6 +3435,29 @@ impl Session {
             );
         }
         r
+    }
+
+    /// A model is scoreable when the user holds Execute on it AND no
+    /// policy hold is in force. Checked per-execute (not at plan time) so
+    /// a hold placed by a continuous query bites immediately, including
+    /// through cached plans.
+    fn check_model_executable(&mut self, catalog: &Catalog, model: &str) -> Result<()> {
+        self.check_access(catalog, &ObjectRef::extension(model), Privilege::Execute)?;
+        if let Ok(obj) = catalog.extension("model", model) {
+            let held = obj
+                .current()
+                .metadata
+                .get("hold")
+                .and_then(|v| v.as_bool())
+                .unwrap_or(false);
+            if held {
+                self.audit("HOLD BLOCKED", model, "model is on policy hold");
+                return Err(SqlError::AccessDenied(format!(
+                    "model '{model}' is on hold"
+                )));
+            }
+        }
+        Ok(())
     }
 
     fn require_superuser(&mut self, action: &str) -> Result<()> {
@@ -2995,6 +3828,35 @@ fn lineage_pinned_versions(catalog: &Catalog, table: &str) -> Vec<u64> {
         }
     }
     pinned
+}
+
+/// Streams are append-only: INSERT is the only mutation they accept.
+fn reject_stream_write(catalog: &Catalog, name: &str, op: &str) -> Result<()> {
+    if catalog.has_extension(STREAM_KIND, name) {
+        return Err(SqlError::Constraint(format!(
+            "stream '{name}' is append-only; {op} is not allowed"
+        )));
+    }
+    Ok(())
+}
+
+/// Extract event times (ms) from a stream batch's event-time column.
+/// A NULL or non-integer event time is a hard error — the watermark
+/// cannot advance past a row whose position in time is unknown.
+fn event_times(batch: &RecordBatch, et_index: usize) -> Result<Vec<i64>> {
+    let col = batch.column(et_index);
+    let mut out = Vec::with_capacity(batch.num_rows());
+    for i in 0..batch.num_rows() {
+        match col.get(i) {
+            Value::Int(t) => out.push(t),
+            other => {
+                return Err(SqlError::Constraint(format!(
+                    "event-time column holds non-integer value {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// Current committed state of a namespaced object key

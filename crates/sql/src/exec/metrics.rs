@@ -222,6 +222,20 @@ pub struct EngineMetrics {
     pub queries_timed_out: AtomicU64,
     /// Queries aborted for exceeding their row/memory budget.
     pub budget_rejected: AtomicU64,
+    /// Continuous-query scheduler passes over an individual CQ.
+    pub stream_cq_ticks: AtomicU64,
+    /// Windows closed (finalized) by continuous queries.
+    pub stream_windows_closed: AtomicU64,
+    /// Rows emitted into continuous-query sink tables.
+    pub stream_rows_emitted: AtomicU64,
+    /// Stream events dropped because every window containing them closed.
+    pub stream_late_events: AtomicU64,
+    /// Continuous-query policy (WHEN-clause) breaches fired.
+    pub stream_policy_breaches: AtomicU64,
+    /// Closed windows scored through PREDICT-bearing continuous queries.
+    pub stream_predict_windows: AtomicU64,
+    /// Continuous-query tick failures (runtime discarded and rebuilt).
+    pub stream_cq_errors: AtomicU64,
     /// Externally-owned counters registered by higher layers (e.g. the
     /// inference layer's compiled-pipeline cache), appended to [`rows`].
     registered: Mutex<Vec<(&'static str, Arc<AtomicU64>)>>,
@@ -280,6 +294,34 @@ impl EngineMetrics {
             (
                 "budget_rejected",
                 self.budget_rejected.load(Ordering::Relaxed),
+            ),
+            (
+                "stream_cq_ticks",
+                self.stream_cq_ticks.load(Ordering::Relaxed),
+            ),
+            (
+                "stream_windows_closed",
+                self.stream_windows_closed.load(Ordering::Relaxed),
+            ),
+            (
+                "stream_rows_emitted",
+                self.stream_rows_emitted.load(Ordering::Relaxed),
+            ),
+            (
+                "stream_late_events",
+                self.stream_late_events.load(Ordering::Relaxed),
+            ),
+            (
+                "stream_policy_breaches",
+                self.stream_policy_breaches.load(Ordering::Relaxed),
+            ),
+            (
+                "stream_predict_windows",
+                self.stream_predict_windows.load(Ordering::Relaxed),
+            ),
+            (
+                "stream_cq_errors",
+                self.stream_cq_errors.load(Ordering::Relaxed),
             ),
         ];
         rows.extend(
@@ -354,7 +396,7 @@ mod tests {
         m.register("predict_compile_hits", Arc::new(AtomicU64::new(0)));
         let rows: std::collections::HashMap<_, _> = m.rows().into_iter().collect();
         assert_eq!(rows["predict_compile_hits"], 0);
-        assert_eq!(m.rows().len(), 11);
+        assert_eq!(m.rows().len(), 18);
     }
 
     #[test]

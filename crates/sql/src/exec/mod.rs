@@ -16,6 +16,7 @@ pub mod expr;
 pub mod functions;
 pub mod metrics;
 pub mod parallel;
+pub mod window;
 
 pub use cancel::{AdmissionController, AdmissionSlot, CancelHandle, CancelToken, QueryBudget};
 pub use expr::{EvalContext, PhysExpr, PhysNode};

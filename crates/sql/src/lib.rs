@@ -32,6 +32,7 @@ pub mod plan;
 pub mod plancache;
 pub mod schema;
 pub mod stats;
+pub mod stream;
 pub mod table;
 pub mod types;
 pub mod udf;

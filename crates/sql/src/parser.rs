@@ -239,6 +239,9 @@ impl Parser {
             ));
         }
         if self.eat_kw("SHOW") {
+            if self.eat_kw("STREAMS") {
+                return Ok(Statement::ShowStreams);
+            }
             self.expect_kw("TABLES")?;
             return Ok(Statement::ShowTables);
         }
@@ -360,49 +363,19 @@ impl Parser {
                 false
             };
             let name = self.ident()?;
-            self.expect(&Token::LParen)?;
-            let mut columns = Vec::new();
-            loop {
-                let col_name = self.ident()?;
-                let ty_name = self.ident()?.to_ascii_uppercase();
-                let data_type = DataType::parse(&ty_name)
-                    .ok_or_else(|| SqlError::Parse(format!("unknown type '{ty_name}'")))?;
-                // swallow optional (n) or (p, s) length args
-                if self.eat(&Token::LParen) {
-                    while self.peek() != &Token::RParen {
-                        self.next();
-                    }
-                    self.expect(&Token::RParen)?;
-                }
-                let mut nullable = true;
-                loop {
-                    if self.eat_kw("NOT") {
-                        self.expect_kw("NULL")?;
-                        nullable = false;
-                    } else if self.eat_kw("PRIMARY") {
-                        self.expect_kw("KEY")?;
-                        nullable = false;
-                    } else if self.eat_kw("NULL") {
-                        // explicit NULL marker, already the default
-                    } else {
-                        break;
-                    }
-                }
-                columns.push(ColumnDecl {
-                    name: col_name,
-                    data_type,
-                    nullable,
-                });
-                if !self.eat(&Token::Comma) {
-                    break;
-                }
-            }
-            self.expect(&Token::RParen)?;
+            let columns = self.column_decls()?;
             return Ok(Statement::CreateTable {
                 name,
                 columns,
                 if_not_exists,
             });
+        }
+        if self.eat_kw("STREAM") {
+            return self.create_stream();
+        }
+        if self.eat_kw("CONTINUOUS") {
+            self.expect_kw("QUERY")?;
+            return self.create_continuous_query();
         }
         if self.eat_kw("VIEW") {
             let name = self.ident()?;
@@ -420,6 +393,138 @@ impl Parser {
         )))
     }
 
+    /// The parenthesized column list of CREATE TABLE / CREATE STREAM.
+    fn column_decls(&mut self) -> Result<Vec<ColumnDecl>> {
+        self.expect(&Token::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col_name = self.ident()?;
+            let ty_name = self.ident()?.to_ascii_uppercase();
+            let data_type = DataType::parse(&ty_name)
+                .ok_or_else(|| SqlError::Parse(format!("unknown type '{ty_name}'")))?;
+            // swallow optional (n) or (p, s) length args
+            if self.eat(&Token::LParen) {
+                while self.peek() != &Token::RParen {
+                    self.next();
+                }
+                self.expect(&Token::RParen)?;
+            }
+            let mut nullable = true;
+            loop {
+                if self.eat_kw("NOT") {
+                    self.expect_kw("NULL")?;
+                    nullable = false;
+                } else if self.eat_kw("PRIMARY") {
+                    self.expect_kw("KEY")?;
+                    nullable = false;
+                } else if self.eat_kw("NULL") {
+                    // explicit NULL marker, already the default
+                } else {
+                    break;
+                }
+            }
+            columns.push(ColumnDecl {
+                name: col_name,
+                data_type,
+                nullable,
+            });
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(columns)
+    }
+
+    /// `CREATE STREAM [IF NOT EXISTS] s (cols...) WATERMARK (et, lag)`;
+    /// the `CREATE STREAM` prefix is already consumed.
+    fn create_stream(&mut self) -> Result<Statement> {
+        let if_not_exists = if self.eat_kw("IF") {
+            self.expect_kw("NOT")?;
+            self.expect_kw("EXISTS")?;
+            true
+        } else {
+            false
+        };
+        let name = self.ident()?;
+        let columns = self.column_decls()?;
+        self.expect_kw("WATERMARK")?;
+        self.expect(&Token::LParen)?;
+        let event_time = self.ident()?;
+        self.expect(&Token::Comma)?;
+        let lag_ms = self.int_literal("watermark lag")?;
+        self.expect(&Token::RParen)?;
+        Ok(Statement::CreateStream {
+            name,
+            columns,
+            event_time,
+            lag_ms,
+            if_not_exists,
+        })
+    }
+
+    /// `CREATE CONTINUOUS QUERY name ON stream WINDOW TUMBLING (size) |
+    /// SLIDING (size, slide) EMIT INTO sink AS SELECT ...
+    /// [WHEN expr THEN HOLD MODEL m]`; the `CREATE CONTINUOUS QUERY`
+    /// prefix is already consumed.
+    fn create_continuous_query(&mut self) -> Result<Statement> {
+        let name = self.ident()?;
+        self.expect_kw("ON")?;
+        let stream = self.ident()?;
+        self.expect_kw("WINDOW")?;
+        let window = if self.eat_kw("TUMBLING") {
+            self.expect(&Token::LParen)?;
+            let size = self.int_literal("window size")?;
+            self.expect(&Token::RParen)?;
+            WindowSpec::tumbling(size)
+        } else if self.eat_kw("SLIDING") {
+            self.expect(&Token::LParen)?;
+            let size = self.int_literal("window size")?;
+            self.expect(&Token::Comma)?;
+            let slide = self.int_literal("window slide")?;
+            self.expect(&Token::RParen)?;
+            WindowSpec::sliding(size, slide)
+        } else {
+            return Err(SqlError::Parse(
+                "expected TUMBLING or SLIDING after WINDOW".into(),
+            ));
+        };
+        self.expect_kw("EMIT")?;
+        self.expect_kw("INTO")?;
+        let sink = self.ident()?;
+        self.expect_kw("AS")?;
+        let query = self.query()?;
+        let (when, hold_model) = if self.eat_kw("WHEN") {
+            let predicate = self.expr()?;
+            self.expect_kw("THEN")?;
+            self.expect_kw("HOLD")?;
+            self.expect_kw("MODEL")?;
+            let model = self.ident()?;
+            (Some(predicate), Some(model))
+        } else {
+            (None, None)
+        };
+        Ok(Statement::CreateContinuousQuery {
+            name,
+            stream,
+            window,
+            sink,
+            query: Box::new(query),
+            when,
+            hold_model,
+        })
+    }
+
+    /// A positive integer literal (e.g. window sizes and watermark lags).
+    fn int_literal(&mut self, what: &str) -> Result<i64> {
+        match self.expr()? {
+            Expr::Literal(Value::Int(i)) if i >= 0 => Ok(i),
+            other => Err(SqlError::Parse(format!(
+                "{what} expects a non-negative integer, got {other}"
+            ))),
+        }
+    }
+
     fn drop(&mut self) -> Result<Statement> {
         if self.eat_kw("TABLE") {
             let if_exists = if self.eat_kw("IF") {
@@ -434,6 +539,15 @@ impl Parser {
         if self.eat_kw("VIEW") {
             let name = self.ident()?;
             return Ok(Statement::DropView { name });
+        }
+        if self.eat_kw("STREAM") {
+            let name = self.ident()?;
+            return Ok(Statement::DropStream { name });
+        }
+        if self.eat_kw("CONTINUOUS") {
+            self.expect_kw("QUERY")?;
+            let name = self.ident()?;
+            return Ok(Statement::DropContinuousQuery { name });
         }
         Err(SqlError::Parse(format!(
             "unsupported DROP target '{}'",

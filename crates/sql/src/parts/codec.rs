@@ -118,11 +118,18 @@ fn encode_int(e: &mut Enc, vals: &[i64]) {
         e.u8(ENC_INT_FOR);
         e.i64(base);
         e.u8(width as u8);
-        let mut acc: u64 = 0;
+        // The accumulator must be wider than width + 7 bits: at the top of
+        // each iteration up to 7 residual bits sit in `acc`, and a width-63
+        // delta shifted past them needs 70 bits. A u64 here silently drops
+        // the high bits of wide deltas (the wide-FOR round-trip bug).
+        let mut acc: u128 = 0;
         let mut nbits: u32 = 0;
         for &v in vals {
+            // Deltas are computed in i128 so `v - base` cannot overflow even
+            // for base = i64::MIN, v = i64::MAX; the result always fits in
+            // u64 because width <= 63 < 64.
             let diff = (v as i128 - base as i128) as u64;
-            acc |= diff << nbits;
+            acc |= (diff as u128) << nbits;
             nbits += width;
             while nbits >= 8 {
                 e.u8((acc & 0xff) as u8);
@@ -163,21 +170,31 @@ fn decode_int(d: &mut Dec, n: usize, tag: u8) -> DecodeResult<Vec<i64>> {
         ENC_INT_FOR => {
             let base = d.i64()?;
             let width = d.u8()? as u32;
+            // Encode never picks width >= 64 (it falls back to RAW), so a
+            // wider tag can only come from corruption — and a 64-bit shift
+            // below would be UB-adjacent anyway.
             if width >= 64 {
                 return Err(Corrupt);
             }
             let mut out = Vec::with_capacity(n);
-            let mut acc: u64 = 0;
+            // u128 accumulator mirrors the encoder: with up to 7 leftover
+            // bits plus a fresh byte shifted in at offset nbits (< width),
+            // live bits can exceed 64 for widths > 57.
+            let mut acc: u128 = 0;
             let mut nbits: u32 = 0;
             let mask = if width == 0 { 0 } else { (1u64 << width) - 1 };
             for _ in 0..n {
                 while nbits < width {
-                    acc |= (d.u8()? as u64) << nbits;
+                    acc |= (d.u8()? as u128) << nbits;
                     nbits += 8;
                 }
-                let diff = acc & mask;
+                let diff = (acc as u64) & mask;
                 acc >>= width;
                 nbits -= width;
+                // base + diff stays within i64 for any delta the encoder can
+                // produce; corrupt inputs may wrap, which `as i64` makes a
+                // defined (if meaningless) value caught by nothing worse
+                // than a wrong row.
                 out.push((base as i128 + diff as i128) as i64);
             }
             Ok(out)
@@ -654,6 +671,80 @@ mod tests {
         )]);
         let p = roundtrip(&b);
         assert_batches_equal(&b, &p.batch);
+    }
+
+    /// The widest FOR encoding the format allows: base = i64::MIN with a
+    /// span of 2^63 - 1 forces width 63 while staying on the FOR path
+    /// (values are distinct so RLE loses, and 63 < 64 bits beats RAW).
+    #[test]
+    fn for_width_63_spanning_i64_min_roundtrips() {
+        let n = 1000i64;
+        let mut vals: Vec<Value> = (0..n)
+            .map(|i| Value::Int(i64::MIN + i * (i64::MAX / n)))
+            .collect();
+        // Pin the exact corners: the minimum representable value and the
+        // top of a 63-bit span above it (i64::MIN + (2^63 - 1) == -1).
+        vals[0] = Value::Int(i64::MIN);
+        vals[1] = Value::Int(-1);
+        let b = batch(vec![("i", DataType::Int, vals.clone())]);
+        let (file, _) = encode_part(1, 0, &b);
+        let p = decode_part(&file, None).unwrap();
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(p.batch.column(0).get(i), *v, "row {i}");
+        }
+    }
+
+    /// A full-i64 span needs 64 delta bits; the encoder must fall back to
+    /// RAW (decode refuses width >= 64) and still round-trip exactly.
+    #[test]
+    fn full_span_falls_back_to_raw_and_roundtrips() {
+        let n = 1000i64;
+        let mut vals: Vec<Value> = (0..n)
+            .map(|i| Value::Int(i64::MIN.wrapping_add(i.wrapping_mul(i64::MAX / 499))))
+            .collect();
+        vals[0] = Value::Int(i64::MIN);
+        vals[1] = Value::Int(i64::MAX);
+        let b = batch(vec![("i", DataType::Int, vals.clone())]);
+        let (file, _) = encode_part(1, 0, &b);
+        let p = decode_part(&file, None).unwrap();
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(p.batch.column(0).get(i), *v, "row {i}");
+        }
+    }
+
+    /// Every FOR width 0..=63 round-trips, including deltas that straddle
+    /// the accumulator's old 64-bit ceiling (width + 7 residual bits).
+    #[test]
+    fn for_every_width_roundtrips() {
+        for width in 0u32..=63 {
+            let span: u64 = if width == 0 { 0 } else { (1u64 << (width - 1)) | 1 };
+            let vals: Vec<i64> = (0..257u64)
+                .map(|i| {
+                    let d = if span == 0 { 0 } else { (i.wrapping_mul(0x9E37_79B9)) % (span + 1) };
+                    i64::MIN / 2 + d as i64
+                })
+                .collect();
+            let mut e = Enc::new();
+            encode_int(&mut e, &vals);
+            let mut d = Dec::new(&e.buf);
+            let tag = d.u8().unwrap();
+            let back = decode_int(&mut d, vals.len(), tag).unwrap();
+            d.finish().unwrap();
+            assert_eq!(vals, back, "width {width}");
+        }
+    }
+
+    /// A corrupt width byte >= 64 must be rejected, not shifted with.
+    #[test]
+    fn for_decode_rejects_width_64_and_up() {
+        for width in [64u8, 65, 255] {
+            let mut e = Enc::new();
+            e.i64(0); // base
+            e.u8(width);
+            e.u8(0); // would-be packed bits
+            let mut d = Dec::new(&e.buf);
+            assert!(decode_int(&mut d, 1, ENC_INT_FOR).is_err(), "width {width}");
+        }
     }
 
     #[test]

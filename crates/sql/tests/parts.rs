@@ -470,3 +470,26 @@ fn prune_then_recover_from_older_generation() {
         .expect("older retained generation must recover after prune");
     assert_eq!(rec.state_digest(), digest, "fallback generation lost part data");
 }
+
+/// Wide frame-of-reference columns (deltas needing ~61-63 bits) must
+/// round-trip through the part codec bit-exactly. Regression for the FOR
+/// bit-packer's u64 accumulator dropping high bits once width + residual
+/// bits exceeded 64 (folded in from the since-removed tmp_for_width.rs).
+#[test]
+fn wide_for_roundtrip() {
+    use flock_sql::batch::RecordBatch;
+    use flock_sql::column::ColumnVector;
+    use flock_sql::parts::{decode_part, encode_part};
+    use flock_sql::schema::Schema;
+    use flock_sql::types::DataType;
+
+    // distinct values spanning ~2^61 so FOR with width 61-63 is chosen
+    let vals: Vec<i64> = (0..1000i64).map(|i| i * 3_000_000_000_000_000).collect();
+    let schema = Arc::new(Schema::from_pairs(&[("k", DataType::Int)]));
+    let b = RecordBatch::new(schema, vec![ColumnVector::from_i64(vals.clone())]).unwrap();
+    let (file, _) = encode_part(1, 0, &b);
+    let p = decode_part(&file, None).unwrap();
+    for (i, v) in vals.iter().enumerate() {
+        assert_eq!(p.batch.column(0).get(i), Value::Int(*v), "row {i}");
+    }
+}
