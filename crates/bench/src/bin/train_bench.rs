@@ -1,0 +1,176 @@
+//! In-database training bench: run governed `CREATE MODEL ... AS SELECT`
+//! statements over a generated customer table, measure training
+//! throughput per model kind, and verify the governance properties the
+//! statement promises. Writes `results/BENCH_training.json`.
+//!
+//! Gates (process exits non-zero on violation):
+//!
+//! * **holdout quality** — the recorded `eval_auc` of the gbt and
+//!   logistic models must clear 0.80 on this separable dataset, and the
+//!   metrics must really come from a held-out split (`train_rows` +
+//!   `eval_rows` == kept rows, `eval_rows` > 0);
+//! * **seeded determinism** — training the same statement twice in two
+//!   fresh databases yields byte-identical model payloads, and a
+//!   different seed yields a different payload;
+//! * **lineage pins** — every trained model pins the committed version
+//!   of the scanned table and records the raw training statement;
+//! * **RETRAIN** — after more data lands, `RETRAIN MODEL` produces
+//!   version 2 with a refreshed pin and an audit row.
+//!
+//! `FLOCK_TRAIN_SHORT=1` shrinks the row count for CI smoke.
+
+use flock_core::FlockDb;
+use flock_corpus::tabular::TabularDataset;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const TRAIN_SQL: &str = "CREATE MODEL churn_{kind} KIND {kind} WITH (seed = 7{extra}) \
+     TARGET label OUTPUT p_churn \
+     AS SELECT age, income, debt, tenure, city, label FROM customers";
+
+fn train_sql(kind: &str, extra: &str) -> String {
+    TRAIN_SQL.replace("{kind}", kind).replace("{extra}", extra)
+}
+
+fn fresh_db(rows: usize) -> FlockDb {
+    let db = FlockDb::new();
+    TabularDataset::generate(rows, 11)
+        .load_into(db.database())
+        .expect("load corpus");
+    db
+}
+
+fn main() {
+    let short = std::env::var("FLOCK_TRAIN_SHORT").is_ok_and(|v| v == "1");
+    let rows: usize = if short { 2_000 } else { 10_000 };
+
+    let db = fresh_db(rows);
+
+    // ------------------------------------------------ per-kind training
+    let kinds: [(&str, &str); 3] = [
+        ("logistic", ""),
+        ("tree", ""),
+        ("gbt", ", trees = 10, max_depth = 4"),
+    ];
+    let mut timings = Vec::new();
+    for (kind, extra) in kinds {
+        let sql = train_sql(kind, extra);
+        let start = Instant::now();
+        db.execute(&sql).expect("CREATE MODEL");
+        let elapsed = start.elapsed().as_secs_f64();
+        let md = db
+            .model_metadata(&format!("churn_{kind}"))
+            .expect("metadata");
+        let m = &md.lineage.metrics;
+        let train_rows = m["train_rows"];
+        let eval_rows = m["eval_rows"];
+        let auc = m.get("eval_auc").copied();
+        let acc = m.get("eval_accuracy").copied();
+        assert!(eval_rows > 0.0, "{kind}: no held-out rows");
+        assert_eq!(
+            (train_rows + eval_rows) as usize,
+            rows,
+            "{kind}: split does not cover the table"
+        );
+        assert_eq!(
+            md.lineage.training_tables,
+            vec![("customers".to_string(), 2)],
+            "{kind}: lineage must pin the scanned table version"
+        );
+        assert!(
+            md.lineage.training_query.as_deref().unwrap_or("").starts_with("CREATE MODEL"),
+            "{kind}: raw statement must be recorded for RETRAIN"
+        );
+        eprintln!(
+            "{kind:>8}: {rows} rows in {elapsed:.2} s ({:.0} rows/s), \
+             eval_auc {:?}, eval_accuracy {:?}",
+            rows as f64 / elapsed,
+            auc,
+            acc
+        );
+        timings.push((kind, elapsed, auc, acc, train_rows, eval_rows));
+    }
+
+    // ------------------------------------------------ holdout-quality gate
+    for (kind, _, auc, _, _, _) in &timings {
+        if matches!(*kind, "logistic" | "gbt") {
+            let auc = auc.expect("classification records auc");
+            assert!(auc >= 0.80, "{kind}: eval_auc {auc} below the 0.80 floor");
+        }
+    }
+
+    // ------------------------------------------------ determinism gate
+    let payload = |seed: u64| {
+        let db = fresh_db(if short { 500 } else { 2_000 });
+        db.execute(&format!(
+            "CREATE MODEL det KIND forest WITH (seed = {seed}, trees = 5) \
+             TARGET label AS SELECT age, income, debt, city, label FROM customers"
+        ))
+        .expect("CREATE MODEL det");
+        db.session("admin").export_model("det").expect("export").payload
+    };
+    let deterministic = payload(3) == payload(3) && payload(3) != payload(4);
+    assert!(deterministic, "seeded training must be bit-deterministic");
+    eprintln!("determinism: same seed byte-identical, different seed diverges");
+
+    // ------------------------------------------------ retrain gate
+    db.execute(
+        "INSERT INTO customers VALUES \
+         (30.0, 200.0, 5.0, 10.0, 0.0, 0.0, 'nyc', 'renewal resolved', 1), \
+         (55.0, 15.0, 110.0, 1.0, 0.0, 0.0, 'mia', 'billing issue', 0)",
+    )
+    .expect("more data");
+    let start = Instant::now();
+    db.execute("RETRAIN MODEL churn_gbt").expect("RETRAIN");
+    let retrain_s = start.elapsed().as_secs_f64();
+    let md = db.model_metadata("churn_gbt").expect("metadata");
+    assert_eq!(
+        db.registry().get("churn_gbt").map(|m| m.version),
+        Some(2),
+        "retrain must deploy version 2"
+    );
+    assert_eq!(
+        md.lineage.training_tables,
+        vec![("customers".to_string(), 3)],
+        "retrain must refresh the lineage pin"
+    );
+    let audit = db.database().audit_log();
+    assert!(
+        audit
+            .iter()
+            .any(|r| r.action == "MODEL RETRAIN" && r.object == "churn_gbt"),
+        "retrain must leave an audit row"
+    );
+    eprintln!("retrain: v2 in {retrain_s:.2} s with refreshed pin + audit row");
+
+    // ------------------------------------------------ results JSON
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"train_bench\",");
+    let _ = writeln!(out, "  \"short\": {short},");
+    let _ = writeln!(out, "  \"rows\": {rows},");
+    for (kind, elapsed, auc, acc, train_rows, eval_rows) in &timings {
+        let _ = writeln!(out, "  \"{kind}_train_s\": {elapsed:.3},");
+        let _ = writeln!(
+            out,
+            "  \"{kind}_rows_per_sec\": {:.0},",
+            rows as f64 / elapsed
+        );
+        if let Some(auc) = auc {
+            let _ = writeln!(out, "  \"{kind}_eval_auc\": {auc:.4},");
+        }
+        if let Some(acc) = acc {
+            let _ = writeln!(out, "  \"{kind}_eval_accuracy\": {acc:.4},");
+        }
+        let _ = writeln!(out, "  \"{kind}_train_rows\": {train_rows},");
+        let _ = writeln!(out, "  \"{kind}_eval_rows\": {eval_rows},");
+    }
+    let _ = writeln!(out, "  \"seeded_determinism\": {deterministic},");
+    let _ = writeln!(out, "  \"retrain_s\": {retrain_s:.3},");
+    let _ = writeln!(out, "  \"retrain_version\": 2");
+    out.push_str("}\n");
+
+    std::fs::create_dir_all("results").unwrap();
+    std::fs::write("results/BENCH_training.json", &out).unwrap();
+    eprintln!("wrote results/BENCH_training.json");
+    print!("{out}");
+}

@@ -11,6 +11,7 @@ use flock_ml::{
 };
 use flock_sql::engine::QueryResult;
 use flock_sql::lexer::{tokenize, Token};
+use flock_sql::trainer::{ModelTrainer, TrainSpec, TrainedArtifact};
 use flock_sql::{Database, DataType, RecordBatch, Result, Schema, Session, SqlError, Value};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -145,6 +146,20 @@ impl FlockDb {
         let registry = Arc::new(ModelRegistry::new());
         let provider = Arc::new(FlockInferenceProvider::new(registry.clone()));
         db.set_inference_provider(provider.clone());
+        // `CREATE MODEL ... AS SELECT` / `RETRAIN MODEL` fit through here.
+        db.set_model_trainer(Arc::new(FlockTrainer));
+        // Keep the scoring registry in step with every committed model
+        // write, including commits made off-session (policy-triggered
+        // RETRAIN runs on the engine's scheduler thread). Weak: the hook
+        // must not keep a dropped FlockDb's registry alive.
+        let weak_registry = Arc::downgrade(&registry);
+        db.add_commit_hook(Arc::new(move |catalog, keys| {
+            if keys.iter().any(|k| k.starts_with("ext:model:")) {
+                if let Some(registry) = weak_registry.upgrade() {
+                    sync_registry_from(catalog, &registry);
+                }
+            }
+        }));
         let xopt = Arc::new(CrossOptimizer::new(registry.clone(), config));
         db.add_plan_rewriter(xopt.clone());
         // The config's thread pool and fan-out threshold also govern the
@@ -215,49 +230,7 @@ impl FlockDb {
     /// Reconcile the scoring registry with the committed catalog. Called
     /// after every statement; cheap when nothing changed.
     pub fn sync_registry(&self) {
-        let catalog = self.db.catalog();
-        let mut live: Vec<String> = Vec::new();
-        for obj in catalog.extensions_of_kind(MODEL_KIND) {
-            live.push(obj.name.clone());
-            let current = obj.current();
-            let stale = self
-                .registry
-                .get(&obj.name)
-                .is_none_or(|m| m.version != current.version);
-            if !stale {
-                continue;
-            }
-            let Ok(pipeline) = fonnx::from_bytes(&current.payload) else {
-                continue; // undecodable payloads stay unscorable
-            };
-            let metadata = ModelMetadata::from_json(&current.metadata).unwrap_or_else(|| {
-                ModelMetadata {
-                    name: obj.name.clone(),
-                    inputs: pipeline
-                        .columns
-                        .iter()
-                        .map(|c| (c.input.clone(), c.encoder.takes_strings()))
-                        .collect(),
-                    output: pipeline.output.clone(),
-                    kind: pipeline.model.kind_name().to_string(),
-                    complexity: pipeline.complexity(),
-                    lineage: Lineage::default(),
-                }
-            });
-            self.registry.insert(
-                &obj.name,
-                RegisteredModel {
-                    pipeline: Arc::new(pipeline),
-                    metadata: Arc::new(metadata),
-                    version: current.version,
-                },
-            );
-        }
-        for name in self.registry.names() {
-            if !live.contains(&name) {
-                self.registry.remove(&name);
-            }
-        }
+        sync_registry_from(&self.db.catalog(), &self.registry);
     }
 
     /// Fetch the metadata of a deployed model.
@@ -269,9 +242,10 @@ impl FlockDb {
     }
 }
 
-/// A session against a Flock database: plain SQL plus the model DDL
-/// (`CREATE MODEL`, `DROP MODEL`, `SHOW MODELS`) and Rust-level
-/// deployment APIs.
+/// A session against a Flock database: plain SQL — which includes the
+/// engine-level model DDL (`CREATE MODEL ... AS SELECT`, `RETRAIN
+/// MODEL`, `DROP MODEL`) — plus the catalog reports (`SHOW MODELS`,
+/// `DESCRIBE MODEL`) and Rust-level deployment APIs.
 pub struct FlockSession {
     inner: Session,
     flock: FlockDb,
@@ -304,15 +278,12 @@ impl FlockSession {
         self.inner.last_query_metrics()
     }
 
-    /// Execute one statement (SQL or Flock model DDL).
+    /// Execute one statement (SQL — model DDL included — or a Flock
+    /// catalog report).
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
         let trimmed = sql.trim().trim_end_matches(';');
         let upper = trimmed.to_ascii_uppercase();
-        let result = if upper.starts_with("CREATE MODEL") {
-            self.create_model(trimmed)
-        } else if upper.starts_with("DROP MODEL") {
-            self.drop_model(trimmed)
-        } else if upper.starts_with("SHOW MODELS") {
+        let result = if upper.starts_with("SHOW MODELS") {
             self.show_models()
         } else if upper.starts_with("DESCRIBE MODEL") || upper.starts_with("DESC MODEL") {
             self.describe_model(trimmed)
@@ -611,76 +582,7 @@ impl FlockSession {
         r
     }
 
-    // ------------------------------------------------------ model DDL
-
-    /// `CREATE MODEL name KIND kind FROM table TARGET col
-    ///  [FEATURES c1, c2, ...] [OUTPUT out_name]`
-    ///
-    /// Trains in-engine on the *current committed version* of the table
-    /// and records full lineage (table, version, statement, user,
-    /// metrics) — the "model is software derived from data" record.
-    fn create_model(&mut self, sql: &str) -> Result<QueryResult> {
-        let spec = parse_create_model(sql)?;
-        // Read training data through the engine: privilege-checked and
-        // query-logged like any other read.
-        let feature_list = if spec.features.is_empty() {
-            "*".to_string()
-        } else {
-            let mut cols = spec.features.clone();
-            cols.push(spec.target.clone());
-            cols.join(", ")
-        };
-        let data = self
-            .inner
-            .query(&format!("SELECT {feature_list} FROM {}", spec.table))?;
-        let table_version = self
-            .flock
-            .db
-            .catalog()
-            .table(&spec.table)?
-            .current_version();
-
-        let (pipeline, metrics) = train_pipeline(&data, &spec)?;
-        let lineage = Lineage {
-            training_table: Some(spec.table.to_ascii_lowercase()),
-            training_table_version: Some(table_version),
-            training_query: Some(sql.to_string()),
-            trained_by: self.user().to_string(),
-            created_ms: std::time::SystemTime::now()
-                .duration_since(std::time::UNIX_EPOCH)
-                .map(|d| d.as_millis() as u64)
-                .unwrap_or(0),
-            metrics,
-        };
-        self.deploy_model(&spec.name, &pipeline, lineage)?;
-        Ok(QueryResult {
-            batch: None,
-            rows_affected: 0,
-            message: format!(
-                "model '{}' trained on {} row(s) of '{}' v{} and deployed",
-                spec.name,
-                data.num_rows(),
-                spec.table,
-                table_version
-            ),
-        })
-    }
-
-    fn drop_model(&mut self, sql: &str) -> Result<QueryResult> {
-        let tokens = tokenize(sql)?;
-        // DROP MODEL <name>
-        let name = match tokens.get(2) {
-            Some(Token::Ident(s)) | Some(Token::QuotedIdent(s)) => s.clone(),
-            _ => return Err(SqlError::Parse("expected DROP MODEL <name>".into())),
-        };
-        self.inner.drop_extension_object(MODEL_KIND, &name)?;
-        self.flock.sync_registry();
-        Ok(QueryResult {
-            batch: None,
-            rows_affected: 0,
-            message: format!("model '{name}' dropped"),
-        })
-    }
+    // ------------------------------------------------ catalog reports
 
     /// `DESCRIBE MODEL <name>` — the governance card for one model: every
     /// version with its kind, complexity, trainer, training snapshot and
@@ -812,6 +714,55 @@ impl FlockSession {
     }
 }
 
+/// Reconcile a scoring registry with a committed catalog snapshot: load
+/// new/updated model versions, drop models that no longer exist. Shared
+/// by the per-statement [`FlockDb::sync_registry`] path and the engine
+/// commit hook (which fires for commits made off-session, e.g.
+/// policy-triggered retrains on the scheduler thread).
+pub(crate) fn sync_registry_from(catalog: &flock_sql::Catalog, registry: &ModelRegistry) {
+    let mut live: Vec<String> = Vec::new();
+    for obj in catalog.extensions_of_kind(MODEL_KIND) {
+        live.push(obj.name.clone());
+        let current = obj.current();
+        let stale = registry
+            .get(&obj.name)
+            .is_none_or(|m| m.version != current.version);
+        if !stale {
+            continue;
+        }
+        let Ok(pipeline) = fonnx::from_bytes(&current.payload) else {
+            continue; // undecodable payloads stay unscorable
+        };
+        let metadata = ModelMetadata::from_json(&current.metadata).unwrap_or_else(|| {
+            ModelMetadata {
+                name: obj.name.clone(),
+                inputs: pipeline
+                    .columns
+                    .iter()
+                    .map(|c| (c.input.clone(), c.encoder.takes_strings()))
+                    .collect(),
+                output: pipeline.output.clone(),
+                kind: pipeline.model.kind_name().to_string(),
+                complexity: pipeline.complexity(),
+                lineage: Lineage::default(),
+            }
+        });
+        registry.insert(
+            &obj.name,
+            RegisteredModel {
+                pipeline: Arc::new(pipeline),
+                metadata: Arc::new(metadata),
+                version: current.version,
+            },
+        );
+    }
+    for name in registry.names() {
+        if !live.contains(&name) {
+            registry.remove(&name);
+        }
+    }
+}
+
 fn metadata_for(name: &str, pipeline: &Pipeline, lineage: Lineage) -> ModelMetadata {
     ModelMetadata {
         name: name.to_ascii_lowercase(),
@@ -827,210 +778,351 @@ fn metadata_for(name: &str, pipeline: &Pipeline, lineage: Lineage) -> ModelMetad
     }
 }
 
-struct CreateModelSpec {
-    name: String,
-    kind: String,
-    table: String,
-    target: String,
-    features: Vec<String>,
-    output: String,
+// --------------------------------------------------- in-engine training
+
+/// Categorical NULLs get their own one-hot bucket. The sentinel starts
+/// with NUL so no real string value can collide with it (SQL text can
+/// never contain a NUL byte by the time it reaches a column).
+const NULL_CATEGORY: &str = "\u{0}<NULL>";
+
+/// Pick at most `cap` categories for a one-hot column: the most frequent
+/// values win, ties break by name, and the final list is re-sorted by
+/// name so encoders are deterministic regardless of row order.
+fn select_categories(values: &[String], cap: usize) -> Vec<String> {
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for v in values {
+        *counts.entry(v.as_str()).or_insert(0) += 1;
+    }
+    let mut by_freq: Vec<(&str, usize)> = counts.into_iter().collect();
+    by_freq.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+    by_freq.truncate(cap);
+    let mut cats: Vec<String> = by_freq.into_iter().map(|(v, _)| v.to_string()).collect();
+    cats.sort();
+    cats
 }
 
-fn parse_create_model(sql: &str) -> Result<CreateModelSpec> {
-    let tokens = tokenize(sql)?;
-    let mut pos = 0usize;
-    let expect_kw = |kw: &str, pos: &mut usize| -> Result<()> {
-        match tokens.get(*pos) {
-            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => {
-                *pos += 1;
-                Ok(())
-            }
-            other => Err(SqlError::Parse(format!(
-                "expected {kw} in CREATE MODEL, found {other:?}"
-            ))),
-        }
-    };
-    let ident = |pos: &mut usize| -> Result<String> {
-        match tokens.get(*pos) {
-            Some(Token::Ident(s)) | Some(Token::QuotedIdent(s)) => {
-                *pos += 1;
-                Ok(s.clone())
-            }
-            other => Err(SqlError::Parse(format!(
-                "expected identifier, found {other:?}"
-            ))),
-        }
-    };
-    expect_kw("CREATE", &mut pos)?;
-    expect_kw("MODEL", &mut pos)?;
-    let name = ident(&mut pos)?;
-    expect_kw("KIND", &mut pos)?;
-    let kind = ident(&mut pos)?.to_ascii_lowercase();
-    expect_kw("FROM", &mut pos)?;
-    let table = ident(&mut pos)?;
-    expect_kw("TARGET", &mut pos)?;
-    let target = ident(&mut pos)?;
-    let mut features = Vec::new();
-    let mut output = format!("{}_score", name.to_ascii_lowercase());
-    while let Some(Token::Ident(kw)) = tokens.get(pos) {
-        if kw.eq_ignore_ascii_case("FEATURES") {
-            pos += 1;
-            features.push(ident(&mut pos)?);
-            while tokens.get(pos) == Some(&Token::Comma) {
-                pos += 1;
-                features.push(ident(&mut pos)?);
-            }
-        } else if kw.eq_ignore_ascii_case("OUTPUT") {
-            pos += 1;
-            output = ident(&mut pos)?;
-        } else {
-            return Err(SqlError::Parse(format!(
-                "unexpected '{kw}' in CREATE MODEL"
-            )));
-        }
+fn opt_usize(key: &str, value: &Value) -> Result<usize> {
+    match value {
+        Value::Int(i) if *i > 0 => Ok(*i as usize),
+        other => Err(SqlError::Plan(format!(
+            "CREATE MODEL option '{key}' expects a positive integer, got {other}"
+        ))),
     }
-    match tokens.get(pos) {
-        Some(Token::Eof) | Some(Token::Semicolon) | None => {}
-        other => {
-            return Err(SqlError::Parse(format!(
-                "trailing input in CREATE MODEL: {other:?}"
-            )))
-        }
+}
+
+fn opt_u64(key: &str, value: &Value) -> Result<u64> {
+    match value {
+        Value::Int(i) if *i >= 0 => Ok(*i as u64),
+        other => Err(SqlError::Plan(format!(
+            "CREATE MODEL option '{key}' expects a non-negative integer, got {other}"
+        ))),
     }
-    Ok(CreateModelSpec {
-        name,
-        kind,
-        table,
-        target,
-        features,
-        output,
+}
+
+fn opt_f64(key: &str, value: &Value) -> Result<f64> {
+    value.as_f64().ok_or_else(|| {
+        SqlError::Plan(format!(
+            "CREATE MODEL option '{key}' expects a number, got {value}"
+        ))
     })
 }
 
-/// Auto-featurize a training batch and fit the requested model kind.
-fn train_pipeline(
-    data: &RecordBatch,
-    spec: &CreateModelSpec,
-) -> Result<(Pipeline, BTreeMap<String, f64>)> {
-    let schema = data.schema();
-    let target_idx = schema
-        .index_of(&spec.target)
-        .ok_or_else(|| SqlError::Plan(format!("unknown target column '{}'", spec.target)))?;
-
-    // Feature columns: declared list, or everything except the target.
-    let feature_indices: Vec<usize> = if spec.features.is_empty() {
-        (0..schema.len()).filter(|&i| i != target_idx).collect()
-    } else {
-        spec.features
-            .iter()
-            .map(|f| {
-                schema
-                    .index_of(f)
-                    .ok_or_else(|| SqlError::Plan(format!("unknown feature column '{f}'")))
-            })
-            .collect::<Result<_>>()?
-    };
-    if feature_indices.is_empty() {
-        return Err(SqlError::Plan("model needs at least one feature".into()));
-    }
-
-    // Build frame + column pipelines.
-    let mut frame = Frame::new();
-    let mut columns: Vec<ColumnPipeline> = Vec::new();
-    for &i in &feature_indices {
-        let col = data.column(i);
-        let name = schema.column(i).name.clone();
-        match col.data_type() {
-            DataType::Text => {
-                let vals: Vec<String> = (0..col.len())
-                    .map(|r| {
-                        let v = col.get(r);
-                        if v.is_null() {
-                            String::new()
-                        } else {
-                            v.to_string()
-                        }
-                    })
-                    .collect();
-                let mut cats: Vec<String> = vals.clone();
-                cats.sort();
-                cats.dedup();
-                cats.truncate(64);
-                frame
-                    .push(name.clone(), FrameCol::Str(vals))
-                    .map_err(|e| SqlError::Execution(e.to_string()))?;
-                columns.push(ColumnPipeline::one_hot(name, cats));
-            }
-            _ => {
-                let vals: Vec<f64> = (0..col.len())
-                    .map(|r| col.get_f64(r).unwrap_or(f64::NAN))
-                    .collect();
-                let clean: Vec<f64> = vals.iter().copied().filter(|v| !v.is_nan()).collect();
-                let mean = if clean.is_empty() {
-                    0.0
-                } else {
-                    clean.iter().sum::<f64>() / clean.len() as f64
-                };
-                let std = if clean.is_empty() {
-                    1.0
-                } else {
-                    (clean.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-                        / clean.len() as f64)
-                        .sqrt()
-                };
-                frame
-                    .push(name.clone(), FrameCol::F64(vals))
-                    .map_err(|e| SqlError::Execution(e.to_string()))?;
-                columns.push(
-                    ColumnPipeline::numeric(name)
-                        .with_step(NumericStep::Impute { fill: mean })
-                        .with_step(NumericStep::Standardize {
-                            mean,
-                            std: if std == 0.0 { 1.0 } else { std },
-                        }),
-                );
+/// Map `CREATE MODEL ... WITH (...)` options onto fit hyperparameters
+/// plus the holdout fraction. Unknown keys are hard errors — a typoed
+/// hyperparameter must not silently train with defaults.
+fn fit_options(spec: &TrainSpec) -> Result<(train::FitParams, f64)> {
+    let mut p = train::FitParams::default();
+    let mut test_fraction = 0.2_f64;
+    for (key, value) in &spec.options {
+        match key.as_str() {
+            "trees" => p.trees = Some(opt_usize(key, value)?),
+            "max_depth" => p.max_depth = opt_usize(key, value)?,
+            "min_samples_split" => p.min_samples_split = opt_usize(key, value)?,
+            "seed" => p.seed = opt_u64(key, value)?,
+            "learning_rate" => p.learning_rate = opt_f64(key, value)?,
+            "ridge" => p.ridge = opt_f64(key, value)?,
+            "epochs" => p.epochs = opt_usize(key, value)?,
+            "lr" => p.lr = opt_f64(key, value)?,
+            "k" => p.k = opt_usize(key, value)?,
+            "test_fraction" => test_fraction = opt_f64(key, value)?,
+            other => {
+                return Err(SqlError::Plan(format!(
+                    "unknown CREATE MODEL option '{other}' (expected trees, max_depth, \
+                     min_samples_split, seed, test_fraction, learning_rate, ridge, \
+                     epochs, lr, or k)"
+                )))
             }
         }
     }
+    Ok((p, test_fraction))
+}
 
-    let target_col = data.column(target_idx);
-    let y: Vec<f64> = (0..target_col.len())
-        .map(|r| target_col.get_f64(r).unwrap_or(f64::NAN))
-        .collect();
-    // drop rows with missing target
-    let keep: Vec<usize> = (0..y.len()).filter(|&i| !y[i].is_nan()).collect();
-    if keep.is_empty() {
-        return Err(SqlError::Execution("no training rows with a target".into()));
-    }
+/// The Flock training backend for `CREATE MODEL ... AS SELECT`:
+/// auto-featurizes the materialized training batch (standardized
+/// numerics, one-hot text), carves out a seeded holdout, fits the
+/// requested kind with `flock_ml`, and records metrics measured on rows
+/// the fit never saw. Deterministic for a given spec + batch — crash
+/// recovery and `RETRAIN` rely on byte-identical refits.
+pub struct FlockTrainer;
 
-    let draft = Pipeline::new(columns.clone(), flock_ml::Model::Linear(
-        flock_ml::LinearModel::new(vec![], 0.0),
-    ), spec.output.clone());
-    let full_x = draft
-        .featurize(&frame)
-        .map_err(|e| SqlError::Execution(e.to_string()))?;
-    let x_rows: Vec<Vec<f64>> = keep.iter().map(|&i| full_x.row(i).to_vec()).collect();
-    let x = Matrix::from_rows(&x_rows);
-    let y_kept: Vec<f64> = keep.iter().map(|&i| y[i]).collect();
+impl ModelTrainer for FlockTrainer {
+    fn train(&self, spec: &TrainSpec, data: &RecordBatch) -> Result<TrainedArtifact> {
+        let (params, test_fraction) = fit_options(spec)?;
+        let schema = data.schema();
+        for i in 0..schema.len() {
+            for j in (i + 1)..schema.len() {
+                if schema.column(i).name.eq_ignore_ascii_case(&schema.column(j).name) {
+                    return Err(SqlError::Plan(format!(
+                        "training query produced duplicate column '{}'; \
+                         alias the columns to unique names",
+                        schema.column(j).name
+                    )));
+                }
+            }
+        }
+        let target_idx = (0..schema.len())
+            .find(|&i| schema.column(i).name.eq_ignore_ascii_case(&spec.target))
+            .ok_or_else(|| {
+                SqlError::Plan(format!(
+                    "unknown target column '{}' in training query result",
+                    spec.target
+                ))
+            })?;
+        let feature_indices: Vec<usize> =
+            (0..schema.len()).filter(|&i| i != target_idx).collect();
+        if feature_indices.is_empty() {
+            return Err(SqlError::Plan("model needs at least one feature".into()));
+        }
 
-    let model = train::fit_model(&spec.kind, &x, &y_kept)
-        .map_err(|e| SqlError::Execution(e.to_string()))?;
-    let pipeline = Pipeline::new(columns, model, spec.output.clone());
+        // Rows with a usable label; the rest are ignored.
+        let target_col = data.column(target_idx);
+        let y: Vec<f64> = (0..target_col.len())
+            .map(|r| target_col.get_f64(r).unwrap_or(f64::NAN))
+            .collect();
+        let keep: Vec<usize> = (0..y.len()).filter(|&i| !y[i].is_nan()).collect();
+        if keep.is_empty() {
+            return Err(SqlError::Execution("no training rows with a target".into()));
+        }
+        let y_kept: Vec<f64> = keep.iter().map(|&i| y[i]).collect();
 
-    // quality metrics on the training data
-    let pred = pipeline.model.score_batch(&x);
-    let mut metrics = BTreeMap::new();
-    let is_binary = y_kept.iter().all(|v| *v == 0.0 || *v == 1.0);
-    if is_binary {
-        metrics.insert(
-            "accuracy".to_string(),
-            flock_ml::metrics::accuracy(&pred, &y_kept, 0.5),
+        // Seeded holdout: recorded metrics come from rows the fit never
+        // saw. A split that would leave nothing to fit on falls back to
+        // fitting (and measuring) on everything.
+        let (mut train_pos, mut eval_pos) =
+            train::train_test_split(keep.len(), test_fraction, params.seed)
+                .map_err(|e| SqlError::Plan(e.to_string()))?;
+        if train_pos.is_empty() {
+            train_pos = (0..keep.len()).collect();
+            eval_pos = Vec::new();
+        }
+
+        // Featurizer statistics (means, stds, category sets) come from
+        // the training split only — the holdout must not leak into the
+        // encoders either.
+        let mut frame = Frame::new();
+        let mut columns: Vec<ColumnPipeline> = Vec::new();
+        for &i in &feature_indices {
+            let col = data.column(i);
+            let name = schema.column(i).name.clone();
+            match col.data_type() {
+                DataType::Text => {
+                    let vals: Vec<String> = keep
+                        .iter()
+                        .map(|&r| {
+                            let v = col.get(r);
+                            if v.is_null() {
+                                NULL_CATEGORY.to_string()
+                            } else {
+                                v.to_string()
+                            }
+                        })
+                        .collect();
+                    let train_vals: Vec<String> =
+                        train_pos.iter().map(|&p| vals[p].clone()).collect();
+                    let cats = select_categories(&train_vals, 64);
+                    frame
+                        .push(name.clone(), FrameCol::Str(vals))
+                        .map_err(|e| SqlError::Execution(e.to_string()))?;
+                    columns.push(ColumnPipeline::one_hot(name, cats));
+                }
+                _ => {
+                    let vals: Vec<f64> = keep
+                        .iter()
+                        .map(|&r| col.get_f64(r).unwrap_or(f64::NAN))
+                        .collect();
+                    let clean: Vec<f64> = train_pos
+                        .iter()
+                        .map(|&p| vals[p])
+                        .filter(|v| !v.is_nan())
+                        .collect();
+                    let mean = if clean.is_empty() {
+                        0.0
+                    } else {
+                        clean.iter().sum::<f64>() / clean.len() as f64
+                    };
+                    let std = if clean.is_empty() {
+                        1.0
+                    } else {
+                        (clean.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                            / clean.len() as f64)
+                            .sqrt()
+                    };
+                    frame
+                        .push(name.clone(), FrameCol::F64(vals))
+                        .map_err(|e| SqlError::Execution(e.to_string()))?;
+                    columns.push(
+                        ColumnPipeline::numeric(name)
+                            .with_step(NumericStep::Impute { fill: mean })
+                            .with_step(NumericStep::Standardize {
+                                mean,
+                                std: if std == 0.0 { 1.0 } else { std },
+                            }),
+                    );
+                }
+            }
+        }
+
+        let draft = Pipeline::new(
+            columns.clone(),
+            flock_ml::Model::Linear(flock_ml::LinearModel::new(vec![], 0.0)),
+            spec.output.clone(),
         );
-        metrics.insert("auc".to_string(), flock_ml::metrics::auc(&pred, &y_kept));
-    } else {
-        metrics.insert("rmse".to_string(), flock_ml::metrics::rmse(&pred, &y_kept));
-        metrics.insert("r2".to_string(), flock_ml::metrics::r2(&pred, &y_kept));
+        let full_x = draft
+            .featurize(&frame)
+            .map_err(|e| SqlError::Execution(e.to_string()))?;
+        let slice = |pos: &[usize]| -> Matrix {
+            let rows: Vec<Vec<f64>> = pos.iter().map(|&p| full_x.row(p).to_vec()).collect();
+            Matrix::from_rows(&rows)
+        };
+        let x_train = slice(&train_pos);
+        let y_train: Vec<f64> = train_pos.iter().map(|&p| y_kept[p]).collect();
+        let model = train::fit_model_with(&spec.kind, &x_train, &y_train, &params)
+            .map_err(|e| SqlError::Execution(e.to_string()))?;
+        let pipeline = Pipeline::new(columns, model, spec.output.clone());
+
+        // Honest metrics: measured on the holdout when there is one.
+        let (m_pos, held_out) = if eval_pos.is_empty() {
+            (&train_pos, false)
+        } else {
+            (&eval_pos, true)
+        };
+        let pred = pipeline.model.score_batch(&slice(m_pos));
+        let y_m: Vec<f64> = m_pos.iter().map(|&p| y_kept[p]).collect();
+        let is_binary = y_kept.iter().all(|v| *v == 0.0 || *v == 1.0);
+        let mut metrics = BTreeMap::new();
+        let scored: [(&str, f64); 2] = if is_binary {
+            [
+                ("accuracy", flock_ml::metrics::accuracy(&pred, &y_m, 0.5)),
+                ("auc", flock_ml::metrics::auc(&pred, &y_m)),
+            ]
+        } else {
+            [
+                ("rmse", flock_ml::metrics::rmse(&pred, &y_m)),
+                ("r2", flock_ml::metrics::r2(&pred, &y_m)),
+            ]
+        };
+        for (k, v) in scored {
+            metrics.insert(k.to_string(), v);
+            if held_out {
+                metrics.insert(format!("eval_{k}"), v);
+            }
+        }
+        metrics.insert("train_rows".into(), train_pos.len() as f64);
+        metrics.insert("eval_rows".into(), eval_pos.len() as f64);
+
+        // Placeholder lineage: the engine stamps the training query,
+        // pinned table versions, user and timestamp over it.
+        let lineage = Lineage {
+            metrics,
+            ..Lineage::default()
+        };
+        let metadata = metadata_for(&spec.name, &pipeline, lineage).to_json();
+        let payload =
+            fonnx::to_bytes(&pipeline).map_err(|e| SqlError::Execution(e.to_string()))?;
+        Ok(TrainedArtifact {
+            payload,
+            metadata,
+            train_rows: train_pos.len(),
+            eval_rows: eval_pos.len(),
+        })
     }
-    metrics.insert("training_rows".to_string(), y_kept.len() as f64);
-    Ok((pipeline, metrics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_keep_most_frequent_deterministically() {
+        let mut vals: Vec<String> = Vec::new();
+        for i in 0..100 {
+            vals.push(format!("rare{i:03}"));
+        }
+        for _ in 0..50 {
+            vals.push("common_a".to_string());
+            vals.push("common_b".to_string());
+        }
+        let cats = select_categories(&vals, 64);
+        assert_eq!(cats.len(), 64);
+        assert!(cats.contains(&"common_a".to_string()));
+        assert!(cats.contains(&"common_b".to_string()));
+        // ties (every rare value appears once) break by name: the
+        // lexicographically smallest rare values fill the remaining slots
+        assert!(cats.contains(&"rare000".to_string()));
+        assert!(cats.contains(&"rare061".to_string()));
+        assert!(!cats.contains(&"rare062".to_string()));
+        let mut sorted = cats.clone();
+        sorted.sort();
+        assert_eq!(cats, sorted, "category list must be name-sorted");
+    }
+
+    #[test]
+    fn null_sentinel_cannot_collide_with_real_strings() {
+        assert!(NULL_CATEGORY.starts_with('\u{0}'));
+        assert_ne!(NULL_CATEGORY, "");
+        let cats = select_categories(
+            &[String::new(), NULL_CATEGORY.to_string()],
+            64,
+        );
+        assert_eq!(cats.len(), 2, "empty string and NULL are distinct categories");
+    }
+
+    #[test]
+    fn unknown_with_option_is_rejected() {
+        let spec = TrainSpec {
+            name: "m".into(),
+            kind: "gbt".into(),
+            options: vec![("tres".into(), Value::Int(10))],
+            target: "y".into(),
+            output: "o".into(),
+        };
+        let err = fit_options(&spec).unwrap_err();
+        assert!(
+            err.to_string().contains("unknown CREATE MODEL option 'tres'"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn with_options_map_onto_fit_params() {
+        let spec = TrainSpec {
+            name: "m".into(),
+            kind: "gbt".into(),
+            options: vec![
+                ("trees".into(), Value::Int(7)),
+                ("seed".into(), Value::Int(9)),
+                ("test_fraction".into(), Value::Float(0.5)),
+                ("learning_rate".into(), Value::Float(0.1)),
+            ],
+            target: "y".into(),
+            output: "o".into(),
+        };
+        let (p, frac) = fit_options(&spec).unwrap();
+        assert_eq!(p.trees, Some(7));
+        assert_eq!(p.seed, 9);
+        assert_eq!(p.learning_rate, 0.1);
+        assert_eq!(frac, 0.5);
+        // unset options keep their defaults
+        assert_eq!(p.max_depth, train::FitParams::default().max_depth);
+    }
 }

@@ -15,6 +15,10 @@ pub struct Lineage {
     pub training_table: Option<String>,
     /// Exact version of that table at training time.
     pub training_table_version: Option<u64>,
+    /// Every table the training query scanned, with the exact committed
+    /// version pinned at training time. The first entry mirrors
+    /// `training_table`/`training_table_version`; joins add more.
+    pub training_tables: Vec<(String, u64)>,
     /// The statement or description that produced the model.
     pub training_query: Option<String>,
     /// User who trained/deployed the model.
@@ -60,6 +64,16 @@ impl ModelMetadata {
                 Some(v) => Value::from(v),
                 None => Value::Null,
             },
+        );
+        lineage.insert(
+            "training_tables".to_string(),
+            Value::Array(
+                self.lineage
+                    .training_tables
+                    .iter()
+                    .map(|(t, v)| Value::Array(vec![Value::from(t.as_str()), Value::from(*v)]))
+                    .collect(),
+            ),
         );
         lineage.insert(
             "training_query".to_string(),
@@ -132,6 +146,22 @@ impl ModelMetadata {
                 Some(Value::Null) => None,
                 Some(n) => Some(n.as_u64()?),
             },
+            // Optional for back-compat: models deployed before multi-table
+            // lineage only carry the single training_table pin.
+            training_tables: match l.get("training_tables") {
+                None | Some(Value::Null) => Vec::new(),
+                Some(arr) => arr
+                    .as_array()?
+                    .iter()
+                    .map(|pair| {
+                        let a = pair.as_array()?;
+                        match a.as_slice() {
+                            [t, v] => Some((t.as_str()?.to_string(), v.as_u64()?)),
+                            _ => None,
+                        }
+                    })
+                    .collect::<Option<Vec<_>>>()?,
+            },
             training_query: opt_str(l.get("training_query"))?,
             trained_by: l.get("trained_by")?.as_str()?.to_string(),
             created_ms: l.get("created_ms")?.as_u64()?,
@@ -168,6 +198,7 @@ mod tests {
             lineage: Lineage {
                 training_table: Some("customers".into()),
                 training_table_version: Some(7),
+                training_tables: vec![("customers".into(), 7), ("regions".into(), 3)],
                 training_query: Some("CREATE MODEL churn ...".into()),
                 trained_by: "alice".into(),
                 created_ms: 123,

@@ -196,6 +196,111 @@ fn open_on_disk_roundtrip() {
 }
 
 #[test]
+fn train_commit_kill_matrix_recovers_bit_identical_models() {
+    use flock_sql::FailpointFs;
+
+    // A workload whose interesting commits are model *training*
+    // transactions: CREATE MODEL ... AS SELECT, then more data, then a
+    // RETRAIN. Training is seeded, so the committed payload bytes are a
+    // pure function of the data + statement — which is what lets a
+    // reference run define "bit-identical" across crash recoveries.
+    const STEPS: usize = 5;
+    fn apply_step(db: &FlockDb, i: usize) -> flock_sql::Result<()> {
+        match i {
+            0 => db
+                .execute("CREATE TABLE obs (x DOUBLE, z DOUBLE, y INT)")
+                .map(|_| ()),
+            1 => {
+                let rows: Vec<String> = (0..20)
+                    .map(|j| {
+                        format!("({j}.0, {}.0, {})", (j * 3) % 7, i32::from(j > 9))
+                    })
+                    .collect();
+                db.execute(&format!("INSERT INTO obs VALUES {}", rows.join(", ")))
+                    .map(|_| ())
+            }
+            2 => db
+                .execute(
+                    "CREATE MODEL m KIND gbt WITH (seed = 7, trees = 5) \
+                     TARGET y AS SELECT x, z, y FROM obs",
+                )
+                .map(|_| ()),
+            3 => db
+                .execute("INSERT INTO obs VALUES (20.0, 1.0, 1), (21.0, 2.0, 1)")
+                .map(|_| ()),
+            4 => db.execute("RETRAIN MODEL m").map(|_| ()),
+            _ => unreachable!("workload has {STEPS} steps"),
+        }
+    }
+
+    // Reference run: the payload bytes of each committed model version.
+    let reference: std::collections::BTreeMap<u64, Vec<u8>> = {
+        let db = FlockDb::open_with_fs(MemFs::new(), opts()).unwrap();
+        for i in 0..STEPS {
+            apply_step(&db, i).unwrap();
+        }
+        let catalog = db.database().catalog();
+        let obj = catalog.extension("model", "m").unwrap();
+        obj.versions
+            .iter()
+            .map(|v| (v.version, v.payload.clone()))
+            .collect()
+    };
+    assert_eq!(reference.len(), 2, "create + retrain leave two versions");
+    assert_ne!(
+        reference[&1], reference[&2],
+        "retraining on changed data must change the artifact"
+    );
+
+    // Count durable-fs mutations, then kill at every boundary.
+    let total_ops = {
+        let fp = FailpointFs::new(MemFs::new(), u64::MAX);
+        let db = FlockDb::open_with_fs(fp.clone(), opts()).unwrap();
+        for i in 0..STEPS {
+            apply_step(&db, i).unwrap();
+        }
+        fp.ops_attempted()
+    };
+    assert!(total_ops > 5, "workload too small to exercise kill points");
+
+    for k in 0..=total_ops {
+        let mem = MemFs::new();
+        let fp = FailpointFs::new(mem.clone(), k);
+        let db = FlockDb::open_with_fs(fp.clone(), opts())
+            .unwrap_or_else(|e| panic!("open failed at kill point {k}: {e}"));
+        for i in 0..STEPS {
+            if let Err(e) = apply_step(&db, i) {
+                assert!(
+                    fp.killed(),
+                    "kill point {k} step {i}: failed before the kill: {e}"
+                );
+            }
+        }
+        drop(db);
+
+        let rec = FlockDb::open_with_fs(mem.crash_image(), opts())
+            .unwrap_or_else(|e| panic!("recovery failed at kill point {k}: {e}"));
+        let catalog = rec.database().catalog();
+        if let Ok(obj) = catalog.extension("model", "m") {
+            for v in &obj.versions {
+                assert_eq!(
+                    reference.get(&v.version),
+                    Some(&v.payload),
+                    "kill point {k}: recovered v{} payload is not bit-identical \
+                     to the reference training run",
+                    v.version
+                );
+            }
+            // every recovered version is scorable through the registry
+            assert!(
+                rec.registry().get("m").is_some(),
+                "kill point {k}: recovered model must rebuild into the registry"
+            );
+        }
+    }
+}
+
+#[test]
 fn crash_image_loses_nothing_under_fsync_even_mid_workload() {
     // Arc<MemFs> is the "disk"; the live db keeps writing while we take
     // crash images — each image must recover to the digest the engine had

@@ -333,14 +333,27 @@ pub fn fit_knn(x: &Matrix, y: &[f64], k: usize) -> Result<KnnModel> {
 }
 
 /// Shuffle and split rows into (train, test) index sets.
-pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+///
+/// `test_fraction` must be a finite value in `[0, 1]`; a NaN used to
+/// slip through `clamp` and silently produce an *empty* test set, which
+/// upstream callers then mistook for "evaluated on held-out data".
+pub fn train_test_split(
+    n: usize,
+    test_fraction: f64,
+    seed: u64,
+) -> Result<(Vec<usize>, Vec<usize>)> {
+    if !test_fraction.is_finite() || !(0.0..=1.0).contains(&test_fraction) {
+        return Err(MlError::Train(format!(
+            "test_fraction must be a finite value in [0, 1], got {test_fraction}"
+        )));
+    }
     let mut idx: Vec<usize> = (0..n).collect();
     let mut rng = StdRng::seed_from_u64(seed);
     idx.shuffle(&mut rng);
-    let n_test = ((n as f64) * test_fraction.clamp(0.0, 1.0)).round() as usize;
+    let n_test = ((n as f64) * test_fraction).round() as usize;
     let test = idx[..n_test].to_vec();
     let train = idx[n_test..].to_vec();
-    (train, test)
+    Ok((train, test))
 }
 
 /// Per-fold result of cross-validation.
@@ -363,6 +376,27 @@ pub fn cross_validate(
     seed: u64,
 ) -> Result<Vec<FoldResult>> {
     let n = x.rows();
+    if n == 0 || y.is_empty() {
+        return Err(MlError::Train(
+            "cannot cross-validate empty training data".into(),
+        ));
+    }
+    if y.len() != n {
+        return Err(MlError::Train(format!(
+            "target length {} does not match {n} rows",
+            y.len()
+        )));
+    }
+    // A constant target would make *every* scorer degenerate (AUC has no
+    // positive/negative split to rank, R² has zero variance to explain) —
+    // and worse, a constant 0 or 1 target used to pass the "binary" test
+    // below and silently report AUC over one class. Reject it up front.
+    if y.iter().all(|v| *v == y[0]) {
+        return Err(MlError::Train(format!(
+            "cannot cross-validate a constant target (all values are {})",
+            y[0]
+        )));
+    }
     let k = k.clamp(2, n.max(2));
     if n < k {
         return Err(MlError::Train(format!(
@@ -406,19 +440,78 @@ pub fn cross_validate(
     Ok(results)
 }
 
+/// Hyperparameters for [`fit_model_with`]. Every field has the default
+/// the corresponding kind has always used, so `FitParams::default()`
+/// reproduces [`fit_model`] bit-for-bit; `CREATE MODEL ... WITH (...)`
+/// overrides individual fields from the SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitParams {
+    /// Seed for every stochastic choice (bootstrap samples, feature
+    /// subsampling). The same seed + data must reproduce the same model.
+    pub seed: u64,
+    /// Ensemble size for `forest`/`gbt` (`None` = kind default: 20
+    /// forest trees, 30 boosting rounds).
+    pub trees: Option<usize>,
+    pub max_depth: usize,
+    pub min_samples_split: usize,
+    /// GBT shrinkage.
+    pub learning_rate: f64,
+    /// Ridge strength for `linear`.
+    pub ridge: f64,
+    /// Gradient-descent epochs for `logistic`.
+    pub epochs: usize,
+    /// Gradient-descent learning rate for `logistic`.
+    pub lr: f64,
+    /// Neighbour count for `knn`.
+    pub k: usize,
+}
+
+impl Default for FitParams {
+    fn default() -> Self {
+        FitParams {
+            seed: 42,
+            trees: None,
+            max_depth: 6,
+            min_samples_split: 4,
+            learning_rate: 0.2,
+            ridge: 1e-6,
+            epochs: 200,
+            lr: 0.5,
+            k: 5,
+        }
+    }
+}
+
+impl FitParams {
+    fn tree_params(&self) -> TreeParams {
+        TreeParams {
+            max_depth: self.max_depth,
+            min_samples_split: self.min_samples_split,
+            feature_subsample: None,
+            seed: self.seed,
+        }
+    }
+}
+
 /// Convenience: fit the requested model kind with sane defaults.
 pub fn fit_model(kind: &str, x: &Matrix, y: &[f64]) -> Result<Model> {
+    fit_model_with(kind, x, y, &FitParams::default())
+}
+
+/// Fit the requested model kind with explicit hyperparameters.
+pub fn fit_model_with(kind: &str, x: &Matrix, y: &[f64], p: &FitParams) -> Result<Model> {
+    let tp = p.tree_params();
     Ok(match kind {
-        "linear" => Model::Linear(fit_linear(x, y, 1e-6)?),
-        "logistic" => Model::Logistic(fit_logistic(x, y, 200, 0.5)?),
-        "tree" => Model::Tree(fit_tree(x, y, &TreeParams::default())?),
-        "forest" => Model::Forest(fit_forest(x, y, 20, &TreeParams::default())?),
-        "gbt" => Model::Gbt(fit_gbt(x, y, 30, 0.2, &TreeParams::default(), true)?),
+        "linear" => Model::Linear(fit_linear(x, y, p.ridge)?),
+        "logistic" => Model::Logistic(fit_logistic(x, y, p.epochs, p.lr)?),
+        "tree" => Model::Tree(fit_tree(x, y, &tp)?),
+        "forest" => Model::Forest(fit_forest(x, y, p.trees.unwrap_or(20), &tp)?),
+        "gbt" => Model::Gbt(fit_gbt(x, y, p.trees.unwrap_or(30), p.learning_rate, &tp, true)?),
         "gbt_regression" => {
-            Model::Gbt(fit_gbt(x, y, 30, 0.2, &TreeParams::default(), false)?)
+            Model::Gbt(fit_gbt(x, y, p.trees.unwrap_or(30), p.learning_rate, &tp, false)?)
         }
         "naive_bayes" => Model::NaiveBayes(fit_naive_bayes(x, y)?),
-        "knn" => Model::Knn(fit_knn(x, y, 5)?),
+        "knn" => Model::Knn(fit_knn(x, y, p.k)?),
         other => return Err(MlError::Train(format!("unknown model kind '{other}'"))),
     })
 }
@@ -504,12 +597,79 @@ mod tests {
 
     #[test]
     fn split_partitions_everything() {
-        let (train, test) = train_test_split(100, 0.3, 7);
+        let (train, test) = train_test_split(100, 0.3, 7).unwrap();
         assert_eq!(train.len(), 70);
         assert_eq!(test.len(), 30);
         let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
         all.sort_unstable();
         assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_rejects_bad_fractions() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.1, 1.5] {
+            let err = train_test_split(100, bad, 7).unwrap_err();
+            assert!(
+                err.to_string().contains("test_fraction"),
+                "fraction {bad}: {err}"
+            );
+        }
+        // boundary values stay legal
+        let (train, test) = train_test_split(10, 0.0, 7).unwrap();
+        assert_eq!((train.len(), test.len()), (10, 0));
+        let (train, test) = train_test_split(10, 1.0, 7).unwrap();
+        assert_eq!((train.len(), test.len()), (0, 10));
+    }
+
+    #[test]
+    fn fit_model_with_matches_defaults() {
+        let (x, raw) = linear_data(80, 11);
+        let y: Vec<f64> = raw.iter().map(|v| if *v > 0.5 { 1.0 } else { 0.0 }).collect();
+        for kind in ["linear", "logistic", "tree", "forest", "gbt", "naive_bayes", "knn"] {
+            let a = fit_model(kind, &x, &y).unwrap();
+            let b = fit_model_with(kind, &x, &y, &FitParams::default()).unwrap();
+            assert_eq!(a, b, "{kind}");
+        }
+    }
+
+    #[test]
+    fn fit_model_with_honours_overrides() {
+        let (x, y) = linear_data(120, 12);
+        let deep = fit_model_with(
+            "gbt_regression",
+            &x,
+            &y,
+            &FitParams {
+                trees: Some(5),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let Model::Gbt(m) = deep else { panic!("expected gbt") };
+        assert_eq!(m.trees.len(), 5);
+        let seeded_a = fit_model_with(
+            "forest",
+            &x,
+            &y,
+            &FitParams {
+                seed: 99,
+                trees: Some(3),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let seeded_b = fit_model_with(
+            "forest",
+            &x,
+            &y,
+            &FitParams {
+                seed: 99,
+                trees: Some(3),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(seeded_a, seeded_b);
     }
 
     #[test]
@@ -552,6 +712,29 @@ mod cv_tests {
     fn cross_validation_rejects_tiny_data() {
         let x = Matrix::from_rows(&[vec![1.0]]);
         assert!(cross_validate("linear", &x, &[1.0], 5, 1).is_err());
+    }
+
+    #[test]
+    fn cross_validation_rejects_empty_and_constant_targets() {
+        let empty = Matrix::zeros(0, 1);
+        let err = cross_validate("linear", &empty, &[], 3, 1).unwrap_err();
+        assert!(err.to_string().contains("empty"), "{err}");
+
+        // A constant 0/1 target used to sneak past the binary-target check
+        // and score AUC against a single class.
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let x = Matrix::from_rows(&rows);
+        let ones = vec![1.0; 20];
+        let err = cross_validate("logistic", &x, &ones, 4, 1).unwrap_err();
+        assert!(err.to_string().contains("constant target"), "{err}");
+
+        let halves = vec![0.5; 20];
+        let err = cross_validate("linear", &x, &halves, 4, 1).unwrap_err();
+        assert!(err.to_string().contains("constant target"), "{err}");
+
+        let y: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let err = cross_validate("linear", &x, &y[..10], 4, 1).unwrap_err();
+        assert!(err.to_string().contains("does not match"), "{err}");
     }
 
     #[test]

@@ -90,7 +90,7 @@ fn arbitrary_pipeline() -> impl Strategy<Value = Pipeline> {
         })
 }
 
-fn frame_for(pipeline: &Pipeline, rows: usize, seed: u64) -> Frame {
+fn frame_for(pipeline: &Pipeline, rows: usize, seed: u64) -> Frame<'_> {
     use flock_rng::rngs::StdRng;
     use flock_rng::{Rng, SeedableRng};
     let mut rng = StdRng::seed_from_u64(seed);

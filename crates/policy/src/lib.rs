@@ -22,6 +22,6 @@ pub mod txn;
 
 pub use context::DecisionContext;
 pub use engine::{Decision, DecisionRecord, Outcome, PolicyEngine};
-pub use monitor::{ContinuousMonitor, MonitorReport};
+pub use monitor::{BreachAction, ContinuousMonitor, MonitorReport, StreamingMonitor};
 pub use policy::{eval_condition, Policy, PolicyAction};
 pub use txn::{apply_transactional, ActionError, ActionSink, DomainAction, MemorySink};

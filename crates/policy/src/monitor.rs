@@ -94,21 +94,37 @@ pub struct StreamingMonitor {
     /// Breach condition in SQL expression syntax over the sink columns
     /// (same dialect as [`crate::policy::Policy`] conditions).
     pub breach: String,
-    /// Model placed on hold when the condition holds for any emitted row.
-    pub hold_model: String,
+    /// Model the breach action applies to.
+    pub model: String,
+    /// What happens to the model when the condition holds for any
+    /// emitted row.
+    pub action: BreachAction,
+}
+
+/// The transactional action a [`StreamingMonitor`] breach triggers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreachAction {
+    /// Put the model on hold: scoring is blocked until a new version is
+    /// deployed (the circuit-breaker response).
+    Hold,
+    /// Re-run the model's recorded training statement on current data and
+    /// deploy the result as a new version, in the same commit as the
+    /// window's emission (the drift-refresh response).
+    Retrain,
 }
 
 impl StreamingMonitor {
     /// Build from a [`crate::policy::Policy`]: the policy's condition
     /// becomes the `WHEN` clause verbatim (both sides share the SQL
-    /// expression dialect).
+    /// expression dialect). The default breach action is [`BreachAction::Hold`];
+    /// use [`with_action`](Self::with_action) for retrain-on-drift.
     pub fn from_policy(
         policy: &crate::policy::Policy,
         stream: &str,
         window_ms: i64,
         sink: &str,
         select: &str,
-        hold_model: &str,
+        model: &str,
     ) -> Self {
         StreamingMonitor {
             name: format!("{}_monitor", policy.name),
@@ -117,18 +133,28 @@ impl StreamingMonitor {
             sink: sink.to_string(),
             select: select.to_string(),
             breach: policy.condition.to_string(),
-            hold_model: hold_model.to_string(),
+            model: model.to_string(),
+            action: BreachAction::Hold,
         }
+    }
+
+    pub fn with_action(mut self, action: BreachAction) -> Self {
+        self.action = action;
+        self
     }
 
     /// Render the `CREATE CONTINUOUS QUERY` DDL that deploys this monitor
     /// into a flock-sql database.
     pub fn as_continuous_query(&self) -> String {
+        let action = match self.action {
+            BreachAction::Hold => "HOLD",
+            BreachAction::Retrain => "RETRAIN",
+        };
         format!(
             "CREATE CONTINUOUS QUERY {} ON {} WINDOW TUMBLING ({}) \
-             EMIT INTO {} AS {} WHEN {} THEN HOLD MODEL {}",
+             EMIT INTO {} AS {} WHEN {} THEN {action} MODEL {}",
             self.name, self.stream, self.window_ms, self.sink, self.select, self.breach,
-            self.hold_model
+            self.model
         )
     }
 }
@@ -196,6 +222,83 @@ mod tests {
         ) -> Result<flock_sql::ColumnVector> {
             Ok(inputs[0].clone())
         }
+    }
+
+    /// A deterministic stand-in for the Flock training layer: the policy
+    /// crate only cares that a breach re-runs the recorded statement and
+    /// commits a new version, not how the fit works.
+    struct StubTrainer;
+
+    impl flock_sql::trainer::ModelTrainer for StubTrainer {
+        fn train(
+            &self,
+            spec: &flock_sql::trainer::TrainSpec,
+            data: &flock_sql::RecordBatch,
+        ) -> Result<flock_sql::trainer::TrainedArtifact> {
+            Ok(flock_sql::trainer::TrainedArtifact {
+                payload: format!("stub:{}:{}", spec.kind, data.num_rows()).into_bytes(),
+                metadata: serde_json::from_str("{}").unwrap(),
+                train_rows: data.num_rows(),
+                eval_rows: 0,
+            })
+        }
+    }
+
+    #[test]
+    fn deployed_monitor_retrains_model_on_breach() {
+        let policy = Policy::new(
+            "drift_refresh",
+            "mean_score > 0.9",
+            PolicyAction::Deny {
+                reason: "score drift".into(),
+            },
+        )
+        .unwrap();
+        let mon = StreamingMonitor::from_policy(
+            &policy,
+            "scores",
+            100,
+            "score_windows",
+            "SELECT model_id, AVG(score) AS mean_score FROM scores GROUP BY model_id",
+            "churn",
+        )
+        .with_action(BreachAction::Retrain);
+        let ddl = mon.as_continuous_query();
+        assert!(ddl.contains("THEN RETRAIN MODEL churn"), "{ddl}");
+
+        let db = flock_sql::Database::new();
+        db.set_inference_provider(std::sync::Arc::new(IdentityScorer));
+        db.set_model_trainer(std::sync::Arc::new(StubTrainer));
+        db.execute("CREATE TABLE observations (x DOUBLE, y INT)").unwrap();
+        db.execute("INSERT INTO observations VALUES (1.0, 0), (2.0, 1), (3.0, 1)")
+            .unwrap();
+        // v1 records its training statement in the lineage; RETRAIN re-runs it
+        db.execute("CREATE MODEL churn KIND gbt TARGET y AS SELECT x, y FROM observations")
+            .unwrap();
+        db.execute("CREATE STREAM scores (et INT, model_id INT, score DOUBLE) WATERMARK (et, 0)")
+            .unwrap();
+        db.execute(&ddl).unwrap();
+
+        // a drifting window, then a flush event to close it
+        db.execute("INSERT INTO scores VALUES (10, 1, 0.95), (20, 1, 0.97), (300, 1, 0.1)")
+            .unwrap();
+        db.stream_tick_now();
+
+        // the breach retrained the model, transactionally with the emission
+        let audit = db.audit_log();
+        assert!(audit.iter().any(|r| r.action == "POLICY BREACH"));
+        assert!(
+            audit
+                .iter()
+                .any(|r| r.action == "MODEL RETRAIN" && r.object == "churn"),
+            "actions: {:?}",
+            audit.iter().map(|r| r.action.clone()).collect::<Vec<_>>()
+        );
+        // the retrain deployed a new catalog version through the same
+        // extension-object transaction path as CREATE MODEL
+        let catalog = db.catalog();
+        let obj = catalog.extension("model", "churn").unwrap();
+        assert_eq!(obj.current().version, 2);
     }
 
     #[test]

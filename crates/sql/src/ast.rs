@@ -110,6 +110,9 @@ pub enum Statement {
         when: Option<Expr>,
         /// Model put on hold when `when` fires.
         hold_model: Option<String>,
+        /// Model retrained (training statement re-run, new version
+        /// deployed) when `when` fires.
+        retrain_model: Option<String>,
     },
     /// `DROP CONTINUOUS QUERY name` — unregister; the sink table stays.
     DropContinuousQuery {
@@ -117,6 +120,34 @@ pub enum Statement {
     },
     /// `SHOW STREAMS` — streams and registered continuous queries.
     ShowStreams,
+    /// `CREATE MODEL name KIND kind [WITH (k = lit, ...)] TARGET col
+    /// [OUTPUT out] AS SELECT ...` — train a model over the result of an
+    /// arbitrary query and commit it as a governed, versioned,
+    /// WAL-durable catalog object. The legacy
+    /// `CREATE MODEL n KIND k FROM t TARGET y [FEATURES ...]` form is
+    /// desugared by the parser into this shape.
+    CreateModel {
+        name: String,
+        kind: String,
+        /// `WITH (...)` hyperparameters: lowercased keys → literal values.
+        options: Vec<(String, Value)>,
+        /// Label column (must appear in the query's output).
+        target: String,
+        /// Score column name (`None` = `<name>_score`).
+        output: Option<String>,
+        query: Box<Query>,
+    },
+    /// `RETRAIN MODEL name` — re-run the recorded training statement
+    /// against current data and deploy the new version in one
+    /// transaction. Also fired by `WHEN ... THEN RETRAIN MODEL m`.
+    RetrainModel {
+        name: String,
+    },
+    /// `DROP MODEL name` — drop through the same registry transaction
+    /// path as train and deploy.
+    DropModel {
+        name: String,
+    },
 }
 
 /// Window shape of a continuous query. `slide_ms == size_ms` is a

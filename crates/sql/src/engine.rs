@@ -20,6 +20,7 @@ use crate::plan::{plan_query, rewrite_expr, LogicalPlan, PlanContext, PlanRewrit
 use crate::plancache::{bind_slots, normalize, CacheHit, CacheKey, CachedPlan, ParamSlot, PlanCache};
 use crate::schema::{ColumnDef, Schema};
 use crate::table::Table;
+use crate::trainer::{NoTrainer, TrainSpec, TrainerRef};
 use crate::types::{DataType, Value};
 use crate::udf::{NoInference, ProviderRef};
 use crate::wal::{DurabilityOptions, DurableFs, RedoOp, StdFs, WalManager, WalRecord};
@@ -413,11 +414,23 @@ impl Drop for StreamGuard {
     }
 }
 
+/// Commit observer: receives the committed catalog snapshot and the
+/// conflict keys the transaction wrote (table names and `ext:kind:name`
+/// extension keys). Fired outside the state lock; must not re-enter the
+/// database.
+pub type CommitHook = Arc<dyn Fn(&Catalog, &[String]) + Send + Sync>;
+
 /// A shared, thread-safe database handle.
 #[derive(Clone)]
 pub struct Database {
     state: Arc<RwLock<DbState>>,
     provider: Arc<RwLock<ProviderRef>>,
+    trainer: Arc<RwLock<TrainerRef>>,
+    /// Observers fired after a transaction commits, outside the state
+    /// lock, with the committed catalog snapshot and the written keys.
+    /// Used by `flock-core` to keep its model registry in sync with
+    /// engine-side model DDL (CREATE/RETRAIN/DROP MODEL).
+    commit_hooks: Arc<RwLock<Vec<CommitHook>>>,
     options: Arc<RwLock<ExecOptions>>,
     optimizer: Arc<RwLock<OptimizerConfig>>,
     rewriters: Arc<RwLock<Vec<Arc<dyn PlanRewriter>>>>,
@@ -457,6 +470,8 @@ pub struct Database {
 struct WeakDb {
     state: Weak<RwLock<DbState>>,
     provider: Arc<RwLock<ProviderRef>>,
+    trainer: Arc<RwLock<TrainerRef>>,
+    commit_hooks: Arc<RwLock<Vec<CommitHook>>>,
     options: Arc<RwLock<ExecOptions>>,
     optimizer: Arc<RwLock<OptimizerConfig>>,
     rewriters: Arc<RwLock<Vec<Arc<dyn PlanRewriter>>>>,
@@ -476,6 +491,8 @@ impl WeakDb {
         Some(Database {
             state: self.state.upgrade()?,
             provider: self.provider.clone(),
+            trainer: self.trainer.clone(),
+            commit_hooks: self.commit_hooks.clone(),
             options: self.options.clone(),
             optimizer: self.optimizer.clone(),
             rewriters: self.rewriters.clone(),
@@ -522,6 +539,8 @@ impl Database {
         Database {
             state: Arc::new(RwLock::new(state)),
             provider: Arc::new(RwLock::new(Arc::new(NoInference))),
+            trainer: Arc::new(RwLock::new(Arc::new(NoTrainer) as TrainerRef)),
+            commit_hooks: Arc::new(RwLock::new(Vec::new())),
             options: Arc::new(RwLock::new(ExecOptions::default())),
             optimizer: Arc::new(RwLock::new(OptimizerConfig::default())),
             rewriters: Arc::new(RwLock::new(Vec::new())),
@@ -543,6 +562,8 @@ impl Database {
         WeakDb {
             state: Arc::downgrade(&self.state),
             provider: self.provider.clone(),
+            trainer: self.trainer.clone(),
+            commit_hooks: self.commit_hooks.clone(),
             options: self.options.clone(),
             optimizer: self.optimizer.clone(),
             rewriters: self.rewriters.clone(),
@@ -936,6 +957,7 @@ impl Database {
         let mut new_spec = spec.clone();
         new_spec.next_emit_ms = Some(last_start + spec.window.slide_ms);
         let hold = spec.hold_model.clone();
+        let retrain = spec.retrain_model.clone();
         let mut session = self.session(owner);
         let cq_name = name.to_string();
         let sink_name = spec.sink.clone();
@@ -952,6 +974,9 @@ impl Database {
                 );
                 if let Some(m) = &hold {
                     s.hold_model_txn(m)?;
+                }
+                if let Some(m) = &retrain {
+                    s.retrain_model_txn(m, &format!("policy breach in '{cq_name}'"))?;
                 }
             }
             Ok(())
@@ -1093,6 +1118,24 @@ impl Database {
 
     pub fn inference_provider(&self) -> ProviderRef {
         self.provider.read().clone()
+    }
+
+    /// Install the model trainer backing `CREATE MODEL` / `RETRAIN MODEL`
+    /// (done by `flock-core`).
+    pub fn set_model_trainer(&self, trainer: TrainerRef) {
+        *self.trainer.write() = trainer;
+        self.options_epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn model_trainer(&self) -> TrainerRef {
+        self.trainer.read().clone()
+    }
+
+    /// Register an observer fired after every successful commit, outside
+    /// the state lock, with the committed catalog snapshot and the keys
+    /// the transaction wrote. Hooks must not re-enter the database.
+    pub fn add_commit_hook(&self, hook: CommitHook) {
+        self.commit_hooks.write().push(hook);
     }
 
     /// Replace execution options (threading, default PREDICT strategy).
@@ -2004,6 +2047,22 @@ impl Session {
             sync_part_inventory(&state.catalog);
         }
         let id = txn.id;
+
+        // Commit hooks observe the committed snapshot outside the state
+        // lock (they may take their own locks — e.g. the model registry).
+        let hooks = self.db.commit_hooks.read().clone();
+        let hook_ctx = if hooks.is_empty() {
+            None
+        } else {
+            let keys: Vec<String> = txn.written.keys().cloned().collect();
+            Some((state.catalog.clone(), keys))
+        };
+        drop(guard);
+        if let Some((catalog, keys)) = hook_ctx {
+            for hook in &hooks {
+                hook(&catalog, &keys);
+            }
+        }
         Ok(QueryResult::none(format!("COMMIT (txn {id})")))
     }
 
@@ -2149,9 +2208,40 @@ impl Session {
                 query,
                 when,
                 hold_model,
-            } => self.run_create_cq(&name, &stream, window, &sink, &query, when, hold_model, sql),
+                retrain_model,
+            } => self.run_create_cq(
+                &name,
+                &stream,
+                window,
+                &sink,
+                &query,
+                when,
+                hold_model,
+                retrain_model,
+                sql,
+            ),
             Statement::DropContinuousQuery { name } => self.run_drop_cq(&name, sql),
             Statement::ShowStreams => self.show_streams(),
+            Statement::CreateModel {
+                name,
+                kind,
+                options,
+                target,
+                output,
+                query,
+            } => {
+                let spec = TrainSpec {
+                    name: name.clone(),
+                    kind,
+                    options,
+                    target,
+                    output: output
+                        .unwrap_or_else(|| format!("{}_score", name.to_ascii_lowercase())),
+                };
+                self.run_create_model(&spec, &query, sql)
+            }
+            Statement::RetrainModel { name } => self.run_retrain_model(&name, sql),
+            Statement::DropModel { name } => self.run_drop_model(&name, sql),
             Statement::Begin
             | Statement::Commit
             | Statement::Rollback
@@ -2940,6 +3030,7 @@ impl Session {
     /// and registers the CQ as an extension object the scheduler picks up
     /// on its next tick.
     #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)]
     fn run_create_cq(
         &mut self,
         name: &str,
@@ -2949,6 +3040,7 @@ impl Session {
         query: &crate::ast::Query,
         when: Option<Expr>,
         hold_model: Option<String>,
+        retrain_model: Option<String>,
         sql: &str,
     ) -> Result<QueryResult> {
         crate::stream::validate_window(&window)?;
@@ -2967,11 +3059,13 @@ impl Session {
             )));
         }
         self.check_access(&catalog, &ObjectRef::table(stream), Privilege::Select)?;
-        if let Some(m) = &hold_model {
+        // Both policy actions mutate the target model (hold flips its
+        // metadata, retrain deploys a new version); the creator must hold
+        // that right up front.
+        for m in hold_model.iter().chain(retrain_model.iter()) {
             if !catalog.has_extension("model", m) {
                 return Err(SqlError::Catalog(format!("model '{m}' does not exist")));
             }
-            // holding a model mutates it; the creator must hold that right
             self.check_access(&catalog, &ObjectRef::extension(m), Privilege::Update)?;
         }
         let spec = CqSpec {
@@ -2981,6 +3075,7 @@ impl Session {
             query_sql: query.to_string(),
             when_sql: when.as_ref().map(|e| e.to_string()),
             hold_model,
+            retrain_model,
             next_emit_ms: None,
         };
         let provider = self.db.inference_provider();
@@ -3016,6 +3111,169 @@ impl Session {
         Ok(QueryResult::none(format!(
             "continuous query '{name}' dropped; sink table retained"
         )))
+    }
+
+    // ------------------------------------------------------- models
+
+    /// Run a training query and report, alongside the materialized batch,
+    /// the exact committed version of every table it scanned — the
+    /// provenance pins recorded in the model's lineage. Time-travel scans
+    /// pin the version they read; everything else pins the version current
+    /// in this transaction's snapshot.
+    fn run_training_query(
+        &mut self,
+        q: &crate::ast::Query,
+    ) -> Result<(RecordBatch, Vec<(String, u64)>)> {
+        let working = self.working_catalog();
+        let catalog = self.db.overlay_metrics_table(working.clone(), &self.user);
+        let provider = self.db.inference_provider();
+        let options = self.session_options();
+        let _slot = self.admit(&options)?;
+        let cancel = self.statement_cancel(&options);
+        let budget = Arc::new(QueryBudget::limited(
+            options.max_rows_budget,
+            options.max_mem_bytes,
+        ));
+        let runner = EngineSubqueryRunner {
+            catalog: &catalog,
+            db: &self.db,
+            user: &self.user,
+            cancel: cancel.clone(),
+        };
+        let ctx = PlanContext::new(&catalog, provider.as_ref()).with_subqueries(&runner);
+        let plan = plan_query(q, &ctx)?;
+        self.check_query_access(&catalog, &plan)?;
+
+        let mut pins: Vec<(String, u64)> = Vec::new();
+        plan.visit(&mut |n| {
+            if let LogicalPlan::Scan { table, version, .. } = n {
+                // virtual overlays (flock_metrics) have no catalog version
+                if let Ok(t) = working.table(table) {
+                    let v = version.unwrap_or_else(|| t.current_version());
+                    pins.push((table.to_ascii_lowercase(), v));
+                }
+            }
+        });
+        pins.sort();
+        pins.dedup();
+
+        let plan = self.apply_session_strategy(plan)?;
+        let plan = self.db.apply_rewriters(plan, &catalog)?;
+        let plan = optimize(plan, &self.db.optimizer_config())?;
+        let physical = create_physical_plan(&plan, &catalog, provider.as_ref(), &options)?;
+        let eval_ctx = EvalContext::new(provider, self.user.clone(), options.threads)
+            .with_cancel(cancel)
+            .with_budget(budget);
+        let plan_metrics = PlanMetrics::for_plan(&physical);
+        let batch = physical.execute_metered(&eval_ctx, &plan_metrics)?;
+        Ok((batch, pins))
+    }
+
+    fn run_create_model(
+        &mut self,
+        spec: &TrainSpec,
+        query: &crate::ast::Query,
+        sql: &str,
+    ) -> Result<QueryResult> {
+        let name = spec.name.as_str();
+        let kind = spec.kind.as_str();
+        let catalog = self.working_catalog();
+        if catalog.has_extension("model", name) {
+            return Err(SqlError::Catalog(format!("model '{name}' already exists")));
+        }
+        let (batch, pins) = self.run_training_query(query)?;
+        let artifact = self.db.model_trainer().train(spec, &batch)?;
+        let metadata = stamp_lineage(artifact.metadata, sql, &pins, &self.user)?;
+        self.create_extension_txn("model", name, artifact.payload, metadata)?;
+        self.audit(
+            "MODEL TRAIN",
+            name,
+            &format!(
+                "kind {kind}; {} train / {} eval rows",
+                artifact.train_rows, artifact.eval_rows
+            ),
+        );
+        let tables_read = pins.iter().map(|(t, _)| t.clone()).collect();
+        self.log_statement(sql, StatementKind::Ddl, tables_read, vec![name.to_string()], vec![]);
+        Ok(QueryResult::none(format!(
+            "model '{name}' trained ({} train rows, {} held-out eval rows) and deployed",
+            artifact.train_rows, artifact.eval_rows
+        )))
+    }
+
+    fn run_retrain_model(&mut self, name: &str, sql: &str) -> Result<QueryResult> {
+        let (train_rows, eval_rows, v) = self.retrain_model_txn(name, "manual RETRAIN MODEL")?;
+        self.log_statement(sql, StatementKind::Ddl, vec![], vec![name.to_string()], vec![]);
+        Ok(QueryResult::none(format!(
+            "model '{name}' retrained to v{v} ({train_rows} train rows, {eval_rows} held-out eval rows)"
+        )))
+    }
+
+    /// Re-run a model's recorded training statement against current data
+    /// and deploy the result as a new version, inside the open
+    /// transaction. The policy machinery fires this from `WHEN ... THEN
+    /// RETRAIN MODEL m`, transactionally with the window emission.
+    fn retrain_model_txn(&mut self, name: &str, trigger: &str) -> Result<(usize, usize, u64)> {
+        let catalog = self.working_catalog();
+        let recorded = catalog
+            .extension("model", name)?
+            .current()
+            .metadata
+            .get("lineage")
+            .and_then(|l| l.get("training_query"))
+            .and_then(|v| v.as_str())
+            .map(str::to_string)
+            .ok_or_else(|| {
+                SqlError::Plan(format!(
+                    "model '{name}' has no recorded training statement to re-run"
+                ))
+            })?;
+        self.check_access(&catalog, &ObjectRef::extension(name), Privilege::Update)?;
+        let stmt = crate::parser::parse_statement(&recorded)?;
+        let Statement::CreateModel {
+            kind,
+            options,
+            target,
+            output,
+            query,
+            ..
+        } = stmt
+        else {
+            return Err(SqlError::Plan(format!(
+                "recorded training statement for '{name}' is not a CREATE MODEL statement"
+            )));
+        };
+        let (batch, pins) = self.run_training_query(&query)?;
+        let spec = TrainSpec {
+            name: name.to_string(),
+            kind: kind.clone(),
+            options,
+            target,
+            output: output.unwrap_or_else(|| format!("{}_score", name.to_ascii_lowercase())),
+        };
+        let artifact = self.db.model_trainer().train(&spec, &batch)?;
+        let user = self.user.clone();
+        let metadata = stamp_lineage(artifact.metadata, &recorded, &pins, &user)?;
+        let v = self.update_extension_txn("model", name, artifact.payload, metadata, true)?;
+        self.audit(
+            "MODEL RETRAIN",
+            name,
+            &format!(
+                "{trigger}; v{v}, {} train / {} eval rows",
+                artifact.train_rows, artifact.eval_rows
+            ),
+        );
+        Ok((artifact.train_rows, artifact.eval_rows, v))
+    }
+
+    fn run_drop_model(&mut self, name: &str, sql: &str) -> Result<QueryResult> {
+        let catalog = self.working_catalog();
+        if !catalog.has_extension("model", name) {
+            return Err(SqlError::Catalog(format!("model '{name}' does not exist")));
+        }
+        self.drop_extension_txn("model", name)?;
+        self.log_statement(sql, StatementKind::Ddl, vec![], vec![name.to_string()], vec![]);
+        Ok(QueryResult::none(format!("model '{name}' dropped")))
     }
 
     fn show_streams(&mut self) -> Result<QueryResult> {
@@ -3819,15 +4077,83 @@ fn lineage_pinned_versions(catalog: &Catalog, table: &str) -> Vec<u64> {
                 .get("training_table")
                 .and_then(|t| t.as_str())
                 .is_some_and(|t| t.eq_ignore_ascii_case(&table));
-            if !trained_on {
-                continue;
+            if trained_on {
+                if let Some(pin) =
+                    lineage.get("training_table_version").and_then(|v| v.as_u64())
+                {
+                    pinned.push(pin);
+                }
             }
-            if let Some(pin) = lineage.get("training_table_version").and_then(|v| v.as_u64()) {
-                pinned.push(pin);
+            // multi-table pins from `CREATE MODEL ... AS SELECT` joins:
+            // `training_tables` is an array of [name, version] pairs
+            if let Some(all) = lineage.get("training_tables").and_then(|t| t.as_array()) {
+                for pair in all {
+                    let Some(pair) = pair.as_array() else { continue };
+                    let named = pair
+                        .first()
+                        .and_then(|n| n.as_str())
+                        .is_some_and(|n| n.eq_ignore_ascii_case(&table));
+                    if named {
+                        if let Some(pin) = pair.get(1).and_then(|v| v.as_u64()) {
+                            pinned.push(pin);
+                        }
+                    }
+                }
             }
         }
     }
     pinned
+}
+
+/// Stamp provenance onto a trained model's metadata: the raw training
+/// statement (re-run verbatim by RETRAIN), the exact committed version of
+/// every scanned table, the training user, and the wall-clock timestamp.
+/// The first pin doubles as `training_table`/`training_table_version` so
+/// single-table lineage consumers (history truncation, provenance export)
+/// keep working unchanged.
+fn stamp_lineage(
+    mut metadata: serde_json::Value,
+    sql: &str,
+    pins: &[(String, u64)],
+    user: &str,
+) -> Result<serde_json::Value> {
+    let obj = metadata.as_object_mut().ok_or_else(|| {
+        SqlError::Plan("trainer returned non-object model metadata".into())
+    })?;
+    let lineage = obj
+        .entry("lineage".to_string())
+        .or_insert_with(|| serde_json::Value::Object(serde_json::Map::new()));
+    let lineage = lineage.as_object_mut().ok_or_else(|| {
+        SqlError::Plan("trainer returned non-object model lineage".into())
+    })?;
+    let sql = sql.trim().trim_end_matches(';').to_string();
+    lineage.insert("training_query".into(), serde_json::Value::String(sql));
+    lineage.insert("trained_by".into(), serde_json::Value::String(user.into()));
+    lineage.insert("created_ms".into(), serde_json::json!(now_ms()));
+    match pins.first() {
+        Some((t, v)) => {
+            lineage.insert(
+                "training_table".into(),
+                serde_json::Value::String(t.clone()),
+            );
+            lineage.insert("training_table_version".into(), serde_json::Value::from(*v));
+        }
+        None => {
+            lineage.insert("training_table".into(), serde_json::Value::Null);
+            lineage.insert("training_table_version".into(), serde_json::Value::Null);
+        }
+    }
+    let all: Vec<serde_json::Value> = pins
+        .iter()
+        .map(|(t, v)| {
+            serde_json::Value::Array(vec![
+                serde_json::Value::String(t.clone()),
+                serde_json::Value::from(*v),
+            ])
+        })
+        .collect();
+    lineage.insert("training_tables".into(), serde_json::Value::Array(all));
+    Ok(metadata)
 }
 
 /// Streams are append-only: INSERT is the only mutation they accept.

@@ -87,8 +87,7 @@ impl WindowAggState {
         agg_cols: &[Option<ColumnVector>],
     ) {
         debug_assert_eq!(agg_cols.len(), self.agg_specs.len());
-        for row in 0..et.len() {
-            let t = et[row];
+        for (row, &t) in et.iter().enumerate() {
             self.max_event_ms = Some(self.max_event_ms.map_or(t, |m| m.max(t)));
             let latest = self.latest_start(t);
             if self.closed_below.is_some_and(|floor| latest < floor) {
@@ -101,7 +100,7 @@ impl WindowAggState {
             let mut w = latest;
             while w + self.size_ms > t {
                 // partially late: skip windows that already closed
-                if !self.closed_below.is_some_and(|floor| w < floor) {
+                if self.closed_below.is_none_or(|floor| w >= floor) {
                     let partial = self.windows.entry(w).or_default();
                     let accs = partial.groups.entry(key.clone()).or_insert_with(|| {
                         partial.order.push(key.clone());

@@ -34,6 +34,7 @@ pub mod schema;
 pub mod stats;
 pub mod stream;
 pub mod table;
+pub mod trainer;
 pub mod types;
 pub mod udf;
 pub mod wal;

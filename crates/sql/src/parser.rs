@@ -267,6 +267,11 @@ impl Parser {
             };
             return Ok(Statement::Set { name, value });
         }
+        if self.eat_kw("RETRAIN") {
+            self.expect_kw("MODEL")?;
+            let name = self.ident()?;
+            return Ok(Statement::RetrainModel { name });
+        }
         Err(SqlError::Parse(format!(
             "unsupported statement starting at '{}'",
             self.peek()
@@ -387,10 +392,130 @@ impl Parser {
             let name = self.ident()?;
             return Ok(Statement::CreateUser { name });
         }
+        if self.eat_kw("MODEL") {
+            return self.create_model();
+        }
         Err(SqlError::Parse(format!(
             "unsupported CREATE target '{}'",
             self.peek()
         )))
+    }
+
+    /// `CREATE MODEL name KIND kind [WITH (k = lit, ...)] TARGET col
+    /// [OUTPUT out] AS SELECT ...`; the prefix through `MODEL` is already
+    /// consumed. The legacy whole-table form
+    /// `... FROM t TARGET y [FEATURES a, b] [OUTPUT o]` is desugared into
+    /// an equivalent `AS SELECT` over the named table.
+    fn create_model(&mut self) -> Result<Statement> {
+        let name = self.ident()?;
+        self.expect_kw("KIND")?;
+        let kind = self.ident()?.to_ascii_lowercase();
+        let mut options = Vec::new();
+        if self.eat_kw("WITH") {
+            self.expect(&Token::LParen)?;
+            loop {
+                let key = self.ident()?.to_ascii_lowercase();
+                self.expect(&Token::Eq)?;
+                let value = match self.expr()? {
+                    Expr::Literal(v) => v,
+                    other => {
+                        return Err(SqlError::Parse(format!(
+                            "WITH option '{key}' expects a literal value, got {other}"
+                        )))
+                    }
+                };
+                options.push((key, value));
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+        }
+        if self.eat_kw("FROM") {
+            // legacy whole-table form, desugared to `AS SELECT`
+            let table = self.ident()?;
+            self.expect_kw("TARGET")?;
+            let target = self.ident()?;
+            let mut features = Vec::new();
+            if self.eat_kw("FEATURES") {
+                features.push(self.ident()?);
+                while self.eat(&Token::Comma) {
+                    features.push(self.ident()?);
+                }
+            }
+            let output = if self.eat_kw("OUTPUT") {
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            if features
+                .iter()
+                .any(|f| f.eq_ignore_ascii_case(&target))
+            {
+                return Err(SqlError::Plan(format!(
+                    "target column '{target}' cannot also be a feature: training on \
+                     the label leaks it into the model"
+                )));
+            }
+            let projection = if features.is_empty() {
+                vec![SelectItem::Wildcard]
+            } else {
+                features
+                    .iter()
+                    .chain(std::iter::once(&target))
+                    .map(|c| SelectItem::Expr {
+                        expr: Expr::Column {
+                            qualifier: None,
+                            name: c.clone(),
+                        },
+                        alias: None,
+                    })
+                    .collect()
+            };
+            let query = Query {
+                select: Select {
+                    distinct: false,
+                    projection,
+                    from: vec![TableRef::Table {
+                        name: table,
+                        alias: None,
+                        version: None,
+                    }],
+                    selection: None,
+                    group_by: vec![],
+                    having: None,
+                },
+                unions: vec![],
+                order_by: vec![],
+                limit: None,
+                offset: None,
+            };
+            return Ok(Statement::CreateModel {
+                name,
+                kind,
+                options,
+                target,
+                output,
+                query: Box::new(query),
+            });
+        }
+        self.expect_kw("TARGET")?;
+        let target = self.ident()?;
+        let output = if self.eat_kw("OUTPUT") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        self.expect_kw("AS")?;
+        let query = self.query()?;
+        Ok(Statement::CreateModel {
+            name,
+            kind,
+            options,
+            target,
+            output,
+            query: Box::new(query),
+        })
     }
 
     /// The parenthesized column list of CREATE TABLE / CREATE STREAM.
@@ -494,15 +619,22 @@ impl Parser {
         let sink = self.ident()?;
         self.expect_kw("AS")?;
         let query = self.query()?;
-        let (when, hold_model) = if self.eat_kw("WHEN") {
+        let (when, hold_model, retrain_model) = if self.eat_kw("WHEN") {
             let predicate = self.expr()?;
             self.expect_kw("THEN")?;
-            self.expect_kw("HOLD")?;
-            self.expect_kw("MODEL")?;
-            let model = self.ident()?;
-            (Some(predicate), Some(model))
+            if self.eat_kw("HOLD") {
+                self.expect_kw("MODEL")?;
+                (Some(predicate), Some(self.ident()?), None)
+            } else if self.eat_kw("RETRAIN") {
+                self.expect_kw("MODEL")?;
+                (Some(predicate), None, Some(self.ident()?))
+            } else {
+                return Err(SqlError::Parse(
+                    "expected HOLD MODEL or RETRAIN MODEL after THEN".into(),
+                ));
+            }
         } else {
-            (None, None)
+            (None, None, None)
         };
         Ok(Statement::CreateContinuousQuery {
             name,
@@ -512,6 +644,7 @@ impl Parser {
             query: Box::new(query),
             when,
             hold_model,
+            retrain_model,
         })
     }
 
@@ -548,6 +681,10 @@ impl Parser {
             self.expect_kw("QUERY")?;
             let name = self.ident()?;
             return Ok(Statement::DropContinuousQuery { name });
+        }
+        if self.eat_kw("MODEL") {
+            let name = self.ident()?;
+            return Ok(Statement::DropModel { name });
         }
         Err(SqlError::Parse(format!(
             "unsupported DROP target '{}'",
@@ -1280,6 +1417,95 @@ mod tests {
         assert_eq!(model, "churn_model");
         assert_eq!(args.len(), 2);
         assert_eq!(strategy, PredictStrategy::Auto);
+    }
+
+    #[test]
+    fn parses_create_model_as_select() {
+        let stmt = parse_statement(
+            "CREATE MODEL churn KIND gbt WITH (trees = 30, seed = 7, test_fraction = 0.25) \
+             TARGET churned OUTPUT churn_p \
+             AS SELECT c.age, a.balance, c.churned FROM customers c \
+             JOIN accounts a ON c.id = a.cust_id WHERE c.active = 1",
+        )
+        .unwrap();
+        let Statement::CreateModel { name, kind, options, target, output, query } = stmt else {
+            panic!("expected CreateModel")
+        };
+        assert_eq!(name, "churn");
+        assert_eq!(kind, "gbt");
+        assert_eq!(target, "churned");
+        assert_eq!(output.as_deref(), Some("churn_p"));
+        assert_eq!(options.len(), 3);
+        assert_eq!(options[0], ("trees".to_string(), Value::Int(30)));
+        assert_eq!(options[1], ("seed".to_string(), Value::Int(7)));
+        assert_eq!(options[2], ("test_fraction".to_string(), Value::Float(0.25)));
+        assert!(query.select.selection.is_some(), "WHERE clause must survive");
+    }
+
+    #[test]
+    fn legacy_create_model_desugars_to_a_query() {
+        let stmt = parse_statement(
+            "CREATE MODEL m KIND logistic FROM labeled TARGET hi FEATURES age, income",
+        )
+        .unwrap();
+        let Statement::CreateModel { target, query, output, .. } = stmt else {
+            panic!("expected CreateModel")
+        };
+        assert_eq!(target, "hi");
+        assert_eq!(output, None);
+        // desugars to SELECT age, income, hi FROM labeled
+        assert_eq!(query.select.projection.len(), 3);
+        let TableRef::Table { name, .. } = &query.select.from[0] else {
+            panic!("expected plain table scan")
+        };
+        assert_eq!(name, "labeled");
+    }
+
+    #[test]
+    fn target_listed_as_feature_is_label_leakage() {
+        let err = parse_statement(
+            "CREATE MODEL leak KIND gbt FROM t TARGET y FEATURES x, y",
+        )
+        .unwrap_err();
+        assert!(matches!(err, SqlError::Plan(_)), "{err}");
+        assert!(err.to_string().contains("leaks"), "{err}");
+        // case-insensitive: Y vs y is the same column
+        let err = parse_statement(
+            "CREATE MODEL leak KIND gbt FROM t TARGET y FEATURES x, Y",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("leaks"), "{err}");
+    }
+
+    #[test]
+    fn with_options_must_be_literals() {
+        let err = parse_statement(
+            "CREATE MODEL m KIND gbt WITH (trees = a + 1) TARGET y AS SELECT * FROM t",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("literal"), "{err}");
+    }
+
+    #[test]
+    fn parses_retrain_and_drop_model() {
+        let stmt = parse_statement("RETRAIN MODEL churn").unwrap();
+        assert!(matches!(stmt, Statement::RetrainModel { ref name } if name == "churn"));
+        let stmt = parse_statement("DROP MODEL churn").unwrap();
+        assert!(matches!(stmt, Statement::DropModel { ref name } if name == "churn"));
+    }
+
+    #[test]
+    fn continuous_query_accepts_retrain_action() {
+        let stmt = parse_statement(
+            "CREATE CONTINUOUS QUERY cq ON s WINDOW TUMBLING (100) EMIT INTO sink \
+             AS SELECT COUNT(*) AS n FROM s WHEN n > 10 THEN RETRAIN MODEL m",
+        )
+        .unwrap();
+        let Statement::CreateContinuousQuery { retrain_model, hold_model, .. } = stmt else {
+            panic!("expected CreateContinuousQuery")
+        };
+        assert_eq!(retrain_model.as_deref(), Some("m"));
+        assert_eq!(hold_model, None);
     }
 
     #[test]

@@ -79,6 +79,9 @@ pub struct CqSpec {
     pub when_sql: Option<String>,
     /// Model put on hold when the breach predicate fires.
     pub hold_model: Option<String>,
+    /// Model retrained (its recorded training statement re-run) when the
+    /// breach predicate fires.
+    pub retrain_model: Option<String>,
     /// First window start not yet emitted (`None` = nothing emitted).
     /// Windows below this are suppressed during post-crash replay.
     pub next_emit_ms: Option<i64>,
@@ -116,6 +119,12 @@ impl CqSpec {
                 serde_json::Value::String(h.clone()),
             );
         }
+        if let Some(r) = &self.retrain_model {
+            m.insert(
+                "retrain_model".to_string(),
+                serde_json::Value::String(r.clone()),
+            );
+        }
         if let Some(n) = self.next_emit_ms {
             m.insert("next_emit_ms".to_string(), serde_json::Value::from(n));
         }
@@ -145,6 +154,10 @@ impl CqSpec {
             when_sql: v.get("when_sql").and_then(|x| x.as_str()).map(str::to_string),
             hold_model: v
                 .get("hold_model")
+                .and_then(|x| x.as_str())
+                .map(str::to_string),
+            retrain_model: v
+                .get("retrain_model")
                 .and_then(|x| x.as_str())
                 .map(str::to_string),
             next_emit_ms: v.get("next_emit_ms").and_then(|x| x.as_i64()),

@@ -1,0 +1,99 @@
+//! Extension point for in-database model *training*.
+//!
+//! `CREATE MODEL ... AS SELECT` is a governed DDL statement: the engine
+//! runs the training query, pins the lineage, and commits the produced
+//! model through the same extension-object transaction path as deploy and
+//! drop. But the engine does not know how to *fit* a model — that is
+//! `flock-core`'s job, exactly as with [`crate::udf::InferenceProvider`]
+//! for scoring. A registered [`ModelTrainer`] receives the materialized
+//! training batch plus the statement's hyperparameters and returns an
+//! opaque payload + metadata ready for the catalog.
+//!
+//! Determinism contract: given the same `TrainSpec` and the same batch,
+//! `train` must return byte-identical output. The engine relies on this
+//! for crash recovery — WAL replay re-installs the committed payload, and
+//! `RETRAIN` under a declared seed must be reproducible and auditable.
+
+use crate::batch::RecordBatch;
+use crate::types::Value;
+use crate::error::{Result, SqlError};
+use std::sync::Arc;
+
+/// Everything the statement said about how to train.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainSpec {
+    /// Model name being created.
+    pub name: String,
+    /// Model kind (e.g. `gbt`, `forest`, `linear`).
+    pub kind: String,
+    /// `WITH (key = literal, ...)` hyperparameter options, keys
+    /// lowercased, in statement order.
+    pub options: Vec<(String, Value)>,
+    /// Target (label) column name as written in the statement.
+    pub target: String,
+    /// Output column name for scoring.
+    pub output: String,
+}
+
+/// What a trainer hands back: the catalog payload plus recorded facts
+/// about the fit, merged into the model's lineage by the engine.
+#[derive(Debug, Clone)]
+pub struct TrainedArtifact {
+    /// Opaque model package bytes stored as the extension-object payload.
+    pub payload: Vec<u8>,
+    /// Model metadata (inputs, output, kind, lineage skeleton with
+    /// holdout metrics). The engine stamps provenance fields — training
+    /// query, pinned table versions, user, timestamp — on top.
+    pub metadata: serde_json::Value,
+    /// Rows the model was fit on (after the holdout split).
+    pub train_rows: usize,
+    /// Held-out rows the recorded metrics were computed on.
+    pub eval_rows: usize,
+}
+
+/// Fits models over materialized query results. Implemented by
+/// `flock-core`; registered via `Database::set_model_trainer`.
+pub trait ModelTrainer: Send + Sync {
+    /// Train `spec` over `data` (the committed result of the training
+    /// query; the target column is part of the batch). Must be
+    /// deterministic for a given spec + batch.
+    fn train(&self, spec: &TrainSpec, data: &RecordBatch) -> Result<TrainedArtifact>;
+}
+
+/// The default trainer: rejects every CREATE MODEL. Used when the engine
+/// runs standalone, without the Flock training layer.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoTrainer;
+
+impl ModelTrainer for NoTrainer {
+    fn train(&self, spec: &TrainSpec, _data: &RecordBatch) -> Result<TrainedArtifact> {
+        Err(SqlError::Plan(format!(
+            "CREATE MODEL {} requires a model trainer; none is registered",
+            spec.name
+        )))
+    }
+}
+
+/// Shared handle to the trainer.
+pub type TrainerRef = Arc<dyn ModelTrainer>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::RecordBatch;
+    use crate::schema::Schema;
+
+    #[test]
+    fn no_trainer_rejects_everything() {
+        let spec = TrainSpec {
+            name: "m".into(),
+            kind: "gbt".into(),
+            options: vec![],
+            target: "y".into(),
+            output: "m_score".into(),
+        };
+        let batch = RecordBatch::new(Arc::new(Schema::new(vec![])), vec![]).unwrap();
+        let err = NoTrainer.train(&spec, &batch).unwrap_err();
+        assert!(matches!(err, SqlError::Plan(_)), "{err}");
+    }
+}

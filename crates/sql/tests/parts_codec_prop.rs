@@ -66,7 +66,7 @@ fn rle_ints(rng: &mut StdRng, n: usize) -> Vec<Value> {
     while out.len() < n {
         let v = rng.gen_range(-5i64..5);
         let run = rng.gen_range(1usize..64).min(n - out.len());
-        out.extend(std::iter::repeat(Value::Int(v)).take(run));
+        out.extend(std::iter::repeat_n(Value::Int(v), run));
     }
     out
 }
